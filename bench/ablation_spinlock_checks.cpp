@@ -1,0 +1,70 @@
+// Ablation X3 — the spinlock magic checks of the paper's Figure 13: the
+// kernel's frequent spin_lock/spin_unlock magic comparison converts data
+// corruption of lock words into quick Invalid/Illegal Instruction BUG()s.
+//
+// Random data sampling rarely lands on the handful of lock words, so this
+// ablation injects into every spinlock's magic word directly (each bit of
+// each lock), with and without SPINLOCK_DEBUG in the kernel build.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "inject/experiment.hpp"
+#include "workload/profiler.hpp"
+
+int main() {
+  using namespace kfi;
+  std::puts("=== Ablation X3: SPINLOCK_DEBUG magic checks (Figure 13) ===");
+  const char* lock_names[] = {"kernel_flag_cacheline", "runqueue_lock",
+                              "bdev_lock", "journal_datalist_lock",
+                              "page_table_lock", "net_lock"};
+  for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    for (const bool checks : {true, false}) {
+      kernel::MachineOptions mopts;
+      mopts.spinlock_debug = checks;
+      kernel::Machine machine(arch, mopts);
+      auto wl = workload::make_suite();
+      inject::UdpChannel channel(0.0, 1);
+      inject::CrashCollector collector;
+      inject::ExperimentRunner runner(machine, *wl, channel, collector,
+                                      60'000'000, 200'000'000);
+      analysis::OutcomeTally tally;
+      std::vector<inject::InjectionRecord> records;
+      u32 seq = 0;
+      for (const char* name : lock_names) {
+        const auto& lock = machine.image().object(name);
+        const Addr magic = lock.addr + lock.field_named("magic").offset;
+        for (u32 bit = 0; bit < 32; bit += 2) {
+          inject::InjectionTarget t;
+          t.kind = inject::CampaignKind::kData;
+          t.data_addr = magic;
+          t.data_bit = bit;
+          records.push_back(runner.run_one(t, 100 + bit, seq++));
+        }
+      }
+      tally = analysis::tally_records(records);
+      std::printf("\n--- %s, SPINLOCK_DEBUG %s: %zu lock-magic flips ---\n",
+                  isa::arch_name(arch).c_str(), checks ? "on" : "off",
+                  records.size());
+      std::printf("activated: %u  manifested: %s\n", tally.activated,
+                  format_percent(tally.manifestation_rate()).c_str());
+      for (const auto& cause : tally.crash_causes.keys()) {
+        std::printf("  %-26s %s\n", cause.c_str(),
+                    format_count_percent(tally.crash_causes.get(cause),
+                                         tally.crash_causes.fraction(cause))
+                        .c_str());
+      }
+      // Detection speed: fraction of crashes within 10k cycles.
+      std::printf("  crashes within 10k cycles: %s\n",
+                  format_percent(tally.latency.fraction(0) +
+                                 tally.latency.fraction(1))
+                      .c_str());
+    }
+  }
+  std::puts("\nExpectation (Figure 13): with SPINLOCK_DEBUG on, corrupted");
+  std::puts("magic words are caught by the frequent checks and surface as");
+  std::puts("Invalid/Illegal Instruction BUG()s almost immediately; without");
+  std::puts("the checks the same flips are silent or propagate.");
+  return 0;
+}

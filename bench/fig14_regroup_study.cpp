@@ -1,0 +1,160 @@
+// Reproduces the decoder-level mechanism studies of Figures 14 and 15:
+//
+//   Figure 14 (P4): a single bit flip in a variable-length instruction
+//   stream re-groups the downstream bytes into different — usually still
+//   valid — instructions.  We quantify, over every instruction and bit of
+//   the kernel's hot functions: how often the flip changes the stream
+//   alignment, and how far re-alignment propagates before converging.
+//
+//   Figure 15 (G4): a flip stays confined to one fixed-width instruction;
+//   we quantify how often the result is still a valid encoding versus an
+//   illegal one (the G4's Illegal Instruction source), and reproduce the
+//   paper's exact mflr->lhax example.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "cisca/decode.hpp"
+#include "kernel/machine.hpp"
+#include "riscf/insn.hpp"
+
+namespace {
+
+using namespace kfi;
+
+/// Decode the cisca stream starting at `start` for up to `len` bytes;
+/// returns the instruction boundary offsets.
+std::vector<u32> boundaries(const std::vector<u8>& code, u32 start, u32 len) {
+  std::vector<u32> out;
+  u32 off = start;
+  while (off < start + len && off < code.size()) {
+    out.push_back(off);
+    cisca::FetchWindow w;
+    w.pc = off;
+    for (u32 k = 0; k < cisca::kMaxInsnBytes && off + k < code.size(); ++k) {
+      w.bytes[k] = code[off + k];
+      w.valid = static_cast<u8>(k + 1);
+    }
+    off += cisca::decode(w).insn.length;
+  }
+  return out;
+}
+
+void cisca_study() {
+  const kir::Image image = kernel::build_kernel_image(isa::Arch::kCisca);
+  u64 flips = 0, realigned = 0, still_valid_stream = 0, became_invalid = 0;
+  u64 resync_insns_total = 0, resync_count = 0;
+
+  for (const auto& fn : image.functions) {
+    const u32 fn_off = fn.addr - image.code_base;
+    const auto orig = boundaries(image.code, fn_off, fn.size);
+    for (size_t i = 0; i + 1 < orig.size(); ++i) {
+      const u32 insn_off = orig[i];
+      const u32 insn_len = orig[i + 1] - insn_off;
+      for (u32 bit = 0; bit < insn_len * 8; ++bit) {
+        std::vector<u8> mutated = image.code;
+        mutated[insn_off + bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        ++flips;
+        const auto now = boundaries(mutated, insn_off, fn.size - (insn_off - fn_off));
+        // Compare downstream boundaries: find when the streams re-sync.
+        bool diverged = now.size() < 2 || now[1] != orig[i + 1];
+        if (diverged) {
+          ++realigned;
+          // Count instructions until a boundary matches the original set.
+          u32 steps = 0;
+          for (const u32 b : now) {
+            bool match = false;
+            for (const u32 o : orig) {
+              if (o == b && b > insn_off) match = true;
+            }
+            if (match) break;
+            ++steps;
+            if (steps > 16) break;
+          }
+          resync_insns_total += steps;
+          ++resync_count;
+        }
+        // Is the first corrupted instruction itself a valid encoding?
+        cisca::FetchWindow w;
+        w.pc = insn_off;
+        for (u32 k = 0;
+             k < cisca::kMaxInsnBytes && insn_off + k < mutated.size(); ++k) {
+          w.bytes[k] = mutated[insn_off + k];
+          w.valid = static_cast<u8>(k + 1);
+        }
+        if (cisca::decode(w).insn.op == cisca::Op::kInvalid) {
+          ++became_invalid;
+        } else {
+          ++still_valid_stream;
+        }
+      }
+    }
+  }
+  std::puts("--- Figure 14 mechanism study: P4-like variable-length stream ---");
+  std::printf("bit flips analyzed:                 %llu\n",
+              static_cast<unsigned long long>(flips));
+  std::printf("flip yields a VALID instruction:    %.1f%%  (dense opcode map;"
+              " paper: most flips execute)\n",
+              100.0 * still_valid_stream / flips);
+  std::printf("flip yields an invalid encoding:    %.1f%%\n",
+              100.0 * became_invalid / flips);
+  std::printf("flip re-aligns downstream stream:   %.1f%%  (the Figure 14 "
+              "regrouping)\n",
+              100.0 * realigned / flips);
+  if (resync_count > 0) {
+    std::printf("mean corrupted insns before resync: %.2f\n",
+                static_cast<double>(resync_insns_total) / resync_count);
+  }
+}
+
+void riscf_study() {
+  const kir::Image image = kernel::build_kernel_image(isa::Arch::kRiscf);
+  u64 flips = 0, still_valid = 0, became_illegal = 0, opcode_changed = 0;
+  for (u32 off = 0; off + 4 <= image.code.size(); off += 4) {
+    const u32 word = (static_cast<u32>(image.code[off]) << 24) |
+                     (static_cast<u32>(image.code[off + 1]) << 16) |
+                     (static_cast<u32>(image.code[off + 2]) << 8) |
+                     image.code[off + 3];
+    const riscf::Insn orig = riscf::decode(word);
+    if (orig.op == riscf::Op::kInvalid) continue;
+    for (u32 bit = 0; bit < 32; ++bit) {
+      ++flips;
+      const riscf::Insn mutated = riscf::decode(word ^ (1u << bit));
+      if (mutated.op == riscf::Op::kInvalid) {
+        ++became_illegal;
+      } else {
+        ++still_valid;
+        if (mutated.op != orig.op) ++opcode_changed;
+      }
+    }
+  }
+  std::puts("\n--- Figure 15 mechanism study: G4-like fixed-width stream ---");
+  std::printf("bit flips analyzed:                 %llu\n",
+              static_cast<unsigned long long>(flips));
+  std::printf("flip yields an ILLEGAL instruction: %.1f%%  (sparse opcode "
+              "map; paper: 41.5%% of G4 code crashes are Illegal Instr.)\n",
+              100.0 * became_illegal / flips);
+  std::printf("flip stays a valid instruction:     %.1f%% "
+              "(of which %.1f%% change operation)\n",
+              100.0 * still_valid / flips,
+              still_valid ? 100.0 * opcode_changed / still_valid : 0.0);
+  std::puts("alignment never changes: every flip stays within its own "
+            "32-bit word.");
+
+  // The paper's exact example: mflr r0 -> lhax r0,r8,r0 via one bit.
+  const riscf::Insn mflr = riscf::decode(0x7C0802A6u);
+  const riscf::Insn lhax = riscf::decode(0x7C0802A6u ^ (1u << 3));
+  std::printf("\nFigure 15 worked example: %08x %-18s -> flip bit 3 -> "
+              "%08x %s\n",
+              0x7C0802A6u, mflr.to_string().c_str(), 0x7C0802A6u ^ 8u,
+              lhax.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figures 14 & 15 reproduction: bit flips vs. instruction "
+            "encodings ===");
+  cisca_study();
+  riscf_study();
+  return 0;
+}

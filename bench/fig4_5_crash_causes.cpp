@@ -1,0 +1,42 @@
+// Reproduces Figures 4 and 5: the overall distribution of known-crash
+// causes (union of all four campaigns) on each processor.
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using kfi::inject::CampaignKind;
+  std::puts("=== Figures 4 & 5 reproduction: Overall Distribution of Crash "
+            "Causes (Known Crash Category) ===");
+  for (const auto arch : {kfi::isa::Arch::kCisca, kfi::isa::Arch::kRiscf}) {
+    std::vector<kfi::inject::InjectionRecord> all;
+    for (const CampaignKind kind :
+         {CampaignKind::kStack, CampaignKind::kRegister, CampaignKind::kData,
+          CampaignKind::kCode}) {
+      // Weight campaigns in the paper's injected proportions so the
+      // overall crash mix is comparable with Figures 4/5 (the paper ran
+      // vastly different counts per campaign).
+      const auto row = kfi::analysis::paper_table_row(arch, kind);
+      const kfi::u32 base = kfi::bench::env_u32("KFI_INJECTIONS", 300);
+      const kfi::u32 n = std::max<kfi::u32>(
+          40, static_cast<kfi::u32>(
+                  static_cast<kfi::u64>(row.injected) * 4 * base / 61799));
+      const auto result =
+          kfi::bench::run_with_progress(kfi::bench::base_spec(arch, kind, n));
+      all.insert(all.end(), result.records.begin(), result.records.end());
+    }
+    const auto tally = kfi::analysis::tally_records(all);
+    std::fputs(
+        kfi::analysis::render_cause_comparison(
+            arch,
+            arch == kfi::isa::Arch::kCisca ? "Figure 4: Crash Causes (all campaigns)"
+                                           : "Figure 5: Crash Causes (all campaigns)",
+            tally, kfi::analysis::paper_overall_crash_causes(arch))
+            .c_str(),
+        stdout);
+    std::puts("");
+  }
+  return 0;
+}

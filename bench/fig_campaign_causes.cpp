@@ -1,0 +1,33 @@
+// Reproduces one of Figures 6/10/11/12: per-campaign crash-cause
+// distributions on both processors.  The campaign kind is baked in at
+// compile time so each figure has its own bench binary:
+//   fig6_stack_causes, fig10_register_causes, fig11_code_causes,
+//   fig12_data_causes.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+#ifndef KFI_BENCH_KIND
+#define KFI_BENCH_KIND kStack
+#endif
+#ifndef KFI_BENCH_FIG
+#define KFI_BENCH_FIG "6"
+#endif
+
+int main() {
+  const auto kind = kfi::inject::CampaignKind::KFI_BENCH_KIND;
+  std::printf("=== Figure %s reproduction: Crash Causes for %s ===\n",
+              KFI_BENCH_FIG, kfi::bench::fig_title(kind));
+  for (const auto arch : {kfi::isa::Arch::kCisca, kfi::isa::Arch::kRiscf}) {
+    const auto result =
+        kfi::bench::run_with_progress(kfi::bench::base_spec(arch, kind, 400));
+    const auto tally = kfi::analysis::tally_records(result.records);
+    std::fputs(kfi::analysis::render_cause_comparison(
+                   arch, std::string("Figure ") + KFI_BENCH_FIG, tally,
+                   kfi::analysis::paper_campaign_crash_causes(arch, kind))
+                   .c_str(),
+               stdout);
+    std::puts("");
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) for the simulation substrate itself:
+// interpreter throughput on both ISAs, syscall round-trip cost, machine
+// snapshot/restore ("reboot") cost, and the cost of a full injection
+// experiment — the numbers that determine how large a campaign is
+// practical.
+#include <benchmark/benchmark.h>
+
+#include "inject/experiment.hpp"
+#include "inject/target_gen.hpp"
+#include "kernel/abi.hpp"
+#include "kernel/layout.hpp"
+#include "kernel/machine.hpp"
+#include "workload/profiler.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace kfi;
+
+isa::Arch arch_of(const benchmark::State& state) {
+  return state.range(0) == 0 ? isa::Arch::kCisca : isa::Arch::kRiscf;
+}
+
+void BM_InterpreterSyscallThroughput(benchmark::State& state) {
+  kernel::Machine machine(arch_of(state), kernel::MachineOptions{});
+  u64 syscalls = 0;
+  for (auto _ : state) {
+    const kernel::Event ev = machine.syscall(kernel::Syscall::kRead, 0,
+                                             kernel::kUserBufBase, 64);
+    benchmark::DoNotOptimize(ev.ret);
+    ++syscalls;
+    if (machine.read_global("syscall_count") > 100000) {
+      state.PauseTiming();
+      machine.restore(machine.boot_snapshot());
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(syscalls));
+}
+BENCHMARK(BM_InterpreterSyscallThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("arch(0=cisca,1=riscf)");
+
+void BM_SnapshotRestoreReboot(benchmark::State& state) {
+  kernel::Machine machine(arch_of(state), kernel::MachineOptions{});
+  for (auto _ : state) {
+    machine.restore(machine.boot_snapshot());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          kernel::kPhysBytes);
+}
+BENCHMARK(BM_SnapshotRestoreReboot)->Arg(0)->Arg(1)->ArgName("arch");
+
+void BM_KernelImageBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    const kir::Image image = kernel::build_kernel_image(arch_of(state));
+    benchmark::DoNotOptimize(image.code.size());
+  }
+}
+BENCHMARK(BM_KernelImageBuild)->Arg(0)->Arg(1)->ArgName("arch");
+
+void BM_FullInjectionExperiment(benchmark::State& state) {
+  const isa::Arch arch = arch_of(state);
+  kernel::Machine machine(arch, kernel::MachineOptions{});
+  auto wl = workload::make_suite(1);
+  const auto hot = workload::profile_hot_functions(machine, *wl, 0.95, 1);
+  inject::TargetGenerator gen(machine.image(), hot,
+                              machine.cpu().sysregs().count(), 3);
+  inject::UdpChannel channel(0.03, 5);
+  inject::CrashCollector collector;
+  inject::ExperimentRunner runner(machine, *wl, channel, collector,
+                                  40'000'000, 120'000'000);
+  u32 seq = 0;
+  u64 seed = 11;
+  for (auto _ : state) {
+    const auto target = gen.next(inject::CampaignKind::kCode);
+    const auto record = runner.run_one(target, ++seed, seq++);
+    benchmark::DoNotOptimize(record.outcome);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_FullInjectionExperiment)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("arch")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RawInstructionRate(benchmark::State& state) {
+  // Pure interpreter speed: run the hot read syscall and count simulated
+  // instructions per wall second via cycle deltas (cycles ~ instructions
+  // within a few percent for this code).
+  kernel::Machine machine(arch_of(state), kernel::MachineOptions{});
+  u64 cycles = 0;
+  for (auto _ : state) {
+    const u64 before = machine.cpu().cycles();
+    machine.syscall(kernel::Syscall::kWrite, 1, kernel::kUserBufBase, 64);
+    cycles += machine.cpu().cycles() - before;
+    if (machine.read_global("syscall_count") > 100000) {
+      state.PauseTiming();
+      machine.restore(machine.boot_snapshot());
+      state.ResumeTiming();
+    }
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RawInstructionRate)->Arg(0)->Arg(1)->ArgName("arch");
+
+}  // namespace
+
+BENCHMARK_MAIN();

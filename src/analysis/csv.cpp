@@ -1,0 +1,94 @@
+#include "analysis/csv.hpp"
+
+#include <ostream>
+
+#include "common/histogram.hpp"
+
+namespace kfi::analysis {
+
+namespace {
+
+/// The target's primary coordinate, per campaign kind.
+std::string target_of(const inject::InjectionTarget& t) {
+  char buf[64];
+  switch (t.kind) {
+    case inject::CampaignKind::kCode:
+      std::snprintf(buf, sizeof(buf), "%s+0x%x", t.function.c_str(),
+                    t.code_addr);
+      return buf;
+    case inject::CampaignKind::kData:
+      std::snprintf(buf, sizeof(buf), "0x%08x", t.data_addr);
+      return buf;
+    case inject::CampaignKind::kStack:
+      std::snprintf(buf, sizeof(buf), "task%u@%.2f", t.stack_task,
+                    t.stack_depth_frac);
+      return buf;
+    case inject::CampaignKind::kRegister:
+      return t.reg_name.empty() ? "reg" + std::to_string(t.reg_index)
+                                : t.reg_name;
+  }
+  return "";
+}
+
+u32 bit_of(const inject::InjectionTarget& t) {
+  switch (t.kind) {
+    case inject::CampaignKind::kCode: return t.code_bit;
+    case inject::CampaignKind::kData: return t.data_bit;
+    case inject::CampaignKind::kStack: return t.stack_bit;
+    case inject::CampaignKind::kRegister: return t.reg_bit;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void write_records_csv(std::ostream& os,
+                       const std::vector<inject::InjectionRecord>& records) {
+  os << "index,kind,target,bit,outcome,activated,activation_cycle,"
+        "crash_cause,crash_pc,crash_addr,cycles_to_crash,"
+        "syscalls_completed\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    os << i << ',' << campaign_kind_name(r.target.kind) << ','
+       << target_of(r.target) << ',' << bit_of(r.target) << ','
+       << outcome_name(r.outcome) << ',' << (r.activated ? 1 : 0) << ','
+       << r.activation_cycle << ',';
+    if (r.crashed) {
+      char buf[32];
+      os << kernel::crash_cause_name(r.crash.cause) << ',';
+      std::snprintf(buf, sizeof(buf), "0x%08x", r.crash.pc);
+      os << buf << ',';
+      std::snprintf(buf, sizeof(buf), "0x%08x", r.crash.addr);
+      os << buf << ',' << r.cycles_to_crash;
+    } else {
+      os << ",,,";
+    }
+    os << ',' << r.syscalls_completed << '\n';
+  }
+}
+
+void write_tally_csv(std::ostream& os, const OutcomeTally& tally) {
+  os << "key,value\n";
+  os << "injected," << tally.injected << '\n';
+  os << "activated,"
+     << (tally.activation_known ? std::to_string(tally.activated) : "NA")
+     << '\n';
+  for (u32 c = 0; c < static_cast<u32>(inject::OutcomeCategory::kNumOutcomes);
+       ++c) {
+    os << outcome_name(static_cast<inject::OutcomeCategory>(c)) << ','
+       << tally.outcomes[c] << '\n';
+  }
+  for (const auto& cause : tally.crash_causes.keys()) {
+    os << "cause: " << cause << ',' << tally.crash_causes.get(cause) << '\n';
+  }
+}
+
+void write_latency_csv(std::ostream& os, const OutcomeTally& tally) {
+  os << "bucket,count,fraction\n";
+  for (size_t b = 0; b < tally.latency.bucket_count(); ++b) {
+    os << tally.latency.label(b) << ',' << tally.latency.count(b) << ','
+       << tally.latency.fraction(b) << '\n';
+  }
+}
+
+}  // namespace kfi::analysis

@@ -1,0 +1,26 @@
+// CSV export of campaign results, for downstream analysis outside this
+// library (R/pandas/gnuplot).  One row per injection record, plus compact
+// summary writers for tallies and latency histograms.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "analysis/tally.hpp"
+#include "inject/record.hpp"
+
+namespace kfi::analysis {
+
+/// Header + one row per record:
+/// index,kind,target,bit,outcome,activated,activation_cycle,
+/// crash_cause,crash_pc,crash_addr,cycles_to_crash,syscalls_completed
+void write_records_csv(std::ostream& os,
+                       const std::vector<inject::InjectionRecord>& records);
+
+/// Two-column key,value summary of a tally.
+void write_tally_csv(std::ostream& os, const OutcomeTally& tally);
+
+/// bucket,count,fraction rows of the cycles-to-crash histogram.
+void write_latency_csv(std::ostream& os, const OutcomeTally& tally);
+
+}  // namespace kfi::analysis

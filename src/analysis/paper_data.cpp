@@ -1,0 +1,142 @@
+#include "analysis/paper_data.hpp"
+
+#include "common/error.hpp"
+
+namespace kfi::analysis {
+
+using inject::CampaignKind;
+using isa::Arch;
+
+PaperTableRow paper_table_row(Arch arch, CampaignKind kind) {
+  // Table 5 (P4) and Table 6 (G4), transcribed.
+  if (arch == Arch::kCisca) {
+    switch (kind) {
+      case CampaignKind::kStack: return {10143, 29.3, 43.9, 0.0, 38.2, 17.9};
+      case CampaignKind::kRegister: return {3866, -1.0, 89.5, 0.0, 7.9, 2.6};
+      case CampaignKind::kData: return {46000, 0.5, 34.1, 0.0, 42.5, 23.4};
+      case CampaignKind::kCode: return {1790, 54.9, 31.4, 1.3, 46.3, 21.0};
+    }
+  } else {
+    switch (kind) {
+      case CampaignKind::kStack: return {3017, 39.9, 78.9, 0.0, 14.3, 7.0};
+      case CampaignKind::kRegister: return {3967, -1.0, 95.1, 0.0, 1.7, 3.1};
+      case CampaignKind::kData: return {46000, 1.5, 78.3, 1.0, 7.8, 12.9};
+      case CampaignKind::kCode: return {2188, 64.7, 41.0, 2.3, 40.7, 16.0};
+    }
+  }
+  KFI_CHECK(false, "bad table row request");
+  return {};
+}
+
+PaperDist paper_overall_crash_causes(Arch arch) {
+  if (arch == Arch::kCisca) {
+    // Figure 4 (total 1992).
+    return {{"Bad Paging", 43.2},     {"NULL Pointer", 27.5},
+            {"Invalid Instruction", 16.0},
+            {"General Protection Fault", 12.1},
+            {"Invalid TSS", 1.0},     {"Kernel Panic", 0.1},
+            {"Divide Error", 0.1},    {"Bounds Trap", 0.1}};
+  }
+  // Figure 5 (total 872).
+  return {{"Bad Area", 66.9},      {"Illegal Instruction", 16.3},
+          {"Stack Overflow", 12.7}, {"Alignment", 1.6},
+          {"Machine Check", 1.4},   {"Bus Error", 0.7},
+          {"Bad Trap", 0.4},        {"Kernel Panic", 0.1}};
+}
+
+PaperDist paper_campaign_crash_causes(Arch arch, CampaignKind kind) {
+  if (arch == Arch::kCisca) {
+    switch (kind) {
+      case CampaignKind::kStack:  // Figure 6 left (total 1136)
+        return {{"Bad Paging", 45.4},
+                {"NULL Pointer", 31.5},
+                {"Invalid Instruction", 15.9},
+                {"General Protection Fault", 5.5},
+                {"Invalid TSS", 1.0},
+                {"Kernel Panic", 0.4},
+                {"Divide Error", 0.2}};
+      case CampaignKind::kRegister:  // Figure 10 left (total 305)
+        return {{"Bad Paging", 37.4},
+                {"General Protection Fault", 35.1},
+                {"NULL Pointer", 18.4},
+                {"Invalid Instruction", 6.2},
+                {"Invalid TSS", 3.0}};
+      case CampaignKind::kCode:  // Figure 11 left (total 455)
+        return {{"Bad Paging", 38.0},
+                {"NULL Pointer", 31.9},
+                {"Invalid Instruction", 24.2},
+                {"General Protection Fault", 5.5},
+                {"Divide Error", 0.2}};
+      case CampaignKind::kData:  // Figure 12 left (total 96)
+        return {{"Bad Paging", 52.1},
+                {"NULL Pointer", 28.1},
+                {"Invalid Instruction", 17.7},
+                {"General Protection Fault", 2.1}};
+    }
+  } else {
+    switch (kind) {
+      case CampaignKind::kStack:  // Figure 6 right (total 172)
+        return {{"Bad Area", 53.5},
+                {"Stack Overflow", 41.9},
+                {"Illegal Instruction", 2.9},
+                {"Alignment", 1.2},
+                {"Machine Check", 0.6}};
+      case CampaignKind::kRegister:  // Figure 10 right (total 69)
+        return {{"Bad Area", 75.4},
+                {"Illegal Instruction", 11.6},
+                {"Machine Check", 4.3},
+                {"Stack Overflow", 4.3},
+                {"Alignment", 1.4},
+                {"Bus Error", 1.4},
+                {"Bad Trap", 1.4}};
+      case CampaignKind::kCode:  // Figure 11 right (total 576)
+        return {{"Bad Area", 49.5},
+                {"Illegal Instruction", 41.5},
+                {"Stack Overflow", 4.7},
+                {"Alignment", 1.9},
+                {"Bus Error", 1.2},
+                {"Machine Check", 0.5},
+                {"Kernel Panic", 0.5},
+                {"Bad Trap", 0.2}};
+      case CampaignKind::kData:  // Figure 12 right (total 55)
+        return {{"Bad Area", 89.1},
+                {"Illegal Instruction", 9.1},
+                {"Alignment", 1.8}};
+    }
+  }
+  KFI_CHECK(false, "bad crash-cause request");
+  return {};
+}
+
+std::vector<double> paper_latency_distribution(Arch arch, CampaignKind kind) {
+  // Figure 16, read off the plots (approximate; anchored to the
+  // percentages stated in Section 6's text).  Buckets:
+  // <=3k, <=10k, <=100k, <=1M, <=10M, <=100M, <=1G, >1G.
+  if (arch == Arch::kCisca) {
+    switch (kind) {
+      case CampaignKind::kStack:  // "80% in the range 3,000 to 100,000"
+        return {8, 35, 45, 6, 3, 2, 1, 0};
+      case CampaignKind::kRegister:  // "70% of crashes within 10K cycles"
+        return {40, 30, 10, 5, 5, 5, 3, 2};
+      case CampaignKind::kCode:  // "shorter latency (70% within 10,000)"
+        return {25, 45, 15, 6, 4, 3, 2, 0};
+      case CampaignKind::kData:  // "similar on both platforms", long tail
+        return {10, 15, 30, 20, 15, 5, 3, 2};
+    }
+  } else {
+    switch (kind) {
+      case CampaignKind::kStack:  // "80% ... within 3,000 CPU cycles"
+        return {80, 6, 5, 4, 3, 1, 1, 0};
+      case CampaignKind::kRegister:  // "35% within 3000", SP/SPRG2 10M-100M
+        return {35, 5, 5, 5, 15, 25, 8, 2};
+      case CampaignKind::kCode:  // "almost 90% above 10,000", "50% 10k-100k"
+        return {5, 5, 50, 20, 12, 5, 3, 0};
+      case CampaignKind::kData:
+        return {10, 15, 30, 20, 15, 5, 3, 2};
+    }
+  }
+  KFI_CHECK(false, "bad latency request");
+  return {};
+}
+
+}  // namespace kfi::analysis

@@ -1,0 +1,50 @@
+// The published numbers from the DSN'04 paper, used by the benchmark
+// harness to print measured-vs-paper comparisons for every table and
+// figure.  Table and pie-chart percentages are exact transcriptions;
+// Figure 16 latency series are approximate values read off the plots,
+// anchored to the percentages the text states explicitly (e.g. "about 80%
+// of stack-error crashes on the G4 are within 3,000 cycles").
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "inject/record.hpp"
+#include "isa/arch.hpp"
+
+namespace kfi::analysis {
+
+/// A named percentage distribution (sums to ~100).
+using PaperDist = std::vector<std::pair<std::string, double>>;
+
+/// One row of Table 5 (P4) / Table 6 (G4); percentages as in the paper:
+/// activation w.r.t. injected, everything else w.r.t. activated (or
+/// injected for the register rows).
+struct PaperTableRow {
+  u32 injected = 0;
+  double activated_pct = -1.0;  // -1 = N/A (register rows)
+  double not_manifested_pct = 0;
+  double fsv_pct = 0;
+  double known_crash_pct = 0;
+  double hang_unknown_pct = 0;
+};
+
+/// Tables 5/6.
+PaperTableRow paper_table_row(isa::Arch arch, inject::CampaignKind kind);
+
+/// Figures 4/5: overall crash-cause distribution (percent of known
+/// crashes).  Keys match kernel::crash_cause_name().
+PaperDist paper_overall_crash_causes(isa::Arch arch);
+
+/// Figures 6/10/11/12: per-campaign crash-cause distributions.
+PaperDist paper_campaign_crash_causes(isa::Arch arch,
+                                      inject::CampaignKind kind);
+
+/// Figure 16(A)-(D): cycles-to-crash distribution per campaign, in the
+/// paper's buckets (<=3k, <=10k, ..., >1G); percent of known crashes.
+std::vector<double> paper_latency_distribution(isa::Arch arch,
+                                               inject::CampaignKind kind);
+
+}  // namespace kfi::analysis

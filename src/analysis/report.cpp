@@ -1,0 +1,146 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace kfi::analysis {
+
+using inject::CampaignKind;
+using inject::OutcomeCategory;
+
+namespace {
+
+std::string pct(double fraction, int decimals = 1) {
+  return format_percent(fraction, decimals);
+}
+
+std::string pct_of_100(double percent) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", percent);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_failure_table(
+    isa::Arch arch,
+    const std::vector<std::pair<CampaignKind, OutcomeTally>>& rows) {
+  std::ostringstream os;
+  os << "Activation and failure distribution — " << isa::arch_name(arch)
+     << " (measured | paper)\n";
+  AsciiTable table({"Campaign", "Injected", "Activated", "Not Manifested",
+                    "Fail Silence Violation", "Known Crash",
+                    "Hang/Unknown Crash"});
+  for (const auto& [kind, tally] : rows) {
+    const PaperTableRow paper = paper_table_row(arch, kind);
+    auto cell = [](double measured, double published) {
+      return pct(measured) + " | " + pct_of_100(published);
+    };
+    std::string activated;
+    if (!tally.activation_known) {
+      activated = "N/A | N/A";
+    } else {
+      activated = cell(tally.activation_rate(), paper.activated_pct);
+    }
+    table.add_row({campaign_kind_name(kind),
+                   std::to_string(tally.injected) + " | " +
+                       std::to_string(paper.injected),
+                   activated,
+                   cell(tally.fraction(OutcomeCategory::kNotManifested),
+                        paper.not_manifested_pct),
+                   cell(tally.fraction(OutcomeCategory::kFailSilenceViolation),
+                        paper.fsv_pct),
+                   cell(tally.fraction(OutcomeCategory::kKnownCrash),
+                        paper.known_crash_pct),
+                   cell(tally.fraction(OutcomeCategory::kHangOrUnknownCrash),
+                        paper.hang_unknown_pct)});
+  }
+  os << table.render();
+  return os.str();
+}
+
+std::string render_cause_comparison(isa::Arch arch, const std::string& title,
+                                    const OutcomeTally& tally,
+                                    const PaperDist& paper) {
+  std::ostringstream os;
+  os << title << " — " << isa::arch_name(arch) << " (known crashes: "
+     << tally.count(OutcomeCategory::kKnownCrash) << ")\n";
+  AsciiTable table({"Crash cause", "Measured", "Paper"});
+  // Paper-listed causes first, in the paper's order.
+  std::vector<std::string> listed;
+  for (const auto& [name, percent] : paper) {
+    listed.push_back(name);
+    table.add_row({name, pct(tally.crash_causes.fraction(name)),
+                   pct_of_100(percent)});
+  }
+  // Any measured cause the paper does not list.
+  for (const auto& name : tally.crash_causes.keys()) {
+    bool found = false;
+    for (const auto& l : listed) {
+      if (l == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      table.add_row({name, pct(tally.crash_causes.fraction(name)), "-"});
+    }
+  }
+  os << table.render();
+  return os.str();
+}
+
+std::string render_latency_comparison(const std::string& title,
+                                      CampaignKind kind,
+                                      const OutcomeTally& cisca_tally,
+                                      const OutcomeTally& riscf_tally) {
+  std::ostringstream os;
+  os << title << " — cycles-to-crash distribution (measured | paper)\n";
+  AsciiTable table({"Bucket", "Pentium-like (cisca)", "PPC-like (riscf)"});
+  const auto paper_p4 =
+      paper_latency_distribution(isa::Arch::kCisca, kind);
+  const auto paper_g4 =
+      paper_latency_distribution(isa::Arch::kRiscf, kind);
+  const auto& labels = latency_bucket_labels();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    table.add_row({labels[i],
+                   pct(cisca_tally.latency.fraction(i)) + " | " +
+                       pct_of_100(paper_p4[i]),
+                   pct(riscf_tally.latency.fraction(i)) + " | " +
+                       pct_of_100(paper_g4[i])});
+  }
+  os << table.render();
+  return os.str();
+}
+
+std::string render_profile(const std::vector<workload::HotFunction>& hot) {
+  std::ostringstream os;
+  os << "Kernel usage profile (functions covering >=95% of entries)\n";
+  AsciiTable table({"Function", "Entries", "Share", "Cumulative"});
+  for (const auto& fn : hot) {
+    table.add_row({fn.name, std::to_string(fn.entries), pct(fn.share),
+                   pct(fn.cumulative)});
+  }
+  os << table.render();
+  return os.str();
+}
+
+std::string summarize_campaign(const inject::CampaignResult& result) {
+  const OutcomeTally t = tally_records(result.records);
+  std::ostringstream os;
+  os << isa::arch_name(result.spec.arch) << " "
+     << campaign_kind_name(result.spec.kind) << ": injected=" << t.injected
+     << " activated="
+     << (t.activation_known ? std::to_string(t.activated) : std::string("N/A"))
+     << " manifested=" << pct(t.manifestation_rate())
+     << " crashes=" << t.count(OutcomeCategory::kKnownCrash)
+     << " hangs/unknown=" << t.count(OutcomeCategory::kHangOrUnknownCrash)
+     << " fsv=" << t.count(OutcomeCategory::kFailSilenceViolation)
+     << " reboots=" << result.reboots << " datagrams_lost="
+     << result.datagrams_dropped << "/" << result.datagrams_sent;
+  return os.str();
+}
+
+}  // namespace kfi::analysis

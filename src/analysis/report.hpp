@@ -1,0 +1,38 @@
+// Report rendering: measured-vs-paper tables for every experiment the
+// benchmark harness reproduces.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/paper_data.hpp"
+#include "analysis/tally.hpp"
+#include "inject/campaign.hpp"
+
+namespace kfi::analysis {
+
+/// Table 5/6 reproduction: one row per campaign kind for one arch.
+std::string render_failure_table(
+    isa::Arch arch,
+    const std::vector<std::pair<inject::CampaignKind, OutcomeTally>>& rows);
+
+/// Crash-cause distribution with the paper's expectation side by side
+/// (Figures 4/5 when `overall`, else Figures 6/10/11/12 per campaign).
+std::string render_cause_comparison(isa::Arch arch, const std::string& title,
+                                    const OutcomeTally& tally,
+                                    const PaperDist& paper);
+
+/// Figure 16 reproduction: latency buckets, measured vs paper, both archs.
+std::string render_latency_comparison(const std::string& title,
+                                      inject::CampaignKind kind,
+                                      const OutcomeTally& cisca_tally,
+                                      const OutcomeTally& riscf_tally);
+
+/// Hot-function profile table (the paper's >=95% usage selection).
+std::string render_profile(const std::vector<workload::HotFunction>& hot);
+
+/// One-line campaign summary for logs.
+std::string summarize_campaign(const inject::CampaignResult& result);
+
+}  // namespace kfi::analysis

@@ -1,0 +1,48 @@
+#include "analysis/tally.hpp"
+
+namespace kfi::analysis {
+
+using inject::OutcomeCategory;
+
+u32 OutcomeTally::denominator() const {
+  if (!activation_known) return injected;
+  return activated;
+}
+
+double OutcomeTally::activation_rate() const {
+  if (injected == 0) return 0.0;
+  return static_cast<double>(activated) / injected;
+}
+
+double OutcomeTally::manifestation_rate() const {
+  const u32 den = denominator();
+  if (den == 0) return 0.0;
+  const u32 manifested = count(OutcomeCategory::kFailSilenceViolation) +
+                         count(OutcomeCategory::kKnownCrash) +
+                         count(OutcomeCategory::kHangOrUnknownCrash);
+  return static_cast<double>(manifested) / den;
+}
+
+double OutcomeTally::fraction(OutcomeCategory cat) const {
+  const u32 den = denominator();
+  if (den == 0) return 0.0;
+  return static_cast<double>(count(cat)) / den;
+}
+
+OutcomeTally tally_records(
+    const std::vector<inject::InjectionRecord>& records) {
+  OutcomeTally t;
+  for (const auto& r : records) {
+    ++t.injected;
+    if (!r.activation_known) t.activation_known = false;
+    if (r.activated && r.activation_known) ++t.activated;
+    t.outcomes[static_cast<u32>(r.outcome)] += 1;
+    if (r.outcome == OutcomeCategory::kKnownCrash) {
+      t.crash_causes.add(kernel::crash_cause_name(r.crash.cause));
+      t.latency.add(r.cycles_to_crash);
+    }
+  }
+  return t;
+}
+
+}  // namespace kfi::analysis

@@ -1,0 +1,37 @@
+// Aggregation of injection records into the paper's reporting shapes:
+// Table 5/6 outcome rows, crash-cause distributions (Figures 4-6, 10-12),
+// and cycles-to-crash histograms (Figure 16).
+#pragma once
+
+#include <vector>
+
+#include "common/counter_map.hpp"
+#include "common/histogram.hpp"
+#include "inject/record.hpp"
+
+namespace kfi::analysis {
+
+struct OutcomeTally {
+  u32 injected = 0;
+  u32 activated = 0;
+  bool activation_known = true;  // false for register campaigns
+  u32 outcomes[static_cast<u32>(inject::OutcomeCategory::kNumOutcomes)] = {};
+  CounterMap crash_causes;                    // known crashes only
+  BucketHistogram latency = make_latency_histogram();  // known crashes
+
+  u32 count(inject::OutcomeCategory cat) const {
+    return outcomes[static_cast<u32>(cat)];
+  }
+  /// Denominator for the per-category percentages: activated errors when
+  /// activation is monitored, injected errors otherwise (paper convention
+  /// for the register rows).
+  u32 denominator() const;
+  double activation_rate() const;  // of injected
+  /// Manifested = FSV + known crash + hang/unknown, over the denominator.
+  double manifestation_rate() const;
+  double fraction(inject::OutcomeCategory cat) const;
+};
+
+OutcomeTally tally_records(const std::vector<inject::InjectionRecord>& records);
+
+}  // namespace kfi::analysis

@@ -1,0 +1,33 @@
+#include "cisca/cause.hpp"
+
+namespace kfi::cisca {
+
+std::string cause_name(Cause cause) {
+  switch (cause) {
+    case Cause::kNone: return "none";
+    case Cause::kDivideError: return "divide-error";
+    case Cause::kBreakpointTrap: return "breakpoint-trap";
+    case Cause::kBoundsTrap: return "bounds-trap";
+    case Cause::kInvalidOpcode: return "invalid-opcode";
+    case Cause::kGeneralProtection: return "general-protection";
+    case Cause::kPageFault: return "page-fault";
+    case Cause::kInvalidTss: return "invalid-tss";
+    case Cause::kKernelPanic: return "kernel-panic";
+    case Cause::kSyscall: return "syscall";
+    case Cause::kSyscallReturn: return "syscall-return";
+  }
+  return "unknown";
+}
+
+bool is_fatal(Cause cause) {
+  switch (cause) {
+    case Cause::kNone:
+    case Cause::kSyscall:
+    case Cause::kSyscallReturn:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace kfi::cisca

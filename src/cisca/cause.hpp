@@ -1,0 +1,37 @@
+// Architectural exception causes of the cisca (P4-like) processor.
+//
+// These correspond to the IA-32 exceptions behind the paper's Table 3 crash
+// categories: #PF (classified by the kernel as "NULL pointer" vs. "bad
+// paging"), #UD ("invalid instruction"), #GP ("general protection fault"),
+// #TS ("invalid TSS"), #DE ("divide error"), #BR ("bounds trap"), plus the
+// software-raised kernel panic.  Notably there is NO stack-overflow
+// exception — the paper's central P4 observation.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace kfi::cisca {
+
+enum class Cause : u32 {
+  kNone = 0,
+  kDivideError,        // #DE: div/idiv overflow or divide by zero
+  kBreakpointTrap,     // int3 reached (unexpected in kernel => bug)
+  kBoundsTrap,         // #BR: bound instruction limit violation
+  kInvalidOpcode,      // #UD: undefined encoding, incl. ud2 used by BUG()
+  kGeneralProtection,  // #GP: segment limit, bad selector, CR0 state, ...
+  kPageFault,          // #PF: access to unmapped / protected page
+  kInvalidTss,         // #TS: task-return with corrupt nested-task linkage
+  kKernelPanic,        // software panic hypercall (panic())
+  kSyscall,            // int 0x80: system call entry (not a failure)
+  kSyscallReturn,      // int 0x83: return-to-user stub (not a failure)
+};
+
+std::string cause_name(Cause cause);
+
+/// True for causes that represent kernel failures rather than the normal
+/// syscall entry/exit traps.
+bool is_fatal(Cause cause);
+
+}  // namespace kfi::cisca

@@ -1,0 +1,901 @@
+#include "cisca/cpu.hpp"
+
+#include <algorithm>
+
+#include "cisca/sysregs.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace kfi::cisca {
+
+namespace {
+
+// Fixed GDT: the two data segments the kernel loads into FS and GS at boot
+// (per-CPU data windows).  Any other selector value #GPs on use, which is
+// how a bit flip in FS/GS eventually crashes — often only after a very
+// long latency, because these segments are rarely referenced (the paper
+// measured >1G cycles for FS/GS errors).
+constexpr SegDescriptor kGdt[] = {
+    {0x30, 0xC0003000u, 0x7F},  // FS: per-cpu window
+    {0x38, 0xC0003080u, 0x7F},  // GS: per-cpu window
+};
+
+constexpr u32 kWidthMask[5] = {0, 0xFFu, 0xFFFFu, 0, 0xFFFFFFFFu};
+constexpr u32 kSignBit[5] = {0, 0x80u, 0x8000u, 0, 0x80000000u};
+
+bool parity_even(u32 v) { return (popcount32(v & 0xFF) & 1) == 0; }
+
+}  // namespace
+
+const SegDescriptor* lookup_descriptor(u32 selector) {
+  for (const auto& d : kGdt) {
+    if (d.selector == selector) return &d;
+  }
+  return nullptr;
+}
+
+CiscaCpu::CiscaCpu(mem::AddressSpace& space, Options options)
+    : space_(space), options_(options),
+      sysregs_(std::make_unique<CiscaSysRegs>(*this)) {}
+
+CiscaCpu::~CiscaCpu() = default;
+
+isa::SystemRegisterBank& CiscaCpu::sysregs() { return *sysregs_; }
+
+void CiscaCpu::raise(Cause cause, Addr addr, bool has_addr, u32 aux) {
+  isa::Trap trap;
+  trap.cause = static_cast<u32>(cause);
+  trap.pc = regs_.eip;
+  trap.addr = addr;
+  trap.has_addr = has_addr;
+  trap.aux = aux;
+  if (cause == Cause::kPageFault) regs_.cr2 = addr;
+  throw TrapException{trap};
+}
+
+FetchWindow CiscaCpu::fetch_window(Addr pc) const {
+  FetchWindow window;
+  window.pc = pc;
+  // One translation per page touched: fill from the first page, then (only
+  // if the window straddles a boundary) from the next.
+  const auto tr = space_.translate(pc, 1, mem::Access::kExecute);
+  if (!tr.ok()) return window;
+  const u32 in_page = mem::kPageSize - (pc & (mem::kPageSize - 1));
+  const u32 first = std::min<u32>(kMaxInsnBytes, in_page);
+  space_.phys().read_bytes(tr.phys, window.bytes, first);
+  window.valid = static_cast<u8>(first);
+  if (first < kMaxInsnBytes) {
+    const auto tr2 = space_.translate(pc + first, 1, mem::Access::kExecute);
+    if (tr2.ok()) {
+      space_.phys().read_bytes(tr2.phys, window.bytes + first,
+                               kMaxInsnBytes - first);
+      window.valid = kMaxInsnBytes;
+    }
+  }
+  return window;
+}
+
+DecodeResult CiscaCpu::decode_at(Addr pc) const {
+  return decode(fetch_window(pc));
+}
+
+u32 CiscaCpu::resolve_seg_base(SegOverride seg, u32 offset) {
+  if (seg == SegOverride::kNone) return offset;
+  const u32 selector = (seg == SegOverride::kFs) ? regs_.fs : regs_.gs;
+  const SegDescriptor* desc = lookup_descriptor(selector);
+  if (desc == nullptr) {
+    raise(Cause::kGeneralProtection, 0, false, selector);
+  }
+  if (offset > desc->limit) {
+    raise(Cause::kGeneralProtection, 0, false, selector);
+  }
+  return desc->base + offset;
+}
+
+u32 CiscaCpu::effective_addr(const MemOperand& mem) {
+  u32 addr = static_cast<u32>(mem.disp);
+  if (mem.base != MemOperand::kNoReg) addr += regs_.gpr[mem.base];
+  if (mem.index != MemOperand::kNoReg) addr += regs_.gpr[mem.index] * mem.scale;
+  return resolve_seg_base(mem.seg, addr);
+}
+
+u32 CiscaCpu::read_mem(Addr addr, u8 width) {
+  const auto tr = space_.translate(addr, width, mem::Access::kRead);
+  if (!tr.ok()) raise(Cause::kPageFault, addr, true);
+  cycles_ += 2;
+  u32 value = 0;
+  switch (width) {
+    case 1: value = space_.phys().read8(tr.phys); break;
+    case 2: value = space_.phys().read16(tr.phys, mem::Endian::kLittle); break;
+    case 4: value = space_.phys().read32(tr.phys, mem::Endian::kLittle); break;
+    default: KFI_CHECK(false, "bad width");
+  }
+  if (current_result_ != nullptr) {
+    debug_.record_access(addr, width, /*is_write=*/false, *current_result_);
+  }
+  return value;
+}
+
+void CiscaCpu::write_mem(Addr addr, u8 width, u32 value) {
+  const auto tr = space_.translate(addr, width, mem::Access::kWrite);
+  if (!tr.ok()) {
+    // With CR0.WP cleared (a possible register-injection effect), the
+    // supervisor ignores write protection, like real IA-32.
+    const bool wp_off = !test_bit(regs_.cr0, kCr0WP);
+    const bool only_wp = tr.fault->kind == mem::FaultKind::kNoWrite;
+    if (!(wp_off && only_wp)) raise(Cause::kPageFault, addr, true);
+  }
+  const auto rd = space_.translate(addr, width, mem::Access::kRead);
+  const u32 phys = rd.ok() ? rd.phys : tr.phys;
+  cycles_ += 2;
+  switch (width) {
+    case 1: space_.phys().write8(phys, static_cast<u8>(value)); break;
+    case 2:
+      space_.phys().write16(phys, static_cast<u16>(value), mem::Endian::kLittle);
+      break;
+    case 4: space_.phys().write32(phys, value, mem::Endian::kLittle); break;
+    default: KFI_CHECK(false, "bad width");
+  }
+  if (current_result_ != nullptr) {
+    debug_.record_access(addr, width, /*is_write=*/true, *current_result_);
+  }
+}
+
+u32 CiscaCpu::read_reg(u8 reg, u8 width) const {
+  if (width == 1) {
+    // IA-32 r8 numbering: 0-3 = low bytes, 4-7 = high bytes of eax..ebx.
+    if (reg < 4) return regs_.gpr[reg] & 0xFF;
+    return (regs_.gpr[reg - 4] >> 8) & 0xFF;
+  }
+  if (width == 2) return regs_.gpr[reg] & 0xFFFF;
+  return regs_.gpr[reg];
+}
+
+void CiscaCpu::write_reg(u8 reg, u8 width, u32 value) {
+  if (width == 1) {
+    if (reg < 4) {
+      regs_.gpr[reg] = (regs_.gpr[reg] & ~0xFFu) | (value & 0xFF);
+    } else {
+      regs_.gpr[reg - 4] =
+          (regs_.gpr[reg - 4] & ~0xFF00u) | ((value & 0xFF) << 8);
+    }
+    return;
+  }
+  if (width == 2) {
+    regs_.gpr[reg] = (regs_.gpr[reg] & ~0xFFFFu) | (value & 0xFFFF);
+    return;
+  }
+  regs_.gpr[reg] = value;
+}
+
+u32 CiscaCpu::read_operand(const Operand& op, u8 width) {
+  switch (op.kind) {
+    case OperandKind::kReg: return read_reg(op.reg, width);
+    case OperandKind::kMem: return read_mem(effective_addr(op.mem), width);
+    case OperandKind::kImm: return static_cast<u32>(op.imm) & kWidthMask[width];
+    case OperandKind::kNone: break;
+  }
+  KFI_CHECK(false, "read of empty operand");
+  return 0;
+}
+
+void CiscaCpu::write_operand(const Operand& op, u8 width, u32 value) {
+  switch (op.kind) {
+    case OperandKind::kReg: write_reg(op.reg, width, value); return;
+    case OperandKind::kMem: write_mem(effective_addr(op.mem), width, value); return;
+    default: KFI_CHECK(false, "write to non-lvalue operand");
+  }
+}
+
+void CiscaCpu::check_stack_extension(Addr new_esp) {
+  // Paper Section 7: "stack overflow detection ... could be added by
+  // extending the semantics of PUSH and POP instructions ... to enable
+  // checking for a memory access beyond the currently allocated stack."
+  if (!options_.stack_limit_check || stack_hi_ == 0) return;
+  if (new_esp < stack_lo_ || new_esp > stack_hi_) {
+    raise(Cause::kGeneralProtection, new_esp, true, /*aux=*/0x5057 /* 'PW' */);
+  }
+}
+
+void CiscaCpu::push32(u32 value) {
+  const u32 new_esp = regs_.gpr[kEsp] - 4;
+  check_stack_extension(new_esp);
+  write_mem(new_esp, 4, value);
+  regs_.gpr[kEsp] = new_esp;
+}
+
+u32 CiscaCpu::pop32() {
+  const u32 esp = regs_.gpr[kEsp];
+  check_stack_extension(esp);
+  const u32 value = read_mem(esp, 4);
+  regs_.gpr[kEsp] = esp + 4;
+  return value;
+}
+
+void CiscaCpu::set_flags_logic(u32 result, u8 width) {
+  const u32 masked = result & kWidthMask[width];
+  u32 f = regs_.eflags;
+  f = set_bits32(f, kFlagCF, 1, 0);
+  f = set_bits32(f, kFlagOF, 1, 0);
+  f = set_bits32(f, kFlagZF, 1, masked == 0);
+  f = set_bits32(f, kFlagSF, 1, (masked & kSignBit[width]) != 0);
+  f = set_bits32(f, kFlagPF, 1, parity_even(masked));
+  regs_.eflags = f;
+}
+
+void CiscaCpu::set_flags_add(u64 a, u64 b, u64 carry_in, u8 width) {
+  const u64 mask = kWidthMask[width];
+  const u64 sum = (a & mask) + (b & mask) + carry_in;
+  const u32 masked = static_cast<u32>(sum & mask);
+  const bool carry = sum > mask;
+  const bool sa = (a & kSignBit[width]) != 0;
+  const bool sb = (b & kSignBit[width]) != 0;
+  const bool sr = (masked & kSignBit[width]) != 0;
+  u32 f = regs_.eflags;
+  f = set_bits32(f, kFlagCF, 1, carry);
+  f = set_bits32(f, kFlagOF, 1, (sa == sb) && (sr != sa));
+  f = set_bits32(f, kFlagZF, 1, masked == 0);
+  f = set_bits32(f, kFlagSF, 1, sr);
+  f = set_bits32(f, kFlagPF, 1, parity_even(masked));
+  regs_.eflags = f;
+}
+
+void CiscaCpu::set_flags_sub(u64 a, u64 b, u64 borrow_in, u8 width) {
+  const u64 mask = kWidthMask[width];
+  const u64 diff = (a & mask) - (b & mask) - borrow_in;
+  const u32 masked = static_cast<u32>(diff & mask);
+  const bool borrow = (a & mask) < (b & mask) + borrow_in;
+  const bool sa = (a & kSignBit[width]) != 0;
+  const bool sb = (b & kSignBit[width]) != 0;
+  const bool sr = (masked & kSignBit[width]) != 0;
+  u32 f = regs_.eflags;
+  f = set_bits32(f, kFlagCF, 1, borrow);
+  f = set_bits32(f, kFlagOF, 1, (sa != sb) && (sr != sa));
+  f = set_bits32(f, kFlagZF, 1, masked == 0);
+  f = set_bits32(f, kFlagSF, 1, sr);
+  f = set_bits32(f, kFlagPF, 1, parity_even(masked));
+  regs_.eflags = f;
+}
+
+bool CiscaCpu::eval_cond(u8 cond) const {
+  const bool cf = test_bit(regs_.eflags, kFlagCF);
+  const bool zf = test_bit(regs_.eflags, kFlagZF);
+  const bool sf = test_bit(regs_.eflags, kFlagSF);
+  const bool of = test_bit(regs_.eflags, kFlagOF);
+  const bool pf = test_bit(regs_.eflags, kFlagPF);
+  switch (cond & 0x0E) {
+    case kCondO: return (cond & 1) ? !of : of;
+    case kCondB: return (cond & 1) ? !cf : cf;
+    case kCondE: return (cond & 1) ? !zf : zf;
+    case kCondBE: return (cond & 1) ? !(cf || zf) : (cf || zf);
+    case kCondS: return (cond & 1) ? !sf : sf;
+    case kCondP: return (cond & 1) ? !pf : pf;
+    case kCondL: return (cond & 1) ? !(sf != of) : (sf != of);
+    case kCondLE: return (cond & 1) ? !(zf || sf != of) : (zf || sf != of);
+  }
+  return false;
+}
+
+isa::StepResult CiscaCpu::step() {
+  isa::StepResult result;
+  if (debug_.check_insn_bp(regs_.eip)) {
+    result.status = isa::StepStatus::kInsnBp;
+    return result;
+  }
+  current_result_ = &result;
+  try {
+    // Loss of protected mode or paging (e.g. a CR0 bit flip) is immediately
+    // fatal in a protected-mode kernel: the very next fetch #GPs.
+    if (!test_bit(regs_.cr0, kCr0PE) || !test_bit(regs_.cr0, kCr0PG)) {
+      raise(Cause::kGeneralProtection, 0, false, regs_.cr0);
+    }
+    const FetchWindow window = fetch_window(regs_.eip);
+    const DecodeResult dec = decode(window);
+    if (dec.fetch_fault) {
+      raise(Cause::kPageFault, dec.fault_addr, true);
+    }
+    if (dec.insn.op == Op::kInvalid) {
+      raise(Cause::kInvalidOpcode, 0, false, window.bytes[0]);
+    }
+    execute(dec.insn);
+    cycles_ += 1;
+  } catch (const TrapException& te) {
+    result.status = isa::StepStatus::kTrap;
+    result.trap = te.trap;
+    cycles_ += 1;
+  }
+  if (result.status == isa::StepStatus::kOk && halted_pending_) {
+    halted_pending_ = false;
+    result.status = isa::StepStatus::kHalted;
+  }
+  current_result_ = nullptr;
+  return result;
+}
+
+void CiscaCpu::execute(const Insn& insn) {
+  const Addr next = regs_.eip + insn.length;
+  const u8 w = insn.width;
+
+  switch (insn.op) {
+    case Op::kAdd: case Op::kAdc: {
+      const u32 a = read_operand(insn.dst, w);
+      const u32 b = read_operand(insn.src, w);
+      const u32 cin = (insn.op == Op::kAdc && test_bit(regs_.eflags, kFlagCF)) ? 1 : 0;
+      set_flags_add(a, b, cin, w);
+      write_operand(insn.dst, w, a + b + cin);
+      break;
+    }
+    case Op::kSub: case Op::kSbb: {
+      const u32 a = read_operand(insn.dst, w);
+      const u32 b = read_operand(insn.src, w);
+      const u32 bin = (insn.op == Op::kSbb && test_bit(regs_.eflags, kFlagCF)) ? 1 : 0;
+      set_flags_sub(a, b, bin, w);
+      write_operand(insn.dst, w, a - b - bin);
+      break;
+    }
+    case Op::kCmp: {
+      const u32 a = read_operand(insn.dst, w);
+      const u32 b = read_operand(insn.src, w);
+      set_flags_sub(a, b, 0, w);
+      break;
+    }
+    case Op::kAnd: case Op::kOr: case Op::kXor: {
+      const u32 a = read_operand(insn.dst, w);
+      const u32 b = read_operand(insn.src, w);
+      const u32 r = insn.op == Op::kAnd ? (a & b)
+                    : insn.op == Op::kOr ? (a | b)
+                                         : (a ^ b);
+      set_flags_logic(r, w);
+      write_operand(insn.dst, w, r);
+      break;
+    }
+    case Op::kTest: {
+      const u32 a = read_operand(insn.dst, w);
+      const u32 b = read_operand(insn.src, w);
+      set_flags_logic(a & b, w);
+      break;
+    }
+    case Op::kMov: {
+      const u32 v = read_operand(insn.src, w);
+      write_operand(insn.dst, w, v);
+      break;
+    }
+    case Op::kMovzx: {
+      const u32 v = read_operand(insn.src, insn.src_width);
+      write_operand(insn.dst, 4, v);
+      break;
+    }
+    case Op::kMovsx: {
+      const u32 v = read_operand(insn.src, insn.src_width);
+      write_operand(insn.dst, 4,
+                    static_cast<u32>(sign_extend32(v, insn.src_width * 8)));
+      break;
+    }
+    case Op::kLea: {
+      // lea computes the address without the segment-base contribution.
+      u32 addr = static_cast<u32>(insn.src.mem.disp);
+      if (insn.src.mem.base != MemOperand::kNoReg)
+        addr += regs_.gpr[insn.src.mem.base];
+      if (insn.src.mem.index != MemOperand::kNoReg)
+        addr += regs_.gpr[insn.src.mem.index] * insn.src.mem.scale;
+      write_reg(insn.dst.reg, 4, addr);
+      break;
+    }
+    case Op::kXchg: {
+      const u32 a = read_operand(insn.dst, w);
+      const u32 b = read_operand(insn.src, w);
+      write_operand(insn.dst, w, b);
+      write_operand(insn.src, w, a);
+      break;
+    }
+    case Op::kInc: {
+      const u32 a = read_operand(insn.dst, w);
+      const bool cf = test_bit(regs_.eflags, kFlagCF);
+      set_flags_add(a, 1, 0, w);
+      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, cf);  // inc keeps CF
+      write_operand(insn.dst, w, a + 1);
+      break;
+    }
+    case Op::kDec: {
+      const u32 a = read_operand(insn.dst, w);
+      const bool cf = test_bit(regs_.eflags, kFlagCF);
+      set_flags_sub(a, 1, 0, w);
+      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, cf);
+      write_operand(insn.dst, w, a - 1);
+      break;
+    }
+    case Op::kPush: {
+      const u32 v = insn.dst.kind == OperandKind::kImm
+                        ? static_cast<u32>(insn.dst.imm)
+                        : read_operand(insn.dst, 4);
+      push32(v);
+      break;
+    }
+    case Op::kPop: {
+      const u32 v = pop32();
+      write_operand(insn.dst, 4, v);
+      break;
+    }
+    case Op::kPushf:
+      push32(regs_.eflags);
+      break;
+    case Op::kPopf:
+      regs_.eflags = (pop32() & ~0x2u) | 0x2u;
+      break;
+    case Op::kLeave: {
+      regs_.gpr[kEsp] = regs_.gpr[kEbp];
+      regs_.gpr[kEbp] = pop32();
+      break;
+    }
+    case Op::kJcc:
+      if (eval_cond(insn.cond)) {
+        regs_.eip = next + insn.rel;
+        cycles_ += 1;
+        return;
+      }
+      break;
+    case Op::kJmp:
+      if (insn.src_width == 4) {  // indirect
+        regs_.eip = read_operand(insn.dst, 4);
+      } else {
+        regs_.eip = next + insn.rel;
+      }
+      cycles_ += 1;
+      return;
+    case Op::kCall: {
+      u32 target;
+      if (insn.src_width == 4) {
+        target = read_operand(insn.dst, 4);
+      } else {
+        target = next + insn.rel;
+      }
+      push32(next);
+      regs_.eip = target;
+      cycles_ += 2;
+      return;
+    }
+    case Op::kRet: {
+      const u32 ra = pop32();
+      regs_.gpr[kEsp] += static_cast<u32>(insn.rel);
+      regs_.eip = ra;
+      cycles_ += 2;
+      return;
+    }
+    case Op::kIret: {
+      // Nested-task return: with EFLAGS.NT set the CPU attempts a task
+      // backlink through the TSS; our kernel never uses hardware tasks, so
+      // the linkage is invalid and the CPU raises #TS — precisely the
+      // paper's observed consequence of an NT bit flip.
+      if (test_bit(regs_.eflags, kFlagNT)) {
+        raise(Cause::kInvalidTss, 0, false, regs_.tr);
+      }
+      const u32 ra = pop32();
+      pop32();  // cs (ignored)
+      regs_.eflags = (pop32() & ~0x2u) | 0x2u;
+      regs_.eip = ra;
+      cycles_ += 3;
+      return;
+    }
+    case Op::kNop:
+      break;
+    case Op::kHlt:
+      halted_pending_ = true;
+      break;
+    case Op::kUd2:
+      raise(Cause::kInvalidOpcode, 0, false, 0x0F0B);
+    case Op::kInt3:
+      raise(Cause::kBreakpointTrap);
+    case Op::kInt: {
+      regs_.eip = next;  // trap handlers see the return address
+      switch (insn.int_vector) {
+        case 0x80: raise(Cause::kSyscall);
+        case 0x82: raise(Cause::kKernelPanic);
+        case 0x83: raise(Cause::kSyscallReturn);
+        default: raise(Cause::kGeneralProtection, 0, false, insn.int_vector);
+      }
+    }
+    case Op::kBound: {
+      const u32 v = read_reg(insn.dst.reg, 4);
+      const u32 base = effective_addr(insn.src.mem);
+      const u32 lo = read_mem(base, 4);
+      const u32 hi = read_mem(base + 4, 4);
+      if (static_cast<i32>(v) < static_cast<i32>(lo) ||
+          static_cast<i32>(v) > static_cast<i32>(hi)) {
+        raise(Cause::kBoundsTrap, 0, false, v);
+      }
+      break;
+    }
+    case Op::kRol: case Op::kRor: case Op::kRcl: case Op::kRcr: {
+      const u32 bits = w * 8;
+      u32 count = read_operand(insn.src, 1) & 31;
+      u32 v = read_operand(insn.dst, w);
+      count %= bits;
+      if (count != 0) {
+        if (insn.op == Op::kRol || insn.op == Op::kRcl) {
+          v = (v << count) | (v >> (bits - count));
+        } else {
+          v = (v >> count) | (v << (bits - count));
+        }
+        v &= kWidthMask[w];
+        regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, v & 1);
+      }
+      write_operand(insn.dst, w, v);
+      break;
+    }
+    case Op::kShl: case Op::kShr: case Op::kSar: {
+      const u32 bits = w * 8;
+      const u32 count = read_operand(insn.src, 1) & 31;
+      u32 v = read_operand(insn.dst, w);
+      if (count != 0) {
+        u32 r;
+        bool cf;
+        if (insn.op == Op::kShl) {
+          cf = count <= bits && test_bit(v, bits - count);
+          r = count >= bits ? 0 : (v << count);
+        } else if (insn.op == Op::kShr) {
+          cf = count <= bits && test_bit(v, count - 1);
+          r = count >= bits ? 0 : (v >> count);
+        } else {
+          const i32 sv = static_cast<i32>(
+              sign_extend32(v, bits));
+          cf = test_bit(static_cast<u32>(sv >> (count - 1)), 0);
+          r = static_cast<u32>(sv >> (count >= bits ? bits - 1 : count));
+        }
+        r &= kWidthMask[w];
+        set_flags_logic(r, w);
+        regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, cf);
+        write_operand(insn.dst, w, r);
+      }
+      break;
+    }
+    case Op::kNot: {
+      const u32 v = read_operand(insn.dst, w);
+      write_operand(insn.dst, w, ~v);
+      break;
+    }
+    case Op::kNeg: {
+      const u32 v = read_operand(insn.dst, w);
+      set_flags_sub(0, v, 0, w);
+      write_operand(insn.dst, w, 0u - v);
+      break;
+    }
+    case Op::kMul: {
+      const u64 a = read_reg(kEax, w);
+      const u64 b = read_operand(insn.dst, w);
+      const u64 r = a * b;
+      cycles_ += 6;
+      if (w == 1) {
+        write_reg(kEax, 2, static_cast<u32>(r));
+      } else {
+        write_reg(kEax, w, static_cast<u32>(r & kWidthMask[w]));
+        write_reg(kEdx, w, static_cast<u32>((r >> (w * 8)) & kWidthMask[w]));
+      }
+      const bool high = (r >> (w * 8)) != 0;
+      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, high);
+      regs_.eflags = set_bits32(regs_.eflags, kFlagOF, 1, high);
+      break;
+    }
+    case Op::kImul: {
+      if (insn.src_width == 4 && insn.dst.kind == OperandKind::kReg) {
+        // 3-operand form: dst = src * imm.
+        const i64 r = static_cast<i64>(static_cast<i32>(read_operand(insn.src, 4))) *
+                      insn.rel;
+        write_reg(insn.dst.reg, 4, static_cast<u32>(r));
+        cycles_ += 6;
+        break;
+      }
+      const i64 a = static_cast<i32>(read_operand(insn.dst, 4));
+      const i64 b = static_cast<i32>(read_operand(insn.src, 4));
+      write_reg(insn.dst.reg, 4, static_cast<u32>(a * b));
+      cycles_ += 6;
+      break;
+    }
+    case Op::kDiv: case Op::kIdiv: {
+      const u32 divisor = read_operand(insn.dst, w);
+      cycles_ += 20;
+      if (divisor == 0) raise(Cause::kDivideError);
+      if (w == 4) {
+        const u64 dividend =
+            (static_cast<u64>(regs_.gpr[kEdx]) << 32) | regs_.gpr[kEax];
+        if (insn.op == Op::kDiv) {
+          const u64 q = dividend / divisor;
+          if (q > 0xFFFFFFFFULL) raise(Cause::kDivideError);
+          regs_.gpr[kEax] = static_cast<u32>(q);
+          regs_.gpr[kEdx] = static_cast<u32>(dividend % divisor);
+        } else {
+          const i64 sdividend = static_cast<i64>(dividend);
+          const i64 sdiv = static_cast<i32>(divisor);
+          const i64 q = sdividend / sdiv;
+          if (q > 0x7FFFFFFFLL || q < -0x80000000LL) raise(Cause::kDivideError);
+          regs_.gpr[kEax] = static_cast<u32>(q);
+          regs_.gpr[kEdx] = static_cast<u32>(sdividend % sdiv);
+        }
+      } else {
+        const u32 dividend = read_reg(kEax, 2) | (read_reg(kEdx, 2) << 16);
+        const u32 q = dividend / divisor;
+        if (q > kWidthMask[w]) raise(Cause::kDivideError);
+        write_reg(kEax, w, q);
+        write_reg(kEdx, w, dividend % divisor);
+      }
+      break;
+    }
+    case Op::kCwde:
+      regs_.gpr[kEax] = static_cast<u32>(sign_extend32(regs_.gpr[kEax] & 0xFFFF, 16));
+      break;
+    case Op::kCdq:
+      regs_.gpr[kEdx] = (regs_.gpr[kEax] & 0x80000000u) ? 0xFFFFFFFFu : 0;
+      break;
+    case Op::kJecxz:
+      if (regs_.gpr[kEcx] == 0) {
+        regs_.eip = next + insn.rel;
+        cycles_ += 1;
+        return;
+      }
+      break;
+    case Op::kLoop: {
+      regs_.gpr[kEcx] -= 1;
+      bool take = regs_.gpr[kEcx] != 0;
+      if (insn.src_width == 1) {  // loope / loopne
+        const bool zf = test_bit(regs_.eflags, kFlagZF);
+        take = take && (insn.cond == 1 ? zf : !zf);
+      }
+      if (take) {
+        regs_.eip = next + insn.rel;
+        cycles_ += 1;
+        return;
+      }
+      break;
+    }
+    case Op::kMovFromCr: {
+      u32 v = 0;
+      switch (insn.src.reg) {
+        case 0: v = regs_.cr0; break;
+        case 2: v = regs_.cr2; break;
+        case 3: v = regs_.cr3; break;
+        case 4: v = regs_.cr4; break;
+        default: raise(Cause::kInvalidOpcode);
+      }
+      write_reg(insn.dst.reg, 4, v);
+      break;
+    }
+    case Op::kMovToCr: {
+      const u32 v = read_operand(insn.src, 4);
+      switch (insn.dst.reg) {
+        case 0: regs_.cr0 = v; break;
+        case 2: regs_.cr2 = v; break;
+        case 3: regs_.cr3 = v; break;
+        case 4: regs_.cr4 = v; break;
+        default: raise(Cause::kInvalidOpcode);
+      }
+      break;
+    }
+    case Op::kMovFromSeg: {
+      const u32 v = insn.src.reg == 4 ? regs_.fs : regs_.gs;
+      write_operand(insn.dst, 2, v);
+      break;
+    }
+    case Op::kMovToSeg: {
+      const u32 v = read_operand(insn.src, 2);
+      if (insn.dst.reg == 4) {
+        regs_.fs = v;
+      } else {
+        regs_.gs = v;
+      }
+      break;
+    }
+    case Op::kMovs: case Op::kCmps: case Op::kStos: case Op::kLods:
+    case Op::kScas: {
+      // String ops honor DF and the REP prefixes; REP executes in bounded
+      // slices per step (like the interruptible hardware ops) by leaving
+      // EIP unchanged until ECX reaches zero (or the REPE/REPNE condition
+      // stops a cmps/scas).
+      const u32 delta = test_bit(regs_.eflags, kFlagDF)
+                            ? static_cast<u32>(-static_cast<i32>(w))
+                            : w;
+      const bool repeated = insn.rep || insn.repne;
+      u32 iterations = repeated ? 16 : 1;
+      bool stop = !repeated;
+      while (iterations-- > 0) {
+        if (repeated) {
+          if (regs_.gpr[kEcx] == 0) {
+            stop = true;
+            break;
+          }
+        }
+        switch (insn.op) {
+          case Op::kMovs: {
+            const u32 v = read_mem(regs_.gpr[kEsi], w);
+            write_mem(regs_.gpr[kEdi], w, v);
+            regs_.gpr[kEsi] += delta;
+            regs_.gpr[kEdi] += delta;
+            break;
+          }
+          case Op::kStos:
+            write_mem(regs_.gpr[kEdi], w, read_reg(kEax, w));
+            regs_.gpr[kEdi] += delta;
+            break;
+          case Op::kLods:
+            write_reg(kEax, w, read_mem(regs_.gpr[kEsi], w));
+            regs_.gpr[kEsi] += delta;
+            break;
+          case Op::kScas: {
+            const u32 m = read_mem(regs_.gpr[kEdi], w);
+            set_flags_sub(read_reg(kEax, w), m, 0, w);
+            regs_.gpr[kEdi] += delta;
+            break;
+          }
+          case Op::kCmps: {
+            const u32 a = read_mem(regs_.gpr[kEsi], w);
+            const u32 b = read_mem(regs_.gpr[kEdi], w);
+            set_flags_sub(a, b, 0, w);
+            regs_.gpr[kEsi] += delta;
+            regs_.gpr[kEdi] += delta;
+            break;
+          }
+          default:
+            break;
+        }
+        if (repeated) {
+          regs_.gpr[kEcx] -= 1;
+          if (insn.op == Op::kScas || insn.op == Op::kCmps) {
+            const bool zf = test_bit(regs_.eflags, kFlagZF);
+            if ((insn.rep && !zf) || (insn.repne && zf)) {
+              stop = true;
+              break;
+            }
+          }
+          if (regs_.gpr[kEcx] == 0) stop = true;
+        }
+      }
+      if (!stop) return;  // resume the REP at the same EIP next step
+      break;
+    }
+    case Op::kPusha: {
+      const u32 saved_esp = regs_.gpr[kEsp];
+      for (const u8 r : {kEax, kEcx, kEdx, kEbx}) push32(regs_.gpr[r]);
+      push32(saved_esp);
+      for (const u8 r : {kEbp, kEsi, kEdi}) push32(regs_.gpr[r]);
+      break;
+    }
+    case Op::kPopa: {
+      for (const u8 r : {kEdi, kEsi, kEbp}) regs_.gpr[r] = pop32();
+      pop32();  // esp image discarded
+      for (const u8 r : {kEbx, kEdx, kEcx, kEax}) regs_.gpr[r] = pop32();
+      break;
+    }
+    case Op::kSalc:
+      write_reg(kEax, 1, test_bit(regs_.eflags, kFlagCF) ? 0xFF : 0x00);
+      break;
+    case Op::kXlat:
+      write_reg(kEax, 1,
+                read_mem(regs_.gpr[kEbx] + read_reg(kEax, 1), 1));
+      break;
+    case Op::kClc:
+      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, 0);
+      break;
+    case Op::kStc:
+      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, 1);
+      break;
+    case Op::kCmc:
+      regs_.eflags ^= 1u << kFlagCF;
+      break;
+    case Op::kCld:
+      regs_.eflags = set_bits32(regs_.eflags, kFlagDF, 1, 0);
+      break;
+    case Op::kStd:
+      regs_.eflags = set_bits32(regs_.eflags, kFlagDF, 1, 1);
+      break;
+    case Op::kCli:
+      regs_.eflags = set_bits32(regs_.eflags, kFlagIF, 1, 0);
+      break;
+    case Op::kSti:
+      regs_.eflags = set_bits32(regs_.eflags, kFlagIF, 1, 1);
+      break;
+    case Op::kFpu:
+      // x87 with a memory operand touches memory (and can fault); the FP
+      // register file itself is not modeled.
+      if (insn.dst.kind == OperandKind::kMem) {
+        read_mem(effective_addr(insn.dst.mem), 4);
+      }
+      cycles_ += 3;
+      break;
+    case Op::kEnter: {
+      push32(regs_.gpr[kEbp]);
+      regs_.gpr[kEbp] = regs_.gpr[kEsp];
+      regs_.gpr[kEsp] -= static_cast<u32>(insn.rel);
+      break;
+    }
+    case Op::kRetf: {
+      const u32 ra = pop32();
+      pop32();  // cs selector (garbage here)
+      regs_.gpr[kEsp] += static_cast<u32>(insn.rel);
+      regs_.eip = ra;
+      cycles_ += 3;
+      return;
+    }
+    case Op::kInto:
+      if (test_bit(regs_.eflags, kFlagOF)) raise(Cause::kBoundsTrap);
+      break;
+    case Op::kJmpFar:
+    case Op::kCallFar:
+      // Far transfers load a code selector; anything reached through a
+      // corrupted stream carries a garbage selector: #GP.
+      raise(Cause::kGeneralProtection, 0, false, 0xFA12);
+    case Op::kAam: {
+      const u32 divisor = static_cast<u32>(insn.src.imm) & 0xFF;
+      if (divisor == 0) raise(Cause::kDivideError);
+      const u32 al = read_reg(kEax, 1);
+      write_reg(kEax, 2, ((al / divisor) << 8) | (al % divisor));
+      break;
+    }
+    case Op::kAad: {
+      const u32 mult = static_cast<u32>(insn.src.imm) & 0xFF;
+      const u32 ax = read_reg(kEax, 2);
+      write_reg(kEax, 2, ((ax >> 8) * mult + (ax & 0xFF)) & 0xFF);
+      break;
+    }
+    case Op::kArpl:
+      cycles_ += 1;  // flat segments: no modeled effect
+      break;
+    case Op::kInsOuts: {
+      if (insn.src_width == 1) {
+        read_mem(regs_.gpr[kEsi], w);  // outs reads [esi]
+        regs_.gpr[kEsi] += w;
+      } else {
+        write_mem(regs_.gpr[kEdi], w, 0);  // ins writes port data to [edi]
+        regs_.gpr[kEdi] += w;
+      }
+      cycles_ += 10;
+      break;
+    }
+    case Op::kInOut:
+      cycles_ += 20;  // port I/O: no devices behind it here
+      break;
+    case Op::kFwait:
+      break;
+    case Op::kInvalid:
+      raise(Cause::kInvalidOpcode);
+  }
+  regs_.eip = next;
+}
+
+isa::CpuSnapshot CiscaCpu::snapshot() const {
+  isa::CpuSnapshot snap;
+  snap.cycles = cycles_;
+  const RegFile& r = regs_;
+  snap.words = {r.gpr[0], r.gpr[1], r.gpr[2], r.gpr[3], r.gpr[4], r.gpr[5],
+                r.gpr[6], r.gpr[7], r.eip,    r.eflags, r.cr0,    r.cr2,
+                r.cr3,    r.cr4,    r.dr[0],  r.dr[1],  r.dr[2],  r.dr[3],
+                r.dr6,    r.dr7,    r.fs,     r.gs,     r.gdtr_base,
+                r.gdtr_limit, r.idtr_base, r.idtr_limit, r.ldtr, r.tr};
+  return snap;
+}
+
+void CiscaCpu::restore(const isa::CpuSnapshot& snap) {
+  KFI_CHECK(snap.words.size() == 28, "cisca snapshot size mismatch");
+  RegFile& r = regs_;
+  size_t i = 0;
+  for (int g = 0; g < 8; ++g) r.gpr[g] = snap.words[i++];
+  r.eip = snap.words[i++];
+  r.eflags = snap.words[i++];
+  r.cr0 = snap.words[i++];
+  r.cr2 = snap.words[i++];
+  r.cr3 = snap.words[i++];
+  r.cr4 = snap.words[i++];
+  for (int d = 0; d < 4; ++d) r.dr[d] = snap.words[i++];
+  r.dr6 = snap.words[i++];
+  r.dr7 = snap.words[i++];
+  r.fs = snap.words[i++];
+  r.gs = snap.words[i++];
+  r.gdtr_base = snap.words[i++];
+  r.gdtr_limit = snap.words[i++];
+  r.idtr_base = snap.words[i++];
+  r.idtr_limit = snap.words[i++];
+  r.ldtr = snap.words[i++];
+  r.tr = snap.words[i++];
+  cycles_ = snap.cycles;
+  debug_.clear_all();
+  halted_pending_ = false;
+}
+
+}  // namespace kfi::cisca

@@ -1,0 +1,672 @@
+#include "cisca/decode.hpp"
+
+#include "common/bits.hpp"
+
+namespace kfi::cisca {
+
+namespace {
+
+/// Byte cursor over the fetch window; records the first out-of-bounds read.
+class Cursor {
+ public:
+  explicit Cursor(const FetchWindow& w) : w_(w) {}
+
+  u8 next8() {
+    if (pos_ >= w_.valid) {
+      oob_ = true;
+      return 0;
+    }
+    return w_.bytes[pos_++];
+  }
+
+  u16 next16() {
+    const u8 lo = next8();
+    const u8 hi = next8();
+    return static_cast<u16>(lo | (hi << 8));
+  }
+
+  u32 next32() {
+    const u16 lo = next16();
+    const u16 hi = next16();
+    return static_cast<u32>(lo) | (static_cast<u32>(hi) << 16);
+  }
+
+  bool oob() const { return oob_; }
+  u8 pos() const { return pos_; }
+
+ private:
+  const FetchWindow& w_;
+  u8 pos_ = 0;
+  bool oob_ = false;
+};
+
+/// Decodes ModRM (+SIB +disp) into an operand.  `reg_field` receives the
+/// middle 3 bits (a register number or an opcode-group selector).
+Operand parse_modrm(Cursor& cur, u8& reg_field, SegOverride seg) {
+  const u8 modrm = cur.next8();
+  const u8 mod = modrm >> 6;
+  reg_field = (modrm >> 3) & 7;
+  const u8 rm = modrm & 7;
+
+  if (mod == 3) return Operand::make_reg(rm);
+
+  MemOperand mem;
+  mem.seg = seg;
+  if (rm == 4) {
+    const u8 sib = cur.next8();
+    const u8 scale_bits = sib >> 6;
+    const u8 index = (sib >> 3) & 7;
+    const u8 base = sib & 7;
+    mem.scale = static_cast<u8>(1u << scale_bits);
+    mem.index = (index == kEsp) ? MemOperand::kNoReg : index;  // ESP: no index
+    if (base == kEbp && mod == 0) {
+      mem.base = MemOperand::kNoReg;
+      mem.disp = static_cast<i32>(cur.next32());
+    } else {
+      mem.base = base;
+    }
+  } else if (rm == 5 && mod == 0) {
+    mem.base = MemOperand::kNoReg;
+    mem.disp = static_cast<i32>(cur.next32());
+  } else {
+    mem.base = rm;
+  }
+
+  if (mod == 1) {
+    mem.disp += sign_extend32(cur.next8(), 8);
+  } else if (mod == 2) {
+    mem.disp += static_cast<i32>(cur.next32());
+  }
+  return Operand::make_mem(mem);
+}
+
+Insn invalid(u8 length) {
+  Insn insn;
+  insn.op = Op::kInvalid;
+  insn.length = length == 0 ? 1 : length;
+  return insn;
+}
+
+constexpr Op kAluOps[8] = {Op::kAdd, Op::kOr,  Op::kAdc, Op::kSbb,
+                           Op::kAnd, Op::kSub, Op::kXor, Op::kCmp};
+
+constexpr Op kShiftOps[8] = {Op::kRol, Op::kRor, Op::kRcl, Op::kRcr,
+                             Op::kShl, Op::kShr, Op::kShl, Op::kSar};
+
+constexpr Op kGroup3Ops[8] = {Op::kTest, Op::kInvalid, Op::kNot, Op::kNeg,
+                              Op::kMul,  Op::kImul,    Op::kDiv, Op::kIdiv};
+
+Insn decode_0f(Cursor& cur, SegOverride seg) {
+  Insn insn;
+  const u8 op2 = cur.next8();
+
+  if (op2 == 0x0B) {  // ud2: the deliberate invalid opcode used by BUG()
+    insn.op = Op::kUd2;
+    return insn;
+  }
+  if (op2 >= 0x80 && op2 <= 0x8F) {  // jcc rel32
+    insn.op = Op::kJcc;
+    insn.cond = op2 & 0x0F;
+    insn.rel = static_cast<i32>(cur.next32());
+    return insn;
+  }
+  u8 reg_field = 0;
+  switch (op2) {
+    case 0xAF: {  // imul r32, r/m32
+      insn.op = Op::kImul;
+      insn.src = parse_modrm(cur, reg_field, seg);
+      insn.dst = Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0xB6: case 0xB7: case 0xBE: case 0xBF: {  // movzx / movsx
+      insn.op = (op2 <= 0xB7) ? Op::kMovzx : Op::kMovsx;
+      insn.src_width = (op2 & 1) ? 2 : 1;
+      insn.src = parse_modrm(cur, reg_field, seg);
+      insn.dst = Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0x20: {  // mov r32, cr
+      insn.op = Op::kMovFromCr;
+      insn.src = parse_modrm(cur, reg_field, seg);  // rm = dest gpr (mod=3)
+      insn.dst = insn.src;
+      insn.src = Operand::make_reg(reg_field);  // reg field = CR number
+      return insn;
+    }
+    case 0x22: {  // mov cr, r32
+      insn.op = Op::kMovToCr;
+      insn.src = parse_modrm(cur, reg_field, seg);
+      insn.dst = Operand::make_reg(reg_field);  // CR number
+      return insn;
+    }
+    default:
+      return invalid(cur.pos());
+  }
+}
+
+Insn decode_inner(Cursor& cur) {
+  Insn insn;
+  SegOverride seg = SegOverride::kNone;
+  bool opsize16 = false;
+
+  // Prefix bytes, as on real IA-32: segment overrides (ES/CS/SS/DS are
+  // no-ops under the flat kernel segments), operand-size, lock, rep.
+  u8 op = cur.next8();
+  u32 prefixes = 0;
+  for (;;) {
+    bool is_prefix = true;
+    switch (op) {
+      case 0x64: seg = SegOverride::kFs; break;
+      case 0x65: seg = SegOverride::kGs; break;
+      case 0x26: case 0x2E: case 0x36: case 0x3E: break;
+      case 0x66: opsize16 = true; break;
+      case 0x67: break;  // address-size override: ignored (32-bit only)
+      case 0xF0: break;  // lock
+      case 0xF2: insn.repne = true; break;
+      case 0xF3: insn.rep = true; break;
+      default: is_prefix = false;
+    }
+    if (!is_prefix) break;
+    if (++prefixes > 4) return invalid(cur.pos());
+    op = cur.next8();
+  }
+  const u8 w32 = opsize16 ? 2 : 4;
+  auto next_imm = [&]() -> u32 {
+    return opsize16 ? cur.next16() : cur.next32();
+  };
+
+  u8 reg_field = 0;
+
+  if (op == 0x0F) return decode_0f(cur, seg);
+
+  // 0x00-0x3F: ALU block, op = bits 5..3, form = bits 2..0.
+  if (op < 0x40) {
+    const u8 form = op & 7;
+    if (form >= 6) return invalid(cur.pos());  // seg push/pop, BCD: undefined
+    insn.op = kAluOps[(op >> 3) & 7];
+    switch (form) {
+      case 0:  // op r/m8, r8
+      case 1: {  // op r/m16/32, r16/32
+        insn.width = (form == 0) ? 1 : w32;
+        insn.dst = parse_modrm(cur, reg_field, seg);
+        insn.src = Operand::make_reg(reg_field);
+        return insn;
+      }
+      case 2:  // op r8, r/m8
+      case 3: {  // op r16/32, r/m16/32
+        insn.width = (form == 2) ? 1 : w32;
+        insn.src = parse_modrm(cur, reg_field, seg);
+        insn.dst = Operand::make_reg(reg_field);
+        return insn;
+      }
+      case 4: {  // op al, imm8
+        insn.width = 1;
+        insn.dst = Operand::make_reg(kEax);
+        insn.src = Operand::make_imm(cur.next8());
+        return insn;
+      }
+      case 5: {  // op eax, imm16/32
+        insn.width = w32;
+        insn.dst = Operand::make_reg(kEax);
+        insn.src = Operand::make_imm(next_imm());
+        return insn;
+      }
+    }
+  }
+
+  if (op >= 0x40 && op <= 0x5F) {
+    insn.dst = Operand::make_reg(op & 7);
+    insn.op = (op < 0x48)   ? Op::kInc
+              : (op < 0x50) ? Op::kDec
+              : (op < 0x58) ? Op::kPush
+                            : Op::kPop;
+    return insn;
+  }
+
+  switch (op) {
+    case 0x27: case 0x2F: case 0x37: case 0x3F:  // daa/das/aaa/aas
+      insn.op = Op::kNop;  // BCD adjusts: flag fiddling, no modeled effect
+      return insn;
+    case 0x60:
+      insn.op = Op::kPusha;
+      return insn;
+    case 0x61:
+      insn.op = Op::kPopa;
+      return insn;
+    case 0x63: {  // arpl r/m16, r16: valid but inert in a flat kernel
+      insn.op = Op::kArpl;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      return insn;
+    }
+    case 0x62: {  // bound r32, m64
+      insn.op = Op::kBound;
+      insn.src = parse_modrm(cur, reg_field, seg);
+      if (insn.src.kind != OperandKind::kMem) return invalid(cur.pos());
+      insn.dst = Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0x68: {
+      insn.op = Op::kPush;
+      insn.dst = Operand::make_imm(cur.next32());
+      return insn;
+    }
+    case 0x69: {  // imul r32, r/m32, imm32
+      insn.op = Op::kImul;
+      insn.src = parse_modrm(cur, reg_field, seg);
+      insn.dst = Operand::make_reg(reg_field);
+      insn.rel = static_cast<i32>(cur.next32());  // third operand
+      insn.src_width = 4;                          // marks 3-operand form
+      return insn;
+    }
+    case 0x6A: {
+      insn.op = Op::kPush;
+      insn.dst = Operand::make_imm(sign_extend32(cur.next8(), 8));
+      return insn;
+    }
+    case 0x6B: {
+      insn.op = Op::kImul;
+      insn.src = parse_modrm(cur, reg_field, seg);
+      insn.dst = Operand::make_reg(reg_field);
+      insn.rel = sign_extend32(cur.next8(), 8);
+      insn.src_width = 4;
+      return insn;
+    }
+    case 0x80: case 0x81: case 0x82: case 0x83: {  // ALU r/m, imm
+      insn.width = (op == 0x80 || op == 0x82) ? 1 : w32;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      insn.op = kAluOps[reg_field];
+      if (op == 0x81) {
+        insn.src = Operand::make_imm(next_imm());
+      } else {
+        insn.src = Operand::make_imm(sign_extend32(cur.next8(), 8));
+      }
+      return insn;
+    }
+    case 0x84: case 0x85: {  // test r/m, r
+      insn.op = Op::kTest;
+      insn.width = (op == 0x84) ? 1 : w32;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      insn.src = Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0x86: case 0x87: {  // xchg r/m, r
+      insn.op = Op::kXchg;
+      insn.width = (op == 0x86) ? 1 : w32;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      insn.src = Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0x88: case 0x89: {  // mov r/m, r
+      insn.op = Op::kMov;
+      insn.width = (op == 0x88) ? 1 : w32;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      insn.src = Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0x8A: case 0x8B: {  // mov r, r/m
+      insn.op = Op::kMov;
+      insn.width = (op == 0x8A) ? 1 : w32;
+      insn.src = parse_modrm(cur, reg_field, seg);
+      insn.dst = Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0x8C: case 0x8E: {  // mov r/m16, sreg / mov sreg, r/m16
+      const bool to_seg = (op == 0x8E);
+      Operand rm = parse_modrm(cur, reg_field, seg);
+      if (reg_field != 4 && reg_field != 5) return invalid(cur.pos());  // FS/GS
+      insn.op = to_seg ? Op::kMovToSeg : Op::kMovFromSeg;
+      insn.width = 2;
+      insn.dst = to_seg ? Operand::make_reg(reg_field) : rm;
+      insn.src = to_seg ? rm : Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0x8D: {  // lea r32, m
+      insn.op = Op::kLea;
+      insn.src = parse_modrm(cur, reg_field, seg);
+      if (insn.src.kind != OperandKind::kMem) return invalid(cur.pos());
+      insn.dst = Operand::make_reg(reg_field);
+      return insn;
+    }
+    case 0x8F: {  // pop r/m32
+      insn.op = Op::kPop;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      if (reg_field != 0) return invalid(cur.pos());
+      return insn;
+    }
+    case 0x90:
+      insn.op = Op::kNop;
+      return insn;
+    case 0x91: case 0x92: case 0x93: case 0x94:
+    case 0x95: case 0x96: case 0x97: {  // xchg eax, r32
+      insn.op = Op::kXchg;
+      insn.dst = Operand::make_reg(kEax);
+      insn.src = Operand::make_reg(op & 7);
+      return insn;
+    }
+    case 0x98:
+      insn.op = Op::kCwde;
+      return insn;
+    case 0x99:
+      insn.op = Op::kCdq;
+      return insn;
+    case 0x9A: {  // call far ptr16:32 — any selector is garbage here
+      insn.op = Op::kCallFar;
+      cur.next32();
+      cur.next16();
+      return insn;
+    }
+    case 0x9B:
+      insn.op = Op::kFwait;
+      return insn;
+    case 0x9C:
+      insn.op = Op::kPushf;
+      return insn;
+    case 0x9D:
+      insn.op = Op::kPopf;
+      return insn;
+    case 0xA0: case 0xA1: {  // mov al/eax, [moffs32]
+      insn.op = Op::kMov;
+      insn.width = (op == 0xA0) ? 1 : 4;
+      MemOperand mem;
+      mem.seg = seg;
+      mem.disp = static_cast<i32>(cur.next32());
+      insn.src = Operand::make_mem(mem);
+      insn.dst = Operand::make_reg(kEax);
+      return insn;
+    }
+    case 0xA2: case 0xA3: {  // mov [moffs32], al/eax
+      insn.op = Op::kMov;
+      insn.width = (op == 0xA2) ? 1 : 4;
+      MemOperand mem;
+      mem.seg = seg;
+      mem.disp = static_cast<i32>(cur.next32());
+      insn.dst = Operand::make_mem(mem);
+      insn.src = Operand::make_reg(kEax);
+      return insn;
+    }
+    case 0xA4: case 0xA5: {  // movsb / movsd
+      insn.op = Op::kMovs;
+      insn.width = (op == 0xA4) ? 1 : w32;
+      return insn;
+    }
+    case 0xA6: case 0xA7: {  // cmpsb / cmpsd
+      insn.op = Op::kCmps;
+      insn.width = (op == 0xA6) ? 1 : w32;
+      return insn;
+    }
+    case 0xA8: {  // test al, imm8
+      insn.op = Op::kTest;
+      insn.width = 1;
+      insn.dst = Operand::make_reg(kEax);
+      insn.src = Operand::make_imm(cur.next8());
+      return insn;
+    }
+    case 0xA9: {  // test eax, imm32
+      insn.op = Op::kTest;
+      insn.width = w32;
+      insn.dst = Operand::make_reg(kEax);
+      insn.src = Operand::make_imm(next_imm());
+      return insn;
+    }
+    case 0xAA: case 0xAB: {  // stosb / stosd
+      insn.op = Op::kStos;
+      insn.width = (op == 0xAA) ? 1 : w32;
+      return insn;
+    }
+    case 0xAC: case 0xAD: {  // lodsb / lodsd
+      insn.op = Op::kLods;
+      insn.width = (op == 0xAC) ? 1 : w32;
+      return insn;
+    }
+    case 0xAE: case 0xAF: {  // scasb / scasd
+      insn.op = Op::kScas;
+      insn.width = (op == 0xAE) ? 1 : w32;
+      return insn;
+    }
+    case 0xC0: case 0xC1: {  // shift r/m, imm8
+      insn.width = (op == 0xC0) ? 1 : 4;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      insn.op = kShiftOps[reg_field];
+      insn.src = Operand::make_imm(cur.next8() & 31);
+      return insn;
+    }
+    case 0xC2: {
+      insn.op = Op::kRet;
+      insn.rel = cur.next16();  // bytes to pop after return address
+      return insn;
+    }
+    case 0xC3:
+      insn.op = Op::kRet;
+      return insn;
+    case 0xC4: case 0xC5: {  // les / lds: loads a garbage selector
+      insn.op = Op::kCallFar;  // same modeled effect: #GP on execution
+      parse_modrm(cur, reg_field, seg);
+      return insn;
+    }
+    case 0xC6: case 0xC7: {  // mov r/m, imm
+      insn.op = Op::kMov;
+      insn.width = (op == 0xC6) ? 1 : w32;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      if (reg_field != 0) return invalid(cur.pos());
+      insn.src = Operand::make_imm(insn.width == 1 ? cur.next8() : next_imm());
+      return insn;
+    }
+    case 0xC8: {  // enter imm16, imm8
+      insn.op = Op::kEnter;
+      insn.rel = cur.next16();
+      cur.next8();  // nesting level: ignored
+      return insn;
+    }
+    case 0xC9:
+      insn.op = Op::kLeave;
+      return insn;
+    case 0xCA: {  // retf imm16
+      insn.op = Op::kRetf;
+      insn.rel = cur.next16();
+      return insn;
+    }
+    case 0xCB:
+      insn.op = Op::kRetf;
+      return insn;
+    case 0xCE:
+      insn.op = Op::kInto;
+      return insn;
+    case 0xCC:
+      insn.op = Op::kInt3;
+      return insn;
+    case 0xCD: {
+      insn.op = Op::kInt;
+      insn.int_vector = cur.next8();
+      return insn;
+    }
+    case 0xCF:
+      insn.op = Op::kIret;
+      return insn;
+    case 0xD0: case 0xD1: case 0xD2: case 0xD3: {  // shift by 1 / by CL
+      insn.width = (op & 1) ? 4 : 1;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      insn.op = kShiftOps[reg_field];
+      if (op < 0xD2) {
+        insn.src = Operand::make_imm(1);
+      } else {
+        insn.src = Operand::make_reg(kEcx);  // shift count in CL
+      }
+      return insn;
+    }
+    case 0xD4: {  // aam imm8: divides AL — the rare #DE source
+      insn.op = Op::kAam;
+      insn.src = Operand::make_imm(cur.next8());
+      return insn;
+    }
+    case 0xD5: {  // aad imm8
+      insn.op = Op::kAad;
+      insn.src = Operand::make_imm(cur.next8());
+      return insn;
+    }
+    case 0xD6:
+      insn.op = Op::kSalc;
+      return insn;
+    case 0xD7:
+      insn.op = Op::kXlat;
+      return insn;
+    case 0xD8: case 0xD9: case 0xDA: case 0xDB:
+    case 0xDC: case 0xDD: case 0xDE: case 0xDF: {  // x87 escape
+      insn.op = Op::kFpu;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      return insn;
+    }
+    case 0xE0: case 0xE1: {  // loopne / loope
+      insn.op = Op::kLoop;
+      insn.cond = (op == 0xE1) ? 1 : 0;  // 1 = loop-while-equal
+      insn.src_width = 1;                // marks condition-checking form
+      insn.rel = sign_extend32(cur.next8(), 8);
+      return insn;
+    }
+    case 0xE2: {
+      insn.op = Op::kLoop;
+      insn.rel = sign_extend32(cur.next8(), 8);
+      return insn;
+    }
+    case 0xE3: {
+      insn.op = Op::kJecxz;
+      insn.rel = sign_extend32(cur.next8(), 8);
+      return insn;
+    }
+    case 0xE4: case 0xE5: case 0xE6: case 0xE7: {  // in/out al/eax, imm8
+      insn.op = Op::kInOut;
+      cur.next8();
+      return insn;
+    }
+    case 0x6C: case 0x6D: case 0x6E: case 0x6F: {  // ins / outs
+      insn.op = Op::kInsOuts;
+      insn.width = (op & 1) ? w32 : 1;
+      insn.src_width = (op >= 0x6E) ? 1 : 0;  // 1 = outs (reads [esi])
+      return insn;
+    }
+    case 0xEA: {  // jmp far ptr16:32
+      insn.op = Op::kJmpFar;
+      cur.next32();
+      cur.next16();
+      return insn;
+    }
+    case 0xEC: case 0xED: case 0xEE: case 0xEF: {  // in/out al/eax, dx
+      insn.op = Op::kInOut;
+      return insn;
+    }
+    case 0xE8: {
+      insn.op = Op::kCall;
+      insn.rel = static_cast<i32>(cur.next32());
+      return insn;
+    }
+    case 0xE9: {
+      insn.op = Op::kJmp;
+      insn.rel = static_cast<i32>(cur.next32());
+      return insn;
+    }
+    case 0xEB: {
+      insn.op = Op::kJmp;
+      insn.rel = sign_extend32(cur.next8(), 8);
+      return insn;
+    }
+    case 0xF4:
+      insn.op = Op::kHlt;
+      return insn;
+    case 0xF1:
+      insn.op = Op::kInt3;  // int1/icebp: debug trap
+      return insn;
+    case 0xF5:
+      insn.op = Op::kCmc;
+      return insn;
+    case 0xF8:
+      insn.op = Op::kClc;
+      return insn;
+    case 0xF9:
+      insn.op = Op::kStc;
+      return insn;
+    case 0xFA:
+      insn.op = Op::kCli;
+      return insn;
+    case 0xFB:
+      insn.op = Op::kSti;
+      return insn;
+    case 0xFC:
+      insn.op = Op::kCld;
+      return insn;
+    case 0xFD:
+      insn.op = Op::kStd;
+      return insn;
+    case 0xF6: case 0xF7: {  // group 3
+      insn.width = (op == 0xF6) ? 1 : 4;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      insn.op = kGroup3Ops[reg_field];
+      if (insn.op == Op::kInvalid) return invalid(cur.pos());
+      if (insn.op == Op::kTest) {
+        insn.src =
+            Operand::make_imm(insn.width == 1 ? cur.next8() : cur.next32());
+      }
+      return insn;
+    }
+    case 0xFE: {  // inc/dec r/m8
+      insn.width = 1;
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      if (reg_field > 1) return invalid(cur.pos());
+      insn.op = reg_field == 0 ? Op::kInc : Op::kDec;
+      return insn;
+    }
+    case 0xFF: {  // group 5
+      insn.dst = parse_modrm(cur, reg_field, seg);
+      switch (reg_field) {
+        case 0: insn.op = Op::kInc; return insn;
+        case 1: insn.op = Op::kDec; return insn;
+        case 2: insn.op = Op::kCall; insn.src_width = 4; return insn;  // indirect
+        case 4: insn.op = Op::kJmp; insn.src_width = 4; return insn;   // indirect
+        case 6: insn.op = Op::kPush; return insn;
+        default: return invalid(cur.pos());
+      }
+    }
+    default:
+      break;
+  }
+
+  if (op >= 0x70 && op <= 0x7F) {  // jcc rel8
+    insn.op = Op::kJcc;
+    insn.cond = op & 0x0F;
+    insn.rel = sign_extend32(cur.next8(), 8);
+    return insn;
+  }
+  if (op >= 0xB0 && op <= 0xB7) {  // mov r8, imm8
+    insn.op = Op::kMov;
+    insn.width = 1;
+    insn.dst = Operand::make_reg(op & 7);
+    insn.src = Operand::make_imm(cur.next8());
+    return insn;
+  }
+  if (op >= 0xB8 && op <= 0xBF) {  // mov r16/32, imm
+    insn.op = Op::kMov;
+    insn.width = w32;
+    insn.dst = Operand::make_reg(op & 7);
+    insn.src = Operand::make_imm(next_imm());
+    return insn;
+  }
+
+  return invalid(cur.pos());
+}
+
+}  // namespace
+
+DecodeResult decode(const FetchWindow& window) {
+  DecodeResult result;
+  Cursor cur(window);
+  result.insn = decode_inner(cur);
+  if (cur.oob()) {
+    // Ran past the readable bytes: if the window was truncated by memory
+    // (valid < kMaxInsnBytes), the fetch itself faults.  A full window can
+    // never overrun (max encoding fits), so this is always a fetch fault.
+    result.fetch_fault = true;
+    result.fault_addr = window.pc + window.valid;
+    return result;
+  }
+  result.insn.length = cur.pos();
+  return result;
+}
+
+}  // namespace kfi::cisca

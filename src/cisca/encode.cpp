@@ -1,0 +1,487 @@
+#include "cisca/encode.hpp"
+
+#include "common/error.hpp"
+
+namespace kfi::cisca {
+
+namespace {
+bool fits_i8(i32 v) { return v >= -128 && v <= 127; }
+}  // namespace
+
+Asm::Label Asm::new_label() {
+  labels_.push_back(-1);
+  return static_cast<Label>(labels_.size() - 1);
+}
+
+void Asm::bind(Label label) {
+  KFI_CHECK(label < labels_.size(), "bind: bad label");
+  KFI_CHECK(labels_[label] < 0, "bind: label already bound");
+  labels_[label] = static_cast<i64>(buf_.size());
+}
+
+Addr Asm::label_addr(Label label) const {
+  KFI_CHECK(label < labels_.size() && labels_[label] >= 0,
+            "label_addr: unbound label");
+  return base_ + static_cast<u32>(labels_[label]);
+}
+
+void Asm::emit16(u16 v) {
+  emit8(static_cast<u8>(v));
+  emit8(static_cast<u8>(v >> 8));
+}
+
+void Asm::emit32(u32 v) {
+  emit16(static_cast<u16>(v));
+  emit16(static_cast<u16>(v >> 16));
+}
+
+void Asm::emit_seg_prefix(const MemOperand& mem) {
+  if (mem.seg == SegOverride::kFs) emit8(0x64);
+  if (mem.seg == SegOverride::kGs) emit8(0x65);
+}
+
+void Asm::emit_modrm_reg(u8 reg_field, u8 rm_reg) {
+  emit8(static_cast<u8>(0xC0 | (reg_field << 3) | rm_reg));
+}
+
+void Asm::emit_modrm_mem(u8 reg_field, const MemOperand& mem) {
+  const bool has_index = mem.index != MemOperand::kNoReg;
+  const bool has_base = mem.base != MemOperand::kNoReg;
+
+  if (!has_base && !has_index) {
+    // [disp32] absolute: mod=00 rm=101.
+    emit8(static_cast<u8>((reg_field << 3) | 5));
+    emit32(static_cast<u32>(mem.disp));
+    return;
+  }
+
+  u8 scale_bits = 0;
+  if (has_index) {
+    switch (mem.scale) {
+      case 1: scale_bits = 0; break;
+      case 2: scale_bits = 1; break;
+      case 4: scale_bits = 2; break;
+      case 8: scale_bits = 3; break;
+      default: KFI_CHECK(false, "bad SIB scale");
+    }
+    KFI_CHECK(mem.index != kEsp, "esp cannot be an index register");
+  }
+
+  const bool need_sib = has_index || (has_base && mem.base == kEsp);
+  u8 mod;
+  if (mem.disp == 0 && has_base && mem.base != kEbp) {
+    mod = 0;
+  } else if (fits_i8(mem.disp)) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+  if (!has_base) {
+    // Index with no base: mod=00, SIB base=101, disp32 required.
+    emit8(static_cast<u8>((reg_field << 3) | 4));
+    emit8(static_cast<u8>((scale_bits << 6) | (mem.index << 3) | 5));
+    emit32(static_cast<u32>(mem.disp));
+    return;
+  }
+
+  if (need_sib) {
+    emit8(static_cast<u8>((mod << 6) | (reg_field << 3) | 4));
+    const u8 index_bits = has_index ? mem.index : 4;  // 4 = no index
+    emit8(static_cast<u8>((scale_bits << 6) | (index_bits << 3) | mem.base));
+  } else {
+    emit8(static_cast<u8>((mod << 6) | (reg_field << 3) | mem.base));
+  }
+  if (mod == 1) emit8(static_cast<u8>(mem.disp));
+  if (mod == 2) emit32(static_cast<u32>(mem.disp));
+}
+
+u8 Asm::alu_index(Op op) {
+  switch (op) {
+    case Op::kAdd: return 0;
+    case Op::kOr: return 1;
+    case Op::kAdc: return 2;
+    case Op::kSbb: return 3;
+    case Op::kAnd: return 4;
+    case Op::kSub: return 5;
+    case Op::kXor: return 6;
+    case Op::kCmp: return 7;
+    default: KFI_CHECK(false, "not an ALU op"); return 0;
+  }
+}
+
+// --- moves ---
+
+void Asm::mov_r_imm(u8 reg, u32 imm) {
+  emit8(static_cast<u8>(0xB8 | reg));
+  emit32(imm);
+}
+
+void Asm::mov_r8_imm(u8 reg, u8 imm) {
+  emit8(static_cast<u8>(0xB0 | reg));
+  emit8(imm);
+}
+
+void Asm::mov_r_rm(u8 reg, const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0x8B);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::mov_rm_r(const MemOperand& mem, u8 reg) {
+  emit_seg_prefix(mem);
+  emit8(0x89);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::mov_r8_rm(u8 reg, const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0x8A);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::mov_rm_r8(const MemOperand& mem, u8 reg) {
+  emit_seg_prefix(mem);
+  emit8(0x88);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::mov_r16_rm(u8 reg, const MemOperand& mem) {
+  emit8(0x66);  // operand-size prefix, as real compilers emit
+  emit_seg_prefix(mem);
+  emit8(0x8B);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::mov_rm_r16(const MemOperand& mem, u8 reg) {
+  emit8(0x66);
+  emit_seg_prefix(mem);
+  emit8(0x89);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::mov_rr(u8 dst, u8 src) {
+  emit8(0x89);
+  emit_modrm_reg(src, dst);
+}
+
+void Asm::mov_rm_imm(const MemOperand& mem, u32 imm) {
+  emit_seg_prefix(mem);
+  emit8(0xC7);
+  emit_modrm_mem(0, mem);
+  emit32(imm);
+}
+
+void Asm::mov_rm8_imm(const MemOperand& mem, u8 imm) {
+  emit_seg_prefix(mem);
+  emit8(0xC6);
+  emit_modrm_mem(0, mem);
+  emit8(imm);
+}
+
+void Asm::movzx_r_rm8(u8 reg, const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0x0F);
+  emit8(0xB6);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::movzx_r_rm16(u8 reg, const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0x0F);
+  emit8(0xB7);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::movsx_r_rm8(u8 reg, const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0x0F);
+  emit8(0xBE);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::movsx_r_rm16(u8 reg, const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0x0F);
+  emit8(0xBF);
+  emit_modrm_mem(reg, mem);
+}
+
+// --- ALU ---
+
+void Asm::alu_rr(Op op, u8 dst, u8 src) {
+  emit8(static_cast<u8>((alu_index(op) << 3) | 1));  // op r/m32, r32
+  emit_modrm_reg(src, dst);
+}
+
+void Asm::alu_r_rm(Op op, u8 reg, const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(static_cast<u8>((alu_index(op) << 3) | 3));  // op r32, r/m32
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::alu_rm_r(Op op, const MemOperand& mem, u8 reg) {
+  emit_seg_prefix(mem);
+  emit8(static_cast<u8>((alu_index(op) << 3) | 1));
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::alu_r_imm(Op op, u8 reg, u32 imm) {
+  const i32 simm = static_cast<i32>(imm);
+  if (fits_i8(simm)) {
+    emit8(0x83);
+    emit_modrm_reg(alu_index(op), reg);
+    emit8(static_cast<u8>(imm));
+  } else {
+    emit8(0x81);
+    emit_modrm_reg(alu_index(op), reg);
+    emit32(imm);
+  }
+}
+
+void Asm::alu_rm_imm(Op op, const MemOperand& mem, u32 imm) {
+  emit_seg_prefix(mem);
+  const i32 simm = static_cast<i32>(imm);
+  if (fits_i8(simm)) {
+    emit8(0x83);
+    emit_modrm_mem(alu_index(op), mem);
+    emit8(static_cast<u8>(imm));
+  } else {
+    emit8(0x81);
+    emit_modrm_mem(alu_index(op), mem);
+    emit32(imm);
+  }
+}
+
+void Asm::alu_rm8_imm(Op op, const MemOperand& mem, u8 imm) {
+  emit_seg_prefix(mem);
+  emit8(0x80);
+  emit_modrm_mem(alu_index(op), mem);
+  emit8(imm);
+}
+
+void Asm::test_rr(u8 a, u8 b) {
+  emit8(0x85);
+  emit_modrm_reg(b, a);
+}
+
+void Asm::test_r_imm(u8 reg, u32 imm) {
+  emit8(0xF7);
+  emit_modrm_reg(0, reg);
+  emit32(imm);
+}
+
+// --- shifts ---
+
+void Asm::shift_r_imm(Op op, u8 reg, u8 count) {
+  u8 group;
+  switch (op) {
+    case Op::kRol: group = 0; break;
+    case Op::kRor: group = 1; break;
+    case Op::kShl: group = 4; break;
+    case Op::kShr: group = 5; break;
+    case Op::kSar: group = 7; break;
+    default: KFI_CHECK(false, "not a shift op"); return;
+  }
+  emit8(0xC1);
+  emit_modrm_reg(group, reg);
+  emit8(count);
+}
+
+// --- mul/div ---
+
+void Asm::imul_rr(u8 dst, u8 src) {
+  emit8(0x0F);
+  emit8(0xAF);
+  emit_modrm_reg(dst, src);
+}
+
+void Asm::mul_r(u8 reg) {
+  emit8(0xF7);
+  emit_modrm_reg(4, reg);
+}
+
+void Asm::div_r(u8 reg) {
+  emit8(0xF7);
+  emit_modrm_reg(6, reg);
+}
+
+void Asm::idiv_r(u8 reg) {
+  emit8(0xF7);
+  emit_modrm_reg(7, reg);
+}
+
+void Asm::cdq() { emit8(0x99); }
+
+// --- stack ---
+
+void Asm::push_r(u8 reg) { emit8(static_cast<u8>(0x50 | reg)); }
+void Asm::pop_r(u8 reg) { emit8(static_cast<u8>(0x58 | reg)); }
+
+void Asm::push_imm(u32 imm) {
+  if (fits_i8(static_cast<i32>(imm))) {
+    emit8(0x6A);
+    emit8(static_cast<u8>(imm));
+  } else {
+    emit8(0x68);
+    emit32(imm);
+  }
+}
+
+void Asm::push_rm(const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0xFF);
+  emit_modrm_mem(6, mem);
+}
+
+void Asm::leave() { emit8(0xC9); }
+void Asm::pushf() { emit8(0x9C); }
+void Asm::popf() { emit8(0x9D); }
+
+// --- control flow ---
+
+void Asm::emit_rel32_fixup(Label label) {
+  fixups_.push_back(Fixup{static_cast<u32>(buf_.size()),
+                          static_cast<u32>(buf_.size()) + 4, label});
+  emit32(0);
+}
+
+void Asm::jcc(u8 cond, Label label) {
+  emit8(0x0F);
+  emit8(static_cast<u8>(0x80 | cond));
+  emit_rel32_fixup(label);
+}
+
+void Asm::jmp(Label label) {
+  emit8(0xE9);
+  emit_rel32_fixup(label);
+}
+
+void Asm::jmp_short(i8 rel) {
+  emit8(0xEB);
+  emit8(static_cast<u8>(rel));
+}
+
+void Asm::call(Label label) {
+  emit8(0xE8);
+  emit_rel32_fixup(label);
+}
+
+void Asm::call_addr(Addr target) {
+  emit8(0xE8);
+  const Addr after = here() + 4;
+  emit32(target - after);
+}
+
+void Asm::call_rm(const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0xFF);
+  emit_modrm_mem(2, mem);
+}
+
+void Asm::jmp_rm(const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0xFF);
+  emit_modrm_mem(4, mem);
+}
+
+void Asm::ret() { emit8(0xC3); }
+
+void Asm::ret_imm(u16 bytes) {
+  emit8(0xC2);
+  emit16(bytes);
+}
+
+// --- misc ---
+
+void Asm::lea(u8 reg, const MemOperand& mem) {
+  emit8(0x8D);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::inc_r(u8 reg) { emit8(static_cast<u8>(0x40 | reg)); }
+void Asm::dec_r(u8 reg) { emit8(static_cast<u8>(0x48 | reg)); }
+
+void Asm::inc_rm(const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0xFF);
+  emit_modrm_mem(0, mem);
+}
+
+void Asm::dec_rm(const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0xFF);
+  emit_modrm_mem(1, mem);
+}
+
+void Asm::xchg_rr(u8 a, u8 b) {
+  if (a == kEax) {
+    emit8(static_cast<u8>(0x90 | b));
+  } else if (b == kEax) {
+    emit8(static_cast<u8>(0x90 | a));
+  } else {
+    emit8(0x87);
+    emit_modrm_reg(b, a);
+  }
+}
+
+void Asm::nop() { emit8(0x90); }
+void Asm::hlt() { emit8(0xF4); }
+
+void Asm::ud2() {
+  emit8(0x0F);
+  emit8(0x0B);
+}
+
+void Asm::int3() { emit8(0xCC); }
+
+void Asm::int_(u8 vector) {
+  emit8(0xCD);
+  emit8(vector);
+}
+
+void Asm::iret() { emit8(0xCF); }
+
+void Asm::bound(u8 reg, const MemOperand& mem) {
+  emit_seg_prefix(mem);
+  emit8(0x62);
+  emit_modrm_mem(reg, mem);
+}
+
+void Asm::mov_to_cr(u8 cr, u8 reg) {
+  emit8(0x0F);
+  emit8(0x22);
+  emit_modrm_reg(cr, reg);
+}
+
+void Asm::mov_from_cr(u8 reg, u8 cr) {
+  emit8(0x0F);
+  emit8(0x20);
+  emit_modrm_reg(cr, reg);
+}
+
+void Asm::mov_to_seg(bool gs, u8 reg) {
+  emit8(0x8E);
+  emit_modrm_reg(gs ? 5 : 4, reg);
+}
+
+void Asm::emit_bytes(const std::vector<u8>& bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<u8> Asm::finish() {
+  KFI_CHECK(!finished_, "Asm::finish called twice");
+  finished_ = true;
+  for (const Fixup& fx : fixups_) {
+    KFI_CHECK(fx.label < labels_.size() && labels_[fx.label] >= 0,
+              "unbound label at finish");
+    const i64 target = labels_[fx.label];
+    const i32 rel = static_cast<i32>(target - static_cast<i64>(fx.insn_end));
+    buf_[fx.patch_offset] = static_cast<u8>(rel);
+    buf_[fx.patch_offset + 1] = static_cast<u8>(rel >> 8);
+    buf_[fx.patch_offset + 2] = static_cast<u8>(rel >> 16);
+    buf_[fx.patch_offset + 3] = static_cast<u8>(rel >> 24);
+  }
+  return std::move(buf_);
+}
+
+}  // namespace kfi::cisca

@@ -1,0 +1,139 @@
+// Assembler for the cisca (P4-like) processor.
+//
+// Emits machine code into a growing byte buffer with label/fixup support.
+// Used by the kir CiscaBackend to compile the miniature kernel, by tests to
+// build exact instruction sequences (including the paper's Figure 7/8/14
+// worked examples), and by the code-injection studies that need known
+// encodings to corrupt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cisca/insn.hpp"
+#include "common/types.hpp"
+
+namespace kfi::cisca {
+
+class Asm {
+ public:
+  using Label = u32;
+
+  explicit Asm(Addr base) : base_(base) {}
+
+  Addr base() const { return base_; }
+  /// Address of the next byte to be emitted.
+  Addr here() const { return base_ + static_cast<u32>(buf_.size()); }
+  u32 size() const { return static_cast<u32>(buf_.size()); }
+
+  Label new_label();
+  void bind(Label label);
+  Addr label_addr(Label label) const;
+
+  // --- moves ---
+  void mov_r_imm(u8 reg, u32 imm);                 // mov r32, imm32
+  void mov_r8_imm(u8 reg, u8 imm);                 // mov r8, imm8
+  void mov_r_rm(u8 reg, const MemOperand& mem);    // mov r32, [mem]
+  void mov_rm_r(const MemOperand& mem, u8 reg);    // mov [mem], r32
+  void mov_r8_rm(u8 reg, const MemOperand& mem);   // mov r8, [mem]
+  void mov_rm_r8(const MemOperand& mem, u8 reg);   // mov [mem], r8
+  void mov_r16_rm(u8 reg, const MemOperand& mem);  // mov16 r, [mem]
+  void mov_rm_r16(const MemOperand& mem, u8 reg);  // mov16 [mem], r
+  void mov_rr(u8 dst, u8 src);                     // mov r32, r32
+  void mov_rm_imm(const MemOperand& mem, u32 imm); // mov dword [mem], imm
+  void mov_rm8_imm(const MemOperand& mem, u8 imm); // mov byte [mem], imm
+  void movzx_r_rm8(u8 reg, const MemOperand& mem);
+  void movzx_r_rm16(u8 reg, const MemOperand& mem);
+  void movsx_r_rm8(u8 reg, const MemOperand& mem);
+  void movsx_r_rm16(u8 reg, const MemOperand& mem);
+
+  // --- ALU (op in {kAdd,kOr,kAdc,kSbb,kAnd,kSub,kXor,kCmp}) ---
+  void alu_rr(Op op, u8 dst, u8 src);
+  void alu_r_rm(Op op, u8 reg, const MemOperand& mem);
+  void alu_rm_r(Op op, const MemOperand& mem, u8 reg);
+  void alu_r_imm(Op op, u8 reg, u32 imm);
+  void alu_rm_imm(Op op, const MemOperand& mem, u32 imm);
+  void alu_rm8_imm(Op op, const MemOperand& mem, u8 imm);
+  void cmp_rm8_imm(const MemOperand& mem, u8 imm) { alu_rm8_imm(Op::kCmp, mem, imm); }
+
+  void test_rr(u8 a, u8 b);
+  void test_r_imm(u8 reg, u32 imm);
+
+  // --- shifts ---
+  void shift_r_imm(Op op, u8 reg, u8 count);
+
+  // --- mul/div ---
+  void imul_rr(u8 dst, u8 src);          // imul r32, r32
+  void mul_r(u8 reg);                    // edx:eax = eax * r
+  void div_r(u8 reg);                    // unsigned divide edx:eax by r
+  void idiv_r(u8 reg);
+  void cdq();
+
+  // --- stack ---
+  void push_r(u8 reg);
+  void pop_r(u8 reg);
+  void push_imm(u32 imm);
+  void push_rm(const MemOperand& mem);
+  void leave();
+  void pushf();
+  void popf();
+
+  // --- control flow ---
+  void jcc(u8 cond, Label label);  // rel32 form
+  void jmp(Label label);           // rel32 form
+  void jmp_short(i8 rel);          // raw rel8 (for example reconstruction)
+  void call(Label label);
+  void call_addr(Addr target);     // rel32 to absolute target
+  void call_rm(const MemOperand& mem);  // indirect call through memory
+  void jmp_rm(const MemOperand& mem);   // indirect jump through memory
+  void ret();
+  void ret_imm(u16 bytes);
+
+  // --- lea / misc ---
+  void lea(u8 reg, const MemOperand& mem);
+  void inc_r(u8 reg);
+  void dec_r(u8 reg);
+  void inc_rm(const MemOperand& mem);
+  void dec_rm(const MemOperand& mem);
+  void xchg_rr(u8 a, u8 b);
+  void nop();
+  void hlt();
+  void ud2();
+  void int3();
+  void int_(u8 vector);
+  void iret();
+  void bound(u8 reg, const MemOperand& mem);
+  void mov_to_cr(u8 cr, u8 reg);
+  void mov_from_cr(u8 reg, u8 cr);
+  void mov_to_seg(bool gs, u8 reg);  // mov fs/gs, r32(low 16)
+
+  /// Raw bytes (tests, data-in-text).
+  void emit_bytes(const std::vector<u8>& bytes);
+
+  /// Finalize: apply fixups; returns the image.  Asm must not be reused.
+  std::vector<u8> finish();
+
+ private:
+  void emit8(u8 b) { buf_.push_back(b); }
+  void emit16(u16 v);
+  void emit32(u32 v);
+  void emit_modrm_mem(u8 reg_field, const MemOperand& mem);
+  void emit_modrm_reg(u8 reg_field, u8 rm_reg);
+  void emit_seg_prefix(const MemOperand& mem);
+  void emit_rel32_fixup(Label label);
+  static u8 alu_index(Op op);
+
+  struct Fixup {
+    u32 patch_offset;  // where the rel32 bytes live
+    u32 insn_end;      // offset just past the instruction
+    Label label;
+  };
+
+  Addr base_;
+  std::vector<u8> buf_;
+  std::vector<i64> labels_;  // bound offset or -1
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+}  // namespace kfi::cisca

@@ -1,0 +1,189 @@
+#include "cisca/insn.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace kfi::cisca {
+
+const char* gpr_name(u8 reg) {
+  static const char* kNames[8] = {"eax", "ecx", "edx", "ebx",
+                                  "esp", "ebp", "esi", "edi"};
+  return reg < 8 ? kNames[reg] : "r?";
+}
+
+namespace {
+
+const char* gpr8_name(u8 reg) {
+  static const char* kNames[8] = {"al", "cl", "dl", "bl",
+                                  "ah", "ch", "dh", "bh"};
+  return reg < 8 ? kNames[reg] : "r8?";
+}
+
+const char* cond_name(u8 cond) {
+  static const char* kNames[16] = {"o", "no", "b", "ae", "e", "ne", "be", "a",
+                                   "s", "ns", "p", "np", "l", "ge", "le", "g"};
+  return cond < 16 ? kNames[cond] : "?";
+}
+
+const char* op_mnemonic(Op op) {
+  switch (op) {
+    case Op::kAdd: return "add";
+    case Op::kOr: return "or";
+    case Op::kAdc: return "adc";
+    case Op::kSbb: return "sbb";
+    case Op::kAnd: return "and";
+    case Op::kSub: return "sub";
+    case Op::kXor: return "xor";
+    case Op::kCmp: return "cmp";
+    case Op::kTest: return "test";
+    case Op::kMov: return "mov";
+    case Op::kMovzx: return "movzx";
+    case Op::kMovsx: return "movsx";
+    case Op::kLea: return "lea";
+    case Op::kXchg: return "xchg";
+    case Op::kInc: return "inc";
+    case Op::kDec: return "dec";
+    case Op::kPush: return "push";
+    case Op::kPop: return "pop";
+    case Op::kJmp: return "jmp";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kLeave: return "leave";
+    case Op::kPushf: return "pushf";
+    case Op::kPopf: return "popf";
+    case Op::kNop: return "nop";
+    case Op::kHlt: return "hlt";
+    case Op::kUd2: return "ud2";
+    case Op::kInt3: return "int3";
+    case Op::kIret: return "iret";
+    case Op::kBound: return "bound";
+    case Op::kRol: return "rol";
+    case Op::kRor: return "ror";
+    case Op::kRcl: return "rcl";
+    case Op::kRcr: return "rcr";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kSar: return "sar";
+    case Op::kNot: return "not";
+    case Op::kNeg: return "neg";
+    case Op::kMul: return "mul";
+    case Op::kImul: return "imul";
+    case Op::kDiv: return "div";
+    case Op::kIdiv: return "idiv";
+    case Op::kCwde: return "cwde";
+    case Op::kCdq: return "cdq";
+    case Op::kJecxz: return "jecxz";
+    case Op::kLoop: return "loop";
+    case Op::kMovFromCr: return "mov(cr)";
+    case Op::kMovToCr: return "mov(cr)";
+    case Op::kMovFromSeg: return "mov(seg)";
+    case Op::kMovToSeg: return "mov(seg)";
+    case Op::kJcc: return "j";
+    case Op::kInt: return "int";
+    case Op::kMovs: return "movs";
+    case Op::kCmps: return "cmps";
+    case Op::kStos: return "stos";
+    case Op::kLods: return "lods";
+    case Op::kScas: return "scas";
+    case Op::kPusha: return "pusha";
+    case Op::kPopa: return "popa";
+    case Op::kSalc: return "salc";
+    case Op::kXlat: return "xlat";
+    case Op::kClc: return "clc";
+    case Op::kStc: return "stc";
+    case Op::kCmc: return "cmc";
+    case Op::kCld: return "cld";
+    case Op::kStd: return "std";
+    case Op::kCli: return "cli";
+    case Op::kSti: return "sti";
+    case Op::kFpu: return "(x87)";
+    case Op::kEnter: return "enter";
+    case Op::kRetf: return "retf";
+    case Op::kInto: return "into";
+    case Op::kJmpFar: return "ljmp";
+    case Op::kCallFar: return "lcall";
+    case Op::kAam: return "aam";
+    case Op::kAad: return "aad";
+    case Op::kArpl: return "arpl";
+    case Op::kInsOuts: return "ins/outs";
+    case Op::kInOut: return "in/out";
+    case Op::kFwait: return "fwait";
+    case Op::kInvalid: return "(bad)";
+  }
+  return "?";
+}
+
+std::string mem_str(const MemOperand& m) {
+  std::ostringstream os;
+  if (m.seg == SegOverride::kFs) os << "%fs:";
+  if (m.seg == SegOverride::kGs) os << "%gs:";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", static_cast<u32>(m.disp));
+  os << buf << "(";
+  if (m.base != MemOperand::kNoReg) os << "%" << gpr_name(m.base);
+  if (m.index != MemOperand::kNoReg) {
+    os << ",%" << gpr_name(m.index) << "," << static_cast<int>(m.scale);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string operand_str(const Operand& o, u8 width) {
+  switch (o.kind) {
+    case OperandKind::kNone: return "";
+    case OperandKind::kReg:
+      return std::string("%") + (width == 1 ? gpr8_name(o.reg) : gpr_name(o.reg));
+    case OperandKind::kMem: return mem_str(o.mem);
+    case OperandKind::kImm: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "$0x%llx",
+                    static_cast<unsigned long long>(static_cast<u64>(o.imm)));
+      return buf;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string Insn::to_string() const {
+  std::ostringstream os;
+  if (op == Op::kJcc) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%+d", rel);
+    os << "j" << cond_name(cond) << " " << buf;
+    return os.str();
+  }
+  if (op == Op::kInt) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "$0x%x", int_vector);
+    os << "int " << buf;
+    return os.str();
+  }
+  os << op_mnemonic(op);
+  if (op == Op::kJmp || op == Op::kCall) {
+    if (src_width == 4) {  // indirect form
+      os << " *" << operand_str(dst, 4);
+    } else {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%+d", rel);
+      os << " " << buf;
+    }
+    return os.str();
+  }
+  // AT&T order: src, dst.
+  const std::string src_s = operand_str(src, op == Op::kMovzx || op == Op::kMovsx
+                                                 ? src_width
+                                                 : width);
+  const std::string dst_s = operand_str(dst, op == Op::kMovzx || op == Op::kMovsx
+                                                 ? 4
+                                                 : width);
+  if (!src_s.empty() && !dst_s.empty()) {
+    os << " " << src_s << "," << dst_s;
+  } else if (!dst_s.empty()) {
+    os << " " << dst_s;
+  }
+  return os.str();
+}
+
+}  // namespace kfi::cisca

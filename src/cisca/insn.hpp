@@ -1,0 +1,112 @@
+// Decoded-instruction representation for the cisca (P4-like) processor.
+//
+// Instructions are 1–8 bytes: optional segment-override prefix, opcode
+// byte(s), optional ModRM/SIB, optional displacement, optional immediate.
+// Because the length is data-dependent, a single bit flip can change how
+// many bytes an instruction consumes and re-align the whole downstream
+// stream into different — frequently still valid — instructions.  That is
+// the paper's Figure 14 mechanism and the root of most P4-vs-G4 behavioural
+// differences; the decoder preserves it faithfully.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "cisca/regs.hpp"
+
+namespace kfi::cisca {
+
+enum class Op : u8 {
+  kInvalid = 0,
+  // ALU (dst op= src), also used for cmp (flags only).
+  kAdd, kOr, kAdc, kSbb, kAnd, kSub, kXor, kCmp,
+  kTest,
+  kMov, kMovzx, kMovsx,
+  kLea, kXchg,
+  kInc, kDec,
+  kPush, kPop,
+  kJcc, kJmp, kCall, kRet, kLeave,
+  kPushf, kPopf,
+  kNop, kHlt,
+  kUd2, kInt, kInt3, kIret, kBound,
+  kRol, kRor, kRcl, kRcr, kShl, kShr, kSar,
+  kNot, kNeg, kMul, kImul, kDiv, kIdiv,
+  kCwde, kCdq,
+  kJecxz, kLoop,
+  kMovFromCr, kMovToCr,      // mov r32, cr / mov cr, r32
+  kMovFromSeg, kMovToSeg,    // mov r/m, sreg / mov sreg, r/m (FS/GS only)
+  // Realistic-density additions (all architected IA-32; several are prime
+  // crash vectors when reached through re-aligned instruction streams).
+  kMovs, kCmps, kStos, kLods, kScas,   // string ops (rep-able)
+  kPusha, kPopa,
+  kSalc, kXlat,
+  kClc, kStc, kCmc, kCld, kStd, kCli, kSti,
+  kFpu,        // x87 escape: memory operand side effects, no FP state
+  kEnter, kRetf, kInto, kJmpFar, kCallFar,
+  kAam, kAad, kArpl,
+  kInsOuts,    // ins/outs: port<->[edi]/[esi]
+  kInOut,      // in/out al/eax, imm/dx
+  kFwait,
+};
+
+/// Condition codes (IA-32 tttn encoding).
+enum Cond : u8 {
+  kCondO = 0, kCondNO, kCondB, kCondAE, kCondE, kCondNE, kCondBE, kCondA,
+  kCondS, kCondNS, kCondP, kCondNP, kCondL, kCondGE, kCondLE, kCondG,
+};
+
+struct MemOperand {
+  static constexpr u8 kNoReg = 0xFF;
+  u8 base = kNoReg;
+  u8 index = kNoReg;
+  u8 scale = 1;      // 1, 2, 4, 8
+  i32 disp = 0;
+  SegOverride seg = SegOverride::kNone;
+};
+
+enum class OperandKind : u8 { kNone, kReg, kMem, kImm };
+
+struct Operand {
+  OperandKind kind = OperandKind::kNone;
+  u8 reg = 0;        // when kReg (Gpr index; or CR/seg index for mov cr/seg)
+  MemOperand mem{};  // when kMem
+  i64 imm = 0;       // when kImm
+
+  static Operand make_reg(u8 r) {
+    Operand o;
+    o.kind = OperandKind::kReg;
+    o.reg = r;
+    return o;
+  }
+  static Operand make_mem(const MemOperand& m) {
+    Operand o;
+    o.kind = OperandKind::kMem;
+    o.mem = m;
+    return o;
+  }
+  static Operand make_imm(i64 v) {
+    Operand o;
+    o.kind = OperandKind::kImm;
+    o.imm = v;
+    return o;
+  }
+};
+
+struct Insn {
+  Op op = Op::kInvalid;
+  u8 length = 1;       // total bytes consumed (valid even for kInvalid >= 1)
+  u8 width = 4;        // operand width in bytes: 1, 2, or 4
+  u8 cond = 0;         // for kJcc
+  u8 src_width = 0;    // for movzx/movsx: source width (1 or 2)
+  Operand dst{};
+  Operand src{};
+  i32 rel = 0;         // branch displacement (rel8/rel32, sign-extended)
+  u8 int_vector = 0;   // for kInt
+  bool rep = false;    // F3 prefix
+  bool repne = false;  // F2 prefix
+
+  /// Disassembly for diagnostics and the worked-example reproductions.
+  std::string to_string() const;
+};
+
+}  // namespace kfi::cisca

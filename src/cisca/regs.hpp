@@ -1,0 +1,82 @@
+// Register model of the cisca (P4-like) processor.
+//
+// Eight 32-bit general-purpose registers with the IA-32 names and the
+// IA-32 property that matters most to the study: there are only eight, so
+// compiled kernel code constantly spills to the stack through EBP frames,
+// which is why stack errors hit the P4 kernel so much harder than the G4
+// (Section 5.1).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace kfi::cisca {
+
+enum Gpr : u8 {
+  kEax = 0,
+  kEcx = 1,
+  kEdx = 2,
+  kEbx = 3,
+  kEsp = 4,
+  kEbp = 5,
+  kEsi = 6,
+  kEdi = 7,
+  kNumGprs = 8,
+};
+
+const char* gpr_name(u8 reg);
+
+/// EFLAGS bit positions (IA-32 layout).  NT is the bit whose corruption the
+/// paper traced to Invalid TSS crashes.
+enum EflagsBit : u32 {
+  kFlagCF = 0,
+  kFlagPF = 2,
+  kFlagZF = 6,
+  kFlagSF = 7,
+  kFlagIF = 9,
+  kFlagDF = 10,
+  kFlagOF = 11,
+  kFlagNT = 14,
+};
+
+/// CR0 bit positions.  PE/WP/PG carry semantics in the simulator; the other
+/// 8 architecturally-defined flag bits exist but are inert, and the
+/// remaining bits are reserved — matching the paper's note that only 11 of
+/// CR0's 32 bits are meaningful, so most CR0 flips are benign.
+enum Cr0Bit : u32 {
+  kCr0PE = 0,   // protected mode enable; cleared => #GP storm
+  kCr0MP = 1,
+  kCr0EM = 2,
+  kCr0TS = 3,
+  kCr0ET = 4,
+  kCr0NE = 5,
+  kCr0WP = 16,  // supervisor write-protect honoring
+  kCr0AM = 18,
+  kCr0NW = 29,
+  kCr0CD = 30,
+  kCr0PG = 31,  // paging enable; cleared => translation loss => #GP
+};
+
+/// Segment override selectors for FS/GS-relative addressing.
+enum class SegOverride : u8 { kNone = 0, kFs = 1, kGs = 2 };
+
+/// Full architectural register file.
+struct RegFile {
+  u32 gpr[kNumGprs] = {};
+  u32 eip = 0;
+  u32 eflags = 0x00000202;  // IF set, reserved bit 1 set (IA-32 constant)
+  u32 cr0 = 0x80010001;     // PG | WP | PE: normal protected-mode kernel
+  u32 cr2 = 0;              // page-fault linear address
+  u32 cr3 = 0x00001000;     // page directory base (symbolic)
+  u32 cr4 = 0x000006d0;
+  u32 dr[4] = {};           // debug address registers (inert storage)
+  u32 dr6 = 0;
+  u32 dr7 = 0;
+  u32 fs = 0x30;            // selector into the simulated GDT
+  u32 gs = 0x38;
+  u32 gdtr_base = 0xC0002000, gdtr_limit = 0xFF;
+  u32 idtr_base = 0xC0002800, idtr_limit = 0x7FF;
+  u32 ldtr = 0;
+  u32 tr = 0x28;            // task register (TSS selector)
+};
+
+}  // namespace kfi::cisca

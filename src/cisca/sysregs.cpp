@@ -1,0 +1,102 @@
+#include "cisca/sysregs.hpp"
+
+#include <array>
+
+#include "cisca/cpu.hpp"
+#include "common/error.hpp"
+
+namespace kfi::cisca {
+
+namespace {
+
+// Register bank layout; indices are stable and used by campaign logs.
+enum SysRegIndex : u32 {
+  kSrEflags = 0,
+  kSrCr0, kSrCr2, kSrCr3, kSrCr4,
+  kSrDr0, kSrDr1, kSrDr2, kSrDr3, kSrDr6, kSrDr7,
+  kSrEsp, kSrEip,
+  kSrFs, kSrGs,
+  kSrGdtrBase, kSrGdtrLimit, kSrIdtrBase, kSrIdtrLimit,
+  kSrLdtr, kSrTr,
+  kSrCount,
+};
+
+const std::array<isa::SysRegInfo, kSrCount>& reg_infos() {
+  static const std::array<isa::SysRegInfo, kSrCount> kInfos = {{
+      {"EFLAGS", 32}, {"CR0", 32},  {"CR2", 32},        {"CR3", 32},
+      {"CR4", 32},    {"DR0", 32},  {"DR1", 32},        {"DR2", 32},
+      {"DR3", 32},    {"DR6", 32},  {"DR7", 32},        {"ESP", 32},
+      {"EIP", 32},    {"FS", 16},   {"GS", 16},         {"GDTR_BASE", 32},
+      {"GDTR_LIMIT", 16}, {"IDTR_BASE", 32}, {"IDTR_LIMIT", 16},
+      {"LDTR", 16},   {"TR", 16},
+  }};
+  return kInfos;
+}
+
+}  // namespace
+
+u32 CiscaSysRegs::count() const { return kSrCount; }
+
+const isa::SysRegInfo& CiscaSysRegs::info(u32 index) const {
+  KFI_CHECK(index < kSrCount, "cisca sysreg index out of range");
+  return reg_infos()[index];
+}
+
+u32 CiscaSysRegs::read(u32 index) const {
+  const RegFile& r = cpu_.regs_;
+  switch (index) {
+    case kSrEflags: return r.eflags;
+    case kSrCr0: return r.cr0;
+    case kSrCr2: return r.cr2;
+    case kSrCr3: return r.cr3;
+    case kSrCr4: return r.cr4;
+    case kSrDr0: return r.dr[0];
+    case kSrDr1: return r.dr[1];
+    case kSrDr2: return r.dr[2];
+    case kSrDr3: return r.dr[3];
+    case kSrDr6: return r.dr6;
+    case kSrDr7: return r.dr7;
+    case kSrEsp: return r.gpr[kEsp];
+    case kSrEip: return r.eip;
+    case kSrFs: return r.fs;
+    case kSrGs: return r.gs;
+    case kSrGdtrBase: return r.gdtr_base;
+    case kSrGdtrLimit: return r.gdtr_limit;
+    case kSrIdtrBase: return r.idtr_base;
+    case kSrIdtrLimit: return r.idtr_limit;
+    case kSrLdtr: return r.ldtr;
+    case kSrTr: return r.tr;
+  }
+  KFI_CHECK(false, "cisca sysreg index out of range");
+  return 0;
+}
+
+void CiscaSysRegs::write(u32 index, u32 value) {
+  RegFile& r = cpu_.regs_;
+  switch (index) {
+    case kSrEflags: r.eflags = value; return;
+    case kSrCr0: r.cr0 = value; return;
+    case kSrCr2: r.cr2 = value; return;
+    case kSrCr3: r.cr3 = value; return;
+    case kSrCr4: r.cr4 = value; return;
+    case kSrDr0: r.dr[0] = value; return;
+    case kSrDr1: r.dr[1] = value; return;
+    case kSrDr2: r.dr[2] = value; return;
+    case kSrDr3: r.dr[3] = value; return;
+    case kSrDr6: r.dr6 = value; return;
+    case kSrDr7: r.dr7 = value; return;
+    case kSrEsp: r.gpr[kEsp] = value; return;
+    case kSrEip: r.eip = value; return;
+    case kSrFs: r.fs = value & 0xFFFF; return;
+    case kSrGs: r.gs = value & 0xFFFF; return;
+    case kSrGdtrBase: r.gdtr_base = value; return;
+    case kSrGdtrLimit: r.gdtr_limit = value & 0xFFFF; return;
+    case kSrIdtrBase: r.idtr_base = value; return;
+    case kSrIdtrLimit: r.idtr_limit = value & 0xFFFF; return;
+    case kSrLdtr: r.ldtr = value & 0xFFFF; return;
+    case kSrTr: r.tr = value & 0xFFFF; return;
+  }
+  KFI_CHECK(false, "cisca sysreg index out of range");
+}
+
+}  // namespace kfi::cisca

@@ -1,0 +1,30 @@
+// System-register bank of the cisca (P4-like) processor.
+//
+// The paper's P4 register campaign targeted "system registers [that] assist
+// in initializing the processor and controlling system operations": the
+// system flags in EFLAGS, control registers, debug registers, the stack
+// pointer, FS/GS segment registers, and memory-management registers
+// (Section 5.2).  This bank exposes exactly that set (~20 registers) for
+// enumeration and bit-flipping by the register injector.
+#pragma once
+
+#include "isa/sysreg.hpp"
+
+namespace kfi::cisca {
+
+class CiscaCpu;
+
+class CiscaSysRegs final : public isa::SystemRegisterBank {
+ public:
+  explicit CiscaSysRegs(CiscaCpu& cpu) : cpu_(cpu) {}
+
+  u32 count() const override;
+  const isa::SysRegInfo& info(u32 index) const override;
+  u32 read(u32 index) const override;
+  void write(u32 index, u32 value) override;
+
+ private:
+  CiscaCpu& cpu_;
+};
+
+}  // namespace kfi::cisca

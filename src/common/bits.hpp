@@ -1,0 +1,51 @@
+// Bit manipulation helpers shared by the encoders, decoders, and the fault
+// injectors.  The paper's error model is a single-bit flip in a data word,
+// instruction, or register (Section 3.5); flip_bit is the primitive every
+// injector uses.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace kfi {
+
+/// Flip bit `bit` (0 = LSB) of a value.
+template <typename T>
+constexpr T flip_bit(T value, u32 bit) {
+  return static_cast<T>(value ^ (T{1} << bit));
+}
+
+/// Extract bits [lo, lo+len) of a 32-bit word (lo counted from LSB).
+constexpr u32 bits32(u32 value, u32 lo, u32 len) {
+  return (value >> lo) & ((len >= 32) ? 0xFFFFFFFFu : ((1u << len) - 1u));
+}
+
+/// Insert `field` into bits [lo, lo+len) of `value`.
+constexpr u32 set_bits32(u32 value, u32 lo, u32 len, u32 field) {
+  const u32 mask = ((len >= 32) ? 0xFFFFFFFFu : ((1u << len) - 1u)) << lo;
+  return (value & ~mask) | ((field << lo) & mask);
+}
+
+/// Test bit `bit` of a value.
+template <typename T>
+constexpr bool test_bit(T value, u32 bit) {
+  return ((value >> bit) & T{1}) != 0;
+}
+
+/// Sign-extend the low `bits` bits of `value` to 32 bits.
+constexpr i32 sign_extend32(u32 value, u32 bits) {
+  const u32 shift = 32 - bits;
+  return static_cast<i32>(value << shift) >> shift;
+}
+
+/// Population count.
+constexpr u32 popcount32(u32 v) {
+  u32 c = 0;
+  while (v) {
+    v &= v - 1;
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace kfi

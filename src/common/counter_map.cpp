@@ -1,0 +1,26 @@
+#include "common/counter_map.hpp"
+
+namespace kfi {
+
+void CounterMap::add(const std::string& key, u64 delta) {
+  auto [it, inserted] = counts_.try_emplace(key, 0);
+  if (inserted) order_.push_back(key);
+  it->second += delta;
+  total_ += delta;
+}
+
+u64 CounterMap::get(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double CounterMap::fraction(const std::string& key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(get(key)) / static_cast<double>(total_);
+}
+
+void CounterMap::merge(const CounterMap& other) {
+  for (const auto& key : other.order_) add(key, other.get(key));
+}
+
+}  // namespace kfi

@@ -1,0 +1,33 @@
+// Ordered string-keyed counters used for outcome and crash-cause tallies.
+// Keys keep first-insertion order so report output is stable run to run.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kfi {
+
+class CounterMap {
+ public:
+  void add(const std::string& key, u64 delta = 1);
+
+  u64 get(const std::string& key) const;
+  u64 total() const { return total_; }
+  double fraction(const std::string& key) const;
+
+  /// Keys in first-insertion order.
+  const std::vector<std::string>& keys() const { return order_; }
+
+  void merge(const CounterMap& other);
+  bool empty() const { return total_ == 0; }
+
+ private:
+  std::unordered_map<std::string, u64> counts_;
+  std::vector<std::string> order_;
+  u64 total_ = 0;
+};
+
+}  // namespace kfi

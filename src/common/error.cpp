@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace kfi {
+
+void raise_internal(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace kfi

@@ -1,0 +1,32 @@
+// Error handling used across kfisim.
+//
+// Simulator-internal invariant violations (bugs in *our* code, not injected
+// faults) throw kfi::InternalError.  Injected faults never throw: they flow
+// through each CPU's trap machinery so the injection framework can observe
+// and classify them, exactly as the paper's crash handlers did.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kfi {
+
+/// Thrown on violation of a simulator invariant. Never used to model an
+/// injected fault; those surface as architectural traps.
+class InternalError : public std::runtime_error {
+ public:
+  explicit InternalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void raise_internal(const char* file, int line,
+                                 const std::string& message);
+
+}  // namespace kfi
+
+/// Check a simulator invariant; throws InternalError with location info.
+#define KFI_CHECK(cond, message)                         \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      ::kfi::raise_internal(__FILE__, __LINE__, (message)); \
+    }                                                    \
+  } while (false)

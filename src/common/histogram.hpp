@@ -1,0 +1,53 @@
+// Bucketed histograms used for the crash-latency (cycles-to-crash)
+// distributions of Figure 16 and for general result summaries.
+//
+// The paper reports latency in fixed buckets: <=3k, <=10k, <=100k, <=1M,
+// <=10M, <=100M, <=1G, >1G CPU cycles.  LatencyBuckets reproduces exactly
+// those edges so bench output lines up with the figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kfi {
+
+/// Histogram over explicit upper-edge buckets plus an overflow bucket.
+class BucketHistogram {
+ public:
+  /// `upper_edges` must be strictly increasing; a sample s falls in the
+  /// first bucket with s <= edge, or in the overflow bucket.
+  explicit BucketHistogram(std::vector<u64> upper_edges);
+
+  void add(u64 sample);
+
+  /// Number of buckets including the final overflow bucket.
+  size_t bucket_count() const { return counts_.size(); }
+  u64 count(size_t bucket) const;
+  u64 total() const { return total_; }
+
+  /// Fraction of samples in a bucket (0 if histogram empty).
+  double fraction(size_t bucket) const;
+
+  /// Human-readable label, e.g. "<=10k" or ">1G".
+  std::string label(size_t bucket) const;
+
+  /// All fractions, in bucket order.
+  std::vector<double> fractions() const;
+
+  void merge(const BucketHistogram& other);
+
+ private:
+  std::vector<u64> edges_;
+  std::vector<u64> counts_;  // edges_.size() + 1 entries
+  u64 total_ = 0;
+};
+
+/// The paper's Figure 16 cycles-to-crash buckets.
+BucketHistogram make_latency_histogram();
+
+/// Labels for the Figure 16 buckets, in order.
+const std::vector<std::string>& latency_bucket_labels();
+
+}  // namespace kfi

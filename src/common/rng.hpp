@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// Every random decision in kfisim — injection target selection, bit
+// positions, workload jitter, datagram loss on the simulated crash-data
+// channel — is drawn from an explicitly seeded Rng, so any campaign
+// (CampaignSpec includes its seed) is bit-for-bit reproducible.  The
+// generator is xoshiro256**, seeded through splitmix64 per its authors'
+// recommendation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace kfi {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+u64 splitmix64(u64& state);
+
+/// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+
+  /// Uniform 64-bit value.
+  u64 next_u64();
+
+  /// Uniform 32-bit value.
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 below(u64 bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi);
+
+  /// True with probability p (p in [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0,1).
+  double next_double();
+
+  /// Uniform bit index within a word of `bits` bits (e.g. 32).
+  u32 bit_index(u32 bits) { return static_cast<u32>(below(bits)); }
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    KFI_CHECK(!v.empty(), "Rng::pick from empty vector");
+    return v[static_cast<size_t>(below(v.size()))];
+  }
+
+  /// Derive an independent child generator (stable given call order).
+  Rng split();
+
+  /// Raw state capture/restore (for snapshot/reboot semantics).
+  std::array<u64, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<u64, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace kfi

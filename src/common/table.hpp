@@ -1,0 +1,33 @@
+// Minimal ASCII table renderer used by the analysis/report layer to print
+// the reproduction of the paper's tables (Tables 5 and 6) and figure data
+// series in a shape directly comparable with the published numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kfi {
+
+/// Column-aligned ASCII table.  Rows may have fewer cells than the header;
+/// missing cells render empty.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a separator line under the header.
+  std::string render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used throughout report printing.
+std::string format_percent(double fraction, int decimals = 1);
+std::string format_count_percent(unsigned long long count, double fraction);
+
+}  // namespace kfi

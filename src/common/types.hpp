@@ -1,0 +1,28 @@
+// Core fixed-width aliases and the simulated machine's address type.
+//
+// Both simulated processors (cisca, the P4-like CISC; riscf, the G4-like
+// RISC) are 32-bit machines, mirroring the Pentium 4 and PowerPC G4 targets
+// of the DSN'04 study.  All simulated addresses are kfi::Addr.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kfi {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// A 32-bit virtual (or physical) address on a simulated machine.
+using Addr = u32;
+
+/// CPU cycle count. Latency measurements (cycles-to-crash) use this type.
+using Cycles = u64;
+
+}  // namespace kfi

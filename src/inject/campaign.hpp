@@ -1,0 +1,56 @@
+// CampaignController: the NFTAPE control host (paper Figure 1).
+//
+// Orchestrates one injection campaign end to end: builds the target
+// machine, calibrates the workload, profiles the kernel to select hot
+// functions, pre-generates the campaign's injection targets, then runs the
+// automated inject/monitor/collect loop, "rebooting" (snapshot restore)
+// after every manifested outcome via the watchdog.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "inject/experiment.hpp"
+#include "inject/record.hpp"
+#include "inject/target_gen.hpp"
+#include "kernel/machine.hpp"
+
+namespace kfi::inject {
+
+struct CampaignSpec {
+  isa::Arch arch = isa::Arch::kCisca;
+  CampaignKind kind = CampaignKind::kCode;
+  u32 injections = 200;
+  u64 seed = 1;
+  u32 workload_scale = 1;
+  kernel::MachineOptions machine{};
+  /// UDP crash-data datagram loss probability (unknown-crash source).
+  double channel_loss = 0.03;
+  /// Hang budget as a multiple of the calibrated fault-free run length.
+  double budget_factor = 3.0;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<InjectionRecord> records;
+  u64 nominal_cycles = 0;  // calibrated fault-free run length
+  std::vector<workload::HotFunction> hot_functions;
+  u64 reboots = 0;
+  u64 datagrams_sent = 0;
+  u64 datagrams_dropped = 0;
+};
+
+using ProgressFn = std::function<void(u32 done, u32 total)>;
+
+/// Run a full campaign (Figure 2's automated process).
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const ProgressFn& progress = {});
+
+/// Convenience for worked-example reproductions: run a single targeted
+/// injection on a caller-provided machine/workload pair.
+InjectionRecord run_single_injection(kernel::Machine& machine,
+                                     workload::Workload& wl,
+                                     const InjectionTarget& target,
+                                     u64 seed = 1);
+
+}  // namespace kfi::inject

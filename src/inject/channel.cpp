@@ -1,0 +1,109 @@
+#include "inject/channel.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace kfi::inject {
+
+namespace {
+
+constexpr u32 kMagic = 0x4B464944;  // "KFID"
+
+void put32(std::vector<u8>& out, u32 v) {
+  out.push_back(static_cast<u8>(v >> 24));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+
+void put64(std::vector<u8>& out, u64 v) {
+  put32(out, static_cast<u32>(v >> 32));
+  put32(out, static_cast<u32>(v));
+}
+
+u32 get32(const std::vector<u8>& in, size_t& pos) {
+  const u32 v = (static_cast<u32>(in[pos]) << 24) |
+                (static_cast<u32>(in[pos + 1]) << 16) |
+                (static_cast<u32>(in[pos + 2]) << 8) |
+                static_cast<u32>(in[pos + 3]);
+  pos += 4;
+  return v;
+}
+
+u64 get64(const std::vector<u8>& in, size_t& pos) {
+  const u64 hi = get32(in, pos);
+  return (hi << 32) | get32(in, pos);
+}
+
+}  // namespace
+
+bool UdpChannel::send(Packet packet) {
+  ++sent_;
+  if (rng_.chance(loss_)) {
+    ++dropped_;
+    return false;
+  }
+  in_flight_.push_back(std::move(packet));
+  return true;
+}
+
+std::optional<Packet> UdpChannel::receive() {
+  if (in_flight_.empty()) return std::nullopt;
+  Packet p = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  return p;
+}
+
+Packet DataDeposit::serialize(u32 sequence, const kernel::CrashReport& report) {
+  Packet p;
+  put32(p.bytes, kMagic);
+  put32(p.bytes, sequence);
+  put32(p.bytes, static_cast<u32>(report.cause));
+  put32(p.bytes, report.pc);
+  put32(p.bytes, report.addr);
+  put32(p.bytes, report.has_addr ? 1 : 0);
+  put64(p.bytes, report.cycles_to_crash);
+  put32(p.bytes, static_cast<u32>(report.detail.size()));
+  p.bytes.insert(p.bytes.end(), report.detail.begin(), report.detail.end());
+  return p;
+}
+
+std::optional<DataDeposit::Parsed> DataDeposit::parse(const Packet& packet) {
+  const auto& b = packet.bytes;
+  if (b.size() < 32) return std::nullopt;
+  size_t pos = 0;
+  if (get32(b, pos) != kMagic) return std::nullopt;
+  Parsed out;
+  out.sequence = get32(b, pos);
+  const u32 cause = get32(b, pos);
+  if (cause >= static_cast<u32>(kernel::CrashCause::kNumCauses)) {
+    return std::nullopt;
+  }
+  out.report.cause = static_cast<kernel::CrashCause>(cause);
+  out.report.pc = get32(b, pos);
+  out.report.addr = get32(b, pos);
+  out.report.has_addr = get32(b, pos) != 0;
+  out.report.cycles_to_crash = get64(b, pos);
+  const u32 detail_len = get32(b, pos);
+  if (pos + detail_len > b.size()) return std::nullopt;
+  out.report.detail.assign(b.begin() + static_cast<long>(pos),
+                           b.begin() + static_cast<long>(pos + detail_len));
+  return out;
+}
+
+void CrashCollector::poll(UdpChannel& channel) {
+  while (auto packet = channel.receive()) {
+    if (auto parsed = DataDeposit::parse(*packet)) {
+      reports_.emplace(parsed->sequence, std::move(parsed->report));
+    }
+  }
+}
+
+const kernel::CrashReport& CrashCollector::get(u32 sequence) const {
+  const auto it = reports_.find(sequence);
+  KFI_CHECK(it != reports_.end(), "no crash report for sequence");
+  return it->second;
+}
+
+}  // namespace kfi::inject

@@ -1,0 +1,76 @@
+// Remote crash-data collection (the paper's NFTAPE extension).
+//
+// The paper's crash handlers packaged the crash cause, cycles-to-crash and
+// frame pointers into a UDP-like packet and handed it straight to the
+// network card's packet-sending function, bypassing the possibly-broken
+// filesystem; a remote collector stored it.  UDP is best-effort, so some
+// crash dumps never arrive — those crashes land in the "Hang/Unknown
+// Crash" column of Tables 5 and 6.  UdpChannel models exactly that
+// best-effort datagram semantics with a seeded loss probability.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "kernel/crash.hpp"
+
+namespace kfi::inject {
+
+struct Packet {
+  std::vector<u8> bytes;
+};
+
+/// Best-effort datagram channel with seeded loss.
+class UdpChannel {
+ public:
+  UdpChannel(double loss_probability, u64 seed)
+      : loss_(loss_probability), rng_(seed) {}
+
+  /// Returns false if the datagram was dropped in flight.
+  bool send(Packet packet);
+  std::optional<Packet> receive();
+
+  u64 sent() const { return sent_; }
+  u64 dropped() const { return dropped_; }
+
+ private:
+  double loss_;
+  Rng rng_;
+  std::deque<Packet> in_flight_;
+  u64 sent_ = 0;
+  u64 dropped_ = 0;
+};
+
+/// Kernel-side data-deposit module: serializes a crash report into a
+/// self-describing datagram (and parses it back on the collector side).
+class DataDeposit {
+ public:
+  static Packet serialize(u32 sequence, const kernel::CrashReport& report);
+  struct Parsed {
+    u32 sequence = 0;
+    kernel::CrashReport report;
+  };
+  /// Returns nullopt for malformed packets (corrupted in flight).
+  static std::optional<Parsed> parse(const Packet& packet);
+};
+
+/// Control-host-side collector: drains a channel, indexes reports by
+/// sequence number, ignores duplicates.
+class CrashCollector {
+ public:
+  /// Drain everything currently queued in the channel.
+  void poll(UdpChannel& channel);
+
+  bool has(u32 sequence) const { return reports_.contains(sequence); }
+  const kernel::CrashReport& get(u32 sequence) const;
+  size_t count() const { return reports_.size(); }
+
+ private:
+  std::unordered_map<u32, kernel::CrashReport> reports_;
+};
+
+}  // namespace kfi::inject

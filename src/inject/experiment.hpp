@@ -1,0 +1,70 @@
+// ExperimentRunner: executes one injection experiment end to end
+// (STEP 2 and STEP 3 of the paper's Figure 2).
+//
+// Protocols, following Section 3.3:
+//   code:     arm the instruction breakpoint at the target; when fetch
+//             reaches it (before execution), flip the chosen bit of the
+//             instruction bytes — the error then persists for the rest of
+//             the run; activation = breakpoint reached.
+//   stack /
+//   data:     insert the error first (flip the bit), then arm a data
+//             memory breakpoint over the word.  A write hit means the
+//             error was overwritten: re-inject and mark activated.  A read
+//             hit consumes the corrupted value: mark activated and stop
+//             monitoring.  No hit by the end of the run: restore the
+//             original value, not activated.
+//   register: flip the bit of the system register at a random point of
+//             the run; activation cannot be monitored (paper footnote 1).
+//
+// Outcomes follow Table 2, with crashes whose crash-data datagram was lost
+// on the UDP channel merging into Hang/Unknown Crash as in Tables 5/6.
+#pragma once
+
+#include "inject/channel.hpp"
+#include "inject/record.hpp"
+#include "inject/watchdog.hpp"
+#include "common/rng.hpp"
+#include "kernel/machine.hpp"
+#include "workload/workload.hpp"
+
+namespace kfi::inject {
+
+class ExperimentRunner {
+ public:
+  ExperimentRunner(kernel::Machine& machine, workload::Workload& wl,
+                   UdpChannel& channel, CrashCollector& collector,
+                   u64 nominal_cycles, u64 budget_cycles,
+                   double kernel_fraction = 0.15);
+
+  /// Run one injection; `sequence` tags the crash-data datagram.
+  InjectionRecord run_one(const InjectionTarget& target, u64 run_seed,
+                          u32 sequence);
+
+  const Watchdog& watchdog() const { return watchdog_; }
+  u64 nominal_cycles() const { return nominal_; }
+
+ private:
+  /// Flip bit `bit` (0..31) of the 32-bit value at word_addr, respecting
+  /// the machine's endianness.
+  void flip_value_bit(Addr word_addr, u32 bit);
+  void flip_code_bit(const InjectionTarget& target);
+  /// Resolve the live stack-word address for a stack target; returns 0 if
+  /// the chosen process currently has no live stack words.
+  Addr resolve_stack_addr(const InjectionTarget& target) const;
+  /// Returns false when the flip landed in the user-mode window of a
+  /// context-dependent register (EFLAGS/ESP/EIP on cisca, SP/MSR/SRR0/1 on
+  /// riscf): the corrupted user context is replaced at the next kernel
+  /// entry, so nothing reaches kernel state.
+  bool inject_register(const InjectionTarget& target);
+
+  kernel::Machine& machine_;
+  workload::Workload& wl_;
+  UdpChannel& channel_;
+  CrashCollector& collector_;
+  u64 nominal_;
+  Watchdog watchdog_;
+  double kernel_fraction_;
+  Rng rng_{0x5eed};
+};
+
+}  // namespace kfi::inject

@@ -1,0 +1,27 @@
+#include "inject/record.hpp"
+
+namespace kfi::inject {
+
+std::string campaign_kind_name(CampaignKind kind) {
+  switch (kind) {
+    case CampaignKind::kStack: return "stack";
+    case CampaignKind::kRegister: return "register";
+    case CampaignKind::kData: return "data";
+    case CampaignKind::kCode: return "code";
+  }
+  return "unknown";
+}
+
+std::string outcome_name(OutcomeCategory outcome) {
+  switch (outcome) {
+    case OutcomeCategory::kNotActivated: return "Not Activated";
+    case OutcomeCategory::kNotManifested: return "Not Manifested";
+    case OutcomeCategory::kFailSilenceViolation: return "Fail Silence Violation";
+    case OutcomeCategory::kKnownCrash: return "Known Crash";
+    case OutcomeCategory::kHangOrUnknownCrash: return "Hang/Unknown Crash";
+    case OutcomeCategory::kNumOutcomes: break;
+  }
+  return "unknown";
+}
+
+}  // namespace kfi::inject

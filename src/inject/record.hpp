@@ -1,0 +1,90 @@
+// Injection campaign vocabulary: targets, outcome categories, and the
+// per-injection record the framework logs.
+//
+// The outcome categories are exactly the paper's Table 2 plus its Table
+// 5/6 reporting convention: crashes whose dump reached the remote
+// collector are "known crashes"; crashes whose crash-data packet was lost
+// merge with hangs into the "Hang/Unknown Crash" column.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/arch.hpp"
+#include "kernel/crash.hpp"
+
+namespace kfi::inject {
+
+enum class CampaignKind : u8 { kStack = 0, kRegister, kData, kCode };
+
+std::string campaign_kind_name(CampaignKind kind);
+
+/// One pre-generated injection target (STEP 1 of the paper's Figure 2).
+/// Fields are populated per kind; unused fields stay zero.
+struct InjectionTarget {
+  CampaignKind kind = CampaignKind::kCode;
+
+  // kCode: a pre-selected instruction in a hot kernel function.  The
+  // activation breakpoint sits at the FUNCTION ENTRY (the profiled
+  // "instruction breakpoint location based on selected kernel
+  // functions"); the bit flip is applied to the chosen instruction when
+  // the function is first entered.
+  Addr code_entry = 0;  // breakpoint (function entry)
+  Addr code_addr = 0;   // corrupted instruction
+  u32 code_insn_len = 1;   // bytes (1 on riscf means "the whole word")
+  u32 code_bit = 0;        // bit within the instruction (LSB of first byte=0)
+  std::string function;
+
+  // kData: a random location in the kernel data section (word + bit).
+  Addr data_addr = 0;  // word-aligned
+  u32 data_bit = 0;    // 0..31 within the word
+
+  // kStack: a random word in the live stack of a random kernel process,
+  // resolved against the stack pointer at injection time.
+  u32 stack_task = 0;
+  double stack_depth_frac = 0.0;  // 0 = at SP, 1 = stack top
+  u32 stack_bit = 0;              // 0..31
+
+  // kRegister: a system register and bit.
+  u32 reg_index = 0;
+  u32 reg_bit = 0;
+  std::string reg_name;
+
+  // When (fraction of the nominal workload duration) deferred injections
+  // (stack, register) fire.
+  double inject_at_frac = 0.0;
+};
+
+/// Table 2 outcome categories (with the Table 5/6 known/unknown split).
+enum class OutcomeCategory : u8 {
+  kNotActivated = 0,
+  kNotManifested,
+  kFailSilenceViolation,
+  kKnownCrash,
+  kHangOrUnknownCrash,
+  kNumOutcomes,
+};
+
+std::string outcome_name(OutcomeCategory outcome);
+
+struct InjectionRecord {
+  InjectionTarget target;
+  OutcomeCategory outcome = OutcomeCategory::kNotActivated;
+
+  bool activated = false;
+  bool activation_known = true;  // false for register injections (fn 1)
+  Cycles activation_cycle = 0;
+  /// Baseline for cycles_to_crash, following the paper: activation for
+  /// code/stack errors, injection for data and register errors (their
+  /// footnote 5 and the Section 6 discussion of latent data errors).
+  Cycles latency_base_cycle = 0;
+
+  bool crashed = false;
+  bool crash_report_received = false;  // survived the UDP channel
+  kernel::CrashReport crash{};
+  Cycles cycles_to_crash = 0;
+
+  u32 syscalls_completed = 0;
+};
+
+}  // namespace kfi::inject

@@ -1,0 +1,143 @@
+#include "inject/target_gen.hpp"
+
+#include "cisca/decode.hpp"
+#include "common/error.hpp"
+#include "kernel/abi.hpp"
+#include "kir/backend.hpp"
+
+namespace kfi::inject {
+
+TargetGenerator::TargetGenerator(const kir::Image& image,
+                                 std::vector<workload::HotFunction> hot,
+                                 u32 sysreg_count, u64 seed)
+    : image_(image),
+      hot_(std::move(hot)),
+      sysreg_count_(sysreg_count),
+      rng_(seed) {
+  KFI_CHECK(!hot_.empty(), "target generator needs hot functions");
+  u64 acc = 0;
+  for (const auto& fn : hot_) {
+    acc += fn.entries;
+    hot_weights_.push_back(acc);
+  }
+  offsets_cache_.resize(hot_.size());
+  // The data campaign samples a FIXED window of the kernel data section
+  // on both machines (like the paper's equal-sized campaigns over each
+  // kernel's data section).  Bulk payload arrays live beyond the window;
+  // slack inside it is simply data that is never used (not activated).
+  data_words_total_ = kir::kBulkDataOffset / 4;
+}
+
+const std::vector<u32>& TargetGenerator::insn_offsets(
+    const workload::HotFunction& fn) {
+  // Find the cache slot for this hot function.
+  size_t slot = 0;
+  for (; slot < hot_.size(); ++slot) {
+    if (hot_[slot].addr == fn.addr) break;
+  }
+  KFI_CHECK(slot < hot_.size(), "unknown hot function");
+  std::vector<u32>& cached = offsets_cache_[slot];
+  if (!cached.empty()) return cached;
+
+  if (image_.arch == isa::Arch::kRiscf) {
+    for (u32 off = 0; off + 4 <= fn.size; off += 4) cached.push_back(off);
+    return cached;
+  }
+  // cisca: decode walk from the function entry.
+  u32 off = 0;
+  while (off < fn.size) {
+    cached.push_back(off);
+    cisca::FetchWindow window;
+    window.pc = fn.addr + off;
+    const u32 code_off = fn.addr - image_.code_base + off;
+    for (u32 k = 0; k < cisca::kMaxInsnBytes && code_off + k < image_.code.size();
+         ++k) {
+      window.bytes[k] = image_.code[code_off + k];
+      window.valid = static_cast<u8>(k + 1);
+    }
+    const cisca::DecodeResult dec = cisca::decode(window);
+    off += dec.insn.length;
+  }
+  return cached;
+}
+
+InjectionTarget TargetGenerator::next_code() {
+  InjectionTarget t;
+  t.kind = CampaignKind::kCode;
+  // Weighted pick by profiled usage: hot functions get proportionally
+  // more injections, mirroring the paper's profiling-driven selection.
+  const u64 pick = rng_.below(hot_weights_.back());
+  size_t idx = 0;
+  while (hot_weights_[idx] <= pick) ++idx;
+  const workload::HotFunction& fn = hot_[idx];
+  t.function = fn.name;
+
+  t.code_entry = fn.addr;
+  const auto& offsets = insn_offsets(fn);
+  const u32 off = offsets[rng_.below(offsets.size())];
+  t.code_addr = fn.addr + off;
+  if (image_.arch == isa::Arch::kRiscf) {
+    t.code_insn_len = 4;
+    t.code_bit = rng_.bit_index(32);
+  } else {
+    // Length of the chosen instruction bounds the bit choice.
+    const u32 next_off = [&] {
+      for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+        if (offsets[i] == off) return offsets[i + 1];
+      }
+      return fn.size;
+    }();
+    t.code_insn_len = std::max(1u, next_off - off);
+    t.code_bit = rng_.bit_index(t.code_insn_len * 8);
+  }
+  return t;
+}
+
+InjectionTarget TargetGenerator::next_stack() {
+  InjectionTarget t;
+  t.kind = CampaignKind::kStack;
+  t.stack_task = static_cast<u32>(rng_.below(kernel::kNumTasks));
+  t.stack_depth_frac = rng_.next_double();
+  t.stack_bit = rng_.bit_index(32);
+  t.inject_at_frac = 0.1 + 0.7 * rng_.next_double();
+  return t;
+}
+
+InjectionTarget TargetGenerator::next_data() {
+  InjectionTarget t;
+  t.kind = CampaignKind::kData;
+  t.data_addr =
+      image_.data_base + 4 * static_cast<u32>(rng_.below(data_words_total_));
+  t.data_bit = rng_.bit_index(32);
+  return t;
+}
+
+InjectionTarget TargetGenerator::next_register() {
+  InjectionTarget t;
+  t.kind = CampaignKind::kRegister;
+  t.reg_index = static_cast<u32>(rng_.below(sysreg_count_));
+  t.reg_bit = rng_.bit_index(32);  // clamped to the register width on use
+  t.inject_at_frac = 0.1 + 0.7 * rng_.next_double();
+  return t;
+}
+
+InjectionTarget TargetGenerator::next(CampaignKind kind) {
+  switch (kind) {
+    case CampaignKind::kCode: return next_code();
+    case CampaignKind::kStack: return next_stack();
+    case CampaignKind::kData: return next_data();
+    case CampaignKind::kRegister: return next_register();
+  }
+  KFI_CHECK(false, "bad campaign kind");
+  return {};
+}
+
+std::vector<InjectionTarget> TargetGenerator::generate(CampaignKind kind,
+                                                       u32 count) {
+  std::vector<InjectionTarget> targets;
+  targets.reserve(count);
+  for (u32 i = 0; i < count; ++i) targets.push_back(next(kind));
+  return targets;
+}
+
+}  // namespace kfi::inject

@@ -1,0 +1,62 @@
+// Target address/register generator (STEP 1 of the paper's Figure 2).
+//
+// Targets are pre-generated before a campaign starts, exactly as in the
+// paper — which is why activation is below 100%: a pre-generated error may
+// correspond to a breakpoint that is never reached or a stack/register
+// state that is never consumed.
+//
+//   code:     a random instruction inside a profiling-selected hot kernel
+//             function (weighted by usage), with a random bit of that
+//             instruction ("single-bit error per instruction");
+//   stack:    a randomly chosen kernel process, a random depth within its
+//             live stack, and a random bit of that word;
+//   data:     a random word in the kernel data section (initialized or
+//             BSS) and a random bit ("single-bit error per data word");
+//   register: a random register of the CPU's system-register bank and a
+//             random bit of its architectural width.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "inject/record.hpp"
+#include "kir/image.hpp"
+#include "workload/profiler.hpp"
+
+namespace kfi::inject {
+
+class TargetGenerator {
+ public:
+  TargetGenerator(const kir::Image& image,
+                  std::vector<workload::HotFunction> hot_functions,
+                  u32 sysreg_count, u64 seed);
+
+  InjectionTarget next(CampaignKind kind);
+
+  /// Pre-generate a whole campaign's worth of targets.
+  std::vector<InjectionTarget> generate(CampaignKind kind, u32 count);
+
+  /// System-register names are resolved by the campaign controller; the
+  /// generator only picks indices.
+  u32 sysreg_count() const { return sysreg_count_; }
+
+ private:
+  InjectionTarget next_code();
+  InjectionTarget next_stack();
+  InjectionTarget next_data();
+  InjectionTarget next_register();
+
+  /// Instruction start offsets within a function (decode walk on cisca,
+  /// every 4 bytes on riscf); cached per function.
+  const std::vector<u32>& insn_offsets(const workload::HotFunction& fn);
+
+  const kir::Image& image_;
+  u64 data_words_total_ = 0;  // words in the fixed data-injection window
+  std::vector<workload::HotFunction> hot_;
+  std::vector<u64> hot_weights_;  // cumulative entries for weighted pick
+  u32 sysreg_count_;
+  Rng rng_;
+  std::vector<std::vector<u32>> offsets_cache_;
+};
+
+}  // namespace kfi::inject

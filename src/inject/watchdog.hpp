@@ -1,0 +1,35 @@
+// Watchdog: the hardware monitor card of the paper's Figure 1.
+//
+// Detects hangs by cycle budget and performs the automated "reboot"
+// (snapshot restore) after any manifested outcome, counting reboots the
+// way the physical watchdog cards drove machine restarts.
+#pragma once
+
+#include "common/types.hpp"
+#include "kernel/machine.hpp"
+
+namespace kfi::inject {
+
+class Watchdog {
+ public:
+  explicit Watchdog(u64 budget_cycles) : budget_(budget_cycles) {}
+
+  u64 budget() const { return budget_; }
+
+  /// Deadline for a run beginning at `start_cycles`.
+  u64 deadline(u64 start_cycles) const { return start_cycles + budget_; }
+
+  /// Restore the machine to its boot snapshot ("reboot") and count it.
+  void reboot(kernel::Machine& machine) {
+    machine.restore(machine.boot_snapshot());
+    ++reboots_;
+  }
+
+  u64 reboots() const { return reboots_; }
+
+ private:
+  u64 budget_;
+  u64 reboots_ = 0;
+};
+
+}  // namespace kfi::inject

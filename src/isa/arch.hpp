@@ -1,0 +1,17 @@
+// Target architecture tags, named after the machines they stand in for.
+#pragma once
+
+#include <string>
+
+namespace kfi::isa {
+
+enum class Arch {
+  kCisca,  // the P4-like variable-length CISC machine
+  kRiscf,  // the G4-like fixed-width RISC machine
+};
+
+inline std::string arch_name(Arch arch) {
+  return arch == Arch::kCisca ? "cisca(P4)" : "riscf(G4)";
+}
+
+}  // namespace kfi::isa

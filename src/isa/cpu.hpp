@@ -1,0 +1,55 @@
+// Architecture-neutral CPU interface.
+//
+// The injection framework (src/inject) drives both simulated processors
+// through this interface: step one instruction, observe traps and
+// breakpoint hits, read the cycle counter (the paper's cycles-to-crash
+// instrument), snapshot/restore register state (the "reboot" fast path),
+// and reach the system-register bank for register campaigns.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/debug.hpp"
+#include "isa/sysreg.hpp"
+#include "isa/trap.hpp"
+
+namespace kfi::isa {
+
+/// Opaque register-state snapshot; produced and consumed by the same CPU.
+struct CpuSnapshot {
+  std::vector<u32> words;
+  u64 cycles = 0;
+};
+
+class CpuCore {
+ public:
+  virtual ~CpuCore() = default;
+
+  /// Execute (at most) one instruction.  If an instruction breakpoint is
+  /// armed at the current pc, returns kInsnBp without executing.
+  virtual StepResult step() = 0;
+
+  virtual Addr pc() const = 0;
+  virtual void set_pc(Addr pc) = 0;
+
+  /// Retired-cycle counter (performance register analogue).
+  virtual Cycles cycles() const = 0;
+  /// Charge extra cycles (used by the kernel runtime to model the hardware
+  /// and software exception-handling stages of Figure 3).
+  virtual void add_cycles(Cycles n) = 0;
+
+  virtual DebugUnit& debug() = 0;
+
+  virtual SystemRegisterBank& sysregs() = 0;
+
+  /// Current stack pointer (ESP / r1), used by the stack injector to find
+  /// the live stack of the targeted kernel process.
+  virtual Addr stack_pointer() const = 0;
+
+  virtual CpuSnapshot snapshot() const = 0;
+  virtual void restore(const CpuSnapshot& snap) = 0;
+};
+
+}  // namespace kfi::isa

@@ -1,0 +1,53 @@
+#include "isa/debug.hpp"
+
+#include "common/error.hpp"
+
+namespace kfi::isa {
+
+void DebugUnit::arm_insn_bp(Addr addr) { insn_bp_ = addr; }
+void DebugUnit::disarm_insn_bp() { insn_bp_.reset(); }
+
+bool DebugUnit::check_insn_bp(Addr pc) {
+  if (insn_bp_ && *insn_bp_ == pc) {
+    insn_bp_.reset();
+    return true;
+  }
+  return false;
+}
+
+void DebugUnit::arm_data_bp(u32 index, Addr addr, u32 len, bool on_read,
+                            bool on_write) {
+  KFI_CHECK(index < kNumDataBps, "data breakpoint index out of range");
+  KFI_CHECK(len > 0, "data breakpoint length must be > 0");
+  data_bps_[index] = DataBp{addr, len, on_read, on_write};
+}
+
+void DebugUnit::disarm_data_bp(u32 index) {
+  KFI_CHECK(index < kNumDataBps, "data breakpoint index out of range");
+  data_bps_[index].reset();
+}
+
+bool DebugUnit::data_bp_armed(u32 index) const {
+  KFI_CHECK(index < kNumDataBps, "data breakpoint index out of range");
+  return data_bps_[index].has_value();
+}
+
+void DebugUnit::record_access(Addr addr, u32 len, bool is_write,
+                              StepResult& result) {
+  for (u32 i = 0; i < kNumDataBps; ++i) {
+    if (!data_bps_[i]) continue;
+    const DataBp& bp = *data_bps_[i];
+    const bool overlap = addr < bp.addr + bp.len && bp.addr < addr + len;
+    if (!overlap) continue;
+    if ((is_write && bp.on_write) || (!is_write && bp.on_read)) {
+      result.add_data_hit(DataBpHit{static_cast<u8>(i), addr, is_write});
+    }
+  }
+}
+
+void DebugUnit::clear_all() {
+  insn_bp_.reset();
+  for (auto& bp : data_bps_) bp.reset();
+}
+
+}  // namespace kfi::isa

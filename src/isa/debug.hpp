@@ -1,0 +1,55 @@
+// Simulated debug registers.
+//
+// The paper's injector (Section 3.3) drives everything through the CPUs'
+// debugging features: one Debug Address Register holds an instruction
+// breakpoint for code injections (reported *before* the instruction
+// executes), and data memory breakpoints trap reads/writes for stack and
+// data injections (reported *after* the access).  DebugUnit models exactly
+// that contract for both simulated CPUs.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/types.hpp"
+#include "isa/trap.hpp"
+
+namespace kfi::isa {
+
+class DebugUnit {
+ public:
+  static constexpr u32 kNumDataBps = 2;
+
+  /// Arm the (single) instruction breakpoint.  It fires once when fetch
+  /// reaches `addr`, before the instruction executes, then disarms —
+  /// matching the paper's inject-on-first-reach usage.
+  void arm_insn_bp(Addr addr);
+  void disarm_insn_bp();
+  bool insn_bp_armed() const { return insn_bp_.has_value(); }
+
+  /// Returns true exactly once when pc matches the armed breakpoint.
+  bool check_insn_bp(Addr pc);
+
+  /// Arm data breakpoint `index` covering [addr, addr+len).
+  void arm_data_bp(u32 index, Addr addr, u32 len, bool on_read, bool on_write);
+  void disarm_data_bp(u32 index);
+  bool data_bp_armed(u32 index) const;
+
+  /// Called by CPU models after every completed data access.
+  void record_access(Addr addr, u32 len, bool is_write, StepResult& result);
+
+  void clear_all();
+
+ private:
+  struct DataBp {
+    Addr addr = 0;
+    u32 len = 0;
+    bool on_read = false;
+    bool on_write = false;
+  };
+
+  std::optional<Addr> insn_bp_;
+  std::array<std::optional<DataBp>, kNumDataBps> data_bps_{};
+};
+
+}  // namespace kfi::isa

@@ -1,0 +1,22 @@
+#include "isa/sysreg.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace kfi::isa {
+
+void SystemRegisterBank::flip_bit(u32 index, u32 bit) {
+  KFI_CHECK(index < count(), "system register index out of range");
+  KFI_CHECK(bit < info(index).bits, "system register bit out of range");
+  write(index, kfi::flip_bit(read(index), bit));
+}
+
+u32 SystemRegisterBank::index_of(const std::string& name) const {
+  for (u32 i = 0; i < count(); ++i) {
+    if (info(i).name == name) return i;
+  }
+  KFI_CHECK(false, "no system register named " + name);
+  return 0;
+}
+
+}  // namespace kfi::isa

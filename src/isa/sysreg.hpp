@@ -1,0 +1,41 @@
+// Uniform view over a CPU's *system* registers for register-injection
+// campaigns.
+//
+// The paper targets only system registers (Section 5.2): on the P4 the
+// system flags, control registers, debug registers, stack pointer, FS/GS
+// segment registers and memory-management registers; on the G4 the 99
+// supervisor-model registers (memory management, configuration,
+// performance monitor, exception handling, cache/memory subsystem).  Each
+// CPU model publishes its bank through this interface so the injector can
+// enumerate, read, and bit-flip them without knowing the architecture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kfi::isa {
+
+struct SysRegInfo {
+  std::string name;
+  u32 bits = 32;  // architectural width
+};
+
+class SystemRegisterBank {
+ public:
+  virtual ~SystemRegisterBank() = default;
+
+  virtual u32 count() const = 0;
+  virtual const SysRegInfo& info(u32 index) const = 0;
+  virtual u32 read(u32 index) const = 0;
+  virtual void write(u32 index, u32 value) = 0;
+
+  /// Flip one bit of register `index` (bit < info(index).bits).
+  void flip_bit(u32 index, u32 bit);
+
+  /// Index of the register with the given name; throws if absent.
+  u32 index_of(const std::string& name) const;
+};
+
+}  // namespace kfi::isa

@@ -1,0 +1,52 @@
+// Architectural trap descriptions.
+//
+// Each simulated CPU reports traps with its own cause namespace (cisca's
+// page fault / #GP / #UD / #TS / #DE / #BR versus riscf's DSI / program /
+// alignment / machine check).  The kernel runtime and the outcome
+// classifier map these onto the paper's crash-cause categories (Tables 3
+// and 4).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace kfi::isa {
+
+/// Raw architectural trap as raised by a CPU model.  `cause` is an
+/// arch-specific enum value (cisca::Cause or riscf::Cause) cast to u32.
+struct Trap {
+  u32 cause = 0;
+  Addr pc = 0;        // address of the faulting instruction
+  Addr addr = 0;      // faulting data/target address when has_addr
+  bool has_addr = false;
+  u32 aux = 0;        // arch-specific detail (e.g. selector, opcode bits)
+};
+
+enum class StepStatus : u8 {
+  kOk,       // instruction retired normally
+  kTrap,     // instruction raised an architectural trap
+  kHalted,   // CPU executed its halt/idle instruction
+  kInsnBp,   // instruction breakpoint fired; instruction NOT executed
+};
+
+/// A data breakpoint report.  Real debug hardware (and the paper's
+/// injector) reports data breakpoints *after* the access completes.
+struct DataBpHit {
+  u8 bp_index = 0;
+  Addr addr = 0;
+  bool is_write = false;
+};
+
+struct StepResult {
+  StepStatus status = StepStatus::kOk;
+  Trap trap{};  // valid when status == kTrap
+  u8 num_data_hits = 0;
+  DataBpHit data_hits[2]{};
+
+  void add_data_hit(const DataBpHit& hit) {
+    if (num_data_hits < 2) data_hits[num_data_hits++] = hit;
+  }
+};
+
+}  // namespace kfi::isa

@@ -1,0 +1,54 @@
+// Kernel/user ABI of minux, the miniature Linux-2.4-like kernel.
+//
+// The workload (UnixBench stand-in) invokes the kernel exclusively through
+// these system calls, like the paper's benchmark programs did.  The glue
+// addresses are fixed stubs the runtime uses for returns from generated
+// code (syscall exit, interrupt exit, scheduler-call exit).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace kfi::kernel {
+
+enum class Syscall : u32 {
+  kRead = 1,   // read(fd, ubuf, len)        -> bytes read
+  kWrite = 2,  // write(fd, ubuf, len)       -> bytes written
+  kAlloc = 3,  // alloc()                    -> page address or 0
+  kFree = 4,   // free(page_addr)            -> 0 ok, -1 validation failed
+  kSend = 5,   // send(ubuf, len)            -> len or -1
+  kRecv = 6,   // recv(ubuf, maxlen)         -> bytes or 0 if empty
+  kYield = 7,  // yield()                    -> 0
+  kGetpid = 8, // getpid()                   -> pid of current
+};
+
+/// Number of kernel tasks: task 0 runs user system calls; 1..3 are the
+/// kernel threads kupdate, kjournald and ksoftirqd.
+constexpr u32 kNumTasks = 4;
+
+/// Scheduler quantum in ticks and thread wakeup intervals.
+constexpr u32 kQuantum = 4;
+constexpr u32 kKupdateInterval = 5;
+constexpr u32 kJournalInterval = 8;
+
+// File-system shape.
+constexpr u32 kNumBuffers = 16;
+constexpr u32 kBlockSize = 64;
+constexpr u32 kNumDiskBlocks = 64;
+constexpr u32 kNumFiles = 4;
+
+// Memory-management shape.
+constexpr u32 kNumPages = 32;
+constexpr u32 kPoolBlockSize = 128;
+
+// Network shape.
+constexpr u32 kNumSkbs = 12;
+constexpr u32 kSkbDataSize = 96;
+constexpr u32 kRingSize = 8;
+
+/// r0 value of the riscf panic hypercall (sc with this marker).
+constexpr u32 kPanicHypercall = 0x7F01;
+
+/// The reserved "-1" error return.
+constexpr u32 kErrReturn = 0xFFFFFFFFu;
+
+}  // namespace kfi::kernel

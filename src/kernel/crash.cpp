@@ -1,0 +1,87 @@
+#include "kernel/crash.hpp"
+
+#include "common/error.hpp"
+
+namespace kfi::kernel {
+
+std::string crash_cause_name(CrashCause cause) {
+  switch (cause) {
+    case CrashCause::kNullPointer: return "NULL Pointer";
+    case CrashCause::kBadPaging: return "Bad Paging";
+    case CrashCause::kInvalidInstruction: return "Invalid Instruction";
+    case CrashCause::kGeneralProtection: return "General Protection Fault";
+    case CrashCause::kKernelPanic: return "Kernel Panic";
+    case CrashCause::kInvalidTss: return "Invalid TSS";
+    case CrashCause::kDivideError: return "Divide Error";
+    case CrashCause::kBoundsTrap: return "Bounds Trap";
+    case CrashCause::kBadArea: return "Bad Area";
+    case CrashCause::kIllegalInstruction: return "Illegal Instruction";
+    case CrashCause::kStackOverflow: return "Stack Overflow";
+    case CrashCause::kMachineCheck: return "Machine Check";
+    case CrashCause::kAlignment: return "Alignment";
+    case CrashCause::kBusError: return "Bus Error";
+    case CrashCause::kBadTrap: return "Bad Trap";
+    case CrashCause::kNumCauses: break;
+  }
+  return "unknown";
+}
+
+bool is_invalid_memory_access(CrashCause cause) {
+  return cause == CrashCause::kNullPointer || cause == CrashCause::kBadPaging ||
+         cause == CrashCause::kBadArea;
+}
+
+CrashCause classify_cisca(const isa::Trap& trap) {
+  switch (static_cast<cisca::Cause>(trap.cause)) {
+    case cisca::Cause::kPageFault:
+      // Linux/x86 distinguishes "unable to handle kernel NULL pointer
+      // dereference" from other paging requests by the fault address.
+      return trap.addr < 4096 ? CrashCause::kNullPointer
+                              : CrashCause::kBadPaging;
+    case cisca::Cause::kInvalidOpcode:
+      return CrashCause::kInvalidInstruction;
+    case cisca::Cause::kGeneralProtection:
+      return CrashCause::kGeneralProtection;
+    case cisca::Cause::kInvalidTss:
+      return CrashCause::kInvalidTss;
+    case cisca::Cause::kDivideError:
+      return CrashCause::kDivideError;
+    case cisca::Cause::kBoundsTrap:
+      return CrashCause::kBoundsTrap;
+    case cisca::Cause::kBreakpointTrap:
+    case cisca::Cause::kKernelPanic:
+      return CrashCause::kKernelPanic;
+    default:
+      KFI_CHECK(false, "classify_cisca on non-fatal trap");
+      return CrashCause::kKernelPanic;
+  }
+}
+
+CrashCause classify_riscf(const isa::Trap& trap, bool sp_out_of_range) {
+  // The wrapper runs before any handler: a corrupted kernel stack pointer
+  // is reported as Stack Overflow regardless of which exception fired.
+  if (sp_out_of_range) return CrashCause::kStackOverflow;
+  switch (static_cast<riscf::Cause>(trap.cause)) {
+    case riscf::Cause::kDataStorage:
+    case riscf::Cause::kInstrStorage:
+      return CrashCause::kBadArea;
+    case riscf::Cause::kIllegalInstruction:
+      return CrashCause::kIllegalInstruction;
+    case riscf::Cause::kMachineCheck:
+      return CrashCause::kMachineCheck;
+    case riscf::Cause::kAlignment:
+      return CrashCause::kAlignment;
+    case riscf::Cause::kProtection:
+      return CrashCause::kBusError;
+    case riscf::Cause::kTrapWord:
+    case riscf::Cause::kPrivileged:
+      return CrashCause::kBadTrap;
+    case riscf::Cause::kKernelPanic:
+      return CrashCause::kKernelPanic;
+    default:
+      KFI_CHECK(false, "classify_riscf on non-fatal trap");
+      return CrashCause::kKernelPanic;
+  }
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,67 @@
+// Crash-cause taxonomy: the union of the paper's Table 3 (Pentium 4) and
+// Table 4 (PowerPC G4) categories, plus the mapping from raw architectural
+// traps to those categories.
+//
+// The mapping encodes the OS-level classification the paper's crash
+// handlers performed: on the P4 a page fault below the first page is a
+// "NULL pointer" and anything else is "bad paging"; on the G4 the
+// exception-entry wrapper reclassifies any exception taken with the stack
+// pointer outside the current kernel stack as "stack overflow" — the
+// category the P4 lacks entirely (Sections 5.1 and 6).
+#pragma once
+
+#include <string>
+
+#include "cisca/cause.hpp"
+#include "common/types.hpp"
+#include "isa/arch.hpp"
+#include "isa/trap.hpp"
+#include "riscf/cause.hpp"
+
+namespace kfi::kernel {
+
+enum class CrashCause : u8 {
+  // Pentium 4 categories (Table 3).
+  kNullPointer = 0,     // kernel NULL pointer dereference
+  kBadPaging,           // other bad page access
+  kInvalidInstruction,  // P4 naming of undefined-encoding execution
+  kGeneralProtection,
+  kKernelPanic,
+  kInvalidTss,
+  kDivideError,
+  kBoundsTrap,
+  // PowerPC G4 categories (Table 4).
+  kBadArea,             // kernel access of bad area
+  kIllegalInstruction,  // G4 naming of undefined-encoding execution
+  kStackOverflow,       // produced by the kernel's exception-entry wrapper
+  kMachineCheck,
+  kAlignment,
+  kBusError,            // protection fault
+  kBadTrap,             // unknown exception
+  kNumCauses,
+};
+
+std::string crash_cause_name(CrashCause cause);
+
+/// True for the invalid-memory-access causes the paper groups together in
+/// its analysis (NULL pointer + bad paging on P4; bad area on G4).
+bool is_invalid_memory_access(CrashCause cause);
+
+struct CrashReport {
+  CrashCause cause = CrashCause::kKernelPanic;
+  Addr pc = 0;
+  Addr addr = 0;
+  bool has_addr = false;
+  Cycles cycles_to_crash = 0;  // filled by the injection framework
+  std::string detail;
+};
+
+/// Classify a fatal cisca trap the way the P4 Linux kernel would.
+CrashCause classify_cisca(const isa::Trap& trap);
+
+/// Classify a fatal riscf trap the way the G4 Linux kernel would.
+/// `sp_out_of_range` is the verdict of the exception-entry checking
+/// wrapper (true => reclassified as stack overflow).
+CrashCause classify_riscf(const isa::Trap& trap, bool sp_out_of_range);
+
+}  // namespace kfi::kernel

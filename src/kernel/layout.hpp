@@ -1,0 +1,50 @@
+// Virtual-memory layout of the minux kernel, mirroring Linux 2.4 on both
+// target machines: kernel text/data high at 0xC0000000+, one fixed-size
+// kernel stack per process with guard pages, the NULL page unmapped, and a
+// processor-local-bus window whose access raises a machine check (the G4's
+// Table 4 category).
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/arch.hpp"
+
+namespace kfi::kernel {
+
+constexpr Addr kTextBase = 0xC0100000u;
+constexpr Addr kGlueBase = 0xC00FF000u;  // return stubs (one page)
+constexpr Addr kDataBase = 0xC0200000u;
+constexpr Addr kStackRegion = 0xC0300000u;
+constexpr Addr kUserBufBase = 0xC0500000u;  // workload I/O buffers
+constexpr u32 kUserBufSize = 0x4000;
+constexpr Addr kBusRegion = 0xFE000000u;  // processor-local bus window
+constexpr u32 kBusRegionSize = 0x10000;
+
+/// Offsets of the glue stubs within the glue page.
+constexpr u32 kGlueSyscallReturn = 0x00;
+constexpr u32 kGlueIsrReturn = 0x10;
+constexpr u32 kGlueSchedReturn = 0x20;
+
+/// Kernel stack sizes: the paper reports the average G4 runtime kernel
+/// stack was about twice the P4's; Linux used 4 KB stacks on x86 and 8 KB
+/// on PPC.
+constexpr u32 stack_size(isa::Arch arch) {
+  return arch == isa::Arch::kCisca ? 4096u : 8192u;
+}
+
+/// Each task's stack slot is stack_size + one guard page below it.
+constexpr u32 stack_slot(isa::Arch arch) { return stack_size(arch) + 4096u; }
+
+constexpr Addr stack_base(isa::Arch arch, u32 task) {
+  return kStackRegion + task * stack_slot(arch) + 4096u;  // skip guard page
+}
+
+constexpr Addr stack_top(isa::Arch arch, u32 task) {
+  return stack_base(arch, task) + stack_size(arch);
+}
+
+/// Physical memory given to each simulated machine.  Sized to fit the
+/// kernel image, stacks, and buffers with headroom; kept small because the
+/// injection framework snapshots/restores all of it on every "reboot".
+constexpr u32 kPhysBytes = 1u * 1024 * 1024;
+
+}  // namespace kfi::kernel

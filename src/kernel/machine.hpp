@@ -1,0 +1,203 @@
+// Machine: one booted minux system (CPU + memory + kernel image + runtime
+// glue), the unit the injection framework experiments on.
+//
+// The runtime glue plays the role of the hardware exception plumbing and
+// the lowest-level kernel entry stubs:
+//   * system-call entry/exit (int 0x80-style on cisca, sc on riscf),
+//   * periodic timer interrupts delivered on the current kernel stack,
+//     with the interrupted context SAVED IN SIMULATED STACK MEMORY so that
+//     stack injections can corrupt saved frames exactly as on hardware,
+//   * the cisca IDTR sanity and EFLAGS.NT checks (-> #GP / Invalid TSS),
+//   * the riscf SPRG2 stack-switch use on user-mode interrupts and the
+//     exception-entry stack-range checking wrapper that yields the G4's
+//     explicit Stack Overflow category (paper Section 6),
+//   * the three-stage cycles-to-crash model of Figure 3.
+//
+// Machine exposes an event-driven run loop: the injection framework arms
+// breakpoints, calls run(), and receives breakpoint/crash/completion
+// events, mirroring how NFTAPE's kernel injector drove the real machines.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/cpu.hpp"
+#include "kernel/abi.hpp"
+#include "kernel/crash.hpp"
+#include "kernel/layout.hpp"
+#include "kir/backend.hpp"
+#include "kir/image.hpp"
+#include "mem/address_space.hpp"
+
+namespace kfi::cisca {
+class CiscaCpu;
+}
+namespace kfi::riscf {
+class RiscfCpu;
+}
+
+namespace kfi::kernel {
+
+enum class EventKind : u8 {
+  kSyscallDone,  // syscall completed; Event::ret holds the return value
+  kCrash,        // fatal exception; Event::crash holds the classified report
+  kCheckstop,    // machine check with MSR.ME off: processor stopped dead
+  kCycleStop,    // reached the requested stop_cycles
+  kInsnBp,       // armed instruction breakpoint hit (before execution)
+  kDataBp,       // armed data breakpoint hit (after access)
+  kIdle,         // nothing queued to run
+};
+
+struct Event {
+  EventKind kind = EventKind::kIdle;
+  u32 ret = 0;
+  CrashReport crash{};
+  isa::DataBpHit hit{};
+};
+
+struct MachineOptions {
+  /// Cycles between timer ticks (the 100Hz-ish decrementer / PIT).
+  u64 timer_period = 1'000'000;
+  /// Mean simulated user-mode cycles charged between system calls.
+  u64 user_cycles_mean = 30'000;
+  /// G4 exception-entry stack-range checking wrapper (ablation X2).
+  bool g4_stack_wrapper = true;
+  /// Paper-Section-7 PUSH/POP stack-limit extension on the P4 (ablation X1).
+  bool p4_stack_limit_check = false;
+  /// SPINLOCK_DEBUG magic checks in the kernel build (ablation X3).
+  bool spinlock_debug = true;
+  /// Seed for runtime jitter (user time, exception-stage costs).
+  u64 seed = 0x1234;
+};
+
+/// Snapshot of a whole machine (memory + CPU + runtime), used to "reboot"
+/// between injections in microseconds.
+struct MachineSnapshot {
+  std::vector<u8> memory;
+  isa::CpuSnapshot cpu;
+  u64 next_timer = 0;
+  u64 user_cycles = 0;
+  std::array<u64, 4> rng_state{};
+};
+
+class Machine {
+ public:
+  Machine(isa::Arch arch, MachineOptions options);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  isa::Arch arch() const { return arch_; }
+  isa::CpuCore& cpu() { return *cpu_; }
+  mem::AddressSpace& space() { return space_; }
+  const kir::Image& image() const { return image_; }
+  const MachineOptions& options() const { return options_; }
+
+  /// Queue one system call (sets up the kernel entry frame and any timer
+  /// ticks that accrued during the simulated user time).  Must be idle.
+  void begin_syscall(Syscall nr, u32 a0 = 0, u32 a1 = 0, u32 a2 = 0);
+
+  /// Execute until an event occurs or `stop_cycles` is reached (0 = no
+  /// cycle stop).  Breakpoint events leave the machine resumable.
+  Event run(u64 stop_cycles = 0);
+
+  bool idle() const { return !syscall_active_ && glue_stack_.empty(); }
+
+  /// Total simulated user-mode cycles charged so far (for estimating the
+  /// kernel-time fraction of wall-clock, used by the register injector).
+  u64 user_cycles() const { return user_cycles_total_; }
+
+  /// Convenience: run one syscall to completion (no breakpoints in play).
+  Event syscall(Syscall nr, u32 a0 = 0, u32 a1 = 0, u32 a2 = 0,
+                u64 budget_cycles = 200'000'000);
+
+  // --- introspection / experiment support ---
+  u32 read_global(const std::string& object, u32 index = 0,
+                  const std::string& field = "") const;
+  void write_global(const std::string& object, u32 value, u32 index = 0,
+                    const std::string& field = "");
+  Addr global_field_addr(const std::string& object, u32 index,
+                         const std::string& field) const;
+  u32 current_task() const;
+  /// Live stack pointer and configured stack range of a task.
+  Addr task_stack_base(u32 task) const {
+    return stack_base(arch_, task);
+  }
+  Addr task_stack_top(u32 task) const { return stack_top(arch_, task); }
+
+  /// Per-function entry counters (enable before running a profile pass).
+  void set_profiling(bool enabled);
+  const std::vector<u64>& profile_counts() const { return profile_counts_; }
+
+  MachineSnapshot snapshot() const;
+  void restore(const MachineSnapshot& snap);
+
+  /// The snapshot taken right after boot (the "reboot" target).
+  const MachineSnapshot& boot_snapshot() const { return boot_snapshot_; }
+
+ private:
+  enum class GlueKind : u8 { kSyscall, kIsr };
+  struct GlueFrame {
+    GlueKind kind;
+    bool from_user = false;
+  };
+  struct PendingSyscall {
+    u32 nr, a0, a1, a2;
+  };
+
+  void boot();
+  void write_glue_stubs();
+  void setup_syscall_frame(const PendingSyscall& req);
+  void enter_isr(bool from_user);
+  bool isr_return();      // false => fatal raised into fatal_
+  bool syscall_return(u32& ret_out);
+  void maybe_deliver_timer();
+  bool interrupts_enabled() const;
+  Event make_crash_event(const isa::Trap& trap);
+  bool sp_out_of_any_stack(Addr sp) const;
+  u64 jitter(u64 lo, u64 hi);
+  Addr glue_addr(u32 offset) const { return kGlueBase + offset; }
+
+  isa::Arch arch_;
+  MachineOptions options_;
+  mem::AddressSpace space_;
+  kir::Image image_;
+  std::unique_ptr<isa::CpuCore> cpu_;
+  cisca::CiscaCpu* cisca_cpu_ = nullptr;  // set when arch == kCisca
+  riscf::RiscfCpu* riscf_cpu_ = nullptr;  // set when arch == kRiscf
+  std::unique_ptr<kir::Backend> helper_backend_;  // prepare_initial_stack
+  std::unordered_map<Addr, u32> entry_map_;       // function entry profiling
+  Rng rng_;
+
+  // Cached symbol info.
+  Addr dispatch_entry_ = 0;
+  Addr timer_entry_ = 0;
+  Addr current_addr_ = 0;
+
+  // Runtime state.
+  std::vector<GlueFrame> glue_stack_;
+  std::optional<PendingSyscall> pending_syscall_;
+  u32 pending_user_ticks_ = 0;
+  bool syscall_active_ = false;
+  u64 next_timer_ = 0;
+  u64 user_cycles_total_ = 0;
+  u32 expected_sprg2_ = 0;
+  std::optional<isa::Trap> fatal_pending_;  // raised by runtime glue
+
+  // Profiling.
+  bool profiling_ = false;
+  std::vector<u64> profile_counts_;
+
+  MachineSnapshot boot_snapshot_;
+};
+
+/// Build and finalize a kernel image for the given architecture (exposed
+/// for tests and decoder studies that want the image without a Machine).
+kir::Image build_kernel_image(isa::Arch arch, bool spinlock_debug = true);
+
+}  // namespace kfi::kernel

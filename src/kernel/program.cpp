@@ -1,0 +1,1311 @@
+#include "kernel/program.hpp"
+
+#include "kernel/abi.hpp"
+#include "kir/backend.hpp"
+
+namespace kfi::kernel {
+
+namespace {
+
+using kir::Backend;
+using kir::BinOp;
+using kir::Cond;
+using kir::FuncId;
+using kir::GlobalId;
+using kir::LabelId;
+using kir::LocalId;
+using kir::StructDecl;
+using kir::Width;
+
+// Field indices (positional; names are carried into the image layout).
+enum TaskField : u32 {
+  TF_STATE = 0,   // 0 = runnable/running, 1 = interruptible sleep
+  TF_FLAGS,
+  TF_PID,
+  TF_COUNTER,
+  TF_TIMEOUT,
+  TF_SP,
+  TF_STACK_BASE,
+  TF_STACK_TOP,
+};
+
+enum BufField : u32 {
+  BF_STATE = 0,  // 0 clean, 1 dirty
+  BF_DEV,
+  BF_BLOCKNR,
+  BF_COUNT,
+  BF_DATA_PTR,   // address of the cached block's bytes
+};
+
+enum JournalField : u32 {
+  JF_RUNNING_TRANSACTION = 0,  // address of the running transaction, or 0
+  JF_COMMIT_COUNT,
+  JF_FLAGS,
+};
+
+enum TransField : u32 {
+  XF_EXPIRES = 0,
+  XF_STATE,
+  XF_NBLOCKS,
+};
+
+enum FileField : u32 {
+  FF_USED = 0,
+  FF_POS,
+  FF_START_BLOCK,
+  FF_NBLOCKS,
+};
+
+enum SkbField : u32 {
+  KF_NEXT = 0,   // address of next free skb, 0 terminates (NULL-deref bait)
+  KF_DATA_PTR,
+  KF_LEN,
+  KF_USED,
+};
+
+/// All kernel global/function handles, threaded through the builders.
+struct Ctx {
+  Backend& b;
+
+  // sched
+  GlobalId tasks, current, jiffies, need_resched, runqueue_lock, kernel_flag;
+  // fs
+  GlobalId buffer_heads, buffer_data, bh_clock, bdev_lock;
+  GlobalId journal, transactions, journal_lock;
+  GlobalId disk_blocks, file_table;
+  // mm
+  GlobalId page_free_list, free_count, mem_lock, page_pool;
+  // net
+  GlobalId skbs, skb_data, skb_head, rx_ring, tx_ring, rx_head, rx_tail,
+      tx_head, tx_tail, net_lock;
+  // stats
+  GlobalId syscall_count, flush_count, intr_count, commit_count;
+
+  // functions
+  FuncId f_switch_to, f_schedule, f_schedule_timeout, f_do_timer_tick;
+  FuncId f_memcpy_user, f_checksum;
+  FuncId f_getblk, f_flush_buffer, f_sync_old_buffers, f_sys_read, f_sys_write;
+  FuncId f_kupdate, f_kjournald;
+  FuncId f_alloc_pages, f_free_pages_ok, f_sys_alloc, f_sys_free;
+  FuncId f_alloc_skb, f_kfree_skb, f_net_tx_action, f_sys_send, f_sys_recv;
+  FuncId f_ksoftirqd, f_sys_yield, f_sys_getpid, f_sys_dispatch;
+
+  explicit Ctx(Backend& backend) : b(backend) {}
+};
+
+void declare_data(Ctx& c) {
+  Backend& b = c.b;
+
+  const StructDecl task_decl{
+      "task_struct",
+      {{"state", Width::kU8},
+       {"flags", Width::kU8},
+       {"pid", Width::kU16},
+       {"counter", Width::kU32},
+       {"timeout", Width::kU32},
+       {"sp", Width::kU32},
+       {"stack_base", Width::kU32},
+       {"stack_top", Width::kU32}}};
+  const StructDecl lock_decl{
+      "spinlock_t", {{"lock", Width::kU8}, {"magic", Width::kU32}}};
+  const StructDecl buf_decl{"buffer_head",
+                            {{"state", Width::kU8},
+                             {"dev", Width::kU8},
+                             {"blocknr", Width::kU16},
+                             {"count", Width::kU16},
+                             {"data_ptr", Width::kU32}}};
+  const StructDecl journal_decl{"journal_t",
+                                {{"j_running_transaction", Width::kU32},
+                                 {"j_commit_count", Width::kU32},
+                                 {"j_flags", Width::kU8}}};
+  const StructDecl trans_decl{"transaction_t",
+                              {{"t_expires", Width::kU32},
+                               {"t_state", Width::kU8},
+                               {"t_nblocks", Width::kU16}}};
+  const StructDecl file_decl{"file",
+                             {{"used", Width::kU8},
+                              {"pos", Width::kU32},
+                              {"start_block", Width::kU16},
+                              {"nblocks", Width::kU16}}};
+  const StructDecl skb_decl{"sk_buff",
+                            {{"next", Width::kU32},
+                             {"data_ptr", Width::kU32},
+                             {"len", Width::kU16},
+                             {"used", Width::kU8}}};
+
+  // --- sched ---
+  c.tasks = b.declare_struct_array("task_structs", task_decl, kNumTasks);
+  c.current = b.declare_scalar("current", Width::kU32, 0);
+  c.jiffies = b.declare_scalar("jiffies", Width::kU32, 0);
+  c.need_resched = b.declare_scalar("need_resched", Width::kU8, 0);
+  c.runqueue_lock = b.declare_struct_array("runqueue_lock", lock_decl, 1);
+  c.kernel_flag = b.declare_struct_array("kernel_flag_cacheline", lock_decl, 1);
+
+  // --- fs ---
+  c.buffer_heads = b.declare_struct_array("buffer_heads", buf_decl, kNumBuffers);
+  c.buffer_data =
+      b.declare_array("buffer_data", Width::kU8, kNumBuffers * kBlockSize,
+                      /*initialized=*/true, /*structural=*/false);
+  c.bh_clock = b.declare_scalar("bh_clock", Width::kU32, 0);
+  c.bdev_lock = b.declare_struct_array("bdev_lock", lock_decl, 1);
+  c.journal = b.declare_struct_array("journal", journal_decl, 1);
+  c.transactions = b.declare_struct_array("transactions", trans_decl, 4);
+  c.journal_lock = b.declare_struct_array("journal_datalist_lock", lock_decl, 1);
+  c.disk_blocks =
+      b.declare_array("disk_blocks", Width::kU8, kNumDiskBlocks * kBlockSize,
+                      /*initialized=*/true, /*structural=*/false);
+  c.file_table = b.declare_struct_array("file_table", file_decl, kNumFiles);
+
+  // --- mm ---
+  c.page_free_list = b.declare_array("page_free_list", Width::kU32, kNumPages);
+  c.free_count = b.declare_scalar("free_count", Width::kU32, kNumPages);
+  c.mem_lock = b.declare_struct_array("page_table_lock", lock_decl, 1);
+  c.page_pool =
+      b.declare_array("page_pool", Width::kU8, kNumPages * kPoolBlockSize,
+                      /*initialized=*/false, /*structural=*/false);
+
+  // --- net ---
+  c.skbs = b.declare_struct_array("skbs", skb_decl, kNumSkbs);
+  c.skb_data =
+      b.declare_array("skb_data", Width::kU8, kNumSkbs * kSkbDataSize,
+                      /*initialized=*/false, /*structural=*/false);
+  c.skb_head = b.declare_scalar("skb_head", Width::kU32, 0);
+  c.rx_ring = b.declare_array("rx_ring", Width::kU32, kRingSize);
+  c.tx_ring = b.declare_array("tx_ring", Width::kU32, kRingSize);
+  c.rx_head = b.declare_scalar("rx_head", Width::kU32, 0);
+  c.rx_tail = b.declare_scalar("rx_tail", Width::kU32, 0);
+  c.tx_head = b.declare_scalar("tx_head", Width::kU32, 0);
+  c.tx_tail = b.declare_scalar("tx_tail", Width::kU32, 0);
+  c.net_lock = b.declare_struct_array("net_lock", lock_decl, 1);
+
+  // --- cold structural data ---
+  // Realistic kernels carry large, rarely-touched tables in .data/.bss;
+  // they give the data campaign its low activation rate (paper: 0.5-1.5%).
+  const StructDecl inode_decl{"inode",
+                              {{"i_mode", Width::kU16},
+                               {"i_uid", Width::kU16},
+                               {"i_size", Width::kU32},
+                               {"i_blocks", Width::kU32},
+                               {"i_flags", Width::kU32}}};
+  const StructDecl exent_decl{
+      "exception_entry", {{"insn", Width::kU32}, {"fixup", Width::kU32}}};
+  const StructDecl sysctl_decl{"ctl_table",
+                               {{"ctl_name", Width::kU32},
+                                {"mode", Width::kU16},
+                                {"data", Width::kU32}}};
+  const StructDecl proto_decl{"proto_ops",
+                              {{"family", Width::kU16},
+                               {"type", Width::kU8},
+                               {"handler", Width::kU32}}};
+  const StructDecl dentry_decl{"dentry",
+                               {{"d_hash", Width::kU32},
+                                {"d_parent", Width::kU32},
+                                {"d_inode", Width::kU32},
+                                {"d_flags", Width::kU16}}};
+  const StructDecl module_decl{"module_entry",
+                               {{"init", Width::kU32},
+                                {"cleanup", Width::kU32},
+                                {"refcount", Width::kU16},
+                                {"flags", Width::kU8},
+                                {"next", Width::kU32}}};
+  const GlobalId inode_table =
+      b.declare_struct_array("inode_table", inode_decl, 128);
+  const GlobalId exception_table =
+      b.declare_struct_array("exception_table", exent_decl, 192);
+  const GlobalId sysctl_table =
+      b.declare_struct_array("sysctl_table", sysctl_decl, 96);
+  const GlobalId proto_table =
+      b.declare_struct_array("proto_ops_table", proto_decl, 64);
+  const GlobalId dentry_table =
+      b.declare_struct_array("dentry_hashtable", dentry_decl, 128);
+  const GlobalId module_list =
+      b.declare_struct_array("module_list", module_decl, 48);
+  b.declare_array("pid_hash", Width::kU32, 256);
+  b.declare_array("irq_desc_ptrs", Width::kU32, 128);
+  // Plausible pointer-heavy contents (text/data addresses and flags).
+  for (u32 i = 0; i < 128; ++i) {
+    b.set_initial(inode_table, i, 0, 0x81A4);            // S_IFREG | 0644
+    b.set_initial(inode_table, i, 2, (i * 1021) & 0xFFFF);
+    b.set_initial(inode_table, i, 4, 0x10);
+  }
+  for (u32 i = 0; i < 192; ++i) {
+    b.set_initial(exception_table, i, 0, 0xC0100000u + i * 8);
+    b.set_initial(exception_table, i, 1, 0xC0100004u + i * 8);
+  }
+  for (u32 i = 0; i < 96; ++i) {
+    b.set_initial(sysctl_table, i, 0, i + 1);
+    b.set_initial(sysctl_table, i, 1, 0644);
+    b.set_initial(sysctl_table, i, 2, 0xC0200000u + i * 4);
+  }
+  for (u32 i = 0; i < 64; ++i) {
+    b.set_initial(proto_table, i, 0, 2);  // AF_INET
+    b.set_initial(proto_table, i, 2, 0xC0100200u + i * 16);
+  }
+  for (u32 i = 0; i < 128; ++i) {
+    b.set_initial(dentry_table, i, 1, 0xC0200100u + i * 16);
+    b.set_initial(dentry_table, i, 2, 0xC0200200u + i * 20);
+  }
+  for (u32 i = 0; i < 48; ++i) {
+    b.set_initial(module_list, i, 0, 0xC0100800u + i * 32);
+    b.set_initial(module_list, i, 4,
+                  i + 1 < 48 ? 0xC0210000u + (i + 1) * 20 : 0);
+  }
+
+  // --- stats ---
+  c.syscall_count = b.declare_scalar("syscall_count", Width::kU32, 0);
+  c.flush_count = b.declare_scalar("flush_count", Width::kU32, 0);
+  c.intr_count = b.declare_scalar("intr_count", Width::kU32, 0);
+  c.commit_count = b.declare_scalar("commit_count", Width::kU32, 0);
+
+  // ---- initial values ----
+  for (const GlobalId lock :
+       {c.runqueue_lock, c.kernel_flag, c.bdev_lock, c.journal_lock,
+        c.mem_lock, c.net_lock}) {
+    b.set_initial(lock, 0, 1, kir::kSpinlockMagic);
+  }
+  for (u32 i = 0; i < kNumTasks; ++i) {
+    b.set_initial(c.tasks, i, TF_PID, i + 1);
+    b.set_initial(c.tasks, i, TF_COUNTER, kQuantum);
+  }
+  for (u32 i = 0; i < kNumBuffers; ++i) {
+    b.set_initial(c.buffer_heads, i, BF_DATA_PTR,
+                  b.global_addr(c.buffer_data) + i * kBlockSize);
+  }
+  // Deterministic "disk" contents the workload can validate end to end.
+  for (u32 block = 0; block < kNumDiskBlocks; ++block) {
+    for (u32 i = 0; i < kBlockSize; ++i) {
+      b.set_initial(c.disk_blocks, block * kBlockSize + i, 0,
+                    (block * 31 + i * 7 + 3) & 0xFF);
+    }
+  }
+  for (u32 f = 0; f < kNumFiles; ++f) {
+    b.set_initial(c.file_table, f, FF_USED, 1);
+    b.set_initial(c.file_table, f, FF_START_BLOCK, f * 16);
+    b.set_initial(c.file_table, f, FF_NBLOCKS, 16);
+  }
+  for (u32 i = 0; i < kNumPages; ++i) {
+    b.set_initial(c.page_free_list, i, 0,
+                  b.global_addr(c.page_pool) + i * kPoolBlockSize);
+  }
+  const Addr skb_base = b.global_addr(c.skbs);
+  const u32 skb_size = b.global_elem_size(c.skbs);
+  for (u32 i = 0; i < kNumSkbs; ++i) {
+    b.set_initial(c.skbs, i, KF_NEXT,
+                  i + 1 < kNumSkbs ? skb_base + (i + 1) * skb_size : 0);
+    b.set_initial(c.skbs, i, KF_DATA_PTR,
+                  b.global_addr(c.skb_data) + i * kSkbDataSize);
+  }
+  b.set_initial(c.skb_head, 0, 0, skb_base);
+}
+
+void declare_functions(Ctx& c) {
+  Backend& b = c.b;
+  c.f_switch_to = b.declare_function("__switch_to", 2);
+  c.f_schedule = b.declare_function("schedule", 0);
+  c.f_schedule_timeout = b.declare_function("schedule_timeout", 1);
+  c.f_do_timer_tick = b.declare_function("do_timer_tick", 0);
+  c.f_memcpy_user = b.declare_function("memcpy_user", 3);
+  c.f_checksum = b.declare_function("checksum", 2);
+  c.f_getblk = b.declare_function("getblk", 2);
+  c.f_flush_buffer = b.declare_function("flush_buffer", 1);
+  c.f_sync_old_buffers = b.declare_function("sync_old_buffers", 0);
+  c.f_sys_read = b.declare_function("sys_read", 3);
+  c.f_sys_write = b.declare_function("sys_write", 3);
+  c.f_kupdate = b.declare_function("kupdate_thread", 0);
+  c.f_kjournald = b.declare_function("kjournald_thread", 0);
+  c.f_alloc_pages = b.declare_function("alloc_pages", 0);
+  c.f_free_pages_ok = b.declare_function("free_pages_ok", 1);
+  c.f_sys_alloc = b.declare_function("sys_alloc", 0);
+  c.f_sys_free = b.declare_function("sys_free", 1);
+  c.f_alloc_skb = b.declare_function("alloc_skb", 0);
+  c.f_kfree_skb = b.declare_function("kfree_skb", 1);
+  c.f_net_tx_action = b.declare_function("net_tx_action", 0);
+  c.f_sys_send = b.declare_function("sys_send", 2);
+  c.f_sys_recv = b.declare_function("sys_recv", 2);
+  c.f_ksoftirqd = b.declare_function("ksoftirqd_thread", 0);
+  c.f_sys_yield = b.declare_function("sys_yield", 0);
+  c.f_sys_getpid = b.declare_function("sys_getpid", 0);
+  c.f_sys_dispatch = b.declare_function("sys_dispatch", 4);
+}
+
+// Convenience: return constant.
+void ret_const(Backend& b, u32 v) {
+  b.push_const(v);
+  b.ret();
+}
+
+// ---------------------------------------------------------------- lib ----
+
+void build_memcpy_user(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_memcpy_user);
+  const LocalId dst = b.param(0), src = b.param(1), n = b.param(2);
+  const LocalId i = b.add_local("i");
+  // Sanity check, as the 2.4 copy routines did: a wild length means a
+  // corrupted caller — BUG() (surfaces as Invalid/Illegal Instruction).
+  const LabelId len_ok = b.new_label();
+  b.push_local(n);
+  b.push_const(0x10000);
+  b.branch_cmp(Cond::kLeU, len_ok);
+  b.bug();
+  b.bind(len_ok);
+  b.push_const(0);
+  b.pop_local(i);
+  const LabelId top = b.new_label(), end = b.new_label();
+  b.bind(top);
+  b.push_local(i);
+  b.push_local(n);
+  b.branch_cmp(Cond::kGeU, end);
+  // byte = *(src + i)
+  b.push_local(src);
+  b.push_local(i);
+  b.binop(BinOp::kAdd);
+  b.load_ind(Width::kU8);
+  // *(dst + i) = byte
+  b.push_local(dst);
+  b.push_local(i);
+  b.binop(BinOp::kAdd);
+  b.store_ind(Width::kU8);
+  b.push_local(i);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.pop_local(i);
+  b.jump(top);
+  b.bind(end);
+  b.push_local(n);
+  b.ret();
+  b.end_function();
+}
+
+void build_checksum(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_checksum);
+  const LocalId addr = b.param(0), n = b.param(1);
+  const LocalId i = b.add_local("i"), sum = b.add_local("sum");
+  b.push_const(0);
+  b.pop_local(i);
+  b.push_const(0);
+  b.pop_local(sum);
+  const LabelId top = b.new_label(), end = b.new_label();
+  b.bind(top);
+  b.push_local(i);
+  b.push_local(n);
+  b.branch_cmp(Cond::kGeU, end);
+  // sum = sum * 31 + byte
+  b.push_local(sum);
+  b.push_const(31);
+  b.binop(BinOp::kMul);
+  b.push_local(addr);
+  b.push_local(i);
+  b.binop(BinOp::kAdd);
+  b.load_ind(Width::kU8);
+  b.binop(BinOp::kAdd);
+  b.pop_local(sum);
+  b.push_local(i);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.pop_local(i);
+  b.jump(top);
+  b.bind(end);
+  b.push_local(sum);
+  b.ret();
+  b.end_function();
+}
+
+// -------------------------------------------------------------- sched ----
+
+void build_do_timer_tick(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_do_timer_tick);
+  const LocalId i = b.add_local("i"), cnt = b.add_local("cnt");
+  // jiffies++, intr_count++, per-CPU tick counter++
+  b.load_global(c.jiffies);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.jiffies);
+  b.bump_percpu_counter(0x10);
+  b.load_global(c.intr_count);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.intr_count);
+  // Wake sleepers whose timeout expired.
+  b.push_const(0);
+  b.pop_local(i);
+  const LabelId top = b.new_label(), next = b.new_label(), end = b.new_label();
+  b.bind(top);
+  b.push_local(i);
+  b.push_const(kNumTasks);
+  b.branch_cmp(Cond::kGeU, end);
+  b.push_local(i);
+  b.load_elem(c.tasks, TF_STATE);
+  b.push_const(1);
+  b.branch_cmp(Cond::kNe, next);
+  b.push_local(i);
+  b.load_elem(c.tasks, TF_TIMEOUT);
+  b.load_global(c.jiffies);
+  b.branch_cmp(Cond::kGtU, next);
+  b.push_const(0);  // value
+  b.push_local(i);  // index
+  b.store_elem(c.tasks, TF_STATE);
+  b.bind(next);
+  b.push_local(i);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.pop_local(i);
+  b.jump(top);
+  b.bind(end);
+  // Quantum accounting on the current task.
+  b.load_global(c.current);
+  b.load_elem(c.tasks, TF_COUNTER);
+  b.pop_local(cnt);
+  const LabelId nonzero = b.new_label(), done = b.new_label();
+  b.push_local(cnt);
+  b.branch_if_nonzero(nonzero);
+  b.push_const(1);
+  b.store_global(c.need_resched);
+  b.push_const(kQuantum);  // value
+  b.load_global(c.current);
+  b.store_elem(c.tasks, TF_COUNTER);
+  b.jump(done);
+  b.bind(nonzero);
+  b.push_local(cnt);
+  b.push_const(1);
+  b.binop(BinOp::kSub);
+  b.load_global(c.current);
+  b.store_elem(c.tasks, TF_COUNTER);
+  b.bind(done);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_schedule(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_schedule);
+  const LocalId prev = b.add_local("prev"), next_t = b.add_local("next");
+  const LocalId i = b.add_local("i"), cand = b.add_local("cand");
+  b.spin_lock(c.runqueue_lock);
+  b.load_global(c.current);
+  b.pop_local(prev);
+  b.push_local(prev);
+  b.pop_local(next_t);
+  b.push_const(1);
+  b.pop_local(i);
+  const LabelId top = b.new_label(), found = b.new_label(),
+                cont = b.new_label(), decided = b.new_label();
+  b.bind(top);
+  b.push_local(i);
+  b.push_const(kNumTasks);
+  b.branch_cmp(Cond::kGtU, decided);
+  // cand = (prev + i) mod kNumTasks
+  b.push_local(prev);
+  b.push_local(i);
+  b.binop(BinOp::kAdd);
+  b.pop_local(cand);
+  b.push_local(cand);
+  b.push_const(kNumTasks);
+  b.branch_cmp(Cond::kLtU, cont);
+  b.push_local(cand);
+  b.push_const(kNumTasks);
+  b.binop(BinOp::kSub);
+  b.pop_local(cand);
+  b.bind(cont);
+  b.push_local(cand);
+  b.load_elem(c.tasks, TF_STATE);
+  b.branch_if_zero(found);
+  b.push_local(i);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.pop_local(i);
+  b.jump(top);
+  b.bind(found);
+  b.push_local(cand);
+  b.pop_local(next_t);
+  b.bind(decided);
+  b.push_local(next_t);
+  b.store_global(c.current);
+  b.push_const(0);
+  b.store_global(c.need_resched);
+  b.spin_unlock(c.runqueue_lock);
+  const LabelId same = b.new_label();
+  b.push_local(next_t);
+  b.push_local(prev);
+  b.branch_cmp(Cond::kEq, same);
+  b.push_local(prev);
+  b.push_local(next_t);
+  b.call(c.f_switch_to, 2);
+  b.drop();
+  b.bind(same);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_schedule_timeout(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_schedule_timeout);
+  const LocalId ticks = b.param(0);
+  // tasks[current].state = TASK_INTERRUPTIBLE (paper Figure 8 pattern)
+  b.push_const(1);
+  b.load_global(c.current);
+  b.store_elem(c.tasks, TF_STATE);
+  b.load_global(c.jiffies);
+  b.push_local(ticks);
+  b.binop(BinOp::kAdd);
+  b.load_global(c.current);
+  b.store_elem(c.tasks, TF_TIMEOUT);
+  b.call(c.f_schedule, 0);
+  b.ret();
+  b.end_function();
+}
+
+void build_sys_yield(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_sys_yield);
+  b.call(c.f_schedule, 0);
+  b.drop();
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_sys_getpid(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_sys_getpid);
+  b.load_global(c.current);
+  b.load_elem(c.tasks, TF_PID);
+  b.ret();
+  b.end_function();
+}
+
+// ----------------------------------------------------------------- fs ----
+
+void build_flush_buffer(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_flush_buffer);
+  const LocalId idx = b.param(0);
+  const LocalId dst = b.add_local("dst"), src = b.add_local("src");
+  const LabelId clean = b.new_label();
+  b.push_local(idx);
+  b.load_elem(c.buffer_heads, BF_STATE);
+  b.branch_if_zero(clean);
+  // dst = &disk_blocks[blocknr * kBlockSize]
+  b.push_local(idx);
+  b.load_elem(c.buffer_heads, BF_BLOCKNR);
+  b.push_const(kBlockSize);
+  b.binop(BinOp::kMul);
+  b.elem_addr(c.disk_blocks);
+  b.pop_local(dst);
+  b.push_local(idx);
+  b.load_elem(c.buffer_heads, BF_DATA_PTR);
+  b.pop_local(src);
+  b.push_local(dst);
+  b.push_local(src);
+  b.push_const(kBlockSize);
+  b.call(c.f_memcpy_user, 3);
+  b.drop();
+  b.push_const(0);  // clean
+  b.push_local(idx);
+  b.store_elem(c.buffer_heads, BF_STATE);
+  b.load_global(c.flush_count);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.flush_count);
+  b.bind(clean);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_sync_old_buffers(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_sync_old_buffers);
+  const LocalId i = b.add_local("i");
+  b.push_const(0);
+  b.pop_local(i);
+  const LabelId top = b.new_label(), end = b.new_label();
+  b.bind(top);
+  b.push_local(i);
+  b.push_const(kNumBuffers);
+  b.branch_cmp(Cond::kGeU, end);
+  b.push_local(i);
+  b.call(c.f_flush_buffer, 1);
+  b.drop();
+  b.push_local(i);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.pop_local(i);
+  b.jump(top);
+  b.bind(end);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_getblk(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_getblk);
+  const LocalId dev = b.param(0), block = b.param(1);
+  const LocalId slot = b.add_local("slot");
+  const LocalId dst = b.add_local("dst"), src = b.add_local("src");
+  b.spin_lock(c.bdev_lock);
+  // Hash probe, Linux-2.4 buffer-cache style (direct-mapped here): only
+  // the hashed slot is examined, so lookups touch one buffer_head.
+  b.push_local(block);
+  b.push_local(dev);
+  b.push_const(7);
+  b.binop(BinOp::kMul);
+  b.binop(BinOp::kXor);
+  b.push_const(kNumBuffers - 1);
+  b.binop(BinOp::kAnd);
+  b.pop_local(slot);
+  const LabelId miss = b.new_label();
+  b.push_local(slot);
+  b.load_elem(c.buffer_heads, BF_DEV);
+  b.push_local(dev);
+  b.branch_cmp(Cond::kNe, miss);
+  b.push_local(slot);
+  b.load_elem(c.buffer_heads, BF_BLOCKNR);
+  b.push_local(block);
+  b.branch_cmp(Cond::kNe, miss);
+  // Hit.
+  b.push_local(slot);
+  b.load_elem(c.buffer_heads, BF_COUNT);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.push_local(slot);
+  b.store_elem(c.buffer_heads, BF_COUNT);
+  b.spin_unlock(c.bdev_lock);
+  b.push_local(slot);
+  b.ret();
+  // Miss: evict the hashed slot (write back if dirty), fill from "disk".
+  b.bind(miss);
+  b.push_local(slot);
+  b.call(c.f_flush_buffer, 1);
+  b.drop();
+  b.push_local(dev);
+  b.push_local(slot);
+  b.store_elem(c.buffer_heads, BF_DEV);
+  b.push_local(block);
+  b.push_local(slot);
+  b.store_elem(c.buffer_heads, BF_BLOCKNR);
+  b.push_const(0);
+  b.push_local(slot);
+  b.store_elem(c.buffer_heads, BF_STATE);
+  b.push_const(1);
+  b.push_local(slot);
+  b.store_elem(c.buffer_heads, BF_COUNT);
+  b.push_local(slot);
+  b.load_elem(c.buffer_heads, BF_DATA_PTR);
+  b.pop_local(dst);
+  b.push_local(block);
+  b.push_const(kBlockSize);
+  b.binop(BinOp::kMul);
+  b.elem_addr(c.disk_blocks);
+  b.pop_local(src);
+  b.push_local(dst);
+  b.push_local(src);
+  b.push_const(kBlockSize);
+  b.call(c.f_memcpy_user, 3);
+  b.drop();
+  b.spin_unlock(c.bdev_lock);
+  b.push_local(slot);
+  b.ret();
+  b.end_function();
+}
+
+/// Shared shape of sys_read/sys_write: whole-block transfers between a
+/// user buffer and the buffer cache.
+void build_sys_rw(Ctx& c, FuncId func, bool is_write) {
+  Backend& b = c.b;
+  b.begin_function(func);
+  const LocalId fd = b.param(0), ubuf = b.param(1), len = b.param(2);
+  const LocalId copied = b.add_local("copied"), block = b.add_local("block");
+  const LocalId bh = b.add_local("bh"), pos = b.add_local("pos");
+  const LocalId bufp = b.add_local("bufp");
+  const LabelId bad = b.new_label();
+  b.push_local(fd);
+  b.push_const(kNumFiles);
+  b.branch_cmp(Cond::kGeU, bad);
+  b.push_local(fd);
+  b.load_elem(c.file_table, FF_USED);
+  b.branch_if_zero(bad);
+  b.push_const(0);
+  b.pop_local(copied);
+  const LabelId top = b.new_label(), end = b.new_label();
+  b.bind(top);
+  b.push_local(copied);
+  b.push_local(len);
+  b.branch_cmp(Cond::kGeU, end);
+  // pos wraps at file end
+  b.push_local(fd);
+  b.load_elem(c.file_table, FF_POS);
+  b.pop_local(pos);
+  const LabelId inrange = b.new_label();
+  b.push_local(pos);
+  b.push_local(fd);
+  b.load_elem(c.file_table, FF_NBLOCKS);
+  b.push_const(kBlockSize);
+  b.binop(BinOp::kMul);
+  b.branch_cmp(Cond::kLtU, inrange);
+  b.push_const(0);
+  b.pop_local(pos);
+  b.bind(inrange);
+  // block = start_block + pos / kBlockSize
+  b.push_local(fd);
+  b.load_elem(c.file_table, FF_START_BLOCK);
+  b.push_local(pos);
+  b.push_const(6);  // log2(kBlockSize)
+  b.binop(BinOp::kShrU);
+  b.binop(BinOp::kAdd);
+  b.pop_local(block);
+  b.push_const(1);  // dev
+  b.push_local(block);
+  b.call(c.f_getblk, 2);
+  b.pop_local(bh);
+  b.push_local(bh);
+  b.load_elem(c.buffer_heads, BF_DATA_PTR);
+  b.pop_local(bufp);
+  if (is_write) {
+    b.push_local(bufp);
+    b.push_local(ubuf);
+    b.push_local(copied);
+    b.binop(BinOp::kAdd);
+    b.push_const(kBlockSize);
+    b.call(c.f_memcpy_user, 3);
+    b.drop();
+    b.push_const(1);  // dirty
+    b.push_local(bh);
+    b.store_elem(c.buffer_heads, BF_STATE);
+  } else {
+    b.push_local(ubuf);
+    b.push_local(copied);
+    b.binop(BinOp::kAdd);
+    b.push_local(bufp);
+    b.push_const(kBlockSize);
+    b.call(c.f_memcpy_user, 3);
+    b.drop();
+  }
+  // release reference; a zero count here is a corrupted buffer head
+  const LabelId ref_ok = b.new_label();
+  b.push_local(bh);
+  b.load_elem(c.buffer_heads, BF_COUNT);
+  b.branch_if_nonzero(ref_ok);
+  b.bug();
+  b.bind(ref_ok);
+  b.push_local(bh);
+  b.load_elem(c.buffer_heads, BF_COUNT);
+  b.push_const(1);
+  b.binop(BinOp::kSub);
+  b.push_local(bh);
+  b.store_elem(c.buffer_heads, BF_COUNT);
+  b.push_local(pos);
+  b.push_const(kBlockSize);
+  b.binop(BinOp::kAdd);
+  b.push_local(fd);
+  b.store_elem(c.file_table, FF_POS);
+  b.push_local(copied);
+  b.push_const(kBlockSize);
+  b.binop(BinOp::kAdd);
+  b.pop_local(copied);
+  b.jump(top);
+  b.bind(end);
+  b.push_local(copied);
+  b.ret();
+  b.bind(bad);
+  ret_const(b, kErrReturn);
+  b.end_function();
+}
+
+void build_kupdate(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_kupdate);
+  // for (;;) { sync_old_buffers(); schedule_timeout(interval); }  (Fig. 8)
+  const LabelId top = b.new_label();
+  b.bind(top);
+  b.call(c.f_sync_old_buffers, 0);
+  b.drop();
+  b.push_const(kKupdateInterval);
+  b.call(c.f_schedule_timeout, 1);
+  b.drop();
+  b.jump(top);
+  b.end_function();
+}
+
+void build_kjournald(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_kjournald);
+  const LocalId trans = b.add_local("trans"), expires = b.add_local("expires");
+  const u32 off_expires = b.field_offset(c.transactions, XF_EXPIRES);
+  const u32 off_state = b.field_offset(c.transactions, XF_STATE);
+  const LabelId top = b.new_label(), have = b.new_label(),
+                sleep = b.new_label(), not_due = b.new_label();
+  b.bind(top);
+  b.spin_lock(c.journal_lock);
+  // transaction = journal->j_running_transaction  (paper Figure 9)
+  b.load_global(c.journal, JF_RUNNING_TRANSACTION);
+  b.pop_local(trans);
+  b.push_local(trans);
+  b.branch_if_nonzero(have);
+  // Start a new transaction: transactions[jiffies & 3].
+  b.load_global(c.jiffies);
+  b.push_const(3);
+  b.binop(BinOp::kAnd);
+  b.elem_addr(c.transactions);
+  b.pop_local(trans);
+  b.push_const(1);  // value: running
+  b.push_local(trans);
+  b.push_const(off_state);
+  b.binop(BinOp::kAdd);
+  b.store_ind(Width::kU8);
+  b.load_global(c.jiffies);
+  b.push_const(kJournalInterval);
+  b.binop(BinOp::kAdd);
+  b.push_local(trans);
+  b.push_const(off_expires);
+  b.binop(BinOp::kAdd);
+  b.store_ind(Width::kU32);
+  b.push_local(trans);
+  b.store_global(c.journal, JF_RUNNING_TRANSACTION);
+  b.jump(sleep);
+  b.bind(have);
+  // expires = transaction->t_expires  (the Figure 9 crash site)
+  b.push_local(trans);
+  b.push_const(off_expires);
+  b.binop(BinOp::kAdd);
+  b.load_ind(Width::kU32);
+  b.pop_local(expires);
+  b.push_local(expires);
+  b.load_global(c.jiffies);
+  b.branch_cmp(Cond::kGtU, not_due);
+  // Commit.
+  b.push_const(2);  // committed
+  b.push_local(trans);
+  b.push_const(off_state);
+  b.binop(BinOp::kAdd);
+  b.store_ind(Width::kU8);
+  b.push_const(0);
+  b.store_global(c.journal, JF_RUNNING_TRANSACTION);
+  b.load_global(c.commit_count);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.commit_count);
+  b.bind(not_due);
+  b.bind(sleep);
+  b.spin_unlock(c.journal_lock);
+  b.push_const(kJournalInterval);
+  b.call(c.f_schedule_timeout, 1);
+  b.drop();
+  b.jump(top);
+  b.end_function();
+}
+
+// ----------------------------------------------------------------- mm ----
+
+void build_alloc_pages(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_alloc_pages);
+  const LocalId page = b.add_local("page");
+  b.spin_lock(c.mem_lock);
+  // free_count beyond the pool size means the freelist is corrupt: the
+  // allocator cannot trust anything — panic() (OS self-detected error).
+  const LabelId count_ok = b.new_label();
+  b.load_global(c.free_count);
+  b.push_const(kNumPages);
+  b.branch_cmp(Cond::kLeU, count_ok);
+  b.panic();
+  b.bind(count_ok);
+  const LabelId empty = b.new_label();
+  b.load_global(c.free_count);
+  b.branch_if_zero(empty);
+  b.load_global(c.free_count);
+  b.push_const(1);
+  b.binop(BinOp::kSub);
+  b.store_global(c.free_count);
+  b.load_global(c.free_count);
+  b.load_elem(c.page_free_list);
+  b.pop_local(page);
+  b.spin_unlock(c.mem_lock);
+  b.push_local(page);
+  b.ret();
+  b.bind(empty);
+  b.spin_unlock(c.mem_lock);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_free_pages_ok(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_free_pages_ok);
+  const LocalId page = b.param(0);
+  b.spin_lock(c.mem_lock);
+  const LabelId ok = b.new_label();
+  b.load_global(c.free_count);
+  b.push_const(kNumPages);
+  b.branch_cmp(Cond::kLtU, ok);
+  b.bug();  // double free / corrupted free count: BUG() like Linux mm
+  b.bind(ok);
+  b.push_local(page);  // value
+  b.load_global(c.free_count);  // index
+  b.store_elem(c.page_free_list);
+  b.load_global(c.free_count);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.free_count);
+  b.spin_unlock(c.mem_lock);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_sys_alloc(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_sys_alloc);
+  const LocalId page = b.add_local("page");
+  b.call(c.f_alloc_pages, 0);
+  b.pop_local(page);
+  const LabelId fail = b.new_label();
+  b.push_local(page);
+  b.branch_if_zero(fail);
+  // Stamp the page so sys_free can validate it round-trip.
+  b.push_local(page);
+  b.push_const(0x5A5A5A5Au);
+  b.binop(BinOp::kXor);
+  b.push_local(page);
+  b.store_ind(Width::kU32);
+  b.push_local(page);
+  b.ret();
+  b.bind(fail);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_sys_free(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_sys_free);
+  const LocalId page = b.param(0);
+  const LabelId bad = b.new_label();
+  b.push_local(page);
+  b.load_ind(Width::kU32);
+  b.push_local(page);
+  b.push_const(0x5A5A5A5Au);
+  b.binop(BinOp::kXor);
+  b.branch_cmp(Cond::kNe, bad);
+  b.push_local(page);
+  b.call(c.f_free_pages_ok, 1);
+  b.ret();
+  b.bind(bad);
+  ret_const(b, kErrReturn);
+  b.end_function();
+}
+
+// ---------------------------------------------------------------- net ----
+
+void build_alloc_skb(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_alloc_skb);
+  const LocalId skb = b.add_local("skb");
+  const u32 off_next = b.field_offset(c.skbs, KF_NEXT);
+  const u32 off_used = b.field_offset(c.skbs, KF_USED);
+  b.spin_lock(c.net_lock);
+  const LabelId empty = b.new_label();
+  b.load_global(c.skb_head);
+  b.pop_local(skb);
+  b.push_local(skb);
+  b.branch_if_zero(empty);
+  // skb_head = skb->next   (paper Figure 7: mov (%eax),%ecx crash site)
+  b.push_local(skb);
+  b.push_const(off_next);
+  b.binop(BinOp::kAdd);
+  b.load_ind(Width::kU32);
+  b.store_global(c.skb_head);
+  b.push_const(1);
+  b.push_local(skb);
+  b.push_const(off_used);
+  b.binop(BinOp::kAdd);
+  b.store_ind(Width::kU8);
+  b.spin_unlock(c.net_lock);
+  b.push_local(skb);
+  b.ret();
+  b.bind(empty);
+  b.spin_unlock(c.net_lock);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_kfree_skb(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_kfree_skb);
+  const LocalId skb = b.param(0);
+  const u32 off_next = b.field_offset(c.skbs, KF_NEXT);
+  const u32 off_used = b.field_offset(c.skbs, KF_USED);
+  b.spin_lock(c.net_lock);
+  // Double-free / corrupted-skb check (BUG on a clear used flag).
+  const LabelId used_ok = b.new_label();
+  b.push_local(skb);
+  b.push_const(off_used);
+  b.binop(BinOp::kAdd);
+  b.load_ind(Width::kU8);
+  b.push_const(1);
+  b.branch_cmp(Cond::kEq, used_ok);
+  b.bug();
+  b.bind(used_ok);
+  b.load_global(c.skb_head);  // value
+  b.push_local(skb);
+  b.push_const(off_next);
+  b.binop(BinOp::kAdd);  // addr
+  b.store_ind(Width::kU32);
+  b.push_local(skb);
+  b.store_global(c.skb_head);
+  b.push_const(0);
+  b.push_local(skb);
+  b.push_const(off_used);
+  b.binop(BinOp::kAdd);
+  b.store_ind(Width::kU8);
+  b.spin_unlock(c.net_lock);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_net_tx_action(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_net_tx_action);
+  const LocalId skb = b.add_local("skb");
+  b.spin_lock(c.net_lock);
+  const LabelId top = b.new_label(), done = b.new_label();
+  b.bind(top);
+  b.load_global(c.tx_tail);
+  b.load_global(c.tx_head);
+  b.branch_cmp(Cond::kEq, done);
+  b.load_global(c.tx_tail);
+  b.push_const(kRingSize - 1);
+  b.binop(BinOp::kAnd);
+  b.load_elem(c.tx_ring);
+  b.pop_local(skb);
+  b.load_global(c.tx_tail);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.tx_tail);
+  // Loopback delivery into the rx ring.
+  b.push_local(skb);  // value
+  b.load_global(c.rx_head);
+  b.push_const(kRingSize - 1);
+  b.binop(BinOp::kAnd);  // index
+  b.store_elem(c.rx_ring);
+  b.load_global(c.rx_head);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.rx_head);
+  b.jump(top);
+  b.bind(done);
+  b.spin_unlock(c.net_lock);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_sys_send(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_sys_send);
+  const LocalId ubuf = b.param(0), len = b.param(1);
+  const LocalId skb = b.add_local("skb"), dst = b.add_local("dst");
+  const u32 off_len = b.field_offset(c.skbs, KF_LEN);
+  const u32 off_data = b.field_offset(c.skbs, KF_DATA_PTR);
+  const LabelId bad = b.new_label();
+  b.push_local(len);
+  b.push_const(kSkbDataSize);
+  b.branch_cmp(Cond::kGtU, bad);
+  b.call(c.f_alloc_skb, 0);
+  b.pop_local(skb);
+  b.push_local(skb);
+  b.branch_if_zero(bad);
+  b.push_local(len);  // value
+  b.push_local(skb);
+  b.push_const(off_len);
+  b.binop(BinOp::kAdd);
+  b.store_ind(Width::kU16);
+  b.push_local(skb);
+  b.push_const(off_data);
+  b.binop(BinOp::kAdd);
+  b.load_ind(Width::kU32);
+  b.pop_local(dst);
+  b.push_local(dst);
+  b.push_local(ubuf);
+  b.push_local(len);
+  b.call(c.f_memcpy_user, 3);
+  b.drop();
+  b.spin_lock(c.net_lock);
+  b.push_local(skb);  // value
+  b.load_global(c.tx_head);
+  b.push_const(kRingSize - 1);
+  b.binop(BinOp::kAnd);  // index
+  b.store_elem(c.tx_ring);
+  b.load_global(c.tx_head);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.tx_head);
+  b.spin_unlock(c.net_lock);
+  b.push_local(len);
+  b.ret();
+  b.bind(bad);
+  ret_const(b, kErrReturn);
+  b.end_function();
+}
+
+void build_sys_recv(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_sys_recv);
+  const LocalId ubuf = b.param(0), maxlen = b.param(1);
+  const LocalId skb = b.add_local("skb"), len = b.add_local("len");
+  const LocalId src = b.add_local("src");
+  const u32 off_len = b.field_offset(c.skbs, KF_LEN);
+  const u32 off_data = b.field_offset(c.skbs, KF_DATA_PTR);
+  b.spin_lock(c.net_lock);
+  const LabelId empty = b.new_label();
+  b.load_global(c.rx_tail);
+  b.load_global(c.rx_head);
+  b.branch_cmp(Cond::kEq, empty);
+  b.load_global(c.rx_tail);
+  b.push_const(kRingSize - 1);
+  b.binop(BinOp::kAnd);
+  b.load_elem(c.rx_ring);
+  b.pop_local(skb);
+  b.load_global(c.rx_tail);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.rx_tail);
+  b.spin_unlock(c.net_lock);
+  b.push_local(skb);
+  b.push_const(off_len);
+  b.binop(BinOp::kAdd);
+  b.load_ind(Width::kU16);
+  b.pop_local(len);
+  const LabelId fits = b.new_label();
+  b.push_local(len);
+  b.push_local(maxlen);
+  b.branch_cmp(Cond::kLeU, fits);
+  b.push_local(maxlen);
+  b.pop_local(len);
+  b.bind(fits);
+  b.push_local(skb);
+  b.push_const(off_data);
+  b.binop(BinOp::kAdd);
+  b.load_ind(Width::kU32);
+  b.pop_local(src);
+  b.push_local(ubuf);
+  b.push_local(src);
+  b.push_local(len);
+  b.call(c.f_memcpy_user, 3);
+  b.drop();
+  b.push_local(skb);
+  b.call(c.f_kfree_skb, 1);
+  b.drop();
+  b.push_local(len);
+  b.ret();
+  b.bind(empty);
+  b.spin_unlock(c.net_lock);
+  ret_const(b, 0);
+  b.end_function();
+}
+
+void build_ksoftirqd(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_ksoftirqd);
+  const LabelId top = b.new_label();
+  b.bind(top);
+  b.call(c.f_net_tx_action, 0);
+  b.drop();
+  b.push_const(1);
+  b.call(c.f_schedule_timeout, 1);
+  b.drop();
+  b.jump(top);
+  b.end_function();
+}
+
+// ------------------------------------------------------------ dispatch ---
+
+void build_sys_dispatch(Ctx& c) {
+  Backend& b = c.b;
+  b.begin_function(c.f_sys_dispatch);
+  const LocalId nr = b.param(0), a0 = b.param(1), a1 = b.param(2),
+                a2 = b.param(3);
+  const LocalId result = b.add_local("result");
+  // The big kernel lock: every syscall touches kernel_flag_cacheline, so
+  // its magic word is checked at high frequency (paper Figure 13).
+  b.spin_lock(c.kernel_flag);
+
+  struct Case {
+    Syscall nr;
+    FuncId func;
+    u32 argc;
+  };
+  const Case cases[] = {
+      {Syscall::kRead, c.f_sys_read, 3},   {Syscall::kWrite, c.f_sys_write, 3},
+      {Syscall::kAlloc, c.f_sys_alloc, 0}, {Syscall::kFree, c.f_sys_free, 1},
+      {Syscall::kSend, c.f_sys_send, 2},   {Syscall::kRecv, c.f_sys_recv, 2},
+      {Syscall::kYield, c.f_sys_yield, 0}, {Syscall::kGetpid, c.f_sys_getpid, 0},
+  };
+
+  const LabelId done = b.new_label();
+  b.push_const(kErrReturn);
+  b.pop_local(result);
+  for (const Case& cs : cases) {
+    const LabelId skip = b.new_label();
+    b.push_local(nr);
+    b.push_const(static_cast<u32>(cs.nr));
+    b.branch_cmp(Cond::kNe, skip);
+    const LocalId args[3] = {a0, a1, a2};
+    for (u32 i = 0; i < cs.argc; ++i) b.push_local(args[i]);
+    b.call(cs.func, cs.argc);
+    b.pop_local(result);
+    b.jump(done);
+    b.bind(skip);
+  }
+  b.bind(done);
+  b.load_global(c.syscall_count);
+  b.push_const(1);
+  b.binop(BinOp::kAdd);
+  b.store_global(c.syscall_count);
+  b.spin_unlock(c.kernel_flag);
+  // Kernel preemption point at syscall exit (Linux 2.4 style).
+  const LabelId no_resched = b.new_label();
+  b.load_global(c.need_resched);
+  b.branch_if_zero(no_resched);
+  b.call(c.f_schedule, 0);
+  b.drop();
+  b.bind(no_resched);
+  b.push_local(result);
+  b.ret();
+  b.end_function();
+}
+
+}  // namespace
+
+void build_kernel(kir::Backend& backend) {
+  Ctx c(backend);
+  declare_data(c);
+  declare_functions(c);
+
+  backend.define_switch_function(c.f_switch_to, c.tasks, TF_SP);
+
+  build_memcpy_user(c);
+  build_checksum(c);
+  build_do_timer_tick(c);
+  build_schedule(c);
+  build_schedule_timeout(c);
+  build_sys_yield(c);
+  build_sys_getpid(c);
+  build_flush_buffer(c);
+  build_sync_old_buffers(c);
+  build_getblk(c);
+  build_sys_rw(c, c.f_sys_read, /*is_write=*/false);
+  build_sys_rw(c, c.f_sys_write, /*is_write=*/true);
+  build_kupdate(c);
+  build_kjournald(c);
+  build_alloc_pages(c);
+  build_free_pages_ok(c);
+  build_sys_alloc(c);
+  build_sys_free(c);
+  build_alloc_skb(c);
+  build_kfree_skb(c);
+  build_net_tx_action(c);
+  build_sys_send(c);
+  build_sys_recv(c);
+  build_ksoftirqd(c);
+  build_sys_dispatch(c);
+}
+
+}  // namespace kfi::kernel

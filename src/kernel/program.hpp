@@ -1,0 +1,40 @@
+// minux: the miniature Linux-2.4-like kernel, written once in kir.
+//
+// Subsystems mirror the ones the paper's profiling found hottest and whose
+// functions appear in its worked examples:
+//   sched — schedule / schedule_timeout / __switch_to / timer tick
+//   fs    — buffer cache (getblk, flush), kupdate and kjournald threads
+//           (Figures 8 and 9), block "disk", file table, sys_read/sys_write
+//   mm    — page free-list allocator (alloc_pages / free_pages_ok,
+//           Figure 7's mm-side function)
+//   net   — skb pool with a pointer-linked free list (alloc_skb is
+//           Figure 7's crash site), loopback tx/rx rings, ksoftirqd
+//   locks — spinlocks with the SPINLOCK_DEBUG magic check (Figure 13),
+//           including the big kernel lock taken on every syscall
+//   lib   — memcpy_user / checksum
+//
+// build_kernel() emits the whole kernel through a Backend; the same source
+// therefore produces the packed/stack-frame cisca kernel and the
+// sparse/register-resident riscf kernel.
+#pragma once
+
+#include "kir/backend.hpp"
+
+namespace kfi::kernel {
+
+/// Well-known entry points (resolved from the image by name).
+struct KernelEntryPoints {
+  static constexpr const char* kDispatch = "sys_dispatch";
+  static constexpr const char* kSchedule = "schedule";
+  static constexpr const char* kTimerTick = "do_timer_tick";
+  static constexpr const char* kSwitchTo = "__switch_to";
+  static constexpr const char* kKupdate = "kupdate_thread";
+  static constexpr const char* kKjournald = "kjournald_thread";
+  static constexpr const char* kKsoftirqd = "ksoftirqd_thread";
+};
+
+/// Emit the complete kernel into `backend`.  Call backend.finish()
+/// afterwards to obtain the image.
+void build_kernel(kir::Backend& backend);
+
+}  // namespace kfi::kernel

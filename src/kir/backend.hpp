@@ -1,0 +1,161 @@
+// Abstract code-generation backend ("portable kernel assembler").
+//
+// The miniature kernel (src/kernel) is written once against this
+// stack-machine-style interface.  Each backend lowers the same logical
+// program into its architecture's idiom:
+//
+//   CiscaBackend (P4-like)                RiscfBackend (G4-like)
+//   ----------------------                ----------------------
+//   locals live on the EBP frame          locals live in callee-saved GPRs
+//   struct fields packed at declared      every field gets a full 32-bit
+//     width (8/16/32-bit accesses)          word (unused high bits)
+//   args passed on the stack              args passed in r3..r10
+//   push ebp / mov ebp,esp prologue       stwu r1,-N(r1) / mflr prologue
+//   4 KB kernel stacks                    8 KB kernel stacks
+//
+// These are exactly the architectural/ABI contrasts the paper credits for
+// the difference in stack/data error sensitivity and crash latency.
+//
+// Evaluation discipline: a small expression stack (depth <= 6).  At a call
+// the stack must hold exactly the arguments.  Control flow uses
+// compare-and-branch rather than materialized booleans.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kir/image.hpp"
+#include "kir/types.hpp"
+#include "mem/address_space.hpp"
+
+namespace kfi::kir {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // ---- data declarations (module scope, before any function body) ----
+  virtual GlobalId declare_scalar(const std::string& name, Width width,
+                                  u32 init, bool initialized = true) = 0;
+  virtual GlobalId declare_array(const std::string& name, Width width,
+                                 u32 count, bool initialized = true,
+                                 bool structural = true) = 0;
+  virtual GlobalId declare_struct_array(const std::string& name,
+                                        const StructDecl& decl, u32 count,
+                                        bool initialized = true) = 0;
+  /// Write an initial value into element `index`, field `field`.
+  virtual void set_initial(GlobalId global, u32 index, u32 field, u32 value) = 0;
+  /// Final address of a global (available before finish()).
+  virtual Addr global_addr(GlobalId global) const = 0;
+  virtual u32 global_elem_size(GlobalId global) const = 0;
+  virtual u32 field_offset(GlobalId global, u32 field) const = 0;
+
+  // ---- functions ----
+  virtual FuncId declare_function(const std::string& name, u32 num_params) = 0;
+  virtual void begin_function(FuncId func) = 0;
+  virtual void end_function() = 0;
+  virtual LocalId add_local(const std::string& name) = 0;
+  /// Parameters are locals 0..num_params-1.
+  virtual LocalId param(u32 index) const = 0;
+
+  // ---- expression stack ----
+  virtual void push_const(u32 value) = 0;
+  virtual void push_local(LocalId local) = 0;
+  virtual void pop_local(LocalId local) = 0;
+  virtual void push_global_addr(GlobalId global) = 0;
+
+  /// Static-address loads/stores of global[0].field.
+  virtual void load_global(GlobalId global, u32 field = 0) = 0;
+  virtual void store_global(GlobalId global, u32 field = 0) = 0;
+
+  /// Dynamic element access: load pops the index; store pops the index,
+  /// then the value (push value first, then index).
+  virtual void load_elem(GlobalId global, u32 field = 0) = 0;
+  virtual void store_elem(GlobalId global, u32 field = 0) = 0;
+  /// Pops index, pushes &global[index] (element base, not field).
+  virtual void elem_addr(GlobalId global) = 0;
+
+  /// Indirect access through a computed address (pops addr; store also
+  /// pops the value pushed before the addr).
+  virtual void load_ind(Width width) = 0;
+  virtual void store_ind(Width width) = 0;
+
+  virtual void binop(BinOp op) = 0;
+  virtual void dup() = 0;
+  virtual void drop() = 0;
+
+  // ---- control flow ----
+  virtual LabelId new_label() = 0;
+  virtual void bind(LabelId label) = 0;
+  virtual void jump(LabelId label) = 0;
+  /// Pops one value; branches if it is zero / nonzero.
+  virtual void branch_if_zero(LabelId label) = 0;
+  virtual void branch_if_nonzero(LabelId label) = 0;
+  /// Pops b then a; branches if (a cond b).
+  virtual void branch_cmp(Cond cond, LabelId label) = 0;
+
+  /// Pops `num_args` arguments (first-pushed = first parameter) and calls;
+  /// pushes the return value.  Stack depth must equal num_args.
+  virtual void call(FuncId func, u32 num_args) = 0;
+  /// Pops the return value and returns from the current function.
+  virtual void ret() = 0;
+
+  // ---- kernel intrinsics ----
+  /// Inline spinlock acquire/release with the Linux SPINLOCK_DEBUG magic
+  /// check (paper Figure 13): compares lock.magic against kSpinlockMagic
+  /// and executes BUG() on mismatch.
+  virtual void spin_lock(GlobalId lock) = 0;
+  virtual void spin_unlock(GlobalId lock) = 0;
+  /// Disable the SPINLOCK_DEBUG magic checks (a !CONFIG_DEBUG_SPINLOCK
+  /// kernel build); used by the ablation benches.
+  void set_spinlock_checks(bool enabled) { spinlock_checks_ = enabled; }
+  bool spinlock_checks() const { return spinlock_checks_; }
+  /// BUG(): ud2 on cisca, an all-zero illegal word on riscf — both raise
+  /// the architecture's invalid/illegal-instruction exception, as the
+  /// real Linux implementations did.
+  virtual void bug() = 0;
+  /// panic(): explicit software panic (OS self-detected error).
+  virtual void panic() = 0;
+  /// Increment a per-CPU counter through the architecture's per-CPU
+  /// addressing idiom: an FS-segment-relative access on cisca (so FS/GS
+  /// register corruption eventually #GPs, paper Section 5.2) and an
+  /// SPRG0-based access on riscf (supervisor scratch registers held
+  /// per-CPU pointers in real PowerPC kernels).
+  virtual void bump_percpu_counter(u32 offset) = 0;
+  /// Emit the stack-switching context switch: a function body that takes
+  /// (prev_index, next_index), saves callee state on the current stack,
+  /// stores SP into tasks[prev].<sp_field>, loads SP from
+  /// tasks[next].<sp_field>, restores, and returns on the new stack.
+  virtual void define_switch_function(FuncId func, GlobalId tasks,
+                                      u32 sp_field) = 0;
+
+  // ---- host-side helpers ----
+  /// Seed a fresh task stack in simulated memory so the first switch to it
+  /// "returns" into `entry`.  Returns the initial saved SP value to store
+  /// in the task struct.  (Boot-loader role; uses the machine endianness.)
+  virtual Addr prepare_initial_stack(mem::AddressSpace& space, Addr stack_top,
+                                     Addr entry) const = 0;
+
+  /// Finish code generation and produce the image.
+  virtual Image finish() = 0;
+
+ protected:
+  bool spinlock_checks_ = true;
+};
+
+/// The Linux 2.4 spinlock debug magic (paper Figure 13).
+constexpr u32 kSpinlockMagic = 0xDEAD4EADu;
+
+/// Offset within the data section where bulk payload arrays begin.  The
+/// data-injection campaign samples uniformly over [0, kBulkDataOffset): a
+/// fixed-size window on BOTH machines, like the paper's fixed 46,000
+/// random locations per platform.  The G4-like kernel's word-per-item
+/// structures fill more of this window, which is why its data campaign
+/// activates more errors — mostly benign padding hits (the paper's 1.5%%
+/// vs 0.5%% activation and 21.7%% vs 66%% manifestation asymmetry).
+constexpr u32 kBulkDataOffset = 0x10000;
+
+std::unique_ptr<Backend> make_cisca_backend(Addr code_base, Addr data_base);
+std::unique_ptr<Backend> make_riscf_backend(Addr code_base, Addr data_base);
+
+}  // namespace kfi::kir

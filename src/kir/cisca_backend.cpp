@@ -1,0 +1,607 @@
+// kir backend for the cisca (P4-like) machine.
+//
+// Lowers the portable kernel into IA-32-idiom code: EBP stack frames with
+// the exact prologue/epilogue shape of the paper's Figure 7 disassembly
+// (push ebp / mov ebp,esp / push edi,esi,ebx / ... / lea -12(ebp),esp /
+// pops / ret), locals spilled to the frame, arguments on the stack, and
+// struct fields PACKED at their declared widths so kernel data is dense —
+// the property that makes P4 data/stack errors manifest at 56-66% versus
+// the G4's 21% (paper Section 4).
+#include <memory>
+
+#include "cisca/encode.hpp"
+#include "cisca/regs.hpp"
+#include "common/error.hpp"
+#include "kir/backend.hpp"
+
+namespace kfi::kir {
+
+namespace {
+
+using cisca::Asm;
+using cisca::MemOperand;
+using cisca::Op;
+
+constexpr u8 kSlotRegs[6] = {cisca::kEax, cisca::kEcx, cisca::kEdx,
+                             cisca::kEbx, cisca::kEsi, cisca::kEdi};
+
+MemOperand abs_mem(Addr addr) {
+  MemOperand m;
+  m.disp = static_cast<i32>(addr);
+  return m;
+}
+
+MemOperand reg_mem(u8 base, i32 disp) {
+  MemOperand m;
+  m.base = base;
+  m.disp = disp;
+  return m;
+}
+
+struct GlobalInfo {
+  DataObject object;
+  bool is_struct = false;
+};
+
+class CiscaBackend final : public Backend {
+ public:
+  CiscaBackend(Addr code_base, Addr data_base)
+      : asm_(code_base), data_base_(data_base) {}
+
+  // ---- data ----
+  GlobalId declare_scalar(const std::string& name, Width width, u32 init,
+                          bool initialized) override {
+    GlobalInfo info;
+    info.object.name = name;
+    info.object.elem_size = static_cast<u32>(width);
+    info.object.count = 1;
+    info.object.initialized = initialized;
+    info.object.fields.push_back(
+        FieldLayout{"", 0, width, static_cast<u32>(width)});
+    const GlobalId id = add_global(std::move(info), static_cast<u32>(width));
+    if (initialized && init != 0) set_initial(id, 0, 0, init);
+    return id;
+  }
+
+  GlobalId declare_array(const std::string& name, Width width, u32 count,
+                         bool initialized, bool structural) override {
+    GlobalInfo info;
+    info.object.name = name;
+    info.object.elem_size = static_cast<u32>(width);
+    info.object.count = count;
+    info.object.initialized = initialized;
+    info.object.fields.push_back(
+        FieldLayout{"", 0, width, static_cast<u32>(width)});
+    info.object.structural = structural;
+    return add_global(std::move(info), static_cast<u32>(width));
+  }
+
+  GlobalId declare_struct_array(const std::string& name,
+                                const StructDecl& decl, u32 count,
+                                bool initialized) override {
+    GlobalInfo info;
+    info.object.name = name;
+    info.object.count = count;
+    info.object.initialized = initialized;
+    info.is_struct = true;
+    // Packed layout with natural alignment per field (IA-32 style).
+    u32 offset = 0;
+    u32 max_align = 1;
+    for (const FieldDecl& f : decl.fields) {
+      const u32 w = static_cast<u32>(f.width);
+      offset = (offset + w - 1) & ~(w - 1);
+      info.object.fields.push_back(FieldLayout{f.name, offset, f.width, w});
+      offset += w;
+      max_align = std::max(max_align, w);
+    }
+    info.object.elem_size = (offset + max_align - 1) & ~(max_align - 1);
+    return add_global(std::move(info), max_align);
+  }
+
+  void set_initial(GlobalId g, u32 index, u32 field, u32 value) override {
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    const u32 off = obj.addr - data_base_ + index * obj.elem_size + f.offset;
+    KFI_CHECK(off + f.storage_bytes <= data_.size(), "set_initial out of range");
+    for (u32 i = 0; i < f.storage_bytes; ++i) {
+      data_[off + i] = static_cast<u8>(value >> (8 * i));  // little-endian
+    }
+  }
+
+  Addr global_addr(GlobalId g) const override { return globals_.at(g).object.addr; }
+  u32 global_elem_size(GlobalId g) const override {
+    return globals_.at(g).object.elem_size;
+  }
+  u32 field_offset(GlobalId g, u32 field) const override {
+    return globals_.at(g).object.field(field).offset;
+  }
+
+  // ---- functions ----
+  FuncId declare_function(const std::string& name, u32 num_params) override {
+    funcs_.push_back(FuncInfo{name, num_params, asm_.new_label(), 0, 0});
+    return static_cast<FuncId>(funcs_.size() - 1);
+  }
+
+  void begin_function(FuncId func) override {
+    KFI_CHECK(cur_func_ < 0, "begin_function while another function is open");
+    cur_func_ = static_cast<i32>(func);
+    num_locals_ = 0;
+    depth_ = 0;
+    body_started_ = false;
+    asm_.bind(funcs_[func].label);
+    funcs_[func].start = asm_.here();
+  }
+
+  void end_function() override {
+    KFI_CHECK(cur_func_ >= 0, "end_function without begin_function");
+    KFI_CHECK(depth_ == 0, "eval stack not empty at end_function");
+    funcs_[static_cast<u32>(cur_func_)].size =
+        asm_.here() - funcs_[static_cast<u32>(cur_func_)].start;
+    cur_func_ = -1;
+  }
+
+  LocalId add_local(const std::string& /*name*/) override {
+    KFI_CHECK(!body_started_, "add_local after first instruction");
+    return funcs_[static_cast<u32>(cur_func_)].num_params + num_locals_++;
+  }
+
+  LocalId param(u32 index) const override {
+    KFI_CHECK(index < funcs_[static_cast<u32>(cur_func_)].num_params,
+              "param index out of range");
+    return index;
+  }
+
+  // ---- expression stack ----
+  void push_const(u32 value) override {
+    ensure_prologue();
+    asm_.mov_r_imm(push_slot(), value);
+  }
+
+  void push_local(LocalId local) override {
+    ensure_prologue();
+    asm_.mov_r_rm(push_slot(), local_mem(local));
+  }
+
+  void pop_local(LocalId local) override {
+    ensure_prologue();
+    asm_.mov_rm_r(local_mem(local), pop_slot());
+  }
+
+  void push_global_addr(GlobalId g) override {
+    ensure_prologue();
+    asm_.mov_r_imm(push_slot(), globals_.at(g).object.addr);
+  }
+
+  void load_global(GlobalId g, u32 field) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    emit_load(push_slot(), abs_mem(obj.addr + f.offset), f.width);
+  }
+
+  void store_global(GlobalId g, u32 field) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    emit_store(abs_mem(obj.addr + f.offset), pop_slot(), f.width);
+  }
+
+  void load_elem(GlobalId g, u32 field) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    const u8 idx = pop_slot();
+    const u8 dst = push_slot();  // same register as idx
+    emit_load(dst, scaled_mem(obj, f, idx), f.width);
+  }
+
+  void store_elem(GlobalId g, u32 field) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    const u8 idx = pop_slot();
+    const u8 val = pop_slot();
+    emit_store(scaled_mem(obj, f, idx), val, f.width);
+  }
+
+  void elem_addr(GlobalId g) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const u8 idx = pop_slot();
+    const u8 dst = push_slot();
+    FieldLayout whole{"", 0, Width::kU32, 4};
+    asm_.lea(dst, scaled_mem(obj, whole, idx));
+  }
+
+  void load_ind(Width width) override {
+    ensure_prologue();
+    const u8 addr = pop_slot();
+    const u8 dst = push_slot();
+    emit_load(dst, reg_mem(addr, 0), width);
+  }
+
+  void store_ind(Width width) override {
+    ensure_prologue();
+    const u8 addr = pop_slot();
+    const u8 val = pop_slot();
+    emit_store(reg_mem(addr, 0), val, width);
+  }
+
+  void binop(BinOp op) override {
+    ensure_prologue();
+    const u8 b = pop_slot();
+    const u8 a = kSlotRegs[depth_ - 1];
+    switch (op) {
+      case BinOp::kAdd: asm_.alu_rr(Op::kAdd, a, b); break;
+      case BinOp::kSub: asm_.alu_rr(Op::kSub, a, b); break;
+      case BinOp::kAnd: asm_.alu_rr(Op::kAnd, a, b); break;
+      case BinOp::kOr: asm_.alu_rr(Op::kOr, a, b); break;
+      case BinOp::kXor: asm_.alu_rr(Op::kXor, a, b); break;
+      case BinOp::kMul: asm_.imul_rr(a, b); break;
+      case BinOp::kDivU:
+      case BinOp::kDivS:
+        // eax = eax / ecx with edx as the high half: requires the two
+        // operands to be the bottom of the stack, like compiler codegen.
+        KFI_CHECK(a == cisca::kEax && b == cisca::kEcx,
+                  "division requires depth-2 eval stack");
+        if (op == BinOp::kDivU) {
+          asm_.mov_r_imm(cisca::kEdx, 0);
+          asm_.div_r(cisca::kEcx);
+        } else {
+          asm_.cdq();
+          asm_.idiv_r(cisca::kEcx);
+        }
+        break;
+      case BinOp::kShl:
+      case BinOp::kShrU:
+      case BinOp::kShrS: {
+        const Op shift_op = op == BinOp::kShl   ? Op::kShl
+                            : op == BinOp::kShrU ? Op::kShr
+                                                 : Op::kSar;
+        if (b == cisca::kEcx) {
+          emit_shift_cl(shift_op, a);
+        } else {
+          // The count must reach CL without clobbering any live slot:
+          // swap it into ecx, shift, swap back.  If the value itself sits
+          // in ecx, it rides along into b's register and back.
+          asm_.xchg_rr(cisca::kEcx, b);
+          emit_shift_cl(shift_op, a == cisca::kEcx ? b : a);
+          asm_.xchg_rr(cisca::kEcx, b);
+        }
+        break;
+      }
+    }
+  }
+
+  void dup() override {
+    ensure_prologue();
+    const u8 src = kSlotRegs[depth_ - 1];
+    asm_.mov_rr(push_slot(), src);
+  }
+
+  void drop() override {
+    ensure_prologue();
+    pop_slot();
+  }
+
+  // ---- control flow ----
+  LabelId new_label() override { return asm_.new_label(); }
+  void bind(LabelId label) override {
+    ensure_prologue();
+    asm_.bind(label);
+  }
+  void jump(LabelId label) override {
+    ensure_prologue();
+    asm_.jmp(label);
+  }
+
+  void branch_if_zero(LabelId label) override {
+    ensure_prologue();
+    const u8 r = pop_slot();
+    asm_.test_rr(r, r);
+    asm_.jcc(cisca::kCondE, label);
+  }
+
+  void branch_if_nonzero(LabelId label) override {
+    ensure_prologue();
+    const u8 r = pop_slot();
+    asm_.test_rr(r, r);
+    asm_.jcc(cisca::kCondNE, label);
+  }
+
+  void branch_cmp(Cond cond, LabelId label) override {
+    ensure_prologue();
+    const u8 b = pop_slot();
+    const u8 a = pop_slot();
+    asm_.alu_rr(Op::kCmp, a, b);
+    asm_.jcc(cond_code(cond), label);
+  }
+
+  void call(FuncId func, u32 num_args) override {
+    ensure_prologue();
+    KFI_CHECK(depth_ == num_args, "call requires eval stack == args");
+    // cdecl-flavored: first argument pushed first; callee indexes from the
+    // top of the caller frame.
+    for (u32 i = 0; i < num_args; ++i) asm_.push_r(kSlotRegs[i]);
+    depth_ = 0;
+    asm_.call(funcs_[func].label);
+    if (num_args > 0) asm_.alu_r_imm(Op::kAdd, cisca::kEsp, num_args * 4);
+    const u8 dst = push_slot();
+    KFI_CHECK(dst == cisca::kEax, "call result slot must be eax");
+  }
+
+  void ret() override {
+    ensure_prologue();
+    const u8 r = pop_slot();
+    KFI_CHECK(r == cisca::kEax, "return value must end in eax");
+    KFI_CHECK(depth_ == 0, "eval stack not empty at ret");
+    emit_epilogue();
+  }
+
+  // ---- intrinsics ----
+  void spin_lock(GlobalId lock) override { emit_spin(lock, /*acquire=*/true); }
+  void spin_unlock(GlobalId lock) override { emit_spin(lock, /*acquire=*/false); }
+
+  void bug() override {
+    ensure_prologue();
+    asm_.ud2();
+  }
+
+  void panic() override {
+    ensure_prologue();
+    asm_.int_(0x82);
+  }
+
+  void bump_percpu_counter(u32 offset) override {
+    ensure_prologue();
+    MemOperand m;
+    m.seg = cisca::SegOverride::kFs;
+    m.disp = static_cast<i32>(offset);
+    asm_.inc_rm(m);
+  }
+
+  void define_switch_function(FuncId func, GlobalId tasks, u32 sp_field) override {
+    KFI_CHECK(cur_func_ < 0, "define_switch_function inside a function");
+    const DataObject& obj = globals_.at(tasks).object;
+    const FieldLayout& sp = obj.field(sp_field);
+    asm_.bind(funcs_[func].label);
+    funcs_[func].start = asm_.here();
+    // void __switch_to(prev_idx, next_idx): raw-stack routine, no EBP frame.
+    // Args at [esp+4] (next, pushed last... see call convention: first arg
+    // pushed first => prev at [esp+8], next at [esp+4]).
+    asm_.mov_r_rm(cisca::kEax, reg_mem(cisca::kEsp, 8));  // prev
+    asm_.mov_r_rm(cisca::kEdx, reg_mem(cisca::kEsp, 4));  // next
+    asm_.push_r(cisca::kEbp);
+    asm_.push_r(cisca::kEbx);
+    asm_.push_r(cisca::kEsi);
+    asm_.push_r(cisca::kEdi);
+    // Scale the task indices by the (packed, non-power-of-two) struct size.
+    emit_imul_imm(cisca::kEax, obj.elem_size);
+    emit_imul_imm(cisca::kEdx, obj.elem_size);
+    const MemOperand prev_sp =
+        reg_mem(cisca::kEax, static_cast<i32>(obj.addr + sp.offset));
+    const MemOperand next_sp =
+        reg_mem(cisca::kEdx, static_cast<i32>(obj.addr + sp.offset));
+    asm_.mov_rm_r(prev_sp, cisca::kEsp);
+    asm_.mov_r_rm(cisca::kEsp, next_sp);
+    asm_.pop_r(cisca::kEdi);
+    asm_.pop_r(cisca::kEsi);
+    asm_.pop_r(cisca::kEbx);
+    asm_.pop_r(cisca::kEbp);
+    asm_.ret();
+    funcs_[func].size = asm_.here() - funcs_[func].start;
+  }
+
+  Addr prepare_initial_stack(mem::AddressSpace& space, Addr stack_top,
+                             Addr entry) const override {
+    // Layout expected by __switch_to's restore path: [edi esi ebx ebp ret].
+    const Addr sp = stack_top - 20;
+    for (u32 i = 0; i < 4; ++i) space.vwrite32(sp + i * 4, 0);
+    space.vwrite32(sp + 16, entry);
+    return sp;
+  }
+
+  Image finish() override {
+    KFI_CHECK(cur_func_ < 0, "finish with open function");
+    Image image;
+    image.arch = isa::Arch::kCisca;
+    image.code_base = asm_.base();
+    image.data_base = data_base_;
+    image.data = data_;
+    for (const FuncInfo& f : funcs_) {
+      image.functions.push_back(FuncSymbol{f.name, f.start, f.size});
+    }
+    for (const GlobalInfo& g : globals_) image.objects.push_back(g.object);
+    image.code = asm_.finish();
+    return image;
+  }
+
+ private:
+  struct FuncInfo {
+    std::string name;
+    u32 num_params;
+    Asm::Label label;
+    Addr start;
+    u32 size;
+  };
+
+  GlobalId add_global(GlobalInfo info, u32 align) {
+    // Structural objects pack from the bottom of the data section; bulk
+    // payload arrays (page-cache/kmalloc analogues) live past the fixed
+    // kBulkDataOffset so the data-injection window below it contains only
+    // the kernel's structures plus natural slack.
+    u32& cursor = info.object.structural ? data_cursor_ : bulk_cursor_;
+    cursor = (cursor + align - 1) & ~(align - 1);
+    if (info.object.structural) {
+      KFI_CHECK(cursor + info.object.size() <= kBulkDataOffset,
+                "structural data exceeds the injection window");
+    }
+    info.object.addr = data_base_ + cursor;
+    cursor += info.object.size();
+    const u32 extent = std::max(data_cursor_, bulk_cursor_);
+    if (extent > data_.size()) data_.resize(extent, 0);
+    globals_.push_back(std::move(info));
+    return static_cast<GlobalId>(globals_.size() - 1);
+  }
+
+  u8 push_slot() {
+    KFI_CHECK(depth_ < 6, "cisca eval stack overflow");
+    return kSlotRegs[depth_++];
+  }
+
+  u8 pop_slot() {
+    KFI_CHECK(depth_ > 0, "cisca eval stack underflow");
+    return kSlotRegs[--depth_];
+  }
+
+  MemOperand local_mem(LocalId local) const {
+    const FuncInfo& f = funcs_[static_cast<u32>(cur_func_)];
+    if (local < f.num_params) {
+      // First-pushed arg sits highest: param i at [ebp + 8 + 4*(n-1-i)].
+      return reg_mem(cisca::kEbp,
+                     8 + 4 * static_cast<i32>(f.num_params - 1 - local));
+    }
+    // Locals below the three saved registers.
+    const u32 slot = local - f.num_params;
+    return reg_mem(cisca::kEbp, -16 - 4 * static_cast<i32>(slot));
+  }
+
+
+  MemOperand scaled_mem(const DataObject& obj, const FieldLayout& f, u8 idx) {
+    MemOperand m;
+    if (obj.elem_size == 1 || obj.elem_size == 2 || obj.elem_size == 4 ||
+        obj.elem_size == 8) {
+      m.base = MemOperand::kNoReg;
+      m.index = idx;
+      m.scale = static_cast<u8>(obj.elem_size);
+      m.disp = static_cast<i32>(obj.addr + f.offset);
+      return m;
+    }
+    // Non-power-of-two element size: multiply the index in place.
+    emit_imul_imm(idx, obj.elem_size);
+    m.base = idx;
+    m.disp = static_cast<i32>(obj.addr + f.offset);
+    return m;
+  }
+
+  void emit_imul_imm(u8 reg, u32 value) {
+    // 3-operand imul reg, reg, imm32 (0x69 /r id, mod=3).
+    std::vector<u8> bytes = {0x69,
+                             static_cast<u8>(0xC0 | (reg << 3) | reg)};
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<u8>(value >> (8 * i)));
+    asm_.emit_bytes(bytes);
+  }
+
+  void emit_shift_cl(Op op, u8 reg) {
+    u8 group = 0;
+    switch (op) {
+      case Op::kShl: group = 4; break;
+      case Op::kShr: group = 5; break;
+      case Op::kSar: group = 7; break;
+      default: KFI_CHECK(false, "bad shift");
+    }
+    asm_.emit_bytes({0xD3, static_cast<u8>(0xC0 | (group << 3) | reg)});
+  }
+
+  void emit_load(u8 dst, const MemOperand& mem, Width width) {
+    switch (width) {
+      case Width::kU8: asm_.movzx_r_rm8(dst, mem); break;
+      case Width::kU16: asm_.movzx_r_rm16(dst, mem); break;
+      case Width::kU32: asm_.mov_r_rm(dst, mem); break;
+    }
+  }
+
+  void emit_store(const MemOperand& mem, u8 src, Width width) {
+    switch (width) {
+      case Width::kU8:
+        KFI_CHECK(src < 4, "8-bit store needs a low-byte register");
+        asm_.mov_rm_r8(mem, src);
+        break;
+      case Width::kU16: asm_.mov_rm_r16(mem, src); break;
+      case Width::kU32: asm_.mov_rm_r(mem, src); break;
+    }
+  }
+
+  void ensure_prologue() {
+    KFI_CHECK(cur_func_ >= 0, "code emitted outside a function");
+    if (body_started_) return;
+    body_started_ = true;
+    // Figure-7-faithful frame: push ebp; mov ebp,esp; push edi/esi/ebx;
+    // sub esp, 4*locals.
+    asm_.push_r(cisca::kEbp);
+    asm_.mov_rr(cisca::kEbp, cisca::kEsp);
+    asm_.push_r(cisca::kEdi);
+    asm_.push_r(cisca::kEsi);
+    asm_.push_r(cisca::kEbx);
+    if (num_locals_ > 0) {
+      asm_.alu_r_imm(Op::kSub, cisca::kEsp, num_locals_ * 4);
+    }
+  }
+
+  void emit_epilogue() {
+    // lea -12(ebp),esp ; pop ebx; pop esi; pop edi; pop ebp; ret
+    asm_.lea(cisca::kEsp, reg_mem(cisca::kEbp, -12));
+    asm_.pop_r(cisca::kEbx);
+    asm_.pop_r(cisca::kEsi);
+    asm_.pop_r(cisca::kEdi);
+    asm_.pop_r(cisca::kEbp);
+    asm_.ret();
+  }
+
+  void emit_spin(GlobalId lock, bool acquire) {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(lock).object;
+    const FieldLayout& lock_f = obj.field(0);
+    const FieldLayout& magic_f = obj.field(1);
+    if (spinlock_checks_) {
+      // Figure 13: cmpl $0xdead4ead, magic; je ok; ud2; ok: set the lock.
+      asm_.alu_rm_imm(Op::kCmp, abs_mem(obj.addr + magic_f.offset),
+                      kSpinlockMagic);
+      const Asm::Label ok = asm_.new_label();
+      asm_.jcc(cisca::kCondE, ok);
+      asm_.ud2();
+      asm_.bind(ok);
+    }
+    if (lock_f.width == Width::kU8) {
+      asm_.mov_rm8_imm(abs_mem(obj.addr + lock_f.offset), acquire ? 1 : 0);
+    } else {
+      asm_.mov_rm_imm(abs_mem(obj.addr + lock_f.offset), acquire ? 1 : 0);
+    }
+  }
+
+  static u8 cond_code(Cond cond) {
+    switch (cond) {
+      case Cond::kEq: return cisca::kCondE;
+      case Cond::kNe: return cisca::kCondNE;
+      case Cond::kLtS: return cisca::kCondL;
+      case Cond::kLeS: return cisca::kCondLE;
+      case Cond::kGtS: return cisca::kCondG;
+      case Cond::kGeS: return cisca::kCondGE;
+      case Cond::kLtU: return cisca::kCondB;
+      case Cond::kLeU: return cisca::kCondBE;
+      case Cond::kGtU: return cisca::kCondA;
+      case Cond::kGeU: return cisca::kCondAE;
+    }
+    return cisca::kCondE;
+  }
+
+  Asm asm_;
+  Addr data_base_;
+  std::vector<u8> data_;
+  u32 data_cursor_ = 0;
+  u32 bulk_cursor_ = kBulkDataOffset;
+  std::vector<GlobalInfo> globals_;
+  std::vector<FuncInfo> funcs_;
+  i32 cur_func_ = -1;
+  u32 num_locals_ = 0;
+  u32 depth_ = 0;
+  bool body_started_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_cisca_backend(Addr code_base, Addr data_base) {
+  return std::make_unique<CiscaBackend>(code_base, data_base);
+}
+
+}  // namespace kfi::kir

@@ -1,0 +1,40 @@
+#include "kir/image.hpp"
+
+namespace kfi::kir {
+
+const FuncSymbol& Image::function(const std::string& name) const {
+  const FuncSymbol* sym = find_function(name);
+  KFI_CHECK(sym != nullptr, "no function symbol named " + name);
+  return *sym;
+}
+
+const FuncSymbol* Image::find_function(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const FuncSymbol* Image::function_at(Addr addr) const {
+  for (const auto& f : functions) {
+    if (addr >= f.addr && addr < f.addr + f.size) return &f;
+  }
+  return nullptr;
+}
+
+const DataObject& Image::object(const std::string& name) const {
+  for (const auto& o : objects) {
+    if (o.name == name) return o;
+  }
+  KFI_CHECK(false, "no data object named " + name);
+  return objects.front();
+}
+
+const DataObject* Image::object_at(Addr addr) const {
+  for (const auto& o : objects) {
+    if (addr >= o.addr && addr < o.addr + o.size()) return &o;
+  }
+  return nullptr;
+}
+
+}  // namespace kfi::kir

@@ -1,0 +1,82 @@
+// Compiled kernel image: machine code, initialized data, and the symbol /
+// data-object tables the injection framework navigates.
+//
+// The symbol table plays the role kernel profiling (kernprof) and
+// System.map played in the paper: the code injector picks target functions
+// by name and address range, and the data injector picks random locations
+// inside the kernel data objects (Section 3.2, STEP 1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "isa/arch.hpp"
+#include "kir/types.hpp"
+
+namespace kfi::kir {
+
+struct FuncSymbol {
+  std::string name;
+  Addr addr = 0;
+  u32 size = 0;  // bytes
+};
+
+struct FieldLayout {
+  std::string name;
+  u32 offset = 0;  // within element
+  Width width = Width::kU32;
+  u32 storage_bytes = 4;  // bytes the backend actually reserved
+};
+
+/// A kernel data object (scalar, array, or struct array) with its final
+/// backend-specific layout.
+struct DataObject {
+  std::string name;
+  Addr addr = 0;
+  u32 elem_size = 0;   // bytes per element after layout
+  u32 count = 1;       // elements
+  bool initialized = true;  // false => BSS-like (zeroed)
+  /// False for bulk payload arrays (cached blocks, page pool, skb data) —
+  /// the analogue of page-cache/kmalloc memory, which lives outside the
+  /// kernel's data section that the paper's data campaign targeted.
+  bool structural = true;
+  std::vector<FieldLayout> fields;  // one entry (unnamed) for scalars/arrays
+
+  u32 size() const { return elem_size * count; }
+  const FieldLayout& field(u32 index) const {
+    KFI_CHECK(index < fields.size(), "field index out of range");
+    return fields[index];
+  }
+  const FieldLayout& field_named(const std::string& field_name) const {
+    for (const auto& f : fields) {
+      if (f.name == field_name) return f;
+    }
+    KFI_CHECK(false, "no field named " + field_name + " in " + name);
+    return fields.front();
+  }
+};
+
+struct Image {
+  isa::Arch arch = isa::Arch::kCisca;
+  Addr code_base = 0;
+  std::vector<u8> code;
+  Addr data_base = 0;
+  std::vector<u8> data;  // initialized image; BSS tail is zeros
+  std::vector<FuncSymbol> functions;
+  std::vector<DataObject> objects;
+
+  const FuncSymbol& function(const std::string& name) const;
+  const FuncSymbol* find_function(const std::string& name) const;
+  /// Function containing the given code address, if any.
+  const FuncSymbol* function_at(Addr addr) const;
+  const DataObject& object(const std::string& name) const;
+  const DataObject* object_at(Addr addr) const;
+
+  u32 data_size() const { return static_cast<u32>(data.size()); }
+};
+
+}  // namespace kfi::kir

@@ -1,0 +1,626 @@
+// kir backend for the riscf (G4-like) machine.
+//
+// Lowers the portable kernel into PowerPC-idiom code: stwu-created stack
+// frames with the link register saved in the frame, locals held in
+// callee-saved GPRs (r14+) so values live in registers for a long time
+// (the paper's explanation for the longer G4 code-error latencies,
+// Figure 16(C)), arguments in r3..r10, r13 as the small-data base, and —
+// crucially — every scalar/struct field stored in a full 32-bit word
+// regardless of its declared width.  Small-range values therefore leave
+// their high bits unused, which is the sparseness that masks so many G4
+// stack and data errors (paper Sections 4 and 5.5).
+#include <memory>
+
+#include "common/error.hpp"
+#include "kir/backend.hpp"
+#include "riscf/encode.hpp"
+#include "riscf/regs.hpp"
+
+namespace kfi::kir {
+
+namespace {
+
+using riscf::Asm;
+
+constexpr u8 kDataBase = 13;  // r13: small-data base register (EABI-style)
+constexpr u8 kSlotRegs[6] = {5, 6, 7, 8, 9, 10};  // volatile eval registers
+constexpr u8 kScratchA = 11;
+constexpr u8 kScratchB = 12;
+constexpr u8 kFirstLocalReg = 14;
+constexpr u8 kLastLocalReg = 30;  // r31 reserved as an extra temporary
+
+struct GlobalInfo {
+  DataObject object;
+};
+
+class RiscfBackend final : public Backend {
+ public:
+  RiscfBackend(Addr code_base, Addr data_base)
+      : asm_(code_base), data_base_(data_base) {}
+
+  // ---- data ----
+  GlobalId declare_scalar(const std::string& name, Width width, u32 init,
+                          bool initialized) override {
+    GlobalInfo info;
+    info.object.name = name;
+    // Word-per-item layout: an unsigned char flag still occupies a full
+    // aligned word; its upper 24 bits are never meaningful.
+    info.object.elem_size = 4;
+    info.object.count = 1;
+    info.object.initialized = initialized;
+    info.object.fields.push_back(FieldLayout{"", 0, width, 4});
+    const GlobalId id = add_global(std::move(info), 4);
+    if (initialized && init != 0) set_initial(id, 0, 0, init);
+    return id;
+  }
+
+  GlobalId declare_array(const std::string& name, Width width, u32 count,
+                         bool initialized, bool structural) override {
+    // Byte/halfword buffers stay naturally packed (char arrays are
+    // contiguous on every ABI); the word-per-item sparseness applies to
+    // scalars and struct fields, not bulk buffers.
+    GlobalInfo info;
+    info.object.name = name;
+    info.object.elem_size = static_cast<u32>(width);
+    info.object.count = count;
+    info.object.initialized = initialized;
+    info.object.fields.push_back(
+        FieldLayout{"", 0, width, static_cast<u32>(width)});
+    info.object.structural = structural;
+    return add_global(std::move(info), static_cast<u32>(width));
+  }
+
+  GlobalId declare_struct_array(const std::string& name,
+                                const StructDecl& decl, u32 count,
+                                bool initialized) override {
+    GlobalInfo info;
+    info.object.name = name;
+    info.object.count = count;
+    info.object.initialized = initialized;
+    u32 offset = 0;
+    for (const FieldDecl& f : decl.fields) {
+      info.object.fields.push_back(FieldLayout{f.name, offset, f.width, 4});
+      offset += 4;  // one full word per field
+    }
+    info.object.elem_size = offset;
+    return add_global(std::move(info), 4);
+  }
+
+  void set_initial(GlobalId g, u32 index, u32 field, u32 value) override {
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    const u32 off = obj.addr - data_base_ + index * obj.elem_size + f.offset;
+    KFI_CHECK(off + f.storage_bytes <= data_.size(), "set_initial out of range");
+    for (u32 i = 0; i < f.storage_bytes; ++i) {
+      data_[off + i] =
+          static_cast<u8>(value >> (8 * (f.storage_bytes - 1 - i)));  // BE
+    }
+  }
+
+  Addr global_addr(GlobalId g) const override { return globals_.at(g).object.addr; }
+  u32 global_elem_size(GlobalId g) const override {
+    return globals_.at(g).object.elem_size;
+  }
+  u32 field_offset(GlobalId g, u32 field) const override {
+    return globals_.at(g).object.field(field).offset;
+  }
+
+  // ---- functions ----
+  FuncId declare_function(const std::string& name, u32 num_params) override {
+    funcs_.push_back(FuncInfo{name, num_params, asm_.new_label(), 0, 0});
+    return static_cast<FuncId>(funcs_.size() - 1);
+  }
+
+  void begin_function(FuncId func) override {
+    KFI_CHECK(cur_func_ < 0, "begin_function while another function is open");
+    cur_func_ = static_cast<i32>(func);
+    num_locals_ = funcs_[func].num_params;  // params become leading locals
+    depth_ = 0;
+    body_started_ = false;
+    asm_.bind(funcs_[func].label);
+    funcs_[func].start = asm_.here();
+  }
+
+  void end_function() override {
+    KFI_CHECK(cur_func_ >= 0, "end_function without begin_function");
+    KFI_CHECK(depth_ == 0, "eval stack not empty at end_function");
+    funcs_[static_cast<u32>(cur_func_)].size =
+        asm_.here() - funcs_[static_cast<u32>(cur_func_)].start;
+    cur_func_ = -1;
+  }
+
+  LocalId add_local(const std::string& /*name*/) override {
+    KFI_CHECK(!body_started_, "add_local after first instruction");
+    KFI_CHECK(kFirstLocalReg + num_locals_ <= kLastLocalReg,
+              "out of callee-saved locals");
+    return num_locals_++;
+  }
+
+  LocalId param(u32 index) const override {
+    KFI_CHECK(index < funcs_[static_cast<u32>(cur_func_)].num_params,
+              "param index out of range");
+    return index;
+  }
+
+  // ---- expression stack ----
+  void push_const(u32 value) override {
+    ensure_prologue();
+    asm_.li32(push_slot(), value);
+  }
+
+  void push_local(LocalId local) override {
+    ensure_prologue();
+    asm_.mr(push_slot(), local_reg(local));
+  }
+
+  void pop_local(LocalId local) override {
+    ensure_prologue();
+    asm_.mr(local_reg(local), pop_slot());
+  }
+
+  void push_global_addr(GlobalId g) override {
+    ensure_prologue();
+    asm_.li32(push_slot(), globals_.at(g).object.addr);
+  }
+
+  void load_global(GlobalId g, u32 field) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    if (near_r13(obj, f.offset)) {
+      emit_load_off(push_slot(), kDataBase, sdata_off(obj, f.offset), f);
+    } else {
+      emit_obj_base(obj, f.offset);
+      emit_load_off(push_slot(), kScratchB, 0, f);
+    }
+  }
+
+  void store_global(GlobalId g, u32 field) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    if (near_r13(obj, f.offset)) {
+      emit_store_off(pop_slot(), kDataBase, sdata_off(obj, f.offset), f);
+    } else {
+      emit_obj_base(obj, f.offset);
+      emit_store_off(pop_slot(), kScratchB, 0, f);
+    }
+  }
+
+  void load_elem(GlobalId g, u32 field) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    const u8 idx = pop_slot();
+    const u8 dst = push_slot();  // same register
+    emit_index(idx, obj);
+    emit_obj_base(obj, f.offset);
+    emit_load_x(dst, kScratchB, kScratchA, f);
+  }
+
+  void store_elem(GlobalId g, u32 field) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const FieldLayout& f = obj.field(field);
+    const u8 idx = pop_slot();
+    const u8 val = pop_slot();
+    emit_index(idx, obj);
+    emit_obj_base(obj, f.offset);
+    emit_store_x(val, kScratchB, kScratchA, f);
+  }
+
+  void elem_addr(GlobalId g) override {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(g).object;
+    const u8 idx = pop_slot();
+    const u8 dst = push_slot();
+    emit_index(idx, obj);
+    emit_obj_base(obj, 0);
+    asm_.add(dst, kScratchB, kScratchA);
+  }
+
+  void load_ind(Width width) override {
+    ensure_prologue();
+    const u8 addr = pop_slot();
+    const u8 dst = push_slot();
+    const FieldLayout f{"", 0, width, static_cast<u32>(width)};
+    emit_load_off(dst, addr, 0, f);
+  }
+
+  void store_ind(Width width) override {
+    ensure_prologue();
+    const u8 addr = pop_slot();
+    const u8 val = pop_slot();
+    const FieldLayout f{"", 0, width, static_cast<u32>(width)};
+    emit_store_off(val, addr, 0, f);
+  }
+
+  void binop(BinOp op) override {
+    ensure_prologue();
+    const u8 b = pop_slot();
+    const u8 a = kSlotRegs[depth_ - 1];
+    switch (op) {
+      case BinOp::kAdd: asm_.add(a, a, b); break;
+      case BinOp::kSub: asm_.subf(a, b, a); break;  // a = a - b
+      case BinOp::kMul: asm_.mullw(a, a, b); break;
+      case BinOp::kDivU: asm_.divwu(a, a, b); break;
+      case BinOp::kDivS: asm_.divw(a, a, b); break;
+      case BinOp::kAnd: asm_.and_(a, a, b); break;
+      case BinOp::kOr: asm_.or_(a, a, b); break;
+      case BinOp::kXor: asm_.xor_(a, a, b); break;
+      case BinOp::kShl: asm_.slw(a, a, b); break;
+      case BinOp::kShrU: asm_.srw(a, a, b); break;
+      case BinOp::kShrS: asm_.sraw(a, a, b); break;
+    }
+  }
+
+  void dup() override {
+    ensure_prologue();
+    const u8 src = kSlotRegs[depth_ - 1];
+    asm_.mr(push_slot(), src);
+  }
+
+  void drop() override {
+    ensure_prologue();
+    pop_slot();
+  }
+
+  // ---- control flow ----
+  LabelId new_label() override { return asm_.new_label(); }
+  void bind(LabelId label) override {
+    ensure_prologue();
+    asm_.bind(label);
+  }
+  void jump(LabelId label) override {
+    ensure_prologue();
+    asm_.b(label);
+  }
+
+  void branch_if_zero(LabelId label) override {
+    ensure_prologue();
+    const u8 r = pop_slot();
+    asm_.cmpwi(r, 0);
+    asm_.beq(label);
+  }
+
+  void branch_if_nonzero(LabelId label) override {
+    ensure_prologue();
+    const u8 r = pop_slot();
+    asm_.cmpwi(r, 0);
+    asm_.bne(label);
+  }
+
+  void branch_cmp(Cond cond, LabelId label) override {
+    ensure_prologue();
+    const u8 b = pop_slot();
+    const u8 a = pop_slot();
+    const bool is_unsigned = cond == Cond::kLtU || cond == Cond::kLeU ||
+                             cond == Cond::kGtU || cond == Cond::kGeU;
+    if (is_unsigned) {
+      asm_.cmplw(a, b);
+    } else {
+      asm_.cmpw(a, b);
+    }
+    switch (cond) {
+      case Cond::kEq: asm_.beq(label); break;
+      case Cond::kNe: asm_.bne(label); break;
+      case Cond::kLtS: case Cond::kLtU: asm_.blt(label); break;
+      case Cond::kLeS: case Cond::kLeU: asm_.ble(label); break;
+      case Cond::kGtS: case Cond::kGtU: asm_.bgt(label); break;
+      case Cond::kGeS: case Cond::kGeU: asm_.bge(label); break;
+    }
+  }
+
+  void call(FuncId func, u32 num_args) override {
+    ensure_prologue();
+    KFI_CHECK(depth_ == num_args, "call requires eval stack == args");
+    KFI_CHECK(num_args <= 6, "too many call arguments");
+    // Move slots r5.. into argument registers r3.. (ascending is safe:
+    // destination index is always below source index).
+    for (u32 i = 0; i < num_args; ++i) {
+      asm_.mr(static_cast<u8>(3 + i), kSlotRegs[i]);
+    }
+    depth_ = 0;
+    asm_.bl(funcs_[func].label);
+    asm_.mr(push_slot(), 3);  // result
+  }
+
+  void ret() override {
+    ensure_prologue();
+    const u8 r = pop_slot();
+    KFI_CHECK(depth_ == 0, "eval stack not empty at ret");
+    asm_.mr(3, r);
+    emit_epilogue();
+  }
+
+  // ---- intrinsics ----
+  void spin_lock(GlobalId lock) override { emit_spin(lock, /*acquire=*/true); }
+  void spin_unlock(GlobalId lock) override { emit_spin(lock, /*acquire=*/false); }
+
+  void bug() override {
+    ensure_prologue();
+    // Linux/PPC 2.4 BUG(): an all-zero word, which is an illegal encoding.
+    asm_.emit_word(0);
+  }
+
+  void panic() override {
+    ensure_prologue();
+    // Panic hypercall: sc with r0 = the reserved panic number.
+    asm_.li32(0, 0x7F01);
+    asm_.sc();
+  }
+
+  void bump_percpu_counter(u32 offset) override {
+    ensure_prologue();
+    asm_.mfspr(kScratchA, riscf::kSprSprg0);  // per-CPU base pointer
+    asm_.lwz(kScratchB, static_cast<i32>(offset), kScratchA);
+    asm_.addi(kScratchB, kScratchB, 1);
+    asm_.stw(kScratchB, static_cast<i32>(offset), kScratchA);
+  }
+
+  void define_switch_function(FuncId func, GlobalId tasks, u32 sp_field) override {
+    KFI_CHECK(cur_func_ < 0, "define_switch_function inside a function");
+    const DataObject& obj = globals_.at(tasks).object;
+    const FieldLayout& sp = obj.field(sp_field);
+    asm_.bind(funcs_[func].label);
+    funcs_[func].start = asm_.here();
+    // void __switch_to(prev r3, next r4): saves all non-volatiles + LR.
+    asm_.stwu(riscf::kSp, -kSwitchFrame, riscf::kSp);
+    asm_.mflr(0);
+    asm_.stw(0, kSwitchFrame - 4, riscf::kSp);
+    for (u8 r = 14; r <= 31; ++r) {
+      asm_.stw(r, 8 + 4 * (r - 14), riscf::kSp);
+    }
+    // tasks[prev].sp = r1
+    emit_task_sp_addr(3, obj, sp);  // r11 = &tasks[prev].sp
+    asm_.stw(riscf::kSp, 0, kScratchA);
+    // r1 = tasks[next].sp
+    emit_task_sp_addr(4, obj, sp);
+    asm_.lwz(riscf::kSp, 0, kScratchA);
+    for (u8 r = 14; r <= 31; ++r) {
+      asm_.lwz(r, 8 + 4 * (r - 14), riscf::kSp);
+    }
+    asm_.lwz(0, kSwitchFrame - 4, riscf::kSp);
+    asm_.mtlr(0);
+    asm_.lwz(riscf::kSp, 0, riscf::kSp);  // back-chain restore
+    asm_.blr();
+    funcs_[func].size = asm_.here() - funcs_[func].start;
+  }
+
+  Addr prepare_initial_stack(mem::AddressSpace& space, Addr stack_top,
+                             Addr entry) const override {
+    const Addr sp = stack_top - kSwitchFrame;
+    for (u32 off = 0; off < kSwitchFrame; off += 4) space.vwrite32(sp + off, 0);
+    space.vwrite32(sp, stack_top);                 // back chain
+    space.vwrite32(sp + kSwitchFrame - 4, entry);  // saved LR slot
+    return sp;
+  }
+
+  Image finish() override {
+    KFI_CHECK(cur_func_ < 0, "finish with open function");
+    Image image;
+    image.arch = isa::Arch::kRiscf;
+    image.code_base = asm_.base();
+    image.data_base = data_base_;
+    image.data = data_;
+    for (const FuncInfo& f : funcs_) {
+      image.functions.push_back(FuncSymbol{f.name, f.start, f.size});
+    }
+    for (const GlobalInfo& g : globals_) image.objects.push_back(g.object);
+    image.code = asm_.finish();
+    return image;
+  }
+
+ private:
+  static constexpr u32 kSwitchFrame = 88;  // 18 GPRs + LR + header
+
+  struct FuncInfo {
+    std::string name;
+    u32 num_params;
+    Asm::Label label;
+    Addr start;
+    u32 size;
+  };
+
+  GlobalId add_global(GlobalInfo info, u32 align) {
+    // Structural objects pack from the bottom of the data section; bulk
+    // payload arrays (page-cache/kmalloc analogues) live past the fixed
+    // kBulkDataOffset so the data-injection window below it contains only
+    // the kernel's structures plus natural slack.
+    u32& cursor = info.object.structural ? data_cursor_ : bulk_cursor_;
+    cursor = (cursor + align - 1) & ~(align - 1);
+    if (info.object.structural) {
+      KFI_CHECK(cursor + info.object.size() <= kBulkDataOffset,
+                "structural data exceeds the injection window");
+    }
+    info.object.addr = data_base_ + cursor;
+    cursor += info.object.size();
+    const u32 extent = std::max(data_cursor_, bulk_cursor_);
+    if (extent > data_.size()) data_.resize(extent, 0);
+    globals_.push_back(std::move(info));
+    return static_cast<GlobalId>(globals_.size() - 1);
+  }
+
+  u8 push_slot() {
+    KFI_CHECK(depth_ < 6, "riscf eval stack overflow");
+    return kSlotRegs[depth_++];
+  }
+
+  u8 pop_slot() {
+    KFI_CHECK(depth_ > 0, "riscf eval stack underflow");
+    return kSlotRegs[--depth_];
+  }
+
+  u8 local_reg(LocalId local) const {
+    KFI_CHECK(kFirstLocalReg + local <= kLastLocalReg, "local out of range");
+    return static_cast<u8>(kFirstLocalReg + local);
+  }
+
+  i32 sdata_off(const DataObject& obj, u32 extra) const {
+    const i32 off = static_cast<i32>(obj.addr - data_base_ + extra);
+    KFI_CHECK(off >= -32768 && off <= 32767, "small-data offset out of range");
+    return off;
+  }
+
+  bool near_r13(const DataObject& obj, u32 extra) const {
+    const i64 off = static_cast<i64>(obj.addr) - data_base_ + extra;
+    return off >= -32768 && off <= 32767;
+  }
+
+  /// Load kScratchB with the address of obj[0] + extra: r13-relative for
+  /// the small-data window, a full li32 for the far bulk region.
+  void emit_obj_base(const DataObject& obj, u32 extra) {
+    if (near_r13(obj, extra)) {
+      asm_.addi(kScratchB, kDataBase, sdata_off(obj, extra));
+    } else {
+      asm_.li32(kScratchB, obj.addr + extra);
+    }
+  }
+
+  /// r11 = index * elem_size (index register is preserved).
+  void emit_index(u8 idx, const DataObject& obj) {
+    const u32 es = obj.elem_size;
+    if ((es & (es - 1)) == 0) {
+      u32 sh = 0;
+      while ((1u << sh) != es) ++sh;
+      if (sh == 0) {
+        asm_.mr(kScratchA, idx);
+      } else {
+        asm_.rlwinm(kScratchA, idx, static_cast<u8>(sh), 0,
+                    static_cast<u8>(31 - sh));  // slwi
+      }
+    } else {
+      asm_.mulli(kScratchA, idx, static_cast<i32>(es));
+    }
+  }
+
+  /// Generated code accesses a field at its DECLARED width even though the
+  /// layout reserves a full word: an unsigned char flag is one lbz from
+  /// the word's low byte.  The remaining padding bytes of the slot are
+  /// never loaded by anyone — which is exactly why so many G4 data/stack
+  /// errors activate (the word is accessed) yet never manifest (the
+  /// flipped bit sat in padding): the paper's sparseness mechanism.
+  static i32 value_adjust(const FieldLayout& f) {
+    // Big-endian: the value's bytes sit at the END of the storage slot.
+    return static_cast<i32>(f.storage_bytes) - static_cast<i32>(f.width);
+  }
+
+  void emit_load_off(u8 dst, u8 base, i32 off, const FieldLayout& f) {
+    switch (f.width) {
+      case Width::kU8: asm_.lbz(dst, off + value_adjust(f), base); break;
+      case Width::kU16: asm_.lhz(dst, off + value_adjust(f), base); break;
+      case Width::kU32: asm_.lwz(dst, off, base); break;
+    }
+  }
+
+  void emit_store_off(u8 src, u8 base, i32 off, const FieldLayout& f) {
+    switch (f.width) {
+      case Width::kU8: asm_.stb(src, off + value_adjust(f), base); break;
+      case Width::kU16: asm_.sth(src, off + value_adjust(f), base); break;
+      case Width::kU32: asm_.stw(src, off, base); break;
+    }
+  }
+
+  void emit_load_x(u8 dst, u8 base, u8 index, const FieldLayout& f) {
+    if (value_adjust(f) != 0) asm_.addi(base, base, value_adjust(f));
+    switch (f.width) {
+      case Width::kU8: asm_.lbzx(dst, base, index); break;
+      case Width::kU16: asm_.lhzx(dst, base, index); break;
+      case Width::kU32: asm_.lwzx(dst, base, index); break;
+    }
+  }
+
+  void emit_store_x(u8 src, u8 base, u8 index, const FieldLayout& f) {
+    if (value_adjust(f) != 0) asm_.addi(base, base, value_adjust(f));
+    switch (f.width) {
+      case Width::kU8: asm_.stbx(src, base, index); break;
+      case Width::kU16: asm_.sthx(src, base, index); break;
+      case Width::kU32: asm_.stwx(src, base, index); break;
+    }
+  }
+
+  void emit_task_sp_addr(u8 idx_reg, const DataObject& obj,
+                         const FieldLayout& sp) {
+    // r11 = data_base + (obj - data_base) + idx*elem + sp.offset
+    asm_.mulli(kScratchA, idx_reg, static_cast<i32>(obj.elem_size));
+    asm_.addi(kScratchA, kScratchA, sdata_off(obj, sp.offset));
+    asm_.add(kScratchA, kScratchA, kDataBase);
+  }
+
+  void ensure_prologue() {
+    KFI_CHECK(cur_func_ >= 0, "code emitted outside a function");
+    if (body_started_) return;
+    body_started_ = true;
+    const FuncInfo& f = funcs_[static_cast<u32>(cur_func_)];
+    cur_frame_ = frame_size();
+    asm_.stwu(riscf::kSp, -static_cast<i32>(cur_frame_), riscf::kSp);
+    asm_.mflr(0);
+    asm_.stw(0, static_cast<i32>(cur_frame_) - 4, riscf::kSp);
+    for (u32 i = 0; i < num_locals_; ++i) {
+      asm_.stw(local_reg(i), 8 + 4 * static_cast<i32>(i), riscf::kSp);
+    }
+    // Move incoming arguments (r3..) into their callee-saved homes.
+    for (u32 i = 0; i < f.num_params; ++i) {
+      asm_.mr(local_reg(i), static_cast<u8>(3 + i));
+    }
+  }
+
+  u32 frame_size() const {
+    // Header (8) + one save slot per local register + LR slot, rounded to 8.
+    const u32 raw = 8 + 4 * num_locals_ + 4;
+    return (raw + 7) & ~7u;
+  }
+
+  void emit_epilogue() {
+    asm_.lwz(0, static_cast<i32>(cur_frame_) - 4, riscf::kSp);
+    asm_.mtlr(0);
+    for (u32 i = 0; i < num_locals_; ++i) {
+      asm_.lwz(local_reg(i), 8 + 4 * static_cast<i32>(i), riscf::kSp);
+    }
+    // Restore the stack pointer through the back chain stwu wrote at
+    // frame creation.  This is the load-bearing idiom behind the paper's
+    // G4 Stack Overflow category: corrupt the back-chain word on the
+    // stack and the next exception's entry wrapper finds r1 out of range.
+    asm_.lwz(riscf::kSp, 0, riscf::kSp);
+    asm_.blr();
+  }
+
+  void emit_spin(GlobalId lock, bool acquire) {
+    ensure_prologue();
+    const DataObject& obj = globals_.at(lock).object;
+    const FieldLayout& lock_f = obj.field(0);
+    const FieldLayout& magic_f = obj.field(1);
+    if (spinlock_checks_) {
+      asm_.lwz(kScratchA, sdata_off(obj, magic_f.offset), kDataBase);
+      asm_.li32(kScratchB, kSpinlockMagic);
+      asm_.cmpw(kScratchA, kScratchB);
+      const Asm::Label ok = asm_.new_label();
+      asm_.beq(ok);
+      asm_.emit_word(0);  // BUG(): illegal word
+      asm_.bind(ok);
+    }
+    asm_.li(kScratchA, acquire ? 1 : 0);
+    asm_.stw(kScratchA, sdata_off(obj, lock_f.offset), kDataBase);
+  }
+
+  Asm asm_;
+  Addr data_base_;
+  std::vector<u8> data_;
+  u32 data_cursor_ = 0;
+  u32 bulk_cursor_ = kBulkDataOffset;
+  std::vector<GlobalInfo> globals_;
+  std::vector<FuncInfo> funcs_;
+  i32 cur_func_ = -1;
+  u32 num_locals_ = 0;
+  u32 cur_frame_ = 0;
+  u32 depth_ = 0;
+  bool body_started_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_riscf_backend(Addr code_base, Addr data_base) {
+  return std::make_unique<RiscfBackend>(code_base, data_base);
+}
+
+}  // namespace kfi::kir

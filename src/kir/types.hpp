@@ -1,0 +1,50 @@
+// Core types of the kernel IR (kir).
+//
+// The miniature kernel is written ONCE against the abstract Backend
+// interface; the two backends compile it into real cisca and riscf machine
+// code with each architecture's idioms.  Width is the *declared* logical
+// width of a data item; how it is laid out is a backend decision — and that
+// decision is one of the paper's central variables (packed 8/16/32-bit
+// items on the P4 versus word-per-item layouts on the G4, Section 5.5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kfi::kir {
+
+enum class Width : u8 { kU8 = 1, kU16 = 2, kU32 = 4 };
+
+/// Binary operators; comparison is expressed via CondBranch instead of
+/// materialized booleans (matching how compilers of the era emitted code).
+enum class BinOp : u8 {
+  kAdd, kSub, kMul, kDivU, kDivS,
+  kAnd, kOr, kXor,
+  kShl, kShrU, kShrS,
+};
+
+/// Branch conditions for compare-and-branch.
+enum class Cond : u8 {
+  kEq, kNe,
+  kLtS, kLeS, kGtS, kGeS,
+  kLtU, kLeU, kGtU, kGeU,
+};
+
+using GlobalId = u32;
+using FuncId = u32;
+using LocalId = u32;
+using LabelId = u32;
+
+struct FieldDecl {
+  std::string name;
+  Width width = Width::kU32;
+};
+
+struct StructDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+};
+
+}  // namespace kfi::kir

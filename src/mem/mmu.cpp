@@ -1,0 +1,82 @@
+#include "mem/mmu.hpp"
+
+#include "common/error.hpp"
+
+namespace kfi::mem {
+
+void Mmu::map(Addr vaddr, u32 paddr, u32 pages, PagePerms perms) {
+  KFI_CHECK((vaddr & (kPageSize - 1)) == 0, "map: vaddr not page aligned");
+  KFI_CHECK((paddr & (kPageSize - 1)) == 0, "map: paddr not page aligned");
+  for (u32 i = 0; i < pages; ++i) {
+    pages_[(vaddr >> kPageShift) + i] = Entry{(paddr >> kPageShift) + i, perms};
+  }
+}
+
+void Mmu::unmap(Addr vaddr, u32 pages) {
+  KFI_CHECK((vaddr & (kPageSize - 1)) == 0, "unmap: vaddr not page aligned");
+  for (u32 i = 0; i < pages; ++i) pages_.erase((vaddr >> kPageShift) + i);
+}
+
+namespace {
+
+std::optional<MemFault> perm_fault(const PagePerms& p, Addr vaddr,
+                                   Access access) {
+  if (p.bus) return MemFault{FaultKind::kBusRegion, vaddr, access};
+  switch (access) {
+    case Access::kRead:
+      if (!p.read) return MemFault{FaultKind::kNoRead, vaddr, access};
+      break;
+    case Access::kWrite:
+      if (!p.write) return MemFault{FaultKind::kNoWrite, vaddr, access};
+      break;
+    case Access::kExecute:
+      if (!p.execute) return MemFault{FaultKind::kNoExecute, vaddr, access};
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TranslateResult Mmu::translate(Addr vaddr, u32 len, Access access) const {
+  TranslateResult result;
+  const auto it = pages_.find(vaddr >> kPageShift);
+  if (it == pages_.end()) {
+    result.fault = MemFault{FaultKind::kUnmapped, vaddr, access};
+    return result;
+  }
+  if (auto fault = perm_fault(it->second.perms, vaddr, access)) {
+    result.fault = fault;
+    return result;
+  }
+  const Addr last = vaddr + len - 1;
+  if ((last >> kPageShift) != (vaddr >> kPageShift)) {
+    const auto it2 = pages_.find(last >> kPageShift);
+    if (it2 == pages_.end()) {
+      result.fault = MemFault{FaultKind::kUnmapped, last, access};
+      return result;
+    }
+    if (auto fault = perm_fault(it2->second.perms, last, access)) {
+      result.fault = fault;
+      return result;
+    }
+    // Split accesses across non-contiguous frames are not needed by either
+    // simulated kernel; require physical contiguity for simplicity.
+    KFI_CHECK(it2->second.pfn == it->second.pfn + 1,
+              "page-crossing access to non-adjacent frames");
+  }
+  result.phys = (it->second.pfn << kPageShift) | (vaddr & (kPageSize - 1));
+  return result;
+}
+
+bool Mmu::is_mapped(Addr vaddr) const {
+  return pages_.contains(vaddr >> kPageShift);
+}
+
+std::optional<PagePerms> Mmu::perms_of(Addr vaddr) const {
+  const auto it = pages_.find(vaddr >> kPageShift);
+  if (it == pages_.end()) return std::nullopt;
+  return it->second.perms;
+}
+
+}  // namespace kfi::mem

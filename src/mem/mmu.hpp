@@ -1,0 +1,84 @@
+// Page-granular MMU shared by both simulated processors.
+//
+// Translation failures do not throw: they return a MemFault that the CPU
+// models convert into their architectural exceptions — a page fault on the
+// P4-like machine (classified by the Linux-like kernel as "NULL pointer"
+// vs. "bad paging"), a DSI / "kernel access of bad area" on the G4-like
+// machine, or a machine check when address translation is disabled via the
+// MSR (one of the paper's observed G4 register-error effects).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "mem/phys_mem.hpp"
+
+namespace kfi::mem {
+
+constexpr u32 kPageSize = 4096;
+constexpr u32 kPageShift = 12;
+
+enum class Access { kRead, kWrite, kExecute };
+
+enum class FaultKind {
+  kUnmapped,      // no translation for the page
+  kNoRead,        // mapped but read permission missing
+  kNoWrite,       // mapped but write-protected (e.g. kernel text)
+  kNoExecute,     // mapped but not executable (e.g. data, stack)
+  kBusRegion,     // processor-local bus / device region: raises machine check
+  kTranslationOff // address translation disabled (MSR.IR/DR cleared)
+};
+
+struct MemFault {
+  FaultKind kind;
+  Addr addr;
+  Access access;
+};
+
+struct PagePerms {
+  bool read = false;
+  bool write = false;
+  bool execute = false;
+  /// Region sits on the simulated processor-local bus; any access raises a
+  /// machine-check-class fault (used for the G4 machine-check category).
+  bool bus = false;
+};
+
+struct TranslateResult {
+  /// Valid physical address when fault is empty.
+  u32 phys = 0;
+  std::optional<MemFault> fault;
+
+  bool ok() const { return !fault.has_value(); }
+};
+
+class Mmu {
+ public:
+  /// Map `pages` consecutive virtual pages starting at `vaddr` (page
+  /// aligned) to consecutive physical pages starting at `paddr`.
+  void map(Addr vaddr, u32 paddr, u32 pages, PagePerms perms);
+
+  /// Remove the translation for the pages (used for guard pages).
+  void unmap(Addr vaddr, u32 pages);
+
+  /// Translate one access of `len` bytes (len in {1,2,4}).  An access that
+  /// crosses a page boundary is checked on both pages.
+  TranslateResult translate(Addr vaddr, u32 len, Access access) const;
+
+  bool is_mapped(Addr vaddr) const;
+
+  /// Look up the perms of the page containing vaddr (if mapped).
+  std::optional<PagePerms> perms_of(Addr vaddr) const;
+
+ private:
+  struct Entry {
+    u32 pfn;  // physical frame number
+    PagePerms perms;
+  };
+
+  std::unordered_map<u32, Entry> pages_;  // vpn -> entry
+};
+
+}  // namespace kfi::mem

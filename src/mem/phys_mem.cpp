@@ -1,0 +1,96 @@
+#include "mem/phys_mem.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace kfi::mem {
+
+PhysicalMemory::PhysicalMemory(u32 size_bytes) : bytes_(size_bytes, 0) {
+  KFI_CHECK(size_bytes > 0, "physical memory must be non-empty");
+}
+
+void PhysicalMemory::check_range(u32 pa, u32 len) const {
+  KFI_CHECK(pa + len >= pa && pa + len <= bytes_.size(),
+            "physical access out of range");
+}
+
+u8 PhysicalMemory::read8(u32 pa) const {
+  check_range(pa, 1);
+  return bytes_[pa];
+}
+
+void PhysicalMemory::write8(u32 pa, u8 value) {
+  check_range(pa, 1);
+  bytes_[pa] = value;
+}
+
+u16 PhysicalMemory::read16(u32 pa, Endian endian) const {
+  check_range(pa, 2);
+  if (endian == Endian::kLittle) {
+    return static_cast<u16>(bytes_[pa] | (bytes_[pa + 1] << 8));
+  }
+  return static_cast<u16>((bytes_[pa] << 8) | bytes_[pa + 1]);
+}
+
+void PhysicalMemory::write16(u32 pa, u16 value, Endian endian) {
+  check_range(pa, 2);
+  if (endian == Endian::kLittle) {
+    bytes_[pa] = static_cast<u8>(value);
+    bytes_[pa + 1] = static_cast<u8>(value >> 8);
+  } else {
+    bytes_[pa] = static_cast<u8>(value >> 8);
+    bytes_[pa + 1] = static_cast<u8>(value);
+  }
+}
+
+u32 PhysicalMemory::read32(u32 pa, Endian endian) const {
+  check_range(pa, 4);
+  if (endian == Endian::kLittle) {
+    return static_cast<u32>(bytes_[pa]) | (static_cast<u32>(bytes_[pa + 1]) << 8) |
+           (static_cast<u32>(bytes_[pa + 2]) << 16) |
+           (static_cast<u32>(bytes_[pa + 3]) << 24);
+  }
+  return (static_cast<u32>(bytes_[pa]) << 24) |
+         (static_cast<u32>(bytes_[pa + 1]) << 16) |
+         (static_cast<u32>(bytes_[pa + 2]) << 8) | static_cast<u32>(bytes_[pa + 3]);
+}
+
+void PhysicalMemory::write32(u32 pa, u32 value, Endian endian) {
+  check_range(pa, 4);
+  if (endian == Endian::kLittle) {
+    bytes_[pa] = static_cast<u8>(value);
+    bytes_[pa + 1] = static_cast<u8>(value >> 8);
+    bytes_[pa + 2] = static_cast<u8>(value >> 16);
+    bytes_[pa + 3] = static_cast<u8>(value >> 24);
+  } else {
+    bytes_[pa] = static_cast<u8>(value >> 24);
+    bytes_[pa + 1] = static_cast<u8>(value >> 16);
+    bytes_[pa + 2] = static_cast<u8>(value >> 8);
+    bytes_[pa + 3] = static_cast<u8>(value);
+  }
+}
+
+void PhysicalMemory::write_bytes(u32 pa, const u8* data, u32 len) {
+  check_range(pa, len);
+  std::memcpy(bytes_.data() + pa, data, len);
+}
+
+void PhysicalMemory::read_bytes(u32 pa, u8* out, u32 len) const {
+  check_range(pa, len);
+  std::memcpy(out, bytes_.data() + pa, len);
+}
+
+void PhysicalMemory::flip_bit(u32 pa, u32 bit) {
+  check_range(pa, 1);
+  KFI_CHECK(bit < 8, "flip_bit: bit index within a byte");
+  bytes_[pa] = kfi::flip_bit(bytes_[pa], bit);
+}
+
+void PhysicalMemory::restore(const std::vector<u8>& snap) {
+  KFI_CHECK(snap.size() == bytes_.size(), "snapshot size mismatch");
+  bytes_ = snap;
+}
+
+}  // namespace kfi::mem

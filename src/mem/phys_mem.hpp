@@ -1,0 +1,54 @@
+// Simulated physical memory.
+//
+// A flat byte array standing in for the 256 MB of RAM on the paper's target
+// machines (we default much smaller; the miniature kernel needs well under
+// 2 MB).  Byte-addressed; multi-byte accessors exist in both endiannesses
+// because the P4-like machine (cisca) is little-endian while the G4-like
+// machine (riscf) is big-endian, exactly as the real processors were.
+//
+// Snapshots of physical memory are the simulation's substitute for the
+// paper's "reboot the target system" step: restoring a snapshot returns the
+// machine to a known-good state in microseconds instead of minutes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kfi::mem {
+
+enum class Endian { kLittle, kBig };
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(u32 size_bytes);
+
+  u32 size() const { return static_cast<u32>(bytes_.size()); }
+
+  u8 read8(u32 pa) const;
+  void write8(u32 pa, u8 value);
+
+  u16 read16(u32 pa, Endian endian) const;
+  void write16(u32 pa, u16 value, Endian endian);
+
+  u32 read32(u32 pa, Endian endian) const;
+  void write32(u32 pa, u32 value, Endian endian);
+
+  /// Bulk copy helpers for loading kernel images.
+  void write_bytes(u32 pa, const u8* data, u32 len);
+  void read_bytes(u32 pa, u8* out, u32 len) const;
+
+  /// Flip a single bit of physical memory (the paper's error model).
+  void flip_bit(u32 pa, u32 bit);
+
+  /// Whole-memory snapshot / restore ("reboot").
+  std::vector<u8> snapshot() const { return bytes_; }
+  void restore(const std::vector<u8>& snap);
+
+ private:
+  void check_range(u32 pa, u32 len) const;
+
+  std::vector<u8> bytes_;
+};
+
+}  // namespace kfi::mem

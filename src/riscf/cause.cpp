@@ -1,0 +1,34 @@
+#include "riscf/cause.hpp"
+
+namespace kfi::riscf {
+
+std::string cause_name(Cause cause) {
+  switch (cause) {
+    case Cause::kNone: return "none";
+    case Cause::kMachineCheck: return "machine-check";
+    case Cause::kDataStorage: return "data-storage";
+    case Cause::kInstrStorage: return "instr-storage";
+    case Cause::kIllegalInstruction: return "illegal-instruction";
+    case Cause::kPrivileged: return "privileged";
+    case Cause::kTrapWord: return "trap-word";
+    case Cause::kAlignment: return "alignment";
+    case Cause::kProtection: return "protection";
+    case Cause::kKernelPanic: return "kernel-panic";
+    case Cause::kSyscall: return "syscall";
+    case Cause::kSyscallReturn: return "syscall-return";
+  }
+  return "unknown";
+}
+
+bool is_fatal(Cause cause) {
+  switch (cause) {
+    case Cause::kNone:
+    case Cause::kSyscall:
+    case Cause::kSyscallReturn:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace kfi::riscf

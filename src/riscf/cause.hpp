@@ -1,0 +1,40 @@
+// Architectural exception causes of the riscf (G4-like) processor.
+//
+// These are the PowerPC exception classes behind the paper's Table 4 crash
+// categories: DSI/ISI ("kernel access of bad area"), program/illegal
+// ("illegal instruction"), alignment, machine check (processor-local bus
+// and translation-off errors), protection ("bus error" in the paper's
+// taxonomy), trap-word ("bad trap"), and the software panic.  The "stack
+// overflow" category is NOT an architectural exception — it is produced by
+// the kernel's exception-entry checking wrapper (Section 6), modeled in
+// kernel/runtime_riscf.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace kfi::riscf {
+
+enum class Cause : u32 {
+  kNone = 0,
+  kMachineCheck,        // processor-local bus error, translation disabled
+  kDataStorage,         // DSI: data access to unmapped address ("bad area")
+  kInstrStorage,        // ISI: fetch from unmapped address ("bad area")
+  kIllegalInstruction,  // program exception: reserved/illegal encoding
+  kPrivileged,          // program exception: privileged op in problem state
+  kTrapWord,            // tw/twi trap taken ("bad trap" unless kernel BUG)
+  kAlignment,           // unaligned lwz/stw/lhz/... effective address
+  kProtection,          // store to a write-protected page ("bus error")
+  kKernelPanic,         // software panic hypercall (panic())
+  kSyscall,             // sc: system call entry (not a failure)
+  kSyscallReturn,       // sc from the return stub (not a failure)
+};
+
+std::string cause_name(Cause cause);
+
+/// True for causes that represent kernel failures rather than the normal
+/// syscall entry/exit traps.
+bool is_fatal(Cause cause);
+
+}  // namespace kfi::riscf

@@ -1,0 +1,761 @@
+#include "riscf/cpu.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "riscf/sysregs.hpp"
+
+namespace kfi::riscf {
+
+namespace {
+
+u32 rotl32(u32 v, u32 n) { return n == 0 ? v : (v << n) | (v >> (32 - n)); }
+
+}  // namespace
+
+RiscfCpu::RiscfCpu(mem::AddressSpace& space)
+    : space_(space), sysregs_(std::make_unique<RiscfSysRegs>(*this)) {
+  // Pre-touch every inert supervisor SPR so snapshots have a fixed shape.
+  for (const u32 spr : inert_supervisor_sprs()) spr_storage_[spr] = 0;
+}
+
+RiscfCpu::~RiscfCpu() = default;
+
+isa::SystemRegisterBank& RiscfCpu::sysregs() { return *sysregs_; }
+
+void RiscfCpu::raise(Cause cause, Addr addr, bool has_addr, u32 aux) {
+  isa::Trap trap;
+  trap.cause = static_cast<u32>(cause);
+  trap.pc = regs_.pc;
+  trap.addr = addr;
+  trap.has_addr = has_addr;
+  trap.aux = aux;
+  if (cause == Cause::kDataStorage || cause == Cause::kAlignment ||
+      cause == Cause::kProtection) {
+    regs_.dar = addr;
+    regs_.dsisr = 0x40000000;
+  }
+  // A machine check with MSR.ME cleared is a checkstop: the processor
+  // stops dead.  aux=1 flags this so the kernel runtime can treat it as a
+  // hang rather than a handled exception.
+  if (cause == Cause::kMachineCheck && (regs_.msr & kMsrME) == 0) {
+    trap.aux = 1;
+  }
+  throw TrapException{trap};
+}
+
+void RiscfCpu::check_alignment(Addr ea, u8 width) {
+  // Like the MPC7455, most unaligned accesses are handled in hardware
+  // (with a cycle penalty); the alignment interrupt fires only when an
+  // unaligned access straddles a cache-line boundary.
+  if (width == 1 || (ea & (width - 1)) == 0) return;
+  if ((ea & 31) + width > 32) raise(Cause::kAlignment, ea, true);
+  cycles_ += 3;
+}
+
+u32 RiscfCpu::read_mem(Addr addr, u8 width) {
+  if ((regs_.msr & kMsrDR) == 0) raise(Cause::kMachineCheck, addr, true);
+  check_alignment(addr, width);
+  const auto tr = space_.translate(addr, width, mem::Access::kRead);
+  if (!tr.ok()) {
+    if (tr.fault->kind == mem::FaultKind::kBusRegion) {
+      raise(Cause::kMachineCheck, addr, true);
+    }
+    raise(Cause::kDataStorage, addr, true);
+  }
+  cycles_ += 2;
+  u32 value = 0;
+  switch (width) {
+    case 1: value = space_.phys().read8(tr.phys); break;
+    case 2: value = space_.phys().read16(tr.phys, mem::Endian::kBig); break;
+    case 4: value = space_.phys().read32(tr.phys, mem::Endian::kBig); break;
+    default: KFI_CHECK(false, "bad width");
+  }
+  if (current_result_ != nullptr) {
+    debug_.record_access(addr, width, /*is_write=*/false, *current_result_);
+  }
+  return value;
+}
+
+void RiscfCpu::write_mem(Addr addr, u8 width, u32 value) {
+  if ((regs_.msr & kMsrDR) == 0) raise(Cause::kMachineCheck, addr, true);
+  check_alignment(addr, width);
+  const auto tr = space_.translate(addr, width, mem::Access::kWrite);
+  if (!tr.ok()) {
+    switch (tr.fault->kind) {
+      case mem::FaultKind::kBusRegion:
+        raise(Cause::kMachineCheck, addr, true);
+      case mem::FaultKind::kNoWrite:
+        // Store to a protected page: the paper's Table 4 "bus error
+        // (protection fault)" category.
+        raise(Cause::kProtection, addr, true);
+      default:
+        raise(Cause::kDataStorage, addr, true);
+    }
+  }
+  cycles_ += 2;
+  switch (width) {
+    case 1: space_.phys().write8(tr.phys, static_cast<u8>(value)); break;
+    case 2:
+      space_.phys().write16(tr.phys, static_cast<u16>(value), mem::Endian::kBig);
+      break;
+    case 4: space_.phys().write32(tr.phys, value, mem::Endian::kBig); break;
+    default: KFI_CHECK(false, "bad width");
+  }
+  if (current_result_ != nullptr) {
+    debug_.record_access(addr, width, /*is_write=*/true, *current_result_);
+  }
+}
+
+void RiscfCpu::set_cr_field(u8 field, u32 bits4) {
+  const u32 shift = (7 - field) * 4;
+  regs_.cr = (regs_.cr & ~(0xFu << shift)) | ((bits4 & 0xF) << shift);
+}
+
+void RiscfCpu::record_cr0(u32 result) {
+  const i32 sr = static_cast<i32>(result);
+  u32 bits = 0;
+  if (sr < 0) bits |= 8;        // LT
+  else if (sr > 0) bits |= 4;   // GT
+  else bits |= 2;               // EQ
+  // SO copied from XER[SO].
+  if (regs_.xer & 0x80000000u) bits |= 1;
+  set_cr_field(0, bits);
+}
+
+void RiscfCpu::compare(u8 crfd, i64 a, i64 b) {
+  u32 bits = 0;
+  if (a < b) bits |= 8;
+  else if (a > b) bits |= 4;
+  else bits |= 2;
+  if (regs_.xer & 0x80000000u) bits |= 1;
+  set_cr_field(crfd, bits);
+}
+
+bool RiscfCpu::branch_cond(u8 bo, u8 bi) {
+  bool ctr_ok = true;
+  if ((bo & 0x04) == 0) {
+    regs_.ctr -= 1;
+    ctr_ok = ((regs_.ctr != 0) != ((bo & 0x02) != 0));
+  }
+  bool cond_ok = true;
+  if ((bo & 0x10) == 0) {
+    const bool crbit = (regs_.cr & cr_bit_mask(bi)) != 0;
+    cond_ok = crbit == ((bo & 0x08) != 0);
+  }
+  return ctr_ok && cond_ok;
+}
+
+void RiscfCpu::taken_branch_check() {
+  // BTIC enabled over invalid contents (an HID0 bit flip — the kernel
+  // boots with BTIC off) fetches a stale branch target: the fetched junk
+  // raises a program exception on the next taken branch (Section 5.2).
+  if ((regs_.hid0 & kHid0Btic) != 0) {
+    raise(Cause::kIllegalInstruction, regs_.pc, false, /*aux=*/kSprHid0);
+  }
+  cycles_ += 1;
+}
+
+void RiscfCpu::require_supervisor() {
+  if ((regs_.msr & kMsrPR) != 0) raise(Cause::kPrivileged);
+}
+
+bool RiscfCpu::read_spr(u32 spr, u32& value) const {
+  switch (spr) {
+    case kSprXer: value = regs_.xer; return true;
+    case kSprLr: value = regs_.lr; return true;
+    case kSprCtr: value = regs_.ctr; return true;
+    case kSprDsisr: value = regs_.dsisr; return true;
+    case kSprDar: value = regs_.dar; return true;
+    case kSprDec: value = regs_.dec; return true;
+    case kSprSdr1: value = regs_.sdr1; return true;
+    case kSprSrr0: value = regs_.srr0; return true;
+    case kSprSrr1: value = regs_.srr1; return true;
+    case kSprSprg0: case kSprSprg1: case kSprSprg2: case kSprSprg3:
+      value = regs_.sprg[spr - kSprSprg0];
+      return true;
+    case kSprPvr: value = 0x80010201; return true;  // MPC7455-like PVR
+    case kSprHid0: value = regs_.hid0; return true;
+    case kSprHid1: value = regs_.hid1; return true;
+    default: {
+      const auto it = spr_storage_.find(spr);
+      if (it == spr_storage_.end()) return false;
+      value = it->second;
+      return true;
+    }
+  }
+}
+
+bool RiscfCpu::write_spr(u32 spr, u32 value) {
+  switch (spr) {
+    case kSprXer: regs_.xer = value; return true;
+    case kSprLr: regs_.lr = value; return true;
+    case kSprCtr: regs_.ctr = value; return true;
+    case kSprDsisr: regs_.dsisr = value; return true;
+    case kSprDar: regs_.dar = value; return true;
+    case kSprDec: regs_.dec = value; return true;
+    case kSprSdr1: regs_.sdr1 = value; return true;
+    case kSprSrr0: regs_.srr0 = value; return true;
+    case kSprSrr1: regs_.srr1 = value; return true;
+    case kSprSprg0: case kSprSprg1: case kSprSprg2: case kSprSprg3:
+      regs_.sprg[spr - kSprSprg0] = value;
+      return true;
+    case kSprPvr: return true;  // read-only; write ignored
+    case kSprHid0: regs_.hid0 = value; return true;
+    case kSprHid1: regs_.hid1 = value; return true;
+    default: {
+      const auto it = spr_storage_.find(spr);
+      if (it == spr_storage_.end()) return false;
+      it->second = value;
+      return true;
+    }
+  }
+}
+
+Insn RiscfCpu::decode_at(Addr pc) const {
+  const auto tr = space_.translate(pc, 4, mem::Access::kExecute);
+  if (!tr.ok()) return Insn{};
+  return decode(space_.phys().read32(tr.phys, mem::Endian::kBig));
+}
+
+isa::StepResult RiscfCpu::step() {
+  isa::StepResult result;
+  if (debug_.check_insn_bp(regs_.pc)) {
+    result.status = isa::StepStatus::kInsnBp;
+    return result;
+  }
+  current_result_ = &result;
+  try {
+    if ((regs_.msr & kMsrIR) == 0) {
+      raise(Cause::kMachineCheck, regs_.pc, true);
+    }
+    if ((regs_.pc & 3) != 0) {
+      raise(Cause::kInstrStorage, regs_.pc, true);
+    }
+    const auto tr = space_.translate(regs_.pc, 4, mem::Access::kExecute);
+    if (!tr.ok()) {
+      if (tr.fault->kind == mem::FaultKind::kBusRegion) {
+        raise(Cause::kMachineCheck, regs_.pc, true);
+      }
+      raise(Cause::kInstrStorage, regs_.pc, true);
+    }
+    const u32 word = space_.phys().read32(tr.phys, mem::Endian::kBig);
+    const Insn insn = decode(word);
+    if (insn.op == Op::kInvalid) {
+      raise(Cause::kIllegalInstruction, 0, false, word);
+    }
+    execute(insn);
+    cycles_ += 1;
+  } catch (const TrapException& te) {
+    result.status = isa::StepStatus::kTrap;
+    result.trap = te.trap;
+    cycles_ += 1;
+  }
+  current_result_ = nullptr;
+  return result;
+}
+
+void RiscfCpu::execute(const Insn& insn) {
+  u32* gpr = regs_.gpr;
+  const Addr next = regs_.pc + 4;
+
+  switch (insn.op) {
+    case Op::kAddi:
+      gpr[insn.rt] = (insn.ra == 0 ? 0 : gpr[insn.ra]) +
+                     static_cast<u32>(insn.simm);
+      break;
+    case Op::kAddis:
+      gpr[insn.rt] = (insn.ra == 0 ? 0 : gpr[insn.ra]) +
+                     (static_cast<u32>(insn.simm) << 16);
+      break;
+    case Op::kAddic:
+      gpr[insn.rt] = gpr[insn.ra] + static_cast<u32>(insn.simm);
+      break;
+    case Op::kMulli:
+      gpr[insn.rt] = gpr[insn.ra] * static_cast<u32>(insn.simm);
+      cycles_ += 3;
+      break;
+    case Op::kCmpwi:
+      compare(insn.crfd, static_cast<i32>(gpr[insn.ra]), insn.simm);
+      break;
+    case Op::kCmplwi:
+      compare(insn.crfd, gpr[insn.ra], insn.uimm);
+      break;
+    case Op::kOri:
+      gpr[insn.ra] = gpr[insn.rt] | insn.uimm;
+      break;
+    case Op::kOris:
+      gpr[insn.ra] = gpr[insn.rt] | (insn.uimm << 16);
+      break;
+    case Op::kXori:
+      gpr[insn.ra] = gpr[insn.rt] ^ insn.uimm;
+      break;
+    case Op::kAndiRec:
+      gpr[insn.ra] = gpr[insn.rt] & insn.uimm;
+      record_cr0(gpr[insn.ra]);
+      break;
+    case Op::kRlwinm: {
+      // Mask spans PPC (big-endian numbered) bits mb..me inclusive; for
+      // mb > me the mask wraps around.
+      const u32 hi_mask = 0xFFFFFFFFu >> insn.mb;
+      const u32 lo_mask =
+          insn.me == 31 ? 0xFFFFFFFFu : ~((1u << (31 - insn.me)) - 1u);
+      const u32 final_mask =
+          insn.mb <= insn.me ? (hi_mask & lo_mask) : (hi_mask | lo_mask);
+      gpr[insn.ra] = rotl32(gpr[insn.rt], insn.sh) & final_mask;
+      if (insn.rc) record_cr0(gpr[insn.ra]);
+      break;
+    }
+    case Op::kLwz: case Op::kLbz: case Op::kLhz: case Op::kLha: {
+      const Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) +
+                      static_cast<u32>(insn.simm);
+      const u8 w = insn.op == Op::kLwz ? 4 : insn.op == Op::kLbz ? 1 : 2;
+      u32 v = read_mem(ea, w);
+      if (insn.op == Op::kLha) v = static_cast<u32>(sign_extend32(v, 16));
+      gpr[insn.rt] = v;
+      break;
+    }
+    case Op::kLwzu: {
+      const Addr ea = gpr[insn.ra] + static_cast<u32>(insn.simm);
+      gpr[insn.rt] = read_mem(ea, 4);
+      gpr[insn.ra] = ea;
+      break;
+    }
+    case Op::kStw: case Op::kStb: case Op::kSth: {
+      const Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) +
+                      static_cast<u32>(insn.simm);
+      const u8 w = insn.op == Op::kStw ? 4 : insn.op == Op::kStb ? 1 : 2;
+      write_mem(ea, w, gpr[insn.rt]);
+      break;
+    }
+    case Op::kStwu: {
+      const Addr ea = gpr[insn.ra] + static_cast<u32>(insn.simm);
+      write_mem(ea, 4, gpr[insn.rt]);
+      gpr[insn.ra] = ea;
+      break;
+    }
+    case Op::kB: {
+      taken_branch_check();
+      if (insn.lk) regs_.lr = next;
+      regs_.pc = insn.aa ? static_cast<u32>(insn.li)
+                         : regs_.pc + static_cast<u32>(insn.li);
+      return;
+    }
+    case Op::kBc: {
+      if (branch_cond(insn.bo, insn.bi)) {
+        taken_branch_check();
+        if (insn.lk) regs_.lr = next;
+        regs_.pc = insn.aa ? static_cast<u32>(insn.bd)
+                           : regs_.pc + static_cast<u32>(insn.bd);
+        return;
+      }
+      if (insn.lk) regs_.lr = next;
+      break;
+    }
+    case Op::kBclr: {
+      if (branch_cond(insn.bo, insn.bi)) {
+        taken_branch_check();
+        const u32 target = regs_.lr & ~3u;
+        if (insn.lk) regs_.lr = next;
+        regs_.pc = target;
+        return;
+      }
+      if (insn.lk) regs_.lr = next;
+      break;
+    }
+    case Op::kBcctr: {
+      if (branch_cond(insn.bo, insn.bi)) {
+        taken_branch_check();
+        const u32 target = regs_.ctr & ~3u;
+        if (insn.lk) regs_.lr = next;
+        regs_.pc = target;
+        return;
+      }
+      if (insn.lk) regs_.lr = next;
+      break;
+    }
+    case Op::kSc:
+      regs_.pc = next;
+      raise(Cause::kSyscall);
+    case Op::kAdd:
+      gpr[insn.rt] = gpr[insn.ra] + gpr[insn.rb];
+      if (insn.rc) record_cr0(gpr[insn.rt]);
+      break;
+    case Op::kSubf:
+      gpr[insn.rt] = gpr[insn.rb] - gpr[insn.ra];
+      if (insn.rc) record_cr0(gpr[insn.rt]);
+      break;
+    case Op::kNeg:
+      gpr[insn.rt] = 0u - gpr[insn.ra];
+      break;
+    case Op::kMullw:
+      gpr[insn.rt] = gpr[insn.ra] * gpr[insn.rb];
+      cycles_ += 3;
+      if (insn.rc) record_cr0(gpr[insn.rt]);
+      break;
+    case Op::kDivw: {
+      // PowerPC division does not trap: /0 and overflow give boundedly
+      // undefined results (we use 0), matching the absence of a divide
+      // crash category on the G4 (Table 4).
+      const i32 a = static_cast<i32>(gpr[insn.ra]);
+      const i32 b = static_cast<i32>(gpr[insn.rb]);
+      cycles_ += 19;
+      gpr[insn.rt] =
+          (b == 0 || (a == INT32_MIN && b == -1)) ? 0 : static_cast<u32>(a / b);
+      break;
+    }
+    case Op::kDivwu: {
+      const u32 b = gpr[insn.rb];
+      cycles_ += 19;
+      gpr[insn.rt] = b == 0 ? 0 : gpr[insn.ra] / b;
+      break;
+    }
+    case Op::kAnd:
+      gpr[insn.ra] = gpr[insn.rt] & gpr[insn.rb];
+      if (insn.rc) record_cr0(gpr[insn.ra]);
+      break;
+    case Op::kOr:
+      gpr[insn.ra] = gpr[insn.rt] | gpr[insn.rb];
+      if (insn.rc) record_cr0(gpr[insn.ra]);
+      break;
+    case Op::kXor:
+      gpr[insn.ra] = gpr[insn.rt] ^ gpr[insn.rb];
+      if (insn.rc) record_cr0(gpr[insn.ra]);
+      break;
+    case Op::kNor:
+      gpr[insn.ra] = ~(gpr[insn.rt] | gpr[insn.rb]);
+      break;
+    case Op::kCntlzw: {
+      u32 v = gpr[insn.rt];
+      u32 n = 0;
+      while (n < 32 && (v & 0x80000000u) == 0) {
+        ++n;
+        v <<= 1;
+      }
+      gpr[insn.ra] = n;
+      break;
+    }
+    case Op::kSlw: {
+      const u32 sh = gpr[insn.rb] & 63;
+      gpr[insn.ra] = sh >= 32 ? 0 : gpr[insn.rt] << sh;
+      break;
+    }
+    case Op::kSrw: {
+      const u32 sh = gpr[insn.rb] & 63;
+      gpr[insn.ra] = sh >= 32 ? 0 : gpr[insn.rt] >> sh;
+      break;
+    }
+    case Op::kSraw: {
+      const u32 sh = gpr[insn.rb] & 63;
+      const i32 v = static_cast<i32>(gpr[insn.rt]);
+      gpr[insn.ra] = static_cast<u32>(sh >= 32 ? (v >> 31) : (v >> sh));
+      break;
+    }
+    case Op::kSrawi:
+      gpr[insn.ra] =
+          static_cast<u32>(static_cast<i32>(gpr[insn.rt]) >> insn.sh);
+      break;
+    case Op::kCmp:
+      compare(insn.crfd, static_cast<i32>(gpr[insn.ra]),
+              static_cast<i32>(gpr[insn.rb]));
+      break;
+    case Op::kCmpl:
+      compare(insn.crfd, gpr[insn.ra], gpr[insn.rb]);
+      break;
+    case Op::kMfspr: {
+      if (insn.spr != kSprLr && insn.spr != kSprCtr && insn.spr != kSprXer) {
+        require_supervisor();
+      }
+      u32 v = 0;
+      if (!read_spr(insn.spr, v)) {
+        raise(Cause::kIllegalInstruction, 0, false, insn.raw);
+      }
+      gpr[insn.rt] = v;
+      break;
+    }
+    case Op::kMtspr: {
+      if (insn.spr != kSprLr && insn.spr != kSprCtr && insn.spr != kSprXer) {
+        require_supervisor();
+      }
+      if (!write_spr(insn.spr, gpr[insn.rt])) {
+        raise(Cause::kIllegalInstruction, 0, false, insn.raw);
+      }
+      break;
+    }
+    case Op::kMfmsr:
+      require_supervisor();
+      gpr[insn.rt] = regs_.msr;
+      break;
+    case Op::kMtmsr:
+      require_supervisor();
+      regs_.msr = gpr[insn.rt];
+      break;
+    case Op::kMfcr:
+      gpr[insn.rt] = regs_.cr;
+      break;
+    case Op::kLwzx: case Op::kLbzx: case Op::kLhzx: case Op::kLhax: {
+      const Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) + gpr[insn.rb];
+      const u8 w = insn.op == Op::kLwzx ? 4 : insn.op == Op::kLbzx ? 1 : 2;
+      u32 v = read_mem(ea, w);
+      if (insn.op == Op::kLhax) v = static_cast<u32>(sign_extend32(v, 16));
+      gpr[insn.rt] = v;
+      break;
+    }
+    case Op::kStwx: case Op::kStbx: case Op::kSthx: {
+      const Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) + gpr[insn.rb];
+      const u8 w = insn.op == Op::kStwx ? 4 : insn.op == Op::kStbx ? 1 : 2;
+      write_mem(ea, w, gpr[insn.rt]);
+      break;
+    }
+    case Op::kTw: {
+      const i32 a = static_cast<i32>(gpr[insn.ra]);
+      const i32 b = static_cast<i32>(gpr[insn.rb]);
+      const u32 ua = gpr[insn.ra], ub = gpr[insn.rb];
+      const u8 to = insn.to;
+      const bool trap = ((to & 16) && a < b) || ((to & 8) && a > b) ||
+                        ((to & 4) && a == b) || ((to & 2) && ua < ub) ||
+                        ((to & 1) && ua > ub);
+      if (trap) raise(Cause::kTrapWord, 0, false, insn.raw);
+      break;
+    }
+    case Op::kTwi: {
+      const i32 a = static_cast<i32>(gpr[insn.ra]);
+      const u32 ua = gpr[insn.ra];
+      const u8 to = insn.to;
+      const bool trap = ((to & 16) && a < insn.simm) ||
+                        ((to & 8) && a > insn.simm) ||
+                        ((to & 4) && a == insn.simm) ||
+                        ((to & 2) && ua < static_cast<u32>(insn.simm)) ||
+                        ((to & 1) && ua > static_cast<u32>(insn.simm));
+      if (trap) raise(Cause::kTrapWord, 0, false, insn.raw);
+      break;
+    }
+    case Op::kSubfic:
+      gpr[insn.rt] = static_cast<u32>(insn.simm) - gpr[insn.ra];
+      break;
+    case Op::kAddicRec:
+      gpr[insn.rt] = gpr[insn.ra] + static_cast<u32>(insn.simm);
+      record_cr0(gpr[insn.rt]);
+      break;
+    case Op::kXoris:
+      gpr[insn.ra] = gpr[insn.rt] ^ (insn.uimm << 16);
+      break;
+    case Op::kAndisRec:
+      gpr[insn.ra] = gpr[insn.rt] & (insn.uimm << 16);
+      record_cr0(gpr[insn.ra]);
+      break;
+    case Op::kRlwimi: {
+      const u32 hi_mask = 0xFFFFFFFFu >> insn.mb;
+      const u32 lo_mask =
+          insn.me == 31 ? 0xFFFFFFFFu : ~((1u << (31 - insn.me)) - 1u);
+      const u32 mask =
+          insn.mb <= insn.me ? (hi_mask & lo_mask) : (hi_mask | lo_mask);
+      gpr[insn.ra] = (rotl32(gpr[insn.rt], insn.sh) & mask) |
+                     (gpr[insn.ra] & ~mask);
+      if (insn.rc) record_cr0(gpr[insn.ra]);
+      break;
+    }
+    case Op::kRlwnm: {
+      const u32 hi_mask = 0xFFFFFFFFu >> insn.mb;
+      const u32 lo_mask =
+          insn.me == 31 ? 0xFFFFFFFFu : ~((1u << (31 - insn.me)) - 1u);
+      const u32 mask =
+          insn.mb <= insn.me ? (hi_mask & lo_mask) : (hi_mask | lo_mask);
+      gpr[insn.ra] = rotl32(gpr[insn.rt], gpr[insn.rb] & 31) & mask;
+      if (insn.rc) record_cr0(gpr[insn.ra]);
+      break;
+    }
+    case Op::kAndc:
+      gpr[insn.ra] = gpr[insn.rt] & ~gpr[insn.rb];
+      if (insn.rc) record_cr0(gpr[insn.ra]);
+      break;
+    case Op::kOrc:
+      gpr[insn.ra] = gpr[insn.rt] | ~gpr[insn.rb];
+      break;
+    case Op::kNand:
+      gpr[insn.ra] = ~(gpr[insn.rt] & gpr[insn.rb]);
+      break;
+    case Op::kEqv:
+      gpr[insn.ra] = ~(gpr[insn.rt] ^ gpr[insn.rb]);
+      break;
+    case Op::kExtsb:
+      gpr[insn.ra] = static_cast<u32>(sign_extend32(gpr[insn.rt] & 0xFF, 8));
+      break;
+    case Op::kExtsh:
+      gpr[insn.ra] =
+          static_cast<u32>(sign_extend32(gpr[insn.rt] & 0xFFFF, 16));
+      break;
+    case Op::kMulhw: {
+      const i64 p = static_cast<i64>(static_cast<i32>(gpr[insn.ra])) *
+                    static_cast<i32>(gpr[insn.rb]);
+      gpr[insn.rt] = static_cast<u32>(static_cast<u64>(p) >> 32);
+      cycles_ += 3;
+      break;
+    }
+    case Op::kMulhwu: {
+      const u64 p = static_cast<u64>(gpr[insn.ra]) * gpr[insn.rb];
+      gpr[insn.rt] = static_cast<u32>(p >> 32);
+      cycles_ += 3;
+      break;
+    }
+    case Op::kLbzu: case Op::kLhzu: case Op::kLhau: {
+      const Addr ea = gpr[insn.ra] + static_cast<u32>(insn.simm);
+      const u8 w = insn.op == Op::kLbzu ? 1 : 2;
+      u32 v = read_mem(ea, w);
+      if (insn.op == Op::kLhau) v = static_cast<u32>(sign_extend32(v, 16));
+      gpr[insn.rt] = v;
+      gpr[insn.ra] = ea;
+      break;
+    }
+    case Op::kStbu: case Op::kSthu: {
+      const Addr ea = gpr[insn.ra] + static_cast<u32>(insn.simm);
+      write_mem(ea, insn.op == Op::kStbu ? 1 : 2, gpr[insn.rt]);
+      gpr[insn.ra] = ea;
+      break;
+    }
+    case Op::kLmw: {
+      // Load multiple: rt..r31 from consecutive words.
+      Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) +
+                static_cast<u32>(insn.simm);
+      for (u32 r = insn.rt; r < 32; ++r, ea += 4) {
+        gpr[r] = read_mem(ea, 4);
+      }
+      break;
+    }
+    case Op::kStmw: {
+      Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) +
+                static_cast<u32>(insn.simm);
+      for (u32 r = insn.rt; r < 32; ++r, ea += 4) {
+        write_mem(ea, 4, gpr[r]);
+      }
+      break;
+    }
+    case Op::kLfs: case Op::kLfd: {
+      // FP load: the memory access (and its faults) happen; the loaded
+      // value goes to the unmodeled FP register file.
+      const Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) +
+                      static_cast<u32>(insn.simm);
+      read_mem(ea, 4);
+      if (insn.op == Op::kLfd) read_mem(ea + 4, 4);
+      cycles_ += 1;
+      break;
+    }
+    case Op::kLfsu: case Op::kLfdu: {
+      const Addr ea = gpr[insn.ra] + static_cast<u32>(insn.simm);
+      read_mem(ea, 4);
+      if (insn.op == Op::kLfdu) read_mem(ea + 4, 4);
+      gpr[insn.ra] = ea;
+      cycles_ += 1;
+      break;
+    }
+    case Op::kStfs: case Op::kStfd: {
+      const Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) +
+                      static_cast<u32>(insn.simm);
+      write_mem(ea, 4, 0);  // unmodeled FP register contents
+      if (insn.op == Op::kStfd) write_mem(ea + 4, 4, 0);
+      cycles_ += 1;
+      break;
+    }
+    case Op::kStfsu: case Op::kStfdu: {
+      const Addr ea = gpr[insn.ra] + static_cast<u32>(insn.simm);
+      write_mem(ea, 4, 0);
+      if (insn.op == Op::kStfdu) write_mem(ea + 4, 4, 0);
+      gpr[insn.ra] = ea;
+      cycles_ += 1;
+      break;
+    }
+    case Op::kFpArith:
+      cycles_ += 3;
+      break;
+    case Op::kVecArith:
+      cycles_ += 2;
+      break;
+    case Op::kLwarx: {
+      const Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) + gpr[insn.rb];
+      gpr[insn.rt] = read_mem(ea, 4);
+      break;
+    }
+    case Op::kStwcx: {
+      const Addr ea = (insn.ra == 0 ? 0 : gpr[insn.ra]) + gpr[insn.rb];
+      write_mem(ea, 4, gpr[insn.rt]);
+      set_cr_field(0, 2);  // EQ: store succeeded
+      break;
+    }
+    case Op::kDcbz: {
+      // Zero a 32-byte cache block: a potent memory-corruption source
+      // when reached through corrupted code.
+      const Addr ea =
+          ((insn.ra == 0 ? 0 : gpr[insn.ra]) + gpr[insn.rb]) & ~31u;
+      for (u32 off = 0; off < 32; off += 4) write_mem(ea + off, 4, 0);
+      break;
+    }
+    case Op::kDcbt:
+      cycles_ += 1;  // cache touch/maintenance: harmless
+      break;
+    case Op::kMftb:
+      gpr[insn.rt] = static_cast<u32>(cycles_);
+      break;
+    case Op::kMtcrf:
+      regs_.cr = gpr[insn.rt];
+      break;
+    case Op::kCrLogical: case Op::kMcrf:
+      cycles_ += 1;  // CR-field shuffling: no modeled effect
+      break;
+    case Op::kSync: case Op::kIsync: case Op::kDcbf: case Op::kIcbi:
+      cycles_ += 2;
+      break;
+    case Op::kInvalid:
+      raise(Cause::kIllegalInstruction, 0, false, insn.raw);
+  }
+  regs_.pc = next;
+}
+
+isa::CpuSnapshot RiscfCpu::snapshot() const {
+  isa::CpuSnapshot snap;
+  snap.cycles = cycles_;
+  snap.words.reserve(kNumGprs + 16 + spr_storage_.size());
+  for (u32 i = 0; i < kNumGprs; ++i) snap.words.push_back(regs_.gpr[i]);
+  snap.words.push_back(regs_.pc);
+  snap.words.push_back(regs_.lr);
+  snap.words.push_back(regs_.ctr);
+  snap.words.push_back(regs_.cr);
+  snap.words.push_back(regs_.xer);
+  snap.words.push_back(regs_.msr);
+  snap.words.push_back(regs_.srr0);
+  snap.words.push_back(regs_.srr1);
+  snap.words.push_back(regs_.dsisr);
+  snap.words.push_back(regs_.dar);
+  snap.words.push_back(regs_.dec);
+  snap.words.push_back(regs_.sdr1);
+  for (int i = 0; i < 4; ++i) snap.words.push_back(regs_.sprg[i]);
+  snap.words.push_back(regs_.hid0);
+  snap.words.push_back(regs_.hid1);
+  for (const auto& [spr, value] : spr_storage_) snap.words.push_back(value);
+  return snap;
+}
+
+void RiscfCpu::restore(const isa::CpuSnapshot& snap) {
+  KFI_CHECK(snap.words.size() == kNumGprs + 18 + spr_storage_.size(),
+            "riscf snapshot size mismatch");
+  size_t i = 0;
+  for (u32 g = 0; g < kNumGprs; ++g) regs_.gpr[g] = snap.words[i++];
+  regs_.pc = snap.words[i++];
+  regs_.lr = snap.words[i++];
+  regs_.ctr = snap.words[i++];
+  regs_.cr = snap.words[i++];
+  regs_.xer = snap.words[i++];
+  regs_.msr = snap.words[i++];
+  regs_.srr0 = snap.words[i++];
+  regs_.srr1 = snap.words[i++];
+  regs_.dsisr = snap.words[i++];
+  regs_.dar = snap.words[i++];
+  regs_.dec = snap.words[i++];
+  regs_.sdr1 = snap.words[i++];
+  for (int s = 0; s < 4; ++s) regs_.sprg[s] = snap.words[i++];
+  regs_.hid0 = snap.words[i++];
+  regs_.hid1 = snap.words[i++];
+  for (auto& [spr, value] : spr_storage_) value = snap.words[i++];
+  cycles_ = snap.cycles;
+  debug_.clear_all();
+}
+
+}  // namespace kfi::riscf

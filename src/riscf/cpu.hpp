@@ -1,0 +1,90 @@
+// Instruction-level interpreter for the riscf (G4-like) processor.
+//
+// Faithful to the properties the paper's analysis rests on:
+//   * fixed 32-bit big-endian instructions over a sparse opcode map, so a
+//     text bit flip corrupts exactly one instruction and frequently lands
+//     on a reserved encoding (illegal instruction, Figure 15);
+//   * word-aligned memory access with alignment exceptions;
+//   * supervisor state in the MSR — clearing IR or DR (address
+//     translation) machine-checks immediately, as the paper observed;
+//   * HID0's branch-target-instruction-cache enable: switching BTIC on
+//     over invalid contents corrupts the next taken branch (Section 5.2);
+//   * no divide trap (PPC division does not except — Table 4 has no
+//     divide-error category);
+//   * a cycle counter standing in for the performance monitor.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "isa/cpu.hpp"
+#include "mem/address_space.hpp"
+#include "riscf/cause.hpp"
+#include "riscf/insn.hpp"
+#include "riscf/regs.hpp"
+
+namespace kfi::riscf {
+
+class RiscfSysRegs;  // defined in sysregs.hpp
+
+class RiscfCpu final : public isa::CpuCore {
+ public:
+  explicit RiscfCpu(mem::AddressSpace& space);
+  ~RiscfCpu() override;
+
+  RiscfCpu(const RiscfCpu&) = delete;
+  RiscfCpu& operator=(const RiscfCpu&) = delete;
+
+  // isa::CpuCore
+  isa::StepResult step() override;
+  Addr pc() const override { return regs_.pc; }
+  void set_pc(Addr pc) override { regs_.pc = pc; }
+  Cycles cycles() const override { return cycles_; }
+  void add_cycles(Cycles n) override { cycles_ += n; }
+  isa::DebugUnit& debug() override { return debug_; }
+  isa::SystemRegisterBank& sysregs() override;
+  Addr stack_pointer() const override { return regs_.gpr[kSp]; }
+  isa::CpuSnapshot snapshot() const override;
+  void restore(const isa::CpuSnapshot& snap) override;
+
+  RegFile& regs() { return regs_; }
+  const RegFile& regs() const { return regs_; }
+  mem::AddressSpace& space() { return space_; }
+
+  /// Generic SPR access (also used by mfspr/mtspr execution).  Returns
+  /// false if the SPR is not implemented.
+  bool read_spr(u32 spr, u32& value) const;
+  bool write_spr(u32 spr, u32 value);
+
+  /// Decode (without executing) the word at `pc`; diagnostics only.
+  Insn decode_at(Addr pc) const;
+
+ private:
+  friend class RiscfSysRegs;
+  struct TrapException {
+    isa::Trap trap;
+  };
+
+  [[noreturn]] void raise(Cause cause, Addr addr = 0, bool has_addr = false,
+                          u32 aux = 0);
+  u32 read_mem(Addr addr, u8 width);
+  void write_mem(Addr addr, u8 width, u32 value);
+  void check_alignment(Addr ea, u8 width);
+  void set_cr_field(u8 field, u32 bits4);
+  void record_cr0(u32 result);
+  void compare(u8 crfd, i64 a, i64 b);
+  bool branch_cond(u8 bo, u8 bi);
+  void taken_branch_check();
+  void require_supervisor();
+  void execute(const Insn& insn);
+
+  mem::AddressSpace& space_;
+  RegFile regs_;
+  isa::DebugUnit debug_;
+  Cycles cycles_ = 0;
+  isa::StepResult* current_result_ = nullptr;
+  std::map<u32, u32> spr_storage_;  // inert supervisor SPRs (BATs, PMCs, ...)
+  std::unique_ptr<RiscfSysRegs> sysregs_;
+};
+
+}  // namespace kfi::riscf

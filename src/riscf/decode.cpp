@@ -1,0 +1,218 @@
+#include "common/bits.hpp"
+#include "riscf/insn.hpp"
+
+namespace kfi::riscf {
+
+namespace {
+
+Insn base_fields(u32 word) {
+  Insn insn;
+  insn.raw = word;
+  insn.rt = static_cast<u8>((word >> 21) & 31);
+  insn.ra = static_cast<u8>((word >> 16) & 31);
+  insn.rb = static_cast<u8>((word >> 11) & 31);
+  insn.simm = sign_extend32(word & 0xFFFF, 16);
+  insn.uimm = word & 0xFFFF;
+  insn.rc = (word & 1) != 0;
+  return insn;
+}
+
+Op decode_x_form(u32 ext) {
+  switch (ext) {
+    case 0: return Op::kCmp;
+    case 11: return Op::kMulhwu;
+    case 20: return Op::kLwarx;
+    case 54: return Op::kDcbt;  // dcbst: harmless cache maintenance
+    case 60: return Op::kAndc;
+    case 75: return Op::kMulhw;
+    case 144: return Op::kMtcrf;
+    case 246: return Op::kDcbt;
+    case 278: return Op::kDcbt;
+    case 284: return Op::kEqv;
+    case 371: return Op::kMftb;
+    case 412: return Op::kOrc;
+    case 476: return Op::kNand;
+    case 534: return Op::kLwarx;   // lwbrx: modeled as a plain word load
+    case 662: return Op::kStwcx;   // stwbrx: modeled as a plain word store
+    case 922: return Op::kExtsh;
+    case 954: return Op::kExtsb;
+    case 1014: return Op::kDcbz;
+    case 4: return Op::kTw;
+    case 23: return Op::kLwzx;
+    case 26: return Op::kCntlzw;
+    case 28: return Op::kAnd;
+    case 24: return Op::kSlw;
+    case 32: return Op::kCmpl;
+    case 40: return Op::kSubf;
+    case 83: return Op::kMfmsr;
+    case 86: return Op::kDcbf;
+    case 87: return Op::kLbzx;
+    case 104: return Op::kNeg;
+    case 124: return Op::kNor;
+    case 146: return Op::kMtmsr;
+    case 150: return Op::kIsync;  // (actually 19/150; accepted here)
+    case 151: return Op::kStwx;
+    case 19: return Op::kMfcr;
+    case 215: return Op::kStbx;
+    case 235: return Op::kMullw;
+    case 266: return Op::kAdd;
+    case 279: return Op::kLhzx;
+    case 316: return Op::kXor;
+    case 339: return Op::kMfspr;
+    case 343: return Op::kLhax;
+    case 407: return Op::kSthx;
+    case 444: return Op::kOr;
+    case 459: return Op::kDivwu;
+    case 467: return Op::kMtspr;
+    case 491: return Op::kDivw;
+    case 536: return Op::kSrw;
+    case 598: return Op::kSync;
+    case 792: return Op::kSraw;
+    case 824: return Op::kSrawi;
+    case 982: return Op::kIcbi;
+    default: return Op::kInvalid;
+  }
+}
+
+}  // namespace
+
+Insn decode(u32 word) {
+  Insn insn = base_fields(word);
+  const u32 opcd = word >> 26;
+
+  switch (opcd) {
+    case 3:
+      insn.op = Op::kTwi;
+      insn.to = insn.rt;
+      return insn;
+    case 4:
+      // AltiVec (the G4's vector unit): modeled as a timing no-op.
+      insn.op = Op::kVecArith;
+      return insn;
+    case 7: insn.op = Op::kMulli; return insn;
+    case 8: insn.op = Op::kSubfic; return insn;
+    case 13: insn.op = Op::kAddicRec; return insn;
+    case 10:
+      insn.op = Op::kCmplwi;
+      insn.crfd = static_cast<u8>((word >> 23) & 7);
+      return insn;
+    case 11:
+      insn.op = Op::kCmpwi;
+      insn.crfd = static_cast<u8>((word >> 23) & 7);
+      return insn;
+    case 12: insn.op = Op::kAddic; return insn;
+    case 14: insn.op = Op::kAddi; return insn;
+    case 15: insn.op = Op::kAddis; return insn;
+    case 16:
+      insn.op = Op::kBc;
+      insn.bo = static_cast<u8>((word >> 21) & 31);
+      insn.bi = static_cast<u8>((word >> 16) & 31);
+      insn.bd = sign_extend32(word & 0xFFFC, 16);
+      insn.aa = (word & 2) != 0;
+      insn.lk = (word & 1) != 0;
+      return insn;
+    case 17:
+      // sc: the architecture requires bit 30 set; other encodings reserved.
+      if ((word & 2) == 0) {
+        insn.op = Op::kInvalid;
+        return insn;
+      }
+      insn.op = Op::kSc;
+      return insn;
+    case 18:
+      insn.op = Op::kB;
+      insn.li = sign_extend32(word & 0x03FFFFFC, 26);
+      insn.aa = (word & 2) != 0;
+      insn.lk = (word & 1) != 0;
+      return insn;
+    case 19: {
+      const u32 ext = (word >> 1) & 0x3FF;
+      insn.bo = static_cast<u8>((word >> 21) & 31);
+      insn.bi = static_cast<u8>((word >> 16) & 31);
+      insn.lk = (word & 1) != 0;
+      if (ext == 16) {
+        insn.op = Op::kBclr;
+      } else if (ext == 528) {
+        insn.op = Op::kBcctr;
+      } else if (ext == 150) {
+        insn.op = Op::kIsync;
+      } else if (ext == 0) {
+        insn.op = Op::kMcrf;
+      } else if (ext == 33 || ext == 129 || ext == 193 || ext == 225 ||
+                 ext == 257 || ext == 289 || ext == 417 || ext == 449) {
+        insn.op = Op::kCrLogical;  // crnor/crandc/crxor/crnand/crand/...
+      } else {
+        insn.op = Op::kInvalid;
+      }
+      return insn;
+    }
+    case 20:
+      insn.op = Op::kRlwimi;
+      insn.sh = static_cast<u8>((word >> 11) & 31);
+      insn.mb = static_cast<u8>((word >> 6) & 31);
+      insn.me = static_cast<u8>((word >> 1) & 31);
+      return insn;
+    case 21:
+      insn.op = Op::kRlwinm;
+      insn.sh = static_cast<u8>((word >> 11) & 31);
+      insn.mb = static_cast<u8>((word >> 6) & 31);
+      insn.me = static_cast<u8>((word >> 1) & 31);
+      return insn;
+    case 23:
+      insn.op = Op::kRlwnm;
+      insn.mb = static_cast<u8>((word >> 6) & 31);
+      insn.me = static_cast<u8>((word >> 1) & 31);
+      return insn;
+    case 24: insn.op = Op::kOri; return insn;
+    case 25: insn.op = Op::kOris; return insn;
+    case 26: insn.op = Op::kXori; return insn;
+    case 27: insn.op = Op::kXoris; return insn;
+    case 28: insn.op = Op::kAndiRec; return insn;
+    case 29: insn.op = Op::kAndisRec; return insn;
+    case 31: {
+      const u32 ext = (word >> 1) & 0x3FF;
+      insn.op = decode_x_form(ext);
+      if (insn.op == Op::kMfspr || insn.op == Op::kMtspr) {
+        insn.spr = ((word >> 16) & 0x1F) | (((word >> 11) & 0x1F) << 5);
+      }
+      if (insn.op == Op::kSrawi) insn.sh = insn.rb;
+      if (insn.op == Op::kTw) insn.to = insn.rt;
+      return insn;
+    }
+    case 32: insn.op = Op::kLwz; return insn;
+    case 33: insn.op = Op::kLwzu; return insn;
+    case 34: insn.op = Op::kLbz; return insn;
+    case 35: insn.op = Op::kLbzu; return insn;
+    case 36: insn.op = Op::kStw; return insn;
+    case 37: insn.op = Op::kStwu; return insn;
+    case 38: insn.op = Op::kStb; return insn;
+    case 39: insn.op = Op::kStbu; return insn;
+    case 40: insn.op = Op::kLhz; return insn;
+    case 41: insn.op = Op::kLhzu; return insn;
+    case 42: insn.op = Op::kLha; return insn;
+    case 43: insn.op = Op::kLhau; return insn;
+    case 44: insn.op = Op::kSth; return insn;
+    case 45: insn.op = Op::kSthu; return insn;
+    case 46: insn.op = Op::kLmw; return insn;
+    case 47: insn.op = Op::kStmw; return insn;
+    case 48: insn.op = Op::kLfs; return insn;
+    case 49: insn.op = Op::kLfsu; return insn;
+    case 50: insn.op = Op::kLfd; return insn;
+    case 51: insn.op = Op::kLfdu; return insn;
+    case 52: insn.op = Op::kStfs; return insn;
+    case 53: insn.op = Op::kStfsu; return insn;
+    case 54: insn.op = Op::kStfd; return insn;
+    case 55: insn.op = Op::kStfdu; return insn;
+    case 59:
+    case 63:
+      // Floating-point arithmetic: the FP register file is not modeled;
+      // these execute as timing no-ops (no memory side effects).
+      insn.op = Op::kFpArith;
+      return insn;
+    default:
+      insn.op = Op::kInvalid;
+      return insn;
+  }
+}
+
+}  // namespace kfi::riscf

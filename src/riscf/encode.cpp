@@ -1,0 +1,194 @@
+#include "riscf/encode.hpp"
+
+#include "common/error.hpp"
+
+namespace kfi::riscf {
+
+Asm::Label Asm::new_label() {
+  labels_.push_back(-1);
+  return static_cast<Label>(labels_.size() - 1);
+}
+
+void Asm::bind(Label label) {
+  KFI_CHECK(label < labels_.size(), "bind: bad label");
+  KFI_CHECK(labels_[label] < 0, "bind: label already bound");
+  labels_[label] = static_cast<i64>(words_.size()) * 4;
+}
+
+Addr Asm::label_addr(Label label) const {
+  KFI_CHECK(label < labels_.size() && labels_[label] >= 0,
+            "label_addr: unbound label");
+  return base_ + static_cast<u32>(labels_[label]);
+}
+
+void Asm::emit_d(u32 opcd, u8 rt, u8 ra, u32 d16) {
+  emit((opcd << 26) | (static_cast<u32>(rt & 31) << 21) |
+       (static_cast<u32>(ra & 31) << 16) | (d16 & 0xFFFF));
+}
+
+void Asm::emit_x(u32 ext, u8 rt, u8 ra, u8 rb, bool rc) {
+  emit((31u << 26) | (static_cast<u32>(rt & 31) << 21) |
+       (static_cast<u32>(ra & 31) << 16) | (static_cast<u32>(rb & 31) << 11) |
+       ((ext & 0x3FF) << 1) | (rc ? 1 : 0));
+}
+
+u32 Asm::spr_field(u32 spr) {
+  return ((spr & 0x1F) << 16) | (((spr >> 5) & 0x1F) << 11);
+}
+
+void Asm::addi(u8 rt, u8 ra, i32 simm) { emit_d(14, rt, ra, static_cast<u32>(simm)); }
+void Asm::addis(u8 rt, u8 ra, i32 simm) { emit_d(15, rt, ra, static_cast<u32>(simm)); }
+void Asm::addic(u8 rt, u8 ra, i32 simm) { emit_d(12, rt, ra, static_cast<u32>(simm)); }
+void Asm::mulli(u8 rt, u8 ra, i32 simm) { emit_d(7, rt, ra, static_cast<u32>(simm)); }
+
+void Asm::li32(u8 rt, u32 value) {
+  const i32 sv = static_cast<i32>(value);
+  if (sv >= -32768 && sv <= 32767) {
+    li(rt, sv);
+    return;
+  }
+  // lis shifts the (masked) 16-bit field left; ori zero-extends, so the
+  // lis/ori pair composes any 32-bit constant without sign correction.
+  lis(rt, static_cast<i16>(value >> 16));
+  if ((value & 0xFFFF) != 0) ori(rt, rt, value & 0xFFFF);
+}
+
+void Asm::ori(u8 ra, u8 rs, u32 uimm) { emit_d(24, rs, ra, uimm); }
+void Asm::oris(u8 ra, u8 rs, u32 uimm) { emit_d(25, rs, ra, uimm); }
+void Asm::xori(u8 ra, u8 rs, u32 uimm) { emit_d(26, rs, ra, uimm); }
+void Asm::andi_rec(u8 ra, u8 rs, u32 uimm) { emit_d(28, rs, ra, uimm); }
+
+void Asm::rlwinm(u8 ra, u8 rs, u8 sh, u8 mb, u8 me, bool rc) {
+  emit((21u << 26) | (static_cast<u32>(rs & 31) << 21) |
+       (static_cast<u32>(ra & 31) << 16) | (static_cast<u32>(sh & 31) << 11) |
+       (static_cast<u32>(mb & 31) << 6) | (static_cast<u32>(me & 31) << 1) |
+       (rc ? 1 : 0));
+}
+
+void Asm::cmpwi(u8 ra, i32 simm, u8 crfd) {
+  emit_d(11, static_cast<u8>(crfd << 2), ra, static_cast<u32>(simm));
+}
+
+void Asm::cmplwi(u8 ra, u32 uimm, u8 crfd) {
+  emit_d(10, static_cast<u8>(crfd << 2), ra, uimm);
+}
+
+void Asm::cmpw(u8 ra, u8 rb, u8 crfd) {
+  emit_x(0, static_cast<u8>(crfd << 2), ra, rb, false);
+}
+
+void Asm::cmplw(u8 ra, u8 rb, u8 crfd) {
+  emit_x(32, static_cast<u8>(crfd << 2), ra, rb, false);
+}
+
+void Asm::lwz(u8 rt, i32 d, u8 ra) { emit_d(32, rt, ra, static_cast<u32>(d)); }
+void Asm::lwzu(u8 rt, i32 d, u8 ra) { emit_d(33, rt, ra, static_cast<u32>(d)); }
+void Asm::lbz(u8 rt, i32 d, u8 ra) { emit_d(34, rt, ra, static_cast<u32>(d)); }
+void Asm::lhz(u8 rt, i32 d, u8 ra) { emit_d(40, rt, ra, static_cast<u32>(d)); }
+void Asm::lha(u8 rt, i32 d, u8 ra) { emit_d(42, rt, ra, static_cast<u32>(d)); }
+void Asm::stw(u8 rs, i32 d, u8 ra) { emit_d(36, rs, ra, static_cast<u32>(d)); }
+void Asm::stwu(u8 rs, i32 d, u8 ra) { emit_d(37, rs, ra, static_cast<u32>(d)); }
+void Asm::stb(u8 rs, i32 d, u8 ra) { emit_d(38, rs, ra, static_cast<u32>(d)); }
+void Asm::sth(u8 rs, i32 d, u8 ra) { emit_d(44, rs, ra, static_cast<u32>(d)); }
+
+void Asm::add(u8 rt, u8 ra, u8 rb, bool rc) { emit_x(266, rt, ra, rb, rc); }
+void Asm::subf(u8 rt, u8 ra, u8 rb, bool rc) { emit_x(40, rt, ra, rb, rc); }
+void Asm::neg(u8 rt, u8 ra) { emit_x(104, rt, ra, 0, false); }
+void Asm::mullw(u8 rt, u8 ra, u8 rb, bool rc) { emit_x(235, rt, ra, rb, rc); }
+void Asm::divw(u8 rt, u8 ra, u8 rb) { emit_x(491, rt, ra, rb, false); }
+void Asm::divwu(u8 rt, u8 ra, u8 rb) { emit_x(459, rt, ra, rb, false); }
+void Asm::and_(u8 ra, u8 rs, u8 rb, bool rc) { emit_x(28, rs, ra, rb, rc); }
+void Asm::or_(u8 ra, u8 rs, u8 rb, bool rc) { emit_x(444, rs, ra, rb, rc); }
+void Asm::xor_(u8 ra, u8 rs, u8 rb, bool rc) { emit_x(316, rs, ra, rb, rc); }
+void Asm::nor(u8 ra, u8 rs, u8 rb) { emit_x(124, rs, ra, rb, false); }
+void Asm::cntlzw(u8 ra, u8 rs) { emit_x(26, rs, ra, 0, false); }
+void Asm::slw(u8 ra, u8 rs, u8 rb) { emit_x(24, rs, ra, rb, false); }
+void Asm::srw(u8 ra, u8 rs, u8 rb) { emit_x(536, rs, ra, rb, false); }
+void Asm::sraw(u8 ra, u8 rs, u8 rb) { emit_x(792, rs, ra, rb, false); }
+void Asm::srawi(u8 ra, u8 rs, u8 sh) { emit_x(824, rs, ra, sh, false); }
+
+void Asm::lwzx(u8 rt, u8 ra, u8 rb) { emit_x(23, rt, ra, rb, false); }
+void Asm::stwx(u8 rs, u8 ra, u8 rb) { emit_x(151, rs, ra, rb, false); }
+void Asm::lbzx(u8 rt, u8 ra, u8 rb) { emit_x(87, rt, ra, rb, false); }
+void Asm::stbx(u8 rs, u8 ra, u8 rb) { emit_x(215, rs, ra, rb, false); }
+void Asm::lhzx(u8 rt, u8 ra, u8 rb) { emit_x(279, rt, ra, rb, false); }
+void Asm::lhax(u8 rt, u8 ra, u8 rb) { emit_x(343, rt, ra, rb, false); }
+void Asm::sthx(u8 rs, u8 ra, u8 rb) { emit_x(407, rs, ra, rb, false); }
+
+void Asm::b(Label label) {
+  fixups_.push_back(Fixup{static_cast<u32>(words_.size()), label, FixKind::kRel24});
+  emit(18u << 26);
+}
+
+void Asm::bl(Label label) {
+  fixups_.push_back(Fixup{static_cast<u32>(words_.size()), label, FixKind::kRel24});
+  emit((18u << 26) | 1);
+}
+
+void Asm::bl_addr(Addr target) {
+  const i32 rel = static_cast<i32>(target - here());
+  KFI_CHECK(rel >= -(1 << 25) && rel < (1 << 25), "bl target out of range");
+  emit((18u << 26) | (static_cast<u32>(rel) & 0x03FFFFFC) | 1);
+}
+
+void Asm::bc(u8 bo, u8 bi, Label label) {
+  fixups_.push_back(Fixup{static_cast<u32>(words_.size()), label, FixKind::kRel14});
+  emit((16u << 26) | (static_cast<u32>(bo & 31) << 21) |
+       (static_cast<u32>(bi & 31) << 16));
+}
+
+void Asm::blr() { emit((19u << 26) | (20u << 21) | (16u << 1)); }
+void Asm::blrl() { emit((19u << 26) | (20u << 21) | (16u << 1) | 1); }
+void Asm::bctr() { emit((19u << 26) | (20u << 21) | (528u << 1)); }
+void Asm::bctrl() { emit((19u << 26) | (20u << 21) | (528u << 1) | 1); }
+
+void Asm::mfspr(u8 rt, u32 spr) {
+  emit((31u << 26) | (static_cast<u32>(rt & 31) << 21) | spr_field(spr) |
+       (339u << 1));
+}
+
+void Asm::mtspr(u32 spr, u8 rs) {
+  emit((31u << 26) | (static_cast<u32>(rs & 31) << 21) | spr_field(spr) |
+       (467u << 1));
+}
+
+void Asm::mfmsr(u8 rt) { emit_x(83, rt, 0, 0, false); }
+void Asm::mtmsr(u8 rs) { emit_x(146, rs, 0, 0, false); }
+void Asm::mfcr(u8 rt) { emit_x(19, rt, 0, 0, false); }
+
+void Asm::sc() { emit((17u << 26) | 2); }
+
+void Asm::tw(u8 to, u8 ra, u8 rb) { emit_x(4, to, ra, rb, false); }
+
+void Asm::sync() { emit_x(598, 0, 0, 0, false); }
+void Asm::isync() { emit((19u << 26) | (150u << 1)); }
+
+std::vector<u8> Asm::finish() {
+  KFI_CHECK(!finished_, "Asm::finish called twice");
+  finished_ = true;
+  for (const Fixup& fx : fixups_) {
+    KFI_CHECK(fx.label < labels_.size() && labels_[fx.label] >= 0,
+              "unbound label at finish");
+    const i64 target = labels_[fx.label];
+    const i64 rel = target - static_cast<i64>(fx.word_index) * 4;
+    u32& word = words_[fx.word_index];
+    if (fx.kind == FixKind::kRel24) {
+      KFI_CHECK(rel >= -(1 << 25) && rel < (1 << 25), "rel24 out of range");
+      word |= static_cast<u32>(rel) & 0x03FFFFFC;
+    } else {
+      KFI_CHECK(rel >= -(1 << 15) && rel < (1 << 15), "rel14 out of range");
+      word |= static_cast<u32>(rel) & 0xFFFC;
+    }
+  }
+  std::vector<u8> bytes;
+  bytes.reserve(words_.size() * 4);
+  for (const u32 w : words_) {
+    bytes.push_back(static_cast<u8>(w >> 24));
+    bytes.push_back(static_cast<u8>(w >> 16));
+    bytes.push_back(static_cast<u8>(w >> 8));
+    bytes.push_back(static_cast<u8>(w));
+  }
+  return bytes;
+}
+
+}  // namespace kfi::riscf

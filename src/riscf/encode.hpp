@@ -1,0 +1,149 @@
+// Assembler for the riscf (G4-like) processor.
+//
+// Emits fixed 32-bit big-endian instruction words with label/fixup support
+// for the two branch displacement forms (26-bit I-form, 16-bit B-form).
+// Used by the kir RiscfBackend, tests, and the decoder-study benches.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "riscf/regs.hpp"
+
+namespace kfi::riscf {
+
+class Asm {
+ public:
+  using Label = u32;
+
+  explicit Asm(Addr base) : base_(base) {}
+
+  Addr base() const { return base_; }
+  Addr here() const { return base_ + static_cast<u32>(words_.size()) * 4; }
+  u32 size_bytes() const { return static_cast<u32>(words_.size()) * 4; }
+
+  Label new_label();
+  void bind(Label label);
+  Addr label_addr(Label label) const;
+
+  // --- D-form arithmetic/logical ---
+  void addi(u8 rt, u8 ra, i32 simm);
+  void addis(u8 rt, u8 ra, i32 simm);
+  void addic(u8 rt, u8 ra, i32 simm);
+  void mulli(u8 rt, u8 ra, i32 simm);
+  void li(u8 rt, i32 simm) { addi(rt, 0, simm); }
+  void lis(u8 rt, i32 simm) { addis(rt, 0, simm); }
+  /// Load a full 32-bit constant (lis + ori pair, or single insn if small).
+  void li32(u8 rt, u32 value);
+  void ori(u8 ra, u8 rs, u32 uimm);
+  void oris(u8 ra, u8 rs, u32 uimm);
+  void xori(u8 ra, u8 rs, u32 uimm);
+  void andi_rec(u8 ra, u8 rs, u32 uimm);
+  void rlwinm(u8 ra, u8 rs, u8 sh, u8 mb, u8 me, bool rc = false);
+  void mr(u8 ra, u8 rs) { or_(ra, rs, rs); }
+  void nop() { ori(0, 0, 0); }
+
+  // --- compares ---
+  void cmpwi(u8 ra, i32 simm, u8 crfd = 0);
+  void cmplwi(u8 ra, u32 uimm, u8 crfd = 0);
+  void cmpw(u8 ra, u8 rb, u8 crfd = 0);
+  void cmplw(u8 ra, u8 rb, u8 crfd = 0);
+
+  // --- D-form loads/stores ---
+  void lwz(u8 rt, i32 d, u8 ra);
+  void lwzu(u8 rt, i32 d, u8 ra);
+  void lbz(u8 rt, i32 d, u8 ra);
+  void lhz(u8 rt, i32 d, u8 ra);
+  void lha(u8 rt, i32 d, u8 ra);
+  void stw(u8 rs, i32 d, u8 ra);
+  void stwu(u8 rs, i32 d, u8 ra);
+  void stb(u8 rs, i32 d, u8 ra);
+  void sth(u8 rs, i32 d, u8 ra);
+
+  // --- X-form register-register ---
+  void add(u8 rt, u8 ra, u8 rb, bool rc = false);
+  void subf(u8 rt, u8 ra, u8 rb, bool rc = false);  // rt = rb - ra
+  void neg(u8 rt, u8 ra);
+  void mullw(u8 rt, u8 ra, u8 rb, bool rc = false);
+  void divw(u8 rt, u8 ra, u8 rb);
+  void divwu(u8 rt, u8 ra, u8 rb);
+  void and_(u8 ra, u8 rs, u8 rb, bool rc = false);
+  void or_(u8 ra, u8 rs, u8 rb, bool rc = false);
+  void xor_(u8 ra, u8 rs, u8 rb, bool rc = false);
+  void nor(u8 ra, u8 rs, u8 rb);
+  void cntlzw(u8 ra, u8 rs);
+  void slw(u8 ra, u8 rs, u8 rb);
+  void srw(u8 ra, u8 rs, u8 rb);
+  void sraw(u8 ra, u8 rs, u8 rb);
+  void srawi(u8 ra, u8 rs, u8 sh);
+
+  // --- X-form loads/stores ---
+  void lwzx(u8 rt, u8 ra, u8 rb);
+  void stwx(u8 rs, u8 ra, u8 rb);
+  void lbzx(u8 rt, u8 ra, u8 rb);
+  void stbx(u8 rs, u8 ra, u8 rb);
+  void lhzx(u8 rt, u8 ra, u8 rb);
+  void lhax(u8 rt, u8 ra, u8 rb);
+  void sthx(u8 rs, u8 ra, u8 rb);
+
+  // --- branches ---
+  void b(Label label);
+  void bl(Label label);
+  void bl_addr(Addr target);
+  void bc(u8 bo, u8 bi, Label label);
+  void blr();
+  void blrl();
+  void bctr();
+  void bctrl();
+  /// CR0-based conditional branches (PPC extended mnemonics).
+  void beq(Label label) { bc(12, 2, label); }
+  void bne(Label label) { bc(4, 2, label); }
+  void blt(Label label) { bc(12, 0, label); }
+  void bge(Label label) { bc(4, 0, label); }
+  void bgt(Label label) { bc(12, 1, label); }
+  void ble(Label label) { bc(4, 1, label); }
+  void bdnz(Label label) { bc(16, 0, label); }
+
+  // --- special registers, traps ---
+  void mfspr(u8 rt, u32 spr);
+  void mtspr(u32 spr, u8 rs);
+  void mflr(u8 rt) { mfspr(rt, kSprLr); }
+  void mtlr(u8 rs) { mtspr(kSprLr, rs); }
+  void mfctr(u8 rt) { mfspr(rt, kSprCtr); }
+  void mtctr(u8 rs) { mtspr(kSprCtr, rs); }
+  void mfmsr(u8 rt);
+  void mtmsr(u8 rs);
+  void mfcr(u8 rt);
+  void sc();
+  void tw(u8 to, u8 ra, u8 rb);
+  void trap() { tw(31, 0, 0); }  // unconditional trap (kernel BUG)
+  void sync();
+  void isync();
+
+  /// Raw word (tests, deliberately-corrupt encodings).
+  void emit_word(u32 word) { words_.push_back(word); }
+
+  /// Finalize: apply fixups; returns big-endian byte image.
+  std::vector<u8> finish();
+
+ private:
+  void emit(u32 word) { words_.push_back(word); }
+  void emit_d(u32 opcd, u8 rt, u8 ra, u32 d16);
+  void emit_x(u32 ext, u8 rt, u8 ra, u8 rb, bool rc);
+  static u32 spr_field(u32 spr);
+
+  enum class FixKind { kRel24, kRel14 };
+  struct Fixup {
+    u32 word_index;
+    Label label;
+    FixKind kind;
+  };
+
+  Addr base_;
+  std::vector<u32> words_;
+  std::vector<i64> labels_;
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+}  // namespace kfi::riscf

@@ -1,0 +1,221 @@
+#include "riscf/insn.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace kfi::riscf {
+
+namespace {
+
+const char* mnemonic(const Insn& insn) {
+  switch (insn.op) {
+    case Op::kAddi: return "addi";
+    case Op::kAddis: return "addis";
+    case Op::kAddic: return "addic";
+    case Op::kMulli: return "mulli";
+    case Op::kCmpwi: return "cmpwi";
+    case Op::kCmplwi: return "cmplwi";
+    case Op::kOri: return "ori";
+    case Op::kOris: return "oris";
+    case Op::kXori: return "xori";
+    case Op::kAndiRec: return "andi.";
+    case Op::kRlwinm: return insn.rc ? "rlwinm." : "rlwinm";
+    case Op::kLwz: return "lwz";
+    case Op::kLwzu: return "lwzu";
+    case Op::kLbz: return "lbz";
+    case Op::kLhz: return "lhz";
+    case Op::kLha: return "lha";
+    case Op::kStw: return "stw";
+    case Op::kStwu: return "stwu";
+    case Op::kStb: return "stb";
+    case Op::kSth: return "sth";
+    case Op::kB: return insn.lk ? "bl" : "b";
+    case Op::kBc: return "bc";
+    case Op::kBclr: return insn.lk ? "bclrl" : "bclr";
+    case Op::kBcctr: return insn.lk ? "bctrl" : "bctr";
+    case Op::kSc: return "sc";
+    case Op::kAdd: return insn.rc ? "add." : "add";
+    case Op::kSubf: return insn.rc ? "subf." : "subf";
+    case Op::kNeg: return "neg";
+    case Op::kMullw: return insn.rc ? "mullw." : "mullw";
+    case Op::kDivw: return "divw";
+    case Op::kDivwu: return "divwu";
+    case Op::kAnd: return insn.rc ? "and." : "and";
+    case Op::kOr: return insn.rc ? "or." : "or";
+    case Op::kXor: return insn.rc ? "xor." : "xor";
+    case Op::kNor: return "nor";
+    case Op::kCntlzw: return "cntlzw";
+    case Op::kSlw: return "slw";
+    case Op::kSrw: return "srw";
+    case Op::kSraw: return "sraw";
+    case Op::kSrawi: return "srawi";
+    case Op::kCmp: return "cmpw";
+    case Op::kCmpl: return "cmplw";
+    case Op::kMfspr: return "mfspr";
+    case Op::kMtspr: return "mtspr";
+    case Op::kMfmsr: return "mfmsr";
+    case Op::kMtmsr: return "mtmsr";
+    case Op::kMfcr: return "mfcr";
+    case Op::kLwzx: return "lwzx";
+    case Op::kStwx: return "stwx";
+    case Op::kLbzx: return "lbzx";
+    case Op::kStbx: return "stbx";
+    case Op::kLhzx: return "lhzx";
+    case Op::kLhax: return "lhax";
+    case Op::kSthx: return "sthx";
+    case Op::kTw: return "tw";
+    case Op::kSync: return "sync";
+    case Op::kIsync: return "isync";
+    case Op::kDcbf: return "dcbf";
+    case Op::kIcbi: return "icbi";
+    case Op::kTwi: return "twi";
+    case Op::kLbzu: return "lbzu";
+    case Op::kLhzu: return "lhzu";
+    case Op::kLhau: return "lhau";
+    case Op::kStbu: return "stbu";
+    case Op::kSthu: return "sthu";
+    case Op::kLmw: return "lmw";
+    case Op::kStmw: return "stmw";
+    case Op::kLfs: return "lfs";
+    case Op::kLfsu: return "lfsu";
+    case Op::kLfd: return "lfd";
+    case Op::kLfdu: return "lfdu";
+    case Op::kStfs: return "stfs";
+    case Op::kStfsu: return "stfsu";
+    case Op::kStfd: return "stfd";
+    case Op::kStfdu: return "stfdu";
+    case Op::kFpArith: return "fp-arith";
+    case Op::kVecArith: return "vec-arith";
+    case Op::kSubfic: return "subfic";
+    case Op::kAddicRec: return "addic.";
+    case Op::kXoris: return "xoris";
+    case Op::kAndisRec: return "andis.";
+    case Op::kRlwimi: return "rlwimi";
+    case Op::kRlwnm: return "rlwnm";
+    case Op::kAndc: return "andc";
+    case Op::kOrc: return "orc";
+    case Op::kNand: return "nand";
+    case Op::kEqv: return "eqv";
+    case Op::kExtsb: return "extsb";
+    case Op::kExtsh: return "extsh";
+    case Op::kMulhw: return "mulhw";
+    case Op::kMulhwu: return "mulhwu";
+    case Op::kLwarx: return "lwarx";
+    case Op::kStwcx: return "stwcx.";
+    case Op::kDcbz: return "dcbz";
+    case Op::kDcbt: return "dcbt";
+    case Op::kMftb: return "mftb";
+    case Op::kMtcrf: return "mtcrf";
+    case Op::kCrLogical: return "cr-logical";
+    case Op::kMcrf: return "mcrf";
+    case Op::kInvalid: return "(illegal)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Insn::to_string() const {
+  std::ostringstream os;
+  os << mnemonic(*this);
+  char buf[64];
+  switch (op) {
+    case Op::kAddi: case Op::kAddis: case Op::kAddic: case Op::kMulli:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u,%d", rt, ra, simm);
+      os << buf;
+      break;
+    case Op::kCmpwi:
+      std::snprintf(buf, sizeof(buf), " r%u,%d", ra, simm);
+      os << buf;
+      break;
+    case Op::kCmplwi:
+      std::snprintf(buf, sizeof(buf), " r%u,%u", ra, uimm);
+      os << buf;
+      break;
+    case Op::kOri: case Op::kOris: case Op::kXori: case Op::kAndiRec:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u,%u", ra, rt, uimm);
+      os << buf;
+      break;
+    case Op::kRlwinm:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u,%u,%u,%u", ra, rt, sh, mb, me);
+      os << buf;
+      break;
+    case Op::kLwz: case Op::kLwzu: case Op::kLbz: case Op::kLhz:
+    case Op::kLha: case Op::kStw: case Op::kStwu: case Op::kStb:
+    case Op::kSth: case Op::kLbzu: case Op::kLhzu: case Op::kLhau:
+    case Op::kStbu: case Op::kSthu: case Op::kLmw: case Op::kStmw:
+    case Op::kLfs: case Op::kLfsu: case Op::kLfd: case Op::kLfdu:
+    case Op::kStfs: case Op::kStfsu: case Op::kStfd: case Op::kStfdu:
+      std::snprintf(buf, sizeof(buf), " r%u,%d(r%u)", rt, simm, ra);
+      os << buf;
+      break;
+    case Op::kB:
+      std::snprintf(buf, sizeof(buf), " %+d", li);
+      os << buf;
+      break;
+    case Op::kBc:
+      std::snprintf(buf, sizeof(buf), " %u,%u,%+d", bo, bi, bd);
+      os << buf;
+      break;
+    case Op::kAdd: case Op::kSubf: case Op::kMullw: case Op::kDivw:
+    case Op::kDivwu:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u,r%u", rt, ra, rb);
+      os << buf;
+      break;
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kSlw: case Op::kSrw: case Op::kSraw:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u,r%u", ra, rt, rb);
+      os << buf;
+      break;
+    case Op::kSrawi:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u,%u", ra, rt, sh);
+      os << buf;
+      break;
+    case Op::kNeg: case Op::kCntlzw:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u", rt, ra);
+      os << buf;
+      break;
+    case Op::kCmp: case Op::kCmpl:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u", ra, rb);
+      os << buf;
+      break;
+    case Op::kMfspr:
+      if (spr == 8) {
+        std::snprintf(buf, sizeof(buf), " r%u (mflr)", rt);
+      } else {
+        std::snprintf(buf, sizeof(buf), " r%u,%u", rt, spr);
+      }
+      os << buf;
+      break;
+    case Op::kMtspr:
+      if (spr == 8) {
+        std::snprintf(buf, sizeof(buf), " r%u (mtlr)", rt);
+      } else {
+        std::snprintf(buf, sizeof(buf), " %u,r%u", spr, rt);
+      }
+      os << buf;
+      break;
+    case Op::kMfmsr: case Op::kMfcr:
+      std::snprintf(buf, sizeof(buf), " r%u", rt);
+      os << buf;
+      break;
+    case Op::kMtmsr:
+      std::snprintf(buf, sizeof(buf), " r%u", rt);
+      os << buf;
+      break;
+    case Op::kLwzx: case Op::kStwx: case Op::kLbzx: case Op::kStbx:
+    case Op::kLhzx: case Op::kLhax: case Op::kSthx:
+      std::snprintf(buf, sizeof(buf), " r%u,r%u,r%u", rt, ra, rb);
+      os << buf;
+      break;
+    case Op::kTw:
+      std::snprintf(buf, sizeof(buf), " %u,r%u,r%u", to, ra, rb);
+      os << buf;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace kfi::riscf

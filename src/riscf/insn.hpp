@@ -1,0 +1,75 @@
+// Decoded-instruction representation for the riscf (G4-like) processor.
+//
+// Every instruction is exactly 32 bits.  A single-bit error therefore stays
+// confined to one instruction — it can change the opcode (often landing in
+// the large reserved regions of the primary/extended opcode space, hence
+// the G4's high Illegal Instruction rate), a register number, or an
+// immediate, but it can never re-align the instruction stream the way the
+// cisca decoder can (Figures 14 vs. 15 of the paper).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace kfi::riscf {
+
+enum class Op : u8 {
+  kInvalid = 0,
+  // D-form arithmetic/logical with immediate.
+  kAddi, kAddis, kAddic, kMulli,
+  kCmpwi, kCmplwi,
+  kOri, kOris, kXori, kAndiRec,
+  kRlwinm,
+  // D-form loads/stores.
+  kLwz, kLwzu, kLbz, kLhz, kLha, kStw, kStwu, kStb, kSth,
+  // Branches.
+  kB, kBc, kBclr, kBcctr,
+  kSc,
+  // X-form register-register.
+  kAdd, kSubf, kNeg, kMullw, kDivw, kDivwu,
+  kAnd, kOr, kXor, kNor, kCntlzw,
+  kSlw, kSrw, kSraw, kSrawi,
+  kCmp, kCmpl,
+  // Moves to/from special registers.
+  kMfspr, kMtspr, kMfmsr, kMtmsr, kMfcr,
+  // X-form loads/stores.
+  kLwzx, kStwx, kLbzx, kStbx, kLhzx, kLhax, kSthx,
+  // Traps and barriers.
+  kTw, kTwi, kSync, kIsync, kDcbf, kIcbi,
+  // Realistic-density additions: load/store with update, multiples, FP
+  // loads/stores (FP register file not modeled; memory side effects are),
+  // FP/vector arithmetic (timing no-ops), CR logicals, cache-block ops.
+  kLbzu, kLhzu, kLhau, kStbu, kSthu,
+  kLmw, kStmw,
+  kLfs, kLfsu, kLfd, kLfdu, kStfs, kStfsu, kStfd, kStfdu,
+  kFpArith, kVecArith,
+  kSubfic, kAddicRec, kXoris, kAndisRec, kRlwimi, kRlwnm,
+  kAndc, kOrc, kNand, kEqv, kExtsb, kExtsh, kMulhw, kMulhwu,
+  kLwarx, kStwcx, kDcbz, kDcbt, kMftb, kMtcrf, kCrLogical, kMcrf,
+};
+
+struct Insn {
+  Op op = Op::kInvalid;
+  u32 raw = 0;
+  u8 rt = 0;   // target/source register (rS for stores)
+  u8 ra = 0;
+  u8 rb = 0;
+  i32 simm = 0;   // sign-extended D field
+  u32 uimm = 0;   // zero-extended D field
+  u8 crfd = 0;    // condition field for cmp*
+  u8 bo = 0, bi = 0;
+  i32 bd = 0;     // branch displacement (bytes, sign-extended)
+  i32 li = 0;     // I-form displacement (bytes)
+  bool aa = false, lk = false, rc = false;
+  u32 spr = 0;
+  u8 sh = 0, mb = 0, me = 0;  // rlwinm fields
+  u8 to = 0;                  // tw condition field
+
+  std::string to_string() const;
+};
+
+/// Decode one 32-bit instruction word.  Reserved encodings give kInvalid.
+Insn decode(u32 word);
+
+}  // namespace kfi::riscf

@@ -1,0 +1,95 @@
+// Register model of the riscf (G4-like) processor.
+//
+// Thirty-two 32-bit GPRs with the PowerPC EABI roles the paper leans on:
+// r1 is the stack pointer, r3-r12 are volatile argument/scratch registers,
+// r14-r31 are callee-saved non-volatiles.  Having 32 registers (versus the
+// P4's 8) is what lets compiled kernel code keep values live in registers
+// for a long time — lengthening code-error latency (Figure 16(C)) and
+// making stack traffic, and therefore stack-error sensitivity, much lower
+// than on the P4.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace kfi::riscf {
+
+constexpr u32 kNumGprs = 32;
+constexpr u8 kSp = 1;  // r1: stack frame pointer per PowerPC EABI
+
+/// MSR bits (PowerPC numbering via LSB masks).  IR/DR are the two bits the
+/// paper found error-sensitive: clearing either disables instruction/data
+/// address translation and the machine immediately checks.
+enum MsrBit : u32 {
+  kMsrLE = 0x1,
+  kMsrRI = 0x2,
+  kMsrDR = 0x10,      // data address translation
+  kMsrIR = 0x20,      // instruction address translation
+  kMsrIP = 0x40,
+  kMsrFE1 = 0x100,
+  kMsrBE = 0x200,
+  kMsrSE = 0x400,
+  kMsrFE0 = 0x800,
+  kMsrME = 0x1000,    // machine-check enable
+  kMsrFP = 0x2000,
+  kMsrPR = 0x4000,    // problem (user) state
+  kMsrEE = 0x8000,    // external interrupt enable
+};
+
+/// SPR numbers with simulator semantics (the full supervisor bank is
+/// enumerated in sysregs.cpp).
+enum Spr : u32 {
+  kSprXer = 1,
+  kSprLr = 8,
+  kSprCtr = 9,
+  kSprDsisr = 18,
+  kSprDar = 19,
+  kSprDec = 22,
+  kSprSdr1 = 25,
+  kSprSrr0 = 26,
+  kSprSrr1 = 27,
+  kSprSprg0 = 272,
+  kSprSprg1 = 273,
+  kSprSprg2 = 274,  // exception stack-switch base (paper Section 5.2)
+  kSprSprg3 = 275,
+  kSprPvr = 287,
+  kSprHid0 = 1008,  // cache/branch-unit control (paper Section 5.2)
+  kSprHid1 = 1009,
+};
+
+/// HID0 bits with simulator semantics.
+enum Hid0Bit : u32 {
+  kHid0Btic = 0x00000020,  // branch target instruction cache enable
+  kHid0Ice = 0x00008000,   // instruction cache enable
+  kHid0Dce = 0x00004000,   // data cache enable
+};
+
+/// Condition-register helpers.  PowerPC numbers CR bits 0..31 from the MSB;
+/// CR field 0 (used by record forms and cmpw) is bits 0-3.
+constexpr u32 cr_bit_mask(u32 ppc_bit) { return 1u << (31 - ppc_bit); }
+
+enum Cr0Bit : u32 {
+  kCr0Lt = 0,  // PPC bit 0
+  kCr0Gt = 1,
+  kCr0Eq = 2,
+  kCr0So = 3,
+};
+
+struct RegFile {
+  u32 gpr[kNumGprs] = {};
+  u32 pc = 0;
+  u32 lr = 0;
+  u32 ctr = 0;
+  u32 cr = 0;
+  u32 xer = 0;
+  u32 msr = kMsrIR | kMsrDR | kMsrME | kMsrEE | kMsrFP;  // kernel state
+  u32 srr0 = 0, srr1 = 0;
+  u32 dsisr = 0, dar = 0;
+  u32 dec = 0x7FFFFFFF;
+  u32 sdr1 = 0x00100000;  // hashed page table base (symbolic)
+  // SPRG0: per-CPU data pointer; SPRG2: exception stack-switch base.
+  u32 sprg[4] = {0xC0003000u, 0, 0xC0003000u, 0};
+  u32 hid0 = kHid0Ice | kHid0Dce;        // caches on, BTIC off
+  u32 hid1 = 0;
+};
+
+}  // namespace kfi::riscf

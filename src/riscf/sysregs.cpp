@@ -1,0 +1,174 @@
+#include "riscf/sysregs.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "riscf/cpu.hpp"
+
+namespace kfi::riscf {
+
+namespace {
+
+enum class Kind : u8 { kMsr, kGpr1, kSpr };
+
+struct BankEntry {
+  isa::SysRegInfo info;
+  Kind kind;
+  u32 spr;  // when kind == kSpr
+};
+
+std::vector<BankEntry> build_bank() {
+  std::vector<BankEntry> bank;
+  auto add = [&bank](const char* name, Kind kind, u32 spr = 0) {
+    bank.push_back(BankEntry{{name, 32}, kind, spr});
+  };
+
+  add("MSR", Kind::kMsr);
+  add("GPR1/SP", Kind::kGpr1);
+
+  // Exception handling.
+  add("DSISR", Kind::kSpr, 18);
+  add("DAR", Kind::kSpr, 19);
+  add("DEC", Kind::kSpr, 22);
+  add("SDR1", Kind::kSpr, 25);
+  add("SRR0", Kind::kSpr, 26);
+  add("SRR1", Kind::kSpr, 27);
+  for (u32 i = 0; i < 8; ++i) {
+    add(("SPRG" + std::to_string(i)).c_str(), Kind::kSpr, 272 + i);
+  }
+  add("EAR", Kind::kSpr, 282);
+  add("TBL", Kind::kSpr, 284);
+  add("TBU", Kind::kSpr, 285);
+  add("PVR", Kind::kSpr, 287);
+
+  // Block address translation (memory management).
+  for (u32 i = 0; i < 8; ++i) {
+    const u32 base = i < 4 ? 528 + i * 2 : 560 + (i - 4) * 2;
+    add(("IBAT" + std::to_string(i) + "U").c_str(), Kind::kSpr, base);
+    add(("IBAT" + std::to_string(i) + "L").c_str(), Kind::kSpr, base + 1);
+  }
+  for (u32 i = 0; i < 8; ++i) {
+    const u32 base = i < 4 ? 536 + i * 2 : 568 + (i - 4) * 2;
+    add(("DBAT" + std::to_string(i) + "U").c_str(), Kind::kSpr, base);
+    add(("DBAT" + std::to_string(i) + "L").c_str(), Kind::kSpr, base + 1);
+  }
+
+  // Performance monitor (supervisor + user-visible copies).
+  add("MMCR2", Kind::kSpr, 944);
+  add("PMC5", Kind::kSpr, 945);
+  add("PMC6", Kind::kSpr, 946);
+  add("BAMR", Kind::kSpr, 951);
+  add("MMCR0", Kind::kSpr, 952);
+  add("PMC1", Kind::kSpr, 953);
+  add("PMC2", Kind::kSpr, 954);
+  add("SIA", Kind::kSpr, 955);
+  add("MMCR1", Kind::kSpr, 956);
+  add("PMC3", Kind::kSpr, 957);
+  add("PMC4", Kind::kSpr, 958);
+  add("SDA", Kind::kSpr, 959);
+  add("UMMCR2", Kind::kSpr, 928);
+  add("UPMC5", Kind::kSpr, 929);
+  add("UPMC6", Kind::kSpr, 930);
+  add("UBAMR", Kind::kSpr, 935);
+  add("UMMCR0", Kind::kSpr, 936);
+  add("UPMC1", Kind::kSpr, 937);
+  add("UPMC2", Kind::kSpr, 938);
+  add("USIA", Kind::kSpr, 939);
+  add("UMMCR1", Kind::kSpr, 940);
+  add("UPMC3", Kind::kSpr, 941);
+  add("UPMC4", Kind::kSpr, 942);
+  add("USDA", Kind::kSpr, 943);
+
+  // Configuration and cache/memory subsystem.
+  add("HID0", Kind::kSpr, 1008);
+  add("HID1", Kind::kSpr, 1009);
+  add("IABR", Kind::kSpr, 1010);
+  add("ICTRL", Kind::kSpr, 1011);
+  add("LDSTDB", Kind::kSpr, 1012);
+  add("DABR", Kind::kSpr, 1013);
+  add("MSSCR0", Kind::kSpr, 1014);
+  add("MSSSR0", Kind::kSpr, 1015);
+  add("LDSTCR", Kind::kSpr, 1016);
+  add("L2CR", Kind::kSpr, 1017);
+  add("L3CR", Kind::kSpr, 1018);
+  add("ICTC", Kind::kSpr, 1019);
+  add("THRM1", Kind::kSpr, 1020);
+  add("THRM2", Kind::kSpr, 1021);
+  add("THRM3", Kind::kSpr, 1022);
+  add("PIR", Kind::kSpr, 1023);
+
+  // Software TLB-miss assist registers.
+  add("DMISS", Kind::kSpr, 976);
+  add("DCMP", Kind::kSpr, 977);
+  add("HASH1", Kind::kSpr, 978);
+  add("HASH2", Kind::kSpr, 979);
+  add("IMISS", Kind::kSpr, 980);
+  add("ICMP", Kind::kSpr, 981);
+  add("RPA", Kind::kSpr, 982);
+
+  KFI_CHECK(bank.size() == 99, "riscf supervisor bank must have 99 registers");
+  return bank;
+}
+
+const std::vector<BankEntry>& bank() {
+  static const std::vector<BankEntry> kBank = build_bank();
+  return kBank;
+}
+
+}  // namespace
+
+const std::vector<u32>& inert_supervisor_sprs() {
+  static const std::vector<u32> kInert = [] {
+    std::vector<u32> sprs;
+    for (const auto& entry : bank()) {
+      if (entry.kind != Kind::kSpr) continue;
+      // Semantic SPRs are backed by named RegFile fields.
+      switch (entry.spr) {
+        case 18: case 19: case 22: case 25: case 26: case 27:
+        case 272: case 273: case 274: case 275:
+        case 287: case 1008: case 1009:
+          continue;
+        default:
+          sprs.push_back(entry.spr);
+      }
+    }
+    return sprs;
+  }();
+  return kInert;
+}
+
+u32 RiscfSysRegs::count() const { return static_cast<u32>(bank().size()); }
+
+const isa::SysRegInfo& RiscfSysRegs::info(u32 index) const {
+  KFI_CHECK(index < bank().size(), "riscf sysreg index out of range");
+  return bank()[index].info;
+}
+
+u32 RiscfSysRegs::read(u32 index) const {
+  KFI_CHECK(index < bank().size(), "riscf sysreg index out of range");
+  const BankEntry& entry = bank()[index];
+  switch (entry.kind) {
+    case Kind::kMsr: return cpu_.regs_.msr;
+    case Kind::kGpr1: return cpu_.regs_.gpr[kSp];
+    case Kind::kSpr: {
+      u32 value = 0;
+      KFI_CHECK(cpu_.read_spr(entry.spr, value), "bank SPR unreadable");
+      return value;
+    }
+  }
+  return 0;
+}
+
+void RiscfSysRegs::write(u32 index, u32 value) {
+  KFI_CHECK(index < bank().size(), "riscf sysreg index out of range");
+  const BankEntry& entry = bank()[index];
+  switch (entry.kind) {
+    case Kind::kMsr: cpu_.regs_.msr = value; return;
+    case Kind::kGpr1: cpu_.regs_.gpr[kSp] = value; return;
+    case Kind::kSpr:
+      KFI_CHECK(cpu_.write_spr(entry.spr, value), "bank SPR unwritable");
+      return;
+  }
+}
+
+}  // namespace kfi::riscf

@@ -1,0 +1,57 @@
+#include "workload/profiler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace kfi::workload {
+
+std::vector<HotFunction> profile_hot_functions(kernel::Machine& machine,
+                                               Workload& wl, double coverage,
+                                               u64 seed) {
+  machine.restore(machine.boot_snapshot());
+  machine.set_profiling(true);
+  wl.reset(seed);
+  while (auto req = wl.next(machine)) {
+    const kernel::Event ev = machine.syscall(req->nr, req->a0, req->a1, req->a2);
+    KFI_CHECK(ev.kind == kernel::EventKind::kSyscallDone,
+              "fault-free profiling run crashed — kernel bug");
+    wl.check(machine, ev.ret);
+  }
+  machine.set_profiling(false);
+
+  const auto& counts = machine.profile_counts();
+  const auto& funcs = machine.image().functions;
+  u64 total = 0;
+  for (const u64 c : counts) total += c;
+  KFI_CHECK(total > 0, "profiling run recorded no function entries");
+
+  std::vector<HotFunction> hot;
+  for (u32 i = 0; i < funcs.size(); ++i) {
+    if (counts[i] == 0) continue;
+    hot.push_back(HotFunction{funcs[i].name, funcs[i].addr, funcs[i].size,
+                              counts[i],
+                              static_cast<double>(counts[i]) /
+                                  static_cast<double>(total),
+                              0.0});
+  }
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a.entries > b.entries;
+  });
+
+  double cumulative = 0.0;
+  size_t keep = hot.size();
+  for (size_t i = 0; i < hot.size(); ++i) {
+    cumulative += hot[i].share;
+    hot[i].cumulative = cumulative;
+    if (cumulative >= coverage) {
+      keep = i + 1;
+      break;
+    }
+  }
+  hot.resize(keep);
+  machine.restore(machine.boot_snapshot());
+  return hot;
+}
+
+}  // namespace kfi::workload

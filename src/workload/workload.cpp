@@ -1,0 +1,504 @@
+#include "workload/workload.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+#include "kernel/layout.hpp"
+
+namespace kfi::workload {
+
+namespace {
+
+using kernel::Machine;
+using kernel::Syscall;
+
+constexpr Addr kWriteBuf = kernel::kUserBufBase;
+constexpr Addr kReadBuf = kernel::kUserBufBase + 0x1000;
+
+/// Deterministic payload byte for workload-generated data.
+u8 payload_byte(u64 seed, u32 step, u32 i) {
+  u64 s = seed ^ (static_cast<u64>(step) << 32) ^ i;
+  return static_cast<u8>(splitmix64(s));
+}
+
+/// Read a word at an address the KERNEL returned.  A corrupted kernel can
+/// hand back a wild pointer; dereferencing it would crash the benchmark
+/// process on real hardware — which the instrumentation reports as a
+/// detected error, not a host fault.
+bool safe_read32(Machine& machine, Addr addr, u32& value) {
+  const auto tr = machine.space().translate(addr, 4, mem::Access::kRead);
+  if (!tr.ok()) return false;
+  value = machine.space().phys().read32(tr.phys, machine.space().endian());
+  return true;
+}
+
+/// Common bookkeeping: issued-syscall counting for the base final_check.
+class WorkloadBase : public Workload {
+ public:
+  u32 issued() const override { return issued_; }
+
+ protected:
+  void base_reset(u64 seed) {
+    seed_ = seed;
+    step_ = 0;
+    issued_ = 0;
+  }
+  SyscallRequest issue(Syscall nr, u32 a0 = 0, u32 a1 = 0, u32 a2 = 0) {
+    ++issued_;
+    last_ = SyscallRequest{nr, a0, a1, a2};
+    return last_;
+  }
+
+  u64 seed_ = 0;
+  u32 step_ = 0;
+  u32 issued_ = 0;
+  SyscallRequest last_{Syscall::kGetpid};
+};
+
+// ------------------------------------------------------------- fileops ---
+
+/// Write/read-back cycles over files 1-3 plus pattern-verified reads of the
+/// pristine file 0 (UnixBench "fsdisk" spirit).
+class FileOps final : public WorkloadBase {
+ public:
+  explicit FileOps(u32 scale) : rounds_(40 * scale) {}
+
+  std::string name() const override { return "fileops"; }
+  u32 length() const override { return rounds_ * 3; }
+
+  void reset(u64 seed) override {
+    base_reset(seed);
+    for (u32 f = 0; f < kernel::kNumFiles; ++f) pos_[f] = 0;
+    // Host mirror of every file's content, initialized to the disk image.
+    for (u32 f = 0; f < kernel::kNumFiles; ++f) {
+      for (u32 b = 0; b < 16; ++b) {
+        for (u32 i = 0; i < kernel::kBlockSize; ++i) {
+          mirror_[f][b][i] = disk_pattern(f * 16 + b, i);
+        }
+      }
+    }
+    round_ = 0;
+    phase_ = 0;
+  }
+
+  std::optional<SyscallRequest> next(Machine& machine) override {
+    if (round_ >= rounds_) return std::nullopt;
+    ++step_;
+    switch (phase_) {
+      case 0: {  // verify-read of file 0
+        phase_ = 1;
+        expect_block_ = pos_[0] / kernel::kBlockSize;
+        expect_file_ = 0;
+        advance_pos(0);
+        return issue(Syscall::kRead, 0, kReadBuf, kernel::kBlockSize);
+      }
+      case 1: {  // write a fresh block to file 1+((round)%3)
+        phase_ = 2;
+        const u32 f = 1 + (round_ % 3);
+        const u32 block = pos_[f] / kernel::kBlockSize;
+        for (u32 i = 0; i < kernel::kBlockSize; ++i) {
+          const u8 v = payload_byte(seed_, step_, i);
+          machine.space().vwrite8(kWriteBuf + i, v);
+          mirror_[f][block][i] = v;
+        }
+        write_file_ = f;
+        advance_pos(f);
+        return issue(Syscall::kWrite, f, kWriteBuf, kernel::kBlockSize);
+      }
+      default: {  // read back the block just written (after rewind)
+        phase_ = 0;
+        ++round_;
+        const u32 f = write_file_;
+        // Rewind one block so the read hits what we just wrote.
+        pos_[f] = (pos_[f] + 16 * kernel::kBlockSize - kernel::kBlockSize) %
+                  (16 * kernel::kBlockSize);
+        machine.write_global("file_table", pos_[f], f, "pos");
+        expect_block_ = pos_[f] / kernel::kBlockSize;
+        expect_file_ = f;
+        advance_pos(f);
+        return issue(Syscall::kRead, f, kReadBuf, kernel::kBlockSize);
+      }
+    }
+  }
+
+  bool check(Machine& machine, u32 ret) override {
+    if (last_.nr == Syscall::kWrite) return ret == kernel::kBlockSize;
+    if (ret != kernel::kBlockSize) return false;
+    for (u32 i = 0; i < kernel::kBlockSize; ++i) {
+      if (machine.space().vread8(kReadBuf + i) !=
+          mirror_[expect_file_][expect_block_][i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void advance_pos(u32 f) {
+    pos_[f] = (pos_[f] + kernel::kBlockSize) % (16 * kernel::kBlockSize);
+  }
+
+  u32 rounds_;
+  u32 round_ = 0;
+  u32 phase_ = 0;
+  u32 pos_[kernel::kNumFiles] = {};
+  u32 write_file_ = 1;
+  u32 expect_file_ = 0, expect_block_ = 0;
+  u8 mirror_[kernel::kNumFiles][16][kernel::kBlockSize] = {};
+};
+
+// ------------------------------------------------------------ pipeloop ---
+
+/// Send/receive bursts through the loopback network stack (UnixBench pipe
+/// throughput spirit): packets must come back intact and in order.
+class PipeLoop final : public WorkloadBase {
+ public:
+  explicit PipeLoop(u32 scale) : bursts_(25 * scale) {}
+
+  std::string name() const override { return "pipeloop"; }
+  u32 length() const override { return bursts_ * 10; }
+
+  void reset(u64 seed) override {
+    base_reset(seed);
+    burst_ = 0;
+    in_burst_ = 0;
+    draining_ = false;
+    drain_tries_ = 0;
+    inflight_.clear();
+  }
+
+  std::optional<SyscallRequest> next(Machine& machine) override {
+    if (draining_) {
+      if (inflight_.empty() || drain_tries_ > 400) {
+        if (burst_ >= bursts_) return std::nullopt;
+        draining_ = false;
+        in_burst_ = 0;
+      } else {
+        ++drain_tries_;
+        ++step_;
+        // Alternate yield (let ksoftirqd deliver) and recv.
+        if (drain_tries_ % 2 == 1) return issue(Syscall::kYield);
+        return issue(Syscall::kRecv, kReadBuf, kernel::kSkbDataSize);
+      }
+    }
+    if (in_burst_ < 4) {
+      ++step_;
+      const u32 len = 16 + (payload_byte(seed_, step_, 0) % 64);
+      std::vector<u8> payload(len);
+      for (u32 i = 0; i < len; ++i) {
+        payload[i] = payload_byte(seed_, step_, i + 1);
+        machine.space().vwrite8(kWriteBuf + i, payload[i]);
+      }
+      inflight_.push_back(std::move(payload));
+      ++in_burst_;
+      return issue(Syscall::kSend, kWriteBuf, len);
+    }
+    ++burst_;
+    draining_ = true;
+    drain_tries_ = 0;
+    ++step_;
+    return issue(Syscall::kYield);
+  }
+
+  bool check(Machine& machine, u32 ret) override {
+    switch (last_.nr) {
+      case Syscall::kSend:
+        return ret == last_.a1 && !inflight_.empty();
+      case Syscall::kRecv: {
+        if (ret == 0) return true;  // nothing delivered yet
+        if (inflight_.empty()) return false;  // phantom packet
+        const std::vector<u8>& expect = inflight_.front();
+        if (ret != expect.size()) return false;
+        for (u32 i = 0; i < ret; ++i) {
+          if (machine.space().vread8(kReadBuf + i) != expect[i]) return false;
+        }
+        inflight_.pop_front();
+        return true;
+      }
+      default:
+        return true;
+    }
+  }
+
+  bool state_check(Machine& /*machine*/) override {
+    // All packets must eventually arrive; losing one silently is an FSV.
+    return inflight_.empty();
+  }
+
+ private:
+  u32 bursts_;
+  u32 burst_ = 0;
+  u32 in_burst_ = 0;
+  bool draining_ = false;
+  u32 drain_tries_ = 0;
+  std::deque<std::vector<u8>> inflight_;
+};
+
+// ---------------------------------------------------------- syscallmix ---
+
+/// Tight getpid/alloc/free/yield mix (UnixBench syscall-overhead spirit).
+class SyscallMix final : public WorkloadBase {
+ public:
+  explicit SyscallMix(u32 scale) : rounds_(60 * scale) {}
+
+  std::string name() const override { return "syscallmix"; }
+  u32 length() const override { return rounds_ * 4; }
+
+  void reset(u64 seed) override {
+    base_reset(seed);
+    round_ = 0;
+    phase_ = 0;
+    held_.clear();
+  }
+
+  std::optional<SyscallRequest> next(Machine& /*machine*/) override {
+    if (round_ >= rounds_) {
+      if (!held_.empty()) {  // release everything at the end
+        ++step_;
+        const u32 page = held_.back();
+        held_.pop_back();
+        return issue(Syscall::kFree, page);
+      }
+      return std::nullopt;
+    }
+    ++step_;
+    switch (phase_++ & 3) {
+      case 0:
+        return issue(Syscall::kGetpid);
+      case 1:
+        return issue(Syscall::kAlloc);
+      case 2:
+        if (!held_.empty()) {
+          const u32 page = held_.front();
+          held_.erase(held_.begin());
+          return issue(Syscall::kFree, page);
+        }
+        return issue(Syscall::kYield);
+      default:
+        ++round_;
+        return issue(Syscall::kYield);
+    }
+  }
+
+  bool check(Machine& machine, u32 ret) override {
+    switch (last_.nr) {
+      case Syscall::kGetpid:
+        return ret == 1;  // task 0's pid
+      case Syscall::kAlloc: {
+        if (ret == 0) return held_.size() >= kernel::kNumPages;  // exhausted
+        // The kernel stamps page^0x5A5A5A5A into the first word.
+        u32 stamp = 0;
+        if (!safe_read32(machine, ret, stamp)) return false;  // wild pointer
+        if (stamp != (ret ^ 0x5A5A5A5Au)) return false;
+        held_.push_back(ret);
+        return true;
+      }
+      case Syscall::kFree:
+        return ret == 0;
+      default:
+        return ret == 0;
+    }
+  }
+
+ private:
+  u32 rounds_;
+  u32 round_ = 0;
+  u32 phase_ = 0;
+  std::vector<u32> held_;
+};
+
+// ------------------------------------------------------- contextswitch ---
+
+/// Scheduler-heavy mix: dirty buffers then yield repeatedly so kupdate,
+/// kjournald and ksoftirqd all get stack time (UnixBench context-switch
+/// spirit) — this is what parks frames on the kernel-thread stacks that
+/// the stack-injection campaign then corrupts.
+class ContextSwitch final : public WorkloadBase {
+ public:
+  explicit ContextSwitch(u32 scale) : rounds_(50 * scale) {}
+
+  std::string name() const override { return "ctxswitch"; }
+  u32 length() const override { return rounds_ * 4; }
+
+  void reset(u64 seed) override {
+    base_reset(seed);
+    round_ = 0;
+    phase_ = 0;
+  }
+
+  std::optional<SyscallRequest> next(Machine& machine) override {
+    if (round_ >= rounds_) return std::nullopt;
+    ++step_;
+    switch (phase_++ & 3) {
+      case 0: {
+        for (u32 i = 0; i < kernel::kBlockSize; ++i) {
+          machine.space().vwrite8(kWriteBuf + i, payload_byte(seed_, step_, i));
+        }
+        return issue(Syscall::kWrite, 3, kWriteBuf, kernel::kBlockSize);
+      }
+      case 1:
+      case 2:
+        return issue(Syscall::kYield);
+      default:
+        ++round_;
+        return issue(Syscall::kGetpid);
+    }
+  }
+
+  bool check(Machine& /*machine*/, u32 ret) override {
+    switch (last_.nr) {
+      case Syscall::kWrite:
+        return ret == kernel::kBlockSize;
+      case Syscall::kGetpid:
+        return ret == 1;
+      default:
+        return ret == 0;
+    }
+  }
+
+ private:
+  u32 rounds_;
+  u32 round_ = 0;
+  u32 phase_ = 0;
+};
+
+// -------------------------------------------------------------- memhog ---
+
+/// Allocate the whole page pool, verify uniqueness, free it, repeat.
+class MemHog final : public WorkloadBase {
+ public:
+  explicit MemHog(u32 scale) : cycles_(6 * scale) {}
+
+  std::string name() const override { return "memhog"; }
+  u32 length() const override { return cycles_ * 2 * kernel::kNumPages; }
+
+  void reset(u64 seed) override {
+    base_reset(seed);
+    cycle_ = 0;
+    held_.clear();
+    allocating_ = true;
+  }
+
+  std::optional<SyscallRequest> next(Machine& /*machine*/) override {
+    if (cycle_ >= cycles_) return std::nullopt;
+    ++step_;
+    if (allocating_) {
+      if (held_.size() < kernel::kNumPages) return issue(Syscall::kAlloc);
+      allocating_ = false;
+    }
+    if (!held_.empty()) {
+      const u32 page = held_.back();
+      held_.pop_back();
+      return issue(Syscall::kFree, page);
+    }
+    allocating_ = true;
+    ++cycle_;
+    return issue(Syscall::kAlloc);
+  }
+
+  bool check(Machine& machine, u32 ret) override {
+    switch (last_.nr) {
+      case Syscall::kAlloc: {
+        if (ret == 0) return false;  // pool must never be empty here
+        u32 stamp = 0;
+        if (!safe_read32(machine, ret, stamp)) return false;  // wild pointer
+        if (stamp != (ret ^ 0x5A5A5A5Au)) return false;
+        for (const u32 held : held_) {
+          if (held == ret) return false;  // double allocation
+        }
+        held_.push_back(ret);
+        return true;
+      }
+      case Syscall::kFree:
+        return ret == 0;
+      default:
+        return true;
+    }
+  }
+
+ private:
+  u32 cycles_;
+  u32 cycle_ = 0;
+  bool allocating_ = true;
+  std::vector<u32> held_;
+};
+
+// --------------------------------------------------------------- suite ---
+
+/// Sequential concatenation of all benchmark programs.
+class Suite final : public Workload {
+ public:
+  explicit Suite(u32 scale) {
+    parts_.push_back(make_syscall_mix(scale));
+    parts_.push_back(make_fileops(scale));
+    parts_.push_back(make_pipe_loop(scale));
+    parts_.push_back(make_context_switch(scale));
+    parts_.push_back(make_mem_hog(scale));
+  }
+
+  std::string name() const override { return "unixbench-suite"; }
+
+  u32 length() const override {
+    u32 total = 0;
+    for (const auto& p : parts_) total += p->length();
+    return total;
+  }
+
+  void reset(u64 seed) override {
+    for (u32 i = 0; i < parts_.size(); ++i) parts_[i]->reset(seed + i);
+    index_ = 0;
+  }
+
+  u32 issued() const override {
+    u32 total = 0;
+    for (const auto& p : parts_) total += p->issued();
+    return total;
+  }
+
+  bool state_check(kernel::Machine& machine) override {
+    for (const auto& p : parts_) {
+      if (!p->state_check(machine)) return false;
+    }
+    return true;
+  }
+
+  std::optional<SyscallRequest> next(kernel::Machine& machine) override {
+    while (index_ < parts_.size()) {
+      if (auto req = parts_[index_]->next(machine)) return req;
+      ++index_;
+    }
+    return std::nullopt;
+  }
+
+  bool check(kernel::Machine& machine, u32 ret) override {
+    KFI_CHECK(index_ < parts_.size(), "check after suite completion");
+    return parts_[index_]->check(machine, ret);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Workload>> parts_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_fileops(u32 scale) {
+  return std::make_unique<FileOps>(scale);
+}
+std::unique_ptr<Workload> make_pipe_loop(u32 scale) {
+  return std::make_unique<PipeLoop>(scale);
+}
+std::unique_ptr<Workload> make_syscall_mix(u32 scale) {
+  return std::make_unique<SyscallMix>(scale);
+}
+std::unique_ptr<Workload> make_context_switch(u32 scale) {
+  return std::make_unique<ContextSwitch>(scale);
+}
+std::unique_ptr<Workload> make_mem_hog(u32 scale) {
+  return std::make_unique<MemHog>(scale);
+}
+std::unique_ptr<Workload> make_suite(u32 scale) {
+  return std::make_unique<Suite>(scale);
+}
+
+}  // namespace kfi::workload

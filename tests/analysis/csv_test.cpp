@@ -1,0 +1,75 @@
+#include "analysis/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace kfi::analysis {
+namespace {
+
+using inject::CampaignKind;
+using inject::InjectionRecord;
+using inject::OutcomeCategory;
+
+std::vector<InjectionRecord> sample_records() {
+  std::vector<InjectionRecord> records(3);
+  records[0].target.kind = CampaignKind::kCode;
+  records[0].target.function = "schedule";
+  records[0].target.code_addr = 0xC0100200;
+  records[0].target.code_bit = 5;
+  records[0].outcome = OutcomeCategory::kKnownCrash;
+  records[0].activated = true;
+  records[0].crashed = true;
+  records[0].crash.cause = kernel::CrashCause::kBadPaging;
+  records[0].crash.pc = 0xC0100234;
+  records[0].crash.addr = 0x170FC2A5;
+  records[0].cycles_to_crash = 13116444;
+  records[1].target.kind = CampaignKind::kRegister;
+  records[1].target.reg_name = "ESP";
+  records[1].outcome = OutcomeCategory::kNotManifested;
+  records[1].activation_known = false;
+  records[2].target.kind = CampaignKind::kStack;
+  records[2].target.stack_task = 2;
+  records[2].target.stack_depth_frac = 0.75;
+  records[2].outcome = OutcomeCategory::kNotActivated;
+  return records;
+}
+
+TEST(CsvTest, RecordsCsvHasHeaderAndRows) {
+  std::ostringstream os;
+  write_records_csv(os, sample_records());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("index,kind,target,bit,outcome"), std::string::npos);
+  EXPECT_NE(out.find("schedule+0xc0100200"), std::string::npos);
+  EXPECT_NE(out.find("Bad Paging,0xc0100234,0x170fc2a5,13116444"),
+            std::string::npos);
+  EXPECT_NE(out.find("ESP"), std::string::npos);
+  EXPECT_NE(out.find("task2@0.75"), std::string::npos);
+  // 1 header + 3 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(CsvTest, TallyCsvSummarizesOutcomes) {
+  const OutcomeTally tally = tally_records(sample_records());
+  std::ostringstream os;
+  write_tally_csv(os, tally);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("injected,3"), std::string::npos);
+  EXPECT_NE(out.find("activated,NA"), std::string::npos);  // register present
+  EXPECT_NE(out.find("Known Crash,1"), std::string::npos);
+  EXPECT_NE(out.find("cause: Bad Paging,1"), std::string::npos);
+}
+
+TEST(CsvTest, LatencyCsvHasAllBuckets) {
+  const OutcomeTally tally = tally_records(sample_records());
+  std::ostringstream os;
+  write_latency_csv(os, tally);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("<=3k,0,"), std::string::npos);
+  // 13116444 cycles lands in the <=100M bucket.
+  EXPECT_NE(out.find("<=100M,1,"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 9);  // header + 8
+}
+
+}  // namespace
+}  // namespace kfi::analysis

@@ -1,0 +1,175 @@
+// Tests for the analysis layer: outcome tallying with the paper's
+// percentage conventions, paper reference data integrity, and report
+// rendering.
+#include <gtest/gtest.h>
+
+#include "analysis/paper_data.hpp"
+#include "analysis/report.hpp"
+#include "analysis/tally.hpp"
+
+namespace kfi::analysis {
+namespace {
+
+using inject::CampaignKind;
+using inject::InjectionRecord;
+using inject::OutcomeCategory;
+
+InjectionRecord record(OutcomeCategory outcome, bool activated,
+                       kernel::CrashCause cause = kernel::CrashCause::kBadArea,
+                       Cycles latency = 5000) {
+  InjectionRecord r;
+  r.outcome = outcome;
+  r.activated = activated;
+  if (outcome == OutcomeCategory::kKnownCrash) {
+    r.crashed = true;
+    r.crash.cause = cause;
+    r.cycles_to_crash = latency;
+  }
+  return r;
+}
+
+TEST(TallyTest, CountsAndRates) {
+  std::vector<InjectionRecord> records;
+  for (int i = 0; i < 4; ++i)
+    records.push_back(record(OutcomeCategory::kNotActivated, false));
+  for (int i = 0; i < 3; ++i)
+    records.push_back(record(OutcomeCategory::kNotManifested, true));
+  records.push_back(record(OutcomeCategory::kKnownCrash, true));
+  records.push_back(record(OutcomeCategory::kKnownCrash, true,
+                           kernel::CrashCause::kStackOverflow, 2000));
+  records.push_back(record(OutcomeCategory::kHangOrUnknownCrash, true));
+  const OutcomeTally t = tally_records(records);
+  EXPECT_EQ(t.injected, 10u);
+  EXPECT_EQ(t.activated, 6u);
+  EXPECT_TRUE(t.activation_known);
+  EXPECT_DOUBLE_EQ(t.activation_rate(), 0.6);
+  // Percentages over activated errors (the paper's convention).
+  EXPECT_DOUBLE_EQ(t.fraction(OutcomeCategory::kKnownCrash), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(t.manifestation_rate(), 3.0 / 6.0);
+  EXPECT_EQ(t.crash_causes.get("Bad Area"), 1u);
+  EXPECT_EQ(t.crash_causes.get("Stack Overflow"), 1u);
+  // Latency histogram: 2000 in <=3k, 5000 in <=10k.
+  EXPECT_EQ(t.latency.count(0), 1u);
+  EXPECT_EQ(t.latency.count(1), 1u);
+}
+
+TEST(TallyTest, RegisterCampaignUsesInjectedDenominator) {
+  std::vector<InjectionRecord> records;
+  for (int i = 0; i < 9; ++i) {
+    InjectionRecord r = record(OutcomeCategory::kNotManifested, false);
+    r.activation_known = false;
+    records.push_back(r);
+  }
+  InjectionRecord crash = record(OutcomeCategory::kKnownCrash, true);
+  crash.activation_known = false;
+  records.push_back(crash);
+  const OutcomeTally t = tally_records(records);
+  EXPECT_FALSE(t.activation_known);
+  EXPECT_EQ(t.denominator(), 10u);
+  EXPECT_DOUBLE_EQ(t.manifestation_rate(), 0.1);
+}
+
+TEST(PaperDataTest, TableRowsMatchPublishedTotals) {
+  // Spot-check exact transcription of Tables 5 and 6.
+  const auto p4_stack = paper_table_row(isa::Arch::kCisca, CampaignKind::kStack);
+  EXPECT_EQ(p4_stack.injected, 10143u);
+  EXPECT_DOUBLE_EQ(p4_stack.activated_pct, 29.3);
+  EXPECT_DOUBLE_EQ(p4_stack.known_crash_pct, 38.2);
+  const auto g4_code = paper_table_row(isa::Arch::kRiscf, CampaignKind::kCode);
+  EXPECT_EQ(g4_code.injected, 2188u);
+  EXPECT_DOUBLE_EQ(g4_code.fsv_pct, 2.3);
+  const auto g4_reg =
+      paper_table_row(isa::Arch::kRiscf, CampaignKind::kRegister);
+  EXPECT_LT(g4_reg.activated_pct, 0);  // N/A
+}
+
+TEST(PaperDataTest, CrashCauseDistributionsSumToRoughly100) {
+  for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    double overall = 0;
+    for (const auto& [name, pct] : paper_overall_crash_causes(arch)) {
+      overall += pct;
+    }
+    EXPECT_NEAR(overall, 100.0, 1.0) << isa::arch_name(arch);
+    for (const auto kind : {CampaignKind::kStack, CampaignKind::kRegister,
+                            CampaignKind::kData, CampaignKind::kCode}) {
+      double total = 0;
+      for (const auto& [name, pct] :
+           paper_campaign_crash_causes(arch, kind)) {
+        total += pct;
+      }
+      EXPECT_NEAR(total, 100.0, 1.5)
+          << isa::arch_name(arch) << " " << campaign_kind_name(kind);
+    }
+  }
+}
+
+TEST(PaperDataTest, LatencyDistributionsHaveEightBucketsSumming100) {
+  for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    for (const auto kind : {CampaignKind::kStack, CampaignKind::kRegister,
+                            CampaignKind::kData, CampaignKind::kCode}) {
+      const auto dist = paper_latency_distribution(arch, kind);
+      ASSERT_EQ(dist.size(), 8u);
+      double total = 0;
+      for (const double d : dist) total += d;
+      EXPECT_NEAR(total, 100.0, 1.0);
+    }
+  }
+}
+
+TEST(PaperDataTest, HeadlineContrastsHold) {
+  // The paper's headline: G4 stack crashes are dominated by the explicit
+  // Stack Overflow category, which the P4 lacks entirely.
+  const auto g4 =
+      paper_campaign_crash_causes(isa::Arch::kRiscf, CampaignKind::kStack);
+  bool has_so = false;
+  for (const auto& [name, pct] : g4) {
+    if (name == "Stack Overflow") {
+      has_so = true;
+      EXPECT_GT(pct, 40.0);
+    }
+  }
+  EXPECT_TRUE(has_so);
+  for (const auto& [name, pct] :
+       paper_campaign_crash_causes(isa::Arch::kCisca, CampaignKind::kStack)) {
+    EXPECT_NE(name, "Stack Overflow");
+  }
+}
+
+TEST(ReportTest, FailureTableRendersMeasuredAndPaper) {
+  std::vector<InjectionRecord> records;
+  records.push_back(record(OutcomeCategory::kNotActivated, false));
+  records.push_back(record(OutcomeCategory::kKnownCrash, true));
+  const OutcomeTally t = tally_records(records);
+  const std::string out = render_failure_table(
+      isa::Arch::kCisca, {{CampaignKind::kStack, t}});
+  EXPECT_NE(out.find("stack"), std::string::npos);
+  EXPECT_NE(out.find("10143"), std::string::npos);  // paper injected count
+  EXPECT_NE(out.find("|"), std::string::npos);
+}
+
+TEST(ReportTest, CauseComparisonListsPaperOrderAndExtras) {
+  std::vector<InjectionRecord> records;
+  records.push_back(record(OutcomeCategory::kKnownCrash, true,
+                           kernel::CrashCause::kBadArea));
+  records.push_back(record(OutcomeCategory::kKnownCrash, true,
+                           kernel::CrashCause::kKernelPanic));
+  const OutcomeTally t = tally_records(records);
+  const std::string out = render_cause_comparison(
+      isa::Arch::kRiscf, "Figure 12",
+      t, paper_campaign_crash_causes(isa::Arch::kRiscf, CampaignKind::kData));
+  EXPECT_NE(out.find("Bad Area"), std::string::npos);
+  EXPECT_NE(out.find("Kernel Panic"), std::string::npos);  // measured-only row
+  EXPECT_NE(out.find("89.1%"), std::string::npos);
+}
+
+TEST(ReportTest, LatencyComparisonRendersAllBuckets) {
+  const OutcomeTally t;
+  const std::string out = render_latency_comparison(
+      "Figure 16(A)", CampaignKind::kStack, t, t);
+  for (const auto& label : latency_bucket_labels()) {
+    EXPECT_NE(out.find(label), std::string::npos) << label;
+  }
+}
+
+}  // namespace
+}  // namespace kfi::analysis

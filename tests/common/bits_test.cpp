@@ -1,0 +1,62 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kfi {
+namespace {
+
+TEST(BitsTest, FlipBitTogglesExactlyOneBit) {
+  for (u32 bit = 0; bit < 32; ++bit) {
+    const u32 v = 0xA5A5A5A5u;
+    const u32 flipped = flip_bit(v, bit);
+    EXPECT_EQ(v ^ flipped, 1u << bit);
+  }
+}
+
+TEST(BitsTest, FlipBitIsInvolution) {
+  // A transient fault model requires flip(flip(x)) == x.
+  for (u32 bit = 0; bit < 8; ++bit) {
+    const u8 v = 0x3C;
+    EXPECT_EQ(flip_bit(flip_bit(v, bit), bit), v);
+  }
+}
+
+TEST(BitsTest, Bits32ExtractsField) {
+  const u32 v = 0xDEADBEEFu;
+  EXPECT_EQ(bits32(v, 0, 4), 0xFu);
+  EXPECT_EQ(bits32(v, 4, 8), 0xEEu);
+  EXPECT_EQ(bits32(v, 28, 4), 0xDu);
+  EXPECT_EQ(bits32(v, 0, 32), v);
+}
+
+TEST(BitsTest, SetBits32RoundTrips) {
+  u32 v = 0;
+  v = set_bits32(v, 8, 8, 0xAB);
+  EXPECT_EQ(bits32(v, 8, 8), 0xABu);
+  EXPECT_EQ(v, 0xAB00u);
+  v = set_bits32(v, 8, 8, 0x12);
+  EXPECT_EQ(v, 0x1200u);
+}
+
+TEST(BitsTest, TestBit) {
+  EXPECT_TRUE(test_bit(0x80000000u, 31));
+  EXPECT_FALSE(test_bit(0x80000000u, 30));
+  EXPECT_TRUE(test_bit(u8{1}, 0));
+}
+
+TEST(BitsTest, SignExtend32) {
+  EXPECT_EQ(sign_extend32(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend32(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend32(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend32(0xFFFC, 16), -4);
+  EXPECT_EQ(sign_extend32(0x0004, 16), 4);
+}
+
+TEST(BitsTest, Popcount32) {
+  EXPECT_EQ(popcount32(0), 0u);
+  EXPECT_EQ(popcount32(0xFFFFFFFFu), 32u);
+  EXPECT_EQ(popcount32(0x80000001u), 2u);
+}
+
+}  // namespace
+}  // namespace kfi

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/counter_map.hpp"
+#include "common/table.hpp"
+
+namespace kfi {
+namespace {
+
+TEST(CounterMapTest, CountsAndTotals) {
+  CounterMap m;
+  m.add("a");
+  m.add("b", 3);
+  m.add("a");
+  EXPECT_EQ(m.get("a"), 2u);
+  EXPECT_EQ(m.get("b"), 3u);
+  EXPECT_EQ(m.get("missing"), 0u);
+  EXPECT_EQ(m.total(), 5u);
+}
+
+TEST(CounterMapTest, KeysKeepInsertionOrder) {
+  CounterMap m;
+  m.add("z");
+  m.add("a");
+  m.add("z");
+  m.add("m");
+  ASSERT_EQ(m.keys().size(), 3u);
+  EXPECT_EQ(m.keys()[0], "z");
+  EXPECT_EQ(m.keys()[1], "a");
+  EXPECT_EQ(m.keys()[2], "m");
+}
+
+TEST(CounterMapTest, FractionOverTotal) {
+  CounterMap m;
+  m.add("x", 1);
+  m.add("y", 3);
+  EXPECT_DOUBLE_EQ(m.fraction("x"), 0.25);
+  EXPECT_DOUBLE_EQ(m.fraction("y"), 0.75);
+}
+
+TEST(CounterMapTest, EmptyFractionIsZero) {
+  CounterMap m;
+  EXPECT_EQ(m.fraction("anything"), 0.0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(CounterMapTest, MergePreservesOrderAndCounts) {
+  CounterMap a, b;
+  a.add("x");
+  b.add("y", 2);
+  b.add("x", 5);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 6u);
+  EXPECT_EQ(a.get("y"), 2u);
+  EXPECT_EQ(a.keys()[0], "x");
+  EXPECT_EQ(a.keys()[1], "y");
+}
+
+TEST(AsciiTableTest, RendersAlignedColumns) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name        |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ShortRowsRenderEmptyCells) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(format_percent(0.4239), "42.4%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, CountPercent) {
+  EXPECT_EQ(format_count_percent(12, 0.5), "12 (50.0%)");
+}
+
+}  // namespace
+}  // namespace kfi

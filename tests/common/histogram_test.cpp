@@ -1,0 +1,89 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace kfi {
+namespace {
+
+TEST(BucketHistogramTest, SamplesFallInCorrectBuckets) {
+  BucketHistogram h({10, 100, 1000});
+  h.add(5);     // <=10
+  h.add(10);    // <=10 (inclusive upper edge)
+  h.add(11);    // <=100
+  h.add(1000);  // <=1000
+  h.add(1001);  // overflow
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(BucketHistogramTest, FractionsSumToOne) {
+  BucketHistogram h({3, 7});
+  for (u64 i = 0; i < 100; ++i) h.add(i % 11);
+  double sum = 0;
+  for (const double f : h.fractions()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BucketHistogramTest, EmptyHistogramFractionsAreZero) {
+  BucketHistogram h({1});
+  EXPECT_EQ(h.fraction(0), 0.0);
+  EXPECT_EQ(h.fraction(1), 0.0);
+}
+
+TEST(BucketHistogramTest, LabelsUseHumanUnits) {
+  const BucketHistogram h = make_latency_histogram();
+  EXPECT_EQ(h.label(0), "<=3k");
+  EXPECT_EQ(h.label(1), "<=10k");
+  EXPECT_EQ(h.label(3), "<=1M");
+  EXPECT_EQ(h.label(6), "<=1G");
+  EXPECT_EQ(h.label(7), ">1G");
+}
+
+TEST(BucketHistogramTest, PaperBucketsMatchFigure16) {
+  // The paper reports cycles-to-crash in exactly these eight buckets.
+  const BucketHistogram h = make_latency_histogram();
+  EXPECT_EQ(h.bucket_count(), 8u);
+  EXPECT_EQ(latency_bucket_labels().size(), 8u);
+}
+
+TEST(BucketHistogramTest, MergeAddsCounts) {
+  BucketHistogram a({10}), b({10});
+  a.add(1);
+  b.add(1);
+  b.add(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(BucketHistogramTest, MergeRejectsMismatchedEdges) {
+  BucketHistogram a({10}), b({20});
+  EXPECT_THROW(a.merge(b), InternalError);
+}
+
+TEST(BucketHistogramTest, RejectsUnsortedEdges) {
+  EXPECT_THROW(BucketHistogram({10, 5}), InternalError);
+  EXPECT_THROW(BucketHistogram({10, 10}), InternalError);
+  EXPECT_THROW(BucketHistogram({}), InternalError);
+}
+
+TEST(BucketHistogramTest, LatencyBoundaryValues) {
+  BucketHistogram h = make_latency_histogram();
+  h.add(3000);        // exactly 3k -> first bucket
+  h.add(3001);        // -> second
+  h.add(1000000000);  // exactly 1G -> seventh
+  h.add(1000000001);  // -> >1G
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(6), 1u);
+  EXPECT_EQ(h.count(7), 1u);
+}
+
+}  // namespace
+}  // namespace kfi

@@ -1,0 +1,120 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace kfi {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const u64 v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    hit_lo |= v == 3;
+    hit_hi |= v == 6;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) counts[rng.below(10)] += 1;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  // Child stream differs from a fresh parent continuation.
+  std::set<u64> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(a.next_u64());
+    seen.insert(child.next_u64());
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(RngTest, PickCoversAllElements) {
+  Rng rng(29);
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  u64 state = 0;
+  const u64 first = splitmix64(state);
+  const u64 second = splitmix64(state);
+  EXPECT_NE(first, second);
+  // Regression pin: the seeding function must never change silently, or
+  // every recorded campaign would become unreproducible.
+  u64 s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+}
+
+}  // namespace
+}  // namespace kfi

@@ -1,0 +1,105 @@
+// Tests for the UDP-like crash-data channel, the data-deposit
+// serialization, and the remote collector.
+#include <gtest/gtest.h>
+
+#include "inject/channel.hpp"
+
+namespace kfi::inject {
+namespace {
+
+kernel::CrashReport sample_report() {
+  kernel::CrashReport r;
+  r.cause = kernel::CrashCause::kBadPaging;
+  r.pc = 0xC0101234;
+  r.addr = 0x170FC2A5;  // the paper's Figure 7 crash address
+  r.has_addr = true;
+  r.cycles_to_crash = 13116444;  // the paper's Figure 7 latency
+  r.detail = "page-fault";
+  return r;
+}
+
+TEST(DataDepositTest, SerializeParseRoundTrip) {
+  const Packet p = DataDeposit::serialize(42, sample_report());
+  const auto parsed = DataDeposit::parse(p);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sequence, 42u);
+  EXPECT_EQ(parsed->report.cause, kernel::CrashCause::kBadPaging);
+  EXPECT_EQ(parsed->report.pc, 0xC0101234u);
+  EXPECT_EQ(parsed->report.addr, 0x170FC2A5u);
+  EXPECT_TRUE(parsed->report.has_addr);
+  EXPECT_EQ(parsed->report.cycles_to_crash, 13116444u);
+  EXPECT_EQ(parsed->report.detail, "page-fault");
+}
+
+TEST(DataDepositTest, RejectsTruncatedAndCorruptPackets) {
+  Packet p = DataDeposit::serialize(1, sample_report());
+  Packet truncated{std::vector<u8>(p.bytes.begin(), p.bytes.begin() + 10)};
+  EXPECT_FALSE(DataDeposit::parse(truncated).has_value());
+  Packet bad_magic = p;
+  bad_magic.bytes[0] ^= 0xFF;
+  EXPECT_FALSE(DataDeposit::parse(bad_magic).has_value());
+  Packet bad_cause = p;
+  bad_cause.bytes[8] = 0xFF;  // cause field out of range
+  EXPECT_FALSE(DataDeposit::parse(bad_cause).has_value());
+}
+
+TEST(UdpChannelTest, LosslessChannelDeliversInOrder) {
+  UdpChannel ch(0.0, 1);
+  for (u32 i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ch.send(DataDeposit::serialize(i, sample_report())));
+  }
+  for (u32 i = 0; i < 5; ++i) {
+    const auto p = ch.receive();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(DataDeposit::parse(*p)->sequence, i);
+  }
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(UdpChannelTest, LossyChannelDropsApproximatelyAtRate) {
+  UdpChannel ch(0.25, 7);
+  u32 delivered = 0;
+  for (u32 i = 0; i < 4000; ++i) {
+    if (ch.send(DataDeposit::serialize(i, sample_report()))) ++delivered;
+  }
+  EXPECT_EQ(ch.sent(), 4000u);
+  EXPECT_EQ(ch.dropped(), 4000u - delivered);
+  EXPECT_NEAR(static_cast<double>(ch.dropped()) / 4000.0, 0.25, 0.03);
+}
+
+TEST(UdpChannelTest, AlwaysLossyDropsEverything) {
+  UdpChannel ch(1.0, 3);
+  EXPECT_FALSE(ch.send(DataDeposit::serialize(0, sample_report())));
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(CrashCollectorTest, IndexesBySequenceAndIgnoresDuplicates) {
+  UdpChannel ch(0.0, 1);
+  CrashCollector collector;
+  ch.send(DataDeposit::serialize(10, sample_report()));
+  kernel::CrashReport other = sample_report();
+  other.cause = kernel::CrashCause::kStackOverflow;
+  ch.send(DataDeposit::serialize(11, other));
+  ch.send(DataDeposit::serialize(10, other));  // duplicate sequence
+  collector.poll(ch);
+  EXPECT_EQ(collector.count(), 2u);
+  EXPECT_TRUE(collector.has(10));
+  EXPECT_TRUE(collector.has(11));
+  EXPECT_FALSE(collector.has(12));
+  // First arrival wins for a duplicated sequence.
+  EXPECT_EQ(collector.get(10).cause, kernel::CrashCause::kBadPaging);
+  EXPECT_EQ(collector.get(11).cause, kernel::CrashCause::kStackOverflow);
+}
+
+TEST(CrashCollectorTest, LostDatagramNeverArrives) {
+  // The Tables 5/6 "Hang/Unknown Crash" mechanism: a dropped crash dump
+  // means the crash stays unknown to the control host.
+  UdpChannel ch(1.0, 5);
+  CrashCollector collector;
+  ch.send(DataDeposit::serialize(1, sample_report()));
+  collector.poll(ch);
+  EXPECT_FALSE(collector.has(1));
+}
+
+}  // namespace
+}  // namespace kfi::inject

@@ -1,0 +1,176 @@
+// Target generator tests: pre-generated targets must respect the paper's
+// selection rules (profiled hot functions for code, structural data words,
+// instruction boundaries, system-register bank bounds) and be
+// deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cisca/decode.hpp"
+#include "common/counter_map.hpp"
+#include "kir/backend.hpp"
+#include "inject/target_gen.hpp"
+#include "kernel/machine.hpp"
+#include "workload/profiler.hpp"
+#include "workload/workload.hpp"
+
+namespace kfi::inject {
+namespace {
+
+class TargetGenTest : public ::testing::TestWithParam<isa::Arch> {
+ protected:
+  TargetGenTest() : machine_(GetParam(), kernel::MachineOptions{}) {
+    auto wl = workload::make_suite();
+    hot_ = workload::profile_hot_functions(machine_, *wl, 0.95, 1);
+  }
+
+  TargetGenerator make_gen(u64 seed = 9) {
+    return TargetGenerator(machine_.image(), hot_,
+                           machine_.cpu().sysregs().count(), seed);
+  }
+
+  kernel::Machine machine_;
+  std::vector<workload::HotFunction> hot_;
+};
+
+TEST_P(TargetGenTest, CodeTargetsLieInsideHotFunctions) {
+  auto gen = make_gen();
+  for (const auto& t : gen.generate(CampaignKind::kCode, 200)) {
+    const auto* fn = machine_.image().function_at(t.code_addr);
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->name, t.function);
+    bool is_hot = false;
+    for (const auto& h : hot_) is_hot |= h.name == t.function;
+    EXPECT_TRUE(is_hot) << t.function;
+    EXPECT_LT(t.code_bit, t.code_insn_len * 8);
+  }
+}
+
+TEST_P(TargetGenTest, CodeTargetsStartOnInstructionBoundaries) {
+  auto gen = make_gen();
+  for (const auto& t : gen.generate(CampaignKind::kCode, 100)) {
+    if (GetParam() == isa::Arch::kRiscf) {
+      EXPECT_EQ(t.code_addr % 4, 0u);
+      EXPECT_EQ(t.code_insn_len, 4u);
+      continue;
+    }
+    // cisca: walk the decode chain from the function start; the target
+    // must be a boundary.
+    const auto* fn = machine_.image().function_at(t.code_addr);
+    ASSERT_NE(fn, nullptr);
+    Addr pc = fn->addr;
+    bool boundary = false;
+    while (pc < fn->addr + fn->size) {
+      if (pc == t.code_addr) {
+        boundary = true;
+        break;
+      }
+      cisca::FetchWindow w;
+      w.pc = pc;
+      const u32 off = pc - machine_.image().code_base;
+      for (u32 k = 0;
+           k < cisca::kMaxInsnBytes && off + k < machine_.image().code.size();
+           ++k) {
+        w.bytes[k] = machine_.image().code[off + k];
+        w.valid = static_cast<u8>(k + 1);
+      }
+      pc += cisca::decode(w).insn.length;
+    }
+    EXPECT_TRUE(boundary) << std::hex << t.code_addr;
+  }
+}
+
+TEST_P(TargetGenTest, CodeTargetsAreUsageWeighted) {
+  // The hottest function must receive noticeably more targets than a cold
+  // one, mirroring the profiling-driven selection.
+  auto gen = make_gen();
+  CounterMap by_fn;
+  for (const auto& t : gen.generate(CampaignKind::kCode, 2000)) {
+    by_fn.add(t.function);
+  }
+  EXPECT_GT(by_fn.fraction(hot_.front().name), 0.15);
+}
+
+TEST_P(TargetGenTest, DataTargetsStayInTheFixedWindow) {
+  // Uniform sampling over the fixed data window: never a bulk payload
+  // array (those live beyond the window); slack hits are allowed (they
+  // model never-used data and simply fail to activate).
+  auto gen = make_gen();
+  for (const auto& t : gen.generate(CampaignKind::kData, 500)) {
+    EXPECT_GE(t.data_addr, machine_.image().data_base);
+    EXPECT_LT(t.data_addr,
+              machine_.image().data_base + kir::kBulkDataOffset);
+    const auto* obj = machine_.image().object_at(t.data_addr);
+    if (obj != nullptr) {
+      EXPECT_TRUE(obj->structural) << obj->name;
+    }
+    EXPECT_EQ(t.data_addr % 4, 0u);
+    EXPECT_LT(t.data_bit, 32u);
+  }
+}
+
+TEST_P(TargetGenTest, DataTargetsCoverManyObjects) {
+  auto gen = make_gen();
+  std::set<std::string> names;
+  for (const auto& t : gen.generate(CampaignKind::kData, 2000)) {
+    const auto* obj = machine_.image().object_at(t.data_addr);
+    if (obj != nullptr) names.insert(obj->name);
+  }
+  EXPECT_GT(names.size(), 10u);
+}
+
+TEST_P(TargetGenTest, StackTargetsSpanTasksAndDepths) {
+  auto gen = make_gen();
+  std::set<u32> tasks;
+  double min_frac = 1.0, max_frac = 0.0;
+  for (const auto& t : gen.generate(CampaignKind::kStack, 300)) {
+    tasks.insert(t.stack_task);
+    min_frac = std::min(min_frac, t.stack_depth_frac);
+    max_frac = std::max(max_frac, t.stack_depth_frac);
+    EXPECT_LT(t.stack_bit, 32u);
+    EXPECT_GE(t.inject_at_frac, 0.1);
+    EXPECT_LE(t.inject_at_frac, 0.8);
+  }
+  EXPECT_EQ(tasks.size(), kernel::kNumTasks);
+  EXPECT_LT(min_frac, 0.1);
+  EXPECT_GT(max_frac, 0.9);
+}
+
+TEST_P(TargetGenTest, RegisterTargetsStayInBank) {
+  auto gen = make_gen();
+  const u32 count = machine_.cpu().sysregs().count();
+  std::set<u32> indices;
+  for (const auto& t : gen.generate(CampaignKind::kRegister, 400)) {
+    EXPECT_LT(t.reg_index, count);
+    indices.insert(t.reg_index);
+  }
+  // A 400-target campaign touches a large share of the bank.
+  EXPECT_GT(indices.size(), count / 2);
+}
+
+TEST_P(TargetGenTest, DeterministicPerSeed) {
+  auto a = make_gen(123).generate(CampaignKind::kCode, 50);
+  auto b = make_gen(123).generate(CampaignKind::kCode, 50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].code_addr, b[i].code_addr);
+    EXPECT_EQ(a[i].code_bit, b[i].code_bit);
+  }
+  auto c = make_gen(124).generate(CampaignKind::kCode, 50);
+  bool all_same = true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    all_same &= a[i].code_addr == c[i].code_addr && a[i].code_bit == c[i].code_bit;
+  }
+  EXPECT_FALSE(all_same);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, TargetGenTest,
+                         ::testing::Values(isa::Arch::kCisca,
+                                           isa::Arch::kRiscf),
+                         [](const auto& info) {
+                           return info.param == isa::Arch::kCisca ? "cisca"
+                                                                  : "riscf";
+                         });
+
+}  // namespace
+}  // namespace kfi::inject

@@ -1,0 +1,171 @@
+// Integration tests over the full injection pipeline: campaign
+// determinism, outcome-category invariants, cross-architecture headline
+// contrasts at small scale, and the ablation switches.
+#include <gtest/gtest.h>
+
+#include "analysis/tally.hpp"
+#include "inject/campaign.hpp"
+
+namespace kfi::inject {
+namespace {
+
+using analysis::OutcomeTally;
+using analysis::tally_records;
+
+CampaignSpec small_spec(isa::Arch arch, CampaignKind kind, u32 n = 40,
+                        u64 seed = 77) {
+  CampaignSpec spec;
+  spec.arch = arch;
+  spec.kind = kind;
+  spec.injections = n;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(CampaignIntegrationTest, IdenticalSpecsGiveIdenticalResults) {
+  const auto spec = small_spec(isa::Arch::kCisca, CampaignKind::kCode, 25);
+  const CampaignResult a = run_campaign(spec);
+  const CampaignResult b = run_campaign(spec);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(a.nominal_cycles, b.nominal_cycles);
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome) << i;
+    EXPECT_EQ(a.records[i].activated, b.records[i].activated) << i;
+    EXPECT_EQ(a.records[i].cycles_to_crash, b.records[i].cycles_to_crash) << i;
+    EXPECT_EQ(a.records[i].crash.pc, b.records[i].crash.pc) << i;
+  }
+}
+
+TEST(CampaignIntegrationTest, DifferentSeedsGiveDifferentTargets) {
+  const CampaignResult a =
+      run_campaign(small_spec(isa::Arch::kRiscf, CampaignKind::kCode, 25, 1));
+  const CampaignResult b =
+      run_campaign(small_spec(isa::Arch::kRiscf, CampaignKind::kCode, 25, 2));
+  bool any_different = false;
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    any_different |=
+        a.records[i].target.code_addr != b.records[i].target.code_addr;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+class CampaignInvariantsTest
+    : public ::testing::TestWithParam<std::tuple<isa::Arch, CampaignKind>> {};
+
+TEST_P(CampaignInvariantsTest, RecordsAreWellFormed) {
+  const auto& [arch, kind] = GetParam();
+  const CampaignResult result = run_campaign(small_spec(arch, kind, 50));
+  ASSERT_EQ(result.records.size(), 50u);
+  EXPECT_GT(result.nominal_cycles, 1'000'000u);
+  EXPECT_EQ(result.reboots, 50u);  // one "reboot" per experiment
+  u32 crash_seq = 0;
+  for (const auto& r : result.records) {
+    // Every record lands in exactly one category.
+    EXPECT_LT(static_cast<u32>(r.outcome),
+              static_cast<u32>(OutcomeCategory::kNumOutcomes));
+    if (r.outcome == OutcomeCategory::kNotActivated) {
+      EXPECT_FALSE(r.crashed);
+      EXPECT_TRUE(r.activation_known);
+    }
+    if (r.outcome == OutcomeCategory::kKnownCrash) {
+      EXPECT_TRUE(r.crashed);
+      EXPECT_TRUE(r.crash_report_received);
+      EXPECT_TRUE(r.activated);
+      ++crash_seq;
+    }
+    if (r.crashed) {
+      // Cycles-to-crash is measured from activation and must be sane
+      // (below the hang budget).
+      EXPECT_GT(r.cycles_to_crash, 0u);
+      EXPECT_LT(r.cycles_to_crash, 20u * result.nominal_cycles);
+    }
+    if (kind == CampaignKind::kRegister) {
+      EXPECT_FALSE(r.activation_known);
+    }
+  }
+  // Crash datagram accounting is consistent with the channel stats.
+  EXPECT_EQ(result.datagrams_sent - result.datagrams_dropped,
+            static_cast<u64>(crash_seq));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCampaigns, CampaignInvariantsTest,
+    ::testing::Combine(::testing::Values(isa::Arch::kCisca, isa::Arch::kRiscf),
+                       ::testing::Values(CampaignKind::kStack,
+                                         CampaignKind::kRegister,
+                                         CampaignKind::kData,
+                                         CampaignKind::kCode)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == isa::Arch::kCisca
+                             ? "cisca_"
+                             : "riscf_") +
+             campaign_kind_name(std::get<1>(info.param));
+    });
+
+TEST(CampaignIntegrationTest, CodeCampaignsActivateMostTargets) {
+  // Code targets are chosen from profiled hot functions, so most
+  // breakpoints are reached (paper: 54.9% / 64.7% — ours are hotter
+  // because the profile covers exactly the benchmarked window).
+  for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    const auto result = run_campaign(small_spec(arch, CampaignKind::kCode, 60));
+    const OutcomeTally t = tally_records(result.records);
+    EXPECT_GT(t.activation_rate(), 0.5) << isa::arch_name(arch);
+  }
+}
+
+TEST(CampaignIntegrationTest, HeadlineContrastStackManifestation) {
+  // The paper's headline: P4 stack errors manifest far more than G4's
+  // (56% vs 21%).  At small scale we assert the direction with margin.
+  const auto p4 =
+      tally_records(run_campaign(small_spec(isa::Arch::kCisca,
+                                            CampaignKind::kStack, 150, 5))
+                        .records);
+  const auto g4 =
+      tally_records(run_campaign(small_spec(isa::Arch::kRiscf,
+                                            CampaignKind::kStack, 150, 5))
+                        .records);
+  EXPECT_GT(p4.manifestation_rate(), g4.manifestation_rate());
+}
+
+TEST(CampaignIntegrationTest, G4StackCrashesIncludeStackOverflow) {
+  // Stack Overflow must appear on the G4 and never on the P4 (Figure 6).
+  const auto g4 =
+      tally_records(run_campaign(small_spec(isa::Arch::kRiscf,
+                                            CampaignKind::kStack, 200, 9))
+                        .records);
+  const auto p4 =
+      tally_records(run_campaign(small_spec(isa::Arch::kCisca,
+                                            CampaignKind::kStack, 200, 9))
+                        .records);
+  EXPECT_GT(g4.crash_causes.get("Stack Overflow") +
+                g4.crash_causes.get("Bad Area"),
+            0u);
+  EXPECT_EQ(p4.crash_causes.get("Stack Overflow"), 0u);
+}
+
+TEST(CampaignIntegrationTest, WrapperAblationRemovesStackOverflow) {
+  auto spec = small_spec(isa::Arch::kRiscf, CampaignKind::kStack, 150, 13);
+  spec.machine.g4_stack_wrapper = false;
+  const auto t = tally_records(run_campaign(spec).records);
+  EXPECT_EQ(t.crash_causes.get("Stack Overflow"), 0u);
+}
+
+TEST(CampaignIntegrationTest, LossyChannelProducesUnknownCrashes) {
+  auto spec = small_spec(isa::Arch::kCisca, CampaignKind::kCode, 80, 3);
+  spec.channel_loss = 1.0;  // every crash dump is lost
+  const auto result = run_campaign(spec);
+  const auto t = tally_records(result.records);
+  EXPECT_EQ(t.count(OutcomeCategory::kKnownCrash), 0u);
+  EXPECT_GT(t.count(OutcomeCategory::kHangOrUnknownCrash), 0u);
+  EXPECT_EQ(result.datagrams_dropped, result.datagrams_sent);
+}
+
+TEST(CampaignIntegrationTest, HotFunctionsAreReportedWithTheResult) {
+  const auto result =
+      run_campaign(small_spec(isa::Arch::kCisca, CampaignKind::kCode, 10));
+  ASSERT_FALSE(result.hot_functions.empty());
+  EXPECT_GE(result.hot_functions.back().cumulative, 0.95);
+}
+
+}  // namespace
+}  // namespace kfi::inject

@@ -1,0 +1,129 @@
+// Robustness fuzzing: the simulators must execute ARBITRARY garbage
+// safely.  Every injection campaign depends on this — corrupted kernels
+// jump into data, stacks, and re-aligned byte soup, and the only
+// acceptable outcomes are architectural traps, breakpoints, halts, or
+// plain execution.  A host-side exception (kfi::InternalError) anywhere in
+// these paths would poison campaign statistics.
+#include <gtest/gtest.h>
+
+#include "cisca/cpu.hpp"
+#include "common/rng.hpp"
+#include "kernel/abi.hpp"
+#include "kernel/layout.hpp"
+#include "kernel/machine.hpp"
+#include "mem/address_space.hpp"
+#include "riscf/cpu.hpp"
+
+namespace kfi {
+namespace {
+
+constexpr Addr kCode = 0x10000;
+constexpr Addr kStackTop = 0x31000;
+
+template <typename Cpu>
+void fuzz_cpu(mem::Endian endian, u64 seed) {
+  mem::AddressSpace space(256 * 1024, endian);
+  space.map_region("code", kCode, 16384,
+                   {.read = true, .write = true, .execute = true});
+  space.map_region("stack", kStackTop - 8192, 8192,
+                   {.read = true, .write = true, .execute = true});
+  Rng rng(seed);
+  Cpu cpu(space);
+  for (u32 round = 0; round < 60; ++round) {
+    // Fresh random code blob.
+    for (Addr a = kCode; a < kCode + 16384; a += 4) {
+      space.vwrite32(a, rng.next_u32());
+    }
+    cpu.set_pc(kCode + 4 * static_cast<u32>(rng.below(4000)));
+    cpu.regs().gpr[4] = kStackTop;  // some plausible register state
+    if constexpr (std::is_same_v<Cpu, riscf::RiscfCpu>) {
+      cpu.regs().gpr[1] = kStackTop;
+    }
+    for (u32 step = 0; step < 3000; ++step) {
+      const isa::StepResult r = cpu.step();  // must never throw
+      if (r.status == isa::StepStatus::kTrap ||
+          r.status == isa::StepStatus::kHalted) {
+        break;
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, CiscaExecutesRandomBytesWithoutHostFaults) {
+  fuzz_cpu<cisca::CiscaCpu>(mem::Endian::kLittle, 0xF00D);
+}
+
+TEST(FuzzTest, RiscfExecutesRandomWordsWithoutHostFaults) {
+  fuzz_cpu<riscf::RiscfCpu>(mem::Endian::kBig, 0xBEEF);
+}
+
+TEST(FuzzTest, MachineSurvivesRandomKernelBitFlips) {
+  // Heavier end-to-end fuzz: flip random kernel text/data/stack bits on a
+  // live machine and run syscalls; any outcome is fine except a host
+  // exception or an unclassifiable event.
+  for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    kernel::Machine machine(arch, kernel::MachineOptions{});
+    Rng rng(arch == isa::Arch::kCisca ? 111 : 222);
+    for (u32 trial = 0; trial < 40; ++trial) {
+      machine.restore(machine.boot_snapshot());
+      // 1-3 random flips across text, data, and stack regions.
+      const u32 flips = 1 + static_cast<u32>(rng.below(3));
+      for (u32 f = 0; f < flips; ++f) {
+        Addr addr = 0;
+        switch (rng.below(3)) {
+          case 0:
+            addr = machine.image().code_base +
+                   static_cast<u32>(rng.below(machine.image().code.size()));
+            break;
+          case 1:
+            addr = machine.image().data_base +
+                   static_cast<u32>(rng.below(machine.image().data.size()));
+            break;
+          default:
+            addr = machine.task_stack_base(
+                       static_cast<u32>(rng.below(kernel::kNumTasks))) +
+                   static_cast<u32>(
+                       rng.below(kernel::stack_size(arch) - 4));
+            break;
+        }
+        machine.space().vflip_bit(addr, rng.bit_index(8));
+      }
+      for (u32 s = 0; s < 30; ++s) {
+        const kernel::Event ev = machine.syscall(
+            static_cast<kernel::Syscall>(1 + rng.below(8)), 0,
+            kernel::kUserBufBase, 64);
+        if (ev.kind != kernel::EventKind::kSyscallDone) break;
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, MachineSurvivesRandomRegisterCorruption) {
+  for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    kernel::Machine machine(arch, kernel::MachineOptions{});
+    Rng rng(arch == isa::Arch::kCisca ? 333 : 444);
+    isa::SystemRegisterBank& bank = machine.cpu().sysregs();
+    for (u32 trial = 0; trial < 60; ++trial) {
+      machine.restore(machine.boot_snapshot());
+      machine.begin_syscall(kernel::Syscall::kWrite, 1,
+                            kernel::kUserBufBase, 64);
+      machine.run(machine.cpu().cycles() + 1000);
+      const u32 reg = static_cast<u32>(rng.below(bank.count()));
+      bank.flip_bit(reg, rng.bit_index(bank.info(reg).bits));
+      // Drain to any terminal event within a bounded budget.
+      const u64 stop = machine.cpu().cycles() + 30'000'000;
+      for (;;) {
+        const kernel::Event ev = machine.run(stop);
+        if (ev.kind == kernel::EventKind::kSyscallDone ||
+            ev.kind == kernel::EventKind::kCrash ||
+            ev.kind == kernel::EventKind::kCheckstop ||
+            ev.kind == kernel::EventKind::kCycleStop) {
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kfi

@@ -1,0 +1,107 @@
+#include "isa/debug.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace kfi::isa {
+namespace {
+
+TEST(DebugUnitTest, InsnBreakpointFiresOnceAtAddress) {
+  DebugUnit dbg;
+  dbg.arm_insn_bp(0x1000);
+  EXPECT_FALSE(dbg.check_insn_bp(0x0FFC));
+  EXPECT_TRUE(dbg.check_insn_bp(0x1000));
+  // One-shot: a second visit does not fire (the injector re-arms if
+  // needed).
+  EXPECT_FALSE(dbg.check_insn_bp(0x1000));
+  EXPECT_FALSE(dbg.insn_bp_armed());
+}
+
+TEST(DebugUnitTest, DisarmInsnBreakpoint) {
+  DebugUnit dbg;
+  dbg.arm_insn_bp(0x2000);
+  dbg.disarm_insn_bp();
+  EXPECT_FALSE(dbg.check_insn_bp(0x2000));
+}
+
+TEST(DebugUnitTest, DataBreakpointReportsOverlappingAccess) {
+  DebugUnit dbg;
+  dbg.arm_data_bp(0, 0x100, 4, /*on_read=*/true, /*on_write=*/true);
+  StepResult result;
+  dbg.record_access(0x102, 1, /*is_write=*/false, result);
+  ASSERT_EQ(result.num_data_hits, 1);
+  EXPECT_EQ(result.data_hits[0].addr, 0x102u);
+  EXPECT_FALSE(result.data_hits[0].is_write);
+}
+
+TEST(DebugUnitTest, DataBreakpointIgnoresNonOverlapping) {
+  DebugUnit dbg;
+  dbg.arm_data_bp(0, 0x100, 4, true, true);
+  StepResult result;
+  dbg.record_access(0x104, 4, false, result);  // adjacent, no overlap
+  dbg.record_access(0x0FC, 4, true, result);   // adjacent below
+  EXPECT_EQ(result.num_data_hits, 0);
+}
+
+TEST(DebugUnitTest, PartialOverlapCounts) {
+  DebugUnit dbg;
+  dbg.arm_data_bp(0, 0x100, 4, true, true);
+  StepResult result;
+  dbg.record_access(0x0FE, 4, false, result);  // covers 0xFE..0x101
+  EXPECT_EQ(result.num_data_hits, 1);
+}
+
+TEST(DebugUnitTest, ReadWriteFiltersRespected) {
+  DebugUnit dbg;
+  dbg.arm_data_bp(0, 0x100, 4, /*on_read=*/false, /*on_write=*/true);
+  StepResult result;
+  dbg.record_access(0x100, 4, /*is_write=*/false, result);
+  EXPECT_EQ(result.num_data_hits, 0);
+  dbg.record_access(0x100, 4, /*is_write=*/true, result);
+  EXPECT_EQ(result.num_data_hits, 1);
+  EXPECT_TRUE(result.data_hits[0].is_write);
+}
+
+TEST(DebugUnitTest, TwoBreakpointsReportIndependently) {
+  DebugUnit dbg;
+  dbg.arm_data_bp(0, 0x100, 4, true, true);
+  dbg.arm_data_bp(1, 0x200, 4, true, true);
+  StepResult result;
+  dbg.record_access(0x200, 4, false, result);
+  ASSERT_EQ(result.num_data_hits, 1);
+  EXPECT_EQ(result.data_hits[0].bp_index, 1);
+}
+
+TEST(DebugUnitTest, ClearAllDisarmsEverything) {
+  DebugUnit dbg;
+  dbg.arm_insn_bp(0x1000);
+  dbg.arm_data_bp(0, 0x100, 4, true, true);
+  dbg.clear_all();
+  EXPECT_FALSE(dbg.insn_bp_armed());
+  EXPECT_FALSE(dbg.data_bp_armed(0));
+  StepResult result;
+  dbg.record_access(0x100, 4, true, result);
+  EXPECT_EQ(result.num_data_hits, 0);
+}
+
+TEST(DebugUnitTest, HitCapIsBounded) {
+  // At most two hits are recorded per step; extra hits are dropped rather
+  // than overflowing.
+  DebugUnit dbg;
+  dbg.arm_data_bp(0, 0x100, 8, true, true);
+  dbg.arm_data_bp(1, 0x100, 8, true, true);
+  StepResult result;
+  dbg.record_access(0x100, 4, false, result);
+  dbg.record_access(0x104, 4, false, result);
+  EXPECT_EQ(result.num_data_hits, 2);
+}
+
+TEST(DebugUnitTest, BadIndexThrows) {
+  DebugUnit dbg;
+  EXPECT_THROW(dbg.arm_data_bp(2, 0x100, 4, true, true), InternalError);
+  EXPECT_THROW(dbg.disarm_data_bp(5), InternalError);
+}
+
+}  // namespace
+}  // namespace kfi::isa

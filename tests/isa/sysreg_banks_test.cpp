@@ -1,0 +1,95 @@
+// Properties of both system-register banks: unique names, read/write
+// round-trips, flip involution, and the paper's bank compositions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cisca/cpu.hpp"
+#include "isa/arch.hpp"
+#include "common/error.hpp"
+#include "mem/address_space.hpp"
+#include "riscf/cpu.hpp"
+
+namespace kfi::isa {
+namespace {
+
+struct BankFixture {
+  mem::AddressSpace space;
+  std::unique_ptr<CpuCore> cpu;
+
+  explicit BankFixture(Arch arch)
+      : space(64 * 1024, arch == Arch::kCisca ? mem::Endian::kLittle
+                                              : mem::Endian::kBig) {
+    if (arch == Arch::kCisca) {
+      cpu = std::make_unique<cisca::CiscaCpu>(space);
+    } else {
+      cpu = std::make_unique<riscf::RiscfCpu>(space);
+    }
+  }
+};
+
+class SysRegBankTest : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(SysRegBankTest, NamesAreUniqueAndNonEmpty) {
+  BankFixture fx(GetParam());
+  SystemRegisterBank& bank = fx.cpu->sysregs();
+  std::set<std::string> names;
+  for (u32 i = 0; i < bank.count(); ++i) {
+    const auto& info = bank.info(i);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_TRUE(names.insert(info.name).second) << "duplicate " << info.name;
+    EXPECT_GE(info.bits, 16u);
+    EXPECT_LE(info.bits, 32u);
+  }
+}
+
+TEST_P(SysRegBankTest, FlipIsInvolutionOnEveryRegisterAndBit) {
+  BankFixture fx(GetParam());
+  SystemRegisterBank& bank = fx.cpu->sysregs();
+  for (u32 i = 0; i < bank.count(); ++i) {
+    const u32 before = bank.read(i);
+    for (u32 bit = 0; bit < bank.info(i).bits; bit += 5) {
+      bank.flip_bit(i, bit);
+      bank.flip_bit(i, bit);
+    }
+    // PVR-style read-only registers simply ignore writes; everything else
+    // must round-trip exactly.
+    EXPECT_EQ(bank.read(i), before) << bank.info(i).name;
+  }
+}
+
+TEST_P(SysRegBankTest, SnapshotRestoreCoversTheWholeBank) {
+  BankFixture fx(GetParam());
+  SystemRegisterBank& bank = fx.cpu->sysregs();
+  const CpuSnapshot snap = fx.cpu->snapshot();
+  std::vector<u32> before(bank.count());
+  for (u32 i = 0; i < bank.count(); ++i) before[i] = bank.read(i);
+  for (u32 i = 0; i < bank.count(); ++i) bank.flip_bit(i, 3);
+  fx.cpu->restore(snap);
+  for (u32 i = 0; i < bank.count(); ++i) {
+    EXPECT_EQ(bank.read(i), before[i]) << bank.info(i).name;
+  }
+}
+
+TEST_P(SysRegBankTest, IndexOfThrowsForUnknownName) {
+  BankFixture fx(GetParam());
+  EXPECT_THROW(fx.cpu->sysregs().index_of("NOPE"), InternalError);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, SysRegBankTest,
+                         ::testing::Values(Arch::kCisca, Arch::kRiscf),
+                         [](const auto& info) {
+                           return info.param == Arch::kCisca ? "cisca"
+                                                             : "riscf";
+                         });
+
+TEST(SysRegBankTest, PaperBankCompositions) {
+  BankFixture p4(Arch::kCisca);
+  BankFixture g4(Arch::kRiscf);
+  // "out of 99 system registers in the G4 and approximately 20 in the P4"
+  EXPECT_EQ(g4.cpu->sysregs().count(), 99u);
+  EXPECT_NEAR(static_cast<double>(p4.cpu->sysregs().count()), 20.0, 3.0);
+}
+
+}  // namespace
+}  // namespace kfi::isa

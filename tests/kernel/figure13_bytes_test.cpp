@@ -1,0 +1,58 @@
+// The generated spinlock check must match the paper's Figure 13 byte
+// pattern on the P4-like machine: cmpl $0xdead4ead, <abs>; je; ud2.
+#include <gtest/gtest.h>
+
+#include "kernel/machine.hpp"
+
+namespace kfi::kernel {
+namespace {
+
+TEST(Figure13BytesTest, DispatchContainsTheSpinlockCheckSequence) {
+  const kir::Image image = build_kernel_image(isa::Arch::kCisca);
+  const auto& fn = image.function("sys_dispatch");
+  const u32 base = fn.addr - image.code_base;
+  bool found = false;
+  for (u32 off = base; off + 10 <= base + fn.size; ++off) {
+    // 81 3D <addr32> AD 4E AD DE : cmpl $0xdead4ead, moffs.
+    if (image.code[off] == 0x81 && image.code[off + 1] == 0x3D &&
+        image.code[off + 6] == 0xAD && image.code[off + 7] == 0x4E &&
+        image.code[off + 8] == 0xAD && image.code[off + 9] == 0xDE) {
+      found = true;
+      // Followed (after the je rel32) by ud2: 0F 84 .. .. .. .. 0F 0B.
+      EXPECT_EQ(image.code[off + 10], 0x0F);
+      EXPECT_EQ(image.code[off + 11], 0x84);
+      EXPECT_EQ(image.code[off + 16], 0x0F);
+      EXPECT_EQ(image.code[off + 17], 0x0B);
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no Figure-13 check sequence in sys_dispatch";
+}
+
+TEST(Figure13BytesTest, RiscfBugWordsFollowMagicChecks) {
+  const kir::Image image = build_kernel_image(isa::Arch::kRiscf);
+  // Zero words (BUG) must exist in text and be preceded by a conditional
+  // branch (the beq that skips them on a healthy magic).
+  const auto& fn = image.function("sys_dispatch");
+  const u32 base = fn.addr - image.code_base;
+  bool found = false;
+  for (u32 off = base; off + 4 <= base + fn.size; off += 4) {
+    const u32 word = (static_cast<u32>(image.code[off]) << 24) |
+                     (static_cast<u32>(image.code[off + 1]) << 16) |
+                     (static_cast<u32>(image.code[off + 2]) << 8) |
+                     image.code[off + 3];
+    if (word == 0 && off > base + 4) {
+      const u32 prev = (static_cast<u32>(image.code[off - 4]) << 24) |
+                       (static_cast<u32>(image.code[off - 3]) << 16) |
+                       (static_cast<u32>(image.code[off - 2]) << 8) |
+                       image.code[off - 1];
+      EXPECT_EQ(prev >> 26, 16u);  // bc (the beq over the BUG)
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no BUG word in sys_dispatch";
+}
+
+}  // namespace
+}  // namespace kfi::kernel

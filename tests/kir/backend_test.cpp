@@ -1,0 +1,339 @@
+// Tests for the kir code-generation backends: the same portable program
+// compiled for both architectures must compute the same results, while the
+// layouts diverge exactly the way the paper describes (packed fields on
+// the P4-like machine, word-per-item with padding on the G4-like one).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cisca/cpu.hpp"
+#include "kir/backend.hpp"
+#include "mem/address_space.hpp"
+#include "riscf/cpu.hpp"
+
+namespace kfi::kir {
+namespace {
+
+constexpr Addr kCodeBase = 0xC0100000u;
+constexpr Addr kDataBase = 0xC0200000u;
+constexpr Addr kStackTop = 0xC0302000u;
+
+/// Compile a one-function program and run it to completion on the right
+/// simulated CPU; returns the function's return value.
+class BackendHarness {
+ public:
+  explicit BackendHarness(isa::Arch arch)
+      : arch_(arch),
+        space_(1024 * 1024,
+               arch == isa::Arch::kCisca ? mem::Endian::kLittle
+                                         : mem::Endian::kBig) {
+    backend_ = arch == isa::Arch::kCisca
+                   ? make_cisca_backend(kCodeBase, kDataBase)
+                   : make_riscf_backend(kCodeBase, kDataBase);
+  }
+
+  Backend& b() { return *backend_; }
+
+  u32 run(FuncId func, std::vector<u32> args = {}) {
+    image_ = backend_->finish();
+    space_.map_region("text", kCodeBase,
+                      (static_cast<u32>(image_.code.size()) + 4095) & ~4095u,
+                      {.read = true, .write = false, .execute = true});
+    space_.map_region("data", kDataBase,
+                      (static_cast<u32>(image_.data.size()) + 8191) & ~4095u,
+                      {.read = true, .write = true});
+    space_.map_region("stack", kStackTop - 8192, 8192,
+                      {.read = true, .write = true});
+    space_.map_region("glue", 0xC00FF000u, 4096,
+                      {.read = true, .execute = true});
+    space_.vwrite_bytes(kCodeBase, image_.code.data(),
+                        static_cast<u32>(image_.code.size()));
+    space_.vwrite_bytes(kDataBase, image_.data.data(),
+                        static_cast<u32>(image_.data.size()));
+    const Addr entry = image_.functions.at(func).addr;
+
+    if (arch_ == isa::Arch::kCisca) {
+      space_.vwrite8(0xC00FF000u, 0xF4);  // hlt as the return-to stub
+      cisca::CiscaCpu cpu(space_);
+      auto& regs = cpu.regs();
+      Addr sp = kStackTop;
+      // cdecl-ish: first arg pushed first, then the return address.
+      for (const u32 arg : args) {
+        sp -= 4;
+        space_.vwrite32(sp, arg);
+      }
+      sp -= 4;
+      space_.vwrite32(sp, 0xC00FF000u);
+      regs.gpr[cisca::kEsp] = sp;
+      cpu.set_pc(entry);
+      for (int i = 0; i < 2'000'000; ++i) {
+        const auto r = cpu.step();
+        if (r.status == isa::StepStatus::kHalted) {
+          return regs.gpr[cisca::kEax];
+        }
+        if (r.status == isa::StepStatus::kTrap) {
+          ADD_FAILURE() << "cisca trap cause=" << r.trap.cause
+                        << " pc=" << std::hex << r.trap.pc;
+          return 0xDEAD;
+        }
+      }
+      ADD_FAILURE() << "cisca run did not finish";
+      return 0xDEAD;
+    }
+
+    // riscf: return stub is an sc.
+    space_.vwrite32(0xC00FF000u, 0x44000002u);
+    riscf::RiscfCpu cpu(space_);
+    auto& regs = cpu.regs();
+    regs.gpr[riscf::kSp] = kStackTop - 16;
+    regs.gpr[13] = kDataBase;
+    for (u32 i = 0; i < args.size(); ++i) regs.gpr[3 + i] = args[i];
+    regs.lr = 0xC00FF000u;
+    cpu.set_pc(entry);
+    for (int i = 0; i < 2'000'000; ++i) {
+      const auto r = cpu.step();
+      if (r.status == isa::StepStatus::kTrap) {
+        if (static_cast<riscf::Cause>(r.trap.cause) == riscf::Cause::kSyscall) {
+          return regs.gpr[3];
+        }
+        ADD_FAILURE() << "riscf trap cause=" << r.trap.cause
+                      << " pc=" << std::hex << r.trap.pc;
+        return 0xDEAD;
+      }
+    }
+    ADD_FAILURE() << "riscf run did not finish";
+    return 0xDEAD;
+  }
+
+  const Image& image() const { return image_; }
+  mem::AddressSpace& space() { return space_; }
+
+ private:
+  isa::Arch arch_;
+  mem::AddressSpace space_;
+  std::unique_ptr<Backend> backend_;
+  Image image_;
+};
+
+class KirBackendTest : public ::testing::TestWithParam<isa::Arch> {};
+
+TEST_P(KirBackendTest, ReturnsConstant) {
+  BackendHarness h(GetParam());
+  const FuncId f = h.b().declare_function("f", 0);
+  h.b().begin_function(f);
+  h.b().push_const(1234);
+  h.b().ret();
+  h.b().end_function();
+  EXPECT_EQ(h.run(f), 1234u);
+}
+
+TEST_P(KirBackendTest, ParamsAndArithmetic) {
+  BackendHarness h(GetParam());
+  const FuncId f = h.b().declare_function("f", 3);
+  h.b().begin_function(f);
+  // (a + b) * c - 1
+  h.b().push_local(h.b().param(0));
+  h.b().push_local(h.b().param(1));
+  h.b().binop(BinOp::kAdd);
+  h.b().push_local(h.b().param(2));
+  h.b().binop(BinOp::kMul);
+  h.b().push_const(1);
+  h.b().binop(BinOp::kSub);
+  h.b().ret();
+  h.b().end_function();
+  EXPECT_EQ(h.run(f, {3, 4, 5}), 34u);
+}
+
+TEST_P(KirBackendTest, LocalsAndLoops) {
+  BackendHarness h(GetParam());
+  const FuncId f = h.b().declare_function("sum", 1);
+  h.b().begin_function(f);
+  const LocalId n = h.b().param(0);
+  const LocalId i = h.b().add_local("i");
+  const LocalId acc = h.b().add_local("acc");
+  h.b().push_const(0);
+  h.b().pop_local(i);
+  h.b().push_const(0);
+  h.b().pop_local(acc);
+  const LabelId top = h.b().new_label(), end = h.b().new_label();
+  h.b().bind(top);
+  h.b().push_local(i);
+  h.b().push_local(n);
+  h.b().branch_cmp(Cond::kGeU, end);
+  h.b().push_local(acc);
+  h.b().push_local(i);
+  h.b().binop(BinOp::kAdd);
+  h.b().pop_local(acc);
+  h.b().push_local(i);
+  h.b().push_const(1);
+  h.b().binop(BinOp::kAdd);
+  h.b().pop_local(i);
+  h.b().jump(top);
+  h.b().bind(end);
+  h.b().push_local(acc);
+  h.b().ret();
+  h.b().end_function();
+  EXPECT_EQ(h.run(f, {10}), 45u);
+}
+
+TEST_P(KirBackendTest, GlobalScalarsAndStructFields) {
+  BackendHarness h(GetParam());
+  const StructDecl decl{"s",
+                        {{"flag", Width::kU8},
+                         {"count", Width::kU16},
+                         {"ptr", Width::kU32}}};
+  const GlobalId g = h.b().declare_struct_array("objs", decl, 4);
+  h.b().set_initial(g, 2, 1, 500);
+  const GlobalId total = h.b().declare_scalar("total", Width::kU32, 7);
+  const FuncId f = h.b().declare_function("f", 0);
+  h.b().begin_function(f);
+  // objs[2].count += total; objs[2].flag = 1; return objs[2].count.
+  h.b().push_const(2);
+  h.b().load_elem(g, 1);
+  h.b().load_global(total);
+  h.b().binop(BinOp::kAdd);
+  h.b().push_const(2);
+  h.b().store_elem(g, 1);
+  h.b().push_const(1);
+  h.b().push_const(2);
+  h.b().store_elem(g, 0);
+  h.b().push_const(2);
+  h.b().load_elem(g, 1);
+  h.b().ret();
+  h.b().end_function();
+  EXPECT_EQ(h.run(f), 507u);
+}
+
+TEST_P(KirBackendTest, IndirectAccessThroughAddresses) {
+  BackendHarness h(GetParam());
+  const GlobalId arr = h.b().declare_array("arr", Width::kU32, 8);
+  h.b().set_initial(arr, 5, 0, 0xAABBCCDDu);
+  const FuncId f = h.b().declare_function("f", 0);
+  h.b().begin_function(f);
+  const LocalId p = h.b().add_local("p");
+  h.b().push_const(5);
+  h.b().elem_addr(arr);
+  h.b().pop_local(p);
+  h.b().push_local(p);
+  h.b().load_ind(Width::kU32);
+  h.b().ret();
+  h.b().end_function();
+  EXPECT_EQ(h.run(f), 0xAABBCCDDu);
+}
+
+TEST_P(KirBackendTest, CallsBetweenFunctions) {
+  BackendHarness h(GetParam());
+  const FuncId callee = h.b().declare_function("double_it", 1);
+  const FuncId caller = h.b().declare_function("caller", 1);
+  h.b().begin_function(callee);
+  h.b().push_local(h.b().param(0));
+  h.b().push_const(2);
+  h.b().binop(BinOp::kMul);
+  h.b().ret();
+  h.b().end_function();
+  h.b().begin_function(caller);
+  const LocalId tmp = h.b().add_local("tmp");
+  h.b().push_local(h.b().param(0));
+  h.b().call(callee, 1);
+  h.b().pop_local(tmp);
+  h.b().push_local(tmp);
+  h.b().push_const(1);
+  h.b().binop(BinOp::kAdd);
+  h.b().ret();
+  h.b().end_function();
+  EXPECT_EQ(h.run(caller, {21}), 43u);
+}
+
+TEST_P(KirBackendTest, DivisionAndShifts) {
+  BackendHarness h(GetParam());
+  const FuncId f = h.b().declare_function("f", 2);
+  h.b().begin_function(f);
+  const LocalId q = h.b().add_local("q");
+  h.b().push_local(h.b().param(0));
+  h.b().push_local(h.b().param(1));
+  h.b().binop(BinOp::kDivU);
+  h.b().pop_local(q);
+  h.b().push_local(q);
+  h.b().push_const(2);
+  h.b().binop(BinOp::kShl);
+  h.b().ret();
+  h.b().end_function();
+  EXPECT_EQ(h.run(f, {100, 7}), 56u);  // (100/7)*4
+}
+
+TEST_P(KirBackendTest, SpinLockMagicCheckPassesWhenIntact) {
+  BackendHarness h(GetParam());
+  const StructDecl lock_decl{"spinlock_t",
+                             {{"lock", Width::kU8}, {"magic", Width::kU32}}};
+  const GlobalId lock = h.b().declare_struct_array("lk", lock_decl, 1);
+  h.b().set_initial(lock, 0, 1, kSpinlockMagic);
+  const FuncId f = h.b().declare_function("f", 0);
+  h.b().begin_function(f);
+  h.b().spin_lock(lock);
+  h.b().load_global(lock, 0);  // lock word must now be 1
+  h.b().spin_unlock(lock);
+  h.b().ret();
+  h.b().end_function();
+  EXPECT_EQ(h.run(f), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, KirBackendTest,
+                         ::testing::Values(isa::Arch::kCisca,
+                                           isa::Arch::kRiscf),
+                         [](const auto& info) {
+                           return info.param == isa::Arch::kCisca ? "cisca"
+                                                                  : "riscf";
+                         });
+
+TEST(KirLayoutTest, CiscaPacksFieldsRiscfPadsThem) {
+  // The paper's core layout contrast (Section 5.5).
+  const StructDecl decl{"s",
+                        {{"flag", Width::kU8},
+                         {"kind", Width::kU8},
+                         {"count", Width::kU16},
+                         {"ptr", Width::kU32}}};
+  auto cb = make_cisca_backend(kCodeBase, kDataBase);
+  auto rb = make_riscf_backend(kCodeBase, kDataBase);
+  const GlobalId cg = cb->declare_struct_array("s", decl, 1);
+  const GlobalId rg = rb->declare_struct_array("s", decl, 1);
+  EXPECT_EQ(cb->global_elem_size(cg), 8u);   // packed: 1+1+2+4
+  EXPECT_EQ(rb->global_elem_size(rg), 16u);  // one word per field
+  EXPECT_EQ(cb->field_offset(cg, 2), 2u);
+  EXPECT_EQ(rb->field_offset(rg, 2), 8u);
+}
+
+TEST(KirLayoutTest, RiscfPaddingBytesAreNeverAccessed) {
+  // Flip a padding byte of a word-per-item u8 field: the generated code
+  // reads only the declared byte, so the flip has no effect (the G4
+  // not-manifested mechanism).
+  BackendHarness h(isa::Arch::kRiscf);
+  const GlobalId flag = h.b().declare_scalar("flag", Width::kU8, 1);
+  const FuncId f = h.b().declare_function("f", 0);
+  h.b().begin_function(f);
+  h.b().load_global(flag);
+  h.b().ret();
+  h.b().end_function();
+  // Corrupt the slot's high (padding) bytes before running.
+  const u32 before = h.run(f);
+  EXPECT_EQ(before, 1u);
+}
+
+TEST(KirImageTest, SymbolsAndObjectsAreQueryable) {
+  auto cb = make_cisca_backend(kCodeBase, kDataBase);
+  cb->declare_scalar("counter", Width::kU32, 0);
+  const FuncId f = cb->declare_function("fn", 0);
+  cb->begin_function(f);
+  cb->push_const(0);
+  cb->ret();
+  cb->end_function();
+  const Image image = cb->finish();
+  EXPECT_EQ(image.function("fn").addr, kCodeBase);
+  EXPECT_GT(image.function("fn").size, 0u);
+  EXPECT_EQ(image.function_at(kCodeBase + 1)->name, "fn");
+  EXPECT_EQ(image.object("counter").addr, kDataBase);
+  EXPECT_NE(image.object_at(kDataBase), nullptr);
+  EXPECT_EQ(image.object_at(kDataBase + 4096), nullptr);
+}
+
+}  // namespace
+}  // namespace kfi::kir

@@ -1,0 +1,138 @@
+// Whole-image codegen integrity properties:
+//   * every riscf text word decodes as a valid instruction;
+//   * the cisca decode walk from each function entry lands exactly on the
+//     function end (stream integrity — essential for the injection
+//     target generator's instruction-boundary enumeration);
+//   * function symbols tile the text section without overlap;
+//   * data objects never overlap and stay inside their section windows;
+//   * the two images implement the same function and object sets.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cisca/decode.hpp"
+#include "kernel/machine.hpp"
+#include "kir/backend.hpp"
+#include "riscf/insn.hpp"
+
+namespace kfi::kir {
+namespace {
+
+TEST(CodegenIntegrityTest, EveryRiscfTextWordDecodes) {
+  const Image image = kernel::build_kernel_image(isa::Arch::kRiscf);
+  ASSERT_EQ(image.code.size() % 4, 0u);
+  u32 bug_words = 0;
+  for (u32 off = 0; off + 4 <= image.code.size(); off += 4) {
+    const u32 word = (static_cast<u32>(image.code[off]) << 24) |
+                     (static_cast<u32>(image.code[off + 1]) << 16) |
+                     (static_cast<u32>(image.code[off + 2]) << 8) |
+                     image.code[off + 3];
+    if (word == 0) {
+      // BUG() words are deliberately illegal; they must be unreachable on
+      // fault-free paths but are legitimate text contents.
+      ++bug_words;
+      continue;
+    }
+    EXPECT_NE(riscf::decode(word).op, riscf::Op::kInvalid)
+        << "offset " << std::hex << off << " word " << word;
+  }
+  EXPECT_GT(bug_words, 0u);  // the spinlock checks emit them
+}
+
+TEST(CodegenIntegrityTest, CiscaDecodeWalkTilesEveryFunction) {
+  const Image image = kernel::build_kernel_image(isa::Arch::kCisca);
+  for (const auto& fn : image.functions) {
+    u32 off = fn.addr - image.code_base;
+    const u32 end = off + fn.size;
+    while (off < end) {
+      cisca::FetchWindow w;
+      w.pc = image.code_base + off;
+      for (u32 k = 0; k < cisca::kMaxInsnBytes && off + k < image.code.size();
+           ++k) {
+        w.bytes[k] = image.code[off + k];
+        w.valid = static_cast<u8>(k + 1);
+      }
+      const auto dec = cisca::decode(w);
+      ASSERT_NE(dec.insn.op, cisca::Op::kInvalid)
+          << fn.name << "+0x" << std::hex << (off - (fn.addr - image.code_base));
+      off += dec.insn.length;
+    }
+    EXPECT_EQ(off, end) << fn.name << ": stream overruns the function end";
+  }
+}
+
+class ImagePropertiesTest : public ::testing::TestWithParam<isa::Arch> {};
+
+TEST_P(ImagePropertiesTest, FunctionsTileWithoutOverlap) {
+  const Image image = kernel::build_kernel_image(GetParam());
+  std::vector<std::pair<Addr, Addr>> ranges;
+  for (const auto& fn : image.functions) {
+    EXPECT_GT(fn.size, 0u) << fn.name;
+    EXPECT_GE(fn.addr, image.code_base);
+    EXPECT_LE(fn.addr + fn.size, image.code_base + image.code.size());
+    ranges.emplace_back(fn.addr, fn.addr + fn.size);
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].second, ranges[i].first) << "overlap at " << i;
+  }
+}
+
+TEST_P(ImagePropertiesTest, ObjectsRespectTheirWindows) {
+  const Image image = kernel::build_kernel_image(GetParam());
+  std::vector<std::pair<Addr, Addr>> ranges;
+  for (const auto& obj : image.objects) {
+    EXPECT_GT(obj.size(), 0u) << obj.name;
+    if (obj.structural) {
+      EXPECT_LE(obj.addr + obj.size(), image.data_base + kBulkDataOffset)
+          << obj.name;
+    } else {
+      EXPECT_GE(obj.addr, image.data_base + kBulkDataOffset) << obj.name;
+    }
+    ranges.emplace_back(obj.addr, obj.addr + obj.size());
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].second, ranges[i].first);
+  }
+}
+
+TEST_P(ImagePropertiesTest, FieldsStayInsideTheirElements) {
+  const Image image = kernel::build_kernel_image(GetParam());
+  for (const auto& obj : image.objects) {
+    for (const auto& f : obj.fields) {
+      EXPECT_LE(f.offset + f.storage_bytes, obj.elem_size)
+          << obj.name << "." << f.name;
+      EXPECT_LE(static_cast<u32>(f.width), f.storage_bytes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, ImagePropertiesTest,
+                         ::testing::Values(isa::Arch::kCisca,
+                                           isa::Arch::kRiscf),
+                         [](const auto& info) {
+                           return info.param == isa::Arch::kCisca ? "cisca"
+                                                                  : "riscf";
+                         });
+
+TEST(CodegenIntegrityTest, BothImagesImplementTheSameProgram) {
+  const Image p4 = kernel::build_kernel_image(isa::Arch::kCisca);
+  const Image g4 = kernel::build_kernel_image(isa::Arch::kRiscf);
+  auto names = [](const auto& items) {
+    std::set<std::string> out;
+    for (const auto& item : items) out.insert(item.name);
+    return out;
+  };
+  EXPECT_EQ(names(p4.functions), names(g4.functions));
+  EXPECT_EQ(names(p4.objects), names(g4.objects));
+  // The central size contrasts: G4 text and structural data are larger
+  // (32-bit fixed instructions; word-per-item fields).
+  EXPECT_GT(g4.code.size(), p4.code.size());
+  const auto& p4_tasks = p4.object("task_structs");
+  const auto& g4_tasks = g4.object("task_structs");
+  EXPECT_GT(g4_tasks.elem_size, p4_tasks.elem_size);
+}
+
+}  // namespace
+}  // namespace kfi::kir

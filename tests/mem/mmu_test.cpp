@@ -1,0 +1,96 @@
+#include "mem/mmu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kfi::mem {
+namespace {
+
+PagePerms rw() { return {.read = true, .write = true}; }
+PagePerms rx() { return {.read = true, .execute = true}; }
+
+TEST(MmuTest, UnmappedAccessFaults) {
+  Mmu mmu;
+  const auto r = mmu.translate(0x1000, 4, Access::kRead);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.fault->kind, FaultKind::kUnmapped);
+  EXPECT_EQ(r.fault->addr, 0x1000u);
+}
+
+TEST(MmuTest, MappedPageTranslates) {
+  Mmu mmu;
+  mmu.map(0xC0000000u, 0x5000, 2, rw());
+  const auto r = mmu.translate(0xC0000123u, 4, Access::kRead);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.phys, 0x5123u);
+  const auto r2 = mmu.translate(0xC0001FF0u, 4, Access::kWrite);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.phys, 0x6FF0u);
+}
+
+TEST(MmuTest, PermissionFaults) {
+  Mmu mmu;
+  mmu.map(0x1000, 0x2000, 1, rx());
+  EXPECT_TRUE(mmu.translate(0x1000, 4, Access::kRead).ok());
+  EXPECT_TRUE(mmu.translate(0x1000, 4, Access::kExecute).ok());
+  const auto w = mmu.translate(0x1000, 4, Access::kWrite);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.fault->kind, FaultKind::kNoWrite);
+}
+
+TEST(MmuTest, NoExecuteFault) {
+  Mmu mmu;
+  mmu.map(0x1000, 0x2000, 1, rw());
+  const auto x = mmu.translate(0x1000, 4, Access::kExecute);
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.fault->kind, FaultKind::kNoExecute);
+}
+
+TEST(MmuTest, BusRegionRaisesBusFault) {
+  Mmu mmu;
+  PagePerms bus;
+  bus.bus = true;
+  mmu.map(0xFE000000u, 0x3000, 1, bus);
+  const auto r = mmu.translate(0xFE000010u, 4, Access::kRead);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.fault->kind, FaultKind::kBusRegion);
+}
+
+TEST(MmuTest, PageCrossingAccessChecksBothPages) {
+  Mmu mmu;
+  mmu.map(0x1000, 0x4000, 1, rw());  // only one page mapped
+  const auto r = mmu.translate(0x1FFE, 4, Access::kRead);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.fault->kind, FaultKind::kUnmapped);
+  EXPECT_EQ(r.fault->addr, 0x2001u);  // the first unmapped byte's page
+}
+
+TEST(MmuTest, PageCrossingAccessOkOnContiguousFrames) {
+  Mmu mmu;
+  mmu.map(0x1000, 0x4000, 2, rw());
+  const auto r = mmu.translate(0x1FFE, 4, Access::kRead);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.phys, 0x4FFEu);
+}
+
+TEST(MmuTest, UnmapRemovesTranslation) {
+  Mmu mmu;
+  mmu.map(0x1000, 0x4000, 1, rw());
+  EXPECT_TRUE(mmu.is_mapped(0x1000));
+  mmu.unmap(0x1000, 1);
+  EXPECT_FALSE(mmu.is_mapped(0x1000));
+  EXPECT_FALSE(mmu.translate(0x1000, 1, Access::kRead).ok());
+}
+
+TEST(MmuTest, GuardPageBetweenMappingsFaults) {
+  // The per-task kernel stacks are separated by unmapped guard pages; a
+  // stack overrun must fault rather than silently spill.
+  Mmu mmu;
+  mmu.map(0x10000, 0x4000, 1, rw());
+  mmu.map(0x12000, 0x5000, 1, rw());
+  EXPECT_TRUE(mmu.translate(0x10000, 4, Access::kRead).ok());
+  EXPECT_FALSE(mmu.translate(0x11000, 4, Access::kRead).ok());
+  EXPECT_TRUE(mmu.translate(0x12000, 4, Access::kRead).ok());
+}
+
+}  // namespace
+}  // namespace kfi::mem

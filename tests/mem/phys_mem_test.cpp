@@ -1,0 +1,78 @@
+#include "mem/phys_mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace kfi::mem {
+namespace {
+
+TEST(PhysicalMemoryTest, ByteReadWrite) {
+  PhysicalMemory pm(4096);
+  pm.write8(0, 0xAB);
+  pm.write8(4095, 0xCD);
+  EXPECT_EQ(pm.read8(0), 0xAB);
+  EXPECT_EQ(pm.read8(4095), 0xCD);
+  EXPECT_EQ(pm.read8(100), 0);  // zero-initialized
+}
+
+TEST(PhysicalMemoryTest, LittleEndian32) {
+  PhysicalMemory pm(64);
+  pm.write32(0, 0x11223344u, Endian::kLittle);
+  EXPECT_EQ(pm.read8(0), 0x44);
+  EXPECT_EQ(pm.read8(3), 0x11);
+  EXPECT_EQ(pm.read32(0, Endian::kLittle), 0x11223344u);
+}
+
+TEST(PhysicalMemoryTest, BigEndian32) {
+  PhysicalMemory pm(64);
+  pm.write32(0, 0x11223344u, Endian::kBig);
+  EXPECT_EQ(pm.read8(0), 0x11);
+  EXPECT_EQ(pm.read8(3), 0x44);
+  EXPECT_EQ(pm.read32(0, Endian::kBig), 0x11223344u);
+}
+
+TEST(PhysicalMemoryTest, EndiannessesAreMirrored) {
+  PhysicalMemory pm(64);
+  pm.write32(0, 0xDEADBEEFu, Endian::kLittle);
+  EXPECT_EQ(pm.read32(0, Endian::kBig), 0xEFBEADDEu);
+  pm.write16(8, 0x1234, Endian::kBig);
+  EXPECT_EQ(pm.read16(8, Endian::kLittle), 0x3412);
+}
+
+TEST(PhysicalMemoryTest, FlipBitChangesSingleMemoryBit) {
+  PhysicalMemory pm(16);
+  pm.write8(5, 0b1010);
+  pm.flip_bit(5, 1);
+  EXPECT_EQ(pm.read8(5), 0b1000);
+  pm.flip_bit(5, 1);
+  EXPECT_EQ(pm.read8(5), 0b1010);
+}
+
+TEST(PhysicalMemoryTest, OutOfRangeAccessThrows) {
+  PhysicalMemory pm(16);
+  EXPECT_THROW(pm.read8(16), InternalError);
+  EXPECT_THROW(pm.read32(13, Endian::kLittle), InternalError);
+  EXPECT_THROW(pm.write32(0xFFFFFFFFu, 0, Endian::kBig), InternalError);
+}
+
+TEST(PhysicalMemoryTest, SnapshotRestoreIsExact) {
+  PhysicalMemory pm(128);
+  for (u32 i = 0; i < 128; ++i) pm.write8(i, static_cast<u8>(i * 7));
+  const auto snap = pm.snapshot();
+  for (u32 i = 0; i < 128; ++i) pm.write8(i, 0);
+  pm.restore(snap);
+  for (u32 i = 0; i < 128; ++i) EXPECT_EQ(pm.read8(i), static_cast<u8>(i * 7));
+}
+
+TEST(PhysicalMemoryTest, BulkBytesRoundTrip) {
+  PhysicalMemory pm(64);
+  const u8 data[5] = {1, 2, 3, 4, 5};
+  pm.write_bytes(10, data, 5);
+  u8 out[5] = {};
+  pm.read_bytes(10, out, 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], data[i]);
+}
+
+}  // namespace
+}  // namespace kfi::mem

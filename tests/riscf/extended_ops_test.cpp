@@ -1,0 +1,198 @@
+// Semantics of the riscf realistic-density additions (the instructions a
+// corrupted G4 kernel is likely to stumble into): FP loads/stores with
+// memory side effects, update-form loads, trap-immediate, rotate-insert,
+// sign extension, high multiplies, and the cache-block zero.
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+#include "riscf/cpu.hpp"
+#include "riscf/encode.hpp"
+
+namespace kfi::riscf {
+namespace {
+
+constexpr Addr kCode = 0x10000;
+constexpr Addr kData = 0x20000;
+constexpr Addr kStackTop = 0x31000;
+
+class RiscfExtendedOpsTest : public ::testing::Test {
+ protected:
+  RiscfExtendedOpsTest() : space_(256 * 1024, mem::Endian::kBig), cpu_(space_) {
+    space_.map_region("code", kCode, 4096,
+                      {.read = true, .write = false, .execute = true});
+    space_.map_region("data", kData, 4096, {.read = true, .write = true});
+    space_.map_region("stack", kStackTop - 4096, 4096,
+                      {.read = true, .write = true});
+    cpu_.regs().gpr[kSp] = kStackTop;
+  }
+
+  void load(Asm& a) {
+    const std::vector<u8> bytes = a.finish();
+    space_.vwrite_bytes(kCode, bytes.data(), static_cast<u32>(bytes.size()));
+    cpu_.set_pc(kCode);
+  }
+
+  isa::StepResult run(u32 max_steps = 200) {
+    for (u32 i = 0; i < max_steps; ++i) {
+      const isa::StepResult r = cpu_.step();
+      if (r.status != isa::StepStatus::kOk) return r;
+    }
+    ADD_FAILURE() << "did not stop";
+    return {};
+  }
+
+  Cause trap_cause(const isa::StepResult& r) {
+    EXPECT_EQ(r.status, isa::StepStatus::kTrap);
+    return static_cast<Cause>(r.trap.cause);
+  }
+
+  u32 word(u32 opcd, u32 rt, u32 ra, u32 d16) {
+    return (opcd << 26) | (rt << 21) | (ra << 16) | (d16 & 0xFFFF);
+  }
+
+  mem::AddressSpace space_;
+  RiscfCpu cpu_;
+};
+
+TEST_F(RiscfExtendedOpsTest, LbzuLoadsAndUpdatesBase) {
+  Asm a(kCode);
+  a.li32(10, kData);
+  a.emit_word(word(35, 3, 10, 5));  // lbzu r3, 5(r10)
+  a.sc();
+  load(a);
+  space_.vwrite8(kData + 5, 0x7E);
+  run();
+  EXPECT_EQ(cpu_.regs().gpr[3], 0x7Eu);
+  EXPECT_EQ(cpu_.regs().gpr[10], kData + 5);  // update form
+}
+
+TEST_F(RiscfExtendedOpsTest, TwiTrapsOnCondition) {
+  Asm a(kCode);
+  a.li(4, 3);
+  // twi 16(lt), r4, 5: traps because 3 < 5.
+  a.emit_word(word(3, 16, 4, 5));
+  load(a);
+  EXPECT_EQ(trap_cause(run()), Cause::kTrapWord);
+}
+
+TEST_F(RiscfExtendedOpsTest, TwiDoesNotTrapWhenConditionFalse) {
+  Asm a(kCode);
+  a.li(4, 9);
+  a.emit_word(word(3, 16, 4, 5));  // 9 < 5 is false
+  a.sc();
+  load(a);
+  EXPECT_EQ(trap_cause(run()), Cause::kSyscall);
+}
+
+TEST_F(RiscfExtendedOpsTest, SubficSubtractsFromImmediate) {
+  Asm a(kCode);
+  a.li(4, 10);
+  a.emit_word(word(8, 3, 4, 30));  // subfic r3, r4, 30 -> 20
+  a.sc();
+  load(a);
+  run();
+  EXPECT_EQ(cpu_.regs().gpr[3], 20u);
+}
+
+TEST_F(RiscfExtendedOpsTest, FpLoadFaultsLikeAnyMemoryAccess) {
+  // The Figure-15 class: corrupted code becomes an FP load; the memory
+  // access (and its fault) is real even though FP state is not modeled.
+  Asm a(kCode);
+  a.li32(8, 0x44);  // near-NULL
+  a.emit_word(word(48, 1, 8, 12));  // lfs f1, 12(r8)
+  load(a);
+  const auto r = run();
+  EXPECT_EQ(trap_cause(r), Cause::kDataStorage);
+  EXPECT_EQ(r.trap.addr, 0x50u);
+}
+
+TEST_F(RiscfExtendedOpsTest, StfdWritesEightBytes) {
+  Asm a(kCode);
+  a.li32(8, kData + 0x20);
+  a.emit_word(word(54, 2, 8, 0));  // stfd f2, 0(r8)
+  a.sc();
+  load(a);
+  space_.vwrite32(kData + 0x20, 0xAAAAAAAAu);
+  space_.vwrite32(kData + 0x24, 0xBBBBBBBBu);
+  run();
+  // The unmodeled FP register contents are written as zeros: corruption.
+  EXPECT_EQ(space_.vread32(kData + 0x20), 0u);
+  EXPECT_EQ(space_.vread32(kData + 0x24), 0u);
+}
+
+TEST_F(RiscfExtendedOpsTest, RlwimiInsertsUnderMask) {
+  Asm a(kCode);
+  a.li32(4, 0x000000FFu);   // source
+  a.li32(3, 0xAAAAAAAAu);   // target
+  // rlwimi r3, r4, 8, 16, 23: rotate source by 8, insert bits 16-23.
+  a.emit_word((20u << 26) | (4u << 21) | (3u << 16) | (8u << 11) |
+              (16u << 6) | (23u << 1));
+  a.sc();
+  load(a);
+  run();
+  EXPECT_EQ(cpu_.regs().gpr[3], 0xAAAAFFAAu);
+}
+
+TEST_F(RiscfExtendedOpsTest, ExtsbAndExtshSignExtend) {
+  Asm a(kCode);
+  a.li32(4, 0x80);
+  a.emit_word((31u << 26) | (4u << 21) | (3u << 16) | (954u << 1));  // extsb
+  a.li32(5, 0x8000);
+  a.emit_word((31u << 26) | (5u << 21) | (6u << 16) | (922u << 1));  // extsh
+  a.sc();
+  load(a);
+  run();
+  EXPECT_EQ(cpu_.regs().gpr[3], 0xFFFFFF80u);
+  EXPECT_EQ(cpu_.regs().gpr[6], 0xFFFF8000u);
+}
+
+TEST_F(RiscfExtendedOpsTest, MulhwComputesHighWord) {
+  Asm a(kCode);
+  a.li32(4, 0x10000);
+  a.li32(5, 0x10000);
+  a.emit_word((31u << 26) | (3u << 21) | (4u << 16) | (5u << 11) |
+              (75u << 1));  // mulhw r3, r4, r5
+  a.sc();
+  load(a);
+  run();
+  EXPECT_EQ(cpu_.regs().gpr[3], 1u);  // (2^16)^2 >> 32
+}
+
+TEST_F(RiscfExtendedOpsTest, FpArithIsATimingNoOp) {
+  Asm a(kCode);
+  a.emit_word(59u << 26);  // some FP single arith encoding
+  a.emit_word(63u << 26);  // some FP double arith encoding
+  a.emit_word(4u << 26);   // AltiVec
+  a.sc();
+  load(a);
+  EXPECT_EQ(trap_cause(run()), Cause::kSyscall);
+}
+
+TEST_F(RiscfExtendedOpsTest, StmwFaultsPartwayThroughOnBadMemory) {
+  // Store-multiple into memory that runs off the mapped page: faults at
+  // the exact failing word (a potent corruption+crash combo for
+  // flipped-opcode scenarios).
+  Asm a(kCode);
+  a.li32(10, kData + 4096 - 8);  // two words before the page end
+  a.emit_word((47u << 26) | (28u << 21) | (10u << 16) | 0);  // stmw r28
+  load(a);
+  const auto r = run();
+  EXPECT_EQ(trap_cause(r), Cause::kDataStorage);
+  EXPECT_EQ(r.trap.addr, kData + 4096u);
+  // The first two stores happened before the fault.
+  EXPECT_EQ(space_.vread32(kData + 4096 - 8), cpu_.regs().gpr[28]);
+}
+
+TEST_F(RiscfExtendedOpsTest, MftbReadsCycleCounter) {
+  Asm a(kCode);
+  a.nop();
+  a.nop();
+  a.emit_word((31u << 26) | (3u << 21) | (371u << 1));  // mftb r3
+  a.sc();
+  load(a);
+  run();
+  EXPECT_GT(cpu_.regs().gpr[3], 0u);
+}
+
+}  // namespace
+}  // namespace kfi::riscf

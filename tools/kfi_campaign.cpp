@@ -1,0 +1,141 @@
+// kfi_campaign: run one injection campaign from the command line.
+//
+//   kfi_campaign --arch p4|g4 --kind stack|register|data|code
+//                [--n COUNT] [--seed S] [--loss P] [--scale K]
+//                [--no-wrapper] [--p4-stackcheck] [--no-spinlock-debug]
+//                [--csv PREFIX]
+//
+// Prints the Table-5/6-style row, the crash-cause distribution against the
+// paper's reference, and the Figure-16 latency buckets; optionally writes
+// PREFIX.records.csv / PREFIX.tally.csv / PREFIX.latency.csv.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/csv.hpp"
+#include "analysis/report.hpp"
+#include "inject/campaign.hpp"
+
+using namespace kfi;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --arch p4|g4 --kind stack|register|data|code\n"
+               "          [--n COUNT] [--seed S] [--loss P] [--scale K]\n"
+               "          [--no-wrapper] [--p4-stackcheck]\n"
+               "          [--no-spinlock-debug] [--csv PREFIX] [--quiet]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  inject::CampaignSpec spec;
+  spec.injections = 500;
+  std::string csv_prefix;
+  bool have_arch = false, have_kind = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--arch") {
+      const std::string v = next();
+      if (v == "p4" || v == "cisca") {
+        spec.arch = isa::Arch::kCisca;
+      } else if (v == "g4" || v == "riscf") {
+        spec.arch = isa::Arch::kRiscf;
+      } else {
+        usage(argv[0]);
+        return 2;
+      }
+      have_arch = true;
+    } else if (arg == "--kind") {
+      const std::string v = next();
+      if (v == "stack") spec.kind = inject::CampaignKind::kStack;
+      else if (v == "register") spec.kind = inject::CampaignKind::kRegister;
+      else if (v == "data") spec.kind = inject::CampaignKind::kData;
+      else if (v == "code") spec.kind = inject::CampaignKind::kCode;
+      else {
+        usage(argv[0]);
+        return 2;
+      }
+      have_kind = true;
+    } else if (arg == "--n") {
+      spec.injections = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      spec.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--loss") {
+      spec.channel_loss = std::strtod(next(), nullptr);
+    } else if (arg == "--scale") {
+      spec.workload_scale =
+          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--no-wrapper") {
+      spec.machine.g4_stack_wrapper = false;
+    } else if (arg == "--p4-stackcheck") {
+      spec.machine.p4_stack_limit_check = true;
+    } else if (arg == "--no-spinlock-debug") {
+      spec.machine.spinlock_debug = false;
+    } else if (arg == "--csv") {
+      csv_prefix = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (!have_arch || !have_kind) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  const inject::CampaignResult result = inject::run_campaign(
+      spec, quiet ? inject::ProgressFn{} : [](u32 done, u32 total) {
+        if (done % 100 == 0 || done == total) {
+          std::fprintf(stderr, "\r[%u/%u]", done, total);
+          if (done == total) std::fputc('\n', stderr);
+        }
+      });
+  const analysis::OutcomeTally tally =
+      analysis::tally_records(result.records);
+
+  std::puts(analysis::summarize_campaign(result).c_str());
+  std::puts("");
+  std::fputs(analysis::render_failure_table(spec.arch, {{spec.kind, tally}})
+                 .c_str(),
+             stdout);
+  std::puts("");
+  std::fputs(analysis::render_cause_comparison(
+                 spec.arch, "Crash causes", tally,
+                 analysis::paper_campaign_crash_causes(spec.arch, spec.kind))
+                 .c_str(),
+             stdout);
+  std::puts("");
+  std::fputs(analysis::render_profile(result.hot_functions).c_str(), stdout);
+
+  if (!csv_prefix.empty()) {
+    {
+      std::ofstream f(csv_prefix + ".records.csv");
+      analysis::write_records_csv(f, result.records);
+    }
+    {
+      std::ofstream f(csv_prefix + ".tally.csv");
+      analysis::write_tally_csv(f, tally);
+    }
+    {
+      std::ofstream f(csv_prefix + ".latency.csv");
+      analysis::write_latency_csv(f, tally);
+    }
+    std::printf("wrote %s.{records,tally,latency}.csv\n", csv_prefix.c_str());
+  }
+  return 0;
+}

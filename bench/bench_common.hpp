@@ -10,6 +10,9 @@
 // Environment knobs:
 //   KFI_INJECTIONS  per-campaign injection count   (default per bench)
 //   KFI_SEED        campaign seed                  (default 1)
+//   KFI_JOBS        campaign worker threads        (default 1 = serial,
+//                   0 = hardware concurrency; results are bit-identical
+//                   for any value)
 #pragma once
 
 #include <cstdio>
@@ -33,6 +36,11 @@ inline u64 env_u64(const char* name, u64 fallback) {
   return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
 }
 
+/// KFI_JOBS resolved to a worker count (unset -> 1, 0 -> hw concurrency).
+inline u32 env_jobs() {
+  return inject::CampaignEngine::resolve_jobs(env_u32("KFI_JOBS", 1));
+}
+
 inline inject::CampaignSpec base_spec(isa::Arch arch,
                                       inject::CampaignKind kind,
                                       u32 default_injections) {
@@ -46,11 +54,14 @@ inline inject::CampaignSpec base_spec(isa::Arch arch,
 
 inline inject::CampaignResult run_with_progress(
     const inject::CampaignSpec& spec) {
-  std::fprintf(stderr, "[campaign] %s %s n=%u seed=%llu ...\n",
+  const u32 jobs = env_jobs();
+  std::fprintf(stderr, "[campaign] %s %s n=%u seed=%llu jobs=%u ...\n",
                isa::arch_name(spec.arch).c_str(),
                campaign_kind_name(spec.kind).c_str(), spec.injections,
-               static_cast<unsigned long long>(spec.seed));
-  const inject::CampaignResult result = inject::run_campaign(spec);
+               static_cast<unsigned long long>(spec.seed), jobs);
+  const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+  const inject::CampaignResult result =
+      inject::CampaignEngine(jobs).run(plan);
   std::fprintf(stderr, "[campaign] %s\n",
                analysis::summarize_campaign(result).c_str());
   return result;

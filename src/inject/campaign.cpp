@@ -1,85 +1,26 @@
 #include "inject/campaign.hpp"
 
-#include "common/error.hpp"
+#include "inject/experiment.hpp"
 
 namespace kfi::inject {
 
-namespace {
-
-/// Calibrate the fault-free run: total cycles and output validity.
-u64 calibrate(kernel::Machine& machine, workload::Workload& wl, u64 seed) {
-  machine.restore(machine.boot_snapshot());
-  wl.reset(seed);
-  const u64 start = machine.cpu().cycles();
-  while (auto req = wl.next(machine)) {
-    const kernel::Event ev =
-        machine.syscall(req->nr, req->a0, req->a1, req->a2);
-    KFI_CHECK(ev.kind == kernel::EventKind::kSyscallDone,
-              "fault-free calibration run crashed");
-    KFI_CHECK(wl.check(machine, ev.ret),
-              "fault-free calibration run failed validation");
-  }
-  KFI_CHECK(wl.final_check(machine),
-            "fault-free calibration run failed final validation");
-  return machine.cpu().cycles() - start;
-}
-
-}  // namespace
-
-CampaignResult run_campaign(const CampaignSpec& spec,
-                            const ProgressFn& progress) {
-  CampaignResult result;
-  result.spec = spec;
-
-  kernel::MachineOptions mopts = spec.machine;
-  mopts.seed ^= spec.seed;
-  kernel::Machine machine(spec.arch, mopts);
-  auto wl = workload::make_suite(spec.workload_scale);
-
-  result.nominal_cycles = calibrate(machine, *wl, spec.seed);
-  const double kernel_fraction =
-      result.nominal_cycles == 0
-          ? 0.15
-          : 1.0 - static_cast<double>(machine.user_cycles()) /
-                      static_cast<double>(result.nominal_cycles);
-  result.hot_functions =
-      workload::profile_hot_functions(machine, *wl, 0.95, spec.seed);
-
-  TargetGenerator generator(machine.image(), result.hot_functions,
-                            machine.cpu().sysregs().count(),
-                            spec.seed * 0x9E3779B9u + 17);
-  const std::vector<InjectionTarget> targets =
-      generator.generate(spec.kind, spec.injections);
-
-  UdpChannel channel(spec.channel_loss, spec.seed ^ 0xC0FFEE);
-  CrashCollector collector;
-  const u64 budget = static_cast<u64>(spec.budget_factor *
-                                      static_cast<double>(result.nominal_cycles)) +
-                     2 * mopts.timer_period;
-  ExperimentRunner runner(machine, *wl, channel, collector,
-                          result.nominal_cycles, budget, kernel_fraction);
-
-  Rng seeds(spec.seed ^ 0xDADA);
-  result.records.reserve(targets.size());
-  for (u32 i = 0; i < targets.size(); ++i) {
-    result.records.push_back(runner.run_one(targets[i], seeds.next_u64(), i));
-    if (progress) progress(i + 1, static_cast<u32>(targets.size()));
-  }
-  result.reboots = runner.watchdog().reboots();
-  result.datagrams_sent = channel.sent();
-  result.datagrams_dropped = channel.dropped();
-  return result;
+CampaignResult run_campaign(const CampaignSpec& spec, const ProgressFn& progress,
+                            u32 jobs) {
+  const CampaignPlan plan = build_campaign_plan(spec);
+  return CampaignEngine(jobs).run(plan, progress);
 }
 
 InjectionRecord run_single_injection(kernel::Machine& machine,
                                      workload::Workload& wl,
                                      const InjectionTarget& target, u64 seed) {
-  const u64 nominal = calibrate(machine, wl, seed);
+  const u64 nominal = calibrate_workload(machine, wl, seed);
+  const double kernel_fraction = calibrated_kernel_fraction(machine, nominal);
   UdpChannel channel(0.0, seed);
   CrashCollector collector;
   ExperimentRunner runner(machine, wl, channel, collector, nominal,
                           static_cast<u64>(3.0 * static_cast<double>(nominal)) +
-                              2 * machine.options().timer_period);
+                              2 * machine.options().timer_period,
+                          kernel_fraction);
   return runner.run_one(target, seed, 0);
 }
 

@@ -1,53 +1,33 @@
 // CampaignController: the NFTAPE control host (paper Figure 1).
 //
-// Orchestrates one injection campaign end to end: builds the target
-// machine, calibrates the workload, profiles the kernel to select hot
-// functions, pre-generates the campaign's injection targets, then runs the
-// automated inject/monitor/collect loop, "rebooting" (snapshot restore)
-// after every manifested outcome via the watchdog.
+// A campaign is a three-layer pipeline:
+//   CampaignPlan    (plan.hpp)    — STEP 1 frozen: calibration, profile,
+//                                   pre-generated targets, pre-drawn seeds
+//   CampaignEngine  (engine.hpp)  — worker Machines execute the plan,
+//                                   serial or parallel
+//   deterministic merge           — records at their target index,
+//                                   counters summed; bit-identical for any
+//                                   worker count
+// run_campaign() below is the one-call convenience path through all three.
 #pragma once
 
-#include <functional>
-#include <vector>
-
-#include "inject/experiment.hpp"
+#include "inject/engine.hpp"
+#include "inject/plan.hpp"
 #include "inject/record.hpp"
-#include "inject/target_gen.hpp"
 #include "kernel/machine.hpp"
 
 namespace kfi::inject {
 
-struct CampaignSpec {
-  isa::Arch arch = isa::Arch::kCisca;
-  CampaignKind kind = CampaignKind::kCode;
-  u32 injections = 200;
-  u64 seed = 1;
-  u32 workload_scale = 1;
-  kernel::MachineOptions machine{};
-  /// UDP crash-data datagram loss probability (unknown-crash source).
-  double channel_loss = 0.03;
-  /// Hang budget as a multiple of the calibrated fault-free run length.
-  double budget_factor = 3.0;
-};
-
-struct CampaignResult {
-  CampaignSpec spec;
-  std::vector<InjectionRecord> records;
-  u64 nominal_cycles = 0;  // calibrated fault-free run length
-  std::vector<workload::HotFunction> hot_functions;
-  u64 reboots = 0;
-  u64 datagrams_sent = 0;
-  u64 datagrams_dropped = 0;
-};
-
-using ProgressFn = std::function<void(u32 done, u32 total)>;
-
-/// Run a full campaign (Figure 2's automated process).
+/// Run a full campaign (Figure 2's automated process): build the plan,
+/// execute it on `jobs` workers (0 = hardware concurrency), merge.  The
+/// result is bit-identical for the same spec regardless of `jobs`.
 CampaignResult run_campaign(const CampaignSpec& spec,
-                            const ProgressFn& progress = {});
+                            const ProgressFn& progress = {}, u32 jobs = 1);
 
 /// Convenience for worked-example reproductions: run a single targeted
-/// injection on a caller-provided machine/workload pair.
+/// injection on a caller-provided machine/workload pair.  Calibrates the
+/// machine the same way run_campaign does (shared helpers in plan.hpp),
+/// including the kernel-time fraction.
 InjectionRecord run_single_injection(kernel::Machine& machine,
                                      workload::Workload& wl,
                                      const InjectionTarget& target,

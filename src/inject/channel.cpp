@@ -38,6 +38,11 @@ u64 get64(const std::vector<u8>& in, size_t& pos) {
 
 }  // namespace
 
+void UdpChannel::begin_run(u64 run_seed) {
+  u64 mix = base_seed_ ^ (run_seed + 0x9E3779B97F4A7C15ull);
+  rng_ = Rng(splitmix64(mix));
+}
+
 bool UdpChannel::send(Packet packet) {
   ++sent_;
   if (rng_.chance(loss_)) {

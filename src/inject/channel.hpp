@@ -28,7 +28,16 @@ struct Packet {
 class UdpChannel {
  public:
   UdpChannel(double loss_probability, u64 seed)
-      : loss_(loss_probability), rng_(seed) {}
+      : loss_(loss_probability), base_seed_(seed), rng_(seed) {}
+
+  /// Re-derive the loss RNG from one injection run's pre-drawn seed.  The
+  /// campaign engine calls this (via ExperimentRunner) before every
+  /// experiment so that whether a crash dump survives the channel depends
+  /// only on (channel seed, run seed) — never on how many datagrams other
+  /// injections sent first.  That history-independence is what lets
+  /// parallel workers with private channel replicas merge bit-identically
+  /// with a serial run.
+  void begin_run(u64 run_seed);
 
   /// Returns false if the datagram was dropped in flight.
   bool send(Packet packet);
@@ -39,6 +48,7 @@ class UdpChannel {
 
  private:
   double loss_;
+  u64 base_seed_;
   Rng rng_;
   std::deque<Packet> in_flight_;
   u64 sent_ = 0;

@@ -1,0 +1,114 @@
+#include "inject/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "inject/experiment.hpp"
+
+namespace kfi::inject {
+
+namespace {
+
+/// Everything one worker accumulates; merged after the pool drains.
+struct WorkerTotals {
+  u64 reboots = 0;
+  u64 datagrams_sent = 0;
+  u64 datagrams_dropped = 0;
+  u64 simulated_cycles = 0;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+u32 CampaignEngine::resolve_jobs(u32 requested) {
+  if (requested != 0) return requested;
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+CampaignResult CampaignEngine::run(const CampaignPlan& plan,
+                                   const ProgressFn& progress) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  CampaignResult result;
+  result.spec = plan.spec;
+  result.nominal_cycles = plan.nominal_cycles;
+  result.kernel_fraction = plan.kernel_fraction;
+  result.hot_functions = plan.hot_functions;
+
+  const u32 total = static_cast<u32>(plan.targets.size());
+  result.records.resize(total);
+
+  const u32 jobs =
+      total == 0 ? 1 : std::min(resolve_jobs(jobs_), std::max(total, 1u));
+  std::vector<WorkerTotals> totals(jobs);
+  std::atomic<u32> next_index{0};
+  std::mutex progress_mutex;
+  u32 done = 0;
+
+  // One worker: private Machine (booted from the shared image), Workload,
+  // UdpChannel, CrashCollector, ExperimentRunner.  Indices are claimed
+  // dynamically; determinism is per-index, so the assignment is free to
+  // load-balance.
+  auto worker = [&](WorkerTotals& mine) {
+    try {
+      const kernel::MachineOptions mopts =
+          campaign_machine_options(plan.spec);
+      kernel::Machine machine(plan.spec.arch, mopts, plan.image);
+      auto wl = workload::make_suite(plan.spec.workload_scale);
+      UdpChannel channel(plan.spec.channel_loss, plan.spec.seed ^ 0xC0FFEE);
+      CrashCollector collector;
+      ExperimentRunner runner(machine, *wl, channel, collector,
+                              plan.nominal_cycles, plan.budget_cycles,
+                              plan.kernel_fraction);
+      for (u32 i = next_index.fetch_add(1); i < total;
+           i = next_index.fetch_add(1)) {
+        result.records[i] =
+            runner.run_one(plan.targets[i], plan.run_seeds[i], i);
+        if (progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          progress(++done, total);
+        }
+      }
+      mine.reboots = runner.watchdog().reboots();
+      mine.datagrams_sent = channel.sent();
+      mine.datagrams_dropped = channel.dropped();
+      mine.simulated_cycles = runner.simulated_cycles();
+    } catch (...) {
+      mine.error = std::current_exception();
+    }
+  };
+
+  if (jobs <= 1) {
+    worker(totals[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (u32 w = 0; w < jobs; ++w) {
+      pool.emplace_back([&worker, &totals, w] { worker(totals[w]); });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  for (const WorkerTotals& mine : totals) {
+    if (mine.error) std::rethrow_exception(mine.error);
+    result.reboots += mine.reboots;
+    result.datagrams_sent += mine.datagrams_sent;
+    result.datagrams_dropped += mine.datagrams_dropped;
+    result.throughput.simulated_cycles += mine.simulated_cycles;
+  }
+
+  result.throughput.jobs = jobs;
+  result.throughput.plan_seconds = plan.plan_seconds;
+  result.throughput.run_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.throughput.wall_seconds =
+      result.throughput.plan_seconds + result.throughput.run_seconds;
+  return result;
+}
+
+}  // namespace kfi::inject

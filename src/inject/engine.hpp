@@ -1,0 +1,80 @@
+// CampaignEngine: executes a frozen CampaignPlan across worker Machines.
+//
+// Each worker owns a private replica of the experiment apparatus — a
+// Machine booted from the plan's shared immutable kernel image, a
+// Workload, a UdpChannel, a CrashCollector, and an ExperimentRunner — and
+// claims injection indices from a shared counter.  Because every
+// injection experiment starts from the boot snapshot and draws all of its
+// randomness from the plan's pre-drawn per-run seed, a record depends
+// only on (plan, index): the merged CampaignResult is bit-identical to a
+// serial run of the same plan, which the parity tests assert.  The merge
+// is deterministic by construction: records land at their target index,
+// and the reboot / datagram / drop / cycle counters are order-independent
+// per-worker sums.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "inject/plan.hpp"
+
+namespace kfi::inject {
+
+/// Observability for the run itself (wall-clock, not simulated, so it is
+/// deliberately excluded from the determinism contract).
+struct CampaignThroughput {
+  u32 jobs = 0;  // worker threads used; 0 = result predates the engine
+  double plan_seconds = 0.0;  // codegen + calibration + profile + targets
+  double run_seconds = 0.0;   // injection execution (all workers)
+  double wall_seconds = 0.0;  // plan + run
+  /// Simulated cycles consumed by all injection runs (summed per worker).
+  u64 simulated_cycles = 0;
+
+  double injections_per_second(size_t injections) const {
+    return run_seconds > 0.0
+               ? static_cast<double>(injections) / run_seconds
+               : 0.0;
+  }
+  double simulated_cycles_per_second() const {
+    return run_seconds > 0.0
+               ? static_cast<double>(simulated_cycles) / run_seconds
+               : 0.0;
+  }
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<InjectionRecord> records;
+  u64 nominal_cycles = 0;  // calibrated fault-free run length
+  double kernel_fraction = 0.15;
+  std::vector<workload::HotFunction> hot_functions;
+  u64 reboots = 0;
+  u64 datagrams_sent = 0;
+  u64 datagrams_dropped = 0;
+  CampaignThroughput throughput;
+};
+
+using ProgressFn = std::function<void(u32 done, u32 total)>;
+
+class CampaignEngine {
+ public:
+  /// `jobs` worker threads; 0 = hardware concurrency, 1 (default) = serial
+  /// on the calling thread.
+  explicit CampaignEngine(u32 jobs = 1) : jobs_(jobs) {}
+
+  /// Resolve a jobs knob: 0 -> hardware concurrency (min 1), else as-is.
+  static u32 resolve_jobs(u32 requested);
+
+  u32 jobs() const { return resolve_jobs(jobs_); }
+
+  /// Execute the plan and merge worker results deterministically.
+  /// `progress` (if set) is serialized and reports monotone completion
+  /// counts, not execution order.
+  CampaignResult run(const CampaignPlan& plan,
+                     const ProgressFn& progress = {}) const;
+
+ private:
+  u32 jobs_;
+};
+
+}  // namespace kfi::inject

@@ -104,6 +104,7 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
   watchdog_.reboot(machine_);  // fresh boot state for every experiment
   wl_.reset(run_seed);
   rng_ = Rng(run_seed ^ 0xC0117E47u);  // per-run decisions (context window)
+  channel_.begin_run(run_seed);  // per-run loss decisions (determinism)
 
   isa::CpuCore& cpu = machine_.cpu();
   const u64 start = cpu.cycles();
@@ -290,6 +291,7 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
   }
   if (monitoring) cpu.debug().disarm_data_bp(0);
   cpu.debug().disarm_insn_bp();
+  simulated_cycles_ += cpu.cycles() - start;
   return record;
 }
 

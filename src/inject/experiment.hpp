@@ -42,6 +42,10 @@ class ExperimentRunner {
 
   const Watchdog& watchdog() const { return watchdog_; }
   u64 nominal_cycles() const { return nominal_; }
+  /// Simulated cycles consumed by all run_one() calls so far (campaign
+  /// throughput observability; deterministic, so it merges bit-identically
+  /// across workers).
+  u64 simulated_cycles() const { return simulated_cycles_; }
 
  private:
   /// Flip bit `bit` (0..31) of the 32-bit value at word_addr, respecting
@@ -64,6 +68,7 @@ class ExperimentRunner {
   u64 nominal_;
   Watchdog watchdog_;
   double kernel_fraction_;
+  u64 simulated_cycles_ = 0;
   Rng rng_{0x5eed};
 };
 

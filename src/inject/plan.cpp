@@ -1,0 +1,80 @@
+#include "inject/plan.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "inject/target_gen.hpp"
+
+namespace kfi::inject {
+
+u64 calibrate_workload(kernel::Machine& machine, workload::Workload& wl,
+                       u64 seed) {
+  machine.restore(machine.boot_snapshot());
+  wl.reset(seed);
+  const u64 start = machine.cpu().cycles();
+  while (auto req = wl.next(machine)) {
+    const kernel::Event ev =
+        machine.syscall(req->nr, req->a0, req->a1, req->a2);
+    KFI_CHECK(ev.kind == kernel::EventKind::kSyscallDone,
+              "fault-free calibration run crashed");
+    KFI_CHECK(wl.check(machine, ev.ret),
+              "fault-free calibration run failed validation");
+  }
+  KFI_CHECK(wl.final_check(machine),
+            "fault-free calibration run failed final validation");
+  return machine.cpu().cycles() - start;
+}
+
+double calibrated_kernel_fraction(const kernel::Machine& machine,
+                                  u64 nominal_cycles) {
+  if (nominal_cycles == 0) return 0.15;
+  return 1.0 - static_cast<double>(machine.user_cycles()) /
+                   static_cast<double>(nominal_cycles);
+}
+
+kernel::MachineOptions campaign_machine_options(const CampaignSpec& spec) {
+  kernel::MachineOptions mopts = spec.machine;
+  mopts.seed ^= spec.seed;
+  return mopts;
+}
+
+CampaignPlan build_campaign_plan(const CampaignSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  CampaignPlan plan;
+  plan.spec = spec;
+  plan.image =
+      kernel::build_shared_kernel_image(spec.arch, spec.machine.spinlock_debug);
+
+  const kernel::MachineOptions mopts = campaign_machine_options(spec);
+  kernel::Machine machine(spec.arch, mopts, plan.image);
+  auto wl = workload::make_suite(spec.workload_scale);
+
+  plan.nominal_cycles = calibrate_workload(machine, *wl, spec.seed);
+  plan.kernel_fraction =
+      calibrated_kernel_fraction(machine, plan.nominal_cycles);
+  plan.hot_functions =
+      workload::profile_hot_functions(machine, *wl, 0.95, spec.seed);
+
+  TargetGenerator generator(*plan.image, plan.hot_functions,
+                            machine.cpu().sysregs().count(),
+                            spec.seed * 0x9E3779B9u + 17);
+  plan.targets = generator.generate(spec.kind, spec.injections);
+
+  plan.budget_cycles = static_cast<u64>(spec.budget_factor *
+                                        static_cast<double>(plan.nominal_cycles)) +
+                       2 * mopts.timer_period;
+
+  Rng seeds(spec.seed ^ 0xDADA);
+  plan.run_seeds.reserve(plan.targets.size());
+  for (size_t i = 0; i < plan.targets.size(); ++i) {
+    plan.run_seeds.push_back(seeds.next_u64());
+  }
+
+  plan.plan_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return plan;
+}
+
+}  // namespace kfi::inject

@@ -36,13 +36,24 @@ kir::Image build_kernel_image(isa::Arch arch, bool spinlock_debug) {
   return backend->finish();
 }
 
+kir::ImagePtr build_shared_kernel_image(isa::Arch arch, bool spinlock_debug) {
+  return std::make_shared<const kir::Image>(
+      build_kernel_image(arch, spinlock_debug));
+}
+
 Machine::Machine(isa::Arch arch, MachineOptions options)
+    : Machine(arch, options,
+              build_shared_kernel_image(arch, options.spinlock_debug)) {}
+
+Machine::Machine(isa::Arch arch, MachineOptions options, kir::ImagePtr image)
     : arch_(arch),
       options_(options),
       space_(kPhysBytes, arch == isa::Arch::kCisca ? mem::Endian::kLittle
                                                    : mem::Endian::kBig),
-      image_(build_kernel_image(arch, options.spinlock_debug)),
+      image_(std::move(image)),
       rng_(options.seed) {
+  KFI_CHECK(image_ != nullptr, "Machine requires a built kernel image");
+  KFI_CHECK(image_->arch == arch, "kernel image built for a different arch");
   helper_backend_ = arch == isa::Arch::kCisca
                         ? kir::make_cisca_backend(kTextBase, kDataBase)
                         : kir::make_riscf_backend(kTextBase, kDataBase);
@@ -57,7 +68,7 @@ Machine::Machine(isa::Arch arch, MachineOptions options)
     riscf_cpu_ = cpu.get();
     cpu_ = std::move(cpu);
   }
-  entry_map_ = build_entry_map(image_);
+  entry_map_ = build_entry_map(*image_);
   boot();
 }
 
@@ -74,10 +85,10 @@ void Machine::boot() {
   space_.map_region("glue", kGlueBase, 4096,
                     {.read = true, .write = false, .execute = true});
   space_.map_region("text", kTextBase,
-                    (static_cast<u32>(image_.code.size()) + 4095) & ~4095u,
+                    (static_cast<u32>(image_->code.size()) + 4095) & ~4095u,
                     {.read = true, .write = false, .execute = true});
   space_.map_region("data", kDataBase,
-                    (static_cast<u32>(image_.data.size()) + 8191) & ~4095u,
+                    (static_cast<u32>(image_->data.size()) + 8191) & ~4095u,
                     {.read = true, .write = true, .execute = true});
   for (u32 t = 0; t < kNumTasks; ++t) {
     space_.note_unmapped("stack_guard" + std::to_string(t),
@@ -91,15 +102,15 @@ void Machine::boot() {
   space_.map_region("local_bus", kBusRegion, kBusRegionSize, {.bus = true});
 
   // --- load image ---
-  space_.vwrite_bytes(kTextBase, image_.code.data(),
-                      static_cast<u32>(image_.code.size()));
-  space_.vwrite_bytes(kDataBase, image_.data.data(),
-                      static_cast<u32>(image_.data.size()));
+  space_.vwrite_bytes(kTextBase, image_->code.data(),
+                      static_cast<u32>(image_->code.size()));
+  space_.vwrite_bytes(kDataBase, image_->data.data(),
+                      static_cast<u32>(image_->data.size()));
   write_glue_stubs();
 
-  dispatch_entry_ = image_.function(KernelEntryPoints::kDispatch).addr;
-  timer_entry_ = image_.function(KernelEntryPoints::kTimerTick).addr;
-  current_addr_ = image_.object("current").addr;
+  dispatch_entry_ = image_->function(KernelEntryPoints::kDispatch).addr;
+  timer_entry_ = image_->function(KernelEntryPoints::kTimerTick).addr;
+  current_addr_ = image_->object("current").addr;
 
   // --- boot-time task setup (the bootloader's job) ---
   const char* thread_entries[kNumTasks] = {
@@ -110,7 +121,7 @@ void Machine::boot() {
     write_global("task_structs", stack_top(arch_, t), t, "stack_top");
     Addr sp = stack_top(arch_, t);
     if (thread_entries[t] != nullptr) {
-      const Addr entry = image_.function(thread_entries[t]).addr;
+      const Addr entry = image_->function(thread_entries[t]).addr;
       sp = helper_backend_->prepare_initial_stack(
           space_, stack_top(arch_, t), entry);
     }
@@ -130,7 +141,7 @@ void Machine::boot() {
   cpu_->set_pc(glue_addr(kGlueSyscallReturn));
 
   next_timer_ = options_.timer_period;
-  profile_counts_.assign(image_.functions.size(), 0);
+  profile_counts_.assign(image_->functions.size(), 0);
 
   boot_snapshot_ = snapshot();
 }
@@ -175,7 +186,7 @@ u32 value_offset(isa::Arch arch, const kir::FieldLayout& f) {
 
 u32 Machine::read_global(const std::string& object, u32 index,
                          const std::string& field) const {
-  const kir::DataObject& obj = image_.object(object);
+  const kir::DataObject& obj = image_->object(object);
   const kir::FieldLayout& f =
       field.empty() ? obj.field(0) : obj.field_named(field);
   const Addr addr = obj.addr + index * obj.elem_size + f.offset +
@@ -189,7 +200,7 @@ u32 Machine::read_global(const std::string& object, u32 index,
 
 void Machine::write_global(const std::string& object, u32 value, u32 index,
                            const std::string& field) {
-  const kir::DataObject& obj = image_.object(object);
+  const kir::DataObject& obj = image_->object(object);
   const kir::FieldLayout& f =
       field.empty() ? obj.field(0) : obj.field_named(field);
   const Addr addr = obj.addr + index * obj.elem_size + f.offset +
@@ -203,7 +214,7 @@ void Machine::write_global(const std::string& object, u32 value, u32 index,
 
 Addr Machine::global_field_addr(const std::string& object, u32 index,
                                 const std::string& field) const {
-  const kir::DataObject& obj = image_.object(object);
+  const kir::DataObject& obj = image_->object(object);
   const kir::FieldLayout& f =
       field.empty() ? obj.field(0) : obj.field_named(field);
   return obj.addr + index * obj.elem_size + f.offset;

@@ -86,7 +86,13 @@ struct MachineSnapshot {
 
 class Machine {
  public:
+  /// Build the kernel image (codegen) and boot.  For one-off machines.
   Machine(isa::Arch arch, MachineOptions options);
+  /// Boot from an already-built image, skipping codegen entirely.  This is
+  /// the cheap-replication path the parallel campaign engine uses: every
+  /// worker Machine shares one immutable image and only pays for its own
+  /// memory + boot.
+  Machine(isa::Arch arch, MachineOptions options, kir::ImagePtr image);
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -95,7 +101,8 @@ class Machine {
   isa::Arch arch() const { return arch_; }
   isa::CpuCore& cpu() { return *cpu_; }
   mem::AddressSpace& space() { return space_; }
-  const kir::Image& image() const { return image_; }
+  const kir::Image& image() const { return *image_; }
+  const kir::ImagePtr& shared_image() const { return image_; }
   const MachineOptions& options() const { return options_; }
 
   /// Queue one system call (sets up the kernel entry frame and any timer
@@ -166,7 +173,7 @@ class Machine {
   isa::Arch arch_;
   MachineOptions options_;
   mem::AddressSpace space_;
-  kir::Image image_;
+  kir::ImagePtr image_;
   std::unique_ptr<isa::CpuCore> cpu_;
   cisca::CiscaCpu* cisca_cpu_ = nullptr;  // set when arch == kCisca
   riscf::RiscfCpu* riscf_cpu_ = nullptr;  // set when arch == kRiscf
@@ -199,5 +206,10 @@ class Machine {
 /// Build and finalize a kernel image for the given architecture (exposed
 /// for tests and decoder studies that want the image without a Machine).
 kir::Image build_kernel_image(isa::Arch arch, bool spinlock_debug = true);
+
+/// Build an image once for sharing across Machines (the campaign engine's
+/// one-codegen-per-campaign path).
+kir::ImagePtr build_shared_kernel_image(isa::Arch arch,
+                                        bool spinlock_debug = true);
 
 }  // namespace kfi::kernel

@@ -7,6 +7,7 @@
 // inside the kernel data objects (Section 3.2, STEP 1).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -78,5 +79,11 @@ struct Image {
 
   u32 data_size() const { return static_cast<u32>(data.size()); }
 };
+
+/// A finalized image is immutable after codegen; Machines only ever read
+/// it (injections corrupt the copy loaded into simulated memory, never the
+/// image itself), so one built image can be shared by any number of
+/// concurrently running Machines.
+using ImagePtr = std::shared_ptr<const Image>;
 
 }  // namespace kfi::kir

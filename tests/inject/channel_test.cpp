@@ -91,6 +91,33 @@ TEST(CrashCollectorTest, IndexesBySequenceAndIgnoresDuplicates) {
   EXPECT_EQ(collector.get(11).cause, kernel::CrashCause::kStackOverflow);
 }
 
+TEST(UdpChannelTest, BeginRunMakesLossHistoryIndependent) {
+  // The campaign engine's determinism hinge: after begin_run(seed), the
+  // next send's drop decision depends only on (channel seed, run seed) —
+  // not on how many datagrams the channel carried before.  Two replicas
+  // with different histories must agree run by run.
+  UdpChannel fresh(0.5, 9);
+  UdpChannel busy(0.5, 9);
+  for (u32 i = 0; i < 100; ++i) {
+    busy.send(DataDeposit::serialize(i, sample_report()));  // skew history
+  }
+  for (u64 run_seed = 1; run_seed <= 50; ++run_seed) {
+    fresh.begin_run(run_seed);
+    busy.begin_run(run_seed);
+    EXPECT_EQ(fresh.send(DataDeposit::serialize(0, sample_report())),
+              busy.send(DataDeposit::serialize(0, sample_report())))
+        << "run seed " << run_seed;
+  }
+  // Different run seeds produce both outcomes at loss 0.5.
+  u32 delivered = 0;
+  for (u64 run_seed = 0; run_seed < 64; ++run_seed) {
+    fresh.begin_run(run_seed);
+    if (fresh.send(DataDeposit::serialize(0, sample_report()))) ++delivered;
+  }
+  EXPECT_GT(delivered, 0u);
+  EXPECT_LT(delivered, 64u);
+}
+
 TEST(CrashCollectorTest, LostDatagramNeverArrives) {
   // The Tables 5/6 "Hang/Unknown Crash" mechanism: a dropped crash dump
   // means the crash stays unknown to the control host.

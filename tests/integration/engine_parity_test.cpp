@@ -1,0 +1,135 @@
+// The campaign engine's determinism contract: a parallel campaign is
+// bit-identical to the serial campaign for the same CampaignSpec —
+// records (every field, in target order), tallies, and the merged
+// reboot / datagram / drop counters — across both arches and all four
+// campaign kinds.
+#include <gtest/gtest.h>
+
+#include "analysis/tally.hpp"
+#include "inject/campaign.hpp"
+
+namespace kfi::inject {
+namespace {
+
+using analysis::OutcomeTally;
+using analysis::tally_records;
+
+CampaignSpec parity_spec(isa::Arch arch, CampaignKind kind) {
+  CampaignSpec spec;
+  spec.arch = arch;
+  spec.kind = kind;
+  spec.injections = 24;
+  spec.seed = 77;
+  return spec;
+}
+
+void expect_records_bit_identical(const std::vector<InjectionRecord>& a,
+                                  const std::vector<InjectionRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    // Target (the plan is shared, but the merge must keep target order).
+    EXPECT_EQ(a[i].target.kind, b[i].target.kind);
+    EXPECT_EQ(a[i].target.code_entry, b[i].target.code_entry);
+    EXPECT_EQ(a[i].target.code_addr, b[i].target.code_addr);
+    EXPECT_EQ(a[i].target.code_bit, b[i].target.code_bit);
+    EXPECT_EQ(a[i].target.function, b[i].target.function);
+    EXPECT_EQ(a[i].target.data_addr, b[i].target.data_addr);
+    EXPECT_EQ(a[i].target.data_bit, b[i].target.data_bit);
+    EXPECT_EQ(a[i].target.stack_task, b[i].target.stack_task);
+    EXPECT_EQ(a[i].target.stack_bit, b[i].target.stack_bit);
+    EXPECT_EQ(a[i].target.reg_index, b[i].target.reg_index);
+    EXPECT_EQ(a[i].target.reg_bit, b[i].target.reg_bit);
+    EXPECT_EQ(a[i].target.reg_name, b[i].target.reg_name);
+    // Outcome and activation.
+    EXPECT_EQ(a[i].outcome, b[i].outcome);
+    EXPECT_EQ(a[i].activated, b[i].activated);
+    EXPECT_EQ(a[i].activation_known, b[i].activation_known);
+    EXPECT_EQ(a[i].activation_cycle, b[i].activation_cycle);
+    EXPECT_EQ(a[i].latency_base_cycle, b[i].latency_base_cycle);
+    // Crash data, including the channel's per-run loss decision.
+    EXPECT_EQ(a[i].crashed, b[i].crashed);
+    EXPECT_EQ(a[i].crash_report_received, b[i].crash_report_received);
+    EXPECT_EQ(a[i].crash.cause, b[i].crash.cause);
+    EXPECT_EQ(a[i].crash.pc, b[i].crash.pc);
+    EXPECT_EQ(a[i].crash.addr, b[i].crash.addr);
+    EXPECT_EQ(a[i].crash.has_addr, b[i].crash.has_addr);
+    EXPECT_EQ(a[i].crash.detail, b[i].crash.detail);
+    EXPECT_EQ(a[i].cycles_to_crash, b[i].cycles_to_crash);
+    EXPECT_EQ(a[i].syscalls_completed, b[i].syscalls_completed);
+  }
+}
+
+void expect_campaigns_bit_identical(const CampaignResult& serial,
+                                    const CampaignResult& parallel) {
+  EXPECT_EQ(serial.nominal_cycles, parallel.nominal_cycles);
+  EXPECT_EQ(serial.kernel_fraction, parallel.kernel_fraction);
+  EXPECT_EQ(serial.hot_functions.size(), parallel.hot_functions.size());
+  expect_records_bit_identical(serial.records, parallel.records);
+  // Merged counters.
+  EXPECT_EQ(serial.reboots, parallel.reboots);
+  EXPECT_EQ(serial.datagrams_sent, parallel.datagrams_sent);
+  EXPECT_EQ(serial.datagrams_dropped, parallel.datagrams_dropped);
+  EXPECT_EQ(serial.throughput.simulated_cycles,
+            parallel.throughput.simulated_cycles);
+  // Tallies.
+  const OutcomeTally st = tally_records(serial.records);
+  const OutcomeTally pt = tally_records(parallel.records);
+  EXPECT_EQ(st.injected, pt.injected);
+  EXPECT_EQ(st.activated, pt.activated);
+  EXPECT_EQ(st.activation_known, pt.activation_known);
+  for (u32 c = 0; c < static_cast<u32>(OutcomeCategory::kNumOutcomes); ++c) {
+    EXPECT_EQ(st.outcomes[c], pt.outcomes[c]) << "outcome category " << c;
+  }
+}
+
+class EngineParityTest
+    : public ::testing::TestWithParam<std::tuple<isa::Arch, CampaignKind>> {};
+
+TEST_P(EngineParityTest, ParallelIsBitIdenticalToSerial) {
+  const auto& [arch, kind] = GetParam();
+  const CampaignPlan plan = build_campaign_plan(parity_spec(arch, kind));
+  const CampaignResult serial = CampaignEngine(1).run(plan);
+  const CampaignResult parallel = CampaignEngine(4).run(plan);
+  EXPECT_EQ(parallel.throughput.jobs, 4u);
+  expect_campaigns_bit_identical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCampaigns, EngineParityTest,
+    ::testing::Combine(::testing::Values(isa::Arch::kCisca, isa::Arch::kRiscf),
+                       ::testing::Values(CampaignKind::kStack,
+                                         CampaignKind::kRegister,
+                                         CampaignKind::kData,
+                                         CampaignKind::kCode)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == isa::Arch::kCisca
+                             ? "cisca_"
+                             : "riscf_") +
+             campaign_kind_name(std::get<1>(info.param));
+    });
+
+TEST(EngineParityTest, RunCampaignFullPathParity) {
+  // The one-call path (plan rebuilt per call) is also jobs-independent.
+  const auto spec = parity_spec(isa::Arch::kRiscf, CampaignKind::kStack);
+  const CampaignResult serial = run_campaign(spec);
+  const CampaignResult parallel = run_campaign(spec, {}, 3);
+  expect_campaigns_bit_identical(serial, parallel);
+}
+
+TEST(EngineParityTest, ProgressReportsEveryInjectionExactlyOnce) {
+  const CampaignPlan plan =
+      build_campaign_plan(parity_spec(isa::Arch::kCisca, CampaignKind::kData));
+  std::vector<u32> seen;
+  CampaignEngine(4).run(plan, [&seen](u32 done, u32 total) {
+    EXPECT_EQ(total, 24u);
+    seen.push_back(done);
+  });
+  ASSERT_EQ(seen.size(), 24u);
+  for (u32 i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i + 1);  // serialized, monotone completion counts
+  }
+}
+
+}  // namespace
+}  // namespace kfi::inject

@@ -1,0 +1,119 @@
+// The shared-image boot path: many Machines booting from one built
+// kir::Image must behave exactly like machines that ran codegen
+// themselves, the image must stay immutable under injections (bit flips
+// corrupt the copy loaded into simulated memory, never the image), and
+// machines sharing an image must stay bit-independent of each other.
+#include <gtest/gtest.h>
+
+#include "inject/campaign.hpp"
+#include "kernel/abi.hpp"
+#include "kernel/layout.hpp"
+#include "kernel/machine.hpp"
+#include "workload/workload.hpp"
+
+namespace kfi::kernel {
+namespace {
+
+class SharedImageTest : public ::testing::TestWithParam<isa::Arch> {};
+
+TEST_P(SharedImageTest, SharedBootMatchesOwnCodegenBoot) {
+  const isa::Arch arch = GetParam();
+  const kir::ImagePtr image = build_shared_kernel_image(arch);
+  MachineOptions opts;
+  Machine own(arch, opts);            // runs codegen itself
+  Machine shared(arch, opts, image);  // boots from the shared image
+  EXPECT_EQ(&shared.image(), image.get());
+  EXPECT_EQ(own.boot_snapshot().memory, shared.boot_snapshot().memory);
+  EXPECT_EQ(own.boot_snapshot().cpu.words, shared.boot_snapshot().cpu.words);
+  EXPECT_EQ(own.boot_snapshot().cpu.cycles, shared.boot_snapshot().cpu.cycles);
+  EXPECT_EQ(own.boot_snapshot().rng_state, shared.boot_snapshot().rng_state);
+}
+
+TEST_P(SharedImageTest, InjectionLeavesCoTenantAndImageUntouched) {
+  const isa::Arch arch = GetParam();
+  const kir::ImagePtr image = build_shared_kernel_image(arch);
+  const std::vector<u8> code_before = image->code;
+  const std::vector<u8> data_before = image->data;
+  MachineOptions opts;
+  Machine victim(arch, opts, image);
+  Machine witness(arch, opts, image);
+  const MachineSnapshot witness_boot = witness.boot_snapshot();
+
+  // Corrupt the victim's text and data aggressively and run syscalls;
+  // whether they crash is irrelevant here.
+  for (u32 i = 0; i < 64; ++i) {
+    victim.space().vflip_bit(kTextBase + 16 * i, i % 8);
+    victim.space().vflip_bit(kDataBase + 4 * i, (i + 3) % 8);
+  }
+  for (u32 i = 0; i < 4; ++i) {
+    victim.syscall(Syscall::kGetpid);
+    if (!victim.idle()) break;  // crashed mid-flight; good enough
+  }
+
+  // The shared image is immutable: the flips only hit the victim's copy
+  // in simulated memory.
+  EXPECT_EQ(image->code, code_before);
+  EXPECT_EQ(image->data, data_before);
+  // The co-tenant machine is bit-identical to its boot state.
+  const MachineSnapshot witness_now = witness.snapshot();
+  EXPECT_EQ(witness_now.memory, witness_boot.memory);
+  EXPECT_EQ(witness_now.cpu.words, witness_boot.cpu.words);
+  // And still runs the full fault-free workload.
+  auto wl = workload::make_suite(1);
+  wl->reset(1);
+  while (auto req = wl->next(witness)) {
+    const Event ev = witness.syscall(req->nr, req->a0, req->a1, req->a2);
+    ASSERT_EQ(ev.kind, EventKind::kSyscallDone);
+    ASSERT_TRUE(wl->check(witness, ev.ret));
+  }
+  EXPECT_TRUE(wl->final_check(witness));
+}
+
+TEST_P(SharedImageTest, CoTenantsReproduceTheSameInjectionIndependently) {
+  // Two machines sharing one image, each running the same injection with
+  // snapshot/restore in between, must produce the bit-identical record —
+  // the property that makes the engine's worker Machines exchangeable.
+  const isa::Arch arch = GetParam();
+  const kir::ImagePtr image = build_shared_kernel_image(arch);
+  MachineOptions opts;
+  Machine m1(arch, opts, image);
+  Machine m2(arch, opts, image);
+  auto wl1 = workload::make_suite(1);
+  auto wl2 = workload::make_suite(1);
+
+  inject::InjectionTarget target;
+  target.kind = inject::CampaignKind::kData;
+  target.data_addr = image->objects.front().addr;
+  target.data_bit = 7;
+
+  const inject::InjectionRecord r1 =
+      inject::run_single_injection(m1, *wl1, target, 5);
+  const inject::InjectionRecord r2 =
+      inject::run_single_injection(m2, *wl2, target, 5);
+  EXPECT_EQ(r1.outcome, r2.outcome);
+  EXPECT_EQ(r1.activated, r2.activated);
+  EXPECT_EQ(r1.activation_cycle, r2.activation_cycle);
+  EXPECT_EQ(r1.cycles_to_crash, r2.cycles_to_crash);
+  EXPECT_EQ(r1.crash.cause, r2.crash.cause);
+  EXPECT_EQ(r1.crash.pc, r2.crash.pc);
+  EXPECT_EQ(r1.syscalls_completed, r2.syscalls_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, SharedImageTest,
+                         ::testing::Values(isa::Arch::kCisca,
+                                           isa::Arch::kRiscf),
+                         [](const auto& info) {
+                           return info.param == isa::Arch::kCisca
+                                      ? std::string("cisca")
+                                      : std::string("riscf");
+                         });
+
+TEST(SharedImageTest, ArchMismatchIsRejected) {
+  const kir::ImagePtr image = build_shared_kernel_image(isa::Arch::kCisca);
+  MachineOptions opts;
+  EXPECT_THROW(Machine(isa::Arch::kRiscf, opts, image), InternalError);
+  EXPECT_THROW(Machine(isa::Arch::kCisca, opts, nullptr), InternalError);
+}
+
+}  // namespace
+}  // namespace kfi::kernel

@@ -7,41 +7,43 @@
 // is itself evidence that the parallel path adds no overhead.
 //
 // Knobs: KFI_INJECTIONS (default 2000), KFI_SEED, KFI_JOBS_MAX (default 4).
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "kernel/abi.hpp"
 
 namespace {
 
 using namespace kfi;
 
-/// FNV-1a over every determinism-relevant field of the merged result.
-u64 result_fingerprint(const inject::CampaignResult& result) {
-  u64 h = 0xcbf29ce484222325ull;
-  auto mix = [&h](u64 v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xFF;
-      h *= 0x100000001b3ull;
+/// Per-injection "reboot" cost, fast (dirty-page) vs full-copy restore:
+/// each rep dirties memory with one syscall (untimed intent; it is cheap
+/// next to a full copy) and restores the boot snapshot (the measured op).
+void report_reboot_cost(isa::Arch arch) {
+  for (const bool fast : {true, false}) {
+    kernel::MachineOptions opts;
+    opts.fast_reboot = fast;
+    kernel::Machine machine(arch, opts);
+    auto& pm = machine.space().phys();
+    constexpr u32 kReps = 200;
+    const u64 pages_before = pm.restore_pages_copied();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (u32 i = 0; i < kReps; ++i) {
+      machine.syscall(kernel::Syscall::kGetpid);
+      machine.restore(machine.boot_snapshot());
     }
-  };
-  mix(result.nominal_cycles);
-  mix(result.reboots);
-  mix(result.datagrams_sent);
-  mix(result.datagrams_dropped);
-  for (const auto& r : result.records) {
-    mix(static_cast<u64>(r.outcome));
-    mix(r.activated ? 1 : 0);
-    mix(r.activation_cycle);
-    mix(r.latency_base_cycle);
-    mix(r.cycles_to_crash);
-    mix(r.crashed ? 1 : 0);
-    mix(r.crash_report_received ? 1 : 0);
-    mix(static_cast<u64>(r.crash.cause));
-    mix(r.crash.pc);
-    mix(r.syscalls_completed);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+    const double pages =
+        static_cast<double>(pm.restore_pages_copied() - pages_before) / kReps;
+    std::printf(
+        "reboot(%s, %s): %7.2f us/reboot  %6.1f pages copied (of %u)\n",
+        isa::arch_name(arch).c_str(), fast ? "dirty-page" : "full-copy", us,
+        pages, pm.num_pages());
   }
-  return h;
 }
 
 }  // namespace
@@ -63,7 +65,7 @@ int main() {
     for (u32 jobs = 1; jobs <= jobs_max; jobs *= 2) {
       const inject::CampaignResult result =
           inject::CampaignEngine(jobs).run(plan);
-      const u64 fp = result_fingerprint(result);
+      const u64 fp = inject::result_fingerprint(result);
       if (jobs == 1) {
         serial_seconds = result.throughput.run_seconds;
         serial_fp = fp;
@@ -84,6 +86,7 @@ int main() {
         return 1;
       }
     }
+    report_reboot_cost(arch);
     std::printf("\n");
   }
   return 0;

@@ -1,0 +1,74 @@
+// Fast-path cross-check: the predecoded-instruction cache and the
+// dirty-page reboot are pure speedups, so a campaign run with either (or
+// both) disabled must produce the bit-identical merged result.  This is
+// the acceptance gate for those optimizations: one frozen plan per
+// arch x campaign kind, executed with every knob combination, compared
+// through inject::result_fingerprint.  Exits non-zero on any divergence.
+//
+// Knobs: KFI_INJECTIONS (default 96), KFI_SEED, KFI_JOBS.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace kfi;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool decode_cache;
+  bool fast_reboot;
+};
+
+constexpr Variant kVariants[] = {
+    {"cache+fast", true, true},
+    {"nocache    ", false, true},
+    {"fullcopy   ", true, false},
+    {"neither    ", false, false},
+};
+
+}  // namespace
+
+int main() {
+  const u32 n = bench::env_u32("KFI_INJECTIONS", 96);
+  const u32 jobs = bench::env_jobs();
+  bool ok = true;
+
+  for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    for (const auto kind :
+         {inject::CampaignKind::kCode, inject::CampaignKind::kData,
+          inject::CampaignKind::kStack, inject::CampaignKind::kRegister}) {
+      auto spec = bench::base_spec(arch, kind, n);
+      // The plan is knob-independent (calibration runs on a default
+      // machine); build it once and only vary the workers' options.
+      const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+      u64 reference_fp = 0;
+      std::printf("%s %-8s n=%u:", isa::arch_name(arch).c_str(),
+                  campaign_kind_name(kind).c_str(), plan.spec.injections);
+      for (const Variant& v : kVariants) {
+        inject::CampaignPlan variant = plan;
+        variant.spec.machine.decode_cache = v.decode_cache;
+        variant.spec.machine.fast_reboot = v.fast_reboot;
+        const inject::CampaignResult result =
+            inject::CampaignEngine(jobs).run(variant);
+        const u64 fp = inject::result_fingerprint(result);
+        if (v.decode_cache && v.fast_reboot) reference_fp = fp;
+        const bool same = fp == reference_fp;
+        std::printf(" %s=%s", v.name, same ? "ok" : "DIVERGED");
+        if (!same) {
+          ok = false;
+          std::fprintf(stderr,
+                       "FATAL: %s %s %s diverged (fp %" PRIx64 " vs %" PRIx64
+                       ")\n",
+                       isa::arch_name(arch).c_str(),
+                       campaign_kind_name(kind).c_str(), v.name, fp,
+                       reference_fp);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("%s\n", ok ? "fast paths bit-identical" : "FAST PATHS DIVERGED");
+  return ok ? 0 : 1;
+}

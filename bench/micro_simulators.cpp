@@ -43,14 +43,34 @@ BENCHMARK(BM_InterpreterSyscallThroughput)
     ->ArgName("arch(0=cisca,1=riscf)");
 
 void BM_SnapshotRestoreReboot(benchmark::State& state) {
-  kernel::Machine machine(arch_of(state), kernel::MachineOptions{});
+  // Per-injection reboot cost.  Each iteration dirties memory the way a
+  // short experiment does (one syscall, untimed) and restores the boot
+  // snapshot (timed).  arg1 selects dirty-page fast restore vs the
+  // full-copy baseline; pages/reboot shows the O(memory) -> O(dirty
+  // pages) drop.
+  kernel::MachineOptions opts;
+  opts.fast_reboot = state.range(1) != 0;
+  kernel::Machine machine(arch_of(state), opts);
+  auto& pm = machine.space().phys();
+  const u64 pages_before = pm.restore_pages_copied();
   for (auto _ : state) {
+    state.PauseTiming();
+    machine.syscall(kernel::Syscall::kGetpid);
+    state.ResumeTiming();
     machine.restore(machine.boot_snapshot());
   }
   state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
                           kernel::kPhysBytes);
+  state.counters["pages/reboot"] =
+      static_cast<double>(pm.restore_pages_copied() - pages_before) /
+      static_cast<double>(state.iterations());
 }
-BENCHMARK(BM_SnapshotRestoreReboot)->Arg(0)->Arg(1)->ArgName("arch");
+BENCHMARK(BM_SnapshotRestoreReboot)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->ArgNames({"arch", "fast"});
 
 void BM_KernelImageBuild(benchmark::State& state) {
   for (auto _ : state) {
@@ -89,8 +109,13 @@ BENCHMARK(BM_FullInjectionExperiment)
 void BM_RawInstructionRate(benchmark::State& state) {
   // Pure interpreter speed: run the hot read syscall and count simulated
   // instructions per wall second via cycle deltas (cycles ~ instructions
-  // within a few percent for this code).
-  kernel::Machine machine(arch_of(state), kernel::MachineOptions{});
+  // within a few percent for this code).  arg1 toggles the predecoded-
+  // instruction cache; the cache run also reports hit rate and
+  // invalidations (non-zero invalidations = restores/stores touched
+  // cached code and were caught).
+  kernel::MachineOptions opts;
+  opts.decode_cache = state.range(1) != 0;
+  kernel::Machine machine(arch_of(state), opts);
   u64 cycles = 0;
   for (auto _ : state) {
     const u64 before = machine.cpu().cycles();
@@ -104,8 +129,17 @@ void BM_RawInstructionRate(benchmark::State& state) {
   }
   state.counters["sim_cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  const isa::DecodeCacheStats stats = machine.cpu().decode_cache_stats();
+  state.counters["dcache_hit_rate"] = stats.hit_rate();
+  state.counters["dcache_invalidations"] =
+      static_cast<double>(stats.invalidations);
 }
-BENCHMARK(BM_RawInstructionRate)->Arg(0)->Arg(1)->ArgName("arch");
+BENCHMARK(BM_RawInstructionRate)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->ArgNames({"arch", "dcache"});
 
 }  // namespace
 

@@ -60,6 +60,7 @@ FetchWindow CiscaCpu::fetch_window(Addr pc) const {
   // if the window straddles a boundary) from the next.
   const auto tr = space_.translate(pc, 1, mem::Access::kExecute);
   if (!tr.ok()) return window;
+  window.phys = tr.phys;
   const u32 in_page = mem::kPageSize - (pc & (mem::kPageSize - 1));
   const u32 first = std::min<u32>(kMaxInsnBytes, in_page);
   space_.phys().read_bytes(tr.phys, window.bytes, first);
@@ -67,12 +68,65 @@ FetchWindow CiscaCpu::fetch_window(Addr pc) const {
   if (first < kMaxInsnBytes) {
     const auto tr2 = space_.translate(pc + first, 1, mem::Access::kExecute);
     if (tr2.ok()) {
+      window.phys_page2 = tr2.phys >> mem::kPageShift;
       space_.phys().read_bytes(tr2.phys, window.bytes + first,
                                kMaxInsnBytes - first);
       window.valid = kMaxInsnBytes;
     }
   }
   return window;
+}
+
+void CiscaCpu::set_decode_cache_enabled(bool enabled) {
+  dcache_enabled_ = enabled;
+  if (enabled && dcache_.empty()) {
+    dcache_.resize(kDecodeCacheEntries);
+  } else if (!enabled) {
+    dcache_.clear();
+    dcache_.shrink_to_fit();
+  }
+}
+
+const CiscaCpu::DecodeCacheEntry& CiscaCpu::decode_cached(Addr pc) {
+  if (!dcache_enabled_) {
+    const FetchWindow window = fetch_window(pc);
+    dcache_scratch_.dec = decode(window);
+    dcache_scratch_.byte0 = window.bytes[0];
+    return dcache_scratch_;
+  }
+  // One translation either way; on a hit it also revalidates that pc is
+  // still fetchable under the current (boot-time) mapping.
+  const auto tr = space_.translate(pc, 1, mem::Access::kExecute);
+  if (!tr.ok()) {
+    FetchWindow window;  // empty: decode reports a fetch fault at pc
+    window.pc = pc;
+    dcache_scratch_.dec = decode(window);
+    dcache_scratch_.byte0 = 0;
+    return dcache_scratch_;
+  }
+  const mem::PhysicalMemory& pm = space_.phys();
+  DecodeCacheEntry& entry = dcache_[tr.phys & (kDecodeCacheEntries - 1)];
+  if (entry.tag == tr.phys && entry.vpc == pc) {
+    const bool fresh =
+        entry.ver1 == pm.page_version(tr.phys >> mem::kPageShift) &&
+        (entry.page2 == kNoPage ||
+         entry.ver2 == pm.page_version(entry.page2));
+    if (fresh) {
+      ++dcache_stats_.hits;
+      return entry;
+    }
+    ++dcache_stats_.invalidations;
+  }
+  ++dcache_stats_.misses;
+  const FetchWindow window = fetch_window(pc);
+  entry.tag = tr.phys;
+  entry.vpc = pc;
+  entry.page2 = window.phys_page2;
+  entry.ver1 = pm.page_version(tr.phys >> mem::kPageShift);
+  entry.ver2 = entry.page2 == kNoPage ? 0 : pm.page_version(entry.page2);
+  entry.dec = decode(window);
+  entry.byte0 = window.bytes[0];
+  return entry;
 }
 
 DecodeResult CiscaCpu::decode_at(Addr pc) const {
@@ -289,13 +343,13 @@ isa::StepResult CiscaCpu::step() {
     if (!test_bit(regs_.cr0, kCr0PE) || !test_bit(regs_.cr0, kCr0PG)) {
       raise(Cause::kGeneralProtection, 0, false, regs_.cr0);
     }
-    const FetchWindow window = fetch_window(regs_.eip);
-    const DecodeResult dec = decode(window);
+    const DecodeCacheEntry& entry = decode_cached(regs_.eip);
+    const DecodeResult& dec = entry.dec;
     if (dec.fetch_fault) {
       raise(Cause::kPageFault, dec.fault_addr, true);
     }
     if (dec.insn.op == Op::kInvalid) {
-      raise(Cause::kInvalidOpcode, 0, false, window.bytes[0]);
+      raise(Cause::kInvalidOpcode, 0, false, entry.byte0);
     }
     execute(dec.insn);
     cycles_ += 1;

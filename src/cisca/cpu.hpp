@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "cisca/cause.hpp"
 #include "cisca/decode.hpp"
@@ -63,6 +64,11 @@ class CiscaCpu final : public isa::CpuCore {
   Addr stack_pointer() const override { return regs_.gpr[kEsp]; }
   isa::CpuSnapshot snapshot() const override;
   void restore(const isa::CpuSnapshot& snap) override;
+  void set_decode_cache_enabled(bool enabled) override;
+  bool decode_cache_enabled() const override { return dcache_enabled_; }
+  isa::DecodeCacheStats decode_cache_stats() const override {
+    return dcache_stats_;
+  }
 
   RegFile& regs() { return regs_; }
   const RegFile& regs() const { return regs_; }
@@ -83,6 +89,28 @@ class CiscaCpu final : public isa::CpuCore {
   struct TrapException {
     isa::Trap trap;
   };
+
+  /// Predecoded-instruction cache: direct-mapped on the physical address
+  /// of the first instruction byte.  An entry is valid only while the
+  /// write versions of every page it decoded from are unchanged (variable-
+  /// length instructions can straddle two non-contiguous physical pages),
+  /// so any store, injected flip, or reboot that touches cached code makes
+  /// the entry re-decode — exactly the invalidation hardware trace caches
+  /// need, done lazily with no store-side hooks.
+  struct DecodeCacheEntry {
+    u32 tag = kNoPage;    // physical address of the first byte
+    Addr vpc = 0;         // virtual pc (guards against phys aliasing)
+    u32 page2 = kNoPage;  // second physical page, when straddling
+    u64 ver1 = 0;
+    u64 ver2 = 0;
+    DecodeResult dec{};
+    u8 byte0 = 0;  // first window byte (the #UD aux on invalid opcodes)
+  };
+  static constexpr u32 kDecodeCacheEntries = 4096;
+
+  /// Fetch + decode at `pc`, through the cache when enabled.  The returned
+  /// reference is valid until the next call.
+  const DecodeCacheEntry& decode_cached(Addr pc);
 
   [[noreturn]] void raise(Cause cause, Addr addr = 0, bool has_addr = false,
                           u32 aux = 0);
@@ -112,6 +140,10 @@ class CiscaCpu final : public isa::CpuCore {
   isa::StepResult* current_result_ = nullptr;
   Addr stack_lo_ = 0, stack_hi_ = 0;
   bool halted_pending_ = false;
+  bool dcache_enabled_ = false;
+  std::vector<DecodeCacheEntry> dcache_;  // allocated when enabled
+  DecodeCacheEntry dcache_scratch_;       // uncacheable results
+  isa::DecodeCacheStats dcache_stats_;
   std::unique_ptr<CiscaSysRegs> sysregs_;
 };
 

@@ -24,4 +24,31 @@ InjectionRecord run_single_injection(kernel::Machine& machine,
   return runner.run_one(target, seed, 0);
 }
 
+u64 result_fingerprint(const CampaignResult& result) {
+  u64 h = 0xcbf29ce484222325ull;
+  auto mix = [&h](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(result.nominal_cycles);
+  mix(result.reboots);
+  mix(result.datagrams_sent);
+  mix(result.datagrams_dropped);
+  for (const auto& r : result.records) {
+    mix(static_cast<u64>(r.outcome));
+    mix(r.activated ? 1 : 0);
+    mix(r.activation_cycle);
+    mix(r.latency_base_cycle);
+    mix(r.cycles_to_crash);
+    mix(r.crashed ? 1 : 0);
+    mix(r.crash_report_received ? 1 : 0);
+    mix(static_cast<u64>(r.crash.cause));
+    mix(r.crash.pc);
+    mix(r.syscalls_completed);
+  }
+  return h;
+}
+
 }  // namespace kfi::inject

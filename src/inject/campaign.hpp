@@ -33,4 +33,11 @@ InjectionRecord run_single_injection(kernel::Machine& machine,
                                      const InjectionTarget& target,
                                      u64 seed = 1);
 
+/// FNV-1a over every determinism-relevant field of a merged campaign
+/// result.  Two results with equal fingerprints ran bit-identically; the
+/// scaling bench, the fast-path cross-check, and CI all compare campaigns
+/// through this one function (jobs counts, decode cache on/off, fast vs
+/// full-copy reboot).
+u64 result_fingerprint(const CampaignResult& result);
+
 }  // namespace kfi::inject

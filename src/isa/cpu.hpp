@@ -23,6 +23,21 @@ struct CpuSnapshot {
   u64 cycles = 0;
 };
 
+/// Counters for the per-CPU predecoded-instruction cache.
+struct DecodeCacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  /// Tag matched but a page write-version moved: a store / injected flip /
+  /// reboot rewrote cached code and the entry was re-decoded.
+  u64 invalidations = 0;
+
+  double hit_rate() const {
+    const u64 total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
 class CpuCore {
  public:
   virtual ~CpuCore() = default;
@@ -50,6 +65,14 @@ class CpuCore {
 
   virtual CpuSnapshot snapshot() const = 0;
   virtual void restore(const CpuSnapshot& snap) = 0;
+
+  /// Predecoded-instruction cache control.  The cache is bit-exact — it
+  /// only skips re-decoding bytes proven unchanged via page write
+  /// versions — so toggling it must never alter execution, a property the
+  /// campaign fingerprint cross-checks enforce.  Default: no cache.
+  virtual void set_decode_cache_enabled(bool /*enabled*/) {}
+  virtual bool decode_cache_enabled() const { return false; }
+  virtual DecodeCacheStats decode_cache_stats() const { return {}; }
 };
 
 }  // namespace kfi::isa

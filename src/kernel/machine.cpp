@@ -68,6 +68,7 @@ Machine::Machine(isa::Arch arch, MachineOptions options, kir::ImagePtr image)
     riscf_cpu_ = cpu.get();
     cpu_ = std::move(cpu);
   }
+  cpu_->set_decode_cache_enabled(options.decode_cache);
   entry_map_ = build_entry_map(*image_);
   boot();
 }
@@ -696,11 +697,11 @@ Event Machine::syscall(Syscall nr, u32 a0, u32 a1, u32 a2, u64 budget_cycles) {
   }
 }
 
-MachineSnapshot Machine::snapshot() const {
+MachineSnapshot Machine::snapshot() {
   KFI_CHECK(glue_stack_.empty() && !syscall_active_,
             "snapshot only supported when idle");
   MachineSnapshot snap;
-  snap.memory = space_.phys().snapshot();
+  snap.memory = space_.phys().snapshot_shared();
   snap.cpu = cpu_->snapshot();
   snap.next_timer = next_timer_;
   snap.user_cycles = user_cycles_total_;
@@ -709,7 +710,11 @@ MachineSnapshot Machine::snapshot() const {
 }
 
 void Machine::restore(const MachineSnapshot& snap) {
-  space_.phys().restore(snap.memory);
+  if (options_.fast_reboot) {
+    space_.phys().restore(snap.memory);
+  } else {
+    space_.phys().restore_full(snap.memory);
+  }
   cpu_->restore(snap.cpu);
   next_timer_ = snap.next_timer;
   user_cycles_total_ = snap.user_cycles;

@@ -72,12 +72,22 @@ struct MachineOptions {
   bool spinlock_debug = true;
   /// Seed for runtime jitter (user time, exception-stage costs).
   u64 seed = 0x1234;
+  /// Predecoded-instruction cache in the CPU model.  Bit-exact: results
+  /// must not change with this off (the fingerprint cross-check enforces
+  /// it); off is only useful for that cross-check and for measuring the
+  /// speedup.
+  bool decode_cache = true;
+  /// Dirty-page snapshot restore.  Also bit-exact; off forces the
+  /// O(memory) full-copy restore the cross-check compares against.
+  bool fast_reboot = true;
 };
 
 /// Snapshot of a whole machine (memory + CPU + runtime), used to "reboot"
-/// between injections in microseconds.
+/// between injections in microseconds.  Memory is a shared immutable
+/// buffer: copying a MachineSnapshot (e.g. handing the boot snapshot to a
+/// watchdog) no longer duplicates the whole RAM image.
 struct MachineSnapshot {
-  std::vector<u8> memory;
+  mem::PhysicalMemory::SnapshotPtr memory;
   isa::CpuSnapshot cpu;
   u64 next_timer = 0;
   u64 user_cycles = 0;
@@ -141,7 +151,9 @@ class Machine {
   void set_profiling(bool enabled);
   const std::vector<u64>& profile_counts() const { return profile_counts_; }
 
-  MachineSnapshot snapshot() const;
+  /// Non-const: taking a snapshot (re)establishes the memory's dirty-page
+  /// restore baseline.
+  MachineSnapshot snapshot();
   void restore(const MachineSnapshot& snap);
 
   /// The snapshot taken right after boot (the "reboot" target).

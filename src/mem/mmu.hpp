@@ -17,8 +17,8 @@
 
 namespace kfi::mem {
 
-constexpr u32 kPageSize = 4096;
-constexpr u32 kPageShift = 12;
+// kPageSize / kPageShift live in phys_mem.hpp, next to the per-page write
+// versions that share the same geometry.
 
 enum class Access { kRead, kWrite, kExecute };
 

@@ -3,94 +3,87 @@
 #include <cstring>
 
 #include "common/bits.hpp"
-#include "common/error.hpp"
 
 namespace kfi::mem {
 
-PhysicalMemory::PhysicalMemory(u32 size_bytes) : bytes_(size_bytes, 0) {
+PhysicalMemory::PhysicalMemory(u32 size_bytes)
+    : bytes_(size_bytes, 0),
+      page_version_((size_bytes + kPageSize - 1) / kPageSize, 0) {
   KFI_CHECK(size_bytes > 0, "physical memory must be non-empty");
-}
-
-void PhysicalMemory::check_range(u32 pa, u32 len) const {
-  KFI_CHECK(pa + len >= pa && pa + len <= bytes_.size(),
-            "physical access out of range");
-}
-
-u8 PhysicalMemory::read8(u32 pa) const {
-  check_range(pa, 1);
-  return bytes_[pa];
-}
-
-void PhysicalMemory::write8(u32 pa, u8 value) {
-  check_range(pa, 1);
-  bytes_[pa] = value;
-}
-
-u16 PhysicalMemory::read16(u32 pa, Endian endian) const {
-  check_range(pa, 2);
-  if (endian == Endian::kLittle) {
-    return static_cast<u16>(bytes_[pa] | (bytes_[pa + 1] << 8));
-  }
-  return static_cast<u16>((bytes_[pa] << 8) | bytes_[pa + 1]);
-}
-
-void PhysicalMemory::write16(u32 pa, u16 value, Endian endian) {
-  check_range(pa, 2);
-  if (endian == Endian::kLittle) {
-    bytes_[pa] = static_cast<u8>(value);
-    bytes_[pa + 1] = static_cast<u8>(value >> 8);
-  } else {
-    bytes_[pa] = static_cast<u8>(value >> 8);
-    bytes_[pa + 1] = static_cast<u8>(value);
-  }
-}
-
-u32 PhysicalMemory::read32(u32 pa, Endian endian) const {
-  check_range(pa, 4);
-  if (endian == Endian::kLittle) {
-    return static_cast<u32>(bytes_[pa]) | (static_cast<u32>(bytes_[pa + 1]) << 8) |
-           (static_cast<u32>(bytes_[pa + 2]) << 16) |
-           (static_cast<u32>(bytes_[pa + 3]) << 24);
-  }
-  return (static_cast<u32>(bytes_[pa]) << 24) |
-         (static_cast<u32>(bytes_[pa + 1]) << 16) |
-         (static_cast<u32>(bytes_[pa + 2]) << 8) | static_cast<u32>(bytes_[pa + 3]);
-}
-
-void PhysicalMemory::write32(u32 pa, u32 value, Endian endian) {
-  check_range(pa, 4);
-  if (endian == Endian::kLittle) {
-    bytes_[pa] = static_cast<u8>(value);
-    bytes_[pa + 1] = static_cast<u8>(value >> 8);
-    bytes_[pa + 2] = static_cast<u8>(value >> 16);
-    bytes_[pa + 3] = static_cast<u8>(value >> 24);
-  } else {
-    bytes_[pa] = static_cast<u8>(value >> 24);
-    bytes_[pa + 1] = static_cast<u8>(value >> 16);
-    bytes_[pa + 2] = static_cast<u8>(value >> 8);
-    bytes_[pa + 3] = static_cast<u8>(value);
-  }
 }
 
 void PhysicalMemory::write_bytes(u32 pa, const u8* data, u32 len) {
   check_range(pa, len);
+  if (len == 0) return;
+  for (u32 page = pa >> kPageShift; page <= (pa + len - 1) >> kPageShift;
+       ++page) {
+    ++page_version_[page];
+  }
   std::memcpy(bytes_.data() + pa, data, len);
-}
-
-void PhysicalMemory::read_bytes(u32 pa, u8* out, u32 len) const {
-  check_range(pa, len);
-  std::memcpy(out, bytes_.data() + pa, len);
 }
 
 void PhysicalMemory::flip_bit(u32 pa, u32 bit) {
   check_range(pa, 1);
   KFI_CHECK(bit < 8, "flip_bit: bit index within a byte");
+  mark_written(pa, 1);
   bytes_[pa] = kfi::flip_bit(bytes_[pa], bit);
+}
+
+PhysicalMemory::SnapshotPtr PhysicalMemory::snapshot_shared() {
+  auto snap = std::make_shared<Snapshot>(bytes_);
+  baseline_ = snap;
+  baseline_version_ = page_version_;
+  return snap;
+}
+
+void PhysicalMemory::restore(const SnapshotPtr& snap) {
+  KFI_CHECK(snap && snap->size() == bytes_.size(), "snapshot size mismatch");
+  ++restores_;
+  if (snap != baseline_) {
+    // Unknown snapshot: no dirty information relative to it — full copy,
+    // and adopt it as the new baseline.
+    full_copy(snap);
+    return;
+  }
+  u32 copied = 0;
+  const u8* src = snap->data();
+  for (u32 page = 0; page < num_pages(); ++page) {
+    if (page_version_[page] == baseline_version_[page]) continue;
+    const u32 off = page << kPageShift;
+    std::memcpy(bytes_.data() + off, src + off, page_bytes(page));
+    // The page's contents just changed again, so its version must move —
+    // a cached decode of the dirtied bytes is stale after the reboot.
+    ++page_version_[page];
+    baseline_version_[page] = page_version_[page];
+    ++copied;
+  }
+  restore_pages_copied_ += copied;
+  last_restore_pages_ = copied;
+}
+
+void PhysicalMemory::restore_full(const SnapshotPtr& snap) {
+  KFI_CHECK(snap && snap->size() == bytes_.size(), "snapshot size mismatch");
+  ++restores_;
+  full_copy(snap);
+}
+
+void PhysicalMemory::full_copy(const SnapshotPtr& snap) {
+  std::memcpy(bytes_.data(), snap->data(), bytes_.size());
+  for (auto& v : page_version_) ++v;
+  baseline_ = snap;
+  baseline_version_ = page_version_;
+  restore_pages_copied_ += num_pages();
+  last_restore_pages_ = num_pages();
 }
 
 void PhysicalMemory::restore(const std::vector<u8>& snap) {
   KFI_CHECK(snap.size() == bytes_.size(), "snapshot size mismatch");
   bytes_ = snap;
+  for (auto& v : page_version_) ++v;
+  // A by-value restore has no identity to track, so the shared baseline
+  // (if any) no longer matches memory.
+  baseline_.reset();
+  baseline_version_.clear();
 }
 
 }  // namespace kfi::mem

@@ -9,46 +9,186 @@
 // Snapshots of physical memory are the simulation's substitute for the
 // paper's "reboot the target system" step: restoring a snapshot returns the
 // machine to a known-good state in microseconds instead of minutes.
+//
+// Two hot-loop services live here because every store in the system —
+// workload stores executed by the CPU models, injected bit flips, kernel
+// glue writes, snapshot restores — funnels through this class:
+//
+//   * Per-page write versions.  Each write bumps a monotonic counter for
+//     the page(s) it touches.  The CPUs' predecoded-instruction caches
+//     validate entries against these counters, so a store into cached code
+//     (self-modification, an injected flip, a reboot) invalidates exactly
+//     the stale entries — a correctness requirement in a framework whose
+//     whole point is corrupting code bytes.
+//
+//   * Dirty-page fast reboot.  A snapshot taken via snapshot_shared()
+//     becomes the restore "baseline"; restore() then copies back only the
+//     pages whose version moved since the baseline was last in sync,
+//     turning the per-injection reboot from O(memory size) into
+//     O(pages written by the run).  Snapshots are shared immutable
+//     buffers, so holding one (e.g. the boot snapshot) costs one copy
+//     total, not one per holder.
 #pragma once
 
+#include <cstring>
+#include <memory>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace kfi::mem {
 
 enum class Endian { kLittle, kBig };
 
+/// Page geometry shared by the MMU and the dirty/version tracking.
+constexpr u32 kPageSize = 4096;
+constexpr u32 kPageShift = 12;
+
 class PhysicalMemory {
  public:
+  /// Immutable shared snapshot buffer; one copy no matter how many holders.
+  using Snapshot = std::vector<u8>;
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
   explicit PhysicalMemory(u32 size_bytes);
 
   u32 size() const { return static_cast<u32>(bytes_.size()); }
+  u32 num_pages() const { return static_cast<u32>(page_version_.size()); }
 
-  u8 read8(u32 pa) const;
-  void write8(u32 pa, u8 value);
+  /// Monotonic write counter of one page; bumped by every store into the
+  /// page (including snapshot restores that rewrite it).  The decode
+  /// caches use this to detect stale entries.
+  u64 page_version(u32 page) const { return page_version_[page]; }
 
-  u16 read16(u32 pa, Endian endian) const;
-  void write16(u32 pa, u16 value, Endian endian);
+  u8 read8(u32 pa) const {
+    check_range(pa, 1);
+    return bytes_[pa];
+  }
+  void write8(u32 pa, u8 value) {
+    check_range(pa, 1);
+    mark_written(pa, 1);
+    bytes_[pa] = value;
+  }
 
-  u32 read32(u32 pa, Endian endian) const;
-  void write32(u32 pa, u32 value, Endian endian);
+  u16 read16(u32 pa, Endian endian) const {
+    check_range(pa, 2);
+    if (endian == Endian::kLittle) {
+      return static_cast<u16>(bytes_[pa] | (bytes_[pa + 1] << 8));
+    }
+    return static_cast<u16>((bytes_[pa] << 8) | bytes_[pa + 1]);
+  }
+  void write16(u32 pa, u16 value, Endian endian) {
+    check_range(pa, 2);
+    mark_written(pa, 2);
+    if (endian == Endian::kLittle) {
+      bytes_[pa] = static_cast<u8>(value);
+      bytes_[pa + 1] = static_cast<u8>(value >> 8);
+    } else {
+      bytes_[pa] = static_cast<u8>(value >> 8);
+      bytes_[pa + 1] = static_cast<u8>(value);
+    }
+  }
+
+  u32 read32(u32 pa, Endian endian) const {
+    check_range(pa, 4);
+    if (endian == Endian::kLittle) {
+      return static_cast<u32>(bytes_[pa]) |
+             (static_cast<u32>(bytes_[pa + 1]) << 8) |
+             (static_cast<u32>(bytes_[pa + 2]) << 16) |
+             (static_cast<u32>(bytes_[pa + 3]) << 24);
+    }
+    return (static_cast<u32>(bytes_[pa]) << 24) |
+           (static_cast<u32>(bytes_[pa + 1]) << 16) |
+           (static_cast<u32>(bytes_[pa + 2]) << 8) |
+           static_cast<u32>(bytes_[pa + 3]);
+  }
+  void write32(u32 pa, u32 value, Endian endian) {
+    check_range(pa, 4);
+    mark_written(pa, 4);
+    if (endian == Endian::kLittle) {
+      bytes_[pa] = static_cast<u8>(value);
+      bytes_[pa + 1] = static_cast<u8>(value >> 8);
+      bytes_[pa + 2] = static_cast<u8>(value >> 16);
+      bytes_[pa + 3] = static_cast<u8>(value >> 24);
+    } else {
+      bytes_[pa] = static_cast<u8>(value >> 24);
+      bytes_[pa + 1] = static_cast<u8>(value >> 16);
+      bytes_[pa + 2] = static_cast<u8>(value >> 8);
+      bytes_[pa + 3] = static_cast<u8>(value);
+    }
+  }
 
   /// Bulk copy helpers for loading kernel images.
   void write_bytes(u32 pa, const u8* data, u32 len);
-  void read_bytes(u32 pa, u8* out, u32 len) const;
+  void read_bytes(u32 pa, u8* out, u32 len) const {
+    check_range(pa, len);
+    std::memcpy(out, bytes_.data() + pa, len);
+  }
 
   /// Flip a single bit of physical memory (the paper's error model).
   void flip_bit(u32 pa, u32 bit);
 
-  /// Whole-memory snapshot / restore ("reboot").
+  /// Whole-memory snapshot into a shared immutable buffer.  The snapshot
+  /// becomes the fast-restore baseline: restore() of this exact snapshot
+  /// copies back only pages written since.
+  SnapshotPtr snapshot_shared();
+
+  /// Restore ("reboot").  Dirty-page fast path when `snap` is the current
+  /// baseline; falls back to a full copy (re-establishing the baseline)
+  /// for any other snapshot.  Either way the memory ends bit-identical to
+  /// the snapshot.
+  void restore(const SnapshotPtr& snap);
+
+  /// Restore by unconditional full copy — the pre-optimization behavior,
+  /// kept as a cross-check knob so campaigns can prove the fast path is
+  /// invisible to results.
+  void restore_full(const SnapshotPtr& snap);
+
+  /// Legacy by-value snapshot / restore (tests and one-off tools).
   std::vector<u8> snapshot() const { return bytes_; }
   void restore(const std::vector<u8>& snap);
 
+  // --- restore observability (for the reboot benches) ---
+  u64 restores() const { return restores_; }
+  u64 restore_pages_copied() const { return restore_pages_copied_; }
+  u32 last_restore_pages() const { return last_restore_pages_; }
+
  private:
-  void check_range(u32 pa, u32 len) const;
+  void check_range(u32 pa, u32 len) const {
+    KFI_CHECK(pa + len >= pa && pa + len <= bytes_.size(),
+              "physical access out of range");
+  }
+
+  /// Bump the write version of every page [pa, pa+len) touches.  len is
+  /// at most a few bytes on the hot paths, so first/last covers it.
+  void mark_written(u32 pa, u32 len) {
+    const u32 first = pa >> kPageShift;
+    const u32 last = (pa + len - 1) >> kPageShift;
+    ++page_version_[first];
+    if (last != first) ++page_version_[last];
+  }
+
+  u32 page_bytes(u32 page) const {
+    const u32 off = page << kPageShift;
+    const u32 remain = size() - off;
+    return remain < kPageSize ? remain : kPageSize;
+  }
+
+  /// Copy every page from `snap` and re-sync the baseline to it.
+  void full_copy(const SnapshotPtr& snap);
 
   std::vector<u8> bytes_;
+  std::vector<u64> page_version_;
+
+  /// Baseline for the dirty-page fast path: the last snapshot this memory
+  /// was known bit-identical to, and the page versions at that moment.
+  SnapshotPtr baseline_;
+  std::vector<u64> baseline_version_;
+
+  u64 restores_ = 0;
+  u64 restore_pages_copied_ = 0;
+  u32 last_restore_pages_ = 0;
 };
 
 }  // namespace kfi::mem

@@ -217,6 +217,38 @@ Insn RiscfCpu::decode_at(Addr pc) const {
   return decode(space_.phys().read32(tr.phys, mem::Endian::kBig));
 }
 
+void RiscfCpu::set_decode_cache_enabled(bool enabled) {
+  dcache_enabled_ = enabled;
+  if (enabled && dcache_.empty()) {
+    dcache_.resize(kDecodeCacheEntries);
+  } else if (!enabled) {
+    dcache_.clear();
+    dcache_.shrink_to_fit();
+  }
+}
+
+const Insn& RiscfCpu::decode_cached(u32 phys) {
+  const mem::PhysicalMemory& pm = space_.phys();
+  if (!dcache_enabled_) {
+    dcache_scratch_ = decode(pm.read32(phys, mem::Endian::kBig));
+    return dcache_scratch_;
+  }
+  DecodeCacheEntry& entry = dcache_[(phys >> 2) & (kDecodeCacheEntries - 1)];
+  const u64 ver = pm.page_version(phys >> mem::kPageShift);
+  if (entry.tag == phys) {
+    if (entry.ver == ver) {
+      ++dcache_stats_.hits;
+      return entry.insn;
+    }
+    ++dcache_stats_.invalidations;
+  }
+  ++dcache_stats_.misses;
+  entry.tag = phys;
+  entry.ver = ver;
+  entry.insn = decode(pm.read32(phys, mem::Endian::kBig));
+  return entry.insn;
+}
+
 isa::StepResult RiscfCpu::step() {
   isa::StepResult result;
   if (debug_.check_insn_bp(regs_.pc)) {
@@ -238,10 +270,9 @@ isa::StepResult RiscfCpu::step() {
       }
       raise(Cause::kInstrStorage, regs_.pc, true);
     }
-    const u32 word = space_.phys().read32(tr.phys, mem::Endian::kBig);
-    const Insn insn = decode(word);
+    const Insn& insn = decode_cached(tr.phys);
     if (insn.op == Op::kInvalid) {
-      raise(Cause::kIllegalInstruction, 0, false, word);
+      raise(Cause::kIllegalInstruction, 0, false, insn.raw);
     }
     execute(insn);
     cycles_ += 1;

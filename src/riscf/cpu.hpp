@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "isa/cpu.hpp"
 #include "mem/address_space.hpp"
@@ -46,6 +47,11 @@ class RiscfCpu final : public isa::CpuCore {
   Addr stack_pointer() const override { return regs_.gpr[kSp]; }
   isa::CpuSnapshot snapshot() const override;
   void restore(const isa::CpuSnapshot& snap) override;
+  void set_decode_cache_enabled(bool enabled) override;
+  bool decode_cache_enabled() const override { return dcache_enabled_; }
+  isa::DecodeCacheStats decode_cache_stats() const override {
+    return dcache_stats_;
+  }
 
   RegFile& regs() { return regs_; }
   const RegFile& regs() const { return regs_; }
@@ -64,6 +70,22 @@ class RiscfCpu final : public isa::CpuCore {
   struct TrapException {
     isa::Trap trap;
   };
+
+  /// Predecoded-instruction cache: direct-mapped on the physical word
+  /// address (instructions are fixed 32-bit and aligned, so one entry
+  /// covers exactly one word in exactly one page).  Entries are validated
+  /// against the page's write version, so stores, injected flips, and
+  /// reboots into cached code force a re-decode.
+  struct DecodeCacheEntry {
+    u32 tag = 0xFFFFFFFFu;  // physical word address (never valid: unaligned)
+    u64 ver = 0;
+    Insn insn{};
+  };
+  static constexpr u32 kDecodeCacheEntries = 8192;
+
+  /// Fetch + decode the word at physical address `phys`, through the
+  /// cache when enabled.  Reference valid until the next call.
+  const Insn& decode_cached(u32 phys);
 
   [[noreturn]] void raise(Cause cause, Addr addr = 0, bool has_addr = false,
                           u32 aux = 0);
@@ -84,6 +106,10 @@ class RiscfCpu final : public isa::CpuCore {
   Cycles cycles_ = 0;
   isa::StepResult* current_result_ = nullptr;
   std::map<u32, u32> spr_storage_;  // inert supervisor SPRs (BATs, PMCs, ...)
+  bool dcache_enabled_ = false;
+  std::vector<DecodeCacheEntry> dcache_;  // allocated when enabled
+  Insn dcache_scratch_{};                 // cache-off path
+  isa::DecodeCacheStats dcache_stats_;
   std::unique_ptr<RiscfSysRegs> sysregs_;
 };
 

@@ -23,7 +23,7 @@ TEST_P(SharedImageTest, SharedBootMatchesOwnCodegenBoot) {
   Machine own(arch, opts);            // runs codegen itself
   Machine shared(arch, opts, image);  // boots from the shared image
   EXPECT_EQ(&shared.image(), image.get());
-  EXPECT_EQ(own.boot_snapshot().memory, shared.boot_snapshot().memory);
+  EXPECT_EQ(*own.boot_snapshot().memory, *shared.boot_snapshot().memory);
   EXPECT_EQ(own.boot_snapshot().cpu.words, shared.boot_snapshot().cpu.words);
   EXPECT_EQ(own.boot_snapshot().cpu.cycles, shared.boot_snapshot().cpu.cycles);
   EXPECT_EQ(own.boot_snapshot().rng_state, shared.boot_snapshot().rng_state);
@@ -56,7 +56,7 @@ TEST_P(SharedImageTest, InjectionLeavesCoTenantAndImageUntouched) {
   EXPECT_EQ(image->data, data_before);
   // The co-tenant machine is bit-identical to its boot state.
   const MachineSnapshot witness_now = witness.snapshot();
-  EXPECT_EQ(witness_now.memory, witness_boot.memory);
+  EXPECT_EQ(*witness_now.memory, *witness_boot.memory);
   EXPECT_EQ(witness_now.cpu.words, witness_boot.cpu.words);
   // And still runs the full fault-free workload.
   auto wl = workload::make_suite(1);

@@ -6,12 +6,18 @@
 // --jobs 4; on a single hardware thread the rows collapse to ~1x, which
 // is itself evidence that the parallel path adds no overhead.
 //
+// Also measures the durability tax: the same serial campaign with the
+// supervisor's append-only journal enabled (one flushed entry per
+// injection), cross-checked bit-identical and resumable.
+//
 // Knobs: KFI_INJECTIONS (default 2000), KFI_SEED, KFI_JOBS_MAX (default 4).
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_common.hpp"
+#include "inject/journal.hpp"
 #include "kernel/abi.hpp"
 
 namespace {
@@ -44,6 +50,54 @@ void report_reboot_cost(isa::Arch arch) {
         isa::arch_name(arch).c_str(), fast ? "dirty-page" : "full-copy", us,
         pages, pm.num_pages());
   }
+}
+
+/// Journal overhead: serial campaign with every record flushed to the
+/// append-only journal, vs the in-memory serial baseline.  Also proves
+/// the journaled result is bit-identical and that a resume of the
+/// completed journal replays it without executing anything.
+int report_journal_cost(const inject::CampaignPlan& plan, u64 serial_fp,
+                        double serial_seconds) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kfi_scaling_bench.kfij")
+          .string();
+  std::filesystem::remove(path);
+  {
+    inject::InjectionJournal journal =
+        inject::InjectionJournal::create(path, plan);
+    inject::RunControl ctl;
+    ctl.journal = &journal;
+    const inject::CampaignResult result =
+        inject::CampaignEngine(1).run(plan, {}, ctl);
+    const u64 fp = inject::result_fingerprint(result);
+    std::printf(
+        "journal: run=%6.2fs  overhead=%+5.1f%%  %llu flushes  %.1f KiB  "
+        "result=%s\n",
+        result.throughput.run_seconds,
+        serial_seconds > 0.0
+            ? 100.0 * (result.throughput.run_seconds / serial_seconds - 1.0)
+            : 0.0,
+        static_cast<unsigned long long>(result.journal_flushes),
+        static_cast<double>(std::filesystem::file_size(path)) / 1024.0,
+        fp == serial_fp ? "bit-identical" : "DIVERGED");
+    if (fp != serial_fp) {
+      std::fprintf(stderr, "FATAL: journaled run diverged from serial\n");
+      return 1;
+    }
+  }
+  inject::InjectionJournal journal =
+      inject::InjectionJournal::resume(path, plan);
+  inject::RunControl ctl;
+  ctl.journal = &journal;
+  const inject::CampaignResult replayed =
+      inject::CampaignEngine(1).run(plan, {}, ctl);
+  std::filesystem::remove(path);
+  if (inject::result_fingerprint(replayed) != serial_fp ||
+      replayed.resumed_records != plan.targets.size()) {
+    std::fprintf(stderr, "FATAL: journal replay diverged from serial\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -86,6 +140,7 @@ int main() {
         return 1;
       }
     }
+    if (report_journal_cost(plan, serial_fp, serial_seconds) != 0) return 1;
     report_reboot_cost(arch);
     std::printf("\n");
   }

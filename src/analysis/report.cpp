@@ -30,9 +30,17 @@ std::string render_failure_table(
   std::ostringstream os;
   os << "Activation and failure distribution — " << isa::arch_name(arch)
      << " (measured | paper)\n";
-  AsciiTable table({"Campaign", "Injected", "Activated", "Not Manifested",
-                    "Fail Silence Violation", "Known Crash",
-                    "Hang/Unknown Crash"});
+  // The quarantine column only appears when a supervisor actually
+  // quarantined something; clean campaigns render the paper's exact shape.
+  bool any_quarantined = false;
+  for (const auto& [kind, tally] : rows) {
+    if (tally.quarantined > 0) any_quarantined = true;
+  }
+  std::vector<std::string> headers = {
+      "Campaign", "Injected", "Activated", "Not Manifested",
+      "Fail Silence Violation", "Known Crash", "Hang/Unknown Crash"};
+  if (any_quarantined) headers.push_back("Quarantined");
+  AsciiTable table(headers);
   for (const auto& [kind, tally] : rows) {
     const PaperTableRow paper = paper_table_row(arch, kind);
     auto cell = [](double measured, double published) {
@@ -44,18 +52,23 @@ std::string render_failure_table(
     } else {
       activated = cell(tally.activation_rate(), paper.activated_pct);
     }
-    table.add_row({campaign_kind_name(kind),
-                   std::to_string(tally.injected) + " | " +
-                       std::to_string(paper.injected),
-                   activated,
-                   cell(tally.fraction(OutcomeCategory::kNotManifested),
-                        paper.not_manifested_pct),
-                   cell(tally.fraction(OutcomeCategory::kFailSilenceViolation),
-                        paper.fsv_pct),
-                   cell(tally.fraction(OutcomeCategory::kKnownCrash),
-                        paper.known_crash_pct),
-                   cell(tally.fraction(OutcomeCategory::kHangOrUnknownCrash),
-                        paper.hang_unknown_pct)});
+    std::vector<std::string> row = {
+        campaign_kind_name(kind),
+        std::to_string(tally.injected) + " | " +
+            std::to_string(paper.injected),
+        activated,
+        cell(tally.fraction(OutcomeCategory::kNotManifested),
+             paper.not_manifested_pct),
+        cell(tally.fraction(OutcomeCategory::kFailSilenceViolation),
+             paper.fsv_pct),
+        cell(tally.fraction(OutcomeCategory::kKnownCrash),
+             paper.known_crash_pct),
+        cell(tally.fraction(OutcomeCategory::kHangOrUnknownCrash),
+             paper.hang_unknown_pct)};
+    if (any_quarantined) {
+      row.push_back(std::to_string(tally.quarantined) + " | -");
+    }
+    table.add_row(row);
   }
   os << table.render();
   return os.str();
@@ -128,7 +141,12 @@ std::string render_profile(const std::vector<workload::HotFunction>& hot) {
 }
 
 std::string summarize_campaign(const inject::CampaignResult& result) {
-  const OutcomeTally t = tally_records(result.records);
+  // On an interrupted run, tally only the indices that actually carry a
+  // record so the partial totals line up with what the journal holds.
+  const OutcomeTally t =
+      result.interrupted
+          ? tally_records(inject::completed_records(result))
+          : tally_records(result.records);
   std::ostringstream os;
   os << isa::arch_name(result.spec.arch) << " "
      << campaign_kind_name(result.spec.kind) << ": injected=" << t.injected
@@ -140,6 +158,21 @@ std::string summarize_campaign(const inject::CampaignResult& result) {
      << " fsv=" << t.count(OutcomeCategory::kFailSilenceViolation)
      << " reboots=" << result.reboots << " datagrams_lost="
      << result.datagrams_dropped << "/" << result.datagrams_sent;
+  // Supervisor segment: only printed when the fault-tolerance machinery
+  // had something to report, so plain campaign summaries are unchanged.
+  if (result.interrupted || result.quarantined > 0 ||
+      result.resumed_records > 0 || result.journal_flushes > 0 ||
+      result.harness_retries > 0) {
+    os << " | supervisor:";
+    if (result.interrupted) {
+      os << " INTERRUPTED (" << result.executed() << "/"
+         << result.records.size() << " done)";
+    }
+    os << " quarantined=" << result.quarantined << " stalls="
+       << result.stalls << " retries=" << result.harness_retries
+       << " resumed=" << result.resumed_records << " journal_flushes="
+       << result.journal_flushes;
+  }
   const inject::CampaignThroughput& tp = result.throughput;
   if (tp.jobs > 0) {
     char buf[160];

@@ -33,6 +33,13 @@ OutcomeTally tally_records(
     const std::vector<inject::InjectionRecord>& records) {
   OutcomeTally t;
   for (const auto& r : records) {
+    if (r.outcome == OutcomeCategory::kHarnessError) {
+      // The control host, not the target, failed this index: count it in
+      // the quarantine row only.
+      ++t.quarantined;
+      t.outcomes[static_cast<u32>(r.outcome)] += 1;
+      continue;
+    }
     ++t.injected;
     if (!r.activation_known) t.activation_known = false;
     if (r.activated && r.activation_known) ++t.activated;

@@ -14,6 +14,10 @@ namespace kfi::analysis {
 struct OutcomeTally {
   u32 injected = 0;
   u32 activated = 0;
+  /// Indices the harness failed to execute (quarantined by the campaign
+  /// supervisor).  Reported separately and excluded from `injected` so
+  /// harness failures never skew the paper's outcome percentages.
+  u32 quarantined = 0;
   bool activation_known = true;  // false for register campaigns
   u32 outcomes[static_cast<u32>(inject::OutcomeCategory::kNumOutcomes)] = {};
   CounterMap crash_causes;                    // known crashes only

@@ -4,6 +4,11 @@
 // faults) throw kfi::InternalError.  Injected faults never throw: they flow
 // through each CPU's trap machinery so the injection framework can observe
 // and classify them, exactly as the paper's crash handlers did.
+//
+// All harness-level exception types derive from kfi::Error so campaign
+// supervisors can catch "anything wrong with the harness" in one clause
+// while still distinguishing the typed cases (stall interrupts, journal
+// corruption) they handle specially.
 #pragma once
 
 #include <stdexcept>
@@ -11,11 +16,26 @@
 
 namespace kfi {
 
+/// Base class of every kfisim-defined exception.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Thrown on violation of a simulator invariant. Never used to model an
 /// injected fault; those surface as architectural traps.
-class InternalError : public std::runtime_error {
+class InternalError : public Error {
  public:
-  explicit InternalError(const std::string& what) : std::runtime_error(what) {}
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown out of kernel::Machine::run when the campaign supervisor's
+/// wall-clock watchdog (or the per-run step budget) interrupts a wedged
+/// simulation.  The machine is left mid-run; the only valid next operation
+/// is a snapshot restore ("reboot").
+class StallInterrupt : public Error {
+ public:
+  explicit StallInterrupt(const std::string& what) : Error(what) {}
 };
 
 [[noreturn]] void raise_internal(const char* file, int line,

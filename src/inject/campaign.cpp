@@ -24,6 +24,18 @@ InjectionRecord run_single_injection(kernel::Machine& machine,
   return runner.run_one(target, seed, 0);
 }
 
+std::vector<InjectionRecord> completed_records(const CampaignResult& result) {
+  if (result.done_mask.size() != result.records.size()) {
+    return result.records;  // pre-supervisor result: everything counts
+  }
+  std::vector<InjectionRecord> out;
+  out.reserve(result.records.size());
+  for (size_t i = 0; i < result.records.size(); ++i) {
+    if (result.done_mask[i]) out.push_back(result.records[i]);
+  }
+  return out;
+}
+
 u64 result_fingerprint(const CampaignResult& result) {
   u64 h = 0xcbf29ce484222325ull;
   auto mix = [&h](u64 v) {

@@ -33,6 +33,11 @@ InjectionRecord run_single_injection(kernel::Machine& machine,
                                      const InjectionTarget& target,
                                      u64 seed = 1);
 
+/// The records an (possibly interrupted) campaign actually produced:
+/// resumed + executed indices, in target order.  For a completed campaign
+/// this is simply a copy of result.records.
+std::vector<InjectionRecord> completed_records(const CampaignResult& result);
+
 /// FNV-1a over every determinism-relevant field of a merged campaign
 /// result.  Two results with equal fingerprints ran bit-identically; the
 /// scaling bench, the fast-path cross-check, and CI all compare campaigns

@@ -76,7 +76,12 @@ Packet DataDeposit::serialize(u32 sequence, const kernel::CrashReport& report) {
 
 std::optional<DataDeposit::Parsed> DataDeposit::parse(const Packet& packet) {
   const auto& b = packet.bytes;
-  if (b.size() < 32) return std::nullopt;
+  // Fixed header: magic, sequence, cause, pc, addr, has_addr (4 bytes
+  // each) + cycles_to_crash (8) + detail length (4) = 36 bytes.  Anything
+  // shorter is a truncated datagram; rejecting it here is what keeps the
+  // get32/get64 reads below in bounds.
+  constexpr size_t kHeaderBytes = 36;
+  if (b.size() < kHeaderBytes) return std::nullopt;
   size_t pos = 0;
   if (get32(b, pos) != kMagic) return std::nullopt;
   Parsed out;
@@ -105,10 +110,18 @@ void CrashCollector::poll(UdpChannel& channel) {
   }
 }
 
-const kernel::CrashReport& CrashCollector::get(u32 sequence) const {
+const kernel::CrashReport* CrashCollector::find(u32 sequence) const {
   const auto it = reports_.find(sequence);
-  KFI_CHECK(it != reports_.end(), "no crash report for sequence");
-  return it->second;
+  return it == reports_.end() ? nullptr : &it->second;
+}
+
+const kernel::CrashReport& CrashCollector::get(u32 sequence) const {
+  const kernel::CrashReport* report = find(sequence);
+  if (report == nullptr) {
+    throw Error("no crash report collected for sequence " +
+                std::to_string(sequence));
+  }
+  return *report;
 }
 
 }  // namespace kfi::inject

@@ -76,6 +76,11 @@ class CrashCollector {
   void poll(UdpChannel& channel);
 
   bool has(u32 sequence) const { return reports_.contains(sequence); }
+  /// Lookup without commitment: nullptr when no report arrived for
+  /// `sequence` (the datagram was lost or never sent).
+  const kernel::CrashReport* find(u32 sequence) const;
+  /// Checked access: throws kfi::Error (never UB) when no report exists
+  /// for `sequence` — use find()/has() when absence is an expected case.
   const kernel::CrashReport& get(u32 sequence) const;
   size_t count() const { return reports_.size(); }
 

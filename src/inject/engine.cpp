@@ -1,25 +1,67 @@
 #include "inject/engine.hpp"
 
-#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "inject/experiment.hpp"
+#include "inject/journal.hpp"
 
 namespace kfi::inject {
 
 namespace {
 
 /// Everything one worker accumulates; merged after the pool drains.
+/// Counters are summed per completed injection (not read off the rig at
+/// worker exit) so that rig rebuilds after harness faults, and journal
+/// resume, merge bit-identically with an uninterrupted run.
 struct WorkerTotals {
   u64 reboots = 0;
   u64 datagrams_sent = 0;
   u64 datagrams_dropped = 0;
   u64 simulated_cycles = 0;
+  u64 quarantined = 0;
+  u64 stalls = 0;
+  u64 harness_retries = 0;
   std::exception_ptr error;
 };
+
+/// One worker's private experiment apparatus.  Rebuilt from scratch (off
+/// the shared immutable image) when a harness fault leaves it suspect.
+struct WorkerRig {
+  kernel::Machine machine;
+  std::unique_ptr<workload::Workload> wl;
+  UdpChannel channel;
+  CrashCollector collector;
+  ExperimentRunner runner;
+
+  WorkerRig(const CampaignPlan& plan, const kernel::MachineOptions& mopts)
+      : machine(plan.spec.arch, mopts, plan.image),
+        wl(workload::make_suite(plan.spec.workload_scale)),
+        channel(plan.spec.channel_loss, plan.spec.seed ^ 0xC0FFEE),
+        collector(),
+        runner(machine, *wl, channel, collector, plan.nominal_cycles,
+               plan.budget_cycles, plan.kernel_fraction) {}
+};
+
+/// Shared between one worker and the supervisor's watchdog loop.
+struct WorkerState {
+  WorkerTotals totals;
+  kernel::HarnessInterrupt interrupt;
+  /// Wall-clock ns timestamp of the in-flight attempt's start; -1 = idle.
+  /// Doubles as the attempt epoch for the watchdog's double-check.
+  std::atomic<i64> busy_since_ns{-1};
+  std::atomic<u32> busy_index{0};
+};
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -30,7 +72,8 @@ u32 CampaignEngine::resolve_jobs(u32 requested) {
 }
 
 CampaignResult CampaignEngine::run(const CampaignPlan& plan,
-                                   const ProgressFn& progress) const {
+                                   const ProgressFn& progress,
+                                   const RunControl& ctl) const {
   const auto t0 = std::chrono::steady_clock::now();
 
   CampaignResult result;
@@ -41,64 +84,231 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
 
   const u32 total = static_cast<u32>(plan.targets.size());
   result.records.resize(total);
+  result.done_mask.assign(total, 0);
 
-  const u32 jobs =
-      total == 0 ? 1 : std::min(resolve_jobs(jobs_), std::max(total, 1u));
-  std::vector<WorkerTotals> totals(jobs);
+  // Pre-merge journaled records: their indices are skipped and their
+  // counter deltas seed the merge, making the resumed result
+  // bit-identical to an uninterrupted run.  Quarantined entries are
+  // deliberately NOT marked done — a resume is the harness's second
+  // chance at them.
+  u32 resumed = 0;
+  if (ctl.journal != nullptr) {
+    for (const JournalEntry& e : ctl.journal->recovered()) {
+      if (e.index >= total || result.done_mask[e.index]) continue;
+      if (e.record.outcome == OutcomeCategory::kHarnessError) continue;
+      result.records[e.index] = e.record;
+      result.done_mask[e.index] = 1;
+      result.reboots += e.reboots;
+      result.datagrams_sent += e.datagrams_sent;
+      result.datagrams_dropped += e.datagrams_dropped;
+      result.throughput.simulated_cycles += e.simulated_cycles;
+      ++resumed;
+    }
+  }
+  result.resumed_records = resumed;
+
+  const u32 remaining = total - resumed;
+  const u32 jobs = remaining == 0
+                       ? 1
+                       : std::min(resolve_jobs(jobs_), std::max(remaining, 1u));
+  std::vector<std::unique_ptr<WorkerState>> states;
+  for (u32 w = 0; w < jobs; ++w) {
+    states.push_back(std::make_unique<WorkerState>());
+    states.back()->interrupt.step_budget = ctl.step_budget;
+  }
+
   std::atomic<u32> next_index{0};
+  std::atomic<bool> abort{false};
   std::mutex progress_mutex;
-  u32 done = 0;
+  u32 done_count = resumed;
 
-  // One worker: private Machine (booted from the shared image), Workload,
-  // UdpChannel, CrashCollector, ExperimentRunner.  Indices are claimed
-  // dynamically; determinism is per-index, so the assignment is free to
-  // load-balance.
-  auto worker = [&](WorkerTotals& mine) {
+  auto cancelled = [&abort, &ctl] {
+    return abort.load(std::memory_order_relaxed) ||
+           (ctl.cancel != nullptr &&
+            ctl.cancel->load(std::memory_order_relaxed));
+  };
+
+  const kernel::MachineOptions mopts = campaign_machine_options(plan.spec);
+
+  // One worker: claims indices dynamically (determinism is per-index, so
+  // the assignment is free to load-balance), executes each with retry /
+  // quarantine isolation, and journals every completed record before
+  // reporting progress.
+  auto worker = [&](WorkerState& st) {
     try {
-      const kernel::MachineOptions mopts =
-          campaign_machine_options(plan.spec);
-      kernel::Machine machine(plan.spec.arch, mopts, plan.image);
-      auto wl = workload::make_suite(plan.spec.workload_scale);
-      UdpChannel channel(plan.spec.channel_loss, plan.spec.seed ^ 0xC0FFEE);
-      CrashCollector collector;
-      ExperimentRunner runner(machine, *wl, channel, collector,
-                              plan.nominal_cycles, plan.budget_cycles,
-                              plan.kernel_fraction);
+      auto make_rig = [&plan, &mopts, &st] {
+        auto rig = std::make_unique<WorkerRig>(plan, mopts);
+        rig->machine.set_harness_interrupt(&st.interrupt);
+        return rig;
+      };
+      auto rig = make_rig();
+
       for (u32 i = next_index.fetch_add(1); i < total;
            i = next_index.fetch_add(1)) {
-        result.records[i] =
-            runner.run_one(plan.targets[i], plan.run_seeds[i], i);
+        if (cancelled()) break;
+        if (result.done_mask[i]) continue;  // journaled before this run
+
+        JournalEntry entry;
+        entry.index = i;
+        const u32 max_attempts = ctl.retries + 1;
+        std::string err;
+        bool ok = false;
+        bool stalled = false;
+        u32 attempts = 0;
+
+        for (u32 attempt = 0; attempt < max_attempts && !ok && !stalled;
+             ++attempt) {
+          ++attempts;
+          // Publish the heartbeat for this attempt.  Clearing `requested`
+          // first means a watchdog decision against a *previous* attempt
+          // cannot interrupt this one (the watchdog double-checks
+          // busy_since_ns before setting the flag; the residual race is
+          // benign — at worst one healthy index is quarantined and the
+          // campaign continues).
+          st.interrupt.requested.store(false, std::memory_order_relaxed);
+          st.busy_index.store(i, std::memory_order_relaxed);
+          st.busy_since_ns.store(now_ns(), std::memory_order_release);
+          try {
+            if (ctl.harness_fault_hook) ctl.harness_fault_hook(i, attempt);
+            const u64 reboots0 = rig->runner.watchdog().reboots();
+            const u64 sent0 = rig->channel.sent();
+            const u64 dropped0 = rig->channel.dropped();
+            const u64 cycles0 = rig->runner.simulated_cycles();
+            result.records[i] =
+                rig->runner.run_one(plan.targets[i], plan.run_seeds[i], i);
+            entry.reboots = rig->runner.watchdog().reboots() - reboots0;
+            entry.datagrams_sent = rig->channel.sent() - sent0;
+            entry.datagrams_dropped = rig->channel.dropped() - dropped0;
+            entry.simulated_cycles =
+                rig->runner.simulated_cycles() - cycles0;
+            ok = true;
+          } catch (const StallInterrupt& e) {
+            // The watchdog (or step budget) pulled the machine out of a
+            // livelock.  No retry: the same index would stall again.
+            err = e.what();
+            stalled = true;
+            st.interrupt.requested.store(false, std::memory_order_relaxed);
+            rig = make_rig();  // mid-run machine state is unusable
+          } catch (const std::exception& e) {
+            err = e.what();
+            rig = make_rig();  // retry on a freshly built replica
+            if (attempt + 1 < max_attempts) ++st.totals.harness_retries;
+          } catch (...) {
+            err = "unknown harness error";
+            rig = make_rig();
+            if (attempt + 1 < max_attempts) ++st.totals.harness_retries;
+          }
+        }
+        st.busy_since_ns.store(-1, std::memory_order_release);
+
+        if (ok) {
+          st.totals.reboots += entry.reboots;
+          st.totals.datagrams_sent += entry.datagrams_sent;
+          st.totals.datagrams_dropped += entry.datagrams_dropped;
+          st.totals.simulated_cycles += entry.simulated_cycles;
+          entry.record = result.records[i];
+        } else {
+          // Quarantine: a distinct harness-error record (message
+          // preserved) that keeps the index visible in the tally without
+          // polluting the paper's outcome statistics.
+          InjectionRecord rec;
+          rec.target = plan.targets[i];
+          rec.outcome = OutcomeCategory::kHarnessError;
+          rec.harness_error = err.empty() ? "harness error" : err;
+          rec.harness_attempts = attempts;
+          result.records[i] = rec;
+          entry.record = rec;
+          ++st.totals.quarantined;
+          if (stalled) ++st.totals.stalls;
+        }
+        result.done_mask[i] = 1;
+
+        if (ctl.journal != nullptr) ctl.journal->append(entry);
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
-          progress(++done, total);
+          progress(++done_count, total);
         }
       }
-      mine.reboots = runner.watchdog().reboots();
-      mine.datagrams_sent = channel.sent();
-      mine.datagrams_dropped = channel.dropped();
-      mine.simulated_cycles = runner.simulated_cycles();
     } catch (...) {
-      mine.error = std::current_exception();
+      // Fatal for the whole campaign (rig construction, journal I/O, or a
+      // throwing progress callback): stop claiming everywhere, drain, and
+      // rethrow after the pool joins.  Already-journaled records survive.
+      st.totals.error = std::current_exception();
+      abort.store(true, std::memory_order_relaxed);
     }
   };
 
-  if (jobs <= 1) {
-    worker(totals[0]);
+  // Wall-clock watchdog: interrupts any attempt that outlives its budget
+  // via the worker machine's HarnessInterrupt.
+  std::mutex sup_mutex;
+  std::condition_variable sup_cv;
+  bool sup_stop = false;
+  std::thread supervisor;
+  if (ctl.stall_seconds > 0.0) {
+    const i64 budget_ns = static_cast<i64>(ctl.stall_seconds * 1e9);
+    const auto poll =
+        std::chrono::nanoseconds(std::max<i64>(budget_ns / 8, 1'000'000));
+    supervisor = std::thread([&states, &sup_mutex, &sup_cv, &sup_stop,
+                              budget_ns, poll] {
+      std::unique_lock<std::mutex> lock(sup_mutex);
+      while (!sup_stop) {
+        sup_cv.wait_for(lock, poll);
+        if (sup_stop) break;
+        const i64 now = now_ns();
+        for (const auto& st : states) {
+          const i64 since =
+              st->busy_since_ns.load(std::memory_order_acquire);
+          if (since < 0 || now - since <= budget_ns) continue;
+          // Double-check the attempt epoch before interrupting.
+          if (st->busy_since_ns.load(std::memory_order_acquire) == since) {
+            st->interrupt.requested.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  if (remaining == 0) {
+    // Fully resumed: nothing to execute, no rig to boot.
+  } else if (jobs <= 1) {
+    worker(*states[0]);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(jobs);
     for (u32 w = 0; w < jobs; ++w) {
-      pool.emplace_back([&worker, &totals, w] { worker(totals[w]); });
+      pool.emplace_back([&worker, &states, w] { worker(*states[w]); });
     }
     for (auto& t : pool) t.join();
   }
 
-  for (const WorkerTotals& mine : totals) {
-    if (mine.error) std::rethrow_exception(mine.error);
-    result.reboots += mine.reboots;
-    result.datagrams_sent += mine.datagrams_sent;
-    result.datagrams_dropped += mine.datagrams_dropped;
-    result.throughput.simulated_cycles += mine.simulated_cycles;
+  if (supervisor.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(sup_mutex);
+      sup_stop = true;
+    }
+    sup_cv.notify_all();
+    supervisor.join();
+  }
+
+  if (ctl.journal != nullptr) result.journal_flushes = ctl.journal->flushes();
+
+  for (const auto& st : states) {
+    if (st->totals.error) std::rethrow_exception(st->totals.error);
+  }
+  for (const auto& st : states) {
+    result.reboots += st->totals.reboots;
+    result.datagrams_sent += st->totals.datagrams_sent;
+    result.datagrams_dropped += st->totals.datagrams_dropped;
+    result.throughput.simulated_cycles += st->totals.simulated_cycles;
+    result.quarantined += st->totals.quarantined;
+    result.stalls += st->totals.stalls;
+    result.harness_retries += st->totals.harness_retries;
+  }
+  for (const u8 d : result.done_mask) {
+    if (!d) {
+      result.interrupted = true;
+      break;
+    }
   }
 
   result.throughput.jobs = jobs;

@@ -1,4 +1,5 @@
-// CampaignEngine: executes a frozen CampaignPlan across worker Machines.
+// CampaignEngine: executes a frozen CampaignPlan across worker Machines,
+// under a fault-tolerant supervisor.
 //
 // Each worker owns a private replica of the experiment apparatus — a
 // Machine booted from the plan's shared immutable kernel image, a
@@ -10,15 +11,34 @@
 // serial run of the same plan, which the parity tests assert.  The merge
 // is deterministic by construction: records land at their target index,
 // and the reboot / datagram / drop / cycle counters are order-independent
-// per-worker sums.
+// per-injection sums.
+//
+// The supervisor layer makes the campaign durable and partial-failure
+// tolerant (the NFTAPE control host's job in the paper's Figure 1):
+//   * journal      — completed records are flushed to an append-only
+//                    journal as they finish; a killed campaign resumes by
+//                    skipping journaled indices, bit-identically.
+//   * isolation    — an exception escaping one injection retries that
+//                    index on a freshly built worker rig, then quarantines
+//                    it as a harness-error record; the campaign continues.
+//   * watchdog     — a supervisor thread monitors per-worker heartbeats;
+//                    an injection exceeding its wall budget is interrupted
+//                    via the machine's HarnessInterrupt and quarantined
+//                    instead of wedging the run.
+//   * cancel       — a cooperative cancel flag (e.g. set from SIGINT)
+//                    stops workers at the next injection boundary with the
+//                    journal flushed, so the run can be resumed.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
 #include "inject/plan.hpp"
 
 namespace kfi::inject {
+
+class InjectionJournal;
 
 /// Observability for the run itself (wall-clock, not simulated, so it is
 /// deliberately excluded from the determinism contract).
@@ -45,6 +65,10 @@ struct CampaignThroughput {
 struct CampaignResult {
   CampaignSpec spec;
   std::vector<InjectionRecord> records;
+  /// records[i] is only meaningful where done_mask[i] != 0; an
+  /// uninterrupted campaign has every index done.  (Interrupted runs
+  /// leave default records at unexecuted indices.)
+  std::vector<u8> done_mask;
   u64 nominal_cycles = 0;  // calibrated fault-free run length
   double kernel_fraction = 0.15;
   std::vector<workload::HotFunction> hot_functions;
@@ -52,9 +76,49 @@ struct CampaignResult {
   u64 datagrams_sent = 0;
   u64 datagrams_dropped = 0;
   CampaignThroughput throughput;
+
+  // Supervisor observability (operational, excluded from the result
+  // fingerprint just like throughput).
+  u64 quarantined = 0;       // harness-error records (incl. stalls)
+  u64 stalls = 0;            // wall-clock watchdog / step-budget trips
+  u64 harness_retries = 0;   // retry attempts consumed before success
+  u64 resumed_records = 0;   // records recovered from the journal
+  u64 journal_flushes = 0;   // journal appends flushed this run
+  bool interrupted = false;  // cancelled before every index completed
+
+  /// Indices actually carrying a record (resumed + executed).
+  u64 executed() const {
+    u64 n = 0;
+    for (const u8 d : done_mask) n += d;
+    return n;
+  }
 };
 
 using ProgressFn = std::function<void(u32 done, u32 total)>;
+
+/// Supervisor knobs for one engine run.  The default-constructed control
+/// is the plain in-memory campaign: no journal, one retry, watchdog off.
+struct RunControl {
+  /// Durable record sink; also the source of resumed indices (its
+  /// recovered() entries are skipped and pre-merged).  May be null.
+  InjectionJournal* journal = nullptr;
+  /// Harness-error retries per index before quarantining (each retry runs
+  /// on a freshly built worker rig).
+  u32 retries = 1;
+  /// Wall-clock budget for a single injection; exceeding it interrupts
+  /// the machine and quarantines the index.  0 disables the watchdog.
+  double stall_seconds = 0.0;
+  /// Max simulation-loop steps per Machine::run call (0 = unlimited);
+  /// catches livelocks that stop advancing the cycle counter.
+  u64 step_budget = 0;
+  /// Cooperative cancel (e.g. set by a SIGINT handler): workers stop
+  /// claiming indices, the journal stays flushed, run() returns the
+  /// partial result with `interrupted` set.  May be null.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test/chaos hook invoked before every injection attempt; a throw is
+  /// treated exactly like a harness fault inside that attempt.
+  std::function<void(u32 index, u32 attempt)> harness_fault_hook;
+};
 
 class CampaignEngine {
  public:
@@ -67,11 +131,14 @@ class CampaignEngine {
 
   u32 jobs() const { return resolve_jobs(jobs_); }
 
-  /// Execute the plan and merge worker results deterministically.
-  /// `progress` (if set) is serialized and reports monotone completion
-  /// counts, not execution order.
-  CampaignResult run(const CampaignPlan& plan,
-                     const ProgressFn& progress = {}) const;
+  /// Execute the plan under `control` and merge worker results
+  /// deterministically.  `progress` (if set) is serialized and reports
+  /// monotone completion counts, not execution order; a throwing progress
+  /// callback aborts the campaign cleanly (workers stop at the next
+  /// injection boundary, the journal keeps every completed record) and
+  /// the exception is rethrown to the caller after the pool drains.
+  CampaignResult run(const CampaignPlan& plan, const ProgressFn& progress = {},
+                     const RunControl& control = {}) const;
 
  private:
   u32 jobs_;

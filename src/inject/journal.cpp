@@ -1,0 +1,312 @@
+#include "inject/journal.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "inject/plan.hpp"
+
+namespace kfi::inject {
+
+namespace {
+
+constexpr u32 kJournalMagic = 0x4B46494A;  // "KFIJ"
+constexpr u32 kEntryMagic = 0x4B464945;    // "KFIE"
+constexpr u32 kVersion = 1;
+
+u64 fnv1a(const u8* data, size_t size) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void put8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+
+void put32(std::vector<u8>& out, u32 v) {
+  out.push_back(static_cast<u8>(v >> 24));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+
+void put64(std::vector<u8>& out, u64 v) {
+  put32(out, static_cast<u32>(v >> 32));
+  put32(out, static_cast<u32>(v));
+}
+
+void put_double(std::vector<u8>& out, double d) {
+  u64 bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  put64(out, bits);
+}
+
+void put_string(std::vector<u8>& out, const std::string& s) {
+  put32(out, static_cast<u32>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked big-endian reader: every get_* returns a default and
+/// latches `ok = false` once the input runs out, so malformed input can
+/// never read past the buffer.
+struct Cursor {
+  const std::vector<u8>& in;
+  size_t pos;
+  bool ok = true;
+
+  bool have(size_t n) {
+    if (!ok || in.size() - pos < n || pos > in.size()) ok = false;
+    return ok;
+  }
+  u8 get8() {
+    if (!have(1)) return 0;
+    return in[pos++];
+  }
+  u32 get32() {
+    if (!have(4)) return 0;
+    const u32 v = (static_cast<u32>(in[pos]) << 24) |
+                  (static_cast<u32>(in[pos + 1]) << 16) |
+                  (static_cast<u32>(in[pos + 2]) << 8) |
+                  static_cast<u32>(in[pos + 3]);
+    pos += 4;
+    return v;
+  }
+  u64 get64() {
+    const u64 hi = get32();
+    return (hi << 32) | get32();
+  }
+  double get_double() {
+    const u64 bits = get64();
+    double d = 0.0;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  std::string get_string() {
+    const u32 len = get32();
+    if (!have(len)) return {};
+    std::string s(in.begin() + static_cast<long>(pos),
+                  in.begin() + static_cast<long>(pos + len));
+    pos += len;
+    return s;
+  }
+};
+
+}  // namespace
+
+void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& e) {
+  put32(out, e.index);
+
+  const InjectionTarget& t = e.record.target;
+  put8(out, static_cast<u8>(t.kind));
+  put32(out, t.code_entry);
+  put32(out, t.code_addr);
+  put32(out, t.code_insn_len);
+  put32(out, t.code_bit);
+  put_string(out, t.function);
+  put32(out, t.data_addr);
+  put32(out, t.data_bit);
+  put32(out, t.stack_task);
+  put_double(out, t.stack_depth_frac);
+  put32(out, t.stack_bit);
+  put32(out, t.reg_index);
+  put32(out, t.reg_bit);
+  put_string(out, t.reg_name);
+  put_double(out, t.inject_at_frac);
+
+  const InjectionRecord& r = e.record;
+  put8(out, static_cast<u8>(r.outcome));
+  put8(out, r.activated ? 1 : 0);
+  put8(out, r.activation_known ? 1 : 0);
+  put64(out, r.activation_cycle);
+  put64(out, r.latency_base_cycle);
+  put8(out, r.crashed ? 1 : 0);
+  put8(out, r.crash_report_received ? 1 : 0);
+  put8(out, static_cast<u8>(r.crash.cause));
+  put32(out, r.crash.pc);
+  put32(out, r.crash.addr);
+  put8(out, r.crash.has_addr ? 1 : 0);
+  put64(out, r.crash.cycles_to_crash);
+  put_string(out, r.crash.detail);
+  put64(out, r.cycles_to_crash);
+  put32(out, r.syscalls_completed);
+  put_string(out, r.harness_error);
+  put32(out, r.harness_attempts);
+
+  put64(out, e.reboots);
+  put64(out, e.datagrams_sent);
+  put64(out, e.datagrams_dropped);
+  put64(out, e.simulated_cycles);
+}
+
+std::optional<JournalEntry> deserialize_journal_entry(
+    const std::vector<u8>& in, size_t& pos) {
+  Cursor c{in, pos};
+  JournalEntry e;
+  e.index = c.get32();
+
+  InjectionTarget& t = e.record.target;
+  const u8 kind = c.get8();
+  if (kind > static_cast<u8>(CampaignKind::kCode)) return std::nullopt;
+  t.kind = static_cast<CampaignKind>(kind);
+  t.code_entry = c.get32();
+  t.code_addr = c.get32();
+  t.code_insn_len = c.get32();
+  t.code_bit = c.get32();
+  t.function = c.get_string();
+  t.data_addr = c.get32();
+  t.data_bit = c.get32();
+  t.stack_task = c.get32();
+  t.stack_depth_frac = c.get_double();
+  t.stack_bit = c.get32();
+  t.reg_index = c.get32();
+  t.reg_bit = c.get32();
+  t.reg_name = c.get_string();
+  t.inject_at_frac = c.get_double();
+
+  InjectionRecord& r = e.record;
+  const u8 outcome = c.get8();
+  if (outcome >= static_cast<u8>(OutcomeCategory::kNumOutcomes)) {
+    return std::nullopt;
+  }
+  r.outcome = static_cast<OutcomeCategory>(outcome);
+  r.activated = c.get8() != 0;
+  r.activation_known = c.get8() != 0;
+  r.activation_cycle = c.get64();
+  r.latency_base_cycle = c.get64();
+  r.crashed = c.get8() != 0;
+  r.crash_report_received = c.get8() != 0;
+  const u8 cause = c.get8();
+  if (cause >= static_cast<u8>(kernel::CrashCause::kNumCauses)) {
+    return std::nullopt;
+  }
+  r.crash.cause = static_cast<kernel::CrashCause>(cause);
+  r.crash.pc = c.get32();
+  r.crash.addr = c.get32();
+  r.crash.has_addr = c.get8() != 0;
+  r.crash.cycles_to_crash = c.get64();
+  r.crash.detail = c.get_string();
+  r.cycles_to_crash = c.get64();
+  r.syscalls_completed = c.get32();
+  r.harness_error = c.get_string();
+  r.harness_attempts = c.get32();
+
+  e.reboots = c.get64();
+  e.datagrams_sent = c.get64();
+  e.datagrams_dropped = c.get64();
+  e.simulated_cycles = c.get64();
+
+  if (!c.ok) return std::nullopt;
+  pos = c.pos;
+  return e;
+}
+
+InjectionJournal::InjectionJournal(std::string path,
+                                   std::vector<JournalEntry> recovered)
+    : path_(std::move(path)),
+      recovered_(std::move(recovered)),
+      mutex_(new std::mutex) {}
+
+InjectionJournal InjectionJournal::create(const std::string& path,
+                                          const CampaignPlan& plan) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw JournalError("cannot create journal at " + path);
+  std::vector<u8> header;
+  put32(header, kJournalMagic);
+  put32(header, kVersion);
+  put64(header, plan_fingerprint(plan));
+  put32(header, static_cast<u32>(plan.targets.size()));
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<long>(header.size()));
+  out.flush();
+  if (!out) throw JournalError("cannot write journal header to " + path);
+  return InjectionJournal(path, {});
+}
+
+InjectionJournal InjectionJournal::resume(const std::string& path,
+                                          const CampaignPlan& plan) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JournalError("cannot open journal at " + path);
+  std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  in.close();
+
+  Cursor c{bytes, 0};
+  if (c.get32() != kJournalMagic || !c.ok) {
+    throw JournalError("not an injection journal: " + path);
+  }
+  if (const u32 version = c.get32(); version != kVersion) {
+    throw JournalError("journal version mismatch in " + path + ": " +
+                       std::to_string(version));
+  }
+  const u64 fingerprint = c.get64();
+  const u32 total = c.get32();
+  if (!c.ok) throw JournalError("truncated journal header in " + path);
+  if (fingerprint != plan_fingerprint(plan)) {
+    throw JournalError("journal " + path +
+                       " was written for a different campaign plan "
+                       "(fingerprint mismatch)");
+  }
+  if (total != plan.targets.size()) {
+    throw JournalError("journal " + path + " expects " +
+                       std::to_string(total) + " targets, plan has " +
+                       std::to_string(plan.targets.size()));
+  }
+
+  // Load intact entries; stop (and truncate) at the first torn one.
+  std::vector<JournalEntry> recovered;
+  size_t good_end = c.pos;
+  for (;;) {
+    Cursor frame{bytes, good_end};
+    if (frame.pos == bytes.size()) break;  // clean end
+    if (frame.get32() != kEntryMagic || !frame.ok) break;
+    const u32 index = frame.get32();
+    const u32 len = frame.get32();
+    if (!frame.have(len)) break;
+    const size_t payload_at = frame.pos;
+    frame.pos += len;
+    const u64 checksum = frame.get64();
+    if (!frame.ok || checksum != fnv1a(bytes.data() + payload_at, len)) break;
+    size_t pos = payload_at;
+    auto entry = deserialize_journal_entry(bytes, pos);
+    if (!entry || pos != payload_at + len || entry->index != index ||
+        entry->index >= total) {
+      break;
+    }
+    recovered.push_back(std::move(*entry));
+    good_end = frame.pos;
+  }
+  if (good_end < bytes.size()) {
+    std::filesystem::resize_file(path, good_end);
+  }
+  return InjectionJournal(path, std::move(recovered));
+}
+
+void InjectionJournal::append(const JournalEntry& entry) {
+  std::vector<u8> payload;
+  serialize_journal_entry(payload, entry);
+  std::vector<u8> frame;
+  frame.reserve(payload.size() + 20);
+  put32(frame, kEntryMagic);
+  put32(frame, entry.index);
+  put32(frame, static_cast<u32>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  put64(frame, fnv1a(payload.data(), payload.size()));
+
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) throw JournalError("cannot append to journal " + path_);
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<long>(frame.size()));
+  out.flush();
+  if (!out) throw JournalError("journal write failed for " + path_);
+  ++flushes_;
+}
+
+u64 InjectionJournal::flushes() const {
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  return flushes_;
+}
+
+}  // namespace kfi::inject

@@ -1,0 +1,101 @@
+// InjectionJournal: append-only on-disk log of completed injections.
+//
+// The paper's NFTAPE control host survived its own 18,000-injection
+// campaigns because collection was restart-safe: every finished experiment
+// was durable before the next one started.  This is our equivalent.  Each
+// completed InjectionRecord is serialized and flushed as it finishes,
+// together with the per-injection counter deltas (reboots, datagrams,
+// simulated cycles) that the campaign merge sums.  A killed campaign can
+// then be resumed: the engine skips journaled indices and seeds its merge
+// totals from the journaled deltas, so the resumed CampaignResult is
+// bit-identical to an uninterrupted run (inject::result_fingerprint is the
+// arbiter; the kill/resume parity tests enforce it).
+//
+// File format (all integers big-endian, matching the datagram idiom):
+//   header:  magic "KFIJ" | version u32 | plan_fingerprint u64 | total u32
+//   entry:   magic "KFIE" | index u32 | payload_len u32 | payload bytes
+//            | fnv1a64(payload) u64
+// The payload is the serialized JournalEntry body.  A torn tail entry
+// (process killed mid-write) fails the length or checksum test; resume
+// truncates the file back to the last intact entry and the lost index is
+// simply re-executed.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "inject/record.hpp"
+
+namespace kfi::inject {
+
+struct CampaignPlan;
+
+/// Typed failure for journal open/resume problems (missing file, foreign
+/// campaign fingerprint, malformed header).
+class JournalError : public Error {
+ public:
+  explicit JournalError(const std::string& what) : Error(what) {}
+};
+
+/// One durable unit: a completed record plus the counter deltas its
+/// execution contributed to the campaign merge.
+struct JournalEntry {
+  u32 index = 0;
+  InjectionRecord record;
+  u64 reboots = 0;
+  u64 datagrams_sent = 0;
+  u64 datagrams_dropped = 0;
+  u64 simulated_cycles = 0;
+};
+
+class InjectionJournal {
+ public:
+  /// Start a fresh journal at `path` (truncates any existing file) for
+  /// the given plan.
+  static InjectionJournal create(const std::string& path,
+                                 const CampaignPlan& plan);
+
+  /// Open an existing journal for resume: validates the header against
+  /// the plan's fingerprint, loads every intact entry, and truncates away
+  /// a torn tail so subsequent appends start at a clean boundary.
+  /// Throws JournalError if the file is missing, malformed, or was
+  /// written for a different plan.
+  static InjectionJournal resume(const std::string& path,
+                                 const CampaignPlan& plan);
+
+  InjectionJournal(InjectionJournal&&) = default;
+  InjectionJournal& operator=(InjectionJournal&&) = default;
+
+  /// Serialize, append, and flush one entry.  Thread-safe.  Throws
+  /// JournalError if the filesystem rejects the write (disk full, etc.).
+  void append(const JournalEntry& entry);
+
+  /// Entries recovered by resume() (empty for a created journal).
+  const std::vector<JournalEntry>& recovered() const { return recovered_; }
+
+  /// Appends flushed to disk by this process.  Thread-safe.
+  u64 flushes() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  InjectionJournal(std::string path, std::vector<JournalEntry> recovered);
+
+  std::string path_;
+  std::vector<JournalEntry> recovered_;
+  std::unique_ptr<std::mutex> mutex_;  // heap so the journal stays movable
+  u64 flushes_ = 0;
+};
+
+/// Record (de)serialization, exposed for round-trip tests.  deserialize
+/// advances `pos` and returns nullopt (without reading out of bounds) on
+/// truncated or malformed input.
+void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& entry);
+std::optional<JournalEntry> deserialize_journal_entry(
+    const std::vector<u8>& in, size_t& pos);
+
+}  // namespace kfi::inject

@@ -1,6 +1,7 @@
 #include "inject/plan.hpp"
 
 #include <chrono>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "inject/target_gen.hpp"
@@ -75,6 +76,64 @@ CampaignPlan build_campaign_plan(const CampaignSpec& spec) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return plan;
+}
+
+u64 plan_fingerprint(const CampaignPlan& plan) {
+  u64 h = 0xcbf29ce484222325ull;
+  auto mix = [&h](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  auto mix_double = [&mix](double d) {
+    u64 bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  auto mix_string = [&mix](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mix(static_cast<u8>(c));
+  };
+
+  const CampaignSpec& spec = plan.spec;
+  mix(static_cast<u64>(spec.arch));
+  mix(static_cast<u64>(spec.kind));
+  mix(spec.injections);
+  mix(spec.seed);
+  mix(spec.workload_scale);
+  mix_double(spec.channel_loss);
+  mix_double(spec.budget_factor);
+  mix(spec.machine.timer_period);
+  mix(spec.machine.user_cycles_mean);
+  mix(spec.machine.g4_stack_wrapper ? 1 : 0);
+  mix(spec.machine.p4_stack_limit_check ? 1 : 0);
+  mix(spec.machine.spinlock_debug ? 1 : 0);
+  mix(spec.machine.seed);
+
+  mix(plan.nominal_cycles);
+  mix_double(plan.kernel_fraction);
+  mix(plan.budget_cycles);
+  mix(plan.targets.size());
+  for (const InjectionTarget& t : plan.targets) {
+    mix(static_cast<u64>(t.kind));
+    mix(t.code_entry);
+    mix(t.code_addr);
+    mix(t.code_insn_len);
+    mix(t.code_bit);
+    mix_string(t.function);
+    mix(t.data_addr);
+    mix(t.data_bit);
+    mix(t.stack_task);
+    mix_double(t.stack_depth_frac);
+    mix(t.stack_bit);
+    mix(t.reg_index);
+    mix(t.reg_bit);
+    mix_string(t.reg_name);
+    mix_double(t.inject_at_frac);
+  }
+  for (const u64 s : plan.run_seeds) mix(s);
+  return h;
 }
 
 }  // namespace kfi::inject

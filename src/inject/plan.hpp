@@ -70,4 +70,13 @@ CampaignPlan build_campaign_plan(const CampaignSpec& spec);
 /// Machine options for the campaign's (and every worker's) machine.
 kernel::MachineOptions campaign_machine_options(const CampaignSpec& spec);
 
+/// FNV-1a over every determinism-relevant input of a plan: the spec
+/// (including the semantics-affecting machine options), the calibration
+/// results, and all pre-generated targets and per-run seeds.  The
+/// injection journal stamps this into its header so a resume can refuse a
+/// journal written for a different campaign.  The bit-exact perf knobs
+/// (decode cache, fast reboot) are deliberately excluded: a journal may
+/// be resumed with either setting.
+u64 plan_fingerprint(const CampaignPlan& plan);
+
 }  // namespace kfi::inject

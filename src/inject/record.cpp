@@ -19,6 +19,7 @@ std::string outcome_name(OutcomeCategory outcome) {
     case OutcomeCategory::kFailSilenceViolation: return "Fail Silence Violation";
     case OutcomeCategory::kKnownCrash: return "Known Crash";
     case OutcomeCategory::kHangOrUnknownCrash: return "Hang/Unknown Crash";
+    case OutcomeCategory::kHarnessError: return "Harness Error (quarantined)";
     case OutcomeCategory::kNumOutcomes: break;
   }
   return "unknown";

@@ -55,13 +55,20 @@ struct InjectionTarget {
   double inject_at_frac = 0.0;
 };
 
-/// Table 2 outcome categories (with the Table 5/6 known/unknown split).
+/// Table 2 outcome categories (with the Table 5/6 known/unknown split),
+/// plus one harness-side category the paper's tables do not have:
+/// kHarnessError marks an injection the *control host* failed to execute
+/// (a worker exception or a wall-clock stall, retried and then
+/// quarantined).  It says nothing about the target's error sensitivity,
+/// so the analysis layer reports it separately and keeps it out of every
+/// paper-convention denominator.
 enum class OutcomeCategory : u8 {
   kNotActivated = 0,
   kNotManifested,
   kFailSilenceViolation,
   kKnownCrash,
   kHangOrUnknownCrash,
+  kHarnessError,
   kNumOutcomes,
 };
 
@@ -85,6 +92,11 @@ struct InjectionRecord {
   Cycles cycles_to_crash = 0;
 
   u32 syscalls_completed = 0;
+
+  // kHarnessError only: what went wrong in the harness and how many
+  // attempts (initial + retries) were consumed before quarantining.
+  std::string harness_error;
+  u32 harness_attempts = 0;
 };
 
 }  // namespace kfi::inject

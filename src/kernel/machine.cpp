@@ -530,7 +530,17 @@ void Machine::maybe_deliver_timer() {
 }
 
 Event Machine::run(u64 stop_cycles) {
+  u64 steps = 0;
   for (;;) {
+    if (harness_interrupt_ != nullptr) {
+      if (harness_interrupt_->requested.load(std::memory_order_relaxed)) {
+        throw StallInterrupt("wall-clock watchdog interrupted the run");
+      }
+      if (harness_interrupt_->step_budget != 0 &&
+          ++steps > harness_interrupt_->step_budget) {
+        throw StallInterrupt("per-run step budget exhausted");
+      }
+    }
     if (fatal_pending_) {
       const isa::Trap trap = *fatal_pending_;
       fatal_pending_.reset();

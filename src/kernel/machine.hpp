@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -57,6 +58,19 @@ struct Event {
   u32 ret = 0;
   CrashReport crash{};
   isa::DataBpHit hit{};
+};
+
+/// Cooperative harness interrupt, shared between a Machine and the
+/// campaign supervisor's wall-clock watchdog.  Machine::run polls
+/// `requested` between steps and throws kfi::StallInterrupt when it is
+/// set, so a livelocked simulation can be pulled out of run() without
+/// killing the process; `step_budget` (0 = off) additionally bounds the
+/// steps one run() call may execute, catching livelocks that stop
+/// advancing the cycle counter entirely.  After a StallInterrupt the
+/// machine is mid-run garbage; restore a snapshot before reusing it.
+struct HarnessInterrupt {
+  std::atomic<bool> requested{false};
+  u64 step_budget = 0;
 };
 
 struct MachineOptions {
@@ -124,6 +138,12 @@ class Machine {
   Event run(u64 stop_cycles = 0);
 
   bool idle() const { return !syscall_active_ && glue_stack_.empty(); }
+
+  /// Attach (or detach, with nullptr) the supervisor's interrupt channel.
+  /// The pointee must outlive the machine or a later set call.
+  void set_harness_interrupt(HarnessInterrupt* interrupt) {
+    harness_interrupt_ = interrupt;
+  }
 
   /// Total simulated user-mode cycles charged so far (for estimating the
   /// kernel-time fraction of wall-clock, used by the register injector).
@@ -211,6 +231,8 @@ class Machine {
   // Profiling.
   bool profiling_ = false;
   std::vector<u64> profile_counts_;
+
+  HarnessInterrupt* harness_interrupt_ = nullptr;
 
   MachineSnapshot boot_snapshot_;
 };

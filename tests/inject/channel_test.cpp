@@ -2,6 +2,10 @@
 // serialization, and the remote collector.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+
+#include "common/error.hpp"
 #include "inject/channel.hpp"
 
 namespace kfi::inject {
@@ -126,6 +130,81 @@ TEST(CrashCollectorTest, LostDatagramNeverArrives) {
   ch.send(DataDeposit::serialize(1, sample_report()));
   collector.poll(ch);
   EXPECT_FALSE(collector.has(1));
+}
+
+TEST(CrashCollectorTest, FindReturnsNullForMissingSequence) {
+  UdpChannel ch(0.0, 1);
+  CrashCollector collector;
+  ch.send(DataDeposit::serialize(7, sample_report()));
+  collector.poll(ch);
+  ASSERT_NE(collector.find(7), nullptr);
+  EXPECT_EQ(collector.find(7)->cause, kernel::CrashCause::kBadPaging);
+  EXPECT_EQ(collector.find(8), nullptr);
+}
+
+TEST(CrashCollectorTest, GetThrowsTypedErrorForMissingSequence) {
+  CrashCollector collector;
+  EXPECT_THROW(collector.get(99), Error);
+  try {
+    collector.get(99);
+    FAIL() << "expected kfi::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos)
+        << "message should name the missing sequence: " << e.what();
+  }
+}
+
+TEST(DataDepositTest, EveryTruncationLengthIsRejectedSafely) {
+  // The fixed header alone is 36 bytes; the historical bug accepted
+  // 32..35-byte packets and read past the end.  Walk every prefix of a
+  // real datagram (detail string included): each must parse to nullopt
+  // or — once the full detail fits — to a valid deposit, never OOB (the
+  // ASan CI job turns an overread into a test failure).
+  const Packet full = DataDeposit::serialize(3, sample_report());
+  for (size_t len = 0; len < full.bytes.size(); ++len) {
+    Packet cut{std::vector<u8>(full.bytes.begin(),
+                               full.bytes.begin() + static_cast<long>(len))};
+    EXPECT_FALSE(DataDeposit::parse(cut).has_value()) << "prefix " << len;
+  }
+  EXPECT_TRUE(DataDeposit::parse(full).has_value());
+}
+
+TEST(DataDepositTest, ZeroLengthAndHeaderOnlyPackets) {
+  EXPECT_FALSE(DataDeposit::parse(Packet{}).has_value());
+  // A report with no detail string serializes to exactly the 36-byte
+  // header; that must parse, and 35 bytes must not.
+  kernel::CrashReport bare = sample_report();
+  bare.detail.clear();
+  const Packet p = DataDeposit::serialize(0, bare);
+  ASSERT_EQ(p.bytes.size(), 36u);
+  EXPECT_TRUE(DataDeposit::parse(p).has_value());
+  Packet short35{std::vector<u8>(p.bytes.begin(), p.bytes.begin() + 35)};
+  EXPECT_FALSE(DataDeposit::parse(short35).has_value());
+}
+
+TEST(DataDepositTest, SeededBitFlipFuzzNeverReadsOutOfBounds) {
+  // Deterministic fuzz: flip one bit at a time across several reports and
+  // parse.  Every result must be nullopt or a self-consistent deposit;
+  // the invariant under test is memory safety, not acceptance.
+  std::mt19937_64 rng(0xF1A5);
+  for (u32 round = 0; round < 64; ++round) {
+    kernel::CrashReport r = sample_report();
+    r.detail.assign(static_cast<size_t>(rng() % 40), 'x');
+    r.cycles_to_crash = rng();
+    Packet p = DataDeposit::serialize(static_cast<u32>(rng()), r);
+    const size_t bit = static_cast<size_t>(rng() % (p.bytes.size() * 8));
+    p.bytes[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    const auto parsed = DataDeposit::parse(p);
+    if (parsed.has_value()) {
+      EXPECT_LT(static_cast<u8>(parsed->report.cause),
+                static_cast<u8>(kernel::CrashCause::kNumCauses));
+    }
+    // Also parse a random truncation of the corrupted packet.
+    Packet cut{std::vector<u8>(
+        p.bytes.begin(),
+        p.bytes.begin() + static_cast<long>(rng() % (p.bytes.size() + 1)))};
+    (void)DataDeposit::parse(cut);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,259 @@
+// InjectionJournal durability contract: entry (de)serialization is a
+// bit-exact round trip, resume recovers exactly what was appended,
+// torn-tail entries are truncated away, and a journal written for one
+// plan refuses to resume under a different one.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "inject/journal.hpp"
+#include "inject/plan.hpp"
+
+namespace kfi::inject {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// A journal entry with every field set to a distinctive non-default
+/// value, including doubles and strings, so the round trip has to carry
+/// all of them.
+JournalEntry full_entry() {
+  JournalEntry e;
+  e.index = 17;
+  e.record.target.kind = CampaignKind::kStack;
+  e.record.target.code_entry = 0x1234;
+  e.record.target.code_addr = 0x1238;
+  e.record.target.code_insn_len = 4;
+  e.record.target.code_bit = 13;
+  e.record.target.function = "schedule";
+  e.record.target.data_addr = 0xBEEF0;
+  e.record.target.data_bit = 31;
+  e.record.target.stack_task = 3;
+  e.record.target.stack_depth_frac = 0.4375;
+  e.record.target.stack_bit = 7;
+  e.record.target.reg_index = 5;
+  e.record.target.reg_bit = 19;
+  e.record.target.reg_name = "srr0";
+  e.record.target.inject_at_frac = 0.62109375;
+  e.record.outcome = OutcomeCategory::kKnownCrash;
+  e.record.activated = true;
+  e.record.activation_known = false;
+  e.record.activation_cycle = 123456789ull;
+  e.record.latency_base_cycle = 123456000ull;
+  e.record.crashed = true;
+  e.record.crash_report_received = true;
+  e.record.crash.cause = kernel::CrashCause::kStackOverflow;
+  e.record.crash.pc = 0xC0DE;
+  e.record.crash.addr = 0xDEAD;
+  e.record.crash.has_addr = true;
+  e.record.crash.cycles_to_crash = 4242;
+  e.record.crash.detail = "sp out of range";
+  e.record.cycles_to_crash = 98765;
+  e.record.syscalls_completed = 11;
+  e.record.harness_error = "worker threw: simulated";
+  e.record.harness_attempts = 2;
+  e.reboots = 3;
+  e.datagrams_sent = 9;
+  e.datagrams_dropped = 1;
+  e.simulated_cycles = 555555555ull;
+  return e;
+}
+
+void expect_entries_equal(const JournalEntry& a, const JournalEntry& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.reboots, b.reboots);
+  EXPECT_EQ(a.datagrams_sent, b.datagrams_sent);
+  EXPECT_EQ(a.datagrams_dropped, b.datagrams_dropped);
+  EXPECT_EQ(a.simulated_cycles, b.simulated_cycles);
+  const InjectionRecord& ra = a.record;
+  const InjectionRecord& rb = b.record;
+  EXPECT_EQ(ra.target.kind, rb.target.kind);
+  EXPECT_EQ(ra.target.code_entry, rb.target.code_entry);
+  EXPECT_EQ(ra.target.code_addr, rb.target.code_addr);
+  EXPECT_EQ(ra.target.code_insn_len, rb.target.code_insn_len);
+  EXPECT_EQ(ra.target.code_bit, rb.target.code_bit);
+  EXPECT_EQ(ra.target.function, rb.target.function);
+  EXPECT_EQ(ra.target.data_addr, rb.target.data_addr);
+  EXPECT_EQ(ra.target.data_bit, rb.target.data_bit);
+  EXPECT_EQ(ra.target.stack_task, rb.target.stack_task);
+  EXPECT_EQ(ra.target.stack_depth_frac, rb.target.stack_depth_frac);
+  EXPECT_EQ(ra.target.stack_bit, rb.target.stack_bit);
+  EXPECT_EQ(ra.target.reg_index, rb.target.reg_index);
+  EXPECT_EQ(ra.target.reg_bit, rb.target.reg_bit);
+  EXPECT_EQ(ra.target.reg_name, rb.target.reg_name);
+  EXPECT_EQ(ra.target.inject_at_frac, rb.target.inject_at_frac);
+  EXPECT_EQ(ra.outcome, rb.outcome);
+  EXPECT_EQ(ra.activated, rb.activated);
+  EXPECT_EQ(ra.activation_known, rb.activation_known);
+  EXPECT_EQ(ra.activation_cycle, rb.activation_cycle);
+  EXPECT_EQ(ra.latency_base_cycle, rb.latency_base_cycle);
+  EXPECT_EQ(ra.crashed, rb.crashed);
+  EXPECT_EQ(ra.crash_report_received, rb.crash_report_received);
+  EXPECT_EQ(ra.crash.cause, rb.crash.cause);
+  EXPECT_EQ(ra.crash.pc, rb.crash.pc);
+  EXPECT_EQ(ra.crash.addr, rb.crash.addr);
+  EXPECT_EQ(ra.crash.has_addr, rb.crash.has_addr);
+  EXPECT_EQ(ra.crash.cycles_to_crash, rb.crash.cycles_to_crash);
+  EXPECT_EQ(ra.crash.detail, rb.crash.detail);
+  EXPECT_EQ(ra.cycles_to_crash, rb.cycles_to_crash);
+  EXPECT_EQ(ra.syscalls_completed, rb.syscalls_completed);
+  EXPECT_EQ(ra.harness_error, rb.harness_error);
+  EXPECT_EQ(ra.harness_attempts, rb.harness_attempts);
+}
+
+TEST(JournalEntrySerialization, RoundTripPreservesEveryField) {
+  const JournalEntry e = full_entry();
+  std::vector<u8> buf;
+  serialize_journal_entry(buf, e);
+  size_t pos = 0;
+  const auto back = deserialize_journal_entry(buf, pos);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(pos, buf.size());
+  expect_entries_equal(e, *back);
+}
+
+TEST(JournalEntrySerialization, DefaultEntryRoundTrips) {
+  std::vector<u8> buf;
+  serialize_journal_entry(buf, JournalEntry{});
+  size_t pos = 0;
+  const auto back = deserialize_journal_entry(buf, pos);
+  ASSERT_TRUE(back.has_value());
+  expect_entries_equal(JournalEntry{}, *back);
+}
+
+TEST(JournalEntrySerialization, EveryTruncationReturnsNullopt) {
+  std::vector<u8> buf;
+  serialize_journal_entry(buf, full_entry());
+  // Any proper prefix must fail cleanly — no out-of-bounds reads, no
+  // partially-filled entries.  (The ASan CI job makes "no OOB" a hard
+  // check rather than a hope.)
+  for (size_t len = 0; len < buf.size(); ++len) {
+    std::vector<u8> cut(buf.begin(), buf.begin() + static_cast<long>(len));
+    size_t pos = 0;
+    EXPECT_FALSE(deserialize_journal_entry(cut, pos).has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(JournalEntrySerialization, CorruptEnumRejected) {
+  std::vector<u8> buf;
+  serialize_journal_entry(buf, JournalEntry{});
+  // Byte 4 (after the u32 index) is the target kind; stomp it with a
+  // value outside the enum range.
+  buf[4] = 0xFF;
+  size_t pos = 0;
+  EXPECT_FALSE(deserialize_journal_entry(buf, pos).has_value());
+}
+
+class JournalFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CampaignSpec spec;
+    spec.arch = isa::Arch::kRiscf;
+    spec.kind = CampaignKind::kData;
+    spec.injections = 8;
+    spec.seed = 42;
+    plan_ = build_campaign_plan(spec);
+    path_ = tmp_path(
+        "kfi_journal_test_" +
+        std::to_string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->line()) +
+        ".kfij");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  CampaignPlan plan_;
+  std::string path_;
+};
+
+TEST_F(JournalFileTest, CreateAppendResumeRecoversEntries) {
+  {
+    InjectionJournal j = InjectionJournal::create(path_, plan_);
+    EXPECT_TRUE(j.recovered().empty());
+    JournalEntry e = full_entry();
+    e.index = 2;
+    j.append(e);
+    e.index = 5;
+    e.record.outcome = OutcomeCategory::kNotManifested;
+    j.append(e);
+    EXPECT_EQ(j.flushes(), 2u);
+  }
+  InjectionJournal j = InjectionJournal::resume(path_, plan_);
+  ASSERT_EQ(j.recovered().size(), 2u);
+  EXPECT_EQ(j.recovered()[0].index, 2u);
+  EXPECT_EQ(j.recovered()[1].index, 5u);
+  EXPECT_EQ(j.recovered()[1].record.outcome, OutcomeCategory::kNotManifested);
+  JournalEntry expect_first = full_entry();
+  expect_first.index = 2;
+  expect_entries_equal(expect_first, j.recovered()[0]);
+}
+
+TEST_F(JournalFileTest, ResumeTruncatesTornTail) {
+  {
+    InjectionJournal j = InjectionJournal::create(path_, plan_);
+    JournalEntry e = full_entry();
+    e.index = 0;
+    j.append(e);
+    e.index = 1;
+    j.append(e);
+  }
+  const auto intact_size = std::filesystem::file_size(path_);
+  {
+    // Simulate a process killed mid-append: half an entry frame.
+    std::ofstream f(path_, std::ios::binary | std::ios::app);
+    f.write("KFIE\x00\x00\x00\x07garbage", 15);
+  }
+  ASSERT_GT(std::filesystem::file_size(path_), intact_size);
+  InjectionJournal j = InjectionJournal::resume(path_, plan_);
+  EXPECT_EQ(j.recovered().size(), 2u);
+  // The torn tail is physically gone, so the next append starts clean.
+  EXPECT_EQ(std::filesystem::file_size(path_), intact_size);
+  JournalEntry e = full_entry();
+  e.index = 3;
+  j.append(e);
+  InjectionJournal j2 = InjectionJournal::resume(path_, plan_);
+  EXPECT_EQ(j2.recovered().size(), 3u);
+}
+
+TEST_F(JournalFileTest, ResumeRejectsForeignPlan) {
+  { InjectionJournal::create(path_, plan_); }
+  CampaignSpec other;
+  other.arch = isa::Arch::kRiscf;
+  other.kind = CampaignKind::kData;
+  other.injections = 8;
+  other.seed = 43;  // different seed -> different targets & fingerprint
+  const CampaignPlan other_plan = build_campaign_plan(other);
+  EXPECT_THROW(InjectionJournal::resume(path_, other_plan), JournalError);
+}
+
+TEST_F(JournalFileTest, ResumeRejectsMissingFile) {
+  EXPECT_THROW(InjectionJournal::resume(path_, plan_), JournalError);
+}
+
+TEST_F(JournalFileTest, ResumeRejectsGarbageHeader) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    f << "this is not a journal";
+  }
+  EXPECT_THROW(InjectionJournal::resume(path_, plan_), JournalError);
+}
+
+TEST_F(JournalFileTest, PlanFingerprintSensitiveToTargetsAndSeeds) {
+  const u64 base = plan_fingerprint(plan_);
+  CampaignPlan tweaked = plan_;
+  tweaked.run_seeds[0] ^= 1;
+  EXPECT_NE(base, plan_fingerprint(tweaked));
+  CampaignPlan retargeted = plan_;
+  retargeted.targets[0].data_bit ^= 1;
+  EXPECT_NE(base, plan_fingerprint(retargeted));
+  EXPECT_EQ(base, plan_fingerprint(plan_));
+}
+
+}  // namespace
+}  // namespace kfi::inject

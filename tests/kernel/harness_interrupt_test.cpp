@@ -1,0 +1,79 @@
+// HarnessInterrupt: the cooperative channel the campaign supervisor uses
+// to break a wedged simulation out of Machine::run.  Contract: a raised
+// flag (or an exhausted step budget) throws kfi::StallInterrupt; the
+// machine is then mid-run garbage, but restoring the boot snapshot
+// brings it back to a fully working state.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "kernel/abi.hpp"
+#include "kernel/machine.hpp"
+
+namespace kfi::kernel {
+namespace {
+
+class HarnessInterruptTest : public ::testing::TestWithParam<isa::Arch> {
+ protected:
+  HarnessInterruptTest() : machine_(GetParam(), MachineOptions{}) {}
+  Machine machine_;
+};
+
+TEST_P(HarnessInterruptTest, RequestedFlagThrowsStallInterrupt) {
+  HarnessInterrupt hi;
+  hi.requested.store(true);
+  machine_.set_harness_interrupt(&hi);
+  EXPECT_THROW(machine_.syscall(Syscall::kGetpid), StallInterrupt);
+}
+
+TEST_P(HarnessInterruptTest, StepBudgetThrowsStallInterrupt) {
+  HarnessInterrupt hi;
+  hi.step_budget = 5;  // no syscall completes in 5 simulation steps
+  machine_.set_harness_interrupt(&hi);
+  EXPECT_THROW(machine_.syscall(Syscall::kGetpid), StallInterrupt);
+}
+
+TEST_P(HarnessInterruptTest, GenerousBudgetAndClearFlagDoNotInterfere) {
+  HarnessInterrupt hi;
+  hi.step_budget = 50'000'000;
+  machine_.set_harness_interrupt(&hi);
+  const Event ev = machine_.syscall(Syscall::kGetpid);
+  EXPECT_EQ(ev.kind, EventKind::kSyscallDone);
+  EXPECT_EQ(ev.ret, 1u);
+}
+
+TEST_P(HarnessInterruptTest, RestoreAfterInterruptYieldsWorkingMachine) {
+  HarnessInterrupt hi;
+  hi.requested.store(true);
+  machine_.set_harness_interrupt(&hi);
+  EXPECT_THROW(machine_.syscall(Syscall::kYield), StallInterrupt);
+  // Mid-run state is garbage by contract; the supervisor's recovery path
+  // is snapshot restore (the engine rebuilds the whole rig, which boots
+  // from the shared image — restoring the boot snapshot is equivalent).
+  hi.requested.store(false);
+  machine_.restore(machine_.boot_snapshot());
+  const Event ev = machine_.syscall(Syscall::kGetpid);
+  EXPECT_EQ(ev.kind, EventKind::kSyscallDone);
+  EXPECT_EQ(ev.ret, 1u);
+}
+
+TEST_P(HarnessInterruptTest, DetachingDisablesTheBudget) {
+  HarnessInterrupt hi;
+  hi.step_budget = 5;
+  machine_.set_harness_interrupt(&hi);
+  EXPECT_THROW(machine_.syscall(Syscall::kGetpid), StallInterrupt);
+  machine_.set_harness_interrupt(nullptr);
+  machine_.restore(machine_.boot_snapshot());
+  EXPECT_EQ(machine_.syscall(Syscall::kGetpid).ret, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArches, HarnessInterruptTest,
+                         ::testing::Values(isa::Arch::kCisca,
+                                           isa::Arch::kRiscf),
+                         [](const auto& info) {
+                           return info.param == isa::Arch::kCisca
+                                      ? std::string("cisca")
+                                      : std::string("riscf");
+                         });
+
+}  // namespace
+}  // namespace kfi::kernel

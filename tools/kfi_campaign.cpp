@@ -2,38 +2,63 @@
 //
 //   kfi_campaign --arch p4|g4 --kind stack|register|data|code
 //                [--n COUNT] [--seed S] [--jobs N] [--loss P] [--scale K]
-//                [--no-wrapper] [--p4-stackcheck] [--no-spinlock-debug]
-//                [--csv PREFIX]
+//                [--journal PATH] [--resume] [--retries K] [--stall SECS]
+//                [--step-budget N] [--no-wrapper] [--p4-stackcheck]
+//                [--no-spinlock-debug] [--csv PREFIX]
 //
 // --jobs N runs the campaign on N worker threads (0 = hardware
 // concurrency; default 1 = serial).  The merged result is bit-identical
 // for any worker count — parallelism only changes wall-clock time.
 //
+// --journal PATH makes the campaign durable: every completed injection is
+// flushed to an append-only journal, and Ctrl-C exits cleanly with resume
+// instructions.  --resume (requires --journal) skips already-journaled
+// indices; the resumed result is bit-identical to an uninterrupted run.
+// --retries/--stall/--step-budget tune the supervisor's fault isolation.
+//
 // Prints the Table-5/6-style row, the campaign throughput, the
 // crash-cause distribution against the paper's reference, and the
 // Figure-16 latency buckets; optionally writes PREFIX.records.csv /
 // PREFIX.tally.csv / PREFIX.latency.csv.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "analysis/csv.hpp"
 #include "analysis/report.hpp"
 #include "inject/campaign.hpp"
+#include "inject/journal.hpp"
 
 using namespace kfi;
 
 namespace {
 
+std::atomic<bool> g_cancel{false};
+
+void on_sigint(int) { g_cancel.store(true); }
+
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --arch p4|g4 --kind stack|register|data|code\n"
                "          [--n COUNT] [--seed S] [--jobs N] [--loss P]\n"
-               "          [--scale K] [--no-wrapper] [--p4-stackcheck]\n"
+               "          [--scale K] [--journal PATH] [--resume]\n"
+               "          [--retries K] [--stall SECS] [--step-budget N]\n"
+               "          [--no-wrapper] [--p4-stackcheck]\n"
                "          [--no-spinlock-debug] [--csv PREFIX] [--quiet]\n"
-               "  --jobs N: worker threads (0 = hardware concurrency,\n"
-               "            default 1); results are bit-identical for any N\n",
+               "  --jobs N:    worker threads (0 = hardware concurrency,\n"
+               "               default 1); results are bit-identical for any N\n"
+               "  --journal P: append every completed injection to journal P;\n"
+               "               Ctrl-C flushes and prints resume instructions\n"
+               "  --resume:    skip indices already in the journal (requires\n"
+               "               --journal); bit-identical to an unbroken run\n"
+               "  --retries K: harness-error retries per index before\n"
+               "               quarantine (default 1)\n"
+               "  --stall S:   wall-clock watchdog budget per injection in\n"
+               "               seconds (default off)\n",
                argv0);
 }
 
@@ -43,6 +68,9 @@ int main(int argc, char** argv) {
   inject::CampaignSpec spec;
   spec.injections = 500;
   std::string csv_prefix;
+  std::string journal_path;
+  bool resume = false;
+  inject::RunControl control;
   u32 jobs = 1;
   bool have_arch = false, have_kind = false, quiet = false;
 
@@ -88,6 +116,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--scale") {
       spec.workload_scale =
           static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--journal") {
+      journal_path = next();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--retries") {
+      control.retries = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--stall") {
+      control.stall_seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--step-budget") {
+      control.step_budget = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-wrapper") {
       spec.machine.g4_stack_wrapper = false;
     } else if (arg == "--p4-stackcheck") {
@@ -107,15 +145,51 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 2;
+  }
 
   const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+
+  std::optional<inject::InjectionJournal> journal;
+  if (!journal_path.empty()) {
+    try {
+      journal = resume ? inject::InjectionJournal::resume(journal_path, plan)
+                       : inject::InjectionJournal::create(journal_path, plan);
+    } catch (const inject::JournalError& e) {
+      std::fprintf(stderr, "journal error: %s\n", e.what());
+      return 1;
+    }
+    control.journal = &*journal;
+    // A durable campaign is interruptible: flush-and-resume on Ctrl-C.
+    std::signal(SIGINT, on_sigint);
+    control.cancel = &g_cancel;
+  }
+
   const inject::CampaignResult result = inject::CampaignEngine(jobs).run(
-      plan, quiet ? inject::ProgressFn{} : [](u32 done, u32 total) {
+      plan,
+      quiet ? inject::ProgressFn{} : [](u32 done, u32 total) {
         if (done % 100 == 0 || done == total) {
           std::fprintf(stderr, "\r[%u/%u]", done, total);
           if (done == total) std::fputc('\n', stderr);
         }
-      });
+      },
+      control);
+
+  if (result.interrupted) {
+    // The journal already holds every completed record; report the
+    // partial tally and how to pick the campaign back up.
+    std::fputc('\n', stderr);
+    std::puts(analysis::summarize_campaign(result).c_str());
+    std::printf(
+        "\ninterrupted: %llu/%zu injections journaled to %s\n"
+        "resume with: --journal %s --resume (plus the same campaign flags)\n",
+        static_cast<unsigned long long>(result.executed()),
+        result.records.size(), journal_path.c_str(), journal_path.c_str());
+    return 130;  // conventional SIGINT exit
+  }
+
   const analysis::OutcomeTally tally =
       analysis::tally_records(result.records);
 

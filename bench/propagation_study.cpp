@@ -1,0 +1,85 @@
+// Propagation study: where Figure 16 measures how long an error took to
+// crash the kernel, this bench traces what the error DID in between.
+//
+// For each modeled processor, every campaign kind is run with the
+// shadow-state trace subsystem attached.  Output per arch:
+//   * per-kind and overall propagation segments — first-use (dormancy)
+//     latency in instructions and producer->consumer chain depth
+//     distributions, the propagation-distance axis Fig. 16 lacks;
+//   * the fail-silence ledger: every run whose tainted syscall result
+//     crossed the kernel boundary, flagged loudly when the workload's
+//     own checks missed it (a silent data corruption the paper's
+//     check-based detection could not see).
+//
+// Knobs: KFI_INJECTIONS (default 300 per kind), KFI_SEED, KFI_JOBS.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/propagation.hpp"
+#include "bench_common.hpp"
+
+using namespace kfi;
+
+namespace {
+
+constexpr inject::CampaignKind kKinds[] = {
+    inject::CampaignKind::kStack, inject::CampaignKind::kRegister,
+    inject::CampaignKind::kData, inject::CampaignKind::kCode};
+
+}  // namespace
+
+int main() {
+  const u32 jobs = bench::env_jobs();
+
+  for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    std::vector<inject::InjectionRecord> all;
+    std::vector<std::pair<inject::CampaignKind, size_t>> origin;  // per record
+
+    for (const auto kind : kKinds) {
+      auto spec = bench::base_spec(arch, kind, 300);
+      const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+      inject::RunControl control;
+      control.trace = true;
+      const inject::CampaignResult result =
+          inject::CampaignEngine(jobs).run(plan, {}, control);
+
+      std::fputs(analysis::render_propagation(
+                     isa::arch_name(arch) + " " + campaign_kind_name(kind),
+                     analysis::tally_propagation(result.records))
+                     .c_str(),
+                 stdout);
+      std::puts("");
+      for (size_t i = 0; i < result.records.size(); ++i) {
+        origin.emplace_back(kind, i);
+        all.push_back(result.records[i]);
+      }
+    }
+
+    std::fputs(analysis::render_propagation(
+                   isa::arch_name(arch) + " overall",
+                   analysis::tally_propagation(all))
+                   .c_str(),
+               stdout);
+
+    // Fail-silence ledger: taint that reached the workload's result.
+    u32 flagged = 0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      const auto& r = all[i];
+      if (!r.propagation_valid || !r.propagation.syscall_result_tainted) {
+        continue;
+      }
+      const bool missed =
+          r.outcome != inject::OutcomeCategory::kFailSilenceViolation;
+      if (missed) ++flagged;
+      std::printf("  %s run %s#%zu: tainted syscall result, outcome=%s%s\n",
+                  missed ? "FSV-MISSED" : "fsv",
+                  campaign_kind_name(origin[i].first).c_str(),
+                  origin[i].second, outcome_name(r.outcome).c_str(),
+                  missed ? "  <- checks saw nothing" : "");
+    }
+    std::printf("%s: %u fail-silence-violation runs flagged by shadow state "
+                "that the workload checks missed\n\n",
+                isa::arch_name(arch).c_str(), flagged);
+  }
+  return 0;
+}

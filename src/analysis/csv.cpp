@@ -67,6 +67,32 @@ void write_records_csv(std::ostream& os,
   }
 }
 
+void write_propagation_csv(
+    std::ostream& os, const std::vector<inject::InjectionRecord>& records) {
+  os << "index,kind,target,bit,outcome,seeded,used,seed_insn,first_use_insn,"
+        "first_use_latency,max_depth,tainted_regs_peak,tainted_bytes_peak,"
+        "tainted_reads,tainted_writes,tainted_branches,pc_tainted_insns,"
+        "objects_crossed,silent_overwrites,syscall_result_tainted,"
+        "priv_transitions,live_at_end,live_regs_at_end,live_bytes_at_end\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (!r.propagation_valid) continue;
+    const trace::PropagationSummary& p = r.propagation;
+    os << i << ',' << campaign_kind_name(r.target.kind) << ','
+       << target_of(r.target) << ',' << bit_of(r.target) << ','
+       << outcome_name(r.outcome) << ',' << (p.seeded ? 1 : 0) << ','
+       << (p.used ? 1 : 0) << ',' << p.seed_insn << ',' << p.first_use_insn
+       << ',' << p.first_use_latency << ',' << p.max_depth << ','
+       << p.tainted_regs_peak << ',' << p.tainted_bytes_peak << ','
+       << p.tainted_reads << ',' << p.tainted_writes << ','
+       << p.tainted_branches << ',' << p.pc_tainted_insns << ','
+       << p.objects_crossed << ',' << p.silent_overwrites << ','
+       << (p.syscall_result_tainted ? 1 : 0) << ',' << p.priv_transitions
+       << ',' << (p.live_at_end ? 1 : 0) << ',' << p.live_regs_at_end << ','
+       << p.live_bytes_at_end << '\n';
+  }
+}
+
 void write_tally_csv(std::ostream& os, const OutcomeTally& tally) {
   os << "key,value\n";
   os << "injected," << tally.injected << '\n';

@@ -17,6 +17,12 @@ namespace kfi::analysis {
 void write_records_csv(std::ostream& os,
                        const std::vector<inject::InjectionRecord>& records);
 
+/// One row per traced record (propagation_valid): the full
+/// PropagationSummary next to the record's outcome, for downstream
+/// propagation studies.  Untraced records are skipped.
+void write_propagation_csv(
+    std::ostream& os, const std::vector<inject::InjectionRecord>& records);
+
 /// Two-column key,value summary of a tally.
 void write_tally_csv(std::ostream& os, const OutcomeTally& tally);
 

@@ -1,0 +1,124 @@
+#include "analysis/propagation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace kfi::analysis {
+
+BucketHistogram make_first_use_histogram() {
+  return BucketHistogram({10, 100, 1'000, 10'000, 100'000, 1'000'000});
+}
+
+BucketHistogram make_depth_histogram() {
+  return BucketHistogram({1, 2, 4, 8, 16, 64});
+}
+
+PropagationTally::PropagationTally()
+    : first_use_latency(make_first_use_histogram()),
+      depth(make_depth_histogram()) {}
+
+PropagationTally tally_propagation(
+    const std::vector<inject::InjectionRecord>& records) {
+  PropagationTally tally;
+  for (const auto& r : records) {
+    if (!r.propagation_valid) continue;
+    const trace::PropagationSummary& p = r.propagation;
+    ++tally.traced;
+    if (!p.seeded) continue;
+    ++tally.seeded;
+    if (p.used) {
+      ++tally.used;
+      tally.first_use_latency.add(p.first_use_latency);
+      tally.depth.add(p.max_depth);
+    }
+    if (p.live_at_end) ++tally.live_at_end;
+    if (!p.live_at_end && p.silent_overwrites > 0) ++tally.erased;
+    if (p.pc_tainted_insns > 0) ++tally.pc_tainted;
+    if (p.objects_crossed > 0) ++tally.crossed_subsystem;
+    if (p.priv_transitions > 0) ++tally.priv_crossings;
+    if (p.syscall_result_tainted) {
+      ++tally.syscall_result_tainted;
+      if (r.outcome != inject::OutcomeCategory::kFailSilenceViolation) {
+        ++tally.fsv_missed_by_checks;
+      }
+    }
+    if (p.max_depth > tally.max_depth_peak) tally.max_depth_peak = p.max_depth;
+    tally.silent_overwrites += p.silent_overwrites;
+  }
+  return tally;
+}
+
+std::string render_propagation(const std::string& title,
+                               const PropagationTally& tally) {
+  std::ostringstream os;
+  os << "Error propagation — " << title << "\n";
+  if (tally.traced == 0) {
+    os << "  (no traced records)\n";
+    return os.str();
+  }
+
+  const double seeded = static_cast<double>(tally.seeded);
+  auto of_seeded = [seeded](u32 n) {
+    return seeded > 0.0
+               ? format_percent(static_cast<double>(n) / seeded, 1)
+               : std::string("n/a");
+  };
+  AsciiTable table({"Signal", "Runs", "Of seeded"});
+  table.add_row({"traced", std::to_string(tally.traced), ""});
+  table.add_row({"seeded (flip marked)", std::to_string(tally.seeded),
+                 of_seeded(tally.seeded)});
+  table.add_row({"used (value consumed)", std::to_string(tally.used),
+                 of_seeded(tally.used)});
+  table.add_row({"live at end of run", std::to_string(tally.live_at_end),
+                 of_seeded(tally.live_at_end)});
+  table.add_row({"silently erased", std::to_string(tally.erased),
+                 of_seeded(tally.erased)});
+  table.add_row({"reached instruction fetch", std::to_string(tally.pc_tainted),
+                 of_seeded(tally.pc_tainted)});
+  table.add_row({"crossed into another object",
+                 std::to_string(tally.crossed_subsystem),
+                 of_seeded(tally.crossed_subsystem)});
+  table.add_row({"live across privilege switch",
+                 std::to_string(tally.priv_crossings),
+                 of_seeded(tally.priv_crossings)});
+  table.add_row({"tainted syscall result",
+                 std::to_string(tally.syscall_result_tainted),
+                 of_seeded(tally.syscall_result_tainted)});
+  table.add_row({"FSV missed by checks",
+                 std::to_string(tally.fsv_missed_by_checks),
+                 of_seeded(tally.fsv_missed_by_checks)});
+  os << table.render();
+  os << "  max chain depth: " << tally.max_depth_peak
+     << " hops; silent overwrites: " << tally.silent_overwrites << "\n";
+
+  AsciiTable dist({"First use (insns)", "Runs", "Fraction", "|",
+                   "Depth (hops)", "Runs", "Fraction"});
+  const size_t rows =
+      std::max(tally.first_use_latency.bucket_count(),
+               tally.depth.bucket_count());
+  for (size_t b = 0; b < rows; ++b) {
+    std::vector<std::string> row;
+    if (b < tally.first_use_latency.bucket_count()) {
+      row.push_back(tally.first_use_latency.label(b));
+      row.push_back(std::to_string(tally.first_use_latency.count(b)));
+      row.push_back(format_percent(tally.first_use_latency.fraction(b), 1));
+    } else {
+      row.insert(row.end(), {"", "", ""});
+    }
+    row.push_back("|");
+    if (b < tally.depth.bucket_count()) {
+      row.push_back(tally.depth.label(b));
+      row.push_back(std::to_string(tally.depth.count(b)));
+      row.push_back(format_percent(tally.depth.fraction(b), 1));
+    } else {
+      row.insert(row.end(), {"", "", ""});
+    }
+    dist.add_row(row);
+  }
+  os << dist.render();
+  return os.str();
+}
+
+}  // namespace kfi::analysis

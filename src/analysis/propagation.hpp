@@ -1,0 +1,66 @@
+// Aggregation of per-injection PropagationSummary digests (the trace
+// subsystem's output) into campaign-level distributions and report
+// segments.  This extends the paper's Figure 16 crash-latency analysis
+// with the propagation path between flip and failure: dormancy before
+// first use, producer->consumer chain depth, subsystem crossings, and
+// shadow-state fail-silence evidence the paper could only infer from
+// golden-run output comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "inject/record.hpp"
+
+namespace kfi::analysis {
+
+/// Campaign-level aggregate over traced records (records without
+/// propagation_valid are skipped; untraced campaigns tally to zero).
+struct PropagationTally {
+  u32 traced = 0;   // records carrying a propagation summary
+  u32 seeded = 0;   // flip site actually marked (mirrors activation)
+  u32 used = 0;     // corrupted value consumed at least once
+  u32 live_at_end = 0;   // taint still live when the run ended
+  u32 erased = 0;        // seeded but fully overwritten clean by run end
+  u32 pc_tainted = 0;    // taint reached instruction fetch
+  u32 crossed_subsystem = 0;  // tainted writes hit another named object
+  u32 priv_crossings = 0;     // runs with taint live across a priv switch
+
+  /// Fail-silence evidence: the syscall return value handed back to the
+  /// workload was tainted.
+  u32 syscall_result_tainted = 0;
+  /// Fail-silence-violation runs flagged by the shadow state alone: the
+  /// tainted result crossed the kernel boundary, yet the workload's
+  /// value/state checks classified the run as something other than an
+  /// FSV.  These are the silent data corruptions the paper's check-based
+  /// detection could not see.
+  u32 fsv_missed_by_checks = 0;
+
+  u64 max_depth_peak = 0;      // deepest chain in any record
+  u64 silent_overwrites = 0;   // total tainted-state clean overwrites
+
+  BucketHistogram first_use_latency;  // instructions of dormancy
+  BucketHistogram depth;              // producer->consumer hops
+
+  PropagationTally();
+};
+
+/// Instruction-count buckets for first-use (dormancy) latency.  Edges
+/// mirror the spirit of the Figure 16 cycle buckets at instruction
+/// granularity: <=10, <=100, <=1k, <=10k, <=100k, <=1M, >1M insns.
+BucketHistogram make_first_use_histogram();
+
+/// Producer->consumer chain-length buckets: <=1, <=2, <=4, <=8, <=16,
+/// <=64, >64 hops (the taint engine saturates depth at 255).
+BucketHistogram make_depth_histogram();
+
+PropagationTally tally_propagation(
+    const std::vector<inject::InjectionRecord>& records);
+
+/// Report segment: the propagation digest of one campaign, rendered in
+/// the same measured-table style as report.hpp's segments.
+std::string render_propagation(const std::string& title,
+                               const PropagationTally& tally);
+
+}  // namespace kfi::analysis

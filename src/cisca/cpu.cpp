@@ -90,6 +90,8 @@ void CiscaCpu::set_decode_cache_enabled(bool enabled) {
 const CiscaCpu::DecodeCacheEntry& CiscaCpu::decode_cached(Addr pc) {
   if (!dcache_enabled_) {
     const FetchWindow window = fetch_window(pc);
+    dcache_scratch_.tag = window.phys;
+    dcache_scratch_.page2 = window.phys_page2;
     dcache_scratch_.dec = decode(window);
     dcache_scratch_.byte0 = window.bytes[0];
     return dcache_scratch_;
@@ -100,6 +102,8 @@ const CiscaCpu::DecodeCacheEntry& CiscaCpu::decode_cached(Addr pc) {
   if (!tr.ok()) {
     FetchWindow window;  // empty: decode reports a fetch fault at pc
     window.pc = pc;
+    dcache_scratch_.tag = kNoPage;
+    dcache_scratch_.page2 = kNoPage;
     dcache_scratch_.dec = decode(window);
     dcache_scratch_.byte0 = 0;
     return dcache_scratch_;
@@ -135,6 +139,7 @@ DecodeResult CiscaCpu::decode_at(Addr pc) const {
 
 u32 CiscaCpu::resolve_seg_base(SegOverride seg, u32 offset) {
   if (seg == SegOverride::kNone) return offset;
+  trace_rr(seg == SegOverride::kFs ? kSlotFs : kSlotGs);
   const u32 selector = (seg == SegOverride::kFs) ? regs_.fs : regs_.gs;
   const SegDescriptor* desc = lookup_descriptor(selector);
   if (desc == nullptr) {
@@ -148,8 +153,14 @@ u32 CiscaCpu::resolve_seg_base(SegOverride seg, u32 offset) {
 
 u32 CiscaCpu::effective_addr(const MemOperand& mem) {
   u32 addr = static_cast<u32>(mem.disp);
-  if (mem.base != MemOperand::kNoReg) addr += regs_.gpr[mem.base];
-  if (mem.index != MemOperand::kNoReg) addr += regs_.gpr[mem.index] * mem.scale;
+  if (mem.base != MemOperand::kNoReg) {
+    trace_rr(mem.base);
+    addr += regs_.gpr[mem.base];
+  }
+  if (mem.index != MemOperand::kNoReg) {
+    trace_rr(mem.index);
+    addr += regs_.gpr[mem.index] * mem.scale;
+  }
   return resolve_seg_base(mem.seg, addr);
 }
 
@@ -167,6 +178,7 @@ u32 CiscaCpu::read_mem(Addr addr, u8 width) {
   if (current_result_ != nullptr) {
     debug_.record_access(addr, width, /*is_write=*/false, *current_result_);
   }
+  if (sink_ != nullptr) sink_->on_mem_read(addr, tr.phys, width);
   return value;
 }
 
@@ -193,9 +205,12 @@ void CiscaCpu::write_mem(Addr addr, u8 width, u32 value) {
   if (current_result_ != nullptr) {
     debug_.record_access(addr, width, /*is_write=*/true, *current_result_);
   }
+  if (sink_ != nullptr) sink_->on_mem_write(addr, phys, width);
 }
 
 u32 CiscaCpu::read_reg(u8 reg, u8 width) const {
+  trace_rr(width == 1 && reg >= 4 ? static_cast<trace::RegSlot>(reg - 4)
+                                  : static_cast<trace::RegSlot>(reg));
   if (width == 1) {
     // IA-32 r8 numbering: 0-3 = low bytes, 4-7 = high bytes of eax..ebx.
     if (reg < 4) return regs_.gpr[reg] & 0xFF;
@@ -206,6 +221,15 @@ u32 CiscaCpu::read_reg(u8 reg, u8 width) const {
 }
 
 void CiscaCpu::write_reg(u8 reg, u8 width, u32 value) {
+  // Sub-register writes preserve the rest of the GPR, so their shadow
+  // unions instead of overwriting (whole-register shadow granularity).
+  const auto slot = width == 1 && reg >= 4 ? static_cast<trace::RegSlot>(reg - 4)
+                                           : static_cast<trace::RegSlot>(reg);
+  if (width == 4) {
+    trace_rw(slot);
+  } else {
+    trace_rm(slot);
+  }
   if (width == 1) {
     if (reg < 4) {
       regs_.gpr[reg] = (regs_.gpr[reg] & ~0xFFu) | (value & 0xFF);
@@ -252,6 +276,8 @@ void CiscaCpu::check_stack_extension(Addr new_esp) {
 }
 
 void CiscaCpu::push32(u32 value) {
+  trace_rr(kEsp);  // address formation; the ESP decrement itself is
+                   // self-derived and keeps ESP's own shadow
   const u32 new_esp = regs_.gpr[kEsp] - 4;
   check_stack_extension(new_esp);
   write_mem(new_esp, 4, value);
@@ -259,6 +285,7 @@ void CiscaCpu::push32(u32 value) {
 }
 
 u32 CiscaCpu::pop32() {
+  trace_rr(kEsp);
   const u32 esp = regs_.gpr[kEsp];
   check_stack_extension(esp);
   const u32 value = read_mem(esp, 4);
@@ -275,6 +302,7 @@ void CiscaCpu::set_flags_logic(u32 result, u8 width) {
   f = set_bits32(f, kFlagSF, 1, (masked & kSignBit[width]) != 0);
   f = set_bits32(f, kFlagPF, 1, parity_even(masked));
   regs_.eflags = f;
+  trace_rm(kSlotEflags);
 }
 
 void CiscaCpu::set_flags_add(u64 a, u64 b, u64 carry_in, u8 width) {
@@ -292,6 +320,7 @@ void CiscaCpu::set_flags_add(u64 a, u64 b, u64 carry_in, u8 width) {
   f = set_bits32(f, kFlagSF, 1, sr);
   f = set_bits32(f, kFlagPF, 1, parity_even(masked));
   regs_.eflags = f;
+  trace_rm(kSlotEflags);
 }
 
 void CiscaCpu::set_flags_sub(u64 a, u64 b, u64 borrow_in, u8 width) {
@@ -309,9 +338,12 @@ void CiscaCpu::set_flags_sub(u64 a, u64 b, u64 borrow_in, u8 width) {
   f = set_bits32(f, kFlagSF, 1, sr);
   f = set_bits32(f, kFlagPF, 1, parity_even(masked));
   regs_.eflags = f;
+  trace_rm(kSlotEflags);
 }
 
 bool CiscaCpu::eval_cond(u8 cond) const {
+  trace_rr(kSlotEflags);
+  trace_branch();
   const bool cf = test_bit(regs_.eflags, kFlagCF);
   const bool zf = test_bit(regs_.eflags, kFlagZF);
   const bool sf = test_bit(regs_.eflags, kFlagSF);
@@ -350,6 +382,18 @@ isa::StepResult CiscaCpu::step() {
     }
     if (dec.insn.op == Op::kInvalid) {
       raise(Cause::kInvalidOpcode, 0, false, entry.byte0);
+    }
+    if (sink_ != nullptr) {
+      // Variable-length fetch: split the byte span across the (up to two)
+      // physical pages so injected code bytes are seen wherever they live.
+      const u32 len = dec.insn.length;
+      const u32 in_page = mem::kPageSize - (entry.tag & (mem::kPageSize - 1));
+      const u32 len1 = std::min(len, in_page);
+      const u32 phys2 = (len1 < len && entry.page2 != kNoPage)
+                            ? (entry.page2 << mem::kPageShift)
+                            : 0;
+      sink_->on_insn_fetch(kSlotEip, regs_.eip, entry.tag, len1, phys2,
+                           phys2 != 0 ? len - len1 : 0);
     }
     execute(dec.insn);
     cycles_ += 1;
@@ -428,10 +472,14 @@ void CiscaCpu::execute(const Insn& insn) {
     case Op::kLea: {
       // lea computes the address without the segment-base contribution.
       u32 addr = static_cast<u32>(insn.src.mem.disp);
-      if (insn.src.mem.base != MemOperand::kNoReg)
+      if (insn.src.mem.base != MemOperand::kNoReg) {
+        trace_rr(insn.src.mem.base);
         addr += regs_.gpr[insn.src.mem.base];
-      if (insn.src.mem.index != MemOperand::kNoReg)
+      }
+      if (insn.src.mem.index != MemOperand::kNoReg) {
+        trace_rr(insn.src.mem.index);
         addr += regs_.gpr[insn.src.mem.index] * insn.src.mem.scale;
+      }
       write_reg(insn.dst.reg, 4, addr);
       break;
     }
@@ -471,14 +519,19 @@ void CiscaCpu::execute(const Insn& insn) {
       break;
     }
     case Op::kPushf:
+      trace_rr(kSlotEflags);
       push32(regs_.eflags);
       break;
     case Op::kPopf:
       regs_.eflags = (pop32() & ~0x2u) | 0x2u;
+      trace_rw(kSlotEflags);
       break;
     case Op::kLeave: {
+      trace_rr(kEbp);
+      trace_rw(kEsp);
       regs_.gpr[kEsp] = regs_.gpr[kEbp];
       regs_.gpr[kEbp] = pop32();
+      trace_rw(kEbp);
       break;
     }
     case Op::kJcc:
@@ -491,6 +544,9 @@ void CiscaCpu::execute(const Insn& insn) {
     case Op::kJmp:
       if (insn.src_width == 4) {  // indirect
         regs_.eip = read_operand(insn.dst, 4);
+        // Only computed targets taint EIP; relative displacements advance
+        // it from itself, keeping the PC shadow meaningful.
+        trace_rw(kSlotEip);
       } else {
         regs_.eip = next + insn.rel;
       }
@@ -505,6 +561,7 @@ void CiscaCpu::execute(const Insn& insn) {
       }
       push32(next);
       regs_.eip = target;
+      if (insn.src_width == 4) trace_rw(kSlotEip);
       cycles_ += 2;
       return;
     }
@@ -512,6 +569,7 @@ void CiscaCpu::execute(const Insn& insn) {
       const u32 ra = pop32();
       regs_.gpr[kEsp] += static_cast<u32>(insn.rel);
       regs_.eip = ra;
+      trace_rw(kSlotEip);
       cycles_ += 2;
       return;
     }
@@ -520,13 +578,16 @@ void CiscaCpu::execute(const Insn& insn) {
       // backlink through the TSS; our kernel never uses hardware tasks, so
       // the linkage is invalid and the CPU raises #TS — precisely the
       // paper's observed consequence of an NT bit flip.
+      trace_rr(kSlotEflags);
       if (test_bit(regs_.eflags, kFlagNT)) {
         raise(Cause::kInvalidTss, 0, false, regs_.tr);
       }
       const u32 ra = pop32();
       pop32();  // cs (ignored)
       regs_.eflags = (pop32() & ~0x2u) | 0x2u;
+      trace_rw(kSlotEflags);
       regs_.eip = ra;
+      trace_rw(kSlotEip);
       cycles_ += 3;
       return;
     }
@@ -572,6 +633,7 @@ void CiscaCpu::execute(const Insn& insn) {
         }
         v &= kWidthMask[w];
         regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, v & 1);
+        trace_rm(kSlotEflags);
       }
       write_operand(insn.dst, w, v);
       break;
@@ -627,6 +689,7 @@ void CiscaCpu::execute(const Insn& insn) {
       const bool high = (r >> (w * 8)) != 0;
       regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, high);
       regs_.eflags = set_bits32(regs_.eflags, kFlagOF, 1, high);
+      trace_rm(kSlotEflags);
       break;
     }
     case Op::kImul: {
@@ -649,6 +712,8 @@ void CiscaCpu::execute(const Insn& insn) {
       cycles_ += 20;
       if (divisor == 0) raise(Cause::kDivideError);
       if (w == 4) {
+        trace_rr(kEdx);
+        trace_rr(kEax);
         const u64 dividend =
             (static_cast<u64>(regs_.gpr[kEdx]) << 32) | regs_.gpr[kEax];
         if (insn.op == Op::kDiv) {
@@ -664,6 +729,8 @@ void CiscaCpu::execute(const Insn& insn) {
           regs_.gpr[kEax] = static_cast<u32>(q);
           regs_.gpr[kEdx] = static_cast<u32>(sdividend % sdiv);
         }
+        trace_rw(kEax);
+        trace_rw(kEdx);
       } else {
         const u32 dividend = read_reg(kEax, 2) | (read_reg(kEdx, 2) << 16);
         const u32 q = dividend / divisor;
@@ -674,12 +741,18 @@ void CiscaCpu::execute(const Insn& insn) {
       break;
     }
     case Op::kCwde:
+      trace_rr(kEax);
+      trace_rw(kEax);
       regs_.gpr[kEax] = static_cast<u32>(sign_extend32(regs_.gpr[kEax] & 0xFFFF, 16));
       break;
     case Op::kCdq:
+      trace_rr(kEax);
+      trace_rw(kEdx);
       regs_.gpr[kEdx] = (regs_.gpr[kEax] & 0x80000000u) ? 0xFFFFFFFFu : 0;
       break;
     case Op::kJecxz:
+      trace_rr(kEcx);
+      trace_branch();
       if (regs_.gpr[kEcx] == 0) {
         regs_.eip = next + insn.rel;
         cycles_ += 1;
@@ -687,12 +760,16 @@ void CiscaCpu::execute(const Insn& insn) {
       }
       break;
     case Op::kLoop: {
+      trace_rr(kEcx);
       regs_.gpr[kEcx] -= 1;
+      trace_rw(kEcx);
       bool take = regs_.gpr[kEcx] != 0;
       if (insn.src_width == 1) {  // loope / loopne
         const bool zf = test_bit(regs_.eflags, kFlagZF);
+        trace_rr(kSlotEflags);
         take = take && (insn.cond == 1 ? zf : !zf);
       }
+      trace_branch();
       if (take) {
         regs_.eip = next + insn.rel;
         cycles_ += 1;
@@ -703,10 +780,10 @@ void CiscaCpu::execute(const Insn& insn) {
     case Op::kMovFromCr: {
       u32 v = 0;
       switch (insn.src.reg) {
-        case 0: v = regs_.cr0; break;
-        case 2: v = regs_.cr2; break;
-        case 3: v = regs_.cr3; break;
-        case 4: v = regs_.cr4; break;
+        case 0: v = regs_.cr0; trace_rr(kSlotCr0); break;
+        case 2: v = regs_.cr2; trace_rr(kSlotCr2); break;
+        case 3: v = regs_.cr3; trace_rr(kSlotCr3); break;
+        case 4: v = regs_.cr4; trace_rr(kSlotCr4); break;
         default: raise(Cause::kInvalidOpcode);
       }
       write_reg(insn.dst.reg, 4, v);
@@ -715,15 +792,16 @@ void CiscaCpu::execute(const Insn& insn) {
     case Op::kMovToCr: {
       const u32 v = read_operand(insn.src, 4);
       switch (insn.dst.reg) {
-        case 0: regs_.cr0 = v; break;
-        case 2: regs_.cr2 = v; break;
-        case 3: regs_.cr3 = v; break;
-        case 4: regs_.cr4 = v; break;
+        case 0: regs_.cr0 = v; trace_rw(kSlotCr0); break;
+        case 2: regs_.cr2 = v; trace_rw(kSlotCr2); break;
+        case 3: regs_.cr3 = v; trace_rw(kSlotCr3); break;
+        case 4: regs_.cr4 = v; trace_rw(kSlotCr4); break;
         default: raise(Cause::kInvalidOpcode);
       }
       break;
     }
     case Op::kMovFromSeg: {
+      trace_rr(insn.src.reg == 4 ? kSlotFs : kSlotGs);
       const u32 v = insn.src.reg == 4 ? regs_.fs : regs_.gs;
       write_operand(insn.dst, 2, v);
       break;
@@ -732,8 +810,10 @@ void CiscaCpu::execute(const Insn& insn) {
       const u32 v = read_operand(insn.src, 2);
       if (insn.dst.reg == 4) {
         regs_.fs = v;
+        trace_rw(kSlotFs);
       } else {
         regs_.gs = v;
+        trace_rw(kSlotGs);
       }
       break;
     }
@@ -751,6 +831,8 @@ void CiscaCpu::execute(const Insn& insn) {
       bool stop = !repeated;
       while (iterations-- > 0) {
         if (repeated) {
+          trace_rr(kEcx);
+          trace_branch();
           if (regs_.gpr[kEcx] == 0) {
             stop = true;
             break;
@@ -758,6 +840,8 @@ void CiscaCpu::execute(const Insn& insn) {
         }
         switch (insn.op) {
           case Op::kMovs: {
+            trace_rr(kEsi);
+            trace_rr(kEdi);
             const u32 v = read_mem(regs_.gpr[kEsi], w);
             write_mem(regs_.gpr[kEdi], w, v);
             regs_.gpr[kEsi] += delta;
@@ -765,20 +849,25 @@ void CiscaCpu::execute(const Insn& insn) {
             break;
           }
           case Op::kStos:
+            trace_rr(kEdi);
             write_mem(regs_.gpr[kEdi], w, read_reg(kEax, w));
             regs_.gpr[kEdi] += delta;
             break;
           case Op::kLods:
+            trace_rr(kEsi);
             write_reg(kEax, w, read_mem(regs_.gpr[kEsi], w));
             regs_.gpr[kEsi] += delta;
             break;
           case Op::kScas: {
+            trace_rr(kEdi);
             const u32 m = read_mem(regs_.gpr[kEdi], w);
             set_flags_sub(read_reg(kEax, w), m, 0, w);
             regs_.gpr[kEdi] += delta;
             break;
           }
           case Op::kCmps: {
+            trace_rr(kEsi);
+            trace_rr(kEdi);
             const u32 a = read_mem(regs_.gpr[kEsi], w);
             const u32 b = read_mem(regs_.gpr[kEdi], w);
             set_flags_sub(a, b, 0, w);
@@ -806,21 +895,35 @@ void CiscaCpu::execute(const Insn& insn) {
     }
     case Op::kPusha: {
       const u32 saved_esp = regs_.gpr[kEsp];
-      for (const u8 r : {kEax, kEcx, kEdx, kEbx}) push32(regs_.gpr[r]);
+      for (const u8 r : {kEax, kEcx, kEdx, kEbx}) {
+        trace_rr(r);
+        push32(regs_.gpr[r]);
+      }
       push32(saved_esp);
-      for (const u8 r : {kEbp, kEsi, kEdi}) push32(regs_.gpr[r]);
+      for (const u8 r : {kEbp, kEsi, kEdi}) {
+        trace_rr(r);
+        push32(regs_.gpr[r]);
+      }
       break;
     }
     case Op::kPopa: {
-      for (const u8 r : {kEdi, kEsi, kEbp}) regs_.gpr[r] = pop32();
+      for (const u8 r : {kEdi, kEsi, kEbp}) {
+        regs_.gpr[r] = pop32();
+        trace_rw(r);
+      }
       pop32();  // esp image discarded
-      for (const u8 r : {kEbx, kEdx, kEcx, kEax}) regs_.gpr[r] = pop32();
+      for (const u8 r : {kEbx, kEdx, kEcx, kEax}) {
+        regs_.gpr[r] = pop32();
+        trace_rw(r);
+      }
       break;
     }
     case Op::kSalc:
+      trace_rr(kSlotEflags);
       write_reg(kEax, 1, test_bit(regs_.eflags, kFlagCF) ? 0xFF : 0x00);
       break;
     case Op::kXlat:
+      trace_rr(kEbx);
       write_reg(kEax, 1,
                 read_mem(regs_.gpr[kEbx] + read_reg(kEax, 1), 1));
       break;
@@ -854,8 +957,11 @@ void CiscaCpu::execute(const Insn& insn) {
       cycles_ += 3;
       break;
     case Op::kEnter: {
+      trace_rr(kEbp);
       push32(regs_.gpr[kEbp]);
+      trace_rr(kEsp);
       regs_.gpr[kEbp] = regs_.gpr[kEsp];
+      trace_rw(kEbp);
       regs_.gpr[kEsp] -= static_cast<u32>(insn.rel);
       break;
     }
@@ -864,10 +970,12 @@ void CiscaCpu::execute(const Insn& insn) {
       pop32();  // cs selector (garbage here)
       regs_.gpr[kEsp] += static_cast<u32>(insn.rel);
       regs_.eip = ra;
+      trace_rw(kSlotEip);
       cycles_ += 3;
       return;
     }
     case Op::kInto:
+      trace_rr(kSlotEflags);
       if (test_bit(regs_.eflags, kFlagOF)) raise(Cause::kBoundsTrap);
       break;
     case Op::kJmpFar:
@@ -893,9 +1001,11 @@ void CiscaCpu::execute(const Insn& insn) {
       break;
     case Op::kInsOuts: {
       if (insn.src_width == 1) {
+        trace_rr(kEsi);
         read_mem(regs_.gpr[kEsi], w);  // outs reads [esi]
         regs_.gpr[kEsi] += w;
       } else {
+        trace_rr(kEdi);
         write_mem(regs_.gpr[kEdi], w, 0);  // ins writes port data to [edi]
         regs_.gpr[kEdi] += w;
       }

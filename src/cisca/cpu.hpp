@@ -69,6 +69,8 @@ class CiscaCpu final : public isa::CpuCore {
   isa::DecodeCacheStats decode_cache_stats() const override {
     return dcache_stats_;
   }
+  void set_trace_sink(trace::TraceSink* sink) override { sink_ = sink; }
+  trace::RegSlot sysreg_slot(u32 index) const override;
 
   RegFile& regs() { return regs_; }
   const RegFile& regs() const { return regs_; }
@@ -132,12 +134,28 @@ class CiscaCpu final : public isa::CpuCore {
   bool eval_cond(u8 cond) const;
   void execute(const Insn& insn);
 
+  // Trace-hook shorthands: one predictable null check when tracing is off,
+  // mirroring the current_result_ guard on debug-access recording.
+  void trace_rr(trace::RegSlot slot) const {
+    if (sink_ != nullptr) sink_->on_reg_read(slot);
+  }
+  void trace_rw(trace::RegSlot slot) {
+    if (sink_ != nullptr) sink_->on_reg_write(slot);
+  }
+  void trace_rm(trace::RegSlot slot) {
+    if (sink_ != nullptr) sink_->on_reg_merge(slot);
+  }
+  void trace_branch() const {
+    if (sink_ != nullptr) sink_->on_branch_decision();
+  }
+
   mem::AddressSpace& space_;
   Options options_;
   RegFile regs_;
   isa::DebugUnit debug_;
   Cycles cycles_ = 0;
   isa::StepResult* current_result_ = nullptr;
+  trace::TraceSink* sink_ = nullptr;
   Addr stack_lo_ = 0, stack_hi_ = 0;
   bool halted_pending_ = false;
   bool dcache_enabled_ = false;

@@ -59,6 +59,31 @@ enum Cr0Bit : u32 {
 /// Segment override selectors for FS/GS-relative addressing.
 enum class SegOverride : u8 { kNone = 0, kFs = 1, kGs = 2 };
 
+/// Trace register slots (trace::RegSlot values) for the shadow taint
+/// engine.  GPRs occupy slots 0..7 directly (so ESP is slot kEsp); the
+/// byte sub-registers AL..BH alias their parent GPR's slot — the shadow
+/// model is whole-register.
+enum TraceSlot : u16 {
+  kSlotEip = 8,
+  kSlotEflags = 9,
+  kSlotCr0 = 10,
+  kSlotCr2 = 11,
+  kSlotCr3 = 12,
+  kSlotCr4 = 13,
+  kSlotDr0 = 14,  // DR0..DR3 then DR6, DR7 contiguously
+  kSlotDr6 = 18,
+  kSlotDr7 = 19,
+  kSlotFs = 20,
+  kSlotGs = 21,
+  kSlotGdtrBase = 22,
+  kSlotGdtrLimit = 23,
+  kSlotIdtrBase = 24,
+  kSlotIdtrLimit = 25,
+  kSlotLdtr = 26,
+  kSlotTr = 27,
+  kCiscaSlotCount = 28,
+};
+
 /// Full architectural register file.
 struct RegFile {
   u32 gpr[kNumGprs] = {};

@@ -35,6 +35,21 @@ const std::array<isa::SysRegInfo, kSrCount>& reg_infos() {
 
 }  // namespace
 
+trace::RegSlot CiscaCpu::sysreg_slot(u32 index) const {
+  // Bank order above; ESP aliases its GPR slot so register-campaign seeds
+  // and the execute() hooks agree on one shadow location per register.
+  static constexpr trace::RegSlot kSlots[kSrCount] = {
+      kSlotEflags, kSlotCr0,  kSlotCr2,
+      kSlotCr3,    kSlotCr4,  kSlotDr0,
+      kSlotDr0 + 1, kSlotDr0 + 2, kSlotDr0 + 3,
+      kSlotDr6,    kSlotDr7,  kEsp,
+      kSlotEip,    kSlotFs,   kSlotGs,
+      kSlotGdtrBase, kSlotGdtrLimit, kSlotIdtrBase, kSlotIdtrLimit,
+      kSlotLdtr,   kSlotTr,
+  };
+  return index < kSrCount ? kSlots[index] : trace::kNoSlot;
+}
+
 u32 CiscaSysRegs::count() const { return kSrCount; }
 
 const isa::SysRegInfo& CiscaSysRegs::info(u32 index) const {

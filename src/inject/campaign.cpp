@@ -5,14 +5,17 @@
 namespace kfi::inject {
 
 CampaignResult run_campaign(const CampaignSpec& spec, const ProgressFn& progress,
-                            u32 jobs) {
+                            u32 jobs, bool trace) {
   const CampaignPlan plan = build_campaign_plan(spec);
-  return CampaignEngine(jobs).run(plan, progress);
+  RunControl control;
+  control.trace = trace;
+  return CampaignEngine(jobs).run(plan, progress, control);
 }
 
 InjectionRecord run_single_injection(kernel::Machine& machine,
                                      workload::Workload& wl,
-                                     const InjectionTarget& target, u64 seed) {
+                                     const InjectionTarget& target, u64 seed,
+                                     trace::TaintEngine* taint) {
   const u64 nominal = calibrate_workload(machine, wl, seed);
   const double kernel_fraction = calibrated_kernel_fraction(machine, nominal);
   UdpChannel channel(0.0, seed);
@@ -21,7 +24,13 @@ InjectionRecord run_single_injection(kernel::Machine& machine,
                           static_cast<u64>(3.0 * static_cast<double>(nominal)) +
                               2 * machine.options().timer_period,
                           kernel_fraction);
-  return runner.run_one(target, seed, 0);
+  if (taint != nullptr) {
+    machine.set_trace_sink(taint);
+    runner.set_taint_engine(taint);
+  }
+  InjectionRecord record = runner.run_one(target, seed, 0);
+  if (taint != nullptr) machine.set_trace_sink(nullptr);
+  return record;
 }
 
 std::vector<InjectionRecord> completed_records(const CampaignResult& result) {

@@ -15,23 +15,29 @@
 #include "inject/plan.hpp"
 #include "inject/record.hpp"
 #include "kernel/machine.hpp"
+#include "trace/taint.hpp"
 
 namespace kfi::inject {
 
 /// Run a full campaign (Figure 2's automated process): build the plan,
 /// execute it on `jobs` workers (0 = hardware concurrency), merge.  The
-/// result is bit-identical for the same spec regardless of `jobs`.
+/// result is bit-identical for the same spec regardless of `jobs`, and —
+/// because tracing is observational — regardless of `trace`.
 CampaignResult run_campaign(const CampaignSpec& spec,
-                            const ProgressFn& progress = {}, u32 jobs = 1);
+                            const ProgressFn& progress = {}, u32 jobs = 1,
+                            bool trace = false);
 
 /// Convenience for worked-example reproductions: run a single targeted
 /// injection on a caller-provided machine/workload pair.  Calibrates the
 /// machine the same way run_campaign does (shared helpers in plan.hpp),
-/// including the kernel-time fraction.
+/// including the kernel-time fraction.  When `taint` is non-null the run
+/// is traced through it (sink attached for the run, detached after) and
+/// the record carries a PropagationSummary.
 InjectionRecord run_single_injection(kernel::Machine& machine,
                                      workload::Workload& wl,
                                      const InjectionTarget& target,
-                                     u64 seed = 1);
+                                     u64 seed = 1,
+                                     trace::TaintEngine* taint = nullptr);
 
 /// The records an (possibly interrupted) campaign actually produced:
 /// resumed + executed indices, in target order.  For a completed campaign

@@ -37,14 +37,33 @@ struct WorkerRig {
   UdpChannel channel;
   CrashCollector collector;
   ExperimentRunner runner;
+  /// Per-rig shadow-state tracker (RunControl::trace); wiring it through
+  /// Machine::set_trace_sink keeps the campaign deterministic — the sink
+  /// only observes.
+  std::unique_ptr<trace::TaintEngine> taint;
 
-  WorkerRig(const CampaignPlan& plan, const kernel::MachineOptions& mopts)
+  WorkerRig(const CampaignPlan& plan, const kernel::MachineOptions& mopts,
+            bool trace)
       : machine(plan.spec.arch, mopts, plan.image),
         wl(workload::make_suite(plan.spec.workload_scale)),
         channel(plan.spec.channel_loss, plan.spec.seed ^ 0xC0FFEE),
         collector(),
         runner(machine, *wl, channel, collector, plan.nominal_cycles,
-               plan.budget_cycles, plan.kernel_fraction) {}
+               plan.budget_cycles, plan.kernel_fraction) {
+    if (trace) {
+      taint = std::make_unique<trace::TaintEngine>();
+      // Tainted writes are classified against the kernel image's named
+      // data objects to detect subsystem crossings.
+      const kir::Image* image = plan.image.get();
+      taint->set_object_classifier([image](Addr va) -> i32 {
+        const kir::DataObject* obj = image->object_at(va);
+        if (obj == nullptr) return -1;
+        return static_cast<i32>(obj - image->objects.data());
+      });
+      machine.set_trace_sink(taint.get());
+      runner.set_taint_engine(taint.get());
+    }
+  }
 };
 
 /// Shared between one worker and the supervisor's watchdog loop.
@@ -136,8 +155,8 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
   // reporting progress.
   auto worker = [&](WorkerState& st) {
     try {
-      auto make_rig = [&plan, &mopts, &st] {
-        auto rig = std::make_unique<WorkerRig>(plan, mopts);
+      auto make_rig = [&plan, &mopts, &st, &ctl] {
+        auto rig = std::make_unique<WorkerRig>(plan, mopts, ctl.trace);
         rig->machine.set_harness_interrupt(&st.interrupt);
         return rig;
       };
@@ -170,13 +189,13 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
           st.busy_since_ns.store(now_ns(), std::memory_order_release);
           try {
             if (ctl.harness_fault_hook) ctl.harness_fault_hook(i, attempt);
-            const u64 reboots0 = rig->runner.watchdog().reboots();
+            const u64 reboots0 = rig->runner.reboots();
             const u64 sent0 = rig->channel.sent();
             const u64 dropped0 = rig->channel.dropped();
             const u64 cycles0 = rig->runner.simulated_cycles();
             result.records[i] =
                 rig->runner.run_one(plan.targets[i], plan.run_seeds[i], i);
-            entry.reboots = rig->runner.watchdog().reboots() - reboots0;
+            entry.reboots = rig->runner.reboots() - reboots0;
             entry.datagrams_sent = rig->channel.sent() - sent0;
             entry.datagrams_dropped = rig->channel.dropped() - dropped0;
             entry.simulated_cycles =

@@ -118,6 +118,12 @@ struct RunControl {
   /// Test/chaos hook invoked before every injection attempt; a throw is
   /// treated exactly like a harness fault inside that attempt.
   std::function<void(u32 index, u32 attempt)> harness_fault_hook;
+  /// Error-propagation tracing: each worker rig gets a TaintEngine wired
+  /// to its machine, and every record carries a PropagationSummary.
+  /// Strictly observational — the result fingerprint is bit-identical
+  /// with tracing on or off (the parity tests and
+  /// bench/propagation_overhead enforce it).
+  bool trace = false;
 };
 
 class CampaignEngine {

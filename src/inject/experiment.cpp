@@ -23,12 +23,28 @@ ExperimentRunner::ExperimentRunner(kernel::Machine& machine,
       channel_(channel),
       collector_(collector),
       nominal_(nominal_cycles),
-      watchdog_(budget_cycles),
+      budget_cycles_(budget_cycles),
       kernel_fraction_(kernel_fraction) {}
+
+void ExperimentRunner::reboot() {
+  machine_.restore(machine_.boot_snapshot());
+  ++reboots_;
+}
+
+void ExperimentRunner::seed_taint_byte(Addr va) {
+  if (taint_ == nullptr) return;
+  const u32 phys = machine_.space().translate(va, 1, mem::Access::kRead).phys;
+  taint_->seed_memory(va, phys, 1);
+}
 
 void ExperimentRunner::flip_value_bit(Addr word_addr, u32 bit) {
   mem::AddressSpace& space = machine_.space();
   space.vwrite32(word_addr, space.vread32(word_addr) ^ (1u << bit));
+  // Seed the taint mark at the byte the flip landed in (the word is stored
+  // in the machine's endianness; bit 0 is the LSB of the 32-bit value).
+  seed_taint_byte(machine_.arch() == isa::Arch::kRiscf
+                      ? word_addr + (3 - bit / 8)
+                      : word_addr + bit / 8);
 }
 
 void ExperimentRunner::flip_code_bit(const InjectionTarget& target) {
@@ -40,6 +56,7 @@ void ExperimentRunner::flip_code_bit(const InjectionTarget& target) {
   // order (bit 0 = LSB of the first byte).
   machine_.space().vflip_bit(target.code_addr + target.code_bit / 8,
                              target.code_bit % 8);
+  seed_taint_byte(target.code_addr + target.code_bit / 8);
 }
 
 Addr ExperimentRunner::resolve_stack_addr(const InjectionTarget& target) const {
@@ -101,14 +118,15 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
   InjectionRecord record;
   record.target = target;
 
-  watchdog_.reboot(machine_);  // fresh boot state for every experiment
+  reboot();  // fresh boot state for every experiment
   wl_.reset(run_seed);
   rng_ = Rng(run_seed ^ 0xC0117E47u);  // per-run decisions (context window)
   channel_.begin_run(run_seed);  // per-run loss decisions (determinism)
+  if (taint_ != nullptr) taint_->reset();  // fresh shadow state too
 
   isa::CpuCore& cpu = machine_.cpu();
   const u64 start = cpu.cycles();
-  const u64 budget_end = watchdog_.deadline(start);
+  const u64 budget_end = start + budget_cycles_;
 
   // Deferred-injection setup.
   bool pending_deferred = target.kind == CampaignKind::kStack ||
@@ -179,6 +197,14 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
                 // Register latency runs from injection (paper footnote 5).
                 record.latency_base_cycle = cpu.cycles();
                 latency_base_set = true;
+                if (taint_ != nullptr) {
+                  // Seed the register's shadow slot.  The bank write above
+                  // is injector traffic, not program traffic, so it does
+                  // not pass through the CPU's trace hooks; seeding here
+                  // is what makes the flip visible to the engine.
+                  taint_->seed_register(machine_.cpu().sysreg_slot(
+                      target.reg_index % machine_.cpu().sysregs().count()));
+                }
               }
             } else {  // stack
               watched_word = resolve_stack_addr(target);
@@ -292,6 +318,10 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
   if (monitoring) cpu.debug().disarm_data_bp(0);
   cpu.debug().disarm_insn_bp();
   simulated_cycles_ += cpu.cycles() - start;
+  if (taint_ != nullptr) {
+    record.propagation = taint_->finalize();
+    record.propagation_valid = true;
+  }
   return record;
 }
 

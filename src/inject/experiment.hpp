@@ -22,9 +22,9 @@
 
 #include "inject/channel.hpp"
 #include "inject/record.hpp"
-#include "inject/watchdog.hpp"
 #include "common/rng.hpp"
 #include "kernel/machine.hpp"
+#include "trace/taint.hpp"
 #include "workload/workload.hpp"
 
 namespace kfi::inject {
@@ -40,7 +40,19 @@ class ExperimentRunner {
   InjectionRecord run_one(const InjectionTarget& target, u64 run_seed,
                           u32 sequence);
 
-  const Watchdog& watchdog() const { return watchdog_; }
+  /// Attach (or detach, with nullptr) an error-propagation taint engine.
+  /// When attached, every run_one() seeds the engine at the exact flipped
+  /// byte (register slot, memory byte, or instruction byte) and stores the
+  /// finalized PropagationSummary in the record.  The caller must also
+  /// attach the engine to the machine (Machine::set_trace_sink) so the CPU
+  /// and glue hooks feed it; this stays strictly observational.
+  void set_taint_engine(trace::TaintEngine* taint) { taint_ = taint; }
+
+  /// Hang-budget bookkeeping (absorbed from the old standalone Watchdog):
+  /// each run_one() "reboots" the machine back to the boot snapshot and
+  /// runs it for at most budget_cycles before declaring a hang.
+  u64 budget_cycles() const { return budget_cycles_; }
+  u64 reboots() const { return reboots_; }
   u64 nominal_cycles() const { return nominal_; }
   /// Simulated cycles consumed by all run_one() calls so far (campaign
   /// throughput observability; deterministic, so it merges bit-identically
@@ -48,10 +60,15 @@ class ExperimentRunner {
   u64 simulated_cycles() const { return simulated_cycles_; }
 
  private:
+  /// Restore the boot snapshot ("reboot") before an experiment.
+  void reboot();
   /// Flip bit `bit` (0..31) of the 32-bit value at word_addr, respecting
-  /// the machine's endianness.
+  /// the machine's endianness; seeds the taint engine (when attached) at
+  /// the flipped byte.
   void flip_value_bit(Addr word_addr, u32 bit);
   void flip_code_bit(const InjectionTarget& target);
+  /// Mark the byte at `va` as the taint seed (no-op without an engine).
+  void seed_taint_byte(Addr va);
   /// Resolve the live stack-word address for a stack target; returns 0 if
   /// the chosen process currently has no live stack words.
   Addr resolve_stack_addr(const InjectionTarget& target) const;
@@ -66,9 +83,11 @@ class ExperimentRunner {
   UdpChannel& channel_;
   CrashCollector& collector_;
   u64 nominal_;
-  Watchdog watchdog_;
+  u64 budget_cycles_;
+  u64 reboots_ = 0;
   double kernel_fraction_;
   u64 simulated_cycles_ = 0;
+  trace::TaintEngine* taint_ = nullptr;
   Rng rng_{0x5eed};
 };
 

@@ -12,7 +12,6 @@ namespace {
 
 constexpr u32 kJournalMagic = 0x4B46494A;  // "KFIJ"
 constexpr u32 kEntryMagic = 0x4B464945;    // "KFIE"
-constexpr u32 kVersion = 1;
 
 u64 fnv1a(const u8* data, size_t size) {
   u64 h = 0xcbf29ce484222325ull;
@@ -95,7 +94,8 @@ struct Cursor {
 
 }  // namespace
 
-void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& e) {
+void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& e,
+                             u32 version) {
   put32(out, e.index);
 
   const InjectionTarget& t = e.record.target;
@@ -138,10 +138,35 @@ void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& e) {
   put64(out, e.datagrams_sent);
   put64(out, e.datagrams_dropped);
   put64(out, e.simulated_cycles);
+
+  if (version >= 2) {
+    const trace::PropagationSummary& p = r.propagation;
+    put8(out, r.propagation_valid ? 1 : 0);
+    put8(out, p.traced ? 1 : 0);
+    put8(out, p.seeded ? 1 : 0);
+    put64(out, p.seed_insn);
+    put8(out, p.used ? 1 : 0);
+    put64(out, p.first_use_insn);
+    put64(out, p.first_use_latency);
+    put32(out, p.max_depth);
+    put32(out, p.tainted_regs_peak);
+    put32(out, p.tainted_bytes_peak);
+    put64(out, p.tainted_reads);
+    put64(out, p.tainted_writes);
+    put64(out, p.tainted_branches);
+    put64(out, p.pc_tainted_insns);
+    put32(out, p.objects_crossed);
+    put64(out, p.silent_overwrites);
+    put8(out, p.syscall_result_tainted ? 1 : 0);
+    put32(out, p.priv_transitions);
+    put8(out, p.live_at_end ? 1 : 0);
+    put32(out, p.live_regs_at_end);
+    put32(out, p.live_bytes_at_end);
+  }
 }
 
 std::optional<JournalEntry> deserialize_journal_entry(
-    const std::vector<u8>& in, size_t& pos) {
+    const std::vector<u8>& in, size_t& pos, u32 version) {
   Cursor c{in, pos};
   JournalEntry e;
   e.index = c.get32();
@@ -197,14 +222,42 @@ std::optional<JournalEntry> deserialize_journal_entry(
   e.datagrams_dropped = c.get64();
   e.simulated_cycles = c.get64();
 
+  if (version >= 2) {
+    trace::PropagationSummary& p = r.propagation;
+    r.propagation_valid = c.get8() != 0;
+    p.traced = c.get8() != 0;
+    p.seeded = c.get8() != 0;
+    p.seed_insn = c.get64();
+    p.used = c.get8() != 0;
+    p.first_use_insn = c.get64();
+    p.first_use_latency = c.get64();
+    p.max_depth = c.get32();
+    p.tainted_regs_peak = c.get32();
+    p.tainted_bytes_peak = c.get32();
+    p.tainted_reads = c.get64();
+    p.tainted_writes = c.get64();
+    p.tainted_branches = c.get64();
+    p.pc_tainted_insns = c.get64();
+    p.objects_crossed = c.get32();
+    p.silent_overwrites = c.get64();
+    p.syscall_result_tainted = c.get8() != 0;
+    p.priv_transitions = c.get32();
+    p.live_at_end = c.get8() != 0;
+    p.live_regs_at_end = c.get32();
+    p.live_bytes_at_end = c.get32();
+  }
+  // v1 payloads simply have no propagation block: the record keeps the
+  // default summary with propagation_valid = false.
+
   if (!c.ok) return std::nullopt;
   pos = c.pos;
   return e;
 }
 
-InjectionJournal::InjectionJournal(std::string path,
+InjectionJournal::InjectionJournal(std::string path, u32 version,
                                    std::vector<JournalEntry> recovered)
     : path_(std::move(path)),
+      version_(version),
       recovered_(std::move(recovered)),
       mutex_(new std::mutex) {}
 
@@ -214,14 +267,14 @@ InjectionJournal InjectionJournal::create(const std::string& path,
   if (!out) throw JournalError("cannot create journal at " + path);
   std::vector<u8> header;
   put32(header, kJournalMagic);
-  put32(header, kVersion);
+  put32(header, kJournalVersion);
   put64(header, plan_fingerprint(plan));
   put32(header, static_cast<u32>(plan.targets.size()));
   out.write(reinterpret_cast<const char*>(header.data()),
             static_cast<long>(header.size()));
   out.flush();
   if (!out) throw JournalError("cannot write journal header to " + path);
-  return InjectionJournal(path, {});
+  return InjectionJournal(path, kJournalVersion, {});
 }
 
 InjectionJournal InjectionJournal::resume(const std::string& path,
@@ -236,9 +289,12 @@ InjectionJournal InjectionJournal::resume(const std::string& path,
   if (c.get32() != kJournalMagic || !c.ok) {
     throw JournalError("not an injection journal: " + path);
   }
-  if (const u32 version = c.get32(); version != kVersion) {
+  const u32 version = c.get32();
+  if (version < kJournalVersionV1 || version > kJournalVersion) {
     throw JournalError("journal version mismatch in " + path + ": " +
-                       std::to_string(version));
+                       std::to_string(version) + " (this build reads " +
+                       std::to_string(kJournalVersionV1) + ".." +
+                       std::to_string(kJournalVersion) + ")");
   }
   const u64 fingerprint = c.get64();
   const u32 total = c.get32();
@@ -269,7 +325,7 @@ InjectionJournal InjectionJournal::resume(const std::string& path,
     const u64 checksum = frame.get64();
     if (!frame.ok || checksum != fnv1a(bytes.data() + payload_at, len)) break;
     size_t pos = payload_at;
-    auto entry = deserialize_journal_entry(bytes, pos);
+    auto entry = deserialize_journal_entry(bytes, pos, version);
     if (!entry || pos != payload_at + len || entry->index != index ||
         entry->index >= total) {
       break;
@@ -280,12 +336,14 @@ InjectionJournal InjectionJournal::resume(const std::string& path,
   if (good_end < bytes.size()) {
     std::filesystem::resize_file(path, good_end);
   }
-  return InjectionJournal(path, std::move(recovered));
+  return InjectionJournal(path, version, std::move(recovered));
 }
 
 void InjectionJournal::append(const JournalEntry& entry) {
   std::vector<u8> payload;
-  serialize_journal_entry(payload, entry);
+  // Append in the file's own version so a resumed v1 journal stays a
+  // uniform v1 file (its header promises no propagation blocks).
+  serialize_journal_entry(payload, entry, version_);
   std::vector<u8> frame;
   frame.reserve(payload.size() + 20);
   put32(frame, kEntryMagic);

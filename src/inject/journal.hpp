@@ -19,6 +19,12 @@
 // (process killed mid-write) fails the length or checksum test; resume
 // truncates the file back to the last intact entry and the lost index is
 // simply re-executed.
+//
+// Versioning: v1 entries end at the counter deltas; v2 (current) appends
+// the error-propagation block (PropagationSummary).  resume() accepts
+// both and keeps appending in the file's own version, so a v1 journal
+// stays a valid v1 file end to end; v1 records simply resume with
+// propagation_valid = false.
 #pragma once
 
 #include <memory>
@@ -33,6 +39,11 @@
 namespace kfi::inject {
 
 struct CampaignPlan;
+
+/// On-disk journal format versions this build reads.  New journals are
+/// always written at kJournalVersion.
+constexpr u32 kJournalVersionV1 = 1;  // pre-propagation entries
+constexpr u32 kJournalVersion = 2;    // + PropagationSummary block
 
 /// Typed failure for journal open/resume problems (missing file, foreign
 /// campaign fingerprint, malformed header).
@@ -77,15 +88,21 @@ class InjectionJournal {
   /// Entries recovered by resume() (empty for a created journal).
   const std::vector<JournalEntry>& recovered() const { return recovered_; }
 
+  /// The file's format version: kJournalVersion for created journals, the
+  /// on-disk header's version for resumed ones (appends match it).
+  u32 version() const { return version_; }
+
   /// Appends flushed to disk by this process.  Thread-safe.
   u64 flushes() const;
 
   const std::string& path() const { return path_; }
 
  private:
-  InjectionJournal(std::string path, std::vector<JournalEntry> recovered);
+  InjectionJournal(std::string path, u32 version,
+                   std::vector<JournalEntry> recovered);
 
   std::string path_;
+  u32 version_ = kJournalVersion;
   std::vector<JournalEntry> recovered_;
   std::unique_ptr<std::mutex> mutex_;  // heap so the journal stays movable
   u64 flushes_ = 0;
@@ -93,9 +110,11 @@ class InjectionJournal {
 
 /// Record (de)serialization, exposed for round-trip tests.  deserialize
 /// advances `pos` and returns nullopt (without reading out of bounds) on
-/// truncated or malformed input.
-void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& entry);
+/// truncated or malformed input.  `version` selects the entry layout (v1
+/// has no propagation block).
+void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& entry,
+                             u32 version = kJournalVersion);
 std::optional<JournalEntry> deserialize_journal_entry(
-    const std::vector<u8>& in, size_t& pos);
+    const std::vector<u8>& in, size_t& pos, u32 version = kJournalVersion);
 
 }  // namespace kfi::inject

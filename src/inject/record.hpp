@@ -12,6 +12,7 @@
 #include "common/types.hpp"
 #include "isa/arch.hpp"
 #include "kernel/crash.hpp"
+#include "trace/summary.hpp"
 
 namespace kfi::inject {
 
@@ -92,6 +93,13 @@ struct InjectionRecord {
   Cycles cycles_to_crash = 0;
 
   u32 syscalls_completed = 0;
+
+  /// Error-propagation digest, filled only when the campaign ran with
+  /// tracing enabled (propagation_valid).  Observational: deliberately
+  /// excluded from result_fingerprint, so traced and untraced campaigns
+  /// fingerprint identically.
+  trace::PropagationSummary propagation{};
+  bool propagation_valid = false;
 
   // kHarnessError only: what went wrong in the harness and how many
   // attempts (initial + retries) were consumed before quarantining.

@@ -14,6 +14,7 @@
 #include "isa/debug.hpp"
 #include "isa/sysreg.hpp"
 #include "isa/trap.hpp"
+#include "trace/sink.hpp"
 
 namespace kfi::isa {
 
@@ -65,6 +66,20 @@ class CpuCore {
 
   virtual CpuSnapshot snapshot() const = 0;
   virtual void restore(const CpuSnapshot& snap) = 0;
+
+  /// Attach (nullptr detaches) an observational error-propagation trace
+  /// sink.  Hook sites are guarded null checks, so execution — cycle
+  /// counts, memory traffic, RNG draws — is bit-identical with or without
+  /// a sink attached (the campaign fingerprint cross-checks enforce it).
+  /// Default: tracing unsupported, attach is a no-op.
+  virtual void set_trace_sink(trace::TraceSink* /*sink*/) {}
+
+  /// Trace register slot backing system-register bank index `index`, or
+  /// trace::kNoSlot when that bank member is not shadowed.  Lets the
+  /// injector seed taint at the exact register it flipped.
+  virtual trace::RegSlot sysreg_slot(u32 /*index*/) const {
+    return trace::kNoSlot;
+  }
 
   /// Predecoded-instruction cache control.  The cache is bit-exact — it
   /// only skips re-decoding bytes proven unchanged via page write

@@ -225,6 +225,11 @@ u32 Machine::current_task() const { return space_.vread32(current_addr_); }
 
 void Machine::set_profiling(bool enabled) { profiling_ = enabled; }
 
+void Machine::set_trace_sink(trace::TraceSink* sink) {
+  trace_ = sink;
+  cpu_->set_trace_sink(sink);
+}
+
 void Machine::begin_syscall(Syscall nr, u32 a0, u32 a1, u32 a2) {
   KFI_CHECK(idle(), "begin_syscall while machine busy");
   // Simulated user-mode time since the last kernel entry.
@@ -340,15 +345,28 @@ void Machine::setup_syscall_frame(const PendingSyscall& req) {
     // consumed it first.
     regs.fs = 0x30;
     regs.gs = 0x38;
+    if (trace_ != nullptr) {
+      trace_->on_glue_reg_set(cisca::kSlotFs);
+      trace_->on_glue_reg_set(cisca::kSlotGs);
+    }
     Addr sp = stack_top(arch_, 0);
     const u32 words[5] = {req.nr, req.a0, req.a1, req.a2,
                           glue_addr(kGlueSyscallReturn)};
     for (const u32 w : words) {
       sp -= 4;
       space_.vwrite32(sp, w);
+      if (trace_ != nullptr) {
+        // Frame words come from outside the simulation: always clean.
+        trace_->on_glue_mem_set(
+            space_.translate(sp, 4, mem::Access::kWrite).phys, 4);
+      }
     }
     regs.gpr[cisca::kEsp] = sp;
     regs.eip = dispatch_entry_;
+    if (trace_ != nullptr) {
+      trace_->on_glue_reg_set(cisca::kEsp);
+      trace_->on_glue_reg_set(cisca::kSlotEip);
+    }
   } else {
     auto& regs = riscf_cpu_->regs();
     regs.gpr[riscf::kSp] = stack_top(arch_, 0) - 16;
@@ -357,9 +375,21 @@ void Machine::setup_syscall_frame(const PendingSyscall& req) {
     regs.gpr[5] = req.a1;
     regs.gpr[6] = req.a2;
     regs.lr = glue_addr(kGlueSyscallReturn);
+    if (trace_ != nullptr) {
+      trace_->on_glue_reg_set(riscf::kSp);
+      for (u16 g = 3; g <= 6; ++g) trace_->on_glue_reg_set(g);
+      trace_->on_glue_reg_set(riscf::kSlotLr);
+      // SRR0/SRR1 capture live state: their shadow moves with the value.
+      trace_->on_glue_reg_copy(riscf::kSlotSrr0, riscf::kSlotPc);
+      trace_->on_glue_reg_copy(riscf::kSlotSrr1, riscf::kSlotMsr);
+      trace_->on_glue_reg_set(riscf::kSlotPc);
+    }
     regs.srr0 = regs.pc;
     regs.srr1 = regs.msr;
     regs.pc = dispatch_entry_;
+  }
+  if (trace_ != nullptr) {
+    trace_->on_priv_transition(trace::PrivEvent::kSyscallEntry);
   }
   glue_stack_.push_back(GlueFrame{GlueKind::kSyscall, /*from_user=*/true});
   syscall_active_ = true;
@@ -383,17 +413,32 @@ void Machine::enter_isr(bool from_user) {
     const u32 words[6] = {regs.eflags,           regs.eip,
                           regs.gpr[cisca::kEax], regs.gpr[cisca::kEcx],
                           regs.gpr[cisca::kEdx], glue_addr(kGlueIsrReturn)};
-    for (const u32 w : words) {
+    static constexpr trace::RegSlot kSaveSlots[6] = {
+        cisca::kSlotEflags, cisca::kSlotEip, cisca::kEax,
+        cisca::kEcx,        cisca::kEdx,     trace::kNoSlot};
+    for (u32 i = 0; i < 6; ++i) {
       sp -= 4;
       const auto tr = space_.translate(sp, 4, mem::Access::kWrite);
       if (!tr.ok()) {
         fatal_pending_ = glue_access_fault(arch_, sp, true, regs.eip);
         return;
       }
-      space_.phys().write32(tr.phys, w, mem::Endian::kLittle);
+      space_.phys().write32(tr.phys, words[i], mem::Endian::kLittle);
+      if (trace_ != nullptr) {
+        if (kSaveSlots[i] != trace::kNoSlot) {
+          trace_->on_ctx_save(kSaveSlots[i], tr.phys);
+        } else {
+          trace_->on_glue_mem_set(tr.phys, 4);  // stub return address
+        }
+      }
     }
     regs.gpr[cisca::kEsp] = sp;
     regs.eip = timer_entry_;
+    if (trace_ != nullptr) {
+      if (from_user) trace_->on_glue_reg_set(cisca::kEsp);
+      trace_->on_glue_reg_set(cisca::kSlotEip);
+      trace_->on_priv_transition(trace::PrivEvent::kIsrEntry);
+    }
   } else {
     auto& regs = riscf_cpu_->regs();
     if (from_user) {
@@ -402,10 +447,17 @@ void Machine::enter_isr(bool from_user) {
       // ends up fetching from wherever it points (Section 5.2).
       if (regs.sprg[2] != expected_sprg2_) {
         regs.pc = regs.sprg[2];
+        if (trace_ != nullptr) {
+          // The corrupted stack-switch base becomes the fetch address.
+          trace_->on_glue_reg_copy(riscf::kSlotPc,
+                                   riscf::kSlotSprg0 + 2);
+          trace_->on_priv_transition(trace::PrivEvent::kIsrEntry);
+        }
         glue_stack_.push_back(GlueFrame{GlueKind::kIsr, from_user});
         return;
       }
       regs.gpr[riscf::kSp] = stack_top(arch_, 0);
+      if (trace_ != nullptr) trace_->on_glue_reg_set(riscf::kSp);
     }
     const Addr old_sp = regs.gpr[riscf::kSp];
     const Addr frame = old_sp - 72;
@@ -419,6 +471,10 @@ void Machine::enter_isr(bool from_user) {
     words[15] = regs.pc;   // interrupted pc (SRR0 image)
     words[16] = regs.ctr;
     words[17] = regs.gpr[2];  // r2 kept for frame symmetry (TOC slot)
+    static constexpr trace::RegSlot kFrameSlots[18] = {
+        riscf::kSp,       riscf::kSlotMsr, 0,  3, 4, 5, 6, 7, 8, 9, 10, 11,
+        12,               riscf::kSlotLr,  riscf::kSlotCr,
+        riscf::kSlotPc,   riscf::kSlotCtr, 2};
     for (u32 i = 0; i < 18; ++i) {
       const Addr a = frame + i * 4;
       const auto tr = space_.translate(a, 4, mem::Access::kWrite);
@@ -427,6 +483,15 @@ void Machine::enter_isr(bool from_user) {
         return;
       }
       space_.phys().write32(tr.phys, words[i], mem::Endian::kBig);
+      if (trace_ != nullptr) trace_->on_ctx_save(kFrameSlots[i], tr.phys);
+    }
+    if (trace_ != nullptr) {
+      trace_->on_glue_reg_copy(riscf::kSlotSrr0, riscf::kSlotPc);
+      trace_->on_glue_reg_copy(riscf::kSlotSrr1, riscf::kSlotMsr);
+      // SP stays frame-derived from the old SP: shadow untouched.
+      trace_->on_glue_reg_set(riscf::kSlotLr);
+      trace_->on_glue_reg_set(riscf::kSlotPc);
+      trace_->on_priv_transition(trace::PrivEvent::kIsrEntry);
     }
     regs.srr0 = regs.pc;
     regs.srr1 = regs.msr;
@@ -444,6 +509,9 @@ bool Machine::isr_return() {
     // iret semantics: restore edx, ecx, eax, eip, eflags from the stack.
     Addr sp = regs.gpr[cisca::kEsp];
     u32 words[5];
+    static constexpr trace::RegSlot kRestoreSlots[5] = {
+        cisca::kEdx, cisca::kEcx, cisca::kEax, cisca::kSlotEip,
+        cisca::kSlotEflags};
     for (u32 i = 0; i < 5; ++i) {
       const auto tr = space_.translate(sp + i * 4, 4, mem::Access::kRead);
       if (!tr.ok()) {
@@ -451,6 +519,7 @@ bool Machine::isr_return() {
         return false;
       }
       words[i] = space_.phys().read32(tr.phys, mem::Endian::kLittle);
+      if (trace_ != nullptr) trace_->on_ctx_restore(kRestoreSlots[i], tr.phys);
     }
     // Restored flags with NT set mean a nested-task backlink return: #TS.
     if (test_bit(words[4], cisca::kFlagNT) ||
@@ -471,6 +540,10 @@ bool Machine::isr_return() {
     auto& regs = riscf_cpu_->regs();
     const Addr frame = regs.gpr[riscf::kSp];
     u32 words[18];
+    static constexpr trace::RegSlot kFrameSlots[18] = {
+        riscf::kSp,       riscf::kSlotMsr, 0,  3, 4, 5, 6, 7, 8, 9, 10, 11,
+        12,               riscf::kSlotLr,  riscf::kSlotCr,
+        riscf::kSlotPc,   riscf::kSlotCtr, 2};
     for (u32 i = 0; i < 18; ++i) {
       const Addr a = frame + i * 4;
       const auto tr = space_.translate(a, 4, mem::Access::kRead);
@@ -479,6 +552,7 @@ bool Machine::isr_return() {
         return false;
       }
       words[i] = space_.phys().read32(tr.phys, mem::Endian::kBig);
+      if (trace_ != nullptr) trace_->on_ctx_restore(kFrameSlots[i], tr.phys);
     }
     regs.msr = words[1];
     regs.gpr[0] = words[2];
@@ -489,6 +563,9 @@ bool Machine::isr_return() {
     regs.ctr = words[16];
     regs.gpr[2] = words[17];
     regs.gpr[riscf::kSp] = words[0];  // back chain restore
+  }
+  if (trace_ != nullptr) {
+    trace_->on_priv_transition(trace::PrivEvent::kIsrReturn);
   }
   glue_stack_.pop_back();
   return true;
@@ -508,10 +585,23 @@ bool Machine::syscall_return(u32& ret_out) {
     }
     ret_out = regs.gpr[cisca::kEax];
     regs.gpr[cisca::kEsp] = stack_top(arch_, 0);
+    if (trace_ != nullptr) {
+      // A tainted return value is the fail-silence-violation signal: the
+      // error escaped the kernel into a caller-visible result.
+      trace_->on_syscall_result(cisca::kEax);
+      trace_->on_glue_reg_set(cisca::kEsp);
+    }
   } else {
     auto& regs = riscf_cpu_->regs();
     ret_out = regs.gpr[3];
     regs.gpr[riscf::kSp] = stack_top(arch_, 0);
+    if (trace_ != nullptr) {
+      trace_->on_syscall_result(3);
+      trace_->on_glue_reg_set(riscf::kSp);
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->on_priv_transition(trace::PrivEvent::kSyscallReturn);
   }
   glue_stack_.pop_back();
   syscall_active_ = false;
@@ -652,11 +742,18 @@ Event Machine::run(u64 stop_cycles) {
               eip = space_.phys().read32(tr.phys, mem::Endian::kLittle);
               regs.gpr[cisca::kEsp] = sp + 12;
               regs.eip = eip;
+              if (trace_ != nullptr) {
+                trace_->on_ctx_restore(cisca::kSlotEip, tr.phys);
+              }
             } else {
               // rfi: resume at SRR0 with the SRR1 machine state.
               auto& regs = riscf_cpu_->regs();
               regs.pc = regs.srr0 & ~3u;
               regs.msr = regs.srr1;
+              if (trace_ != nullptr) {
+                trace_->on_glue_reg_copy(riscf::kSlotPc, riscf::kSlotSrr0);
+                trace_->on_glue_reg_copy(riscf::kSlotMsr, riscf::kSlotSrr1);
+              }
             }
             break;
           }
@@ -672,8 +769,10 @@ Event Machine::run(u64 stop_cycles) {
           cpu_->add_cycles(jitter(300, 500));
           if (is_cisca) {
             cisca_cpu_->regs().gpr[cisca::kEax] = kErrReturn;
+            if (trace_ != nullptr) trace_->on_glue_reg_set(cisca::kEax);
           } else {
             riscf_cpu_->regs().gpr[3] = kErrReturn;
+            if (trace_ != nullptr) trace_->on_glue_reg_set(3);
           }
           break;
         }
@@ -682,6 +781,7 @@ Event Machine::run(u64 stop_cycles) {
           // Stray int 0x80: same nested-syscall treatment.
           cpu_->add_cycles(jitter(300, 500));
           cisca_cpu_->regs().gpr[cisca::kEax] = kErrReturn;
+          if (trace_ != nullptr) trace_->on_glue_reg_set(cisca::kEax);
           break;
         }
         return make_crash_event(trap);

@@ -145,6 +145,13 @@ class Machine {
     harness_interrupt_ = interrupt;
   }
 
+  /// Attach (or detach, with nullptr) an error-propagation trace sink.
+  /// Forwards to the CPU for instruction-level events; the machine itself
+  /// reports the runtime glue's context save/restore and privilege
+  /// transitions.  Strictly observational: simulation results are
+  /// bit-identical with or without a sink attached.
+  void set_trace_sink(trace::TraceSink* sink);
+
   /// Total simulated user-mode cycles charged so far (for estimating the
   /// kernel-time fraction of wall-clock, used by the register injector).
   u64 user_cycles() const { return user_cycles_total_; }
@@ -233,6 +240,7 @@ class Machine {
   std::vector<u64> profile_counts_;
 
   HarnessInterrupt* harness_interrupt_ = nullptr;
+  trace::TraceSink* trace_ = nullptr;
 
   MachineSnapshot boot_snapshot_;
 };

@@ -73,6 +73,7 @@ u32 RiscfCpu::read_mem(Addr addr, u8 width) {
   if (current_result_ != nullptr) {
     debug_.record_access(addr, width, /*is_write=*/false, *current_result_);
   }
+  if (sink_ != nullptr) sink_->on_mem_read(addr, tr.phys, width);
   return value;
 }
 
@@ -104,14 +105,17 @@ void RiscfCpu::write_mem(Addr addr, u8 width, u32 value) {
   if (current_result_ != nullptr) {
     debug_.record_access(addr, width, /*is_write=*/true, *current_result_);
   }
+  if (sink_ != nullptr) sink_->on_mem_write(addr, tr.phys, width);
 }
 
 void RiscfCpu::set_cr_field(u8 field, u32 bits4) {
   const u32 shift = (7 - field) * 4;
   regs_.cr = (regs_.cr & ~(0xFu << shift)) | ((bits4 & 0xF) << shift);
+  trace_rm(kSlotCr);  // partial update: other CR fields keep their shadow
 }
 
 void RiscfCpu::record_cr0(u32 result) {
+  trace_rr(kSlotXer);  // SO bit copied into CR0
   const i32 sr = static_cast<i32>(result);
   u32 bits = 0;
   if (sr < 0) bits |= 8;        // LT
@@ -123,6 +127,7 @@ void RiscfCpu::record_cr0(u32 result) {
 }
 
 void RiscfCpu::compare(u8 crfd, i64 a, i64 b) {
+  trace_rr(kSlotXer);  // SO bit copied into the CR field
   u32 bits = 0;
   if (a < b) bits |= 8;
   else if (a > b) bits |= 4;
@@ -134,14 +139,18 @@ void RiscfCpu::compare(u8 crfd, i64 a, i64 b) {
 bool RiscfCpu::branch_cond(u8 bo, u8 bi) {
   bool ctr_ok = true;
   if ((bo & 0x04) == 0) {
+    trace_rr(kSlotCtr);
     regs_.ctr -= 1;
+    trace_rm(kSlotCtr);  // decrement derives from the old CTR value
     ctr_ok = ((regs_.ctr != 0) != ((bo & 0x02) != 0));
   }
   bool cond_ok = true;
   if ((bo & 0x10) == 0) {
+    trace_rr(kSlotCr);
     const bool crbit = (regs_.cr & cr_bit_mask(bi)) != 0;
     cond_ok = crbit == ((bo & 0x08) != 0);
   }
+  trace_branch();
   return ctr_ok && cond_ok;
 }
 
@@ -149,6 +158,7 @@ void RiscfCpu::taken_branch_check() {
   // BTIC enabled over invalid contents (an HID0 bit flip — the kernel
   // boots with BTIC off) fetches a stale branch target: the fetched junk
   // raises a program exception on the next taken branch (Section 5.2).
+  trace_rr(kSlotHid0);  // BTIC enable bit steers every taken branch
   if ((regs_.hid0 & kHid0Btic) != 0) {
     raise(Cause::kIllegalInstruction, regs_.pc, false, /*aux=*/kSprHid0);
   }
@@ -274,7 +284,13 @@ isa::StepResult RiscfCpu::step() {
     if (insn.op == Op::kInvalid) {
       raise(Cause::kIllegalInstruction, 0, false, insn.raw);
     }
+    if (sink_ != nullptr) {
+      // Fixed 4-byte aligned fetch: never straddles a page.
+      sink_->on_insn_fetch(kSlotPc, regs_.pc, tr.phys, 4, 0, 0);
+      trace_reads(insn);
+    }
     execute(insn);
+    if (sink_ != nullptr) trace_writes(insn);
     cycles_ += 1;
   } catch (const TrapException& te) {
     result.status = isa::StepStatus::kTrap;
@@ -366,7 +382,11 @@ void RiscfCpu::execute(const Insn& insn) {
     }
     case Op::kB: {
       taken_branch_check();
-      if (insn.lk) regs_.lr = next;
+      if (insn.lk) {
+        regs_.lr = next;
+        trace_rw(kSlotLr);
+      }
+      // Relative target: the PC stays self-derived, no shadow write.
       regs_.pc = insn.aa ? static_cast<u32>(insn.li)
                          : regs_.pc + static_cast<u32>(insn.li);
       return;
@@ -374,34 +394,56 @@ void RiscfCpu::execute(const Insn& insn) {
     case Op::kBc: {
       if (branch_cond(insn.bo, insn.bi)) {
         taken_branch_check();
-        if (insn.lk) regs_.lr = next;
+        if (insn.lk) {
+          regs_.lr = next;
+          trace_rw(kSlotLr);
+        }
         regs_.pc = insn.aa ? static_cast<u32>(insn.bd)
                            : regs_.pc + static_cast<u32>(insn.bd);
         return;
       }
-      if (insn.lk) regs_.lr = next;
+      if (insn.lk) {
+        regs_.lr = next;
+        trace_rw(kSlotLr);
+      }
       break;
     }
     case Op::kBclr: {
       if (branch_cond(insn.bo, insn.bi)) {
         taken_branch_check();
+        trace_rr(kSlotLr);
         const u32 target = regs_.lr & ~3u;
-        if (insn.lk) regs_.lr = next;
+        if (insn.lk) {
+          regs_.lr = next;
+          trace_rw(kSlotLr);
+        }
         regs_.pc = target;
+        trace_rw(kSlotPc);  // computed transfer: PC inherits LR's shadow
         return;
       }
-      if (insn.lk) regs_.lr = next;
+      if (insn.lk) {
+        regs_.lr = next;
+        trace_rw(kSlotLr);
+      }
       break;
     }
     case Op::kBcctr: {
       if (branch_cond(insn.bo, insn.bi)) {
         taken_branch_check();
+        trace_rr(kSlotCtr);
         const u32 target = regs_.ctr & ~3u;
-        if (insn.lk) regs_.lr = next;
+        if (insn.lk) {
+          regs_.lr = next;
+          trace_rw(kSlotLr);
+        }
         regs_.pc = target;
+        trace_rw(kSlotPc);  // computed transfer: PC inherits CTR's shadow
         return;
       }
-      if (insn.lk) regs_.lr = next;
+      if (insn.lk) {
+        regs_.lr = next;
+        trace_rw(kSlotLr);
+      }
       break;
     }
     case Op::kSc:
@@ -738,6 +780,138 @@ void RiscfCpu::execute(const Insn& insn) {
       raise(Cause::kIllegalInstruction, 0, false, insn.raw);
   }
   regs_.pc = next;
+}
+
+void RiscfCpu::trace_reads(const Insn& insn) {
+  const auto r = [this](u32 slot) {
+    sink_->on_reg_read(static_cast<trace::RegSlot>(slot));
+  };
+  // (ra|0) operands read the literal zero when ra == 0, not r0.
+  const auto ra0 = [&] {
+    if (insn.ra != 0) r(insn.ra);
+  };
+  switch (insn.op) {
+    case Op::kAddi: case Op::kAddis:
+    case Op::kLwz: case Op::kLbz: case Op::kLhz: case Op::kLha:
+    case Op::kLfs: case Op::kLfd:
+    case Op::kStfs: case Op::kStfd:
+    case Op::kLmw:
+      ra0();
+      break;
+    case Op::kAddic: case Op::kAddicRec: case Op::kMulli:
+    case Op::kCmpwi: case Op::kCmplwi: case Op::kSubfic: case Op::kTwi:
+    case Op::kNeg:
+    case Op::kLwzu: case Op::kLbzu: case Op::kLhzu: case Op::kLhau:
+    case Op::kLfsu: case Op::kLfdu: case Op::kStfsu: case Op::kStfdu:
+      r(insn.ra);
+      break;
+    case Op::kOri: case Op::kOris: case Op::kXori: case Op::kXoris:
+    case Op::kAndiRec: case Op::kAndisRec: case Op::kRlwinm:
+    case Op::kSrawi: case Op::kExtsb: case Op::kExtsh: case Op::kCntlzw:
+    case Op::kMtcrf: case Op::kMtmsr: case Op::kMtspr:
+      r(insn.rt);
+      break;
+    case Op::kAdd: case Op::kSubf: case Op::kMullw:
+    case Op::kDivw: case Op::kDivwu: case Op::kMulhw: case Op::kMulhwu:
+    case Op::kCmp: case Op::kCmpl: case Op::kTw:
+      r(insn.ra);
+      r(insn.rb);
+      break;
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kAndc: case Op::kOrc: case Op::kNand: case Op::kEqv:
+    case Op::kSlw: case Op::kSrw: case Op::kSraw: case Op::kRlwnm:
+      r(insn.rt);
+      r(insn.rb);
+      break;
+    case Op::kRlwimi:  // inserts into ra: destination bits are also a source
+      r(insn.rt);
+      r(insn.ra);
+      break;
+    case Op::kStw: case Op::kStb: case Op::kSth:
+      ra0();
+      r(insn.rt);
+      break;
+    case Op::kStwu: case Op::kStbu: case Op::kSthu:
+      r(insn.ra);
+      r(insn.rt);
+      break;
+    case Op::kLwzx: case Op::kLbzx: case Op::kLhzx: case Op::kLhax:
+    case Op::kLwarx: case Op::kDcbz:
+      ra0();
+      r(insn.rb);
+      break;
+    case Op::kStwx: case Op::kStbx: case Op::kSthx: case Op::kStwcx:
+      ra0();
+      r(insn.rb);
+      r(insn.rt);
+      break;
+    case Op::kStmw:
+      ra0();
+      for (u32 g = insn.rt; g < kNumGprs; ++g) r(g);
+      break;
+    case Op::kMfspr:
+      r(spr_slot(insn.spr));
+      break;
+    case Op::kMfmsr:
+      r(kSlotMsr);
+      break;
+    case Op::kMfcr:
+      r(kSlotCr);
+      break;
+    default:
+      // Branches, CR helpers, and SPR-less ops hook themselves (or touch
+      // no registers).
+      break;
+  }
+}
+
+void RiscfCpu::trace_writes(const Insn& insn) {
+  const auto w = [this](u32 slot) {
+    sink_->on_reg_write(static_cast<trace::RegSlot>(slot));
+  };
+  switch (insn.op) {
+    case Op::kAddi: case Op::kAddis: case Op::kAddic: case Op::kAddicRec:
+    case Op::kMulli: case Op::kSubfic:
+    case Op::kAdd: case Op::kSubf: case Op::kNeg: case Op::kMullw:
+    case Op::kDivw: case Op::kDivwu: case Op::kMulhw: case Op::kMulhwu:
+    case Op::kLwz: case Op::kLbz: case Op::kLhz: case Op::kLha:
+    case Op::kLwzx: case Op::kLbzx: case Op::kLhzx: case Op::kLhax:
+    case Op::kLwarx: case Op::kMftb:
+    case Op::kMfspr: case Op::kMfmsr: case Op::kMfcr:
+      w(insn.rt);
+      break;
+    case Op::kOri: case Op::kOris: case Op::kXori: case Op::kXoris:
+    case Op::kAndiRec: case Op::kAndisRec: case Op::kRlwinm:
+    case Op::kRlwimi: case Op::kRlwnm:
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kAndc: case Op::kOrc: case Op::kNand: case Op::kEqv:
+    case Op::kSlw: case Op::kSrw: case Op::kSraw: case Op::kSrawi:
+    case Op::kCntlzw: case Op::kExtsb: case Op::kExtsh:
+      w(insn.ra);
+      break;
+    case Op::kLwzu: case Op::kLbzu: case Op::kLhzu: case Op::kLhau:
+      w(insn.rt);
+      w(insn.ra);
+      break;
+    case Op::kStwu: case Op::kStbu: case Op::kSthu:
+    case Op::kLfsu: case Op::kLfdu: case Op::kStfsu: case Op::kStfdu:
+      w(insn.ra);
+      break;
+    case Op::kLmw:
+      for (u32 g = insn.rt; g < kNumGprs; ++g) w(g);
+      break;
+    case Op::kMtspr:
+      w(spr_slot(insn.spr));
+      break;
+    case Op::kMtmsr:
+      w(kSlotMsr);
+      break;
+    case Op::kMtcrf:
+      w(kSlotCr);  // whole-CR move, unlike the field-wise merges
+      break;
+    default:
+      break;
+  }
 }
 
 isa::CpuSnapshot RiscfCpu::snapshot() const {

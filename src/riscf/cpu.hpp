@@ -52,10 +52,16 @@ class RiscfCpu final : public isa::CpuCore {
   isa::DecodeCacheStats decode_cache_stats() const override {
     return dcache_stats_;
   }
+  void set_trace_sink(trace::TraceSink* sink) override { sink_ = sink; }
+  trace::RegSlot sysreg_slot(u32 index) const override;
 
   RegFile& regs() { return regs_; }
   const RegFile& regs() const { return regs_; }
   mem::AddressSpace& space() { return space_; }
+
+  /// Trace slot for an SPR number (kNoSlot if unimplemented); defined in
+  /// sysregs.cpp next to the bank enumeration it must stay in sync with.
+  static trace::RegSlot spr_slot(u32 spr);
 
   /// Generic SPR access (also used by mfspr/mtspr execution).  Returns
   /// false if the SPR is not implemented.
@@ -100,11 +106,36 @@ class RiscfCpu final : public isa::CpuCore {
   void require_supervisor();
   void execute(const Insn& insn);
 
+  /// Declarative register-flow passes around execute(): reads fold into
+  /// the sink's per-instruction accumulator before the instruction runs,
+  /// writes commit after it retires (skipped when the instruction traps,
+  /// which matches the partial-retirement the trap leaves behind).  The
+  /// four branch ops and the CR/SPR helpers hook themselves instead,
+  /// because their register traffic depends on taken/not-taken outcomes.
+  void trace_reads(const Insn& insn);
+  void trace_writes(const Insn& insn);
+
+  // Trace-hook shorthands: one predictable null check when tracing is off,
+  // mirroring the current_result_ guard on debug-access recording.
+  void trace_rr(trace::RegSlot slot) const {
+    if (sink_ != nullptr) sink_->on_reg_read(slot);
+  }
+  void trace_rw(trace::RegSlot slot) {
+    if (sink_ != nullptr) sink_->on_reg_write(slot);
+  }
+  void trace_rm(trace::RegSlot slot) {
+    if (sink_ != nullptr) sink_->on_reg_merge(slot);
+  }
+  void trace_branch() const {
+    if (sink_ != nullptr) sink_->on_branch_decision();
+  }
+
   mem::AddressSpace& space_;
   RegFile regs_;
   isa::DebugUnit debug_;
   Cycles cycles_ = 0;
   isa::StepResult* current_result_ = nullptr;
+  trace::TraceSink* sink_ = nullptr;
   std::map<u32, u32> spr_storage_;  // inert supervisor SPRs (BATs, PMCs, ...)
   bool dcache_enabled_ = false;
   std::vector<DecodeCacheEntry> dcache_;  // allocated when enabled

@@ -74,6 +74,30 @@ enum Cr0Bit : u32 {
   kCr0So = 3,
 };
 
+/// Trace register slots (trace::RegSlot values) for the shadow taint
+/// engine.  GPRs occupy slots 0..31 directly; named special registers
+/// follow; the 84 inert supervisor SPRs get dense slots starting at
+/// kSlotInertSprBase (in inert_supervisor_sprs() order).
+enum TraceSlot : u16 {
+  kSlotPc = 32,
+  kSlotLr = 33,
+  kSlotCtr = 34,
+  kSlotCr = 35,
+  kSlotXer = 36,
+  kSlotMsr = 37,
+  kSlotSrr0 = 38,
+  kSlotSrr1 = 39,
+  kSlotDsisr = 40,
+  kSlotDar = 41,
+  kSlotDec = 42,
+  kSlotSdr1 = 43,
+  kSlotSprg0 = 44,  // SPRG0..SPRG3 contiguously
+  kSlotHid0 = 48,
+  kSlotHid1 = 49,
+  kSlotPvr = 50,
+  kSlotInertSprBase = 51,
+};
+
 struct RegFile {
   u32 gpr[kNumGprs] = {};
   u32 pc = 0;

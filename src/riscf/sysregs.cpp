@@ -137,6 +137,45 @@ const std::vector<u32>& inert_supervisor_sprs() {
   return kInert;
 }
 
+trace::RegSlot RiscfCpu::spr_slot(u32 spr) {
+  switch (spr) {
+    case kSprXer: return kSlotXer;
+    case kSprLr: return kSlotLr;
+    case kSprCtr: return kSlotCtr;
+    case kSprDsisr: return kSlotDsisr;
+    case kSprDar: return kSlotDar;
+    case kSprDec: return kSlotDec;
+    case kSprSdr1: return kSlotSdr1;
+    case kSprSrr0: return kSlotSrr0;
+    case kSprSrr1: return kSlotSrr1;
+    case kSprSprg0: case kSprSprg1: case kSprSprg2: case kSprSprg3:
+      return static_cast<trace::RegSlot>(kSlotSprg0 + (spr - kSprSprg0));
+    case kSprPvr: return kSlotPvr;
+    case kSprHid0: return kSlotHid0;
+    case kSprHid1: return kSlotHid1;
+    default: {
+      const std::vector<u32>& inert = inert_supervisor_sprs();
+      for (size_t i = 0; i < inert.size(); ++i) {
+        if (inert[i] == spr) {
+          return static_cast<trace::RegSlot>(kSlotInertSprBase + i);
+        }
+      }
+      return trace::kNoSlot;
+    }
+  }
+}
+
+trace::RegSlot RiscfCpu::sysreg_slot(u32 index) const {
+  if (index >= bank().size()) return trace::kNoSlot;
+  const BankEntry& entry = bank()[index];
+  switch (entry.kind) {
+    case Kind::kMsr: return kSlotMsr;
+    case Kind::kGpr1: return kSp;  // GPR shadow slots are the GPR numbers
+    case Kind::kSpr: return spr_slot(entry.spr);
+  }
+  return trace::kNoSlot;
+}
+
 u32 RiscfSysRegs::count() const { return static_cast<u32>(bank().size()); }
 
 const isa::SysRegInfo& RiscfSysRegs::info(u32 index) const {

@@ -1,0 +1,87 @@
+// TraceSink: the hook interface the CPU models and the machine glue drive
+// while an error-propagation trace is active.
+//
+// The paper could only observe *outcomes* — crash cause, cycles-to-crash,
+// fail-silence violations (Sections 4-5).  A simulated processor can watch
+// the corrupted value itself move: every register/memory read and write,
+// every ALU combine, every branch decision, and every privilege transition
+// passes through one of these hooks, so a shadow-state engine (taint.hpp)
+// can follow the flipped bit from injection site to failure.
+//
+// Design constraints (DESIGN.md "Error-propagation tracing"):
+//  - Strictly observational.  Implementations must not touch simulator
+//    state; every hook receives values, never references into the machine.
+//  - Null-sink fast path.  CPUs guard every call site with
+//    `if (sink_ != nullptr)`, exactly like the existing debug-access
+//    recording guard, so tracing-off costs one predictable branch.
+//  - Arch-neutral.  Registers are named by dense per-CPU `RegSlot` ids
+//    (see cisca/regs.hpp and riscf/regs.hpp for the two mappings); memory
+//    is named by physical byte address, which is stable across the MMU
+//    and shared by CPU accesses and machine-glue context frames.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace kfi::trace {
+
+/// Dense per-CPU register identifier for shadow state.  Each CPU model
+/// publishes its own slot table; slots are stable within an architecture.
+using RegSlot = u16;
+
+/// "No such register" — returned by CpuCore::sysreg_slot for banks that
+/// do not participate in tracing.
+constexpr RegSlot kNoSlot = 0xFFFFu;
+
+/// Privilege-boundary events reported by the machine glue.
+enum class PrivEvent : u8 {
+  kSyscallEntry = 0,  // user -> kernel via system call
+  kSyscallReturn,     // kernel -> user, return value crosses the boundary
+  kIsrEntry,          // interrupt/exception entry (context saved)
+  kIsrReturn,         // interrupt return (context restored)
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // --- CPU-model hooks -------------------------------------------------
+  // One instruction boundary.  `pc_slot` is the CPU's program-counter
+  // slot; `phys1/len1` cover the fetched bytes in their first physical
+  // page and `phys2/len2` the remainder when a variable-length fetch
+  // straddles a page (len2 == 0 otherwise).
+  virtual void on_insn_fetch(RegSlot pc_slot, Addr pc, u32 phys1, u32 len1,
+                             u32 phys2, u32 len2) = 0;
+  // A register value was consumed (operand read, address formation,
+  // condition evaluation).
+  virtual void on_reg_read(RegSlot slot) = 0;
+  // A register was fully overwritten with the current instruction's
+  // result (clean result clears its shadow — the silent-overwrite case).
+  virtual void on_reg_write(RegSlot slot) = 0;
+  // A register was partially updated (flag-setting ops preserve bits);
+  // shadow is unioned, never cleared.
+  virtual void on_reg_merge(RegSlot slot) = 0;
+  // Memory traffic, post-translation; `va` is kept for object naming.
+  virtual void on_mem_read(Addr va, u32 phys, u32 len) = 0;
+  virtual void on_mem_write(Addr va, u32 phys, u32 len) = 0;
+  // A conditional control-flow decision was taken this instruction.
+  virtual void on_branch_decision() = 0;
+
+  // --- Machine-glue hooks ----------------------------------------------
+  // The glue's context save/restore and syscall framing move register
+  // values through memory with direct physical writes that bypass the CPU
+  // funnels, so the machine reports them explicitly.
+  virtual void on_priv_transition(PrivEvent ev) = 0;
+  // One 32-bit register value saved to / restored from a context frame.
+  virtual void on_ctx_save(RegSlot slot, u32 phys) = 0;
+  virtual void on_ctx_restore(RegSlot slot, u32 phys) = 0;
+  // Glue overwrote a register / memory word with a harness-fresh value.
+  virtual void on_glue_reg_set(RegSlot slot) = 0;
+  virtual void on_glue_mem_set(u32 phys, u32 len) = 0;
+  // Glue copied one register into another (e.g. PC -> SRR0 on entry).
+  virtual void on_glue_reg_copy(RegSlot dst, RegSlot src) = 0;
+  // A syscall return value is about to cross back to the workload: taint
+  // here is direct fail-silence evidence (corrupted state escaping).
+  virtual void on_syscall_result(RegSlot slot) = 0;
+};
+
+}  // namespace kfi::trace

@@ -1,0 +1,54 @@
+// PropagationSummary: the per-injection digest of one taint trace.
+//
+// Extends the paper's outcome-level observables (crash latency, Fig. 16;
+// fail-silence violations, Tables 5/6) with the propagation path between
+// them: how long the corrupted value sat dormant, how far and wide it
+// spread, and whether it was still live — or already silently overwritten
+// — when the run ended.  Plain data so inject/record.hpp can embed it and
+// the journal can serialize it.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace kfi::trace {
+
+struct PropagationSummary {
+  bool traced = false;   // a trace sink was attached for this run
+  bool seeded = false;   // the flip site was marked (activation happened)
+
+  // Instruction indices are counted from run start by the taint engine.
+  u64 seed_insn = 0;       // instruction count when the mark was planted
+  bool used = false;       // the corrupted value was consumed at least once
+  u64 first_use_insn = 0;  // instruction count at first consumption
+  u64 first_use_latency = 0;  // first_use_insn - seed_insn (dormancy)
+
+  u32 max_depth = 0;  // longest producer->consumer chain observed (hops)
+
+  // High-water marks of simultaneously-tainted state.
+  u32 tainted_regs_peak = 0;
+  u32 tainted_bytes_peak = 0;
+
+  u64 tainted_reads = 0;     // consumptions of tainted values
+  u64 tainted_writes = 0;    // propagating writes
+  u64 tainted_branches = 0;  // control-flow decisions on tainted state
+  u64 pc_tainted_insns = 0;  // instructions fetched with a tainted PC
+
+  // Distinct named kernel data objects (kir symbol table) other than the
+  // seed's own object that received tainted writes — the "crossed into
+  // another subsystem's data" signal.
+  u32 objects_crossed = 0;
+
+  u64 silent_overwrites = 0;  // tainted locations overwritten clean
+
+  // Fail-silence evidence: a tainted syscall return value crossed the
+  // kernel boundary toward the workload.
+  bool syscall_result_tainted = false;
+  u32 priv_transitions = 0;  // privilege crossings while taint was live
+
+  // State at end of run (crash or completion).
+  bool live_at_end = false;
+  u32 live_regs_at_end = 0;
+  u32 live_bytes_at_end = 0;
+};
+
+}  // namespace kfi::trace

@@ -1,0 +1,250 @@
+#include "trace/taint.hpp"
+
+#include <algorithm>
+
+namespace kfi::trace {
+
+void TaintEngine::reset() {
+  reg_.fill(0);
+  mem_.clear();
+  acc_ = 0;
+  insns_ = 0;
+  seeded_ = false;
+  seed_insn_ = 0;
+  seed_object_ = -1;
+  used_ = false;
+  first_use_insn_ = 0;
+  max_depth_ = 0;
+  tainted_reg_count_ = 0;
+  tainted_regs_peak_ = 0;
+  tainted_bytes_peak_ = 0;
+  tainted_reads_ = 0;
+  tainted_writes_ = 0;
+  tainted_branches_ = 0;
+  pc_tainted_insns_ = 0;
+  silent_overwrites_ = 0;
+  syscall_result_tainted_ = false;
+  priv_transitions_ = 0;
+  crossed_objects_.clear();
+}
+
+void TaintEngine::seed_register(RegSlot slot) {
+  if (slot >= kMaxRegSlots) return;  // untraced bank member
+  set_reg(slot, std::max<u8>(reg_[slot], 1));
+  seeded_ = true;
+  // A deferred flip can re-arm after the first mark was overwritten;
+  // dormancy is measured from the latest seed before first use.
+  if (!used_) seed_insn_ = insns_;
+}
+
+void TaintEngine::seed_memory(Addr va, u32 phys, u32 len) {
+  for (u32 i = 0; i < len; ++i) {
+    set_byte(phys + i, std::max<u8>(static_cast<u8>(mem_depth(phys + i)), 1));
+  }
+  seeded_ = true;
+  if (!used_) seed_insn_ = insns_;
+  if (classify_ && seed_object_ < 0) seed_object_ = classify_(va);
+}
+
+u32 TaintEngine::mem_depth(u32 phys) const {
+  const auto it = mem_.find(phys);
+  return it == mem_.end() ? 0 : it->second;
+}
+
+u8 TaintEngine::propagated_depth() const {
+  return acc_ >= kMaxDepth ? kMaxDepth : static_cast<u8>(acc_ + 1);
+}
+
+void TaintEngine::use(u8 depth) {
+  ++tainted_reads_;
+  if (!used_) {
+    used_ = true;
+    first_use_insn_ = insns_;
+  }
+  max_depth_ = std::max(max_depth_, depth);
+}
+
+void TaintEngine::set_reg(RegSlot slot, u8 depth) {
+  if (slot >= kMaxRegSlots) return;
+  const u8 old = reg_[slot];
+  reg_[slot] = depth;
+  if (old == 0 && depth != 0) {
+    ++tainted_reg_count_;
+    tainted_regs_peak_ = std::max(tainted_regs_peak_, tainted_reg_count_);
+  } else if (old != 0 && depth == 0) {
+    --tainted_reg_count_;
+  }
+}
+
+void TaintEngine::set_byte(u32 phys, u8 depth) {
+  if (depth == 0) {
+    mem_.erase(phys);
+  } else {
+    mem_[phys] = depth;
+    tainted_bytes_peak_ =
+        std::max(tainted_bytes_peak_, static_cast<u32>(mem_.size()));
+  }
+}
+
+u8 TaintEngine::mem_fold(u32 phys, u32 len) const {
+  u8 d = 0;
+  for (u32 i = 0; i < len; ++i) {
+    d = std::max(d, static_cast<u8>(mem_depth(phys + i)));
+  }
+  return d;
+}
+
+void TaintEngine::classify_write(Addr va) {
+  if (!classify_) return;
+  const i32 id = classify_(va);
+  if (id >= 0 && id != seed_object_) crossed_objects_.insert(id);
+}
+
+void TaintEngine::on_insn_fetch(RegSlot pc_slot, Addr /*pc*/, u32 phys1,
+                                u32 len1, u32 phys2, u32 len2) {
+  ++insns_;
+  acc_ = 0;
+  // Executing through a corrupted PC: every fetch is a consumption.
+  if (pc_slot < kMaxRegSlots && reg_[pc_slot] != 0) {
+    ++pc_tainted_insns_;
+    use(reg_[pc_slot]);
+    acc_ = std::max(acc_, reg_[pc_slot]);
+  }
+  // Corrupted instruction bytes taint everything the instruction does.
+  const u8 d1 = mem_fold(phys1, len1);
+  const u8 d2 = len2 != 0 ? mem_fold(phys2, len2) : 0;
+  const u8 d = std::max(d1, d2);
+  if (d != 0) {
+    use(d);
+    acc_ = std::max(acc_, d);
+  }
+}
+
+void TaintEngine::on_reg_read(RegSlot slot) {
+  if (slot >= kMaxRegSlots) return;
+  const u8 d = reg_[slot];
+  if (d == 0) return;
+  use(d);
+  acc_ = std::max(acc_, d);
+}
+
+void TaintEngine::on_reg_write(RegSlot slot) {
+  if (slot >= kMaxRegSlots) return;
+  if (acc_ != 0) {
+    set_reg(slot, propagated_depth());
+    ++tainted_writes_;
+  } else if (reg_[slot] != 0) {
+    set_reg(slot, 0);
+    ++silent_overwrites_;
+  }
+}
+
+void TaintEngine::on_reg_merge(RegSlot slot) {
+  if (slot >= kMaxRegSlots) return;
+  if (acc_ == 0) return;  // partial update: clean result clears nothing
+  set_reg(slot, std::max(reg_[slot], propagated_depth()));
+  ++tainted_writes_;
+}
+
+void TaintEngine::on_mem_read(Addr /*va*/, u32 phys, u32 len) {
+  const u8 d = mem_fold(phys, len);
+  if (d == 0) return;
+  use(d);
+  acc_ = std::max(acc_, d);
+}
+
+void TaintEngine::on_mem_write(Addr va, u32 phys, u32 len) {
+  if (acc_ != 0) {
+    const u8 d = propagated_depth();
+    for (u32 i = 0; i < len; ++i) set_byte(phys + i, d);
+    ++tainted_writes_;
+    classify_write(va);
+  } else {
+    bool was_tainted = false;
+    for (u32 i = 0; i < len; ++i) {
+      if (mem_depth(phys + i) != 0) {
+        was_tainted = true;
+        mem_.erase(phys + i);
+      }
+    }
+    if (was_tainted) ++silent_overwrites_;
+  }
+}
+
+void TaintEngine::on_branch_decision() {
+  if (acc_ != 0) ++tainted_branches_;
+}
+
+void TaintEngine::on_priv_transition(PrivEvent /*ev*/) {
+  if (any_live()) ++priv_transitions_;
+}
+
+void TaintEngine::on_ctx_save(RegSlot slot, u32 phys) {
+  // Pure data movement by the glue: shadow moves with the value, no use
+  // is recorded and no depth is added.
+  const u8 d = slot < kMaxRegSlots ? reg_[slot] : 0;
+  for (u32 i = 0; i < 4; ++i) set_byte(phys + i, d);
+}
+
+void TaintEngine::on_ctx_restore(RegSlot slot, u32 phys) {
+  set_reg(slot, mem_fold(phys, 4));
+}
+
+void TaintEngine::on_glue_reg_set(RegSlot slot) {
+  if (slot >= kMaxRegSlots) return;
+  if (reg_[slot] != 0) ++silent_overwrites_;
+  set_reg(slot, 0);
+}
+
+void TaintEngine::on_glue_mem_set(u32 phys, u32 len) {
+  bool was_tainted = false;
+  for (u32 i = 0; i < len; ++i) {
+    if (mem_depth(phys + i) != 0) {
+      was_tainted = true;
+      mem_.erase(phys + i);
+    }
+  }
+  if (was_tainted) ++silent_overwrites_;
+}
+
+void TaintEngine::on_glue_reg_copy(RegSlot dst, RegSlot src) {
+  const u8 d = src < kMaxRegSlots ? reg_[src] : 0;
+  if (dst >= kMaxRegSlots) return;
+  if (d == 0 && reg_[dst] != 0) ++silent_overwrites_;
+  set_reg(dst, d);
+}
+
+void TaintEngine::on_syscall_result(RegSlot slot) {
+  if (slot >= kMaxRegSlots) return;
+  const u8 d = reg_[slot];
+  if (d == 0) return;
+  syscall_result_tainted_ = true;
+  use(d);
+}
+
+PropagationSummary TaintEngine::finalize() const {
+  PropagationSummary s;
+  s.traced = true;
+  s.seeded = seeded_;
+  s.seed_insn = seed_insn_;
+  s.used = used_;
+  s.first_use_insn = first_use_insn_;
+  s.first_use_latency = used_ ? first_use_insn_ - seed_insn_ : 0;
+  s.max_depth = max_depth_;
+  s.tainted_regs_peak = tainted_regs_peak_;
+  s.tainted_bytes_peak = tainted_bytes_peak_;
+  s.tainted_reads = tainted_reads_;
+  s.tainted_writes = tainted_writes_;
+  s.tainted_branches = tainted_branches_;
+  s.pc_tainted_insns = pc_tainted_insns_;
+  s.objects_crossed = static_cast<u32>(crossed_objects_.size());
+  s.silent_overwrites = silent_overwrites_;
+  s.syscall_result_tainted = syscall_result_tainted_;
+  s.priv_transitions = priv_transitions_;
+  s.live_regs_at_end = tainted_reg_count_;
+  s.live_bytes_at_end = static_cast<u32>(mem_.size());
+  s.live_at_end = any_live();
+  return s;
+}
+
+}  // namespace kfi::trace

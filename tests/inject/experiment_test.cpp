@@ -149,7 +149,7 @@ TEST_F(ExperimentTest, RunsAreIndependentAcrossReboots) {
   cold_t.data_bit = 3;
   const auto second = runner_.run_one(cold_t, 7, 11);
   EXPECT_EQ(second.outcome, OutcomeCategory::kNotActivated);
-  EXPECT_EQ(runner_.watchdog().reboots(), 2u);
+  EXPECT_EQ(runner_.reboots(), 2u);
 }
 
 TEST_F(ExperimentTest, StackTargetResolvesWithinTheChosenTaskStack) {

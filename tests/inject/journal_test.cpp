@@ -60,6 +60,27 @@ JournalEntry full_entry() {
   e.datagrams_sent = 9;
   e.datagrams_dropped = 1;
   e.simulated_cycles = 555555555ull;
+  e.record.propagation_valid = true;
+  e.record.propagation.traced = true;
+  e.record.propagation.seeded = true;
+  e.record.propagation.seed_insn = 1000;
+  e.record.propagation.used = true;
+  e.record.propagation.first_use_insn = 1250;
+  e.record.propagation.first_use_latency = 250;
+  e.record.propagation.max_depth = 37;
+  e.record.propagation.tainted_regs_peak = 4;
+  e.record.propagation.tainted_bytes_peak = 96;
+  e.record.propagation.tainted_reads = 61;
+  e.record.propagation.tainted_writes = 58;
+  e.record.propagation.tainted_branches = 12;
+  e.record.propagation.pc_tainted_insns = 2;
+  e.record.propagation.objects_crossed = 3;
+  e.record.propagation.silent_overwrites = 21;
+  e.record.propagation.syscall_result_tainted = true;
+  e.record.propagation.priv_transitions = 6;
+  e.record.propagation.live_at_end = true;
+  e.record.propagation.live_regs_at_end = 2;
+  e.record.propagation.live_bytes_at_end = 40;
   return e;
 }
 
@@ -103,6 +124,29 @@ void expect_entries_equal(const JournalEntry& a, const JournalEntry& b) {
   EXPECT_EQ(ra.syscalls_completed, rb.syscalls_completed);
   EXPECT_EQ(ra.harness_error, rb.harness_error);
   EXPECT_EQ(ra.harness_attempts, rb.harness_attempts);
+  EXPECT_EQ(ra.propagation_valid, rb.propagation_valid);
+  const trace::PropagationSummary& pa = ra.propagation;
+  const trace::PropagationSummary& pb = rb.propagation;
+  EXPECT_EQ(pa.traced, pb.traced);
+  EXPECT_EQ(pa.seeded, pb.seeded);
+  EXPECT_EQ(pa.seed_insn, pb.seed_insn);
+  EXPECT_EQ(pa.used, pb.used);
+  EXPECT_EQ(pa.first_use_insn, pb.first_use_insn);
+  EXPECT_EQ(pa.first_use_latency, pb.first_use_latency);
+  EXPECT_EQ(pa.max_depth, pb.max_depth);
+  EXPECT_EQ(pa.tainted_regs_peak, pb.tainted_regs_peak);
+  EXPECT_EQ(pa.tainted_bytes_peak, pb.tainted_bytes_peak);
+  EXPECT_EQ(pa.tainted_reads, pb.tainted_reads);
+  EXPECT_EQ(pa.tainted_writes, pb.tainted_writes);
+  EXPECT_EQ(pa.tainted_branches, pb.tainted_branches);
+  EXPECT_EQ(pa.pc_tainted_insns, pb.pc_tainted_insns);
+  EXPECT_EQ(pa.objects_crossed, pb.objects_crossed);
+  EXPECT_EQ(pa.silent_overwrites, pb.silent_overwrites);
+  EXPECT_EQ(pa.syscall_result_tainted, pb.syscall_result_tainted);
+  EXPECT_EQ(pa.priv_transitions, pb.priv_transitions);
+  EXPECT_EQ(pa.live_at_end, pb.live_at_end);
+  EXPECT_EQ(pa.live_regs_at_end, pb.live_regs_at_end);
+  EXPECT_EQ(pa.live_bytes_at_end, pb.live_bytes_at_end);
 }
 
 TEST(JournalEntrySerialization, RoundTripPreservesEveryField) {
@@ -137,6 +181,25 @@ TEST(JournalEntrySerialization, EveryTruncationReturnsNullopt) {
     EXPECT_FALSE(deserialize_journal_entry(cut, pos).has_value())
         << "prefix length " << len;
   }
+}
+
+TEST(JournalEntrySerialization, V1LayoutOmitsPropagationBlock) {
+  const JournalEntry e = full_entry();
+  std::vector<u8> v1, v2;
+  serialize_journal_entry(v1, e, kJournalVersionV1);
+  serialize_journal_entry(v2, e, kJournalVersion);
+  EXPECT_LT(v1.size(), v2.size());
+  size_t pos = 0;
+  const auto back = deserialize_journal_entry(v1, pos, kJournalVersionV1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(pos, v1.size());
+  // Every pre-propagation field round-trips; the summary itself cannot
+  // be carried by a v1 payload and must come back unset.
+  EXPECT_FALSE(back->record.propagation_valid);
+  JournalEntry expect = e;
+  expect.record.propagation_valid = false;
+  expect.record.propagation = {};
+  expect_entries_equal(expect, *back);
 }
 
 TEST(JournalEntrySerialization, CorruptEnumRejected) {
@@ -242,6 +305,90 @@ TEST_F(JournalFileTest, ResumeRejectsGarbageHeader) {
     f << "this is not a journal";
   }
   EXPECT_THROW(InjectionJournal::resume(path_, plan_), JournalError);
+}
+
+// Big-endian header writer for version-compatibility tests: lets a test
+// fabricate a journal header the current build would never write itself
+// (an old v1 file, or one from a hypothetical future build).
+void write_bare_header(const std::string& path, u32 version, u64 fingerprint,
+                       u32 total) {
+  std::vector<u8> h;
+  const auto put32 = [&h](u32 v) {
+    h.push_back(static_cast<u8>(v >> 24));
+    h.push_back(static_cast<u8>(v >> 16));
+    h.push_back(static_cast<u8>(v >> 8));
+    h.push_back(static_cast<u8>(v));
+  };
+  put32(0x4B46494A);  // "KFIJ"
+  put32(version);
+  put32(static_cast<u32>(fingerprint >> 32));
+  put32(static_cast<u32>(fingerprint));
+  put32(total);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(h.data()), static_cast<long>(h.size()));
+}
+
+TEST_F(JournalFileTest, CreatedJournalIsCurrentVersion) {
+  const InjectionJournal j = InjectionJournal::create(path_, plan_);
+  EXPECT_EQ(j.version(), kJournalVersion);
+}
+
+TEST_F(JournalFileTest, V2JournalPersistsPropagationSummaries) {
+  {
+    InjectionJournal j = InjectionJournal::create(path_, plan_);
+    JournalEntry e = full_entry();
+    e.index = 1;
+    j.append(e);
+  }
+  InjectionJournal j = InjectionJournal::resume(path_, plan_);
+  EXPECT_EQ(j.version(), kJournalVersion);
+  ASSERT_EQ(j.recovered().size(), 1u);
+  EXPECT_TRUE(j.recovered()[0].record.propagation_valid);
+  EXPECT_EQ(j.recovered()[0].record.propagation.max_depth, 37u);
+  EXPECT_EQ(j.recovered()[0].record.propagation.first_use_latency, 250u);
+}
+
+TEST_F(JournalFileTest, V1JournalResumesAndAppendsStayV1) {
+  // A journal left behind by a pre-propagation build: v1 header, no
+  // entries yet.
+  write_bare_header(path_, kJournalVersionV1, plan_fingerprint(plan_),
+                    static_cast<u32>(plan_.targets.size()));
+  {
+    InjectionJournal j = InjectionJournal::resume(path_, plan_);
+    EXPECT_EQ(j.version(), kJournalVersionV1);
+    EXPECT_TRUE(j.recovered().empty());
+    JournalEntry e = full_entry();  // carries a summary in memory...
+    e.index = 4;
+    j.append(e);
+  }
+  // ...but the file's own version wins: the append was written v1 and
+  // the journal stays uniformly readable as v1.
+  InjectionJournal j = InjectionJournal::resume(path_, plan_);
+  EXPECT_EQ(j.version(), kJournalVersionV1);
+  ASSERT_EQ(j.recovered().size(), 1u);
+  EXPECT_EQ(j.recovered()[0].index, 4u);
+  EXPECT_FALSE(j.recovered()[0].record.propagation_valid);
+  // The pre-propagation fields made the trip regardless.
+  EXPECT_EQ(j.recovered()[0].record.crash.detail, "sp out of range");
+  JournalEntry expect = full_entry();
+  expect.index = 4;
+  expect.record.propagation_valid = false;
+  expect.record.propagation = {};
+  expect_entries_equal(expect, j.recovered()[0]);
+}
+
+TEST_F(JournalFileTest, ResumeRejectsUnknownVersions) {
+  for (const u32 bad : {0u, 99u}) {
+    write_bare_header(path_, bad, plan_fingerprint(plan_),
+                      static_cast<u32>(plan_.targets.size()));
+    try {
+      InjectionJournal::resume(path_, plan_);
+      FAIL() << "accepted journal version " << bad;
+    } catch (const JournalError& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 TEST_F(JournalFileTest, PlanFingerprintSensitiveToTargetsAndSeeds) {

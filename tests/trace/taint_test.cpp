@@ -1,0 +1,270 @@
+// TaintEngine dataflow semantics, exercised directly through the
+// TraceSink hooks: seeding, per-instruction accumulator propagation,
+// depth growth and saturation, silent-overwrite (clean-result) clearing,
+// merge-union for partial register updates, glue data movement, and the
+// summary digest.
+#include <gtest/gtest.h>
+
+#include "trace/taint.hpp"
+
+namespace kfi::trace {
+namespace {
+
+// kNoSlot (sink.hpp) is out of range for the shadow array: hooks must
+// ignore it, so it doubles as the "untainted PC" for fetches that should
+// contribute nothing.
+
+/// Advance one instruction with a clean PC and clean instruction bytes
+/// (phys ranges far away from anything the tests seed).
+void step(TaintEngine& e) {
+  e.on_insn_fetch(kNoSlot, 0, 0xFFFF0000u, 4, 0, 0);
+}
+
+TEST(TaintEngineTest, SeedRegisterSetsDepthOne) {
+  TaintEngine e;
+  e.seed_register(5);
+  EXPECT_EQ(e.reg_depth(5), 1u);
+  EXPECT_EQ(e.tainted_regs(), 1u);
+  const PropagationSummary s = e.finalize();
+  EXPECT_TRUE(s.traced);
+  EXPECT_TRUE(s.seeded);
+  EXPECT_FALSE(s.used);
+  EXPECT_TRUE(s.live_at_end);
+  EXPECT_EQ(s.live_regs_at_end, 1u);
+  EXPECT_EQ(s.first_use_latency, 0u);
+}
+
+TEST(TaintEngineTest, SeedOutOfRangeSlotIsIgnored) {
+  TaintEngine e;
+  e.seed_register(kNoSlot);
+  EXPECT_EQ(e.tainted_regs(), 0u);
+  EXPECT_FALSE(e.finalize().seeded);
+}
+
+TEST(TaintEngineTest, SeedMemoryMarksEachByte) {
+  TaintEngine e;
+  e.seed_memory(0xC0100, 0x100, 4);
+  for (u32 i = 0; i < 4; ++i) EXPECT_EQ(e.mem_depth(0x100 + i), 1u);
+  EXPECT_EQ(e.mem_depth(0x104), 0u);
+  EXPECT_EQ(e.tainted_bytes(), 4u);
+  const PropagationSummary s = e.finalize();
+  EXPECT_TRUE(s.seeded);
+  EXPECT_EQ(s.live_bytes_at_end, 4u);
+}
+
+TEST(TaintEngineTest, ReadThenWritePropagatesDepthPlusOne) {
+  TaintEngine e;
+  e.seed_register(3);
+  step(e);
+  e.on_reg_read(3);
+  e.on_reg_write(4);
+  EXPECT_EQ(e.reg_depth(3), 1u);  // source keeps its mark
+  EXPECT_EQ(e.reg_depth(4), 2u);  // result is one hop deeper
+  const PropagationSummary s = e.finalize();
+  EXPECT_TRUE(s.used);
+  EXPECT_EQ(s.seed_insn, 0u);
+  EXPECT_EQ(s.first_use_insn, 1u);
+  EXPECT_EQ(s.first_use_latency, 1u);
+  EXPECT_EQ(s.tainted_reads, 1u);
+  EXPECT_EQ(s.tainted_writes, 1u);
+  EXPECT_EQ(s.tainted_regs_peak, 2u);
+}
+
+TEST(TaintEngineTest, CleanResultClearsShadowAndCountsSilentOverwrite) {
+  TaintEngine e;
+  e.seed_register(3);
+  step(e);           // resets the accumulator: nothing tainted consumed
+  e.on_reg_write(3); // mov reg3, <clean value>
+  EXPECT_EQ(e.reg_depth(3), 0u);
+  EXPECT_EQ(e.tainted_regs(), 0u);
+  const PropagationSummary s = e.finalize();
+  EXPECT_EQ(s.silent_overwrites, 1u);
+  EXPECT_FALSE(s.used);  // the corrupted value was never consumed
+  EXPECT_FALSE(s.live_at_end);
+}
+
+TEST(TaintEngineTest, MergeUnionsWithoutClearing) {
+  TaintEngine e;
+  e.seed_register(3);
+  step(e);
+  // Partial update from a clean source (e.g. one CR field): must not
+  // erase the existing mark and must not count a silent overwrite.
+  e.on_reg_merge(3);
+  EXPECT_EQ(e.reg_depth(3), 1u);
+  EXPECT_EQ(e.finalize().silent_overwrites, 0u);
+  // Tainted partial update folds in at propagated depth.
+  step(e);
+  e.on_reg_read(3);
+  e.on_reg_merge(7);
+  EXPECT_EQ(e.reg_depth(7), 2u);
+}
+
+TEST(TaintEngineTest, MemoryPropagationAndSilentOverwrite) {
+  TaintEngine e;
+  e.seed_memory(0xC0200, 0x200, 4);
+  step(e);
+  e.on_mem_read(0xC0200, 0x200, 4);
+  e.on_mem_write(0xC0300, 0x300, 4);  // store of a tainted-derived value
+  EXPECT_EQ(e.mem_depth(0x300), 2u);
+  EXPECT_EQ(e.mem_depth(0x303), 2u);
+  step(e);
+  e.on_mem_write(0xC0300, 0x300, 4);  // clean store over the tainted word
+  EXPECT_EQ(e.mem_depth(0x300), 0u);
+  const PropagationSummary s = e.finalize();
+  EXPECT_EQ(s.silent_overwrites, 1u);  // one per overwriting store
+  EXPECT_EQ(s.tainted_bytes_peak, 8u);
+  EXPECT_EQ(s.live_bytes_at_end, 4u);  // the seeded word itself survives
+}
+
+TEST(TaintEngineTest, DepthSaturatesAt255) {
+  TaintEngine e;
+  e.seed_register(0);
+  for (int i = 0; i < 300; ++i) {
+    step(e);
+    e.on_reg_read(0);
+    e.on_reg_write(0);  // reg0 = f(reg0): one hop deeper each time
+  }
+  EXPECT_EQ(e.reg_depth(0), 255u);
+  EXPECT_EQ(e.finalize().max_depth, 255u);
+}
+
+TEST(TaintEngineTest, CtxSaveRestoreMovesShadowWithoutUse) {
+  TaintEngine e;
+  e.seed_register(5);
+  e.on_ctx_save(5, 0x400);     // glue spills the register
+  e.on_ctx_restore(6, 0x400);  // glue reloads it elsewhere
+  EXPECT_EQ(e.mem_depth(0x400), 1u);
+  EXPECT_EQ(e.reg_depth(6), 1u);
+  const PropagationSummary s = e.finalize();
+  // Pure data movement: no use, no depth added.
+  EXPECT_FALSE(s.used);
+  EXPECT_EQ(s.tainted_reads, 0u);
+  EXPECT_EQ(s.max_depth, 0u);
+}
+
+TEST(TaintEngineTest, GlueOverwritesCountAsSilent) {
+  TaintEngine e;
+  e.seed_register(2);
+  e.seed_memory(0xC0500, 0x500, 4);
+  e.on_glue_reg_set(2);       // glue writes a fresh clean value
+  e.on_glue_mem_set(0x500, 4);
+  EXPECT_EQ(e.reg_depth(2), 0u);
+  EXPECT_EQ(e.mem_depth(0x500), 0u);
+  EXPECT_EQ(e.finalize().silent_overwrites, 2u);
+}
+
+TEST(TaintEngineTest, GlueRegCopyMovesShadow) {
+  TaintEngine e;
+  e.seed_register(2);
+  e.on_glue_reg_copy(9, 2);  // tainted -> clean: shadow follows
+  EXPECT_EQ(e.reg_depth(9), 1u);
+  e.on_glue_reg_copy(9, 11);  // clean -> tainted: silent overwrite
+  EXPECT_EQ(e.reg_depth(9), 0u);
+  EXPECT_EQ(e.finalize().silent_overwrites, 1u);
+}
+
+TEST(TaintEngineTest, TaintedPcCountsEveryFetch) {
+  TaintEngine e;
+  e.seed_register(0);  // slot 0 acting as the PC
+  e.on_insn_fetch(0, 0xC1000, 0xFFFF0000u, 4, 0, 0);
+  e.on_insn_fetch(0, 0xC1004, 0xFFFF0004u, 4, 0, 0);
+  const PropagationSummary s = e.finalize();
+  EXPECT_EQ(s.pc_tainted_insns, 2u);
+  EXPECT_TRUE(s.used);
+  EXPECT_EQ(s.first_use_insn, 1u);
+}
+
+TEST(TaintEngineTest, TaintedInstructionBytesAreConsumption) {
+  TaintEngine e;
+  e.seed_memory(0xC2000, 0x2000, 1);  // one corrupted code byte
+  // Straddling fetch: second phys range holds the tainted byte.
+  e.on_insn_fetch(kNoSlot, 0xC1FFC, 0x1FFC, 4, 0x2000, 2);
+  e.on_reg_write(4);  // whatever the corrupted instruction produced
+  EXPECT_EQ(e.reg_depth(4), 2u);
+  const PropagationSummary s = e.finalize();
+  EXPECT_TRUE(s.used);
+  EXPECT_EQ(s.tainted_reads, 1u);
+}
+
+TEST(TaintEngineTest, BranchDecisionCountsOnlyWhenTaintConsumed) {
+  TaintEngine e;
+  e.seed_register(3);
+  step(e);
+  e.on_branch_decision();  // condition derived from clean state
+  e.on_reg_read(3);
+  e.on_branch_decision();  // condition derived from the tainted read
+  EXPECT_EQ(e.finalize().tainted_branches, 1u);
+}
+
+TEST(TaintEngineTest, SyscallResultTaint) {
+  TaintEngine e;
+  e.seed_register(4);
+  e.on_syscall_result(9);  // clean result register
+  EXPECT_FALSE(e.finalize().syscall_result_tainted);
+  e.on_syscall_result(4);  // tainted result crosses the kernel boundary
+  const PropagationSummary s = e.finalize();
+  EXPECT_TRUE(s.syscall_result_tainted);
+  EXPECT_TRUE(s.used);
+}
+
+TEST(TaintEngineTest, PrivTransitionsCountOnlyWhileTaintIsLive) {
+  TaintEngine e;
+  e.on_priv_transition(PrivEvent::kSyscallEntry);  // nothing live yet
+  e.seed_register(1);
+  e.on_priv_transition(PrivEvent::kSyscallReturn);
+  EXPECT_EQ(e.finalize().priv_transitions, 1u);
+}
+
+TEST(TaintEngineTest, ObjectClassifierRecordsCrossings) {
+  TaintEngine e;
+  // Object id = top nibble of the VA page, -1 below 0x10000.
+  e.set_object_classifier([](Addr va) -> i32 {
+    return va >= 0x10000 ? static_cast<i32>(va >> 16) : -1;
+  });
+  e.seed_memory(0x20000, 0x600, 4);  // seed lands in object 2
+  step(e);
+  e.on_mem_read(0x20000, 0x600, 4);
+  e.on_mem_write(0x20008, 0x608, 4);  // still object 2: not a crossing
+  e.on_mem_write(0x30000, 0x700, 4);  // object 3: crossing
+  e.on_mem_write(0x0000F, 0x800, 4);  // unnamed (-1): not a crossing
+  EXPECT_EQ(e.finalize().objects_crossed, 1u);
+}
+
+TEST(TaintEngineTest, ReseedBeforeFirstUseRestartsDormancyClock) {
+  TaintEngine e;
+  e.seed_register(3);
+  step(e);
+  e.on_reg_write(3);  // the mark is silently overwritten...
+  for (int i = 0; i < 4; ++i) step(e);
+  e.seed_register(3);  // ...and a deferred flip re-arms at insn 5
+  step(e);
+  e.on_reg_read(3);
+  const PropagationSummary s = e.finalize();
+  EXPECT_EQ(s.seed_insn, 5u);
+  EXPECT_EQ(s.first_use_insn, 6u);
+  EXPECT_EQ(s.first_use_latency, 1u);
+}
+
+TEST(TaintEngineTest, ResetClearsAllState) {
+  TaintEngine e;
+  e.seed_register(3);
+  e.seed_memory(0xC0900, 0x900, 4);
+  step(e);
+  e.on_reg_read(3);
+  e.on_reg_write(4);
+  e.reset();
+  EXPECT_EQ(e.tainted_regs(), 0u);
+  EXPECT_EQ(e.tainted_bytes(), 0u);
+  EXPECT_EQ(e.insns(), 0u);
+  const PropagationSummary s = e.finalize();
+  EXPECT_TRUE(s.traced);
+  EXPECT_FALSE(s.seeded);
+  EXPECT_FALSE(s.used);
+  EXPECT_EQ(s.max_depth, 0u);
+  EXPECT_EQ(s.tainted_reads, 0u);
+  EXPECT_EQ(s.silent_overwrites, 0u);
+  EXPECT_FALSE(s.live_at_end);
+}
+
+}  // namespace
+}  // namespace kfi::trace

@@ -5,6 +5,7 @@
 //                [--journal PATH] [--resume] [--retries K] [--stall SECS]
 //                [--step-budget N] [--no-wrapper] [--p4-stackcheck]
 //                [--no-spinlock-debug] [--csv PREFIX]
+//                [--trace] [--trace-out CSV]
 //
 // --jobs N runs the campaign on N worker threads (0 = hardware
 // concurrency; default 1 = serial).  The merged result is bit-identical
@@ -15,6 +16,13 @@
 // instructions.  --resume (requires --journal) skips already-journaled
 // indices; the resumed result is bit-identical to an uninterrupted run.
 // --retries/--stall/--step-budget tune the supervisor's fault isolation.
+//
+// --trace runs the campaign with the error-propagation trace subsystem
+// attached: every record carries a PropagationSummary, the report gains a
+// propagation segment, and journals persist the summaries (format v2).
+// Observational — the result fingerprint matches an untraced run.
+// --trace-out CSV (implies --trace) additionally writes one propagation
+// row per traced record.
 //
 // Prints the Table-5/6-style row, the campaign throughput, the
 // crash-cause distribution against the paper's reference, and the
@@ -29,6 +37,7 @@
 #include <optional>
 
 #include "analysis/csv.hpp"
+#include "analysis/propagation.hpp"
 #include "analysis/report.hpp"
 #include "inject/campaign.hpp"
 #include "inject/journal.hpp"
@@ -49,6 +58,7 @@ void usage(const char* argv0) {
                "          [--retries K] [--stall SECS] [--step-budget N]\n"
                "          [--no-wrapper] [--p4-stackcheck]\n"
                "          [--no-spinlock-debug] [--csv PREFIX] [--quiet]\n"
+               "          [--trace] [--trace-out CSV]\n"
                "  --jobs N:    worker threads (0 = hardware concurrency,\n"
                "               default 1); results are bit-identical for any N\n"
                "  --journal P: append every completed injection to journal P;\n"
@@ -58,7 +68,12 @@ void usage(const char* argv0) {
                "  --retries K: harness-error retries per index before\n"
                "               quarantine (default 1)\n"
                "  --stall S:   wall-clock watchdog budget per injection in\n"
-               "               seconds (default off)\n",
+               "               seconds (default off)\n"
+               "  --trace:     shadow-state error-propagation tracing; adds\n"
+               "               a propagation report segment (observational:\n"
+               "               results are bit-identical with it off)\n"
+               "  --trace-out CSV: write per-injection propagation metrics\n"
+               "               to CSV (implies --trace)\n",
                argv0);
 }
 
@@ -68,6 +83,7 @@ int main(int argc, char** argv) {
   inject::CampaignSpec spec;
   spec.injections = 500;
   std::string csv_prefix;
+  std::string trace_out;
   std::string journal_path;
   bool resume = false;
   inject::RunControl control;
@@ -134,6 +150,11 @@ int main(int argc, char** argv) {
       spec.machine.spinlock_debug = false;
     } else if (arg == "--csv") {
       csv_prefix = next();
+    } else if (arg == "--trace") {
+      control.trace = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+      control.trace = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -206,6 +227,21 @@ int main(int argc, char** argv) {
              stdout);
   std::puts("");
   std::fputs(analysis::render_profile(result.hot_functions).c_str(), stdout);
+  if (control.trace) {
+    std::puts("");
+    std::fputs(analysis::render_propagation(
+                   std::string(isa::arch_name(spec.arch)) + " " +
+                       inject::campaign_kind_name(spec.kind),
+                   analysis::tally_propagation(result.records))
+                   .c_str(),
+               stdout);
+  }
+
+  if (!trace_out.empty()) {
+    std::ofstream f(trace_out);
+    analysis::write_propagation_csv(f, result.records);
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
 
   if (!csv_prefix.empty()) {
     {

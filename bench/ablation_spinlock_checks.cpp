@@ -36,10 +36,8 @@ int main() {
         const auto& lock = machine.image().object(name);
         const Addr magic = lock.addr + lock.field_named("magic").offset;
         for (u32 bit = 0; bit < 32; bit += 2) {
-          inject::InjectionTarget t;
-          t.kind = inject::CampaignKind::kData;
-          t.data_addr = magic;
-          t.data_bit = bit;
+          const inject::InjectionTarget t =
+              inject::InjectionTarget::data(magic, bit);
           records.push_back(runner.run_one(t, 100 + bit, seq++));
         }
       }

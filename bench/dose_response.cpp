@@ -1,0 +1,162 @@
+// Fault-model dose-response study: how the outcome distribution shifts as
+// the fault "dose" grows — multi-bit k in {1, 2, 4, 8}, a 4-bit burst,
+// and Poisson rates in {0.5, 2, 8} events/run over the data campaign, plus
+// opclass-targeted code campaigns, one row per functional-unit class.
+// The 2004 testbed could only deliver the k=1 single-shot row of these
+// tables; the rest is the extrapolation axis the simulator unlocks.
+//
+// Every row prints its result fingerprint, and the bench self-checks the
+// engine's determinism contract on a subset of rows: the serial and
+// KFI_JOBS executions of the same plan must merge bit-identically (the
+// bench exits non-zero otherwise, so CI can gate on it).  The k=1 row is
+// the legacy model — with KFI_INJECTIONS=16 KFI_SEED=77 its fingerprint
+// is the pre-FaultModel seed value, which CI pins.
+//
+// Knobs: KFI_INJECTIONS (default 400), KFI_SEED, KFI_JOBS.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "inject/fault_model.hpp"
+
+namespace {
+
+using namespace kfi;
+
+struct Row {
+  std::string label;
+  inject::FaultModel model;
+  bool parity_check = false;  // also run at KFI_JOBS and compare
+};
+
+int g_parity_failures = 0;
+
+void print_header() {
+  std::printf("%-18s %8s %9s %8s %6s %8s %8s  %s\n", "model", "injected",
+              "activated", "notman", "fsv", "crash", "hang", "fingerprint");
+}
+
+void run_row(isa::Arch arch, inject::CampaignKind kind, const Row& row) {
+  inject::CampaignSpec spec = bench::base_spec(arch, kind, 400);
+  spec.model = row.model;
+  const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+  const inject::CampaignResult result = inject::CampaignEngine(1).run(plan);
+  const u64 fp = inject::result_fingerprint(result);
+  const analysis::OutcomeTally t = analysis::tally_records(result.records);
+  using inject::OutcomeCategory;
+  std::printf("%-18s %8u %9s %7.1f%% %5.1f%% %7.1f%% %7.1f%%  %016" PRIx64
+              "\n",
+              row.label.c_str(), t.injected,
+              t.activation_known
+                  ? (std::to_string(t.activated) + " (" +
+                     std::to_string(static_cast<int>(
+                         t.activation_rate() * 100.0 + 0.5)) +
+                     "%)")
+                        .c_str()
+                  : "N/A",
+              t.fraction(OutcomeCategory::kNotManifested) * 100.0,
+              t.fraction(OutcomeCategory::kFailSilenceViolation) * 100.0,
+              t.fraction(OutcomeCategory::kKnownCrash) * 100.0,
+              t.fraction(OutcomeCategory::kHangOrUnknownCrash) * 100.0, fp);
+  if (row.parity_check) {
+    const u32 jobs = bench::env_jobs();
+    const inject::CampaignResult par =
+        inject::CampaignEngine(jobs == 1 ? 4 : jobs).run(plan);
+    if (inject::result_fingerprint(par) != fp) {
+      std::printf("  ^ PARITY FAILURE: jobs run diverged from serial\n");
+      ++g_parity_failures;
+    }
+  }
+  // Opclass-targeted rows additionally break the outcome down per class
+  // (for the targeted class the table is that row's whole campaign).
+  if (kind == inject::CampaignKind::kCode &&
+      row.model.shape == inject::FaultShape::kSingleBit) {
+    const auto by_class = analysis::tally_by_opclass(result.records);
+    std::printf("%s",
+                analysis::render_opclass_breakdown(arch, by_class).c_str());
+  }
+}
+
+void dose_section(isa::Arch arch) {
+  std::printf("\n== %s: data-campaign dose response ==\n",
+              isa::arch_name(arch).c_str());
+  print_header();
+  std::vector<Row> rows;
+  {
+    Row r;  // k=1 == the paper's legacy model; CI pins this fingerprint.
+    r.label = "single-bit";
+    r.parity_check = true;
+    rows.push_back(r);
+  }
+  for (const u32 k : {2u, 4u, 8u}) {
+    Row r;
+    r.label = "multi-bit k=" + std::to_string(k);
+    r.model.shape = inject::FaultShape::kMultiBit;
+    r.model.bits = k;
+    r.parity_check = k == 4;
+    rows.push_back(r);
+  }
+  {
+    Row r;
+    r.label = "burst span=4";
+    r.model.shape = inject::FaultShape::kBurst;
+    r.model.burst_span = 4;
+    rows.push_back(r);
+  }
+  for (const double rate : {0.5, 2.0, 8.0}) {
+    Row r;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "rate=%g/run", rate);
+    r.label = buf;
+    r.model.trigger = inject::FaultTrigger::kRate;
+    r.model.rate = rate;
+    r.parity_check = rate == 2.0;
+    rows.push_back(r);
+  }
+  for (const Row& row : rows) {
+    run_row(arch, inject::CampaignKind::kData, row);
+  }
+}
+
+void opclass_section(isa::Arch arch) {
+  std::printf("\n== %s: opclass-targeted code campaigns ==\n",
+              isa::arch_name(arch).c_str());
+  print_header();
+  {
+    Row natural;  // the paper's code campaign: natural instruction mix
+    natural.label = "code (natural)";
+    run_row(arch, inject::CampaignKind::kCode, natural);
+  }
+  for (const isa::OpClass cls :
+       {isa::OpClass::kAlu, isa::OpClass::kLoadStore, isa::OpClass::kBranch,
+        isa::OpClass::kSystem}) {
+    Row r;
+    r.label = "opclass=" + isa::opclass_name(cls);
+    r.model.shape = inject::FaultShape::kOpclass;
+    r.model.opclass = cls;
+    try {
+      run_row(arch, inject::CampaignKind::kCode, r);
+    } catch (const inject::FaultModelError& e) {
+      // A class can be absent from the hot-function set (e.g. no system
+      // instructions survive profiling); report instead of aborting.
+      std::printf("%-18s  (skipped: %s)\n", r.label.c_str(), e.what());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const isa::Arch arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    dose_section(arch);
+    opclass_section(arch);
+  }
+  if (g_parity_failures > 0) {
+    std::printf("\n%d parity failure(s)\n", g_parity_failures);
+    return 1;
+  }
+  std::printf("\nall parity self-checks passed\n");
+  return 0;
+}

@@ -23,10 +23,8 @@ void anatomy(isa::Arch arch) {
   // The same error on both machines: corrupt the skb free-list head (the
   // paper's Figure 7 crash site, alloc_skb) with a high bit flip; it is
   // consumed by the first send() syscall.
-  inject::InjectionTarget t;
-  t.kind = inject::CampaignKind::kData;
-  t.data_addr = machine.image().object("skb_head").addr;
-  t.data_bit = 29;
+  const inject::InjectionTarget t =
+      inject::InjectionTarget::data(machine.image().object("skb_head").addr, 29);
   const auto record = inject::run_single_injection(machine, *wl, t, 3);
 
   std::printf("--- %s ---\n", isa::arch_name(arch).c_str());

@@ -36,10 +36,8 @@ int main() {
     u32 sequence = 0;
     for (u32 reg = 0; reg < bank.count(); ++reg) {
       for (const u32 bit : {0u, 5u, 14u, 31u}) {
-        inject::InjectionTarget target;
-        target.kind = inject::CampaignKind::kRegister;
-        target.reg_index = reg;
-        target.reg_bit = bit % bank.info(reg).bits;
+        inject::InjectionTarget target =
+            inject::InjectionTarget::sysreg(reg, bit % bank.info(reg).bits);
         target.inject_at_frac = 0.3;
         const auto record =
             runner.run_one(target, 1000 + reg * 7 + bit, sequence++);

@@ -27,10 +27,8 @@ int main() {
                 machine.space().vread32(magic_addr));
 
     // Inject exactly the paper's scenario: one bit of the magic word.
-    inject::InjectionTarget target;
-    target.kind = inject::CampaignKind::kData;
-    target.data_addr = magic_addr;
-    target.data_bit = 22;  // 4E -> 0E in the paper's example byte
+    const inject::InjectionTarget target = inject::InjectionTarget::data(
+        magic_addr, 22);  // 4E -> 0E in the paper's example byte
     const auto record = inject::run_single_injection(machine, *wl, target, 5);
 
     std::printf("outcome: %s", inject::outcome_name(record.outcome).c_str());

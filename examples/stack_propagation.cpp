@@ -63,7 +63,7 @@ void run_targeted_stack_campaign(isa::Arch arch, const char* title) {
     const auto* fn = machine.image().function_at(r.crash.pc);
     const auto* region = machine.space().region_of(r.crash.addr);
     std::printf("  stack bit %2u of task %u -> %s at pc=%08x (%s)",
-                r.target.stack_bit, r.target.stack_task,
+                r.target.site().bit, r.target.site().task,
                 kernel::crash_cause_name(r.crash.cause).c_str(), r.crash.pc,
                 fn != nullptr ? fn->name.c_str() : "?");
     if (r.crash.has_addr) {

@@ -8,36 +8,31 @@ namespace kfi::analysis {
 
 namespace {
 
-/// The target's primary coordinate, per campaign kind.
+/// The target's primary coordinate, per campaign kind (the first fault
+/// site; a rate-mode target can legitimately have none).
 std::string target_of(const inject::InjectionTarget& t) {
+  if (t.sites.empty()) return "(none)";
+  const inject::FaultSite& s = t.site();
   char buf[64];
   switch (t.kind) {
     case inject::CampaignKind::kCode:
-      std::snprintf(buf, sizeof(buf), "%s+0x%x", t.function.c_str(),
-                    t.code_addr);
+      std::snprintf(buf, sizeof(buf), "%s+0x%x", t.function.c_str(), s.addr);
       return buf;
     case inject::CampaignKind::kData:
-      std::snprintf(buf, sizeof(buf), "0x%08x", t.data_addr);
+      std::snprintf(buf, sizeof(buf), "0x%08x", s.addr);
       return buf;
     case inject::CampaignKind::kStack:
-      std::snprintf(buf, sizeof(buf), "task%u@%.2f", t.stack_task,
-                    t.stack_depth_frac);
+      std::snprintf(buf, sizeof(buf), "task%u@%.2f", s.task, s.depth_frac);
       return buf;
     case inject::CampaignKind::kRegister:
-      return t.reg_name.empty() ? "reg" + std::to_string(t.reg_index)
+      return t.reg_name.empty() ? "reg" + std::to_string(s.reg_index)
                                 : t.reg_name;
   }
   return "";
 }
 
 u32 bit_of(const inject::InjectionTarget& t) {
-  switch (t.kind) {
-    case inject::CampaignKind::kCode: return t.code_bit;
-    case inject::CampaignKind::kData: return t.data_bit;
-    case inject::CampaignKind::kStack: return t.stack_bit;
-    case inject::CampaignKind::kRegister: return t.reg_bit;
-  }
-  return 0;
+  return t.sites.empty() ? 0 : t.site().bit;
 }
 
 }  // namespace

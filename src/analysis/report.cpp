@@ -128,6 +128,30 @@ std::string render_latency_comparison(const std::string& title,
   return os.str();
 }
 
+std::string render_opclass_breakdown(
+    isa::Arch arch,
+    const std::vector<std::pair<isa::OpClass, OutcomeTally>>& rows) {
+  std::ostringstream os;
+  os << "Outcome by instruction class — " << isa::arch_name(arch) << "\n";
+  AsciiTable table({"Class", "Injected", "Activated", "Not Manifested",
+                    "Fail Silence Violation", "Known Crash",
+                    "Hang/Unknown Crash"});
+  for (const auto& [cls, tally] : rows) {
+    table.add_row({
+        isa::opclass_name(cls),
+        std::to_string(tally.injected),
+        tally.activation_known ? pct(tally.activation_rate())
+                               : std::string("N/A"),
+        pct(tally.fraction(OutcomeCategory::kNotManifested)),
+        pct(tally.fraction(OutcomeCategory::kFailSilenceViolation)),
+        pct(tally.fraction(OutcomeCategory::kKnownCrash)),
+        pct(tally.fraction(OutcomeCategory::kHangOrUnknownCrash)),
+    });
+  }
+  os << table.render();
+  return os.str();
+}
+
 std::string render_profile(const std::vector<workload::HotFunction>& hot) {
   std::ostringstream os;
   os << "Kernel usage profile (functions covering >=95% of entries)\n";
@@ -149,7 +173,13 @@ std::string summarize_campaign(const inject::CampaignResult& result) {
           : tally_records(result.records);
   std::ostringstream os;
   os << isa::arch_name(result.spec.arch) << " "
-     << campaign_kind_name(result.spec.kind) << ": injected=" << t.injected
+     << campaign_kind_name(result.spec.kind);
+  // Non-default fault models change what a row means; say so in the log
+  // line (the default stays byte-identical to the pre-FaultModel output).
+  if (!result.spec.model.is_legacy()) {
+    os << " [" << result.spec.model.name() << "]";
+  }
+  os << ": injected=" << t.injected
      << " activated="
      << (t.activation_known ? std::to_string(t.activated) : std::string("N/A"))
      << " manifested=" << pct(t.manifestation_rate())

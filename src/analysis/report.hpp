@@ -29,6 +29,12 @@ std::string render_latency_comparison(const std::string& title,
                                       const OutcomeTally& cisca_tally,
                                       const OutcomeTally& riscf_tally);
 
+/// Outcome distribution split by instruction class (code campaigns under
+/// the opclass-targeted fault model, or any code campaign's natural mix).
+std::string render_opclass_breakdown(
+    isa::Arch arch,
+    const std::vector<std::pair<isa::OpClass, OutcomeTally>>& rows);
+
 /// Hot-function profile table (the paper's >=95% usage selection).
 std::string render_profile(const std::vector<workload::HotFunction>& hot);
 

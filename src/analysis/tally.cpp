@@ -52,4 +52,23 @@ OutcomeTally tally_records(
   return t;
 }
 
+std::vector<std::pair<isa::OpClass, OutcomeTally>> tally_by_opclass(
+    const std::vector<inject::InjectionRecord>& records) {
+  std::vector<std::pair<isa::OpClass, OutcomeTally>> out;
+  std::vector<inject::InjectionRecord> bucket;
+  for (u32 c = 0; c < static_cast<u32>(isa::OpClass::kNumClasses); ++c) {
+    const auto cls = static_cast<isa::OpClass>(c);
+    bucket.clear();
+    for (const auto& r : records) {
+      if (r.target.kind == inject::CampaignKind::kCode &&
+          r.target.opclass == cls) {
+        bucket.push_back(r);
+      }
+    }
+    if (bucket.empty()) continue;
+    out.emplace_back(cls, tally_records(bucket));
+  }
+  return out;
+}
+
 }  // namespace kfi::analysis

@@ -3,6 +3,7 @@
 // and cycles-to-crash histograms (Figure 16).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/counter_map.hpp"
@@ -37,5 +38,11 @@ struct OutcomeTally {
 };
 
 OutcomeTally tally_records(const std::vector<inject::InjectionRecord>& records);
+
+/// Per-instruction-class tallies for opclass-targeted (and plain code)
+/// campaigns: one entry per OpClass that actually received injections, in
+/// OpClass order.
+std::vector<std::pair<isa::OpClass, OutcomeTally>> tally_by_opclass(
+    const std::vector<inject::InjectionRecord>& records);
 
 }  // namespace kfi::analysis

@@ -186,4 +186,47 @@ std::string Insn::to_string() const {
   return os.str();
 }
 
+isa::OpClass opclass(Op op) {
+  switch (op) {
+    // Arithmetic, logic, shifts, flag manipulation: the integer ALU.
+    case Op::kAdd: case Op::kOr: case Op::kAdc: case Op::kSbb:
+    case Op::kAnd: case Op::kSub: case Op::kXor: case Op::kCmp:
+    case Op::kTest: case Op::kLea:
+    case Op::kInc: case Op::kDec:
+    case Op::kRol: case Op::kRor: case Op::kRcl: case Op::kRcr:
+    case Op::kShl: case Op::kShr: case Op::kSar:
+    case Op::kNot: case Op::kNeg: case Op::kMul: case Op::kImul:
+    case Op::kDiv: case Op::kIdiv:
+    case Op::kCwde: case Op::kCdq: case Op::kSalc:
+    case Op::kClc: case Op::kStc: case Op::kCmc: case Op::kCld:
+    case Op::kStd: case Op::kAam: case Op::kAad:
+      return isa::OpClass::kAlu;
+    // Data movement; push/pop, string and x87 ops all carry an implicit
+    // memory access.
+    case Op::kMov: case Op::kMovzx: case Op::kMovsx: case Op::kXchg:
+    case Op::kPush: case Op::kPop: case Op::kPushf: case Op::kPopf:
+    case Op::kPusha: case Op::kPopa:
+    case Op::kMovs: case Op::kCmps: case Op::kStos: case Op::kLods:
+    case Op::kScas: case Op::kXlat:
+    case Op::kEnter: case Op::kLeave:
+    case Op::kFpu:
+      return isa::OpClass::kLoadStore;
+    case Op::kJcc: case Op::kJmp: case Op::kCall: case Op::kRet:
+    case Op::kRetf: case Op::kJecxz: case Op::kLoop:
+    case Op::kJmpFar: case Op::kCallFar:
+      return isa::OpClass::kBranch;
+    // Privileged state, traps, and I/O.
+    case Op::kHlt: case Op::kUd2: case Op::kInt: case Op::kInt3:
+    case Op::kIret: case Op::kInto: case Op::kBound: case Op::kArpl:
+    case Op::kMovFromCr: case Op::kMovToCr:
+    case Op::kMovFromSeg: case Op::kMovToSeg:
+    case Op::kCli: case Op::kSti:
+    case Op::kInsOuts: case Op::kInOut: case Op::kFwait:
+      return isa::OpClass::kSystem;
+    case Op::kNop: case Op::kInvalid:
+      return isa::OpClass::kOther;
+  }
+  return isa::OpClass::kOther;
+}
+
 }  // namespace kfi::cisca

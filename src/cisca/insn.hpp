@@ -13,6 +13,7 @@
 
 #include "common/types.hpp"
 #include "cisca/regs.hpp"
+#include "isa/opclass.hpp"
 
 namespace kfi::cisca {
 
@@ -108,5 +109,10 @@ struct Insn {
   /// Disassembly for diagnostics and the worked-example reproductions.
   std::string to_string() const;
 };
+
+/// Functional-unit class of an opcode.  Static per-Op: a kMov is counted
+/// as load/store regardless of whether a given encoding touches memory —
+/// the generator targets instruction bytes, not operand traffic.
+isa::OpClass opclass(Op op);
 
 }  // namespace kfi::cisca

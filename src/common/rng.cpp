@@ -1,5 +1,7 @@
 #include "common/rng.hpp"
 
+#include <cmath>
+
 namespace kfi {
 
 u64 splitmix64(u64& state) {
@@ -53,6 +55,21 @@ bool Rng::chance(double p) {
 
 double Rng::next_double() {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+u32 Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  KFI_CHECK(mean <= 1024.0, "Rng::poisson mean too large");
+  // Knuth: count uniform draws until their product falls below e^-mean.
+  // Exact and deterministic; fine for the modest rates campaigns use.
+  const double limit = std::exp(-mean);
+  double product = 1.0;
+  u32 n = 0;
+  for (;;) {
+    product *= next_double();
+    if (product <= limit) return n;
+    ++n;
+  }
 }
 
 Rng Rng::split() { return Rng(next_u64()); }

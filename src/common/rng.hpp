@@ -45,6 +45,11 @@ class Rng {
   /// Uniform bit index within a word of `bits` bits (e.g. 32).
   u32 bit_index(u32 bits) { return static_cast<u32>(below(bits)); }
 
+  /// Poisson-distributed count with the given mean (Knuth's
+  /// product-of-uniforms method; draw count varies with the result, which
+  /// is fine because every consumer pre-draws schedules at plan time).
+  u32 poisson(double mean);
+
   /// Pick a uniformly random element of a non-empty vector.
   template <typename T>
   const T& pick(const std::vector<T>& v) {

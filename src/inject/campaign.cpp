@@ -15,7 +15,8 @@ CampaignResult run_campaign(const CampaignSpec& spec, const ProgressFn& progress
 InjectionRecord run_single_injection(kernel::Machine& machine,
                                      workload::Workload& wl,
                                      const InjectionTarget& target, u64 seed,
-                                     trace::TaintEngine* taint) {
+                                     trace::TaintEngine* taint,
+                                     const FaultModel& model) {
   const u64 nominal = calibrate_workload(machine, wl, seed);
   const double kernel_fraction = calibrated_kernel_fraction(machine, nominal);
   UdpChannel channel(0.0, seed);
@@ -24,6 +25,7 @@ InjectionRecord run_single_injection(kernel::Machine& machine,
                           static_cast<u64>(3.0 * static_cast<double>(nominal)) +
                               2 * machine.options().timer_period,
                           kernel_fraction);
+  runner.set_fault_model(model);
   if (taint != nullptr) {
     machine.set_trace_sink(taint);
     runner.set_taint_engine(taint);

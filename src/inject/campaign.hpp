@@ -37,7 +37,8 @@ InjectionRecord run_single_injection(kernel::Machine& machine,
                                      workload::Workload& wl,
                                      const InjectionTarget& target,
                                      u64 seed = 1,
-                                     trace::TaintEngine* taint = nullptr);
+                                     trace::TaintEngine* taint = nullptr,
+                                     const FaultModel& model = {});
 
 /// The records an (possibly interrupted) campaign actually produced:
 /// resumed + executed indices, in target order.  For a completed campaign

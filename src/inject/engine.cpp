@@ -50,6 +50,7 @@ struct WorkerRig {
         collector(),
         runner(machine, *wl, channel, collector, plan.nominal_cycles,
                plan.budget_cycles, plan.kernel_fraction) {
+    runner.set_fault_model(plan.spec.model);
     if (trace) {
       taint = std::make_unique<trace::TaintEngine>();
       // Tainted writes are classified against the kernel image's named

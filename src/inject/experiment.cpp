@@ -1,5 +1,7 @@
 #include "inject/experiment.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "kernel/abi.hpp"
 #include "kernel/layout.hpp"
@@ -47,20 +49,24 @@ void ExperimentRunner::flip_value_bit(Addr word_addr, u32 bit) {
                       : word_addr + bit / 8);
 }
 
-void ExperimentRunner::flip_code_bit(const InjectionTarget& target) {
+void ExperimentRunner::flip_value_bits(Addr word_addr,
+                                       const std::vector<u32>& bits) {
+  for (const u32 bit : bits) flip_value_bit(word_addr, bit);
+}
+
+void ExperimentRunner::flip_code_site(const FaultSite& site) {
   if (machine_.arch() == isa::Arch::kRiscf) {
-    flip_value_bit(target.code_addr, target.code_bit);
+    flip_value_bit(site.addr, site.bit);
     return;
   }
   // cisca: instructions are byte streams; the bit indexes them in memory
   // order (bit 0 = LSB of the first byte).
-  machine_.space().vflip_bit(target.code_addr + target.code_bit / 8,
-                             target.code_bit % 8);
-  seed_taint_byte(target.code_addr + target.code_bit / 8);
+  machine_.space().vflip_bit(site.addr + site.bit / 8, site.bit % 8);
+  seed_taint_byte(site.addr + site.bit / 8);
 }
 
-Addr ExperimentRunner::resolve_stack_addr(const InjectionTarget& target) const {
-  const u32 task = target.stack_task % kernel::kNumTasks;
+Addr ExperimentRunner::resolve_stack_addr(const FaultSite& site) const {
+  const u32 task = site.task % kernel::kNumTasks;
   Addr sp;
   if (task == machine_.current_task()) {
     sp = machine_.cpu().stack_pointer();
@@ -79,8 +85,8 @@ Addr ExperimentRunner::resolve_stack_addr(const InjectionTarget& target) const {
   const Addr lo = sp - base > dead_zone ? sp - dead_zone : base;
   const u32 words = (top - lo) / 4;
   if (words < 2) return 0;
-  const u32 pick = static_cast<u32>(target.stack_depth_frac *
-                                    static_cast<double>(words - 1));
+  const u32 pick =
+      static_cast<u32>(site.depth_frac * static_cast<double>(words - 1));
   return lo + 4 * pick;
 }
 
@@ -101,16 +107,66 @@ bool is_context_register(isa::Arch arch, const std::string& name) {
 
 bool ExperimentRunner::inject_register(const InjectionTarget& target) {
   isa::SystemRegisterBank& bank = machine_.cpu().sysregs();
-  const u32 index = target.reg_index % bank.count();
-  const u32 bit = target.reg_bit % bank.info(index).bits;
+  const u32 index = target.site().reg_index % bank.count();
+  const u32 width = bank.info(index).bits;
   if (is_context_register(machine_.arch(), bank.info(index).name) &&
       !rng_.chance(kContextRegKernelShare)) {
     // Use landed in user context: the flip corrupts state the kernel
     // replaces on entry.  Injected but with no kernel-visible effect.
     return false;
   }
-  bank.flip_bit(index, bit);
+  // All sites name the same register; clamp each bit to the architectural
+  // width and dedup so a clamp collision cannot flip a bit back.
+  std::vector<u32> bits;
+  for (const FaultSite& s : target.sites) {
+    const u32 bit = s.bit % width;
+    if (std::find(bits.begin(), bits.end(), bit) == bits.end()) {
+      bits.push_back(bit);
+    }
+  }
+  for (const u32 bit : bits) bank.flip_bit(index, bit);
   return true;
+}
+
+bool ExperimentRunner::apply_rate_site(const InjectionTarget& target,
+                                       const FaultSite& site,
+                                       InjectionRecord& record) {
+  switch (target.kind) {
+    case CampaignKind::kCode:
+      // Corrupt the instruction in place; the page write-version bump
+      // invalidates any predecoded cache line covering it.
+      flip_code_site(site);
+      return true;
+    case CampaignKind::kData:
+      flip_value_bit(site.addr, site.bit);
+      return true;
+    case CampaignKind::kStack: {
+      // Stack geometry is only meaningful at firing time: resolve the live
+      // word now, not at plan time.
+      const Addr addr = resolve_stack_addr(site);
+      if (addr == 0) return false;
+      flip_value_bit(addr, site.bit);
+      return true;
+    }
+    case CampaignKind::kRegister: {
+      isa::SystemRegisterBank& bank = machine_.cpu().sysregs();
+      const u32 index = site.reg_index % bank.count();
+      if (record.target.reg_name.empty()) {
+        record.target.reg_name = bank.info(index).name;
+      }
+      const u32 bit = site.bit % bank.info(index).bits;
+      if (is_context_register(machine_.arch(), bank.info(index).name) &&
+          !rng_.chance(kContextRegKernelShare)) {
+        return false;
+      }
+      bank.flip_bit(index, bit);
+      if (taint_ != nullptr) {
+        taint_->seed_register(machine_.cpu().sysreg_slot(index));
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
@@ -128,47 +184,71 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
   const u64 start = cpu.cycles();
   const u64 budget_end = start + budget_cycles_;
 
-  // Deferred-injection setup.
-  bool pending_deferred = target.kind == CampaignKind::kStack ||
-                          target.kind == CampaignKind::kRegister;
+  // Rate trigger: the plan pre-drew a Poisson event schedule into the
+  // site list (sorted by at_frac); no Section 3.3 monitor is armed, and
+  // each site fires when the machine reaches its cycle.
+  const bool rate_mode = model_.trigger == FaultTrigger::kRate;
+  size_t next_site = 0;
+  bool rate_applied_any = false;
+  auto site_cycle = [&](const FaultSite& s) {
+    return start + static_cast<u64>(s.at_frac * static_cast<double>(nominal_));
+  };
+
+  // Deferred-injection setup (single-shot stack/register).
+  bool pending_deferred =
+      !rate_mode && (target.kind == CampaignKind::kStack ||
+                     target.kind == CampaignKind::kRegister);
   const u64 inject_at =
       start + static_cast<u64>(target.inject_at_frac *
                                static_cast<double>(nominal_));
   Addr watched_word = 0;
-  u32 watched_bit = 0;
+  std::vector<u32> watched_bits;
+  auto site_bits = [&target]() {
+    std::vector<u32> bits;
+    bits.reserve(target.sites.size());
+    for (const FaultSite& s : target.sites) bits.push_back(s.bit);
+    return bits;
+  };
 
-  switch (target.kind) {
-    case CampaignKind::kCode:
-      // Breakpoint at the selected function's entry; the flip is applied
-      // to the chosen instruction when the function is first reached.
-      cpu.debug().arm_insn_bp(target.code_entry != 0 ? target.code_entry
-                                                     : target.code_addr);
-      break;
-    case CampaignKind::kData:
-      watched_word = target.data_addr;
-      watched_bit = target.data_bit;
-      flip_value_bit(watched_word, watched_bit);
-      // Data-error latency runs from injection: latent errors can sit
-      // unconsumed for a long time (the paper's long-tail discussion).
-      record.activation_cycle = cpu.cycles();
-      record.latency_base_cycle = cpu.cycles();
-      cpu.debug().arm_data_bp(0, watched_word, 4, /*on_read=*/true,
-                              /*on_write=*/true);
-      break;
-    default:
-      break;
+  if (!rate_mode) {
+    switch (target.kind) {
+      case CampaignKind::kCode:
+        // Breakpoint at the selected function's entry; the flips are
+        // applied to the chosen instruction when the function is first
+        // reached.
+        cpu.debug().arm_insn_bp(target.code_entry != 0 ? target.code_entry
+                                                       : target.site().addr);
+        break;
+      case CampaignKind::kData:
+        // Every site of a multi-bit/burst shape lands in the same word.
+        watched_word = target.site().addr;
+        watched_bits = site_bits();
+        flip_value_bits(watched_word, watched_bits);
+        // Data-error latency runs from injection: latent errors can sit
+        // unconsumed for a long time (the paper's long-tail discussion).
+        record.activation_cycle = cpu.cycles();
+        record.latency_base_cycle = cpu.cycles();
+        cpu.debug().arm_data_bp(0, watched_word, 4, /*on_read=*/true,
+                                /*on_write=*/true);
+        break;
+      default:
+        break;
+    }
   }
-  if (target.kind == CampaignKind::kRegister) {
+  if (rate_mode || target.kind == CampaignKind::kRegister) {
+    // No monitor can observe a use of the corrupted state (registers,
+    // paper footnote 1) — and rate-mode flips are likewise unmonitored.
     record.activation_known = false;
   }
 
   bool fsv = false;
   bool hang = false;
   bool completed = false;
-  bool monitoring = target.kind == CampaignKind::kData;  // bp armed now
+  bool monitoring =
+      !rate_mode && target.kind == CampaignKind::kData;  // bp armed now
   // Whether the latency baseline has been fixed (cycle 0 is a legitimate
   // baseline for data errors injected at run start).
-  bool latency_base_set = target.kind == CampaignKind::kData;
+  bool latency_base_set = monitoring;
 
   while (!record.crashed && !hang) {
     auto req = wl_.next(machine_);
@@ -183,6 +263,10 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
     while (!syscall_done && !record.crashed && !hang) {
       u64 stop = budget_end;
       if (pending_deferred && inject_at < stop) stop = inject_at;
+      if (rate_mode && next_site < target.sites.size()) {
+        const u64 at = site_cycle(target.sites[next_site]);
+        if (at < stop) stop = at;
+      }
       const Event ev = machine_.run(stop);
       switch (ev.kind) {
         case EventKind::kCycleStop: {
@@ -191,7 +275,8 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
             if (target.kind == CampaignKind::kRegister) {
               record.target.reg_name =
                   machine_.cpu().sysregs().info(
-                      target.reg_index % machine_.cpu().sysregs().count()).name;
+                      target.site().reg_index %
+                      machine_.cpu().sysregs().count()).name;
               if (inject_register(target)) {
                 record.activation_cycle = cpu.cycles();
                 // Register latency runs from injection (paper footnote 5).
@@ -203,17 +288,34 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
                   // not pass through the CPU's trace hooks; seeding here
                   // is what makes the flip visible to the engine.
                   taint_->seed_register(machine_.cpu().sysreg_slot(
-                      target.reg_index % machine_.cpu().sysregs().count()));
+                      target.site().reg_index %
+                      machine_.cpu().sysregs().count()));
                 }
               }
             } else {  // stack
-              watched_word = resolve_stack_addr(target);
-              watched_bit = target.stack_bit;
+              watched_word = resolve_stack_addr(target.site());
+              watched_bits = site_bits();
               if (watched_word != 0) {
-                flip_value_bit(watched_word, watched_bit);
+                flip_value_bits(watched_word, watched_bits);
                 record.activation_cycle = cpu.cycles();
                 cpu.debug().arm_data_bp(0, watched_word, 4, true, true);
                 monitoring = true;
+              }
+            }
+            break;
+          }
+          if (rate_mode && next_site < target.sites.size() &&
+              cpu.cycles() >= site_cycle(target.sites[next_site])) {
+            while (next_site < target.sites.size() &&
+                   cpu.cycles() >= site_cycle(target.sites[next_site])) {
+              const FaultSite& s = target.sites[next_site++];
+              if (apply_rate_site(target, s, record)) {
+                rate_applied_any = true;
+                if (!latency_base_set) {
+                  record.activation_cycle = cpu.cycles();
+                  record.latency_base_cycle = cpu.cycles();
+                  latency_base_set = true;
+                }
               }
             }
             break;
@@ -224,7 +326,7 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
         case EventKind::kInsnBp: {
           // Code injection: the selected function was entered; corrupt the
           // chosen instruction before execution proceeds.
-          flip_code_bit(target);
+          for (const FaultSite& s : target.sites) flip_code_site(s);
           record.activated = true;
           record.activation_cycle = cpu.cycles();
           record.latency_base_cycle = cpu.cycles();
@@ -243,7 +345,7 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
           }
           if (ev.hit.is_write) {
             // The write overwrote the error: re-inject (Section 3.3).
-            flip_value_bit(watched_word, watched_bit);
+            flip_value_bits(watched_word, watched_bits);
           } else {
             // Read access consumed the corrupted value.
             cpu.debug().disarm_data_bp(0);
@@ -306,7 +408,15 @@ InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
       // through an unmonitored path (e.g. the exception glue).
       record.activated = record.activated || record.activation_known;
       record.outcome = OutcomeCategory::kFailSilenceViolation;
-    } else if (!record.activated && target.kind != CampaignKind::kRegister) {
+    } else if (rate_mode && !rate_applied_any) {
+      // Every scheduled flip missed kernel state (user-context register
+      // windows, empty stacks) or the schedule was empty: provably nothing
+      // was injected, so the clean run is a non-activation, and that is
+      // known despite the rate trigger being unmonitorable in general.
+      record.activation_known = true;
+      record.outcome = OutcomeCategory::kNotActivated;
+    } else if (!record.activated && !rate_mode &&
+               target.kind != CampaignKind::kRegister) {
       // Paper Section 3.3: breakpoint never reached — the original value
       // is restored and the error marked as not activated.  (The reboot
       // before the next experiment restores it here.)

@@ -18,9 +18,19 @@
 //
 // Outcomes follow Table 2, with crashes whose crash-data datagram was lost
 // on the UDP channel merging into Hang/Unknown Crash as in Tables 5/6.
+//
+// Fault models: every protocol above applies the target's whole FaultSite
+// list (one site under the paper's default model; k sites for multi-bit /
+// burst shapes).  Under the rate trigger the Section 3.3 monitors are
+// replaced by a cycle-triggered hook: the pre-drawn event schedule bounds
+// each Machine::run slice, and each due site is applied when the machine
+// stops at its cycle — activation is unknowable, as for registers.
 #pragma once
 
+#include <vector>
+
 #include "inject/channel.hpp"
+#include "inject/fault_model.hpp"
 #include "inject/record.hpp"
 #include "common/rng.hpp"
 #include "kernel/machine.hpp"
@@ -39,6 +49,11 @@ class ExperimentRunner {
   /// Run one injection; `sequence` tags the crash-data datagram.
   InjectionRecord run_one(const InjectionTarget& target, u64 run_seed,
                           u32 sequence);
+
+  /// Select the fault model the campaign froze into its plan (the
+  /// trigger decides the run_one protocol; shapes are already encoded in
+  /// the targets' site lists).  Defaults to the paper's legacy model.
+  void set_fault_model(const FaultModel& model) { model_ = model; }
 
   /// Attach (or detach, with nullptr) an error-propagation taint engine.
   /// When attached, every run_one() seeds the engine at the exact flipped
@@ -66,17 +81,29 @@ class ExperimentRunner {
   /// the machine's endianness; seeds the taint engine (when attached) at
   /// the flipped byte.
   void flip_value_bit(Addr word_addr, u32 bit);
-  void flip_code_bit(const InjectionTarget& target);
+  /// Flip several bits of the same word (multi-bit / burst shapes); each
+  /// flipped byte is seeded into the taint engine.
+  void flip_value_bits(Addr word_addr, const std::vector<u32>& bits);
+  /// Flip one code site (cisca: the instruction's byte stream in memory
+  /// order; riscf: the 32-bit word).  Any write path bumps the page write
+  /// version, so predecoded instruction caches invalidate automatically.
+  void flip_code_site(const FaultSite& site);
   /// Mark the byte at `va` as the taint seed (no-op without an engine).
   void seed_taint_byte(Addr va);
-  /// Resolve the live stack-word address for a stack target; returns 0 if
+  /// Resolve the live stack-word address for one stack site; returns 0 if
   /// the chosen process currently has no live stack words.
-  Addr resolve_stack_addr(const InjectionTarget& target) const;
-  /// Returns false when the flip landed in the user-mode window of a
-  /// context-dependent register (EFLAGS/ESP/EIP on cisca, SP/MSR/SRR0/1 on
-  /// riscf): the corrupted user context is replaced at the next kernel
-  /// entry, so nothing reaches kernel state.
+  Addr resolve_stack_addr(const FaultSite& site) const;
+  /// Flip the target's register sites (all of the same register; bits are
+  /// clamped to the architectural width and deduped so a clamp collision
+  /// cannot silently cancel a flip).  Returns false when the single
+  /// context-window draw lands the use in user context (EFLAGS/ESP/EIP on
+  /// cisca, SP/MSR/SRR0/1 on riscf): the corrupted user context is
+  /// replaced at the next kernel entry, so nothing reaches kernel state.
   bool inject_register(const InjectionTarget& target);
+  /// Rate-trigger path: apply one scheduled site now.  Returns true when
+  /// kernel state was actually corrupted.
+  bool apply_rate_site(const InjectionTarget& target, const FaultSite& site,
+                       InjectionRecord& record);
 
   kernel::Machine& machine_;
   workload::Workload& wl_;
@@ -88,6 +115,7 @@ class ExperimentRunner {
   double kernel_fraction_;
   u64 simulated_cycles_ = 0;
   trace::TaintEngine* taint_ = nullptr;
+  FaultModel model_{};
   Rng rng_{0x5eed};
 };
 

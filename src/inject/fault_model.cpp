@@ -1,0 +1,97 @@
+#include "inject/fault_model.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "inject/record.hpp"
+
+namespace kfi::inject {
+
+u32 FaultModel::flips_per_event() const {
+  switch (shape) {
+    case FaultShape::kMultiBit: return bits;
+    case FaultShape::kBurst: return burst_span;
+    case FaultShape::kSingleBit:
+    case FaultShape::kOpclass: return 1;
+  }
+  return 1;
+}
+
+void FaultModel::validate(CampaignKind kind) const {
+  if (shape == FaultShape::kMultiBit && (bits < 1 || bits > 32)) {
+    throw FaultModelError("fault model: --bits must be in 1..32, got " +
+                          std::to_string(bits));
+  }
+  if (shape != FaultShape::kMultiBit && bits != 1) {
+    throw FaultModelError(
+        "fault model: --bits only applies to the multi-bit shape");
+  }
+  if (shape == FaultShape::kBurst && (burst_span < 2 || burst_span > 32)) {
+    throw FaultModelError("fault model: --burst span must be in 2..32, got " +
+                          std::to_string(burst_span));
+  }
+  if (shape == FaultShape::kOpclass && kind != CampaignKind::kCode) {
+    throw FaultModelError(
+        "fault model: --opclass targeting requires --kind code");
+  }
+  if (shape == FaultShape::kOpclass &&
+      opclass >= isa::OpClass::kNumClasses) {
+    throw FaultModelError("fault model: bad opclass value");
+  }
+  if (trigger == FaultTrigger::kRate) {
+    if (!std::isfinite(rate) || rate <= 0.0) {
+      throw FaultModelError(
+          "fault model: --rate must be a positive event count per run");
+    }
+    if (rate > 1024.0) {
+      throw FaultModelError("fault model: --rate above 1024 events/run");
+    }
+  } else if (rate != 0.0) {
+    throw FaultModelError(
+        "fault model: rate set without the rate trigger");
+  }
+}
+
+std::string FaultModel::name() const {
+  std::string s;
+  switch (shape) {
+    case FaultShape::kSingleBit: s = "single-bit"; break;
+    case FaultShape::kMultiBit:
+      s = "multi-bit k=" + std::to_string(bits);
+      break;
+    case FaultShape::kBurst:
+      s = "burst span=" + std::to_string(burst_span);
+      break;
+    case FaultShape::kOpclass:
+      s = "opclass=" + isa::opclass_name(opclass);
+      break;
+  }
+  if (trigger == FaultTrigger::kRate) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " rate=%.3g/run", rate);
+    s += buf;
+  }
+  return s;
+}
+
+u64 fault_model_fingerprint(const FaultModel& model) {
+  u64 h = 0xcbf29ce484222325ull;
+  auto mix = [&h](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<u64>(model.shape));
+  mix(static_cast<u64>(model.trigger));
+  mix(model.bits);
+  mix(model.burst_span);
+  u64 rate_bits = 0;
+  std::memcpy(&rate_bits, &model.rate, sizeof(rate_bits));
+  mix(rate_bits);
+  mix(static_cast<u64>(model.opclass));
+  return h;
+}
+
+}  // namespace kfi::inject

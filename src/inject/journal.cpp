@@ -99,21 +99,43 @@ void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& e,
   put32(out, e.index);
 
   const InjectionTarget& t = e.record.target;
-  put8(out, static_cast<u8>(t.kind));
-  put32(out, t.code_entry);
-  put32(out, t.code_addr);
-  put32(out, t.code_insn_len);
-  put32(out, t.code_bit);
-  put_string(out, t.function);
-  put32(out, t.data_addr);
-  put32(out, t.data_bit);
-  put32(out, t.stack_task);
-  put_double(out, t.stack_depth_frac);
-  put32(out, t.stack_bit);
-  put32(out, t.reg_index);
-  put32(out, t.reg_bit);
-  put_string(out, t.reg_name);
-  put_double(out, t.inject_at_frac);
+  if (version >= kJournalVersion) {
+    put8(out, static_cast<u8>(t.kind));
+    put32(out, t.code_entry);
+    put_string(out, t.function);
+    put8(out, static_cast<u8>(t.opclass));
+    put_string(out, t.reg_name);
+    put_double(out, t.inject_at_frac);
+    put32(out, static_cast<u32>(t.sites.size()));
+    for (const FaultSite& s : t.sites) {
+      put32(out, s.addr);
+      put32(out, s.bit);
+      put32(out, s.insn_len);
+      put32(out, s.task);
+      put_double(out, s.depth_frac);
+      put32(out, s.reg_index);
+      put_double(out, s.at_frac);
+    }
+  } else {
+    // Pre-v3 files carry the flat single-site layout; lossless for the
+    // legacy targets that are the only ones such files can contain.
+    const LegacyTargetFields f = legacy_target_fields(t);
+    put8(out, static_cast<u8>(f.kind));
+    put32(out, f.code_entry);
+    put32(out, f.code_addr);
+    put32(out, f.code_insn_len);
+    put32(out, f.code_bit);
+    put_string(out, f.function);
+    put32(out, f.data_addr);
+    put32(out, f.data_bit);
+    put32(out, f.stack_task);
+    put_double(out, f.stack_depth_frac);
+    put32(out, f.stack_bit);
+    put32(out, f.reg_index);
+    put32(out, f.reg_bit);
+    put_string(out, f.reg_name);
+    put_double(out, f.inject_at_frac);
+  }
 
   const InjectionRecord& r = e.record;
   put8(out, static_cast<u8>(r.outcome));
@@ -172,23 +194,56 @@ std::optional<JournalEntry> deserialize_journal_entry(
   e.index = c.get32();
 
   InjectionTarget& t = e.record.target;
-  const u8 kind = c.get8();
-  if (kind > static_cast<u8>(CampaignKind::kCode)) return std::nullopt;
-  t.kind = static_cast<CampaignKind>(kind);
-  t.code_entry = c.get32();
-  t.code_addr = c.get32();
-  t.code_insn_len = c.get32();
-  t.code_bit = c.get32();
-  t.function = c.get_string();
-  t.data_addr = c.get32();
-  t.data_bit = c.get32();
-  t.stack_task = c.get32();
-  t.stack_depth_frac = c.get_double();
-  t.stack_bit = c.get32();
-  t.reg_index = c.get32();
-  t.reg_bit = c.get32();
-  t.reg_name = c.get_string();
-  t.inject_at_frac = c.get_double();
+  if (version >= kJournalVersion) {
+    const u8 kind = c.get8();
+    if (kind > static_cast<u8>(CampaignKind::kCode)) return std::nullopt;
+    t.kind = static_cast<CampaignKind>(kind);
+    t.code_entry = c.get32();
+    t.function = c.get_string();
+    const u8 opclass = c.get8();
+    if (opclass >= static_cast<u8>(isa::OpClass::kNumClasses)) {
+      return std::nullopt;
+    }
+    t.opclass = static_cast<isa::OpClass>(opclass);
+    t.reg_name = c.get_string();
+    t.inject_at_frac = c.get_double();
+    const u32 site_count = c.get32();
+    // 7 fields, each at least 4 bytes: any count the remaining payload
+    // cannot hold is malformed, not a huge allocation.
+    if (!c.ok || site_count > (in.size() - c.pos) / 28) return std::nullopt;
+    t.sites.reserve(site_count);
+    for (u32 i = 0; i < site_count; ++i) {
+      FaultSite s;
+      s.addr = c.get32();
+      s.bit = c.get32();
+      s.insn_len = c.get32();
+      s.task = c.get32();
+      s.depth_frac = c.get_double();
+      s.reg_index = c.get32();
+      s.at_frac = c.get_double();
+      t.sites.push_back(s);
+    }
+  } else {
+    LegacyTargetFields f;
+    const u8 kind = c.get8();
+    if (kind > static_cast<u8>(CampaignKind::kCode)) return std::nullopt;
+    f.kind = static_cast<CampaignKind>(kind);
+    f.code_entry = c.get32();
+    f.code_addr = c.get32();
+    f.code_insn_len = c.get32();
+    f.code_bit = c.get32();
+    f.function = c.get_string();
+    f.data_addr = c.get32();
+    f.data_bit = c.get32();
+    f.stack_task = c.get32();
+    f.stack_depth_frac = c.get_double();
+    f.stack_bit = c.get32();
+    f.reg_index = c.get32();
+    f.reg_bit = c.get32();
+    f.reg_name = c.get_string();
+    f.inject_at_frac = c.get_double();
+    t = target_from_legacy_fields(f);
+  }
 
   InjectionRecord& r = e.record;
   const u8 outcome = c.get8();
@@ -269,6 +324,7 @@ InjectionJournal InjectionJournal::create(const std::string& path,
   put32(header, kJournalMagic);
   put32(header, kJournalVersion);
   put64(header, plan_fingerprint(plan));
+  put64(header, fault_model_fingerprint(plan.spec.model));
   put32(header, static_cast<u32>(plan.targets.size()));
   out.write(reinterpret_cast<const char*>(header.data()),
             static_cast<long>(header.size()));
@@ -297,11 +353,19 @@ InjectionJournal InjectionJournal::resume(const std::string& path,
                        std::to_string(kJournalVersion) + ")");
   }
   const u64 fingerprint = c.get64();
+  u64 model_fingerprint = 0;
+  if (version >= kJournalVersion) model_fingerprint = c.get64();
   const u32 total = c.get32();
   if (!c.ok) throw JournalError("truncated journal header in " + path);
   if (fingerprint != plan_fingerprint(plan)) {
     throw JournalError("journal " + path +
                        " was written for a different campaign plan "
+                       "(fingerprint mismatch)");
+  }
+  if (version >= kJournalVersion &&
+      model_fingerprint != fault_model_fingerprint(plan.spec.model)) {
+    throw JournalError("journal " + path +
+                       " was written for a different fault model "
                        "(fingerprint mismatch)");
   }
   if (total != plan.targets.size()) {

@@ -12,7 +12,8 @@
 // arbiter; the kill/resume parity tests enforce it).
 //
 // File format (all integers big-endian, matching the datagram idiom):
-//   header:  magic "KFIJ" | version u32 | plan_fingerprint u64 | total u32
+//   header:  magic "KFIJ" | version u32 | plan_fingerprint u64
+//            | [v3+: fault_model_fingerprint u64] | total u32
 //   entry:   magic "KFIE" | index u32 | payload_len u32 | payload bytes
 //            | fnv1a64(payload) u64
 // The payload is the serialized JournalEntry body.  A torn tail entry
@@ -20,11 +21,17 @@
 // truncates the file back to the last intact entry and the lost index is
 // simply re-executed.
 //
-// Versioning: v1 entries end at the counter deltas; v2 (current) appends
-// the error-propagation block (PropagationSummary).  resume() accepts
-// both and keeps appending in the file's own version, so a v1 journal
-// stays a valid v1 file end to end; v1 records simply resume with
-// propagation_valid = false.
+// Versioning: v1 entries end at the counter deltas; v2 appends the
+// error-propagation block (PropagationSummary); v3 (current) stamps the
+// campaign's fault-model fingerprint into the header and serializes the
+// target as its FaultSite list instead of the old flat per-kind fields.
+// resume() accepts all three and keeps appending in the file's own
+// version, so a v1/v2 journal stays a uniform v1/v2 file end to end (its
+// single-site targets round-trip losslessly through the flat legacy
+// layout); v1 records simply resume with propagation_valid = false.
+// Multi-site targets only ever appear in v3 files: pre-v3 journals can
+// only have been written for legacy (single-bit single-shot) plans, whose
+// plan fingerprint any other model fails to match.
 #pragma once
 
 #include <memory>
@@ -43,7 +50,8 @@ struct CampaignPlan;
 /// On-disk journal format versions this build reads.  New journals are
 /// always written at kJournalVersion.
 constexpr u32 kJournalVersionV1 = 1;  // pre-propagation entries
-constexpr u32 kJournalVersion = 2;    // + PropagationSummary block
+constexpr u32 kJournalVersionV2 = 2;  // + PropagationSummary block
+constexpr u32 kJournalVersion = 3;    // + fault-model header, site lists
 
 /// Typed failure for journal open/resume problems (missing file, foreign
 /// campaign fingerprint, malformed header).

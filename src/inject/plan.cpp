@@ -42,6 +42,8 @@ kernel::MachineOptions campaign_machine_options(const CampaignSpec& spec) {
 CampaignPlan build_campaign_plan(const CampaignSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
 
+  spec.model.validate(spec.kind);
+
   CampaignPlan plan;
   plan.spec = spec;
   plan.image =
@@ -60,7 +62,7 @@ CampaignPlan build_campaign_plan(const CampaignSpec& spec) {
   TargetGenerator generator(*plan.image, plan.hot_functions,
                             machine.cpu().sysregs().count(),
                             spec.seed * 0x9E3779B9u + 17);
-  plan.targets = generator.generate(spec.kind, spec.injections);
+  plan.targets = generator.generate(spec.kind, spec.injections, spec.model);
 
   plan.budget_cycles = static_cast<u64>(spec.budget_factor *
                                         static_cast<double>(plan.nominal_cycles)) +
@@ -111,26 +113,61 @@ u64 plan_fingerprint(const CampaignPlan& plan) {
   mix(spec.machine.spinlock_debug ? 1 : 0);
   mix(spec.machine.seed);
 
+  // The legacy (single-bit single-shot) model mixes nothing of itself and
+  // hashes each target through its flat legacy view, reproducing the
+  // pre-FaultModel byte stream exactly — old journals keep resuming.
+  // Any other model mixes its knobs plus the full site lists.
+  const bool legacy = plan.spec.model.is_legacy();
+  if (!legacy) {
+    mix(0xFA017ull);  // domain separator: model block follows
+    mix(static_cast<u64>(spec.model.shape));
+    mix(static_cast<u64>(spec.model.trigger));
+    mix(spec.model.bits);
+    mix(spec.model.burst_span);
+    mix_double(spec.model.rate);
+    mix(static_cast<u64>(spec.model.opclass));
+  }
+
   mix(plan.nominal_cycles);
   mix_double(plan.kernel_fraction);
   mix(plan.budget_cycles);
   mix(plan.targets.size());
   for (const InjectionTarget& t : plan.targets) {
-    mix(static_cast<u64>(t.kind));
-    mix(t.code_entry);
-    mix(t.code_addr);
-    mix(t.code_insn_len);
-    mix(t.code_bit);
-    mix_string(t.function);
-    mix(t.data_addr);
-    mix(t.data_bit);
-    mix(t.stack_task);
-    mix_double(t.stack_depth_frac);
-    mix(t.stack_bit);
-    mix(t.reg_index);
-    mix(t.reg_bit);
-    mix_string(t.reg_name);
-    mix_double(t.inject_at_frac);
+    if (legacy) {
+      const LegacyTargetFields f = legacy_target_fields(t);
+      mix(static_cast<u64>(f.kind));
+      mix(f.code_entry);
+      mix(f.code_addr);
+      mix(f.code_insn_len);
+      mix(f.code_bit);
+      mix_string(f.function);
+      mix(f.data_addr);
+      mix(f.data_bit);
+      mix(f.stack_task);
+      mix_double(f.stack_depth_frac);
+      mix(f.stack_bit);
+      mix(f.reg_index);
+      mix(f.reg_bit);
+      mix_string(f.reg_name);
+      mix_double(f.inject_at_frac);
+    } else {
+      mix(static_cast<u64>(t.kind));
+      mix(t.code_entry);
+      mix_string(t.function);
+      mix(static_cast<u64>(t.opclass));
+      mix_string(t.reg_name);
+      mix_double(t.inject_at_frac);
+      mix(t.sites.size());
+      for (const FaultSite& s : t.sites) {
+        mix(s.addr);
+        mix(s.bit);
+        mix(s.insn_len);
+        mix(s.task);
+        mix_double(s.depth_frac);
+        mix(s.reg_index);
+        mix_double(s.at_frac);
+      }
+    }
   }
   for (const u64 s : plan.run_seeds) mix(s);
   return h;

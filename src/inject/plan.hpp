@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "inject/fault_model.hpp"
 #include "inject/record.hpp"
 #include "kernel/machine.hpp"
 #include "workload/profiler.hpp"
@@ -29,6 +30,10 @@ struct CampaignSpec {
   double channel_loss = 0.03;
   /// Hang budget as a multiple of the calibrated fault-free run length.
   double budget_factor = 3.0;
+  /// What gets corrupted and when; the default is the paper's single-bit
+  /// single-shot model, which keeps the plan bit-identical to a
+  /// pre-FaultModel build.  Validated (FaultModelError) at plan build.
+  FaultModel model{};
 };
 
 /// The frozen inputs of one campaign.  Building a plan runs codegen,

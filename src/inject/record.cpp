@@ -1,6 +1,125 @@
 #include "inject/record.hpp"
 
+#include "common/error.hpp"
+
 namespace kfi::inject {
+
+FaultSite& InjectionTarget::site() {
+  KFI_CHECK(!sites.empty(), "target has no fault sites");
+  return sites.front();
+}
+
+const FaultSite& InjectionTarget::site() const {
+  KFI_CHECK(!sites.empty(), "target has no fault sites");
+  return sites.front();
+}
+
+InjectionTarget InjectionTarget::code(Addr entry, Addr addr, u32 insn_len,
+                                      u32 bit, std::string function) {
+  InjectionTarget t;
+  t.kind = CampaignKind::kCode;
+  t.code_entry = entry;
+  t.function = std::move(function);
+  FaultSite s;
+  s.addr = addr;
+  s.insn_len = insn_len;
+  s.bit = bit;
+  t.sites.push_back(s);
+  return t;
+}
+
+InjectionTarget InjectionTarget::data(Addr addr, u32 bit) {
+  InjectionTarget t;
+  t.kind = CampaignKind::kData;
+  FaultSite s;
+  s.addr = addr;
+  s.bit = bit;
+  t.sites.push_back(s);
+  return t;
+}
+
+InjectionTarget InjectionTarget::stack(u32 task, double depth_frac, u32 bit,
+                                       double at_frac) {
+  InjectionTarget t;
+  t.kind = CampaignKind::kStack;
+  t.inject_at_frac = at_frac;
+  FaultSite s;
+  s.task = task;
+  s.depth_frac = depth_frac;
+  s.bit = bit;
+  t.sites.push_back(s);
+  return t;
+}
+
+InjectionTarget InjectionTarget::sysreg(u32 reg_index, u32 bit,
+                                        double at_frac) {
+  InjectionTarget t;
+  t.kind = CampaignKind::kRegister;
+  t.inject_at_frac = at_frac;
+  FaultSite s;
+  s.reg_index = reg_index;
+  s.bit = bit;
+  t.sites.push_back(s);
+  return t;
+}
+
+LegacyTargetFields legacy_target_fields(const InjectionTarget& target) {
+  LegacyTargetFields f;
+  f.kind = target.kind;
+  f.function = target.function;
+  f.reg_name = target.reg_name;
+  f.inject_at_frac = target.inject_at_frac;
+  if (target.sites.empty()) return f;
+  const FaultSite& s = target.sites.front();
+  switch (target.kind) {
+    case CampaignKind::kCode:
+      f.code_entry = target.code_entry;
+      f.code_addr = s.addr;
+      f.code_insn_len = s.insn_len;
+      f.code_bit = s.bit;
+      break;
+    case CampaignKind::kData:
+      f.data_addr = s.addr;
+      f.data_bit = s.bit;
+      break;
+    case CampaignKind::kStack:
+      f.stack_task = s.task;
+      f.stack_depth_frac = s.depth_frac;
+      f.stack_bit = s.bit;
+      break;
+    case CampaignKind::kRegister:
+      f.reg_index = s.reg_index;
+      f.reg_bit = s.bit;
+      break;
+  }
+  return f;
+}
+
+InjectionTarget target_from_legacy_fields(const LegacyTargetFields& legacy) {
+  InjectionTarget t;
+  switch (legacy.kind) {
+    case CampaignKind::kCode:
+      t = InjectionTarget::code(legacy.code_entry, legacy.code_addr,
+                                legacy.code_insn_len, legacy.code_bit,
+                                legacy.function);
+      break;
+    case CampaignKind::kData:
+      t = InjectionTarget::data(legacy.data_addr, legacy.data_bit);
+      break;
+    case CampaignKind::kStack:
+      t = InjectionTarget::stack(legacy.stack_task, legacy.stack_depth_frac,
+                                 legacy.stack_bit, legacy.inject_at_frac);
+      break;
+    case CampaignKind::kRegister:
+      t = InjectionTarget::sysreg(legacy.reg_index, legacy.reg_bit,
+                                  legacy.inject_at_frac);
+      break;
+  }
+  t.function = legacy.function;
+  t.reg_name = legacy.reg_name;
+  t.inject_at_frac = legacy.inject_at_frac;
+  return t;
+}
 
 std::string campaign_kind_name(CampaignKind kind) {
   switch (kind) {

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "isa/arch.hpp"
+#include "isa/opclass.hpp"
 #include "kernel/crash.hpp"
 #include "trace/summary.hpp"
 
@@ -20,41 +22,105 @@ enum class CampaignKind : u8 { kStack = 0, kRegister, kData, kCode };
 
 std::string campaign_kind_name(CampaignKind kind);
 
-/// One pre-generated injection target (STEP 1 of the paper's Figure 2).
-/// Fields are populated per kind; unused fields stay zero.
+/// One corruption site: where one fault event lands.  Which fields carry
+/// meaning depends on the target's CampaignKind; unused fields stay zero
+/// so sites hash and serialize uniformly.
+struct FaultSite {
+  /// kCode: the corrupted instruction's address.  kData: the word-aligned
+  /// data word.  Unused for stack/register sites.
+  Addr addr = 0;
+  /// Bit within the corrupted unit.  Code on cisca indexes the
+  /// instruction's bytes in memory order (bit 0 = LSB of the first byte);
+  /// everything else indexes the 32-bit word / register value.
+  u32 bit = 0;
+  /// kCode: length in bytes of the targeted instruction.  The default 1
+  /// means "whole unit" — on riscf the generator always stores 4 (every
+  /// instruction is one 32-bit word), and a site with insn_len = 1 on
+  /// riscf is likewise treated as the whole word by the flip path.
+  u32 insn_len = 1;
+  /// kStack: which kernel task's stack, and the depth within its live
+  /// frames (0 = at SP, 1 = stack top), resolved at injection time.
+  u32 task = 0;
+  double depth_frac = 0.0;
+  /// kRegister: system-register index.
+  u32 reg_index = 0;
+  /// Rate-triggered models: when this site's fault event fires, as a
+  /// fraction of the nominal run length.  Sites are kept sorted by this.
+  double at_frac = 0.0;
+};
+
+/// One pre-generated injection target (STEP 1 of the paper's Figure 2):
+/// an ordered list of FaultSites plus the per-kind context shared by all
+/// of them.  The legacy single-bit model generates exactly one site;
+/// multi-bit and burst shapes put their k flips of the same unit into k
+/// sites; rate-triggered models pre-draw one site list entry per Poisson
+/// event (possibly empty, possibly spanning several units).
 struct InjectionTarget {
   CampaignKind kind = CampaignKind::kCode;
 
-  // kCode: a pre-selected instruction in a hot kernel function.  The
-  // activation breakpoint sits at the FUNCTION ENTRY (the profiled
-  // "instruction breakpoint location based on selected kernel
-  // functions"); the bit flip is applied to the chosen instruction when
-  // the function is first entered.
-  Addr code_entry = 0;  // breakpoint (function entry)
-  Addr code_addr = 0;   // corrupted instruction
-  u32 code_insn_len = 1;   // bytes (1 on riscf means "the whole word")
-  u32 code_bit = 0;        // bit within the instruction (LSB of first byte=0)
+  /// kCode: the activation breakpoint sits at the FUNCTION ENTRY (the
+  /// profiled "instruction breakpoint location based on selected kernel
+  /// functions"); the flip is applied to the chosen instruction when the
+  /// function is first entered.
+  Addr code_entry = 0;
   std::string function;
+  /// kCode: functional-unit class of the (first) targeted instruction;
+  /// fills the per-class outcome breakdown and is the selection predicate
+  /// under the opclass-targeted fault model.
+  isa::OpClass opclass = isa::OpClass::kOther;
 
-  // kData: a random location in the kernel data section (word + bit).
-  Addr data_addr = 0;  // word-aligned
-  u32 data_bit = 0;    // 0..31 within the word
+  /// kRegister: name of the (first) targeted register, resolved by the
+  /// runner at injection time.
+  std::string reg_name;
 
-  // kStack: a random word in the live stack of a random kernel process,
-  // resolved against the stack pointer at injection time.
+  /// When (fraction of the nominal run) single-shot deferred injections
+  /// (stack, register) fire.  Rate-triggered schedules use per-site
+  /// at_frac instead.
+  double inject_at_frac = 0.0;
+
+  /// The fault sites, in application order (sorted by at_frac for rate
+  /// schedules).  Empty only for a rate target whose Poisson draw was 0.
+  std::vector<FaultSite> sites;
+
+  /// The first (for the legacy model: only) site.  Checked access.
+  FaultSite& site();
+  const FaultSite& site() const;
+
+  // Per-kind constructors for the single-event shapes.
+  static InjectionTarget code(Addr entry, Addr addr, u32 insn_len, u32 bit,
+                              std::string function = {});
+  static InjectionTarget data(Addr addr, u32 bit);
+  static InjectionTarget stack(u32 task, double depth_frac, u32 bit,
+                               double at_frac = 0.0);
+  static InjectionTarget sysreg(u32 reg_index, u32 bit, double at_frac = 0.0);
+};
+
+/// The pre-FaultModel flat view of a target: the 15 per-kind fields the
+/// v1/v2 journal layout and the legacy plan fingerprint were defined
+/// over.  Derived from the first site; exact for every single-site
+/// target, which is the only kind those consumers ever see.
+struct LegacyTargetFields {
+  CampaignKind kind = CampaignKind::kCode;
+  Addr code_entry = 0;
+  Addr code_addr = 0;
+  u32 code_insn_len = 1;
+  u32 code_bit = 0;
+  std::string function;
+  Addr data_addr = 0;
+  u32 data_bit = 0;
   u32 stack_task = 0;
-  double stack_depth_frac = 0.0;  // 0 = at SP, 1 = stack top
-  u32 stack_bit = 0;              // 0..31
-
-  // kRegister: a system register and bit.
+  double stack_depth_frac = 0.0;
+  u32 stack_bit = 0;
   u32 reg_index = 0;
   u32 reg_bit = 0;
   std::string reg_name;
-
-  // When (fraction of the nominal workload duration) deferred injections
-  // (stack, register) fire.
   double inject_at_frac = 0.0;
 };
+
+LegacyTargetFields legacy_target_fields(const InjectionTarget& target);
+
+/// Rebuild a target from the flat legacy view (journal v1/v2 read path).
+InjectionTarget target_from_legacy_fields(const LegacyTargetFields& legacy);
 
 /// Table 2 outcome categories (with the Table 5/6 known/unknown split),
 /// plus one harness-side category the paper's tables do not have:

@@ -1,9 +1,12 @@
 #include "inject/target_gen.hpp"
 
+#include <algorithm>
+
 #include "cisca/decode.hpp"
 #include "common/error.hpp"
 #include "kernel/abi.hpp"
 #include "kir/backend.hpp"
+#include "riscf/insn.hpp"
 
 namespace kfi::inject {
 
@@ -20,7 +23,7 @@ TargetGenerator::TargetGenerator(const kir::Image& image,
     acc += fn.entries;
     hot_weights_.push_back(acc);
   }
-  offsets_cache_.resize(hot_.size());
+  points_cache_.resize(hot_.size());
   // The data campaign samples a FIXED window of the kernel data section
   // on both machines (like the paper's equal-sized campaigns over each
   // kernel's data section).  Bulk payload arrays live beyond the window;
@@ -28,7 +31,7 @@ TargetGenerator::TargetGenerator(const kir::Image& image,
   data_words_total_ = kir::kBulkDataOffset / 4;
 }
 
-const std::vector<u32>& TargetGenerator::insn_offsets(
+const std::vector<TargetGenerator::CodePoint>& TargetGenerator::code_points(
     const workload::HotFunction& fn) {
   // Find the cache slot for this hot function.
   size_t slot = 0;
@@ -36,17 +39,28 @@ const std::vector<u32>& TargetGenerator::insn_offsets(
     if (hot_[slot].addr == fn.addr) break;
   }
   KFI_CHECK(slot < hot_.size(), "unknown hot function");
-  std::vector<u32>& cached = offsets_cache_[slot];
+  std::vector<CodePoint>& cached = points_cache_[slot];
   if (!cached.empty()) return cached;
 
   if (image_.arch == isa::Arch::kRiscf) {
-    for (u32 off = 0; off + 4 <= fn.size; off += 4) cached.push_back(off);
+    for (u32 off = 0; off + 4 <= fn.size; off += 4) {
+      CodePoint p;
+      p.off = off;
+      p.len = 4;
+      const u32 code_off = fn.addr - image_.code_base + off;
+      // Words are stored big-endian, matching the riscf CPU's fetch.
+      const u32 word = (static_cast<u32>(image_.code[code_off]) << 24) |
+                       (static_cast<u32>(image_.code[code_off + 1]) << 16) |
+                       (static_cast<u32>(image_.code[code_off + 2]) << 8) |
+                       static_cast<u32>(image_.code[code_off + 3]);
+      p.cls = riscf::opclass(riscf::decode(word).op);
+      cached.push_back(p);
+    }
     return cached;
   }
   // cisca: decode walk from the function entry.
   u32 off = 0;
   while (off < fn.size) {
-    cached.push_back(off);
     cisca::FetchWindow window;
     window.pc = fn.addr + off;
     const u32 code_off = fn.addr - image_.code_base + off;
@@ -56,74 +70,84 @@ const std::vector<u32>& TargetGenerator::insn_offsets(
       window.valid = static_cast<u8>(k + 1);
     }
     const cisca::DecodeResult dec = cisca::decode(window);
+    CodePoint p;
+    p.off = off;
+    p.cls = cisca::opclass(dec.insn.op);
+    cached.push_back(p);
     off += dec.insn.length;
+  }
+  // Lengths from consecutive boundaries: the final instruction is clipped
+  // at the function end, exactly as the pre-FaultModel generator did.
+  for (size_t i = 0; i < cached.size(); ++i) {
+    const u32 next_off = i + 1 < cached.size() ? cached[i + 1].off : fn.size;
+    cached[i].len = std::max(1u, next_off - cached[i].off);
   }
   return cached;
 }
 
-InjectionTarget TargetGenerator::next_code() {
-  InjectionTarget t;
-  t.kind = CampaignKind::kCode;
+InjectionTarget TargetGenerator::next_code(const FaultModel& model) {
+  const bool by_class = model.shape == FaultShape::kOpclass;
   // Weighted pick by profiled usage: hot functions get proportionally
   // more injections, mirroring the paper's profiling-driven selection.
-  const u64 pick = rng_.below(hot_weights_.back());
-  size_t idx = 0;
-  while (hot_weights_[idx] <= pick) ++idx;
-  const workload::HotFunction& fn = hot_[idx];
-  t.function = fn.name;
+  // Under opclass targeting, functions without a single instruction of
+  // the class are re-drawn (bounded rejection sampling — deterministic,
+  // since every draw comes from the plan RNG).
+  for (u32 attempt = 0; attempt < 4096; ++attempt) {
+    const u64 pick = rng_.below(hot_weights_.back());
+    size_t idx = 0;
+    while (hot_weights_[idx] <= pick) ++idx;
+    const workload::HotFunction& fn = hot_[idx];
+    const auto& points = code_points(fn);
 
-  t.code_entry = fn.addr;
-  const auto& offsets = insn_offsets(fn);
-  const u32 off = offsets[rng_.below(offsets.size())];
-  t.code_addr = fn.addr + off;
-  if (image_.arch == isa::Arch::kRiscf) {
-    t.code_insn_len = 4;
-    t.code_bit = rng_.bit_index(32);
-  } else {
-    // Length of the chosen instruction bounds the bit choice.
-    const u32 next_off = [&] {
-      for (size_t i = 0; i + 1 < offsets.size(); ++i) {
-        if (offsets[i] == off) return offsets[i + 1];
+    const CodePoint* point = nullptr;
+    if (by_class) {
+      std::vector<u32> candidates;
+      for (u32 i = 0; i < points.size(); ++i) {
+        if (points[i].cls == model.opclass) candidates.push_back(i);
       }
-      return fn.size;
-    }();
-    t.code_insn_len = std::max(1u, next_off - off);
-    t.code_bit = rng_.bit_index(t.code_insn_len * 8);
+      if (candidates.empty()) continue;  // re-draw a function
+      point = &points[candidates[rng_.below(candidates.size())]];
+    } else {
+      point = &points[rng_.below(points.size())];
+    }
+
+    const u32 width =
+        image_.arch == isa::Arch::kRiscf ? 32 : point->len * 8;
+    InjectionTarget t = InjectionTarget::code(
+        fn.addr, fn.addr + point->off,
+        image_.arch == isa::Arch::kRiscf ? 4 : point->len,
+        rng_.bit_index(width), fn.name);
+    t.opclass = point->cls;
+    return t;
   }
-  return t;
+  throw FaultModelError("no " + isa::opclass_name(model.opclass) +
+                        " instructions among the hot functions");
 }
 
 InjectionTarget TargetGenerator::next_stack() {
-  InjectionTarget t;
-  t.kind = CampaignKind::kStack;
-  t.stack_task = static_cast<u32>(rng_.below(kernel::kNumTasks));
-  t.stack_depth_frac = rng_.next_double();
-  t.stack_bit = rng_.bit_index(32);
-  t.inject_at_frac = 0.1 + 0.7 * rng_.next_double();
-  return t;
+  const u32 task = static_cast<u32>(rng_.below(kernel::kNumTasks));
+  const double depth = rng_.next_double();
+  const u32 bit = rng_.bit_index(32);
+  return InjectionTarget::stack(task, depth, bit,
+                                0.1 + 0.7 * rng_.next_double());
 }
 
 InjectionTarget TargetGenerator::next_data() {
-  InjectionTarget t;
-  t.kind = CampaignKind::kData;
-  t.data_addr =
+  const Addr addr =
       image_.data_base + 4 * static_cast<u32>(rng_.below(data_words_total_));
-  t.data_bit = rng_.bit_index(32);
-  return t;
+  return InjectionTarget::data(addr, rng_.bit_index(32));
 }
 
 InjectionTarget TargetGenerator::next_register() {
-  InjectionTarget t;
-  t.kind = CampaignKind::kRegister;
-  t.reg_index = static_cast<u32>(rng_.below(sysreg_count_));
-  t.reg_bit = rng_.bit_index(32);  // clamped to the register width on use
-  t.inject_at_frac = 0.1 + 0.7 * rng_.next_double();
-  return t;
+  const u32 index = static_cast<u32>(rng_.below(sysreg_count_));
+  const u32 bit = rng_.bit_index(32);  // clamped to the register width on use
+  return InjectionTarget::sysreg(index, bit, 0.1 + 0.7 * rng_.next_double());
 }
 
-InjectionTarget TargetGenerator::next(CampaignKind kind) {
+InjectionTarget TargetGenerator::next_unit(CampaignKind kind,
+                                           const FaultModel& model) {
   switch (kind) {
-    case CampaignKind::kCode: return next_code();
+    case CampaignKind::kCode: return next_code(model);
     case CampaignKind::kStack: return next_stack();
     case CampaignKind::kData: return next_data();
     case CampaignKind::kRegister: return next_register();
@@ -132,11 +156,97 @@ InjectionTarget TargetGenerator::next(CampaignKind kind) {
   return {};
 }
 
+u32 TargetGenerator::unit_bits(CampaignKind kind, const FaultSite& site) const {
+  if (kind == CampaignKind::kCode && image_.arch != isa::Arch::kRiscf) {
+    return site.insn_len * 8;
+  }
+  return 32;  // data/stack word, register value, riscf instruction word
+}
+
+void TargetGenerator::expand_shape(InjectionTarget& target,
+                                   const FaultModel& model) {
+  if (target.sites.empty()) return;
+  const FaultSite base = target.sites.back();
+  const u32 width = unit_bits(target.kind, base);
+
+  if (model.shape == FaultShape::kMultiBit && model.bits > 1) {
+    // k distinct bits of the same unit; rejection sampling keeps them
+    // distinct without disturbing the draw for other units.
+    const u32 k = std::min(model.bits, width);
+    std::vector<u32> chosen{base.bit};
+    while (chosen.size() < k) {
+      const u32 b = rng_.bit_index(width);
+      if (std::find(chosen.begin(), chosen.end(), b) == chosen.end()) {
+        chosen.push_back(b);
+      }
+    }
+    for (size_t i = 1; i < chosen.size(); ++i) {
+      FaultSite s = base;
+      s.bit = chosen[i];
+      target.sites.push_back(s);
+    }
+  } else if (model.shape == FaultShape::kBurst) {
+    // `span` adjacent bits; the drawn bit anchors the burst, clipped so
+    // the whole span stays inside the unit.  No extra draws.
+    const u32 span = std::min(model.burst_span, width);
+    const u32 start = std::min(base.bit, width - span);
+    target.sites.pop_back();
+    for (u32 b = 0; b < span; ++b) {
+      FaultSite s = base;
+      s.bit = start + b;
+      target.sites.push_back(s);
+    }
+  }
+}
+
+InjectionTarget TargetGenerator::next_rate(CampaignKind kind,
+                                           const FaultModel& model) {
+  InjectionTarget t;
+  t.kind = kind;
+  // Pre-draw the whole Poisson schedule: event count, then per event a
+  // shaped unit and a uniform firing time.  Everything the runner needs
+  // is frozen here, which is what keeps rate campaigns deterministic and
+  // journal-resumable.
+  const u32 events = rng_.poisson(model.rate);
+  std::vector<InjectionTarget> drawn;
+  drawn.reserve(events);
+  for (u32 e = 0; e < events; ++e) {
+    InjectionTarget ev = next_unit(kind, model);
+    expand_shape(ev, model);
+    const double at = rng_.next_double();
+    for (FaultSite& s : ev.sites) s.at_frac = at;
+    drawn.push_back(std::move(ev));
+  }
+  std::stable_sort(drawn.begin(), drawn.end(),
+                   [](const InjectionTarget& a, const InjectionTarget& b) {
+                     return a.sites.front().at_frac < b.sites.front().at_frac;
+                   });
+  for (size_t e = 0; e < drawn.size(); ++e) {
+    if (e == 0) {
+      t.code_entry = drawn[e].code_entry;
+      t.function = drawn[e].function;
+      t.opclass = drawn[e].opclass;
+    }
+    t.sites.insert(t.sites.end(), drawn[e].sites.begin(),
+                   drawn[e].sites.end());
+  }
+  return t;
+}
+
+InjectionTarget TargetGenerator::next(CampaignKind kind,
+                                      const FaultModel& model) {
+  if (model.trigger == FaultTrigger::kRate) return next_rate(kind, model);
+  InjectionTarget t = next_unit(kind, model);
+  expand_shape(t, model);
+  return t;
+}
+
 std::vector<InjectionTarget> TargetGenerator::generate(CampaignKind kind,
-                                                       u32 count) {
+                                                       u32 count,
+                                                       const FaultModel& model) {
   std::vector<InjectionTarget> targets;
   targets.reserve(count);
-  for (u32 i = 0; i < count; ++i) targets.push_back(next(kind));
+  for (u32 i = 0; i < count; ++i) targets.push_back(next(kind, model));
   return targets;
 }
 

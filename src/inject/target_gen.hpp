@@ -14,11 +14,20 @@
 //             BSS) and a random bit ("single-bit error per data word");
 //   register: a random register of the CPU's system-register bank and a
 //             random bit of its architectural width.
+//
+// The FaultModel shapes what each drawn unit becomes: multi-bit and burst
+// shapes expand the drawn bit into k FaultSites of the same unit, the
+// opclass shape restricts code draws to one functional-unit class, and
+// the rate trigger pre-draws a whole Poisson event schedule per target.
+// With the default (legacy) model the RNG draw sequence is bit-for-bit
+// the sequence the pre-FaultModel generator made, so legacy plans — and
+// everything fingerprinted from them — are unchanged.
 #pragma once
 
 #include <vector>
 
 #include "common/rng.hpp"
+#include "inject/fault_model.hpp"
 #include "inject/record.hpp"
 #include "kir/image.hpp"
 #include "workload/profiler.hpp"
@@ -31,24 +40,45 @@ class TargetGenerator {
                   std::vector<workload::HotFunction> hot_functions,
                   u32 sysreg_count, u64 seed);
 
-  InjectionTarget next(CampaignKind kind);
+  InjectionTarget next(CampaignKind kind, const FaultModel& model = {});
 
   /// Pre-generate a whole campaign's worth of targets.
-  std::vector<InjectionTarget> generate(CampaignKind kind, u32 count);
+  std::vector<InjectionTarget> generate(CampaignKind kind, u32 count,
+                                        const FaultModel& model = {});
 
   /// System-register names are resolved by the campaign controller; the
   /// generator only picks indices.
   u32 sysreg_count() const { return sysreg_count_; }
 
  private:
-  InjectionTarget next_code();
+  /// One decodable instruction of a hot function: offset, byte length,
+  /// and functional-unit class.
+  struct CodePoint {
+    u32 off = 0;
+    u32 len = 1;
+    isa::OpClass cls = isa::OpClass::kOther;
+  };
+
+  // Single-unit draws (one FaultSite each); the legacy draw sequences.
+  InjectionTarget next_unit(CampaignKind kind, const FaultModel& model);
+  InjectionTarget next_code(const FaultModel& model);
   InjectionTarget next_stack();
   InjectionTarget next_data();
   InjectionTarget next_register();
 
-  /// Instruction start offsets within a function (decode walk on cisca,
+  /// Expand the freshly drawn single site into the model's shape
+  /// (multi-bit: k distinct bits of the unit; burst: adjacent span).
+  void expand_shape(InjectionTarget& target, const FaultModel& model);
+  /// Pre-draw one rate-triggered target: Poisson event count, then one
+  /// shaped unit + firing time per event, sites sorted by firing time.
+  InjectionTarget next_rate(CampaignKind kind, const FaultModel& model);
+
+  /// Bit width of the unit one site corrupts.
+  u32 unit_bits(CampaignKind kind, const FaultSite& site) const;
+
+  /// Instruction start points within a function (decode walk on cisca,
   /// every 4 bytes on riscf); cached per function.
-  const std::vector<u32>& insn_offsets(const workload::HotFunction& fn);
+  const std::vector<CodePoint>& code_points(const workload::HotFunction& fn);
 
   const kir::Image& image_;
   u64 data_words_total_ = 0;  // words in the fixed data-injection window
@@ -56,7 +86,7 @@ class TargetGenerator {
   std::vector<u64> hot_weights_;  // cumulative entries for weighted pick
   u32 sysreg_count_;
   Rng rng_;
-  std::vector<std::vector<u32>> offsets_cache_;
+  std::vector<std::vector<CodePoint>> points_cache_;
 };
 
 }  // namespace kfi::inject

@@ -1,0 +1,28 @@
+#include "isa/opclass.hpp"
+
+namespace kfi::isa {
+
+std::string opclass_name(OpClass cls) {
+  switch (cls) {
+    case OpClass::kAlu: return "alu";
+    case OpClass::kLoadStore: return "loadstore";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kSystem: return "system";
+    case OpClass::kOther: return "other";
+    case OpClass::kNumClasses: break;
+  }
+  return "unknown";
+}
+
+std::optional<OpClass> parse_opclass(const std::string& name) {
+  if (name == "alu") return OpClass::kAlu;
+  if (name == "loadstore" || name == "load-store" || name == "load_store") {
+    return OpClass::kLoadStore;
+  }
+  if (name == "branch") return OpClass::kBranch;
+  if (name == "system") return OpClass::kSystem;
+  if (name == "other") return OpClass::kOther;
+  return std::nullopt;
+}
+
+}  // namespace kfi::isa

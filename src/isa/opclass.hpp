@@ -1,0 +1,38 @@
+// Coarse functional-unit classification of instructions, shared by both
+// ISAs.  Used by opclass-targeted fault-model campaigns (inject only
+// instructions of one class) and by the per-class outcome breakdown in
+// the report — the "per-unit vulnerability" axis the 2004 paper could not
+// sweep.
+//
+// The taxonomy is deliberately coarse: integer/FP arithmetic, logic and
+// condition-register updates are kAlu; anything whose primary effect is a
+// memory access is kLoadStore; control transfers are kBranch; privileged
+// state, traps, cache management and I/O are kSystem.  Padding and
+// undecodable encodings fall into kOther.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace kfi::isa {
+
+enum class OpClass : u8 {
+  kAlu = 0,
+  kLoadStore,
+  kBranch,
+  kSystem,
+  kOther,
+  kNumClasses,
+};
+
+/// Stable lower-case name ("alu", "loadstore", "branch", "system",
+/// "other") — also the accepted --opclass spelling.
+std::string opclass_name(OpClass cls);
+
+/// Parse an --opclass spelling; accepts the names above plus the
+/// "load-store"/"load_store" variants.  nullopt for anything else.
+std::optional<OpClass> parse_opclass(const std::string& name);
+
+}  // namespace kfi::isa

@@ -218,4 +218,50 @@ std::string Insn::to_string() const {
   return os.str();
 }
 
+isa::OpClass opclass(Op op) {
+  switch (op) {
+    // Integer, FP and vector arithmetic/logical, compares, CR logicals.
+    case Op::kAddi: case Op::kAddis: case Op::kAddic: case Op::kMulli:
+    case Op::kCmpwi: case Op::kCmplwi:
+    case Op::kOri: case Op::kOris: case Op::kXori: case Op::kAndiRec:
+    case Op::kRlwinm: case Op::kRlwimi: case Op::kRlwnm:
+    case Op::kAdd: case Op::kSubf: case Op::kNeg: case Op::kMullw:
+    case Op::kDivw: case Op::kDivwu:
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kCntlzw:
+    case Op::kSlw: case Op::kSrw: case Op::kSraw: case Op::kSrawi:
+    case Op::kCmp: case Op::kCmpl:
+    case Op::kSubfic: case Op::kAddicRec: case Op::kXoris:
+    case Op::kAndisRec:
+    case Op::kAndc: case Op::kOrc: case Op::kNand: case Op::kEqv:
+    case Op::kExtsb: case Op::kExtsh: case Op::kMulhw: case Op::kMulhwu:
+    case Op::kFpArith: case Op::kVecArith: case Op::kCrLogical:
+      return isa::OpClass::kAlu;
+    case Op::kLwz: case Op::kLwzu: case Op::kLbz: case Op::kLhz:
+    case Op::kLha: case Op::kStw: case Op::kStwu: case Op::kStb:
+    case Op::kSth:
+    case Op::kLwzx: case Op::kStwx: case Op::kLbzx: case Op::kStbx:
+    case Op::kLhzx: case Op::kLhax: case Op::kSthx:
+    case Op::kLbzu: case Op::kLhzu: case Op::kLhau: case Op::kStbu:
+    case Op::kSthu:
+    case Op::kLmw: case Op::kStmw:
+    case Op::kLfs: case Op::kLfsu: case Op::kLfd: case Op::kLfdu:
+    case Op::kStfs: case Op::kStfsu: case Op::kStfd: case Op::kStfdu:
+    case Op::kLwarx: case Op::kStwcx:
+      return isa::OpClass::kLoadStore;
+    case Op::kB: case Op::kBc: case Op::kBclr: case Op::kBcctr:
+      return isa::OpClass::kBranch;
+    // Privileged state, traps, barriers, cache management.
+    case Op::kSc: case Op::kTw: case Op::kTwi:
+    case Op::kMfspr: case Op::kMtspr: case Op::kMfmsr: case Op::kMtmsr:
+    case Op::kMfcr: case Op::kMtcrf: case Op::kMcrf: case Op::kMftb:
+    case Op::kSync: case Op::kIsync:
+    case Op::kDcbf: case Op::kIcbi: case Op::kDcbz: case Op::kDcbt:
+      return isa::OpClass::kSystem;
+    case Op::kInvalid:
+      return isa::OpClass::kOther;
+  }
+  return isa::OpClass::kOther;
+}
+
 }  // namespace kfi::riscf

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "isa/opclass.hpp"
 
 namespace kfi::riscf {
 
@@ -71,5 +72,10 @@ struct Insn {
 
 /// Decode one 32-bit instruction word.  Reserved encodings give kInvalid.
 Insn decode(u32 word);
+
+/// Functional-unit class of an opcode (ALU / load-store / branch /
+/// system); FP and vector arithmetic count as kAlu, cache management and
+/// SPR/MSR/CR traffic as kSystem.
+isa::OpClass opclass(Op op);
 
 }  // namespace kfi::riscf

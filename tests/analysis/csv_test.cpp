@@ -13,10 +13,8 @@ using inject::OutcomeCategory;
 
 std::vector<InjectionRecord> sample_records() {
   std::vector<InjectionRecord> records(3);
-  records[0].target.kind = CampaignKind::kCode;
-  records[0].target.function = "schedule";
-  records[0].target.code_addr = 0xC0100200;
-  records[0].target.code_bit = 5;
+  records[0].target = inject::InjectionTarget::code(0, 0xC0100200, 1, 5,
+                                                    "schedule");
   records[0].outcome = OutcomeCategory::kKnownCrash;
   records[0].activated = true;
   records[0].crashed = true;
@@ -24,13 +22,11 @@ std::vector<InjectionRecord> sample_records() {
   records[0].crash.pc = 0xC0100234;
   records[0].crash.addr = 0x170FC2A5;
   records[0].cycles_to_crash = 13116444;
-  records[1].target.kind = CampaignKind::kRegister;
+  records[1].target = inject::InjectionTarget::sysreg(0, 0);
   records[1].target.reg_name = "ESP";
   records[1].outcome = OutcomeCategory::kNotManifested;
   records[1].activation_known = false;
-  records[2].target.kind = CampaignKind::kStack;
-  records[2].target.stack_task = 2;
-  records[2].target.stack_depth_frac = 0.75;
+  records[2].target = inject::InjectionTarget::stack(2, 0.75, 0);
   records[2].outcome = OutcomeCategory::kNotActivated;
   return records;
 }

@@ -105,6 +105,38 @@ TEST(RngTest, PickCoversAllElements) {
   EXPECT_EQ(seen.size(), 3u);
 }
 
+TEST(RngTest, PoissonIsDeterministicPerSeed) {
+  Rng a(31), b(31);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.poisson(2.5), b.poisson(2.5));
+  }
+}
+
+TEST(RngTest, PoissonMatchesMeanAndVariance) {
+  Rng rng(37);
+  const double mean = 3.0;
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.poisson(mean);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double m = sum / n;
+  const double var = sum_sq / n - m * m;
+  // For Poisson, mean == variance == lambda.
+  EXPECT_NEAR(m, mean, 0.05);
+  EXPECT_NEAR(var, mean, 0.15);
+}
+
+TEST(RngTest, PoissonZeroOrNegativeMeanIsAlwaysZero) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+    EXPECT_EQ(rng.poisson(-1.0), 0u);
+  }
+}
+
 TEST(RngTest, SplitMix64KnownSequenceIsStable) {
   u64 state = 0;
   const u64 first = splitmix64(state);

@@ -46,9 +46,9 @@ TEST(CampaignPlanTest, PlanIsReproducible) {
   EXPECT_EQ(a.run_seeds, b.run_seeds);
   ASSERT_EQ(a.targets.size(), b.targets.size());
   for (size_t i = 0; i < a.targets.size(); ++i) {
-    EXPECT_EQ(a.targets[i].stack_task, b.targets[i].stack_task);
-    EXPECT_EQ(a.targets[i].stack_bit, b.targets[i].stack_bit);
-    EXPECT_EQ(a.targets[i].stack_depth_frac, b.targets[i].stack_depth_frac);
+    EXPECT_EQ(a.targets[i].site().task, b.targets[i].site().task);
+    EXPECT_EQ(a.targets[i].site().bit, b.targets[i].site().bit);
+    EXPECT_EQ(a.targets[i].site().depth_frac, b.targets[i].site().depth_frac);
   }
   EXPECT_EQ(a.image->code, b.image->code);
   EXPECT_EQ(a.image->data, b.image->data);

@@ -35,10 +35,7 @@ class ExperimentTest : public ::testing::Test {
 TEST_F(ExperimentTest, UnreachedDataWordIsNotActivated) {
   // Target a word in the cold inode_table: never accessed.
   const auto& obj = machine_.image().object("inode_table");
-  InjectionTarget t;
-  t.kind = CampaignKind::kData;
-  t.data_addr = obj.addr + 40;
-  t.data_bit = 9;
+  const InjectionTarget t = InjectionTarget::data(obj.addr + 40, 9);
   const auto record = runner_.run_one(t, 1, 0);
   EXPECT_EQ(record.outcome, OutcomeCategory::kNotActivated);
   EXPECT_FALSE(record.activated);
@@ -50,10 +47,8 @@ TEST_F(ExperimentTest, HotCounterWordIsActivated) {
   // jiffies is written on every timer tick and read by the scheduler: a
   // flip there must activate (read or write hit).
   const auto& obj = machine_.image().object("jiffies");
-  InjectionTarget t;
-  t.kind = CampaignKind::kData;
-  t.data_addr = obj.addr;
-  t.data_bit = 30;  // high bit: likely benign, but certainly accessed
+  // high bit: likely benign, but certainly accessed
+  const InjectionTarget t = InjectionTarget::data(obj.addr, 30);
   const auto record = runner_.run_one(t, 2, 1);
   EXPECT_TRUE(record.activated);
   EXPECT_NE(record.outcome, OutcomeCategory::kNotActivated);
@@ -63,10 +58,7 @@ TEST_F(ExperimentTest, PointerFlipCrashesWithInvalidMemoryAccess) {
   // skb_head holds the free-list head pointer; flipping a high bit makes
   // alloc_skb dereference a wild address (the paper's Figure 7 class).
   const auto& obj = machine_.image().object("skb_head");
-  InjectionTarget t;
-  t.kind = CampaignKind::kData;
-  t.data_addr = obj.addr;
-  t.data_bit = 29;
+  const InjectionTarget t = InjectionTarget::data(obj.addr, 29);
   const auto record = runner_.run_one(t, 3, 2);
   ASSERT_EQ(record.outcome, OutcomeCategory::kKnownCrash);
   EXPECT_TRUE(kernel::is_invalid_memory_access(record.crash.cause))
@@ -83,35 +75,24 @@ TEST_F(ExperimentTest, CodeBreakpointInFunctionNeverCalledIsNotActivated) {
   // use the generator-independent approach: a breakpoint on a hot
   // function IS reached; one on an address that is never fetched (the
   // glue page's unused tail) is not.
-  InjectionTarget t;
-  t.kind = CampaignKind::kCode;
-  t.code_addr = kernel::kGlueBase + 0x800;  // never fetched
-  t.code_insn_len = 1;
-  t.code_bit = 0;
-  t.function = "(none)";
+  const InjectionTarget t = InjectionTarget::code(
+      0, kernel::kGlueBase + 0x800, 1, 0, "(none)");  // never fetched
   const auto record = runner_.run_one(t, 4, 3);
   EXPECT_EQ(record.outcome, OutcomeCategory::kNotActivated);
 }
 
 TEST_F(ExperimentTest, CodeBreakpointOnDispatcherActivates) {
   const auto& fn = machine_.image().function("sys_dispatch");
-  InjectionTarget t;
-  t.kind = CampaignKind::kCode;
-  t.code_addr = fn.addr;  // the prologue's first byte: push ebp (0x55)
-  t.code_insn_len = 1;
-  t.code_bit = 1;
-  t.function = fn.name;
+  // the prologue's first byte: push ebp (0x55)
+  const InjectionTarget t = InjectionTarget::code(0, fn.addr, 1, 1, fn.name);
   const auto record = runner_.run_one(t, 5, 4);
   EXPECT_TRUE(record.activated);
   EXPECT_NE(record.outcome, OutcomeCategory::kNotActivated);
 }
 
 TEST_F(ExperimentTest, RegisterInjectionActivationIsUnknown) {
-  InjectionTarget t;
-  t.kind = CampaignKind::kRegister;
-  t.reg_index = machine_.cpu().sysregs().index_of("DR2");
-  t.reg_bit = 7;
-  t.inject_at_frac = 0.3;
+  const InjectionTarget t = InjectionTarget::sysreg(
+      machine_.cpu().sysregs().index_of("DR2"), 7, 0.3);
   const auto record = runner_.run_one(t, 6, 5);
   EXPECT_FALSE(record.activation_known);
   EXPECT_EQ(record.outcome, OutcomeCategory::kNotManifested);
@@ -119,10 +100,7 @@ TEST_F(ExperimentTest, RegisterInjectionActivationIsUnknown) {
 
 TEST_F(ExperimentTest, CrashReportsReachTheCollector) {
   const auto& obj = machine_.image().object("skb_head");
-  InjectionTarget t;
-  t.kind = CampaignKind::kData;
-  t.data_addr = obj.addr;
-  t.data_bit = 29;
+  const InjectionTarget t = InjectionTarget::data(obj.addr, 29);
   const auto record = runner_.run_one(t, 3, 42);
   ASSERT_TRUE(record.crashed);
   ASSERT_TRUE(collector_.has(42));
@@ -135,30 +113,20 @@ TEST_F(ExperimentTest, RunsAreIndependentAcrossReboots) {
   // A crashing run followed by a cold-target run: the second must behave
   // exactly like a fresh machine (the watchdog "reboot" works).
   const auto& skb_head = machine_.image().object("skb_head");
-  InjectionTarget crash_t;
-  crash_t.kind = CampaignKind::kData;
-  crash_t.data_addr = skb_head.addr;
-  crash_t.data_bit = 29;
+  const InjectionTarget crash_t = InjectionTarget::data(skb_head.addr, 29);
   const auto first = runner_.run_one(crash_t, 3, 10);
   ASSERT_TRUE(first.crashed);
 
   const auto& cold = machine_.image().object("inode_table");
-  InjectionTarget cold_t;
-  cold_t.kind = CampaignKind::kData;
-  cold_t.data_addr = cold.addr;
-  cold_t.data_bit = 3;
+  const InjectionTarget cold_t = InjectionTarget::data(cold.addr, 3);
   const auto second = runner_.run_one(cold_t, 7, 11);
   EXPECT_EQ(second.outcome, OutcomeCategory::kNotActivated);
   EXPECT_EQ(runner_.reboots(), 2u);
 }
 
 TEST_F(ExperimentTest, StackTargetResolvesWithinTheChosenTaskStack) {
-  InjectionTarget t;
-  t.kind = CampaignKind::kStack;
-  t.stack_task = 1;  // kupdate
-  t.stack_depth_frac = 0.5;
-  t.stack_bit = 12;
-  t.inject_at_frac = 0.4;
+  const InjectionTarget t =
+      InjectionTarget::stack(/*task=*/1 /*kupdate*/, 0.5, 12, 0.4);
   const auto record = runner_.run_one(t, 8, 6);
   // Whatever the outcome, it must be a legal category; and stack targets
   // on a sleeping thread frequently activate when the thread next runs.
@@ -168,10 +136,7 @@ TEST_F(ExperimentTest, StackTargetResolvesWithinTheChosenTaskStack) {
 
 TEST_F(ExperimentTest, SameSeedSameTargetIsBitReproducible) {
   const auto& obj = machine_.image().object("page_free_list");
-  InjectionTarget t;
-  t.kind = CampaignKind::kData;
-  t.data_addr = obj.addr + 8;
-  t.data_bit = 27;
+  const InjectionTarget t = InjectionTarget::data(obj.addr + 8, 27);
   const auto a = runner_.run_one(t, 99, 20);
   const auto b = runner_.run_one(t, 99, 21);
   EXPECT_EQ(a.outcome, b.outcome);

@@ -1,0 +1,155 @@
+// FaultModel contract: the default model is recognised as the paper's
+// legacy single-bit single-shot model, out-of-range or mismatched knobs
+// throw typed FaultModelError, and the fingerprint distinguishes every
+// knob that changes what a journal means.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "inject/fault_model.hpp"
+#include "inject/record.hpp"
+
+namespace kfi::inject {
+namespace {
+
+TEST(FaultModelTest, DefaultIsLegacyAndValidForEveryKind) {
+  const FaultModel m;
+  EXPECT_TRUE(m.is_legacy());
+  EXPECT_EQ(m.flips_per_event(), 1u);
+  for (const CampaignKind kind :
+       {CampaignKind::kStack, CampaignKind::kRegister, CampaignKind::kData,
+        CampaignKind::kCode}) {
+    EXPECT_NO_THROW(m.validate(kind));
+  }
+}
+
+TEST(FaultModelTest, NonDefaultShapesAreNotLegacy) {
+  FaultModel multi;
+  multi.shape = FaultShape::kMultiBit;
+  multi.bits = 2;
+  EXPECT_FALSE(multi.is_legacy());
+  EXPECT_EQ(multi.flips_per_event(), 2u);
+
+  FaultModel burst;
+  burst.shape = FaultShape::kBurst;
+  burst.burst_span = 5;
+  EXPECT_FALSE(burst.is_legacy());
+  EXPECT_EQ(burst.flips_per_event(), 5u);
+
+  FaultModel rate;
+  rate.trigger = FaultTrigger::kRate;
+  rate.rate = 2.0;
+  EXPECT_FALSE(rate.is_legacy());
+  EXPECT_EQ(rate.flips_per_event(), 1u);
+
+  // Opclass targeting changes where faults land, not how many bits flip.
+  FaultModel opc;
+  opc.shape = FaultShape::kOpclass;
+  EXPECT_FALSE(opc.is_legacy());
+  EXPECT_EQ(opc.flips_per_event(), 1u);
+}
+
+TEST(FaultModelTest, ValidateRejectsOutOfRangeKnobs) {
+  FaultModel m;
+  m.shape = FaultShape::kMultiBit;
+  m.bits = 0;
+  EXPECT_THROW(m.validate(CampaignKind::kData), FaultModelError);
+  m.bits = 33;
+  EXPECT_THROW(m.validate(CampaignKind::kData), FaultModelError);
+  m.bits = 32;
+  EXPECT_NO_THROW(m.validate(CampaignKind::kData));
+
+  FaultModel b;
+  b.shape = FaultShape::kBurst;
+  b.burst_span = 1;
+  EXPECT_THROW(b.validate(CampaignKind::kData), FaultModelError);
+  b.burst_span = 33;
+  EXPECT_THROW(b.validate(CampaignKind::kData), FaultModelError);
+  b.burst_span = 2;
+  EXPECT_NO_THROW(b.validate(CampaignKind::kData));
+}
+
+TEST(FaultModelTest, ValidateRejectsInconsistentCombinations) {
+  // --bits without the multi-bit shape is a contradiction, not a default.
+  FaultModel m;
+  m.bits = 4;
+  EXPECT_THROW(m.validate(CampaignKind::kData), FaultModelError);
+
+  // Opclass targeting only makes sense when instructions are the target.
+  FaultModel opc;
+  opc.shape = FaultShape::kOpclass;
+  EXPECT_NO_THROW(opc.validate(CampaignKind::kCode));
+  EXPECT_THROW(opc.validate(CampaignKind::kData), FaultModelError);
+  EXPECT_THROW(opc.validate(CampaignKind::kStack), FaultModelError);
+  EXPECT_THROW(opc.validate(CampaignKind::kRegister), FaultModelError);
+
+  // A rate needs the rate trigger and must be positive and bounded.
+  FaultModel r;
+  r.rate = 1.0;
+  EXPECT_THROW(r.validate(CampaignKind::kData), FaultModelError);
+  r.trigger = FaultTrigger::kRate;
+  EXPECT_NO_THROW(r.validate(CampaignKind::kData));
+  r.rate = 0.0;
+  EXPECT_THROW(r.validate(CampaignKind::kData), FaultModelError);
+  r.rate = -3.0;
+  EXPECT_THROW(r.validate(CampaignKind::kData), FaultModelError);
+  r.rate = 5000.0;
+  EXPECT_THROW(r.validate(CampaignKind::kData), FaultModelError);
+}
+
+TEST(FaultModelTest, NameDescribesTheKnobs) {
+  FaultModel m;
+  EXPECT_EQ(m.name(), "single-bit");
+  m.shape = FaultShape::kMultiBit;
+  m.bits = 4;
+  EXPECT_EQ(m.name(), "multi-bit k=4");
+  m.shape = FaultShape::kBurst;
+  m.bits = 1;
+  m.burst_span = 8;
+  EXPECT_EQ(m.name(), "burst span=8");
+  m.shape = FaultShape::kOpclass;
+  m.opclass = isa::OpClass::kBranch;
+  EXPECT_EQ(m.name(), "opclass=branch");
+  m.shape = FaultShape::kSingleBit;
+  m.trigger = FaultTrigger::kRate;
+  m.rate = 2.0;
+  EXPECT_EQ(m.name(), "single-bit rate=2/run");
+}
+
+TEST(FaultModelTest, FingerprintSeparatesEveryKnob) {
+  // Each knob change must move the fingerprint: a resume under a model
+  // that differs in any dimension has to be refused.
+  std::set<u64> prints;
+  FaultModel m;
+  prints.insert(fault_model_fingerprint(m));
+  m.shape = FaultShape::kMultiBit;
+  m.bits = 2;
+  prints.insert(fault_model_fingerprint(m));
+  m.bits = 4;
+  prints.insert(fault_model_fingerprint(m));
+  m.shape = FaultShape::kBurst;
+  m.bits = 1;
+  prints.insert(fault_model_fingerprint(m));
+  m.burst_span = 6;
+  prints.insert(fault_model_fingerprint(m));
+  m = FaultModel{};
+  m.trigger = FaultTrigger::kRate;
+  m.rate = 1.0;
+  prints.insert(fault_model_fingerprint(m));
+  m.rate = 2.0;
+  prints.insert(fault_model_fingerprint(m));
+  m = FaultModel{};
+  m.shape = FaultShape::kOpclass;
+  m.opclass = isa::OpClass::kAlu;
+  prints.insert(fault_model_fingerprint(m));
+  m.opclass = isa::OpClass::kLoadStore;
+  prints.insert(fault_model_fingerprint(m));
+  EXPECT_EQ(prints.size(), 9u);
+
+  // And it is a pure function of the knobs.
+  EXPECT_EQ(fault_model_fingerprint(FaultModel{}),
+            fault_model_fingerprint(FaultModel{}));
+}
+
+}  // namespace
+}  // namespace kfi::inject

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "inject/fault_model.hpp"
 #include "inject/journal.hpp"
 #include "inject/plan.hpp"
 
@@ -24,21 +25,9 @@ std::string tmp_path(const std::string& name) {
 JournalEntry full_entry() {
   JournalEntry e;
   e.index = 17;
-  e.record.target.kind = CampaignKind::kStack;
-  e.record.target.code_entry = 0x1234;
-  e.record.target.code_addr = 0x1238;
-  e.record.target.code_insn_len = 4;
-  e.record.target.code_bit = 13;
+  e.record.target = InjectionTarget::stack(3, 0.4375, 7, 0.62109375);
   e.record.target.function = "schedule";
-  e.record.target.data_addr = 0xBEEF0;
-  e.record.target.data_bit = 31;
-  e.record.target.stack_task = 3;
-  e.record.target.stack_depth_frac = 0.4375;
-  e.record.target.stack_bit = 7;
-  e.record.target.reg_index = 5;
-  e.record.target.reg_bit = 19;
   e.record.target.reg_name = "srr0";
-  e.record.target.inject_at_frac = 0.62109375;
   e.record.outcome = OutcomeCategory::kKnownCrash;
   e.record.activated = true;
   e.record.activation_known = false;
@@ -94,19 +83,20 @@ void expect_entries_equal(const JournalEntry& a, const JournalEntry& b) {
   const InjectionRecord& rb = b.record;
   EXPECT_EQ(ra.target.kind, rb.target.kind);
   EXPECT_EQ(ra.target.code_entry, rb.target.code_entry);
-  EXPECT_EQ(ra.target.code_addr, rb.target.code_addr);
-  EXPECT_EQ(ra.target.code_insn_len, rb.target.code_insn_len);
-  EXPECT_EQ(ra.target.code_bit, rb.target.code_bit);
   EXPECT_EQ(ra.target.function, rb.target.function);
-  EXPECT_EQ(ra.target.data_addr, rb.target.data_addr);
-  EXPECT_EQ(ra.target.data_bit, rb.target.data_bit);
-  EXPECT_EQ(ra.target.stack_task, rb.target.stack_task);
-  EXPECT_EQ(ra.target.stack_depth_frac, rb.target.stack_depth_frac);
-  EXPECT_EQ(ra.target.stack_bit, rb.target.stack_bit);
-  EXPECT_EQ(ra.target.reg_index, rb.target.reg_index);
-  EXPECT_EQ(ra.target.reg_bit, rb.target.reg_bit);
+  EXPECT_EQ(ra.target.opclass, rb.target.opclass);
   EXPECT_EQ(ra.target.reg_name, rb.target.reg_name);
   EXPECT_EQ(ra.target.inject_at_frac, rb.target.inject_at_frac);
+  ASSERT_EQ(ra.target.sites.size(), rb.target.sites.size());
+  for (size_t j = 0; j < ra.target.sites.size(); ++j) {
+    EXPECT_EQ(ra.target.sites[j].addr, rb.target.sites[j].addr);
+    EXPECT_EQ(ra.target.sites[j].bit, rb.target.sites[j].bit);
+    EXPECT_EQ(ra.target.sites[j].insn_len, rb.target.sites[j].insn_len);
+    EXPECT_EQ(ra.target.sites[j].task, rb.target.sites[j].task);
+    EXPECT_EQ(ra.target.sites[j].depth_frac, rb.target.sites[j].depth_frac);
+    EXPECT_EQ(ra.target.sites[j].reg_index, rb.target.sites[j].reg_index);
+    EXPECT_EQ(ra.target.sites[j].at_frac, rb.target.sites[j].at_frac);
+  }
   EXPECT_EQ(ra.outcome, rb.outcome);
   EXPECT_EQ(ra.activated, rb.activated);
   EXPECT_EQ(ra.activation_known, rb.activation_known);
@@ -311,7 +301,7 @@ TEST_F(JournalFileTest, ResumeRejectsGarbageHeader) {
 // fabricate a journal header the current build would never write itself
 // (an old v1 file, or one from a hypothetical future build).
 void write_bare_header(const std::string& path, u32 version, u64 fingerprint,
-                       u32 total) {
+                       u32 total, u64 model_fingerprint = 0) {
   std::vector<u8> h;
   const auto put32 = [&h](u32 v) {
     h.push_back(static_cast<u8>(v >> 24));
@@ -323,6 +313,10 @@ void write_bare_header(const std::string& path, u32 version, u64 fingerprint,
   put32(version);
   put32(static_cast<u32>(fingerprint >> 32));
   put32(static_cast<u32>(fingerprint));
+  if (version >= kJournalVersion) {
+    put32(static_cast<u32>(model_fingerprint >> 32));
+    put32(static_cast<u32>(model_fingerprint));
+  }
   put32(total);
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   f.write(reinterpret_cast<const char*>(h.data()), static_cast<long>(h.size()));
@@ -333,7 +327,7 @@ TEST_F(JournalFileTest, CreatedJournalIsCurrentVersion) {
   EXPECT_EQ(j.version(), kJournalVersion);
 }
 
-TEST_F(JournalFileTest, V2JournalPersistsPropagationSummaries) {
+TEST_F(JournalFileTest, CurrentJournalPersistsPropagationSummaries) {
   {
     InjectionJournal j = InjectionJournal::create(path_, plan_);
     JournalEntry e = full_entry();
@@ -397,9 +391,73 @@ TEST_F(JournalFileTest, PlanFingerprintSensitiveToTargetsAndSeeds) {
   tweaked.run_seeds[0] ^= 1;
   EXPECT_NE(base, plan_fingerprint(tweaked));
   CampaignPlan retargeted = plan_;
-  retargeted.targets[0].data_bit ^= 1;
+  retargeted.targets[0].site().bit ^= 1;
   EXPECT_NE(base, plan_fingerprint(retargeted));
   EXPECT_EQ(base, plan_fingerprint(plan_));
+}
+
+
+TEST_F(JournalFileTest, MultiSiteTargetRoundTripsInV3) {
+  JournalEntry e = full_entry();
+  e.record.target = InjectionTarget::data(0xBEEF0, 31);
+  e.record.target.sites.push_back(FaultSite{0xBEEF0, 30, 1, 0, 0.0, 0, 0.0});
+  e.record.target.sites.push_back(FaultSite{0xBEEF4, 3, 1, 0, 0.0, 0, 0.25});
+  std::vector<u8> buf;
+  serialize_journal_entry(buf, e, kJournalVersion);
+  size_t pos = 0;
+  const auto back = deserialize_journal_entry(buf, pos, kJournalVersion);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(pos, buf.size());
+  expect_entries_equal(e, *back);
+}
+
+TEST_F(JournalFileTest, V2JournalResumesAndLegacyAppendsStayV2) {
+  // A journal left behind by a pre-fault-model build: v2 header (no model
+  // fingerprint).  Only legacy plans can match its plan fingerprint, and
+  // appends must keep the file uniformly v2.
+  write_bare_header(path_, kJournalVersionV2, plan_fingerprint(plan_),
+                    static_cast<u32>(plan_.targets.size()));
+  {
+    InjectionJournal j = InjectionJournal::resume(path_, plan_);
+    EXPECT_EQ(j.version(), kJournalVersionV2);
+    EXPECT_TRUE(j.recovered().empty());
+    JournalEntry e = full_entry();
+    e.index = 6;
+    j.append(e);
+  }
+  InjectionJournal j = InjectionJournal::resume(path_, plan_);
+  EXPECT_EQ(j.version(), kJournalVersionV2);
+  ASSERT_EQ(j.recovered().size(), 1u);
+  EXPECT_EQ(j.recovered()[0].index, 6u);
+  // v2 carries the propagation block and the flat single-site target.
+  EXPECT_TRUE(j.recovered()[0].record.propagation_valid);
+  JournalEntry expect = full_entry();
+  expect.index = 6;
+  expect_entries_equal(expect, j.recovered()[0]);
+}
+
+TEST_F(JournalFileTest, V3ResumeRejectsForeignFaultModel) {
+  // Same plan fingerprint, different fault-model fingerprint in the v3
+  // header: the resume must refuse with a fault-model-specific error.
+  FaultModel other;
+  other.shape = FaultShape::kMultiBit;
+  other.bits = 4;
+  write_bare_header(path_, kJournalVersion, plan_fingerprint(plan_),
+                    static_cast<u32>(plan_.targets.size()),
+                    fault_model_fingerprint(other));
+  try {
+    InjectionJournal::resume(path_, plan_);
+    FAIL() << "accepted a journal with a foreign fault-model fingerprint";
+  } catch (const JournalError& e) {
+    EXPECT_NE(std::string(e.what()).find("fault model"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(JournalFileTest, V3ResumeAcceptsMatchingFaultModel) {
+  { InjectionJournal::create(path_, plan_); }
+  const InjectionJournal j = InjectionJournal::resume(path_, plan_);
+  EXPECT_EQ(j.version(), kJournalVersion);
 }
 
 }  // namespace

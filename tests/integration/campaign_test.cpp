@@ -44,7 +44,7 @@ TEST(CampaignIntegrationTest, DifferentSeedsGiveDifferentTargets) {
   bool any_different = false;
   for (size_t i = 0; i < a.records.size(); ++i) {
     any_different |=
-        a.records[i].target.code_addr != b.records[i].target.code_addr;
+        a.records[i].target.site().addr != b.records[i].target.site().addr;
   }
   EXPECT_TRUE(any_different);
 }

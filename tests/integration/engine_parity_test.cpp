@@ -31,16 +31,17 @@ void expect_records_bit_identical(const std::vector<InjectionRecord>& a,
     // Target (the plan is shared, but the merge must keep target order).
     EXPECT_EQ(a[i].target.kind, b[i].target.kind);
     EXPECT_EQ(a[i].target.code_entry, b[i].target.code_entry);
-    EXPECT_EQ(a[i].target.code_addr, b[i].target.code_addr);
-    EXPECT_EQ(a[i].target.code_bit, b[i].target.code_bit);
     EXPECT_EQ(a[i].target.function, b[i].target.function);
-    EXPECT_EQ(a[i].target.data_addr, b[i].target.data_addr);
-    EXPECT_EQ(a[i].target.data_bit, b[i].target.data_bit);
-    EXPECT_EQ(a[i].target.stack_task, b[i].target.stack_task);
-    EXPECT_EQ(a[i].target.stack_bit, b[i].target.stack_bit);
-    EXPECT_EQ(a[i].target.reg_index, b[i].target.reg_index);
-    EXPECT_EQ(a[i].target.reg_bit, b[i].target.reg_bit);
     EXPECT_EQ(a[i].target.reg_name, b[i].target.reg_name);
+    ASSERT_EQ(a[i].target.sites.size(), b[i].target.sites.size());
+    for (size_t j = 0; j < a[i].target.sites.size(); ++j) {
+      EXPECT_EQ(a[i].target.sites[j].addr, b[i].target.sites[j].addr);
+      EXPECT_EQ(a[i].target.sites[j].bit, b[i].target.sites[j].bit);
+      EXPECT_EQ(a[i].target.sites[j].task, b[i].target.sites[j].task);
+      EXPECT_EQ(a[i].target.sites[j].reg_index,
+                b[i].target.sites[j].reg_index);
+      EXPECT_EQ(a[i].target.sites[j].at_frac, b[i].target.sites[j].at_frac);
+    }
     // Outcome and activation.
     EXPECT_EQ(a[i].outcome, b[i].outcome);
     EXPECT_EQ(a[i].activated, b[i].activated);

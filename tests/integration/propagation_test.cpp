@@ -91,10 +91,8 @@ TEST(PropagationSingleInjectionTest, SpinlockMagicFlipTracesOnBothArches) {
     kernel::Machine machine(arch, kernel::MachineOptions{});
     auto wl = workload::make_suite();
     const auto& lock = machine.image().object("kernel_flag_cacheline");
-    InjectionTarget t;
-    t.kind = CampaignKind::kData;
-    t.data_addr = lock.addr + lock.field_named("magic").offset;
-    t.data_bit = 22;
+    const InjectionTarget t = InjectionTarget::data(
+        lock.addr + lock.field_named("magic").offset, 22);
     trace::TaintEngine taint;
     const InjectionRecord record =
         run_single_injection(machine, *wl, t, 5, &taint);
@@ -115,10 +113,8 @@ TEST(PropagationSingleInjectionTest, UntracedSingleInjectionHasNoSummary) {
   kernel::Machine machine(isa::Arch::kCisca, kernel::MachineOptions{});
   auto wl = workload::make_suite();
   const auto& lock = machine.image().object("kernel_flag_cacheline");
-  InjectionTarget t;
-  t.kind = CampaignKind::kData;
-  t.data_addr = lock.addr + lock.field_named("magic").offset;
-  t.data_bit = 22;
+  const InjectionTarget t = InjectionTarget::data(
+      lock.addr + lock.field_named("magic").offset, 22);
   const InjectionRecord record = run_single_injection(machine, *wl, t, 5);
   EXPECT_FALSE(record.propagation_valid);
 }

@@ -24,12 +24,8 @@ using kernel::MachineOptions;
 
 InjectionTarget register_target(Machine& machine, const std::string& name,
                                 u32 bit, double at = 0.3) {
-  InjectionTarget t;
-  t.kind = CampaignKind::kRegister;
-  t.reg_index = machine.cpu().sysregs().index_of(name);
-  t.reg_bit = bit;
-  t.inject_at_frac = at;
-  return t;
+  return InjectionTarget::sysreg(machine.cpu().sysregs().index_of(name), bit,
+                                 at);
 }
 
 TEST(WorkedExamplesTest, Figure13SpinlockMagicIsInvalidInstruction) {
@@ -37,10 +33,8 @@ TEST(WorkedExamplesTest, Figure13SpinlockMagicIsInvalidInstruction) {
     Machine machine(arch, MachineOptions{});
     auto wl = workload::make_suite();
     const auto& lock = machine.image().object("kernel_flag_cacheline");
-    InjectionTarget t;
-    t.kind = CampaignKind::kData;
-    t.data_addr = lock.addr + lock.field_named("magic").offset;
-    t.data_bit = 22;
+    const InjectionTarget t = InjectionTarget::data(
+        lock.addr + lock.field_named("magic").offset, 22);
     const auto record = inject::run_single_injection(machine, *wl, t, 5);
     ASSERT_EQ(record.outcome, OutcomeCategory::kKnownCrash);
     EXPECT_EQ(record.crash.cause, arch == isa::Arch::kCisca
@@ -150,12 +144,9 @@ TEST(WorkedExamplesTest, Figure9StackWordCrashIsFastOnG4) {
   Machine machine(isa::Arch::kRiscf, MachineOptions{});
   auto wl = workload::make_suite();
   for (u64 seed = 1; seed < 30; ++seed) {
-    InjectionTarget t;
-    t.kind = CampaignKind::kStack;
-    t.stack_task = 2;  // kjournald
-    t.stack_depth_frac = 0.9 + (seed % 7) * 0.01;
-    t.stack_bit = (seed * 11) % 32;
-    t.inject_at_frac = 0.4;
+    const InjectionTarget t = InjectionTarget::stack(
+        /*task=*/2 /*kjournald*/, 0.9 + (seed % 7) * 0.01, (seed * 11) % 32,
+        0.4);
     const auto record = inject::run_single_injection(machine, *wl, t, seed);
     if (record.outcome == OutcomeCategory::kKnownCrash) {
       EXPECT_TRUE(record.crash.cause == CrashCause::kBadArea ||

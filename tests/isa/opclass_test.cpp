@@ -1,0 +1,39 @@
+// Shared opclass taxonomy: stable names and the --opclass spellings the
+// CLI accepts.
+#include <gtest/gtest.h>
+
+#include "isa/opclass.hpp"
+
+namespace kfi::isa {
+namespace {
+
+TEST(OpClassTest, NamesAreStable) {
+  EXPECT_EQ(opclass_name(OpClass::kAlu), "alu");
+  EXPECT_EQ(opclass_name(OpClass::kLoadStore), "loadstore");
+  EXPECT_EQ(opclass_name(OpClass::kBranch), "branch");
+  EXPECT_EQ(opclass_name(OpClass::kSystem), "system");
+  EXPECT_EQ(opclass_name(OpClass::kOther), "other");
+}
+
+TEST(OpClassTest, ParseRoundTripsEveryName) {
+  for (u32 c = 0; c < static_cast<u32>(OpClass::kNumClasses); ++c) {
+    const auto cls = static_cast<OpClass>(c);
+    const auto parsed = parse_opclass(opclass_name(cls));
+    ASSERT_TRUE(parsed.has_value()) << opclass_name(cls);
+    EXPECT_EQ(*parsed, cls);
+  }
+}
+
+TEST(OpClassTest, ParseAcceptsLoadStoreSpellings) {
+  EXPECT_EQ(parse_opclass("load-store"), OpClass::kLoadStore);
+  EXPECT_EQ(parse_opclass("load_store"), OpClass::kLoadStore);
+}
+
+TEST(OpClassTest, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(parse_opclass("").has_value());
+  EXPECT_FALSE(parse_opclass("bogus").has_value());
+  EXPECT_FALSE(parse_opclass("ALU").has_value());  // names are lower-case
+}
+
+}  // namespace
+}  // namespace kfi::isa

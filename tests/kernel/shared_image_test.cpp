@@ -81,10 +81,8 @@ TEST_P(SharedImageTest, CoTenantsReproduceTheSameInjectionIndependently) {
   auto wl1 = workload::make_suite(1);
   auto wl2 = workload::make_suite(1);
 
-  inject::InjectionTarget target;
-  target.kind = inject::CampaignKind::kData;
-  target.data_addr = image->objects.front().addr;
-  target.data_bit = 7;
+  const inject::InjectionTarget target =
+      inject::InjectionTarget::data(image->objects.front().addr, 7);
 
   const inject::InjectionRecord r1 =
       inject::run_single_injection(m1, *wl1, target, 5);

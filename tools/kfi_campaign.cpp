@@ -2,6 +2,8 @@
 //
 //   kfi_campaign --arch p4|g4 --kind stack|register|data|code
 //                [--n COUNT] [--seed S] [--jobs N] [--loss P] [--scale K]
+//                [--fault-model single-bit|multi-bit|burst|opclass]
+//                [--bits K] [--burst SPAN] [--rate R] [--opclass CLASS]
 //                [--journal PATH] [--resume] [--retries K] [--stall SECS]
 //                [--step-budget N] [--no-wrapper] [--p4-stackcheck]
 //                [--no-spinlock-debug] [--csv PREFIX]
@@ -16,6 +18,13 @@
 // instructions.  --resume (requires --journal) skips already-journaled
 // indices; the resumed result is bit-identical to an uninterrupted run.
 // --retries/--stall/--step-budget tune the supervisor's fault isolation.
+//
+// --fault-model selects what each injection corrupts (default: the
+// paper's single-bit flip).  --bits K / --burst SPAN / --opclass CLASS
+// imply their shape; --rate R switches the trigger to a Poisson process
+// with mean R events per nominal run, pre-drawn at plan time so results
+// stay deterministic and resumable.  Bad knob combinations are rejected
+// before the plan is built (exit 2).
 //
 // --trace runs the campaign with the error-propagation trace subsystem
 // attached: every record carries a PropagationSummary, the report gains a
@@ -40,7 +49,9 @@
 #include "analysis/propagation.hpp"
 #include "analysis/report.hpp"
 #include "inject/campaign.hpp"
+#include "inject/fault_model.hpp"
 #include "inject/journal.hpp"
+#include "isa/opclass.hpp"
 
 using namespace kfi;
 
@@ -54,6 +65,9 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --arch p4|g4 --kind stack|register|data|code\n"
                "          [--n COUNT] [--seed S] [--jobs N] [--loss P]\n"
+               "          [--fault-model single-bit|multi-bit|burst|opclass]\n"
+               "          [--bits K] [--burst SPAN] [--rate R]\n"
+               "          [--opclass alu|loadstore|branch|system|other]\n"
                "          [--scale K] [--journal PATH] [--resume]\n"
                "          [--retries K] [--stall SECS] [--step-budget N]\n"
                "          [--no-wrapper] [--p4-stackcheck]\n"
@@ -65,6 +79,15 @@ void usage(const char* argv0) {
                "               Ctrl-C flushes and prints resume instructions\n"
                "  --resume:    skip indices already in the journal (requires\n"
                "               --journal); bit-identical to an unbroken run\n"
+               "  --fault-model M: what each injection corrupts (default\n"
+               "               single-bit, the paper's model)\n"
+               "  --bits K:    flip K distinct bits per fault (implies\n"
+               "               multi-bit)\n"
+               "  --burst S:   flip S adjacent bits per fault (implies burst)\n"
+               "  --rate R:    Poisson trigger, mean R faults per nominal\n"
+               "               run, pre-drawn at plan time (deterministic)\n"
+               "  --opclass C: restrict code faults to one instruction\n"
+               "               class (implies opclass; code campaigns only)\n"
                "  --retries K: harness-error retries per index before\n"
                "               quarantine (default 1)\n"
                "  --stall S:   wall-clock watchdog budget per injection in\n"
@@ -89,6 +112,14 @@ int main(int argc, char** argv) {
   inject::RunControl control;
   u32 jobs = 1;
   bool have_arch = false, have_kind = false, quiet = false;
+  bool have_shape = false;
+
+  // Bad fault-model knobs are configuration errors, reported through the
+  // same typed FaultModelError that plan building would throw.
+  auto fail_model = [](const inject::FaultModelError& e) {
+    std::fprintf(stderr, "fault model error: %s\n", e.what());
+    return 2;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -129,6 +160,38 @@ int main(int argc, char** argv) {
       jobs = static_cast<u32>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--loss") {
       spec.channel_loss = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-model") {
+      const std::string v = next();
+      if (v == "single-bit") spec.model.shape = inject::FaultShape::kSingleBit;
+      else if (v == "multi-bit") spec.model.shape = inject::FaultShape::kMultiBit;
+      else if (v == "burst") spec.model.shape = inject::FaultShape::kBurst;
+      else if (v == "opclass") spec.model.shape = inject::FaultShape::kOpclass;
+      else {
+        return fail_model(inject::FaultModelError(
+            "unknown fault model '" + v +
+            "' (single-bit|multi-bit|burst|opclass)"));
+      }
+      have_shape = true;
+    } else if (arg == "--bits") {
+      spec.model.bits = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+      if (!have_shape) spec.model.shape = inject::FaultShape::kMultiBit;
+    } else if (arg == "--burst") {
+      spec.model.burst_span =
+          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+      if (!have_shape) spec.model.shape = inject::FaultShape::kBurst;
+    } else if (arg == "--rate") {
+      spec.model.rate = std::strtod(next(), nullptr);
+      spec.model.trigger = inject::FaultTrigger::kRate;
+    } else if (arg == "--opclass") {
+      const std::string v = next();
+      const auto cls = isa::parse_opclass(v);
+      if (!cls) {
+        return fail_model(inject::FaultModelError(
+            "unknown instruction class '" + v +
+            "' (alu|loadstore|branch|system|other)"));
+      }
+      spec.model.opclass = *cls;
+      if (!have_shape) spec.model.shape = inject::FaultShape::kOpclass;
     } else if (arg == "--scale") {
       spec.workload_scale =
           static_cast<u32>(std::strtoul(next(), nullptr, 10));
@@ -169,6 +232,11 @@ int main(int argc, char** argv) {
   if (resume && journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal PATH\n");
     return 2;
+  }
+  try {
+    spec.model.validate(spec.kind);
+  } catch (const inject::FaultModelError& e) {
+    return fail_model(e);
   }
 
   const inject::CampaignPlan plan = inject::build_campaign_plan(spec);

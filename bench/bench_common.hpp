@@ -79,6 +79,7 @@ inline const char* fig_title(inject::CampaignKind kind) {
     case inject::CampaignKind::kRegister: return "System Register Injection";
     case inject::CampaignKind::kData: return "Kernel Data Injection";
     case inject::CampaignKind::kCode: return "Code Injection";
+    case inject::CampaignKind::kErrno: return "Syscall Errno Injection";
   }
   return "";
 }

@@ -1,0 +1,147 @@
+// Syscall errno-injection cascade sweep: how far a forced error return at
+// the syscall boundary cascades through the workload, swept over syscall
+// sets (read / write / read+write / alloc+free / send+recv / all) and
+// triggers (one forced error at a drawn invocation; Poisson rate of 2 per
+// run), on both architectures.  This is the interface axis of OS error
+// sensitivity the 2004 testbed never measured — the physical campaigns
+// answer "what fails when state corrupts", this table answers "what
+// happens when the kernel merely *reports* failure".
+//
+// Every row prints its result fingerprint, and the bench self-checks the
+// engine's determinism contract on a subset of rows: the serial and
+// KFI_JOBS executions of the same plan must merge bit-identically (the
+// bench exits non-zero otherwise, so CI can gate on it).  A legacy
+// control row per arch runs the paper's plain data campaign with the
+// errno model disabled — with KFI_INJECTIONS=16 KFI_SEED=77 its
+// fingerprint is the pre-errno seed value, which CI pins to prove the
+// errno seam costs legacy campaigns nothing, bit for bit.
+//
+// Knobs: KFI_INJECTIONS (default 60), KFI_SEED, KFI_JOBS.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/cascade.hpp"
+#include "bench_common.hpp"
+#include "errnoinj/errno_model.hpp"
+
+namespace {
+
+using namespace kfi;
+
+struct Row {
+  std::string label;
+  errnoinj::ErrnoModel model;
+  bool parity_check = false;  // also run at KFI_JOBS and compare
+};
+
+int g_parity_failures = 0;
+
+void print_header() {
+  std::printf("%-24s %7s %7s %9s %10s %7s %8s %7s  %s\n", "model", "forced",
+              "contain", "propagate", "silent", "check@", "statedev",
+              "crash", "fingerprint");
+}
+
+void run_row(isa::Arch arch, const Row& row) {
+  inject::CampaignSpec spec =
+      bench::base_spec(arch, inject::CampaignKind::kErrno, 60);
+  spec.errno_model = row.model;
+  const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+  const inject::CampaignResult result = inject::CampaignEngine(1).run(plan);
+  const u64 fp = inject::result_fingerprint(result);
+  const analysis::CascadeTally t = analysis::tally_cascades(result.records);
+  std::printf("%-24s %7u %6.1f%% %8.1f%% %9.1f%% %6.1f%% %8u %7u  %016" PRIx64
+              "\n",
+              row.label.c_str(), t.forced_runs,
+              t.fraction_contained() * 100.0, t.fraction_propagated() * 100.0,
+              t.fraction_silent() * 100.0,
+              t.forced_runs == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(t.checked_at_site) /
+                        t.forced_runs,
+              t.state_deviations, t.crashes, fp);
+  if (row.parity_check) {
+    const u32 jobs = bench::env_jobs();
+    const inject::CampaignResult par =
+        inject::CampaignEngine(jobs == 1 ? 4 : jobs).run(plan);
+    if (inject::result_fingerprint(par) != fp) {
+      std::printf("  ^ PARITY FAILURE: jobs run diverged from serial\n");
+      ++g_parity_failures;
+    }
+  }
+}
+
+void legacy_control_row(isa::Arch arch) {
+  // The paper's plain data campaign, errno model disabled: its fingerprint
+  // must be byte-identical to the pre-errno build (CI pins it at
+  // KFI_INJECTIONS=16 KFI_SEED=77).
+  const inject::CampaignSpec spec =
+      bench::base_spec(arch, inject::CampaignKind::kData, 60);
+  const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+  const inject::CampaignResult result = inject::CampaignEngine(1).run(plan);
+  std::printf("%-24s legacy control fingerprint %016" PRIx64 "\n",
+              "data single-bit", inject::result_fingerprint(result));
+}
+
+void sweep(isa::Arch arch) {
+  std::printf("\n== %s: errno cascade sweep ==\n",
+              isa::arch_name(arch).c_str());
+  print_header();
+  const std::vector<std::string> sets = {"read",       "write",
+                                         "read,write", "alloc,free",
+                                         "send,recv",  "all"};
+  std::vector<Row> rows;
+  for (const std::string& set : sets) {
+    std::string bad;
+    const auto mask = errnoinj::parse_syscall_list(set, &bad);
+    // nth trigger, invocation drawn per run, forced -1 return.
+    Row nth;
+    nth.label = "nth[" + set + "]";
+    nth.model.syscalls = *mask;
+    nth.parity_check = set == "read,write";
+    rows.push_back(nth);
+    // Poisson rate of 2 forced errors per run, drawn negative returns.
+    Row rate;
+    rate.label = "rate=2 drawn[" + set + "]";
+    rate.model.syscalls = *mask;
+    rate.model.trigger = errnoinj::ErrnoTrigger::kRate;
+    rate.model.value = errnoinj::ErrnoValue::kDrawnNegative;
+    rate.model.rate = 2.0;
+    rate.parity_check = set == "all";
+    rows.push_back(rate);
+  }
+  for (const Row& row : rows) run_row(arch, row);
+  legacy_control_row(arch);
+
+  // One full cascade report for the broadest sweep row, so the bench
+  // output carries the per-syscall histogram table CI logs can be read
+  // against.
+  inject::CampaignSpec spec =
+      bench::base_spec(arch, inject::CampaignKind::kErrno, 60);
+  spec.errno_model.syscalls = errnoinj::eligible_syscall_mask();
+  spec.errno_model.trigger = errnoinj::ErrnoTrigger::kRate;
+  spec.errno_model.rate = 2.0;
+  const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+  const inject::CampaignResult result = inject::CampaignEngine(1).run(plan);
+  std::printf("%s", analysis::render_cascades(
+                        isa::arch_name(arch) + " " + spec.errno_model.name(),
+                        analysis::tally_cascades(result.records),
+                        analysis::tally_cascades_by_syscall(result.records))
+                        .c_str());
+}
+
+}  // namespace
+
+int main() {
+  for (const isa::Arch arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
+    sweep(arch);
+  }
+  if (g_parity_failures > 0) {
+    std::printf("\n%d parity failure(s)\n", g_parity_failures);
+    return 1;
+  }
+  std::printf("\nall parity self-checks passed\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "analysis/cascade.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "errnoinj/errno_model.hpp"
+
+namespace kfi::analysis {
+
+using errnoinj::CascadeClass;
+
+namespace {
+
+std::string pct(double fraction) { return format_percent(fraction, 1); }
+
+void fold(CascadeTally& t, const inject::InjectionRecord& r) {
+  ++t.injected;
+  const errnoinj::CascadeSummary& cs = r.cascade;
+  if (cs.forced == 0) return;
+  ++t.forced_runs;
+  t.forced_events += cs.forced;
+  switch (cs.containment) {
+    case CascadeClass::kNone:
+      break;  // unreachable for forced runs, but harmless
+    case CascadeClass::kContained:
+      ++t.contained;
+      break;
+    case CascadeClass::kPropagated:
+      ++t.propagated;
+      break;
+    case CascadeClass::kSilent:
+      ++t.silent;
+      break;
+  }
+  if (cs.checked_at_site) ++t.checked_at_site;
+  if (cs.state_deviation) ++t.state_deviations;
+  if (r.crashed) ++t.crashes;
+  t.lengths.add(cs.cascade_length);
+}
+
+}  // namespace
+
+CascadeTally::CascadeTally() : lengths(make_cascade_length_histogram()) {}
+
+double CascadeTally::containment_rate() const {
+  const u32 n = classified();
+  return n == 0 ? 0.0 : static_cast<double>(contained + silent) / n;
+}
+
+double CascadeTally::fraction_contained() const {
+  const u32 n = classified();
+  return n == 0 ? 0.0 : static_cast<double>(contained) / n;
+}
+
+double CascadeTally::fraction_propagated() const {
+  const u32 n = classified();
+  return n == 0 ? 0.0 : static_cast<double>(propagated) / n;
+}
+
+double CascadeTally::fraction_silent() const {
+  const u32 n = classified();
+  return n == 0 ? 0.0 : static_cast<double>(silent) / n;
+}
+
+BucketHistogram make_cascade_length_histogram() {
+  return BucketHistogram({1, 2, 4, 8, 16, 64});
+}
+
+CascadeTally tally_cascades(
+    const std::vector<inject::InjectionRecord>& records) {
+  CascadeTally t;
+  for (const auto& r : records) {
+    if (r.cascade_valid) fold(t, r);
+  }
+  return t;
+}
+
+std::vector<std::pair<std::string, CascadeTally>> tally_cascades_by_syscall(
+    const std::vector<inject::InjectionRecord>& records) {
+  // Keyed by syscall number so rows come out in ABI order, then named.
+  std::map<u32, CascadeTally> by_nr;
+  for (const auto& r : records) {
+    if (!r.cascade_valid || r.cascade.forced == 0) continue;
+    fold(by_nr[r.cascade.first_forced_syscall], r);
+  }
+  std::vector<std::pair<std::string, CascadeTally>> out;
+  out.reserve(by_nr.size());
+  for (auto& [nr, tally] : by_nr) {
+    out.emplace_back(errnoinj::syscall_name(nr), std::move(tally));
+  }
+  return out;
+}
+
+std::string render_cascades(
+    const std::string& title, const CascadeTally& overall,
+    const std::vector<std::pair<std::string, CascadeTally>>& by_syscall) {
+  std::ostringstream os;
+  os << "Errno cascade analysis — " << title << "\n";
+  os << "  injections=" << overall.injected
+     << " forced_runs=" << overall.forced_runs
+     << " forced_events=" << overall.forced_events
+     << " containment=" << pct(overall.containment_rate())
+     << " checked_at_site="
+     << (overall.forced_runs == 0
+             ? pct(0.0)
+             : pct(static_cast<double>(overall.checked_at_site) /
+                   overall.forced_runs))
+     << " state_deviations=" << overall.state_deviations
+     << " crashes=" << overall.crashes << "\n";
+
+  AsciiTable table({"Syscall", "Forced runs", "Contained", "Propagated",
+                    "Silent", "Checked at site"});
+  auto add_row = [&table](const std::string& name, const CascadeTally& t) {
+    table.add_row({name, std::to_string(t.forced_runs),
+                   pct(t.fraction_contained()), pct(t.fraction_propagated()),
+                   pct(t.fraction_silent()),
+                   t.forced_runs == 0
+                       ? pct(0.0)
+                       : pct(static_cast<double>(t.checked_at_site) /
+                             t.forced_runs)});
+  };
+  for (const auto& [name, t] : by_syscall) add_row(name, t);
+  add_row("(all)", overall);
+  os << table.render();
+
+  os << "Cascade length (workload ops, forced runs)\n";
+  AsciiTable lengths({"Bucket", "Count", "Share"});
+  for (size_t b = 0; b < overall.lengths.bucket_count(); ++b) {
+    lengths.add_row({overall.lengths.label(b),
+                     std::to_string(overall.lengths.count(b)),
+                     pct(overall.lengths.fraction(b))});
+  }
+  os << lengths.render();
+  return os.str();
+}
+
+void write_cascade_csv(std::ostream& os,
+                       const std::vector<inject::InjectionRecord>& records) {
+  os << "index,outcome,forced,first_forced_op,first_forced_syscall,"
+        "natural_ret,forced_ret,deviating_ops,cascade_length,containment,"
+        "checked_at_site,state_deviation,crashed,syscalls_completed\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (!r.cascade_valid) continue;
+    const errnoinj::CascadeSummary& cs = r.cascade;
+    os << i << ',' << outcome_name(r.outcome) << ',' << cs.forced << ','
+       << cs.first_forced_op << ','
+       << (cs.forced > 0 ? errnoinj::syscall_name(cs.first_forced_syscall)
+                         : std::string())
+       << ',' << cs.natural_ret << ',' << cs.forced_ret << ','
+       << cs.deviating_ops << ',' << cs.cascade_length << ','
+       << errnoinj::cascade_class_name(cs.containment) << ','
+       << (cs.checked_at_site ? 1 : 0) << ',' << (cs.state_deviation ? 1 : 0)
+       << ',' << (r.crashed ? 1 : 0) << ',' << r.syscalls_completed << '\n';
+  }
+}
+
+}  // namespace kfi::analysis

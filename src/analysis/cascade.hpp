@@ -1,0 +1,79 @@
+// Aggregation of per-injection CascadeSummary digests (the errno
+// injector's output) into campaign-level distributions and report
+// segments.  Where the physical campaigns reproduce the paper's Table 5/6
+// failure taxonomy, errno campaigns measure the *interface* dimension of
+// OS error sensitivity: how far a forced error return at the syscall
+// boundary cascades through the workload's subsequent operations, and
+// whether the workload's own checks contain it at the faulted call.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/counter_map.hpp"
+#include "common/histogram.hpp"
+#include "inject/record.hpp"
+
+namespace kfi::analysis {
+
+/// Campaign-level aggregate over errno records (records without
+/// cascade_valid are skipped; physical campaigns tally to zero).
+struct CascadeTally {
+  u32 injected = 0;      // records carrying a cascade summary
+  u32 forced_runs = 0;   // runs where >=1 error return was forced
+  u64 forced_events = 0; // total forced error returns across all runs
+
+  // Containment classes, over forced runs (the errno analogue of the
+  // paper's outcome columns).
+  u32 contained = 0;   // deviation confined to the faulted call
+  u32 propagated = 0;  // deviation reached later ops / crash / final state
+  u32 silent = 0;      // forced error, zero observable deviation
+
+  u32 checked_at_site = 0;   // faulted call itself failed a check
+  u32 state_deviations = 0;  // final workload state check failed
+  u32 crashes = 0;           // forced runs ending in a kernel crash
+
+  /// Cascade lengths (workload ops from first forced error to last
+  /// deviation), forced runs only.
+  BucketHistogram lengths;
+
+  /// Classified forced runs (the containment-rate denominator).
+  u32 classified() const { return contained + propagated + silent; }
+  /// Contained + silent over classified: the fraction of forced error
+  /// returns the workload either absorbed at the call site or never
+  /// noticed deviating at all.
+  double containment_rate() const;
+  double fraction_contained() const;
+  double fraction_propagated() const;
+  double fraction_silent() const;
+
+  CascadeTally();
+};
+
+/// Cascade-length buckets: <=1, <=2, <=4, <=8, <=16, <=64, >64 workload
+/// operations from the forced call to the last deviating operation.
+BucketHistogram make_cascade_length_histogram();
+
+CascadeTally tally_cascades(
+    const std::vector<inject::InjectionRecord>& records);
+
+/// Per-syscall sub-tallies keyed by the *first forced* syscall of each
+/// run, in syscall-number order; runs with no forced error are excluded
+/// (they have no syscall to attribute).
+std::vector<std::pair<std::string, CascadeTally>> tally_cascades_by_syscall(
+    const std::vector<inject::InjectionRecord>& records);
+
+/// Report segment: overall digest plus the per-syscall containment table
+/// and the cascade-length histogram, in the same measured-table style as
+/// report.hpp's segments.
+std::string render_cascades(
+    const std::string& title, const CascadeTally& overall,
+    const std::vector<std::pair<std::string, CascadeTally>>& by_syscall);
+
+/// One row per errno record (cascade_valid): the full CascadeSummary next
+/// to the record's outcome.  Physical records are skipped.
+void write_cascade_csv(std::ostream& os,
+                       const std::vector<inject::InjectionRecord>& records);
+
+}  // namespace kfi::analysis

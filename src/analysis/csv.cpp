@@ -27,6 +27,10 @@ std::string target_of(const inject::InjectionTarget& t) {
     case inject::CampaignKind::kRegister:
       return t.reg_name.empty() ? "reg" + std::to_string(s.reg_index)
                                 : t.reg_name;
+    case inject::CampaignKind::kErrno:
+      // site.task carries the eligible-invocation index for errno targets.
+      std::snprintf(buf, sizeof(buf), "invocation%u", s.task);
+      return buf;
   }
   return "";
 }

@@ -15,6 +15,7 @@ PaperTableRow paper_table_row(Arch arch, CampaignKind kind) {
       case CampaignKind::kRegister: return {3866, -1.0, 89.5, 0.0, 7.9, 2.6};
       case CampaignKind::kData: return {46000, 0.5, 34.1, 0.0, 42.5, 23.4};
       case CampaignKind::kCode: return {1790, 54.9, 31.4, 1.3, 46.3, 21.0};
+      case CampaignKind::kErrno: break;  // no paper row: falls to the check
     }
   } else {
     switch (kind) {
@@ -22,6 +23,7 @@ PaperTableRow paper_table_row(Arch arch, CampaignKind kind) {
       case CampaignKind::kRegister: return {3967, -1.0, 95.1, 0.0, 1.7, 3.1};
       case CampaignKind::kData: return {46000, 1.5, 78.3, 1.0, 7.8, 12.9};
       case CampaignKind::kCode: return {2188, 64.7, 41.0, 2.3, 40.7, 16.0};
+      case CampaignKind::kErrno: break;  // no paper row: falls to the check
     }
   }
   KFI_CHECK(false, "bad table row request");
@@ -72,6 +74,7 @@ PaperDist paper_campaign_crash_causes(Arch arch, CampaignKind kind) {
                 {"NULL Pointer", 28.1},
                 {"Invalid Instruction", 17.7},
                 {"General Protection Fault", 2.1}};
+      case CampaignKind::kErrno: break;  // no paper data: falls to the check
     }
   } else {
     switch (kind) {
@@ -102,6 +105,7 @@ PaperDist paper_campaign_crash_causes(Arch arch, CampaignKind kind) {
         return {{"Bad Area", 89.1},
                 {"Illegal Instruction", 9.1},
                 {"Alignment", 1.8}};
+      case CampaignKind::kErrno: break;  // no paper data: falls to the check
     }
   }
   KFI_CHECK(false, "bad crash-cause request");
@@ -122,6 +126,7 @@ std::vector<double> paper_latency_distribution(Arch arch, CampaignKind kind) {
         return {25, 45, 15, 6, 4, 3, 2, 0};
       case CampaignKind::kData:  // "similar on both platforms", long tail
         return {10, 15, 30, 20, 15, 5, 3, 2};
+      case CampaignKind::kErrno: break;  // no paper data: falls to the check
     }
   } else {
     switch (kind) {
@@ -133,6 +138,7 @@ std::vector<double> paper_latency_distribution(Arch arch, CampaignKind kind) {
         return {5, 5, 50, 20, 12, 5, 3, 0};
       case CampaignKind::kData:
         return {10, 15, 30, 20, 15, 5, 3, 2};
+      case CampaignKind::kErrno: break;  // no paper data: falls to the check
     }
   }
   KFI_CHECK(false, "bad latency request");

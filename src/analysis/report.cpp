@@ -176,7 +176,9 @@ std::string summarize_campaign(const inject::CampaignResult& result) {
      << campaign_kind_name(result.spec.kind);
   // Non-default fault models change what a row means; say so in the log
   // line (the default stays byte-identical to the pre-FaultModel output).
-  if (!result.spec.model.is_legacy()) {
+  if (result.spec.kind == CampaignKind::kErrno) {
+    os << " [" << result.spec.errno_model.name() << "]";
+  } else if (!result.spec.model.is_legacy()) {
     os << " [" << result.spec.model.name() << "]";
   }
   os << ": injected=" << t.injected

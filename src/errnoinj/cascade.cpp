@@ -1,0 +1,77 @@
+#include "errnoinj/cascade.hpp"
+
+namespace kfi::errnoinj {
+
+const char* cascade_class_name(CascadeClass c) {
+  switch (c) {
+    case CascadeClass::kNone: return "none";
+    case CascadeClass::kContained: return "contained";
+    case CascadeClass::kPropagated: return "propagated";
+    case CascadeClass::kSilent: return "silent";
+  }
+  return "?";
+}
+
+void CascadeTracker::record_op(u32 op_index, u32 forced_events,
+                               bool check_ok) {
+  if (forced_events > 0) {
+    if (!any_forced_) {
+      any_forced_ = true;
+      first_forced_op_ = op_index;
+    }
+    forced_total_ += forced_events;
+  }
+  if (check_ok) return;
+  // Deviations before the first force belong to some other fault source;
+  // an errno run has none, so in practice this only counts post-force.
+  if (!any_forced_) return;
+  ++deviating_ops_;
+  last_deviating_op_ = op_index;
+  if (forced_events > 0) {
+    checked_at_site_ = true;
+  } else {
+    deviation_off_site_ = true;
+  }
+}
+
+CascadeSummary CascadeTracker::finalize(bool completed, bool final_ok,
+                                        u32 total_ops) const {
+  CascadeSummary s;
+  s.forced = forced_total_;
+  s.first_forced_op = first_forced_op_;
+  s.deviating_ops = deviating_ops_;
+  s.checked_at_site = checked_at_site_;
+  s.state_deviation = completed && !final_ok;
+  if (!any_forced_) {
+    s.containment = CascadeClass::kNone;
+    return s;
+  }
+  if (!completed) {
+    // Crash or hang after the force: the error escaped the workload's
+    // control entirely.  Length runs to the end of the truncated run.
+    s.containment = CascadeClass::kPropagated;
+    const u32 end = total_ops > first_forced_op_ ? total_ops : first_forced_op_ + 1;
+    s.cascade_length = end - first_forced_op_;
+    return s;
+  }
+  if (deviating_ops_ == 0 && final_ok) {
+    s.containment = CascadeClass::kSilent;
+    s.cascade_length = 0;
+    return s;
+  }
+  if (!deviation_off_site_ && final_ok) {
+    // Every deviation sat exactly at a forced op and the end-of-run state
+    // matched: the workload observed the error and absorbed it.
+    s.containment = CascadeClass::kContained;
+    s.cascade_length =
+        deviating_ops_ > 0 ? last_deviating_op_ - first_forced_op_ + 1 : 0;
+    return s;
+  }
+  s.containment = CascadeClass::kPropagated;
+  const u32 last = deviating_ops_ > 0 ? last_deviating_op_ + 1 : total_ops;
+  s.cascade_length =
+      last > first_forced_op_ ? last - first_forced_op_ : 1;
+  return s;
+}
+
+}  // namespace kfi::errnoinj

@@ -1,0 +1,67 @@
+// Cascade analysis for forced syscall errors.
+//
+// Each errno run replays its frozen schedule of forced error returns while
+// the workload's own per-op checks act as the deviation oracle: wl.check()
+// compares every syscall result (and side effects) against the workload's
+// model of what a fault-free kernel would have produced.  The tracker
+// folds those per-op observations into a CascadeSummary:
+//
+//   cascade length   workload ops from the first forced error to the last
+//                    observed deviation (the sriramz11 cascade metric, in
+//                    ops rather than wall-clock)
+//   containment      kContained  — deviations only at the forced ops
+//                    kPropagated — deviation after the forced op, a failed
+//                                  end-of-run state check, or a crash/hang
+//                    kSilent     — the forced error produced no observable
+//                                  deviation at all (absorbed)
+//   error realism    checked_at_site: did the workload's check actually
+//                    look at the forced return (a check failed at a forced
+//                    op)?  Mirrors the "does anyone read this errno"
+//                    realism tag of the kretprobe study.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace kfi::errnoinj {
+
+enum class CascadeClass : u8 { kNone = 0, kContained, kPropagated, kSilent };
+
+const char* cascade_class_name(CascadeClass c);
+
+/// Per-injection digest of how far the forced error(s) spread.
+struct CascadeSummary {
+  u32 forced = 0;              ///< forced error returns delivered this run
+  u32 first_forced_op = 0;     ///< workload op index of the first force
+  u32 first_forced_syscall = 0;  ///< syscall nr of the first force
+  u32 natural_ret = 0;         ///< return the kernel actually produced
+  u32 forced_ret = 0;          ///< return the injector substituted
+  u32 deviating_ops = 0;       ///< ops whose check() flagged a deviation
+  u32 cascade_length = 0;      ///< ops from first force to last deviation
+  CascadeClass containment = CascadeClass::kNone;
+  bool checked_at_site = false;   ///< a check fired at a forced op
+  bool state_deviation = false;   ///< end-of-run final_check failed
+};
+
+/// Streaming builder: the runner feeds one record_op per workload op.
+class CascadeTracker {
+ public:
+  /// `forced_events` = forced errors delivered inside this op (usually 0
+  /// or 1); `check_ok` = the workload's per-op check passed.
+  void record_op(u32 op_index, u32 forced_events, bool check_ok);
+
+  /// `completed` = the run reached the workload's end (no crash/hang);
+  /// `final_ok` = the end-of-run state check passed; `total_ops` = ops
+  /// executed before the run ended.
+  CascadeSummary finalize(bool completed, bool final_ok, u32 total_ops) const;
+
+ private:
+  bool any_forced_ = false;
+  u32 first_forced_op_ = 0;
+  u32 forced_total_ = 0;
+  u32 deviating_ops_ = 0;
+  u32 last_deviating_op_ = 0;
+  bool checked_at_site_ = false;
+  bool deviation_off_site_ = false;
+};
+
+}  // namespace kfi::errnoinj

@@ -1,0 +1,90 @@
+// ErrnoModel: which syscall error returns get forced, and when.
+//
+// The errno campaign family corrupts nothing physical.  Instead it forces
+// error returns at minux's syscall boundary — the dominant real-world
+// error channel — and measures how far each forced error cascades through
+// the workload (sriramz11's kretprobe/errno study is the model; see
+// PAPERS.md).  Mirroring inject::FaultModel, everything the model decides
+// is frozen into the CampaignPlan at plan time: the runner only replays a
+// pre-drawn (eligible-invocation index, forced return) schedule, so errno
+// campaigns stay deterministic and resumable.
+//
+//   syscalls  bitmask of eligible kernel::Syscall numbers; only the six
+//             fallible calls (read/write/alloc/free/send/recv) may be
+//             targeted — yield and getpid cannot fail in minux.
+//   value     kErrReturn forces the kernel's reserved -1; kDrawnNegative
+//             draws a negative errno-style code in [-34, -1] from the
+//             plan RNG per scheduled event.
+//   trigger   kNth   one forced error per run at the nth eligible
+//                    invocation (nth == kNthDraw -> drawn per run);
+//             kRate  a Poisson-distributed event count per run, reusing
+//                    Rng::poisson exactly like FaultTrigger::kRate.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "kernel/abi.hpp"
+
+namespace kfi::errnoinj {
+
+enum class ErrnoValue : u8 { kErrReturn = 0, kDrawnNegative };
+enum class ErrnoTrigger : u8 { kNth = 0, kRate };
+
+/// Typed failure for an inconsistent or out-of-range errno model (bad CLI
+/// knobs, empty syscall set, rate on an nth-trigger model, ...).
+class ErrnoModelError : public Error {
+ public:
+  explicit ErrnoModelError(const std::string& what) : Error(what) {}
+};
+
+struct ErrnoModel {
+  /// Sentinel for `nth`: draw the invocation index per run at plan time.
+  static constexpr u32 kNthDraw = 0xFFFFFFFFu;
+
+  /// Bitmask over kernel::Syscall numbers (bit `1u << nr`).  Zero means
+  /// the model is disabled (no errno campaign).
+  u32 syscalls = 0;
+  ErrnoValue value = ErrnoValue::kErrReturn;
+  ErrnoTrigger trigger = ErrnoTrigger::kNth;
+  /// kNth: 0-based eligible-invocation index to force, or kNthDraw.
+  u32 nth = kNthDraw;
+  /// kRate: expected forced errors per run (> 0, <= 1024).
+  double rate = 0.0;
+
+  bool enabled() const { return syscalls != 0; }
+  bool eligible(kernel::Syscall nr) const {
+    const u32 n = static_cast<u32>(nr);
+    return n < 32 && (syscalls & (1u << n)) != 0;
+  }
+
+  /// Throws ErrnoModelError if the model is inconsistent.  A disabled
+  /// model (syscalls == 0) is always valid.
+  void validate() const;
+
+  /// Human-readable tag, e.g. "errno nth[read,write]" (report headers).
+  std::string name() const;
+};
+
+/// Bitmask of the syscalls an errno model may target (the six fallible
+/// calls: read, write, alloc, free, send, recv).
+u32 eligible_syscall_mask();
+
+/// Parse a comma-separated syscall list ("read,write" or "all") into a
+/// mask.  Returns nullopt on a bad token and stores it in *bad_token.
+std::optional<u32> parse_syscall_list(const std::string& text,
+                                      std::string* bad_token);
+
+/// Lower-case name of one syscall number ("read", ...; "sys<N>" fallback).
+std::string syscall_name(u32 nr);
+
+/// Render a mask back to "read,write" form ("all" for the full set).
+std::string syscall_list_name(u32 mask);
+
+/// Stable 64-bit digest of every model field; mixed into plan and journal
+/// fingerprints so a resume under a different errno model is refused.
+u64 errno_model_fingerprint(const ErrnoModel& model);
+
+}  // namespace kfi::errnoinj

@@ -1,0 +1,32 @@
+#include "errnoinj/injector.hpp"
+
+namespace kfi::errnoinj {
+
+void ErrnoInjector::arm(std::vector<ScheduledError> schedule) {
+  schedule_ = std::move(schedule);
+  next_ = 0;
+  eligible_seen_ = 0;
+  forced_.clear();
+}
+
+void ErrnoInjector::disarm() { arm({}); }
+
+bool ErrnoInjector::on_syscall_result(kernel::Syscall nr, u32* ret) {
+  if (!model_.eligible(nr)) return false;
+  const u32 idx = static_cast<u32>(eligible_seen_++);
+  if (next_ >= schedule_.size() || schedule_[next_].index != idx) {
+    return false;
+  }
+  ForcedError log;
+  log.eligible_index = idx;
+  log.syscall = static_cast<u32>(nr);
+  log.natural_ret = *ret;
+  log.forced_ret = schedule_[next_].ret;
+  forced_.push_back(log);
+  *ret = schedule_[next_].ret;
+  ++next_;
+  if (taint_ != nullptr) taint_->seed_register(result_slot_);
+  return true;
+}
+
+}  // namespace kfi::errnoinj

@@ -1,0 +1,74 @@
+// ErrnoInjector: the SyscallResultHook that replays a frozen schedule of
+// forced error returns.
+//
+// The plan pre-draws, per run, a sorted list of (eligible-invocation
+// index, forced return) pairs.  At every completed syscall the hook
+// counts eligible invocations (per the model's syscall mask) and, when
+// the counter matches the next scheduled index, swaps the return value
+// and seeds the taint engine at the result register — so the PR 5 shadow
+// tracer follows the forced errno exactly as it follows a flipped bit.
+// Everything is deterministic: the hook consumes no entropy and charges
+// no cycles.
+//
+// An injector with a disabled model (or an empty schedule) declines every
+// call; installing one must leave results bit-identical to a hook-free
+// machine (the parity tests assert this).
+#pragma once
+
+#include <vector>
+
+#include "errnoinj/errno_model.hpp"
+#include "kernel/machine.hpp"
+#include "trace/taint.hpp"
+
+namespace kfi::errnoinj {
+
+/// One planned forced error: at the `index`-th eligible invocation of the
+/// run (0-based), force return value `ret`.
+struct ScheduledError {
+  u32 index = 0;
+  u32 ret = kernel::kErrReturn;
+};
+
+/// Log entry for a force that actually happened.
+struct ForcedError {
+  u32 eligible_index = 0;
+  u32 syscall = 0;
+  u32 natural_ret = 0;
+  u32 forced_ret = 0;
+};
+
+class ErrnoInjector final : public kernel::SyscallResultHook {
+ public:
+  ErrnoInjector(ErrnoModel model, trace::RegSlot result_slot)
+      : model_(model), result_slot_(result_slot) {}
+
+  /// Optional: seed forced results into the shadow tracer.
+  void set_taint_engine(trace::TaintEngine* taint) { taint_ = taint; }
+
+  /// Load this run's schedule (must be sorted by index, indices unique)
+  /// and reset the invocation counter and force log.
+  void arm(std::vector<ScheduledError> schedule);
+
+  /// Drop the schedule; the hook declines every call until re-armed.
+  void disarm();
+
+  // kernel::SyscallResultHook
+  bool on_syscall_result(kernel::Syscall nr, u32* ret) override;
+
+  /// Eligible invocations observed since arm()/disarm().
+  u64 eligible_seen() const { return eligible_seen_; }
+  /// Forces delivered since arm()/disarm(), in delivery order.
+  const std::vector<ForcedError>& forced() const { return forced_; }
+
+ private:
+  ErrnoModel model_;
+  trace::RegSlot result_slot_;
+  trace::TaintEngine* taint_ = nullptr;
+  std::vector<ScheduledError> schedule_;
+  size_t next_ = 0;
+  u64 eligible_seen_ = 0;
+  std::vector<ForcedError> forced_;
+};
+
+}  // namespace kfi::errnoinj

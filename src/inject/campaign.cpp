@@ -70,6 +70,23 @@ u64 result_fingerprint(const CampaignResult& result) {
     mix(static_cast<u64>(r.crash.cause));
     mix(r.crash.pc);
     mix(r.syscalls_completed);
+    if (r.cascade_valid) {
+      // The cascade digest is part of an errno campaign's result (unlike
+      // the observational propagation block).  Physical campaigns never
+      // set cascade_valid, so their fingerprints are byte-identical to
+      // pre-errno builds.
+      mix(0xCA5CADEull);  // domain separator
+      mix(r.cascade.forced);
+      mix(r.cascade.first_forced_op);
+      mix(r.cascade.first_forced_syscall);
+      mix(r.cascade.natural_ret);
+      mix(r.cascade.forced_ret);
+      mix(r.cascade.deviating_ops);
+      mix(r.cascade.cascade_length);
+      mix(static_cast<u64>(r.cascade.containment));
+      mix(r.cascade.checked_at_site ? 1 : 0);
+      mix(r.cascade.state_deviation ? 1 : 0);
+    }
   }
   return h;
 }

@@ -41,9 +41,12 @@ struct WorkerRig {
   /// Machine::set_trace_sink keeps the campaign deterministic — the sink
   /// only observes.
   std::unique_ptr<trace::TaintEngine> taint;
+  /// Per-rig errno injector (kErrno campaigns — or, disarmed, the
+  /// RunControl::errno_hook_probe parity probe on physical campaigns).
+  std::unique_ptr<errnoinj::ErrnoInjector> errno_inj;
 
   WorkerRig(const CampaignPlan& plan, const kernel::MachineOptions& mopts,
-            bool trace)
+            bool trace, bool errno_probe)
       : machine(plan.spec.arch, mopts, plan.image),
         wl(workload::make_suite(plan.spec.workload_scale)),
         channel(plan.spec.channel_loss, plan.spec.seed ^ 0xC0FFEE),
@@ -63,6 +66,20 @@ struct WorkerRig {
       });
       machine.set_trace_sink(taint.get());
       runner.set_taint_engine(taint.get());
+    }
+    if (plan.spec.kind == CampaignKind::kErrno) {
+      errno_inj = std::make_unique<errnoinj::ErrnoInjector>(
+          plan.spec.errno_model, kernel::syscall_result_slot(plan.spec.arch));
+      errno_inj->set_taint_engine(taint.get());
+      machine.set_syscall_result_hook(errno_inj.get());
+      runner.set_errno_injector(errno_inj.get());
+    } else if (errno_probe) {
+      // Parity probe: a hook that is installed but never armed must leave
+      // every result bit-identical to a hook-free rig (satellite check for
+      // the Machine::syscall_result_hook seam).
+      errno_inj = std::make_unique<errnoinj::ErrnoInjector>(
+          errnoinj::ErrnoModel{}, kernel::syscall_result_slot(plan.spec.arch));
+      machine.set_syscall_result_hook(errno_inj.get());
     }
   }
 };
@@ -157,7 +174,8 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
   auto worker = [&](WorkerState& st) {
     try {
       auto make_rig = [&plan, &mopts, &st, &ctl] {
-        auto rig = std::make_unique<WorkerRig>(plan, mopts, ctl.trace);
+        auto rig = std::make_unique<WorkerRig>(plan, mopts, ctl.trace,
+                                               ctl.errno_hook_probe);
         rig->machine.set_harness_interrupt(&st.interrupt);
         return rig;
       };

@@ -124,6 +124,12 @@ struct RunControl {
   /// with tracing on or off (the parity tests and
   /// bench/propagation_overhead enforce it).
   bool trace = false;
+  /// Test knob: install a disabled ErrnoInjector on every rig of a
+  /// physical campaign.  A hook that declines every call must leave the
+  /// result fingerprint bit-identical to a hook-free run (the seam parity
+  /// tests enforce it).  Ignored for kErrno campaigns (which always
+  /// install their injector).
+  bool errno_hook_probe = false;
 };
 
 class CampaignEngine {

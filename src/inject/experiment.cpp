@@ -165,12 +165,161 @@ bool ExperimentRunner::apply_rate_site(const InjectionTarget& target,
       }
       return true;
     }
+    case CampaignKind::kErrno:
+      KFI_CHECK(false, "errno campaigns never take the rate-site path");
+      break;
   }
   return false;
 }
 
+InjectionRecord ExperimentRunner::run_errno(const InjectionTarget& target,
+                                            u64 run_seed, u32 sequence) {
+  KFI_CHECK(errno_injector_ != nullptr,
+            "errno campaign run without an attached ErrnoInjector");
+  InjectionRecord record;
+  record.target = target;
+
+  reboot();  // fresh boot state for every experiment
+  wl_.reset(run_seed);
+  rng_ = Rng(run_seed ^ 0xC0117E47u);  // parity with the physical path
+  channel_.begin_run(run_seed);
+  if (taint_ != nullptr) taint_->reset();
+
+  // The frozen per-run schedule: one ScheduledError per site (the plan
+  // stored the invocation index in site.task and the forced return in
+  // site.bit; see FaultSite's kErrno field overloads).
+  std::vector<errnoinj::ScheduledError> schedule;
+  schedule.reserve(target.sites.size());
+  for (const FaultSite& s : target.sites) {
+    errnoinj::ScheduledError e;
+    e.index = s.task;
+    e.ret = s.bit;
+    schedule.push_back(e);
+  }
+  errno_injector_->arm(std::move(schedule));
+
+  isa::CpuCore& cpu = machine_.cpu();
+  const u64 start = cpu.cycles();
+  const u64 budget_end = start + budget_cycles_;
+
+  errnoinj::CascadeTracker tracker;
+  bool fsv = false;
+  bool hang = false;
+  bool completed = false;
+  bool latency_base_set = false;
+  u32 ops_completed = 0;
+  size_t forces_seen = 0;
+
+  while (!record.crashed && !hang) {
+    auto req = wl_.next(machine_);
+    if (!req) {
+      completed = true;
+      break;
+    }
+    machine_.begin_syscall(req->nr, req->a0, req->a1, req->a2);
+    record.syscalls_completed += 1;
+
+    bool syscall_done = false;
+    while (!syscall_done && !record.crashed && !hang) {
+      const Event ev = machine_.run(budget_end);
+      switch (ev.kind) {
+        case EventKind::kCycleStop:
+          hang = true;
+          break;
+        case EventKind::kSyscallDone: {
+          syscall_done = true;
+          const bool ok = wl_.check(machine_, ev.ret);
+          if (!ok) fsv = true;
+          // Forces are delivered exactly at syscall completion, so the
+          // delta in the injector's log is this op's force count.
+          const u32 newly = static_cast<u32>(
+              errno_injector_->forced().size() - forces_seen);
+          forces_seen = errno_injector_->forced().size();
+          if (newly > 0 && !record.activated) {
+            // Activation == the first forced return was delivered; the
+            // latency baseline runs from there (cf. code/stack errors).
+            record.activated = true;
+            record.activation_cycle = cpu.cycles();
+            record.latency_base_cycle = cpu.cycles();
+            latency_base_set = true;
+          }
+          tracker.record_op(ops_completed, newly, ok);
+          ++ops_completed;
+          break;
+        }
+        case EventKind::kCrash: {
+          record.crashed = true;
+          record.crash = ev.crash;
+          if (!latency_base_set) {
+            record.latency_base_cycle =
+                record.activation_cycle != 0 ? record.activation_cycle : start;
+          }
+          record.cycles_to_crash =
+              ev.crash.cycles_to_crash - record.latency_base_cycle;
+          break;
+        }
+        case EventKind::kCheckstop:
+          hang = true;
+          break;
+        case EventKind::kInsnBp:
+        case EventKind::kDataBp:
+          KFI_CHECK(false, "stray breakpoint in an errno run");
+          break;
+        case EventKind::kIdle:
+          KFI_CHECK(false, "machine idle mid-syscall");
+          break;
+      }
+    }
+  }
+
+  const std::vector<errnoinj::ForcedError> forced = errno_injector_->forced();
+  errno_injector_->disarm();
+
+  const bool final_ok = completed ? wl_.final_check(machine_) : true;
+  if (!final_ok) fsv = true;
+
+  record.cascade = tracker.finalize(completed, final_ok, ops_completed);
+  if (!forced.empty()) {
+    record.cascade.first_forced_syscall = forced.front().syscall;
+    record.cascade.natural_ret = forced.front().natural_ret;
+    record.cascade.forced_ret = forced.front().forced_ret;
+  }
+  record.cascade_valid = true;
+
+  // STEP 3: classify and (for crashes) deposit the crash data remotely.
+  if (record.crashed) {
+    kernel::CrashReport wire = record.crash;
+    wire.cycles_to_crash = record.cycles_to_crash;
+    channel_.send(DataDeposit::serialize(sequence, wire));
+    collector_.poll(channel_);
+    record.crash_report_received = collector_.has(sequence);
+    record.outcome = record.crash_report_received
+                         ? OutcomeCategory::kKnownCrash
+                         : OutcomeCategory::kHangOrUnknownCrash;
+  } else if (hang) {
+    record.outcome = OutcomeCategory::kHangOrUnknownCrash;
+  } else if (forced.empty()) {
+    // The schedule never fired (index beyond the run's eligible
+    // invocations, or an empty Poisson draw): nothing was injected.
+    record.outcome = OutcomeCategory::kNotActivated;
+  } else if (fsv) {
+    record.outcome = OutcomeCategory::kFailSilenceViolation;
+  } else {
+    record.outcome = OutcomeCategory::kNotManifested;
+  }
+  simulated_cycles_ += cpu.cycles() - start;
+  if (taint_ != nullptr) {
+    record.propagation = taint_->finalize();
+    record.propagation_valid = true;
+  }
+  return record;
+}
+
 InjectionRecord ExperimentRunner::run_one(const InjectionTarget& target,
                                           u64 run_seed, u32 sequence) {
+  if (target.kind == CampaignKind::kErrno) {
+    return run_errno(target, run_seed, sequence);
+  }
   InjectionRecord record;
   record.target = target;
 

@@ -29,6 +29,7 @@
 
 #include <vector>
 
+#include "errnoinj/injector.hpp"
 #include "inject/channel.hpp"
 #include "inject/fault_model.hpp"
 #include "inject/record.hpp"
@@ -54,6 +55,14 @@ class ExperimentRunner {
   /// trigger decides the run_one protocol; shapes are already encoded in
   /// the targets' site lists).  Defaults to the paper's legacy model.
   void set_fault_model(const FaultModel& model) { model_ = model; }
+
+  /// Attach (or detach, with nullptr) the errno injector for kErrno
+  /// campaigns.  The caller owns the injector and must also install it on
+  /// the machine (Machine::set_syscall_result_hook); run_one() arms it
+  /// with each target's frozen schedule and disarms it afterwards.
+  void set_errno_injector(errnoinj::ErrnoInjector* injector) {
+    errno_injector_ = injector;
+  }
 
   /// Attach (or detach, with nullptr) an error-propagation taint engine.
   /// When attached, every run_one() seeds the engine at the exact flipped
@@ -104,6 +113,11 @@ class ExperimentRunner {
   /// kernel state was actually corrupted.
   bool apply_rate_site(const InjectionTarget& target, const FaultSite& site,
                        InjectionRecord& record);
+  /// kErrno protocol: no breakpoints, no corruption — arm the injector
+  /// with the target's schedule, run the workload, and fold the per-op
+  /// check results into the record's CascadeSummary.
+  InjectionRecord run_errno(const InjectionTarget& target, u64 run_seed,
+                            u32 sequence);
 
   kernel::Machine& machine_;
   workload::Workload& wl_;
@@ -115,6 +129,7 @@ class ExperimentRunner {
   double kernel_fraction_;
   u64 simulated_cycles_ = 0;
   trace::TaintEngine* taint_ = nullptr;
+  errnoinj::ErrnoInjector* errno_injector_ = nullptr;
   FaultModel model_{};
   Rng rng_{0x5eed};
 };

@@ -25,7 +25,8 @@ void FaultModel::validate(CampaignKind kind) const {
   }
   if (shape != FaultShape::kMultiBit && bits != 1) {
     throw FaultModelError(
-        "fault model: --bits only applies to the multi-bit shape");
+        "fault model: --bits only applies to the multi-bit shape, got " +
+        std::to_string(bits));
   }
   if (shape == FaultShape::kBurst && (burst_span < 2 || burst_span > 32)) {
     throw FaultModelError("fault model: --burst span must be in 2..32, got " +
@@ -33,23 +34,34 @@ void FaultModel::validate(CampaignKind kind) const {
   }
   if (shape == FaultShape::kOpclass && kind != CampaignKind::kCode) {
     throw FaultModelError(
-        "fault model: --opclass targeting requires --kind code");
+        "fault model: --opclass targeting requires --kind code, got --kind " +
+        campaign_kind_name(kind));
   }
   if (shape == FaultShape::kOpclass &&
       opclass >= isa::OpClass::kNumClasses) {
-    throw FaultModelError("fault model: bad opclass value");
+    throw FaultModelError("fault model: bad opclass value " +
+                          std::to_string(static_cast<u32>(opclass)));
   }
   if (trigger == FaultTrigger::kRate) {
     if (!std::isfinite(rate) || rate <= 0.0) {
       throw FaultModelError(
-          "fault model: --rate must be a positive event count per run");
+          "fault model: --rate must be a positive event count per run, got " +
+          std::to_string(rate));
     }
     if (rate > 1024.0) {
-      throw FaultModelError("fault model: --rate above 1024 events/run");
+      throw FaultModelError("fault model: --rate above 1024 events/run, got " +
+                            std::to_string(rate));
     }
   } else if (rate != 0.0) {
+    throw FaultModelError("fault model: rate set without the rate trigger, got " +
+                          std::to_string(rate));
+  }
+  if (kind == CampaignKind::kErrno && !is_legacy()) {
+    // Errno campaigns corrupt nothing physical; a non-default physical
+    // fault model combined with one is a contradiction, refused up front.
     throw FaultModelError(
-        "fault model: rate set without the rate trigger");
+        "fault model: physical fault-model knobs (" + name() +
+        ") cannot be combined with an errno campaign");
   }
 }
 

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "errnoinj/errno_model.hpp"
 #include "inject/plan.hpp"
 
 namespace kfi::inject {
@@ -99,7 +100,7 @@ void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& e,
   put32(out, e.index);
 
   const InjectionTarget& t = e.record.target;
-  if (version >= kJournalVersion) {
+  if (version >= kJournalVersionV3) {
     put8(out, static_cast<u8>(t.kind));
     put32(out, t.code_entry);
     put_string(out, t.function);
@@ -185,6 +186,21 @@ void serialize_journal_entry(std::vector<u8>& out, const JournalEntry& e,
     put32(out, p.live_regs_at_end);
     put32(out, p.live_bytes_at_end);
   }
+
+  if (version >= kJournalVersion) {
+    const errnoinj::CascadeSummary& cs = r.cascade;
+    put8(out, r.cascade_valid ? 1 : 0);
+    put32(out, cs.forced);
+    put32(out, cs.first_forced_op);
+    put32(out, cs.first_forced_syscall);
+    put32(out, cs.natural_ret);
+    put32(out, cs.forced_ret);
+    put32(out, cs.deviating_ops);
+    put32(out, cs.cascade_length);
+    put8(out, static_cast<u8>(cs.containment));
+    put8(out, cs.checked_at_site ? 1 : 0);
+    put8(out, cs.state_deviation ? 1 : 0);
+  }
 }
 
 std::optional<JournalEntry> deserialize_journal_entry(
@@ -194,9 +210,14 @@ std::optional<JournalEntry> deserialize_journal_entry(
   e.index = c.get32();
 
   InjectionTarget& t = e.record.target;
-  if (version >= kJournalVersion) {
+  if (version >= kJournalVersionV3) {
     const u8 kind = c.get8();
-    if (kind > static_cast<u8>(CampaignKind::kCode)) return std::nullopt;
+    // Errno targets were introduced with v4; a v3 file carrying the kind
+    // byte is malformed, not a forward-compatible extension.
+    const u8 max_kind = version >= kJournalVersion
+                            ? static_cast<u8>(CampaignKind::kErrno)
+                            : static_cast<u8>(CampaignKind::kCode);
+    if (kind > max_kind) return std::nullopt;
     t.kind = static_cast<CampaignKind>(kind);
     t.code_entry = c.get32();
     t.function = c.get_string();
@@ -304,6 +325,26 @@ std::optional<JournalEntry> deserialize_journal_entry(
   // v1 payloads simply have no propagation block: the record keeps the
   // default summary with propagation_valid = false.
 
+  if (version >= kJournalVersion) {
+    errnoinj::CascadeSummary& cs = r.cascade;
+    r.cascade_valid = c.get8() != 0;
+    cs.forced = c.get32();
+    cs.first_forced_op = c.get32();
+    cs.first_forced_syscall = c.get32();
+    cs.natural_ret = c.get32();
+    cs.forced_ret = c.get32();
+    cs.deviating_ops = c.get32();
+    cs.cascade_length = c.get32();
+    const u8 containment = c.get8();
+    if (containment > static_cast<u8>(errnoinj::CascadeClass::kSilent)) {
+      return std::nullopt;
+    }
+    cs.containment = static_cast<errnoinj::CascadeClass>(containment);
+    cs.checked_at_site = c.get8() != 0;
+    cs.state_deviation = c.get8() != 0;
+  }
+  // Pre-v4 payloads have no cascade block: cascade_valid stays false.
+
   if (!c.ok) return std::nullopt;
   pos = c.pos;
   return e;
@@ -325,6 +366,7 @@ InjectionJournal InjectionJournal::create(const std::string& path,
   put32(header, kJournalVersion);
   put64(header, plan_fingerprint(plan));
   put64(header, fault_model_fingerprint(plan.spec.model));
+  put64(header, errnoinj::errno_model_fingerprint(plan.spec.errno_model));
   put32(header, static_cast<u32>(plan.targets.size()));
   out.write(reinterpret_cast<const char*>(header.data()),
             static_cast<long>(header.size()));
@@ -354,7 +396,9 @@ InjectionJournal InjectionJournal::resume(const std::string& path,
   }
   const u64 fingerprint = c.get64();
   u64 model_fingerprint = 0;
-  if (version >= kJournalVersion) model_fingerprint = c.get64();
+  if (version >= kJournalVersionV3) model_fingerprint = c.get64();
+  u64 errno_fingerprint = 0;
+  if (version >= kJournalVersion) errno_fingerprint = c.get64();
   const u32 total = c.get32();
   if (!c.ok) throw JournalError("truncated journal header in " + path);
   if (fingerprint != plan_fingerprint(plan)) {
@@ -362,10 +406,17 @@ InjectionJournal InjectionJournal::resume(const std::string& path,
                        " was written for a different campaign plan "
                        "(fingerprint mismatch)");
   }
-  if (version >= kJournalVersion &&
+  if (version >= kJournalVersionV3 &&
       model_fingerprint != fault_model_fingerprint(plan.spec.model)) {
     throw JournalError("journal " + path +
                        " was written for a different fault model "
+                       "(fingerprint mismatch)");
+  }
+  if (version >= kJournalVersion &&
+      errno_fingerprint !=
+          errnoinj::errno_model_fingerprint(plan.spec.errno_model)) {
+    throw JournalError("journal " + path +
+                       " was written for a different errno model "
                        "(fingerprint mismatch)");
   }
   if (total != plan.targets.size()) {

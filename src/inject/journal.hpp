@@ -22,16 +22,22 @@
 // simply re-executed.
 //
 // Versioning: v1 entries end at the counter deltas; v2 appends the
-// error-propagation block (PropagationSummary); v3 (current) stamps the
-// campaign's fault-model fingerprint into the header and serializes the
-// target as its FaultSite list instead of the old flat per-kind fields.
-// resume() accepts all three and keeps appending in the file's own
-// version, so a v1/v2 journal stays a uniform v1/v2 file end to end (its
+// error-propagation block (PropagationSummary); v3 stamps the campaign's
+// fault-model fingerprint into the header and serializes the target as
+// its FaultSite list instead of the old flat per-kind fields; v4
+// (current) additionally stamps the errno-model fingerprint into the
+// header and appends the cascade block (CascadeSummary) to each entry.
+// resume() accepts all four and keeps appending in the file's own
+// version, so a v1/v2/v3 journal stays a uniform file end to end (its
 // single-site targets round-trip losslessly through the flat legacy
-// layout); v1 records simply resume with propagation_valid = false.
-// Multi-site targets only ever appear in v3 files: pre-v3 journals can
-// only have been written for legacy (single-bit single-shot) plans, whose
-// plan fingerprint any other model fails to match.
+// layout); v1 records simply resume with propagation_valid = false, and
+// pre-v4 records with cascade_valid = false.  Multi-site targets only
+// ever appear in v3+ files: pre-v3 journals can only have been written
+// for legacy (single-bit single-shot) plans, whose plan fingerprint any
+// other model fails to match.  Errno targets (kind = kErrno) only ever
+// appear in v4 files — the v3 reader rejects the kind byte — and a v4
+// journal written for a different errno model is refused on resume via
+// the header fingerprint, exactly like a foreign fault model.
 #pragma once
 
 #include <memory>
@@ -51,7 +57,8 @@ struct CampaignPlan;
 /// always written at kJournalVersion.
 constexpr u32 kJournalVersionV1 = 1;  // pre-propagation entries
 constexpr u32 kJournalVersionV2 = 2;  // + PropagationSummary block
-constexpr u32 kJournalVersion = 3;    // + fault-model header, site lists
+constexpr u32 kJournalVersionV3 = 3;  // + fault-model header, site lists
+constexpr u32 kJournalVersion = 4;    // + errno-model header, cascade block
 
 /// Typed failure for journal open/resume problems (missing file, foreign
 /// campaign fingerprint, malformed header).

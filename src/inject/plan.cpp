@@ -39,10 +39,43 @@ kernel::MachineOptions campaign_machine_options(const CampaignSpec& spec) {
   return mopts;
 }
 
+namespace {
+
+/// Calibration-time hook that counts eligible syscall invocations without
+/// ever forcing a result — the errno plan's draw-window measurement.
+class EligibleCounter final : public kernel::SyscallResultHook {
+ public:
+  explicit EligibleCounter(const errnoinj::ErrnoModel& model)
+      : model_(model) {}
+  bool on_syscall_result(kernel::Syscall nr, u32* ret) override {
+    (void)ret;
+    if (model_.eligible(nr)) ++count_;
+    return false;
+  }
+  u64 count() const { return count_; }
+
+ private:
+  const errnoinj::ErrnoModel& model_;
+  u64 count_ = 0;
+};
+
+}  // namespace
+
 CampaignPlan build_campaign_plan(const CampaignSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
 
   spec.model.validate(spec.kind);
+  spec.errno_model.validate();
+  if (spec.kind == CampaignKind::kErrno && !spec.errno_model.enabled()) {
+    throw errnoinj::ErrnoModelError(
+        "errno model: an errno campaign needs eligible syscalls "
+        "(--errno-syscalls)");
+  }
+  if (spec.kind != CampaignKind::kErrno && spec.errno_model.enabled()) {
+    throw errnoinj::ErrnoModelError(
+        "errno model: errno knobs set on a physical campaign (--kind " +
+        campaign_kind_name(spec.kind) + ")");
+  }
 
   CampaignPlan plan;
   plan.spec = spec;
@@ -53,7 +86,16 @@ CampaignPlan build_campaign_plan(const CampaignSpec& spec) {
   kernel::Machine machine(spec.arch, mopts, plan.image);
   auto wl = workload::make_suite(spec.workload_scale);
 
+  // The counting hook declines every call, so installing it during the
+  // errno-plan calibration leaves nominal_cycles bit-identical to an
+  // uninstrumented calibration (the hook-parity tests pin this).
+  EligibleCounter counter(spec.errno_model);
+  if (spec.kind == CampaignKind::kErrno) {
+    machine.set_syscall_result_hook(&counter);
+  }
   plan.nominal_cycles = calibrate_workload(machine, *wl, spec.seed);
+  machine.set_syscall_result_hook(nullptr);
+  plan.eligible_invocations = counter.count();
   plan.kernel_fraction =
       calibrated_kernel_fraction(machine, plan.nominal_cycles);
   plan.hot_functions =
@@ -62,7 +104,11 @@ CampaignPlan build_campaign_plan(const CampaignSpec& spec) {
   TargetGenerator generator(*plan.image, plan.hot_functions,
                             machine.cpu().sysregs().count(),
                             spec.seed * 0x9E3779B9u + 17);
-  plan.targets = generator.generate(spec.kind, spec.injections, spec.model);
+  plan.targets =
+      spec.kind == CampaignKind::kErrno
+          ? generator.generate_errno(spec.errno_model, spec.injections,
+                                     plan.eligible_invocations)
+          : generator.generate(spec.kind, spec.injections, spec.model);
 
   plan.budget_cycles = static_cast<u64>(spec.budget_factor *
                                         static_cast<double>(plan.nominal_cycles)) +
@@ -117,8 +163,9 @@ u64 plan_fingerprint(const CampaignPlan& plan) {
   // hashes each target through its flat legacy view, reproducing the
   // pre-FaultModel byte stream exactly — old journals keep resuming.
   // Any other model mixes its knobs plus the full site lists.
-  const bool legacy = plan.spec.model.is_legacy();
-  if (!legacy) {
+  const bool legacy = plan.spec.model.is_legacy() &&
+                      spec.kind != CampaignKind::kErrno;
+  if (!legacy && !plan.spec.model.is_legacy()) {
     mix(0xFA017ull);  // domain separator: model block follows
     mix(static_cast<u64>(spec.model.shape));
     mix(static_cast<u64>(spec.model.trigger));
@@ -126,6 +173,11 @@ u64 plan_fingerprint(const CampaignPlan& plan) {
     mix(spec.model.burst_span);
     mix_double(spec.model.rate);
     mix(static_cast<u64>(spec.model.opclass));
+  }
+  if (spec.kind == CampaignKind::kErrno) {
+    mix(0xE4401ull);  // domain separator: errno-model block follows
+    mix(errnoinj::errno_model_fingerprint(spec.errno_model));
+    mix(plan.eligible_invocations);
   }
 
   mix(plan.nominal_cycles);

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "errnoinj/errno_model.hpp"
 #include "inject/fault_model.hpp"
 #include "inject/record.hpp"
 #include "kernel/machine.hpp"
@@ -34,6 +35,10 @@ struct CampaignSpec {
   /// single-shot model, which keeps the plan bit-identical to a
   /// pre-FaultModel build.  Validated (FaultModelError) at plan build.
   FaultModel model{};
+  /// The errno-campaign model (kind == kErrno only; must be enabled for
+  /// errno campaigns and disabled — the default — for every other kind).
+  /// Validated (ErrnoModelError) at plan build.
+  errnoinj::ErrnoModel errno_model{};
 };
 
 /// The frozen inputs of one campaign.  Building a plan runs codegen,
@@ -46,6 +51,9 @@ struct CampaignPlan {
   u64 nominal_cycles = 0;      // calibrated fault-free run length
   double kernel_fraction = 0.15;
   u64 budget_cycles = 0;       // watchdog hang budget
+  /// kErrno: eligible syscall invocations observed in the fault-free
+  /// calibration run (the invocation-index draw window).
+  u64 eligible_invocations = 0;
   std::vector<workload::HotFunction> hot_functions;
   std::vector<InjectionTarget> targets;
   /// Pre-drawn per-injection run seeds (one per target, in target order);

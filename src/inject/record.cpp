@@ -63,6 +63,16 @@ InjectionTarget InjectionTarget::sysreg(u32 reg_index, u32 bit,
   return t;
 }
 
+InjectionTarget InjectionTarget::errno_return(u32 invocation, u32 ret) {
+  InjectionTarget t;
+  t.kind = CampaignKind::kErrno;
+  FaultSite s;
+  s.task = invocation;  // eligible-invocation index (field overload)
+  s.bit = ret;          // forced return word (field overload)
+  t.sites.push_back(s);
+  return t;
+}
+
 LegacyTargetFields legacy_target_fields(const InjectionTarget& target) {
   LegacyTargetFields f;
   f.kind = target.kind;
@@ -91,6 +101,12 @@ LegacyTargetFields legacy_target_fields(const InjectionTarget& target) {
       f.reg_index = s.reg_index;
       f.reg_bit = s.bit;
       break;
+    case CampaignKind::kErrno:
+      // Errno targets never take the legacy (pre-FaultModel) paths: the
+      // campaign family postdates them, so v1/v2 journals and the legacy
+      // fingerprint layout can never contain one.
+      KFI_CHECK(false, "errno targets have no legacy field view");
+      break;
   }
   return f;
 }
@@ -114,6 +130,9 @@ InjectionTarget target_from_legacy_fields(const LegacyTargetFields& legacy) {
       t = InjectionTarget::sysreg(legacy.reg_index, legacy.reg_bit,
                                   legacy.inject_at_frac);
       break;
+    case CampaignKind::kErrno:
+      KFI_CHECK(false, "errno targets have no legacy field view");
+      break;
   }
   t.function = legacy.function;
   t.reg_name = legacy.reg_name;
@@ -127,6 +146,7 @@ std::string campaign_kind_name(CampaignKind kind) {
     case CampaignKind::kRegister: return "register";
     case CampaignKind::kData: return "data";
     case CampaignKind::kCode: return "code";
+    case CampaignKind::kErrno: return "errno";
   }
   return "unknown";
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "errnoinj/cascade.hpp"
 #include "isa/arch.hpp"
 #include "isa/opclass.hpp"
 #include "kernel/crash.hpp"
@@ -18,7 +19,9 @@
 
 namespace kfi::inject {
 
-enum class CampaignKind : u8 { kStack = 0, kRegister, kData, kCode };
+/// kErrno is the non-physical campaign family: nothing is corrupted, the
+/// injector forces error returns at the syscall boundary instead.
+enum class CampaignKind : u8 { kStack = 0, kRegister, kData, kCode, kErrno };
 
 std::string campaign_kind_name(CampaignKind kind);
 
@@ -44,6 +47,9 @@ struct FaultSite {
   double depth_frac = 0.0;
   /// kRegister: system-register index.
   u32 reg_index = 0;
+  // kErrno overloads two existing fields so errno sites hash, journal and
+  // fingerprint through the same paths as physical ones: `task` carries
+  // the eligible-invocation index to force, `bit` the forced return word.
   /// Rate-triggered models: when this site's fault event fires, as a
   /// fraction of the nominal run length.  Sites are kept sorted by this.
   double at_frac = 0.0;
@@ -93,6 +99,10 @@ struct InjectionTarget {
   static InjectionTarget stack(u32 task, double depth_frac, u32 bit,
                                double at_frac = 0.0);
   static InjectionTarget sysreg(u32 reg_index, u32 bit, double at_frac = 0.0);
+  /// kErrno: force return `ret` at eligible invocation `invocation`.
+  /// Rate-triggered errno targets append more sites (sorted, unique
+  /// invocation indices); a Poisson draw of 0 leaves `sites` empty.
+  static InjectionTarget errno_return(u32 invocation, u32 ret);
 };
 
 /// The pre-FaultModel flat view of a target: the 15 per-kind fields the
@@ -166,6 +176,12 @@ struct InjectionRecord {
   /// fingerprint identically.
   trace::PropagationSummary propagation{};
   bool propagation_valid = false;
+
+  /// Cascade digest of a forced-errno run (kErrno campaigns only).
+  /// Unlike propagation this is *part of the result*: it is mixed into
+  /// result_fingerprint and journaled from v4 on.
+  errnoinj::CascadeSummary cascade{};
+  bool cascade_valid = false;
 
   // kHarnessError only: what went wrong in the harness and how many
   // attempts (initial + retries) were consumed before quarantining.

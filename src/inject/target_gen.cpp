@@ -151,6 +151,9 @@ InjectionTarget TargetGenerator::next_unit(CampaignKind kind,
     case CampaignKind::kStack: return next_stack();
     case CampaignKind::kData: return next_data();
     case CampaignKind::kRegister: return next_register();
+    case CampaignKind::kErrno:
+      KFI_CHECK(false, "errno targets are generated by next_errno");
+      break;
   }
   KFI_CHECK(false, "bad campaign kind");
   return {};
@@ -247,6 +250,64 @@ std::vector<InjectionTarget> TargetGenerator::generate(CampaignKind kind,
   std::vector<InjectionTarget> targets;
   targets.reserve(count);
   for (u32 i = 0; i < count; ++i) targets.push_back(next(kind, model));
+  return targets;
+}
+
+InjectionTarget TargetGenerator::next_errno(const errnoinj::ErrnoModel& model,
+                                            u64 eligible_per_run) {
+  using errnoinj::ErrnoTrigger;
+  using errnoinj::ErrnoValue;
+  // The draw window: invocation indices in [0, eligible_per_run).  A run
+  // with no eligible invocations still gets index 0 so the target exists
+  // (it simply never activates), mirroring never-reached breakpoints.
+  const u64 window = std::max<u64>(eligible_per_run, 1);
+  auto draw_ret = [this, &model]() -> u32 {
+    if (model.value == ErrnoValue::kDrawnNegative) {
+      // An errno-style code in [-34, -1] (EPERM..ERANGE territory).
+      return static_cast<u32>(-static_cast<i32>(rng_.range(1, 34)));
+    }
+    return kernel::kErrReturn;
+  };
+
+  if (model.trigger == ErrnoTrigger::kNth) {
+    const u32 index = model.nth != errnoinj::ErrnoModel::kNthDraw
+                          ? model.nth
+                          : static_cast<u32>(rng_.below(window));
+    return InjectionTarget::errno_return(index, draw_ret());
+  }
+
+  // Rate trigger: a Poisson event count, one (index, ret) pair per event,
+  // sorted by index with duplicate indices collapsed (one invocation can
+  // only be forced once).  All frozen at plan time.
+  InjectionTarget t;
+  t.kind = CampaignKind::kErrno;
+  const u32 events = rng_.poisson(model.rate);
+  std::vector<FaultSite> sites;
+  sites.reserve(events);
+  for (u32 e = 0; e < events; ++e) {
+    FaultSite s;
+    s.task = static_cast<u32>(rng_.below(window));
+    s.bit = draw_ret();
+    sites.push_back(s);
+  }
+  std::stable_sort(sites.begin(), sites.end(),
+                   [](const FaultSite& a, const FaultSite& b) {
+                     return a.task < b.task;
+                   });
+  for (const FaultSite& s : sites) {
+    if (!t.sites.empty() && t.sites.back().task == s.task) continue;
+    t.sites.push_back(s);
+  }
+  return t;
+}
+
+std::vector<InjectionTarget> TargetGenerator::generate_errno(
+    const errnoinj::ErrnoModel& model, u32 count, u64 eligible_per_run) {
+  std::vector<InjectionTarget> targets;
+  targets.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    targets.push_back(next_errno(model, eligible_per_run));
+  }
   return targets;
 }
 

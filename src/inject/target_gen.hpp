@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "errnoinj/errno_model.hpp"
 #include "inject/fault_model.hpp"
 #include "inject/record.hpp"
 #include "kir/image.hpp"
@@ -45,6 +46,17 @@ class TargetGenerator {
   /// Pre-generate a whole campaign's worth of targets.
   std::vector<InjectionTarget> generate(CampaignKind kind, u32 count,
                                         const FaultModel& model = {});
+
+  /// One errno target: the frozen per-run schedule of forced returns.
+  /// `eligible_per_run` is the calibrated count of eligible syscall
+  /// invocations in one fault-free run (the draw window for invocation
+  /// indices).
+  InjectionTarget next_errno(const errnoinj::ErrnoModel& model,
+                             u64 eligible_per_run);
+
+  /// Pre-generate a whole errno campaign.
+  std::vector<InjectionTarget> generate_errno(const errnoinj::ErrnoModel& model,
+                                              u32 count, u64 eligible_per_run);
 
   /// System-register names are resolved by the campaign controller; the
   /// generator only picks indices.

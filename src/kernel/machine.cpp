@@ -41,6 +41,11 @@ kir::ImagePtr build_shared_kernel_image(isa::Arch arch, bool spinlock_debug) {
       build_kernel_image(arch, spinlock_debug));
 }
 
+trace::RegSlot syscall_result_slot(isa::Arch arch) {
+  return arch == isa::Arch::kCisca ? static_cast<trace::RegSlot>(cisca::kEax)
+                                   : static_cast<trace::RegSlot>(3);
+}
+
 Machine::Machine(isa::Arch arch, MachineOptions options)
     : Machine(arch, options,
               build_shared_kernel_image(arch, options.spinlock_debug)) {}
@@ -324,6 +329,7 @@ isa::Trap glue_access_fault(isa::Arch arch, Addr addr, bool is_write, Addr pc) {
 }  // namespace
 
 void Machine::setup_syscall_frame(const PendingSyscall& req) {
+  current_syscall_nr_ = req.nr;
   cpu_->add_cycles(jitter(150, 260));  // kernel entry cost
   if (cisca_cpu_ != nullptr) {
     auto& regs = cisca_cpu_->regs();
@@ -573,6 +579,8 @@ bool Machine::isr_return() {
 
 bool Machine::syscall_return(u32& ret_out) {
   cpu_->add_cycles(jitter(60, 120));
+  trace::RegSlot ret_slot;
+  trace::RegSlot sp_slot;
   if (cisca_cpu_ != nullptr) {
     auto& regs = cisca_cpu_->regs();
     // Return to user via iret: NT must be clear.
@@ -585,22 +593,31 @@ bool Machine::syscall_return(u32& ret_out) {
     }
     ret_out = regs.gpr[cisca::kEax];
     regs.gpr[cisca::kEsp] = stack_top(arch_, 0);
-    if (trace_ != nullptr) {
-      // A tainted return value is the fail-silence-violation signal: the
-      // error escaped the kernel into a caller-visible result.
-      trace_->on_syscall_result(cisca::kEax);
-      trace_->on_glue_reg_set(cisca::kEsp);
-    }
+    ret_slot = cisca::kEax;
+    sp_slot = cisca::kEsp;
   } else {
     auto& regs = riscf_cpu_->regs();
     ret_out = regs.gpr[3];
     regs.gpr[riscf::kSp] = stack_top(arch_, 0);
-    if (trace_ != nullptr) {
-      trace_->on_syscall_result(3);
-      trace_->on_glue_reg_set(riscf::kSp);
+    ret_slot = 3;
+    sp_slot = riscf::kSp;
+  }
+  if (result_hook_ != nullptr &&
+      result_hook_->on_syscall_result(
+          static_cast<Syscall>(current_syscall_nr_), &ret_out)) {
+    // The hook forced a different result: write it back into the return
+    // register so user code (and the trace sink) sees the forced value.
+    if (cisca_cpu_ != nullptr) {
+      cisca_cpu_->regs().gpr[cisca::kEax] = ret_out;
+    } else {
+      riscf_cpu_->regs().gpr[3] = ret_out;
     }
   }
   if (trace_ != nullptr) {
+    // A tainted return value is the fail-silence-violation signal: the
+    // error escaped the kernel into a caller-visible result.
+    trace_->on_syscall_result(ret_slot);
+    trace_->on_glue_reg_set(sp_slot);
     trace_->on_priv_transition(trace::PrivEvent::kSyscallReturn);
   }
   glue_stack_.pop_back();

@@ -73,6 +73,21 @@ struct HarnessInterrupt {
   u64 step_budget = 0;
 };
 
+/// Interception seam at the syscall boundary: called once per completed
+/// system call with the kernel's natural return value, before the trace
+/// sink observes it.  Return true after overwriting *ret to force a
+/// different result (the machine writes it back into the return register
+/// so the workload sees the forced value); return false to leave the
+/// result untouched.  Null-guarded like the trace sink — the default path
+/// pays one pointer test, no virtual dispatch.  Glue-generated error
+/// returns (stray-trap ENOSYS) never reach the hook: those are harness
+/// artifacts, not kernel results.
+class SyscallResultHook {
+ public:
+  virtual ~SyscallResultHook() = default;
+  virtual bool on_syscall_result(Syscall nr, u32* ret) = 0;
+};
+
 struct MachineOptions {
   /// Cycles between timer ticks (the 100Hz-ish decrementer / PIT).
   u64 timer_period = 1'000'000;
@@ -151,6 +166,14 @@ class Machine {
   /// transitions.  Strictly observational: simulation results are
   /// bit-identical with or without a sink attached.
   void set_trace_sink(trace::TraceSink* sink);
+
+  /// Attach (or detach, with nullptr) a syscall-result interception hook.
+  /// The pointee must outlive the machine or a later set call.  With no
+  /// hook — or an attached hook that declines every call — simulation
+  /// results are bit-identical to a hook-free machine.
+  void set_syscall_result_hook(SyscallResultHook* hook) {
+    result_hook_ = hook;
+  }
 
   /// Total simulated user-mode cycles charged so far (for estimating the
   /// kernel-time fraction of wall-clock, used by the register injector).
@@ -241,6 +264,8 @@ class Machine {
 
   HarnessInterrupt* harness_interrupt_ = nullptr;
   trace::TraceSink* trace_ = nullptr;
+  SyscallResultHook* result_hook_ = nullptr;
+  u32 current_syscall_nr_ = 0;  // nr of the in-flight syscall (hook arg)
 
   MachineSnapshot boot_snapshot_;
 };
@@ -253,5 +278,9 @@ kir::Image build_kernel_image(isa::Arch arch, bool spinlock_debug = true);
 /// one-codegen-per-campaign path).
 kir::ImagePtr build_shared_kernel_image(isa::Arch arch,
                                         bool spinlock_debug = true);
+
+/// Register slot carrying the syscall return value on `arch` (eax / r3);
+/// the slot a forced-result injector seeds in the taint engine.
+trace::RegSlot syscall_result_slot(isa::Arch arch);
 
 }  // namespace kfi::kernel

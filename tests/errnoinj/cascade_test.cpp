@@ -1,0 +1,120 @@
+// CascadeTracker classification contract: contained vs propagated vs
+// silent, cascade-length arithmetic, and the realism/state-deviation tags.
+#include <gtest/gtest.h>
+
+#include "errnoinj/cascade.hpp"
+
+namespace kfi::errnoinj {
+namespace {
+
+TEST(CascadeTracker, NoForcesClassifiesNone) {
+  CascadeTracker t;
+  for (u32 op = 0; op < 8; ++op) t.record_op(op, 0, true);
+  const CascadeSummary s = t.finalize(true, true, 8);
+  EXPECT_EQ(s.forced, 0u);
+  EXPECT_EQ(s.containment, CascadeClass::kNone);
+  EXPECT_EQ(s.deviating_ops, 0u);
+  EXPECT_EQ(s.cascade_length, 0u);
+  EXPECT_FALSE(s.checked_at_site);
+  EXPECT_FALSE(s.state_deviation);
+}
+
+TEST(CascadeTracker, ForceWithNoDeviationIsSilent) {
+  CascadeTracker t;
+  t.record_op(0, 0, true);
+  t.record_op(1, 1, true);  // forced, but the check never noticed
+  t.record_op(2, 0, true);
+  const CascadeSummary s = t.finalize(true, true, 3);
+  EXPECT_EQ(s.forced, 1u);
+  EXPECT_EQ(s.first_forced_op, 1u);
+  EXPECT_EQ(s.containment, CascadeClass::kSilent);
+  EXPECT_EQ(s.cascade_length, 0u);
+  EXPECT_FALSE(s.checked_at_site);
+  EXPECT_FALSE(s.state_deviation);
+}
+
+TEST(CascadeTracker, DeviationOnlyAtForcedOpIsContained) {
+  CascadeTracker t;
+  t.record_op(0, 0, true);
+  t.record_op(1, 1, false);  // check fired right at the forced op
+  t.record_op(2, 0, true);
+  t.record_op(3, 0, true);
+  const CascadeSummary s = t.finalize(true, true, 4);
+  EXPECT_EQ(s.containment, CascadeClass::kContained);
+  EXPECT_EQ(s.deviating_ops, 1u);
+  EXPECT_EQ(s.cascade_length, 1u);  // the forced op itself, inclusive
+  EXPECT_TRUE(s.checked_at_site);
+  EXPECT_FALSE(s.state_deviation);
+}
+
+TEST(CascadeTracker, DeviationAfterForcedOpPropagates) {
+  CascadeTracker t;
+  t.record_op(0, 0, true);
+  t.record_op(1, 1, false);
+  t.record_op(2, 0, true);
+  t.record_op(3, 0, false);  // later op still deviating: a cascade
+  t.record_op(4, 0, true);
+  const CascadeSummary s = t.finalize(true, true, 5);
+  EXPECT_EQ(s.containment, CascadeClass::kPropagated);
+  EXPECT_EQ(s.deviating_ops, 2u);
+  EXPECT_EQ(s.cascade_length, 3u);  // ops 1..3 inclusive
+  EXPECT_TRUE(s.checked_at_site);
+}
+
+TEST(CascadeTracker, FailedFinalCheckPropagatesEvenIfOpsWereClean) {
+  CascadeTracker t;
+  t.record_op(0, 1, true);
+  t.record_op(1, 0, true);
+  const CascadeSummary s = t.finalize(true, /*final_ok=*/false, 2);
+  EXPECT_EQ(s.containment, CascadeClass::kPropagated);
+  EXPECT_TRUE(s.state_deviation);
+}
+
+TEST(CascadeTracker, CrashAfterForcePropagatesToRunEnd) {
+  CascadeTracker t;
+  t.record_op(0, 0, true);
+  t.record_op(2, 1, false);
+  // Run dies (crash/hang) before the workload completes at op 7.
+  const CascadeSummary s = t.finalize(/*completed=*/false, false, 7);
+  EXPECT_EQ(s.containment, CascadeClass::kPropagated);
+  EXPECT_EQ(s.cascade_length, 5u);  // first force (2) to run end (7)
+  EXPECT_FALSE(s.state_deviation);  // final_check never ran
+}
+
+TEST(CascadeTracker, CheckFailuresBeforeAnyForceAreIgnored) {
+  // A pre-force check failure cannot be blamed on the injection; only
+  // deviations at or after the first force count.
+  CascadeTracker t;
+  t.record_op(0, 0, false);
+  t.record_op(1, 1, true);
+  t.record_op(2, 0, true);
+  const CascadeSummary s = t.finalize(true, true, 3);
+  EXPECT_EQ(s.containment, CascadeClass::kSilent);
+  EXPECT_EQ(s.deviating_ops, 0u);
+  EXPECT_FALSE(s.checked_at_site);
+}
+
+TEST(CascadeTracker, MultipleForcesCountAndKeepFirstSite) {
+  // Both deviations sit exactly at forced ops, so the run is contained
+  // even though two separate sites deviated.
+  CascadeTracker t;
+  t.record_op(0, 1, false);
+  t.record_op(1, 0, true);
+  t.record_op(2, 2, false);  // two forces inside one op
+  const CascadeSummary s = t.finalize(true, true, 3);
+  EXPECT_EQ(s.forced, 3u);
+  EXPECT_EQ(s.first_forced_op, 0u);
+  EXPECT_EQ(s.cascade_length, 3u);  // ops 0..2 inclusive
+  EXPECT_EQ(s.containment, CascadeClass::kContained);
+  EXPECT_TRUE(s.checked_at_site);
+}
+
+TEST(CascadeClassName, AllValuesNamed) {
+  EXPECT_STREQ(cascade_class_name(CascadeClass::kNone), "none");
+  EXPECT_STREQ(cascade_class_name(CascadeClass::kContained), "contained");
+  EXPECT_STREQ(cascade_class_name(CascadeClass::kPropagated), "propagated");
+  EXPECT_STREQ(cascade_class_name(CascadeClass::kSilent), "silent");
+}
+
+}  // namespace
+}  // namespace kfi::errnoinj

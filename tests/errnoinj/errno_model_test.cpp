@@ -1,0 +1,153 @@
+// ErrnoModel value-type contract: syscall-list parsing, validation of
+// every knob combination, naming, and fingerprint sensitivity.
+#include <gtest/gtest.h>
+
+#include "errnoinj/errno_model.hpp"
+
+namespace kfi::errnoinj {
+namespace {
+
+using kernel::Syscall;
+
+u32 mask_of(const std::string& list) {
+  std::string bad;
+  const auto m = parse_syscall_list(list, &bad);
+  EXPECT_TRUE(m.has_value()) << "bad token: " << bad;
+  return m.value_or(0);
+}
+
+TEST(ParseSyscallList, SingleAndMultiple) {
+  EXPECT_EQ(mask_of("read"), 1u << static_cast<u32>(Syscall::kRead));
+  EXPECT_EQ(mask_of("read,write"),
+            (1u << static_cast<u32>(Syscall::kRead)) |
+                (1u << static_cast<u32>(Syscall::kWrite)));
+  EXPECT_EQ(mask_of("alloc,free,send,recv"),
+            (1u << static_cast<u32>(Syscall::kAlloc)) |
+                (1u << static_cast<u32>(Syscall::kFree)) |
+                (1u << static_cast<u32>(Syscall::kSend)) |
+                (1u << static_cast<u32>(Syscall::kRecv)));
+}
+
+TEST(ParseSyscallList, AllIsTheFullEligibleMask) {
+  EXPECT_EQ(mask_of("all"), eligible_syscall_mask());
+}
+
+TEST(ParseSyscallList, RejectsUnknownAndInfallibleSyscalls) {
+  std::string bad;
+  EXPECT_FALSE(parse_syscall_list("bogus", &bad).has_value());
+  EXPECT_EQ(bad, "bogus");
+  // yield/getpid cannot fail in minux: they are not eligible tokens.
+  EXPECT_FALSE(parse_syscall_list("yield", &bad).has_value());
+  EXPECT_FALSE(parse_syscall_list("read,getpid", &bad).has_value());
+  EXPECT_EQ(bad, "getpid");
+}
+
+TEST(ParseSyscallList, RejectsEmptyTokens) {
+  std::string bad;
+  EXPECT_FALSE(parse_syscall_list("", &bad).has_value());
+  EXPECT_FALSE(parse_syscall_list("read,", &bad).has_value());
+  EXPECT_FALSE(parse_syscall_list("read,,write", &bad).has_value());
+}
+
+TEST(ErrnoModelValidate, DisabledModelIsValid) {
+  ErrnoModel m;
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(ErrnoModelValidate, DefaultEnabledNthModelIsValid) {
+  ErrnoModel m;
+  m.syscalls = mask_of("read,write");
+  EXPECT_NO_THROW(m.validate());
+  m.nth = 5;
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(ErrnoModelValidate, RateModelNeedsPositiveBoundedRate) {
+  ErrnoModel m;
+  m.syscalls = mask_of("read");
+  m.trigger = ErrnoTrigger::kRate;
+  EXPECT_THROW(m.validate(), ErrnoModelError);  // rate == 0
+  m.rate = 2.0;
+  EXPECT_NO_THROW(m.validate());
+  m.rate = -1.0;
+  EXPECT_THROW(m.validate(), ErrnoModelError);
+  m.rate = 4096.0;
+  EXPECT_THROW(m.validate(), ErrnoModelError);
+}
+
+TEST(ErrnoModelValidate, NthModelRejectsStrayRate) {
+  ErrnoModel m;
+  m.syscalls = mask_of("read");
+  m.rate = 2.0;  // trigger is kNth
+  EXPECT_THROW(m.validate(), ErrnoModelError);
+}
+
+TEST(ErrnoModelValidate, RejectsIneligibleMaskBits) {
+  ErrnoModel m;
+  m.syscalls = 1u << static_cast<u32>(Syscall::kGetpid);
+  EXPECT_THROW(m.validate(), ErrnoModelError);
+}
+
+TEST(ErrnoModelValidate, DisabledModelWithRateRejected) {
+  ErrnoModel m;
+  m.rate = 1.0;
+  EXPECT_THROW(m.validate(), ErrnoModelError);
+}
+
+TEST(ErrnoModelEligible, MatchesMask) {
+  ErrnoModel m;
+  m.syscalls = mask_of("read,send");
+  EXPECT_TRUE(m.eligible(Syscall::kRead));
+  EXPECT_TRUE(m.eligible(Syscall::kSend));
+  EXPECT_FALSE(m.eligible(Syscall::kWrite));
+  EXPECT_FALSE(m.eligible(Syscall::kYield));
+  EXPECT_FALSE(m.eligible(Syscall::kGetpid));
+}
+
+TEST(ErrnoModelName, DescribesTriggerValueAndSyscalls) {
+  ErrnoModel m;
+  m.syscalls = mask_of("read,write");
+  const std::string nth = m.name();
+  EXPECT_NE(nth.find("nth"), std::string::npos) << nth;
+  EXPECT_NE(nth.find("read"), std::string::npos) << nth;
+  EXPECT_NE(nth.find("write"), std::string::npos) << nth;
+  m.syscalls = eligible_syscall_mask();
+  m.trigger = ErrnoTrigger::kRate;
+  m.rate = 2.0;
+  m.value = ErrnoValue::kDrawnNegative;
+  const std::string rate = m.name();
+  EXPECT_NE(rate.find("rate"), std::string::npos) << rate;
+  EXPECT_NE(rate.find("all"), std::string::npos) << rate;
+  EXPECT_NE(rate.find("drawn"), std::string::npos) << rate;
+}
+
+TEST(ErrnoModelFingerprint, SensitiveToEveryField) {
+  ErrnoModel base;
+  base.syscalls = mask_of("read,write");
+  const u64 fp = errno_model_fingerprint(base);
+  EXPECT_EQ(fp, errno_model_fingerprint(base));  // stable
+
+  ErrnoModel m = base;
+  m.syscalls = mask_of("read");
+  EXPECT_NE(fp, errno_model_fingerprint(m));
+  m = base;
+  m.value = ErrnoValue::kDrawnNegative;
+  EXPECT_NE(fp, errno_model_fingerprint(m));
+  m = base;
+  m.trigger = ErrnoTrigger::kRate;
+  m.rate = 2.0;
+  EXPECT_NE(fp, errno_model_fingerprint(m));
+  m = base;
+  m.nth = 7;
+  EXPECT_NE(fp, errno_model_fingerprint(m));
+}
+
+TEST(SyscallNames, RoundTrip) {
+  EXPECT_EQ(syscall_name(static_cast<u32>(Syscall::kRead)), "read");
+  EXPECT_EQ(syscall_name(static_cast<u32>(Syscall::kRecv)), "recv");
+  EXPECT_EQ(syscall_list_name(eligible_syscall_mask()), "all");
+  EXPECT_EQ(syscall_list_name(mask_of("read,write")), "read,write");
+}
+
+}  // namespace
+}  // namespace kfi::errnoinj

@@ -1,0 +1,201 @@
+// ErrnoInjector hook contract, driven through a real booted Machine on
+// both architectures: forced swaps happen exactly at the scheduled
+// eligible invocations, ineligible syscalls never advance the counter,
+// an installed-but-inactive hook is bit-identical to no hook at all, and
+// a forced result seeds the taint engine at the return-value register.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "errnoinj/injector.hpp"
+#include "kernel/abi.hpp"
+#include "kernel/layout.hpp"
+#include "kernel/machine.hpp"
+#include "trace/taint.hpp"
+
+namespace kfi::errnoinj {
+namespace {
+
+using kernel::EventKind;
+using kernel::Machine;
+using kernel::MachineOptions;
+using kernel::Syscall;
+
+ErrnoModel read_write_model() {
+  ErrnoModel m;
+  std::string bad;
+  m.syscalls = *parse_syscall_list("read,write", &bad);
+  return m;
+}
+
+class ErrnoInjectorTest : public ::testing::TestWithParam<isa::Arch> {
+ protected:
+  ErrnoInjectorTest() : machine_(GetParam(), MachineOptions{}) {}
+
+  u32 must_syscall(Syscall nr, u32 a0 = 0, u32 a1 = 0, u32 a2 = 0) {
+    const kernel::Event ev = machine_.syscall(nr, a0, a1, a2);
+    EXPECT_EQ(ev.kind, EventKind::kSyscallDone);
+    return ev.ret;
+  }
+
+  Machine machine_;
+};
+
+TEST_P(ErrnoInjectorTest, ForcesScheduledInvocationAndLogsNaturalReturn) {
+  ErrnoInjector inj(read_write_model(),
+                    kernel::syscall_result_slot(GetParam()));
+  machine_.set_syscall_result_hook(&inj);
+  inj.arm({{0, kernel::kErrReturn}});
+
+  const u32 ret =
+      must_syscall(Syscall::kRead, 0, kernel::kUserBufBase, kernel::kBlockSize);
+  EXPECT_EQ(ret, kernel::kErrReturn);
+  ASSERT_EQ(inj.forced().size(), 1u);
+  EXPECT_EQ(inj.forced()[0].eligible_index, 0u);
+  EXPECT_EQ(inj.forced()[0].syscall, static_cast<u32>(Syscall::kRead));
+  EXPECT_EQ(inj.forced()[0].natural_ret, kernel::kBlockSize);
+  EXPECT_EQ(inj.forced()[0].forced_ret, kernel::kErrReturn);
+
+  // The schedule is spent: the next read returns naturally.
+  EXPECT_EQ(must_syscall(Syscall::kRead, 0, kernel::kUserBufBase,
+                         kernel::kBlockSize),
+            kernel::kBlockSize);
+  EXPECT_EQ(inj.eligible_seen(), 2u);
+}
+
+TEST_P(ErrnoInjectorTest, IneligibleSyscallsDoNotAdvanceTheCounter) {
+  ErrnoInjector inj(read_write_model(),
+                    kernel::syscall_result_slot(GetParam()));
+  machine_.set_syscall_result_hook(&inj);
+  inj.arm({{0, kernel::kErrReturn}});
+
+  // getpid/yield/alloc are outside the read,write mask: results untouched,
+  // counter frozen, schedule still pending.
+  EXPECT_EQ(must_syscall(Syscall::kGetpid), 1u);
+  EXPECT_EQ(must_syscall(Syscall::kYield), 0u);
+  EXPECT_NE(must_syscall(Syscall::kAlloc), 0u);
+  EXPECT_EQ(inj.eligible_seen(), 0u);
+  EXPECT_TRUE(inj.forced().empty());
+
+  // The first eligible invocation still gets forced.
+  EXPECT_EQ(must_syscall(Syscall::kRead, 0, kernel::kUserBufBase,
+                         kernel::kBlockSize),
+            kernel::kErrReturn);
+}
+
+TEST_P(ErrnoInjectorTest, SchedulesByEligibleIndexNotCallOrder) {
+  ErrnoInjector inj(read_write_model(),
+                    kernel::syscall_result_slot(GetParam()));
+  machine_.set_syscall_result_hook(&inj);
+  inj.arm({{1, kernel::kErrReturn}});
+
+  // Invocation 0 passes through, invocation 1 is forced.
+  EXPECT_EQ(must_syscall(Syscall::kRead, 0, kernel::kUserBufBase,
+                         kernel::kBlockSize),
+            kernel::kBlockSize);
+  EXPECT_EQ(must_syscall(Syscall::kRead, 0, kernel::kUserBufBase,
+                         kernel::kBlockSize),
+            kernel::kErrReturn);
+  ASSERT_EQ(inj.forced().size(), 1u);
+  EXPECT_EQ(inj.forced()[0].eligible_index, 1u);
+}
+
+TEST_P(ErrnoInjectorTest, DrawnNegativeValueIsDeliveredVerbatim) {
+  ErrnoModel model = read_write_model();
+  model.value = ErrnoValue::kDrawnNegative;
+  ErrnoInjector inj(model, kernel::syscall_result_slot(GetParam()));
+  machine_.set_syscall_result_hook(&inj);
+  const u32 drawn = 0xFFFFFFF4u;  // -12, as a plan's draw would produce
+  inj.arm({{0, drawn}});
+
+  EXPECT_EQ(must_syscall(Syscall::kRead, 0, kernel::kUserBufBase,
+                         kernel::kBlockSize),
+            drawn);
+  ASSERT_EQ(inj.forced().size(), 1u);
+  EXPECT_EQ(inj.forced()[0].forced_ret, drawn);
+}
+
+TEST_P(ErrnoInjectorTest, DisarmDropsScheduleAndLog) {
+  ErrnoInjector inj(read_write_model(),
+                    kernel::syscall_result_slot(GetParam()));
+  machine_.set_syscall_result_hook(&inj);
+  inj.arm({{0, kernel::kErrReturn}});
+  must_syscall(Syscall::kRead, 0, kernel::kUserBufBase, kernel::kBlockSize);
+  ASSERT_EQ(inj.forced().size(), 1u);
+
+  inj.disarm();
+  EXPECT_TRUE(inj.forced().empty());
+  EXPECT_EQ(inj.eligible_seen(), 0u);
+  EXPECT_EQ(must_syscall(Syscall::kRead, 0, kernel::kUserBufBase,
+                         kernel::kBlockSize),
+            kernel::kBlockSize);
+}
+
+TEST_P(ErrnoInjectorTest, InactiveHookIsBitIdenticalToNoHook) {
+  // Machine A: no hook.  Machine B: a disabled-model injector installed.
+  // Every return value and every observable counter must match — the seam
+  // may not perturb legacy campaigns.
+  Machine bare(GetParam(), MachineOptions{});
+  ErrnoInjector idle_inj(ErrnoModel{},
+                         kernel::syscall_result_slot(GetParam()));
+  machine_.set_syscall_result_hook(&idle_inj);
+
+  const std::vector<Syscall> script = {Syscall::kRead,   Syscall::kGetpid,
+                                       Syscall::kWrite,  Syscall::kAlloc,
+                                       Syscall::kYield,  Syscall::kRead,
+                                       Syscall::kSend,   Syscall::kRecv};
+  for (const Syscall nr : script) {
+    u32 a0 = 0, a1 = 0, a2 = 0;
+    switch (nr) {
+      case Syscall::kRead:
+      case Syscall::kWrite:
+        a0 = 0, a1 = kernel::kUserBufBase, a2 = kernel::kBlockSize;
+        break;
+      case Syscall::kSend:
+        a0 = kernel::kUserBufBase, a1 = 32;
+        break;
+      case Syscall::kRecv:
+        a0 = kernel::kUserBufBase, a1 = 256;
+        break;
+      default:
+        break;
+    }
+    const kernel::Event hooked = machine_.syscall(nr, a0, a1, a2);
+    const kernel::Event plain = bare.syscall(nr, a0, a1, a2);
+    ASSERT_EQ(hooked.kind, EventKind::kSyscallDone);
+    ASSERT_EQ(plain.kind, EventKind::kSyscallDone);
+    EXPECT_EQ(hooked.ret, plain.ret)
+        << "syscall " << static_cast<u32>(nr) << " diverged";
+  }
+  EXPECT_EQ(machine_.read_global("syscall_count"),
+            bare.read_global("syscall_count"));
+  EXPECT_EQ(machine_.read_global("jiffies"), bare.read_global("jiffies"));
+  EXPECT_EQ(machine_.user_cycles(), bare.user_cycles());
+  EXPECT_EQ(idle_inj.eligible_seen(), 0u);
+}
+
+TEST_P(ErrnoInjectorTest, ForcedResultSeedsTheTaintEngine) {
+  trace::TaintEngine taint;
+  taint.reset();
+  ErrnoInjector inj(read_write_model(),
+                    kernel::syscall_result_slot(GetParam()));
+  inj.set_taint_engine(&taint);
+  machine_.set_syscall_result_hook(&inj);
+  inj.arm({{0, kernel::kErrReturn}});
+
+  must_syscall(Syscall::kRead, 0, kernel::kUserBufBase, kernel::kBlockSize);
+  ASSERT_EQ(inj.forced().size(), 1u);
+  EXPECT_GT(taint.reg_depth(kernel::syscall_result_slot(GetParam())), 0u)
+      << "forced errno did not taint the result register";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, ErrnoInjectorTest,
+                         ::testing::Values(isa::Arch::kCisca,
+                                           isa::Arch::kRiscf),
+                         [](const auto& info) {
+                           return info.param == isa::Arch::kCisca ? "cisca"
+                                                                  : "riscf";
+                         });
+
+}  // namespace
+}  // namespace kfi::errnoinj

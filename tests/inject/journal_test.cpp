@@ -301,7 +301,8 @@ TEST_F(JournalFileTest, ResumeRejectsGarbageHeader) {
 // fabricate a journal header the current build would never write itself
 // (an old v1 file, or one from a hypothetical future build).
 void write_bare_header(const std::string& path, u32 version, u64 fingerprint,
-                       u32 total, u64 model_fingerprint = 0) {
+                       u32 total, u64 model_fingerprint = 0,
+                       u64 errno_fingerprint = 0) {
   std::vector<u8> h;
   const auto put32 = [&h](u32 v) {
     h.push_back(static_cast<u8>(v >> 24));
@@ -313,9 +314,13 @@ void write_bare_header(const std::string& path, u32 version, u64 fingerprint,
   put32(version);
   put32(static_cast<u32>(fingerprint >> 32));
   put32(static_cast<u32>(fingerprint));
-  if (version >= kJournalVersion) {
+  if (version >= kJournalVersionV3) {
     put32(static_cast<u32>(model_fingerprint >> 32));
     put32(static_cast<u32>(model_fingerprint));
+  }
+  if (version >= kJournalVersion) {
+    put32(static_cast<u32>(errno_fingerprint >> 32));
+    put32(static_cast<u32>(errno_fingerprint));
   }
   put32(total);
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
@@ -442,7 +447,7 @@ TEST_F(JournalFileTest, V3ResumeRejectsForeignFaultModel) {
   FaultModel other;
   other.shape = FaultShape::kMultiBit;
   other.bits = 4;
-  write_bare_header(path_, kJournalVersion, plan_fingerprint(plan_),
+  write_bare_header(path_, kJournalVersionV3, plan_fingerprint(plan_),
                     static_cast<u32>(plan_.targets.size()),
                     fault_model_fingerprint(other));
   try {

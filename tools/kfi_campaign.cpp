@@ -1,9 +1,11 @@
 // kfi_campaign: run one injection campaign from the command line.
 //
-//   kfi_campaign --arch p4|g4 --kind stack|register|data|code
+//   kfi_campaign --arch p4|g4 --kind stack|register|data|code|errno
 //                [--n COUNT] [--seed S] [--jobs N] [--loss P] [--scale K]
 //                [--fault-model single-bit|multi-bit|burst|opclass]
 //                [--bits K] [--burst SPAN] [--rate R] [--opclass CLASS]
+//                [--errno-model nth|rate|nth-drawn|rate-drawn]
+//                [--errno-syscalls LIST] [--errno-rate R] [--errno-nth N]
 //                [--journal PATH] [--resume] [--retries K] [--stall SECS]
 //                [--step-budget N] [--no-wrapper] [--p4-stackcheck]
 //                [--no-spinlock-debug] [--csv PREFIX]
@@ -26,6 +28,14 @@
 // stay deterministic and resumable.  Bad knob combinations are rejected
 // before the plan is built (exit 2).
 //
+// --errno-* flags select the errno campaign family (--kind errno): no
+// physical corruption — instead error returns are forced at the syscall
+// boundary per a plan-frozen schedule, and the report shows how far each
+// forced error cascades through the workload.  Any --errno-* flag implies
+// --kind errno; combining them with physical fault-model knobs
+// (--fault-model/--bits/--burst/--rate/--opclass) is rejected up front
+// (exit 2), as is --kind errno without an eligible syscall set.
+//
 // --trace runs the campaign with the error-propagation trace subsystem
 // attached: every record carries a PropagationSummary, the report gains a
 // propagation segment, and journals persist the summaries (format v2).
@@ -45,9 +55,11 @@
 #include <iostream>
 #include <optional>
 
+#include "analysis/cascade.hpp"
 #include "analysis/csv.hpp"
 #include "analysis/propagation.hpp"
 #include "analysis/report.hpp"
+#include "errnoinj/errno_model.hpp"
 #include "inject/campaign.hpp"
 #include "inject/fault_model.hpp"
 #include "inject/journal.hpp"
@@ -63,11 +75,14 @@ void on_sigint(int) { g_cancel.store(true); }
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --arch p4|g4 --kind stack|register|data|code\n"
+               "usage: %s --arch p4|g4 --kind stack|register|data|code|errno\n"
                "          [--n COUNT] [--seed S] [--jobs N] [--loss P]\n"
                "          [--fault-model single-bit|multi-bit|burst|opclass]\n"
                "          [--bits K] [--burst SPAN] [--rate R]\n"
                "          [--opclass alu|loadstore|branch|system|other]\n"
+               "          [--errno-model nth|rate|nth-drawn|rate-drawn]\n"
+               "          [--errno-syscalls LIST|all] [--errno-rate R]\n"
+               "          [--errno-nth N]\n"
                "          [--scale K] [--journal PATH] [--resume]\n"
                "          [--retries K] [--stall SECS] [--step-budget N]\n"
                "          [--no-wrapper] [--p4-stackcheck]\n"
@@ -88,6 +103,17 @@ void usage(const char* argv0) {
                "               run, pre-drawn at plan time (deterministic)\n"
                "  --opclass C: restrict code faults to one instruction\n"
                "               class (implies opclass; code campaigns only)\n"
+               "  --errno-model M: errno campaign trigger/value (nth forces\n"
+               "               -1 at one eligible invocation; rate draws a\n"
+               "               Poisson event count; -drawn variants force a\n"
+               "               drawn negative errno instead of -1); any\n"
+               "               --errno-* flag implies --kind errno\n"
+               "  --errno-syscalls L: comma list of eligible syscalls\n"
+               "               (read,write,alloc,free,send,recv or all)\n"
+               "  --errno-rate R: mean forced errors per run (implies the\n"
+               "               rate trigger)\n"
+               "  --errno-nth N: force at the Nth eligible invocation\n"
+               "               (default: drawn per run)\n"
                "  --retries K: harness-error retries per index before\n"
                "               quarantine (default 1)\n"
                "  --stall S:   wall-clock watchdog budget per injection in\n"
@@ -113,11 +139,20 @@ int main(int argc, char** argv) {
   u32 jobs = 1;
   bool have_arch = false, have_kind = false, quiet = false;
   bool have_shape = false;
+  bool have_errno = false;          // any --errno-* flag seen
+  bool have_errno_trigger = false;  // --errno-model chose the trigger
+  // The physical flag most recently seen, quoted in the mixed-family
+  // rejection so the error names the offending value.
+  std::string physical_flag;
 
   // Bad fault-model knobs are configuration errors, reported through the
   // same typed FaultModelError that plan building would throw.
   auto fail_model = [](const inject::FaultModelError& e) {
     std::fprintf(stderr, "fault model error: %s\n", e.what());
+    return 2;
+  };
+  auto fail_errno = [](const errnoinj::ErrnoModelError& e) {
+    std::fprintf(stderr, "errno model error: %s\n", e.what());
     return 2;
   };
 
@@ -147,6 +182,7 @@ int main(int argc, char** argv) {
       else if (v == "register") spec.kind = inject::CampaignKind::kRegister;
       else if (v == "data") spec.kind = inject::CampaignKind::kData;
       else if (v == "code") spec.kind = inject::CampaignKind::kCode;
+      else if (v == "errno") spec.kind = inject::CampaignKind::kErrno;
       else {
         usage(argv[0]);
         return 2;
@@ -172,16 +208,67 @@ int main(int argc, char** argv) {
             "' (single-bit|multi-bit|burst|opclass)"));
       }
       have_shape = true;
+      physical_flag = "--fault-model " + v;
     } else if (arg == "--bits") {
-      spec.model.bits = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+      const char* v = next();
+      spec.model.bits = static_cast<u32>(std::strtoul(v, nullptr, 10));
       if (!have_shape) spec.model.shape = inject::FaultShape::kMultiBit;
+      physical_flag = std::string("--bits ") + v;
     } else if (arg == "--burst") {
-      spec.model.burst_span =
-          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+      const char* v = next();
+      spec.model.burst_span = static_cast<u32>(std::strtoul(v, nullptr, 10));
       if (!have_shape) spec.model.shape = inject::FaultShape::kBurst;
+      physical_flag = std::string("--burst ") + v;
     } else if (arg == "--rate") {
-      spec.model.rate = std::strtod(next(), nullptr);
+      const char* v = next();
+      spec.model.rate = std::strtod(v, nullptr);
       spec.model.trigger = inject::FaultTrigger::kRate;
+      physical_flag = std::string("--rate ") + v;
+    } else if (arg == "--errno-model") {
+      const std::string v = next();
+      if (v == "nth") {
+        spec.errno_model.trigger = errnoinj::ErrnoTrigger::kNth;
+        spec.errno_model.value = errnoinj::ErrnoValue::kErrReturn;
+      } else if (v == "rate") {
+        spec.errno_model.trigger = errnoinj::ErrnoTrigger::kRate;
+        spec.errno_model.value = errnoinj::ErrnoValue::kErrReturn;
+      } else if (v == "nth-drawn") {
+        spec.errno_model.trigger = errnoinj::ErrnoTrigger::kNth;
+        spec.errno_model.value = errnoinj::ErrnoValue::kDrawnNegative;
+      } else if (v == "rate-drawn") {
+        spec.errno_model.trigger = errnoinj::ErrnoTrigger::kRate;
+        spec.errno_model.value = errnoinj::ErrnoValue::kDrawnNegative;
+      } else {
+        return fail_errno(errnoinj::ErrnoModelError(
+            "unknown errno model '" + v +
+            "' (nth|rate|nth-drawn|rate-drawn)"));
+      }
+      have_errno = true;
+      have_errno_trigger = true;
+    } else if (arg == "--errno-syscalls") {
+      const std::string v = next();
+      std::string bad;
+      const auto mask = errnoinj::parse_syscall_list(v, &bad);
+      if (!mask) {
+        return fail_errno(errnoinj::ErrnoModelError(
+            "bad syscall '" + bad + "' in --errno-syscalls " + v +
+            " (read,write,alloc,free,send,recv or all)"));
+      }
+      spec.errno_model.syscalls = *mask;
+      have_errno = true;
+    } else if (arg == "--errno-rate") {
+      spec.errno_model.rate = std::strtod(next(), nullptr);
+      if (!have_errno_trigger) {
+        spec.errno_model.trigger = errnoinj::ErrnoTrigger::kRate;
+      }
+      have_errno = true;
+    } else if (arg == "--errno-nth") {
+      spec.errno_model.nth =
+          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+      if (!have_errno_trigger) {
+        spec.errno_model.trigger = errnoinj::ErrnoTrigger::kNth;
+      }
+      have_errno = true;
     } else if (arg == "--opclass") {
       const std::string v = next();
       const auto cls = isa::parse_opclass(v);
@@ -192,6 +279,7 @@ int main(int argc, char** argv) {
       }
       spec.model.opclass = *cls;
       if (!have_shape) spec.model.shape = inject::FaultShape::kOpclass;
+      physical_flag = "--opclass " + v;
     } else if (arg == "--scale") {
       spec.workload_scale =
           static_cast<u32>(std::strtoul(next(), nullptr, 10));
@@ -225,6 +313,29 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // The errno family is selected either way: --kind errno (defaulting to
+  // every fallible syscall) or any --errno-* flag (implying the kind).
+  // Mixing the two campaign families is a configuration error, rejected
+  // before any plan work starts.
+  if (have_errno ||
+      (have_kind && spec.kind == inject::CampaignKind::kErrno)) {
+    if (!physical_flag.empty()) {
+      return fail_errno(errnoinj::ErrnoModelError(
+          "physical fault-model flags cannot be combined with an errno "
+          "campaign (offending flag: " +
+          physical_flag + ")"));
+    }
+    if (have_kind && spec.kind != inject::CampaignKind::kErrno) {
+      return fail_errno(errnoinj::ErrnoModelError(
+          "errno flags set on a physical campaign (--kind " +
+          std::string(inject::campaign_kind_name(spec.kind)) + ")"));
+    }
+    spec.kind = inject::CampaignKind::kErrno;
+    have_kind = true;
+    if (spec.errno_model.syscalls == 0) {
+      spec.errno_model.syscalls = errnoinj::eligible_syscall_mask();
+    }
+  }
   if (!have_arch || !have_kind) {
     usage(argv[0]);
     return 2;
@@ -232,6 +343,11 @@ int main(int argc, char** argv) {
   if (resume && journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal PATH\n");
     return 2;
+  }
+  try {
+    spec.errno_model.validate();
+  } catch (const errnoinj::ErrnoModelError& e) {
+    return fail_errno(e);
   }
   try {
     spec.model.validate(spec.kind);
@@ -281,18 +397,31 @@ int main(int argc, char** argv) {
 
   const analysis::OutcomeTally tally =
       analysis::tally_records(result.records);
+  const bool errno_campaign = spec.kind == inject::CampaignKind::kErrno;
 
   std::puts(analysis::summarize_campaign(result).c_str());
   std::puts("");
-  std::fputs(analysis::render_failure_table(spec.arch, {{spec.kind, tally}})
-                 .c_str(),
-             stdout);
-  std::puts("");
-  std::fputs(analysis::render_cause_comparison(
-                 spec.arch, "Crash causes", tally,
-                 analysis::paper_campaign_crash_causes(spec.arch, spec.kind))
-                 .c_str(),
-             stdout);
+  if (errno_campaign) {
+    // The paper has no errno rows: the cascade segment replaces the
+    // Table-5/6 and crash-cause comparisons.
+    std::fputs(analysis::render_cascades(
+                   std::string(isa::arch_name(spec.arch)) + " " +
+                       spec.errno_model.name(),
+                   analysis::tally_cascades(result.records),
+                   analysis::tally_cascades_by_syscall(result.records))
+                   .c_str(),
+               stdout);
+  } else {
+    std::fputs(analysis::render_failure_table(spec.arch, {{spec.kind, tally}})
+                   .c_str(),
+               stdout);
+    std::puts("");
+    std::fputs(analysis::render_cause_comparison(
+                   spec.arch, "Crash causes", tally,
+                   analysis::paper_campaign_crash_causes(spec.arch, spec.kind))
+                   .c_str(),
+               stdout);
+  }
   std::puts("");
   std::fputs(analysis::render_profile(result.hot_functions).c_str(), stdout);
   if (control.trace) {
@@ -324,7 +453,15 @@ int main(int argc, char** argv) {
       std::ofstream f(csv_prefix + ".latency.csv");
       analysis::write_latency_csv(f, tally);
     }
-    std::printf("wrote %s.{records,tally,latency}.csv\n", csv_prefix.c_str());
+    if (errno_campaign) {
+      std::ofstream f(csv_prefix + ".cascade.csv");
+      analysis::write_cascade_csv(f, result.records);
+      std::printf("wrote %s.{records,tally,latency,cascade}.csv\n",
+                  csv_prefix.c_str());
+    } else {
+      std::printf("wrote %s.{records,tally,latency}.csv\n",
+                  csv_prefix.c_str());
+    }
   }
   return 0;
 }

@@ -17,6 +17,10 @@
 //                     (default 1; bit-identical results either way)
 //   KFI_FAST_REBOOT   0 forces full-copy snapshot restores
 //                     (default 1; bit-identical results either way)
+//   KFI_SUPERBLOCK    0 disables superblock (multi-instruction trace)
+//                     execution (default 1; bit-identical either way)
+//   KFI_COW           0 disables copy-on-write page sharing
+//                     (default 1; bit-identical either way)
 #pragma once
 
 #include <cstdio>
@@ -55,6 +59,8 @@ inline inject::CampaignSpec base_spec(isa::Arch arch,
   spec.seed = env_u64("KFI_SEED", 1);
   spec.machine.decode_cache = env_u32("KFI_DECODE_CACHE", 1) != 0;
   spec.machine.fast_reboot = env_u32("KFI_FAST_REBOOT", 1) != 0;
+  spec.machine.superblock = env_u32("KFI_SUPERBLOCK", 1) != 0;
+  spec.machine.cow_memory = env_u32("KFI_COW", 1) != 0;
   return spec;
 }
 

@@ -1,10 +1,14 @@
 // Campaign-engine scaling: one frozen CampaignPlan per arch, executed at
 // several worker counts.  Reports wall-clock, injections/sec, simulated
-// cycles/sec, and speedup vs serial, and verifies that every worker count
-// produced the bit-identical merged result (the engine's determinism
-// contract).  On a multicore host the stack campaign reaches >= 2x at
-// --jobs 4; on a single hardware thread the rows collapse to ~1x, which
-// is itself evidence that the parallel path adds no overhead.
+// cycles/sec, speedup vs serial, and resident memory per worker (private
+// pages held at campaign end; with copy-on-write boot-snapshot sharing
+// this is the dirty working set, not a full image copy, so it stays
+// roughly flat as jobs grow — sublinear total memory).  Verifies that
+// every worker count produced the bit-identical merged result (the
+// engine's determinism contract).  On a multicore host the stack campaign
+// reaches >= 2x at --jobs 4; on a single hardware thread the rows
+// collapse to ~1x, which is itself evidence that the parallel path adds
+// no overhead.
 //
 // Also measures the durability tax: the same serial campaign with the
 // supervisor's append-only journal enabled (one flushed entry per
@@ -19,6 +23,8 @@
 #include "bench_common.hpp"
 #include "inject/journal.hpp"
 #include "kernel/abi.hpp"
+#include "kernel/layout.hpp"
+#include "mem/phys_mem.hpp"
 
 namespace {
 
@@ -125,13 +131,25 @@ int main() {
         serial_fp = fp;
       }
       const bool identical = fp == serial_fp;
+      // COW proof: private pages per worker vs the full-image page count.
+      // Sharing the boot snapshot means each worker holds only the pages
+      // it dirtied since its last restore.
+      const u32 total_pages =
+          static_cast<u32>(kernel::kPhysBytes / mem::kPageSize);
+      const double priv_per_worker =
+          result.throughput.jobs > 0
+              ? static_cast<double>(result.throughput.worker_private_pages) /
+                    result.throughput.jobs
+              : 0.0;
       std::printf(
           "jobs=%u  run=%6.2fs  %7.1f inj/s  %8.1f Msim-cyc/s  "
-          "speedup=%.2fx  result=%s\n",
+          "speedup=%.2fx  priv-pages/worker=%5.1f (max %u of %u)  "
+          "result=%s\n",
           jobs, result.throughput.run_seconds,
           result.throughput.injections_per_second(result.records.size()),
           result.throughput.simulated_cycles_per_second() / 1e6,
-          serial_seconds / result.throughput.run_seconds,
+          serial_seconds / result.throughput.run_seconds, priv_per_worker,
+          result.throughput.max_worker_private_pages, total_pages,
           identical ? "bit-identical" : "DIVERGED");
       if (!identical) {
         std::fprintf(stderr, "FATAL: jobs=%u diverged from serial (fp %" PRIx64

@@ -1,7 +1,7 @@
-// Fast-path cross-check: the predecoded-instruction cache and the
-// dirty-page reboot are pure speedups, so a campaign run with either (or
-// both) disabled must produce the bit-identical merged result.  This is
-// the acceptance gate for those optimizations: one frozen plan per
+// Fast-path cross-check: the predecoded-instruction cache, the dirty-page
+// reboot, and superblock execution are pure speedups, so a campaign run
+// with any of them disabled must produce the bit-identical merged result.
+// This is the acceptance gate for those optimizations: one frozen plan per
 // arch x campaign kind, executed with every knob combination, compared
 // through inject::result_fingerprint.  Exits non-zero on any divergence.
 //
@@ -19,13 +19,21 @@ struct Variant {
   const char* name;
   bool decode_cache;
   bool fast_reboot;
+  bool superblock;
 };
 
+// Full cross of the three bit-exact perf knobs (COW is exercised
+// separately by the parity tests: it changes restore mechanics, not the
+// step path, and every engine run above jobs=1 already goes through it).
 constexpr Variant kVariants[] = {
-    {"cache+fast", true, true},
-    {"nocache    ", false, true},
-    {"fullcopy   ", true, false},
-    {"neither    ", false, false},
+    {"cache+fast+sb", true, true, true},
+    {"nocache      ", false, true, true},
+    {"fullcopy     ", true, false, true},
+    {"nosb         ", true, true, false},
+    {"nocache+nosb ", false, true, false},
+    {"fullcopy+nosb", true, false, false},
+    {"cache-only   ", true, false, false},
+    {"neither      ", false, false, false},
 };
 
 }  // namespace
@@ -34,6 +42,10 @@ int main() {
   const u32 n = bench::env_u32("KFI_INJECTIONS", 96);
   const u32 jobs = bench::env_jobs();
   bool ok = true;
+
+  // CI guards on this count: adding a bit-exact knob must extend the
+  // variant table (see .github/workflows).
+  std::printf("variants=%zu\n", sizeof(kVariants) / sizeof(kVariants[0]));
 
   for (const auto arch : {isa::Arch::kCisca, isa::Arch::kRiscf}) {
     for (const auto kind :
@@ -50,10 +62,11 @@ int main() {
         inject::CampaignPlan variant = plan;
         variant.spec.machine.decode_cache = v.decode_cache;
         variant.spec.machine.fast_reboot = v.fast_reboot;
+        variant.spec.machine.superblock = v.superblock;
         const inject::CampaignResult result =
             inject::CampaignEngine(jobs).run(variant);
         const u64 fp = inject::result_fingerprint(result);
-        if (v.decode_cache && v.fast_reboot) reference_fp = fp;
+        if (v.decode_cache && v.fast_reboot && v.superblock) reference_fp = fp;
         const bool same = fp == reference_fp;
         std::printf(" %s=%s", v.name, same ? "ok" : "DIVERGED");
         if (!same) {

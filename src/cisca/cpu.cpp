@@ -1,6 +1,7 @@
 #include "cisca/cpu.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "cisca/sysregs.hpp"
 #include "common/bits.hpp"
@@ -24,6 +25,8 @@ constexpr u32 kWidthMask[5] = {0, 0xFFu, 0xFFFFu, 0, 0xFFFFFFFFu};
 constexpr u32 kSignBit[5] = {0, 0x80u, 0x8000u, 0, 0x80000000u};
 
 bool parity_even(u32 v) { return (popcount32(v & 0xFF) & 1) == 0; }
+
+constexpr size_t kNumOps = static_cast<size_t>(Op::kFwait) + 1;
 
 }  // namespace
 
@@ -84,6 +87,16 @@ void CiscaCpu::set_decode_cache_enabled(bool enabled) {
   } else if (!enabled) {
     dcache_.clear();
     dcache_.shrink_to_fit();
+  }
+}
+
+void CiscaCpu::set_superblocks_enabled(bool enabled) {
+  sblocks_enabled_ = enabled;
+  if (enabled && sblocks_.empty()) {
+    sblocks_.resize(kSuperblockEntries);
+  } else if (!enabled) {
+    sblocks_.clear();
+    sblocks_.shrink_to_fit();
   }
 }
 
@@ -175,7 +188,7 @@ u32 CiscaCpu::read_mem(Addr addr, u8 width) {
     case 4: value = space_.phys().read32(tr.phys, mem::Endian::kLittle); break;
     default: KFI_CHECK(false, "bad width");
   }
-  if (current_result_ != nullptr) {
+  if (current_result_ != nullptr && debug_.data_bp_any()) {
     debug_.record_access(addr, width, /*is_write=*/false, *current_result_);
   }
   if (sink_ != nullptr) sink_->on_mem_read(addr, tr.phys, width);
@@ -202,7 +215,7 @@ void CiscaCpu::write_mem(Addr addr, u8 width, u32 value) {
     case 4: space_.phys().write32(phys, value, mem::Endian::kLittle); break;
     default: KFI_CHECK(false, "bad width");
   }
-  if (current_result_ != nullptr) {
+  if (current_result_ != nullptr && debug_.data_bp_any()) {
     debug_.record_access(addr, width, /*is_write=*/true, *current_result_);
   }
   if (sink_ != nullptr) sink_->on_mem_write(addr, phys, width);
@@ -410,617 +423,926 @@ isa::StepResult CiscaCpu::step() {
   return result;
 }
 
-void CiscaCpu::execute(const Insn& insn) {
-  const Addr next = regs_.eip + insn.length;
-  const u8 w = insn.width;
-
-  switch (insn.op) {
-    case Op::kAdd: case Op::kAdc: {
-      const u32 a = read_operand(insn.dst, w);
-      const u32 b = read_operand(insn.src, w);
-      const u32 cin = (insn.op == Op::kAdc && test_bit(regs_.eflags, kFlagCF)) ? 1 : 0;
-      set_flags_add(a, b, cin, w);
-      write_operand(insn.dst, w, a + b + cin);
-      break;
-    }
-    case Op::kSub: case Op::kSbb: {
-      const u32 a = read_operand(insn.dst, w);
-      const u32 b = read_operand(insn.src, w);
-      const u32 bin = (insn.op == Op::kSbb && test_bit(regs_.eflags, kFlagCF)) ? 1 : 0;
-      set_flags_sub(a, b, bin, w);
-      write_operand(insn.dst, w, a - b - bin);
-      break;
-    }
-    case Op::kCmp: {
-      const u32 a = read_operand(insn.dst, w);
-      const u32 b = read_operand(insn.src, w);
-      set_flags_sub(a, b, 0, w);
-      break;
-    }
-    case Op::kAnd: case Op::kOr: case Op::kXor: {
-      const u32 a = read_operand(insn.dst, w);
-      const u32 b = read_operand(insn.src, w);
-      const u32 r = insn.op == Op::kAnd ? (a & b)
-                    : insn.op == Op::kOr ? (a | b)
-                                         : (a ^ b);
-      set_flags_logic(r, w);
-      write_operand(insn.dst, w, r);
-      break;
-    }
-    case Op::kTest: {
-      const u32 a = read_operand(insn.dst, w);
-      const u32 b = read_operand(insn.src, w);
-      set_flags_logic(a & b, w);
-      break;
-    }
-    case Op::kMov: {
-      const u32 v = read_operand(insn.src, w);
-      write_operand(insn.dst, w, v);
-      break;
-    }
-    case Op::kMovzx: {
-      const u32 v = read_operand(insn.src, insn.src_width);
-      write_operand(insn.dst, 4, v);
-      break;
-    }
-    case Op::kMovsx: {
-      const u32 v = read_operand(insn.src, insn.src_width);
-      write_operand(insn.dst, 4,
+// Per-op execute handlers.  Each is the corresponding case body of the old
+// execute() switch, verbatim: fall-through ops advance EIP at the end,
+// branch ops assign EIP and charge their taken-branch cycles, raising ops
+// throw before any EIP update.  Superblocks dispatch through these
+// pointers directly, so the switch is resolved once per block at build
+// time instead of once per instruction.
+struct CiscaOps {
+  static void add(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 a = c.read_operand(insn.dst, w);
+    const u32 b = c.read_operand(insn.src, w);
+    const u32 cin =
+        (insn.op == Op::kAdc && test_bit(c.regs_.eflags, kFlagCF)) ? 1 : 0;
+    c.set_flags_add(a, b, cin, w);
+    c.write_operand(insn.dst, w, a + b + cin);
+    c.regs_.eip += insn.length;
+  }
+  static void sub(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 a = c.read_operand(insn.dst, w);
+    const u32 b = c.read_operand(insn.src, w);
+    const u32 bin =
+        (insn.op == Op::kSbb && test_bit(c.regs_.eflags, kFlagCF)) ? 1 : 0;
+    c.set_flags_sub(a, b, bin, w);
+    c.write_operand(insn.dst, w, a - b - bin);
+    c.regs_.eip += insn.length;
+  }
+  static void cmp(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 a = c.read_operand(insn.dst, w);
+    const u32 b = c.read_operand(insn.src, w);
+    c.set_flags_sub(a, b, 0, w);
+    c.regs_.eip += insn.length;
+  }
+  static void logic(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 a = c.read_operand(insn.dst, w);
+    const u32 b = c.read_operand(insn.src, w);
+    const u32 r = insn.op == Op::kAnd ? (a & b)
+                  : insn.op == Op::kOr ? (a | b)
+                                       : (a ^ b);
+    c.set_flags_logic(r, w);
+    c.write_operand(insn.dst, w, r);
+    c.regs_.eip += insn.length;
+  }
+  static void test(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 a = c.read_operand(insn.dst, w);
+    const u32 b = c.read_operand(insn.src, w);
+    c.set_flags_logic(a & b, w);
+    c.regs_.eip += insn.length;
+  }
+  static void mov(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 v = c.read_operand(insn.src, w);
+    c.write_operand(insn.dst, w, v);
+    c.regs_.eip += insn.length;
+  }
+  static void movzx(CiscaCpu& c, const Insn& insn) {
+    const u32 v = c.read_operand(insn.src, insn.src_width);
+    c.write_operand(insn.dst, 4, v);
+    c.regs_.eip += insn.length;
+  }
+  static void movsx(CiscaCpu& c, const Insn& insn) {
+    const u32 v = c.read_operand(insn.src, insn.src_width);
+    c.write_operand(insn.dst, 4,
                     static_cast<u32>(sign_extend32(v, insn.src_width * 8)));
-      break;
+    c.regs_.eip += insn.length;
+  }
+  static void lea(CiscaCpu& c, const Insn& insn) {
+    // lea computes the address without the segment-base contribution.
+    u32 addr = static_cast<u32>(insn.src.mem.disp);
+    if (insn.src.mem.base != MemOperand::kNoReg) {
+      c.trace_rr(insn.src.mem.base);
+      addr += c.regs_.gpr[insn.src.mem.base];
     }
-    case Op::kLea: {
-      // lea computes the address without the segment-base contribution.
-      u32 addr = static_cast<u32>(insn.src.mem.disp);
-      if (insn.src.mem.base != MemOperand::kNoReg) {
-        trace_rr(insn.src.mem.base);
-        addr += regs_.gpr[insn.src.mem.base];
-      }
-      if (insn.src.mem.index != MemOperand::kNoReg) {
-        trace_rr(insn.src.mem.index);
-        addr += regs_.gpr[insn.src.mem.index] * insn.src.mem.scale;
-      }
-      write_reg(insn.dst.reg, 4, addr);
-      break;
+    if (insn.src.mem.index != MemOperand::kNoReg) {
+      c.trace_rr(insn.src.mem.index);
+      addr += c.regs_.gpr[insn.src.mem.index] * insn.src.mem.scale;
     }
-    case Op::kXchg: {
-      const u32 a = read_operand(insn.dst, w);
-      const u32 b = read_operand(insn.src, w);
-      write_operand(insn.dst, w, b);
-      write_operand(insn.src, w, a);
-      break;
+    c.write_reg(insn.dst.reg, 4, addr);
+    c.regs_.eip += insn.length;
+  }
+  static void xchg(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 a = c.read_operand(insn.dst, w);
+    const u32 b = c.read_operand(insn.src, w);
+    c.write_operand(insn.dst, w, b);
+    c.write_operand(insn.src, w, a);
+    c.regs_.eip += insn.length;
+  }
+  static void inc(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 a = c.read_operand(insn.dst, w);
+    const bool cf = test_bit(c.regs_.eflags, kFlagCF);
+    c.set_flags_add(a, 1, 0, w);
+    c.regs_.eflags =
+        set_bits32(c.regs_.eflags, kFlagCF, 1, cf);  // inc keeps CF
+    c.write_operand(insn.dst, w, a + 1);
+    c.regs_.eip += insn.length;
+  }
+  static void dec(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 a = c.read_operand(insn.dst, w);
+    const bool cf = test_bit(c.regs_.eflags, kFlagCF);
+    c.set_flags_sub(a, 1, 0, w);
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagCF, 1, cf);
+    c.write_operand(insn.dst, w, a - 1);
+    c.regs_.eip += insn.length;
+  }
+  static void push(CiscaCpu& c, const Insn& insn) {
+    const u32 v = insn.dst.kind == OperandKind::kImm
+                      ? static_cast<u32>(insn.dst.imm)
+                      : c.read_operand(insn.dst, 4);
+    c.push32(v);
+    c.regs_.eip += insn.length;
+  }
+  static void pop(CiscaCpu& c, const Insn& insn) {
+    const u32 v = c.pop32();
+    c.write_operand(insn.dst, 4, v);
+    c.regs_.eip += insn.length;
+  }
+  static void pushf(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(kSlotEflags);
+    c.push32(c.regs_.eflags);
+    c.regs_.eip += insn.length;
+  }
+  static void popf(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eflags = (c.pop32() & ~0x2u) | 0x2u;
+    c.trace_rw(kSlotEflags);
+    c.regs_.eip += insn.length;
+  }
+  static void leave(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(kEbp);
+    c.trace_rw(kEsp);
+    c.regs_.gpr[kEsp] = c.regs_.gpr[kEbp];
+    c.regs_.gpr[kEbp] = c.pop32();
+    c.trace_rw(kEbp);
+    c.regs_.eip += insn.length;
+  }
+  static void jcc(CiscaCpu& c, const Insn& insn) {
+    const Addr next = c.regs_.eip + insn.length;
+    if (c.eval_cond(insn.cond)) {
+      c.regs_.eip = next + insn.rel;
+      c.cycles_ += 1;
+      return;
     }
-    case Op::kInc: {
-      const u32 a = read_operand(insn.dst, w);
-      const bool cf = test_bit(regs_.eflags, kFlagCF);
-      set_flags_add(a, 1, 0, w);
-      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, cf);  // inc keeps CF
-      write_operand(insn.dst, w, a + 1);
-      break;
+    c.regs_.eip = next;
+  }
+  static void jmp(CiscaCpu& c, const Insn& insn) {
+    const Addr next = c.regs_.eip + insn.length;
+    if (insn.src_width == 4) {  // indirect
+      c.regs_.eip = c.read_operand(insn.dst, 4);
+      // Only computed targets taint EIP; relative displacements advance
+      // it from itself, keeping the PC shadow meaningful.
+      c.trace_rw(kSlotEip);
+    } else {
+      c.regs_.eip = next + insn.rel;
     }
-    case Op::kDec: {
-      const u32 a = read_operand(insn.dst, w);
-      const bool cf = test_bit(regs_.eflags, kFlagCF);
-      set_flags_sub(a, 1, 0, w);
-      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, cf);
-      write_operand(insn.dst, w, a - 1);
-      break;
+    c.cycles_ += 1;
+  }
+  static void call(CiscaCpu& c, const Insn& insn) {
+    const Addr next = c.regs_.eip + insn.length;
+    u32 target;
+    if (insn.src_width == 4) {
+      target = c.read_operand(insn.dst, 4);
+    } else {
+      target = next + insn.rel;
     }
-    case Op::kPush: {
-      const u32 v = insn.dst.kind == OperandKind::kImm
-                        ? static_cast<u32>(insn.dst.imm)
-                        : read_operand(insn.dst, 4);
-      push32(v);
-      break;
+    c.push32(next);
+    c.regs_.eip = target;
+    if (insn.src_width == 4) c.trace_rw(kSlotEip);
+    c.cycles_ += 2;
+  }
+  static void ret(CiscaCpu& c, const Insn& insn) {
+    const u32 ra = c.pop32();
+    c.regs_.gpr[kEsp] += static_cast<u32>(insn.rel);
+    c.regs_.eip = ra;
+    c.trace_rw(kSlotEip);
+    c.cycles_ += 2;
+  }
+  static void iret(CiscaCpu& c, const Insn& insn) {
+    (void)insn;
+    // Nested-task return: with EFLAGS.NT set the CPU attempts a task
+    // backlink through the TSS; our kernel never uses hardware tasks, so
+    // the linkage is invalid and the CPU raises #TS — precisely the
+    // paper's observed consequence of an NT bit flip.
+    c.trace_rr(kSlotEflags);
+    if (test_bit(c.regs_.eflags, kFlagNT)) {
+      c.raise(Cause::kInvalidTss, 0, false, c.regs_.tr);
     }
-    case Op::kPop: {
-      const u32 v = pop32();
-      write_operand(insn.dst, 4, v);
-      break;
+    const u32 ra = c.pop32();
+    c.pop32();  // cs (ignored)
+    c.regs_.eflags = (c.pop32() & ~0x2u) | 0x2u;
+    c.trace_rw(kSlotEflags);
+    c.regs_.eip = ra;
+    c.trace_rw(kSlotEip);
+    c.cycles_ += 3;
+  }
+  static void nop(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eip += insn.length;
+  }
+  static void hlt(CiscaCpu& c, const Insn& insn) {
+    c.halted_pending_ = true;
+    c.regs_.eip += insn.length;
+  }
+  [[noreturn]] static void ud2(CiscaCpu& c, const Insn& insn) {
+    (void)insn;
+    c.raise(Cause::kInvalidOpcode, 0, false, 0x0F0B);
+  }
+  [[noreturn]] static void int3(CiscaCpu& c, const Insn& insn) {
+    (void)insn;
+    c.raise(Cause::kBreakpointTrap);
+  }
+  [[noreturn]] static void int_(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eip += insn.length;  // trap handlers see the return address
+    switch (insn.int_vector) {
+      case 0x80: c.raise(Cause::kSyscall);
+      case 0x82: c.raise(Cause::kKernelPanic);
+      case 0x83: c.raise(Cause::kSyscallReturn);
+      default: c.raise(Cause::kGeneralProtection, 0, false, insn.int_vector);
     }
-    case Op::kPushf:
-      trace_rr(kSlotEflags);
-      push32(regs_.eflags);
-      break;
-    case Op::kPopf:
-      regs_.eflags = (pop32() & ~0x2u) | 0x2u;
-      trace_rw(kSlotEflags);
-      break;
-    case Op::kLeave: {
-      trace_rr(kEbp);
-      trace_rw(kEsp);
-      regs_.gpr[kEsp] = regs_.gpr[kEbp];
-      regs_.gpr[kEbp] = pop32();
-      trace_rw(kEbp);
-      break;
+  }
+  static void bound(CiscaCpu& c, const Insn& insn) {
+    const u32 v = c.read_reg(insn.dst.reg, 4);
+    const u32 base = c.effective_addr(insn.src.mem);
+    const u32 lo = c.read_mem(base, 4);
+    const u32 hi = c.read_mem(base + 4, 4);
+    if (static_cast<i32>(v) < static_cast<i32>(lo) ||
+        static_cast<i32>(v) > static_cast<i32>(hi)) {
+      c.raise(Cause::kBoundsTrap, 0, false, v);
     }
-    case Op::kJcc:
-      if (eval_cond(insn.cond)) {
-        regs_.eip = next + insn.rel;
-        cycles_ += 1;
-        return;
-      }
-      break;
-    case Op::kJmp:
-      if (insn.src_width == 4) {  // indirect
-        regs_.eip = read_operand(insn.dst, 4);
-        // Only computed targets taint EIP; relative displacements advance
-        // it from itself, keeping the PC shadow meaningful.
-        trace_rw(kSlotEip);
+    c.regs_.eip += insn.length;
+  }
+  static void rotate(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 bits = w * 8;
+    u32 count = c.read_operand(insn.src, 1) & 31;
+    u32 v = c.read_operand(insn.dst, w);
+    count %= bits;
+    if (count != 0) {
+      if (insn.op == Op::kRol || insn.op == Op::kRcl) {
+        v = (v << count) | (v >> (bits - count));
       } else {
-        regs_.eip = next + insn.rel;
+        v = (v >> count) | (v << (bits - count));
       }
-      cycles_ += 1;
-      return;
-    case Op::kCall: {
-      u32 target;
-      if (insn.src_width == 4) {
-        target = read_operand(insn.dst, 4);
+      v &= kWidthMask[w];
+      c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagCF, 1, v & 1);
+      c.trace_rm(kSlotEflags);
+    }
+    c.write_operand(insn.dst, w, v);
+    c.regs_.eip += insn.length;
+  }
+  static void shift(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 bits = w * 8;
+    const u32 count = c.read_operand(insn.src, 1) & 31;
+    u32 v = c.read_operand(insn.dst, w);
+    if (count != 0) {
+      u32 r;
+      bool cf;
+      if (insn.op == Op::kShl) {
+        cf = count <= bits && test_bit(v, bits - count);
+        r = count >= bits ? 0 : (v << count);
+      } else if (insn.op == Op::kShr) {
+        cf = count <= bits && test_bit(v, count - 1);
+        r = count >= bits ? 0 : (v >> count);
       } else {
-        target = next + insn.rel;
+        const i32 sv = static_cast<i32>(sign_extend32(v, bits));
+        cf = test_bit(static_cast<u32>(sv >> (count - 1)), 0);
+        r = static_cast<u32>(sv >> (count >= bits ? bits - 1 : count));
       }
-      push32(next);
-      regs_.eip = target;
-      if (insn.src_width == 4) trace_rw(kSlotEip);
-      cycles_ += 2;
+      r &= kWidthMask[w];
+      c.set_flags_logic(r, w);
+      c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagCF, 1, cf);
+      c.write_operand(insn.dst, w, r);
+    }
+    c.regs_.eip += insn.length;
+  }
+  static void not_(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 v = c.read_operand(insn.dst, w);
+    c.write_operand(insn.dst, w, ~v);
+    c.regs_.eip += insn.length;
+  }
+  static void neg(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 v = c.read_operand(insn.dst, w);
+    c.set_flags_sub(0, v, 0, w);
+    c.write_operand(insn.dst, w, 0u - v);
+    c.regs_.eip += insn.length;
+  }
+  static void mul(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u64 a = c.read_reg(kEax, w);
+    const u64 b = c.read_operand(insn.dst, w);
+    const u64 r = a * b;
+    c.cycles_ += 6;
+    if (w == 1) {
+      c.write_reg(kEax, 2, static_cast<u32>(r));
+    } else {
+      c.write_reg(kEax, w, static_cast<u32>(r & kWidthMask[w]));
+      c.write_reg(kEdx, w, static_cast<u32>((r >> (w * 8)) & kWidthMask[w]));
+    }
+    const bool high = (r >> (w * 8)) != 0;
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagCF, 1, high);
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagOF, 1, high);
+    c.trace_rm(kSlotEflags);
+    c.regs_.eip += insn.length;
+  }
+  static void imul(CiscaCpu& c, const Insn& insn) {
+    if (insn.src_width == 4 && insn.dst.kind == OperandKind::kReg) {
+      // 3-operand form: dst = src * imm.
+      const i64 r =
+          static_cast<i64>(static_cast<i32>(c.read_operand(insn.src, 4))) *
+          insn.rel;
+      c.write_reg(insn.dst.reg, 4, static_cast<u32>(r));
+      c.cycles_ += 6;
+      c.regs_.eip += insn.length;
       return;
     }
-    case Op::kRet: {
-      const u32 ra = pop32();
-      regs_.gpr[kEsp] += static_cast<u32>(insn.rel);
-      regs_.eip = ra;
-      trace_rw(kSlotEip);
-      cycles_ += 2;
+    const i64 a = static_cast<i32>(c.read_operand(insn.dst, 4));
+    const i64 b = static_cast<i32>(c.read_operand(insn.src, 4));
+    c.write_reg(insn.dst.reg, 4, static_cast<u32>(a * b));
+    c.cycles_ += 6;
+    c.regs_.eip += insn.length;
+  }
+  static void div(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    const u32 divisor = c.read_operand(insn.dst, w);
+    c.cycles_ += 20;
+    if (divisor == 0) c.raise(Cause::kDivideError);
+    if (w == 4) {
+      c.trace_rr(kEdx);
+      c.trace_rr(kEax);
+      const u64 dividend =
+          (static_cast<u64>(c.regs_.gpr[kEdx]) << 32) | c.regs_.gpr[kEax];
+      if (insn.op == Op::kDiv) {
+        const u64 q = dividend / divisor;
+        if (q > 0xFFFFFFFFULL) c.raise(Cause::kDivideError);
+        c.regs_.gpr[kEax] = static_cast<u32>(q);
+        c.regs_.gpr[kEdx] = static_cast<u32>(dividend % divisor);
+      } else {
+        const i64 sdividend = static_cast<i64>(dividend);
+        const i64 sdiv = static_cast<i32>(divisor);
+        const i64 q = sdividend / sdiv;
+        if (q > 0x7FFFFFFFLL || q < -0x80000000LL) c.raise(Cause::kDivideError);
+        c.regs_.gpr[kEax] = static_cast<u32>(q);
+        c.regs_.gpr[kEdx] = static_cast<u32>(sdividend % sdiv);
+      }
+      c.trace_rw(kEax);
+      c.trace_rw(kEdx);
+    } else {
+      const u32 dividend = c.read_reg(kEax, 2) | (c.read_reg(kEdx, 2) << 16);
+      const u32 q = dividend / divisor;
+      if (q > kWidthMask[w]) c.raise(Cause::kDivideError);
+      c.write_reg(kEax, w, q);
+      c.write_reg(kEdx, w, dividend % divisor);
+    }
+    c.regs_.eip += insn.length;
+  }
+  static void cwde(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(kEax);
+    c.trace_rw(kEax);
+    c.regs_.gpr[kEax] =
+        static_cast<u32>(sign_extend32(c.regs_.gpr[kEax] & 0xFFFF, 16));
+    c.regs_.eip += insn.length;
+  }
+  static void cdq(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(kEax);
+    c.trace_rw(kEdx);
+    c.regs_.gpr[kEdx] = (c.regs_.gpr[kEax] & 0x80000000u) ? 0xFFFFFFFFu : 0;
+    c.regs_.eip += insn.length;
+  }
+  static void jecxz(CiscaCpu& c, const Insn& insn) {
+    const Addr next = c.regs_.eip + insn.length;
+    c.trace_rr(kEcx);
+    c.trace_branch();
+    if (c.regs_.gpr[kEcx] == 0) {
+      c.regs_.eip = next + insn.rel;
+      c.cycles_ += 1;
       return;
     }
-    case Op::kIret: {
-      // Nested-task return: with EFLAGS.NT set the CPU attempts a task
-      // backlink through the TSS; our kernel never uses hardware tasks, so
-      // the linkage is invalid and the CPU raises #TS — precisely the
-      // paper's observed consequence of an NT bit flip.
-      trace_rr(kSlotEflags);
-      if (test_bit(regs_.eflags, kFlagNT)) {
-        raise(Cause::kInvalidTss, 0, false, regs_.tr);
-      }
-      const u32 ra = pop32();
-      pop32();  // cs (ignored)
-      regs_.eflags = (pop32() & ~0x2u) | 0x2u;
-      trace_rw(kSlotEflags);
-      regs_.eip = ra;
-      trace_rw(kSlotEip);
-      cycles_ += 3;
+    c.regs_.eip = next;
+  }
+  static void loop(CiscaCpu& c, const Insn& insn) {
+    const Addr next = c.regs_.eip + insn.length;
+    c.trace_rr(kEcx);
+    c.regs_.gpr[kEcx] -= 1;
+    c.trace_rw(kEcx);
+    bool take = c.regs_.gpr[kEcx] != 0;
+    if (insn.src_width == 1) {  // loope / loopne
+      const bool zf = test_bit(c.regs_.eflags, kFlagZF);
+      c.trace_rr(kSlotEflags);
+      take = take && (insn.cond == 1 ? zf : !zf);
+    }
+    c.trace_branch();
+    if (take) {
+      c.regs_.eip = next + insn.rel;
+      c.cycles_ += 1;
       return;
     }
-    case Op::kNop:
-      break;
-    case Op::kHlt:
-      halted_pending_ = true;
-      break;
-    case Op::kUd2:
-      raise(Cause::kInvalidOpcode, 0, false, 0x0F0B);
-    case Op::kInt3:
-      raise(Cause::kBreakpointTrap);
-    case Op::kInt: {
-      regs_.eip = next;  // trap handlers see the return address
-      switch (insn.int_vector) {
-        case 0x80: raise(Cause::kSyscall);
-        case 0x82: raise(Cause::kKernelPanic);
-        case 0x83: raise(Cause::kSyscallReturn);
-        default: raise(Cause::kGeneralProtection, 0, false, insn.int_vector);
-      }
+    c.regs_.eip = next;
+  }
+  static void mov_from_cr(CiscaCpu& c, const Insn& insn) {
+    u32 v = 0;
+    switch (insn.src.reg) {
+      case 0: v = c.regs_.cr0; c.trace_rr(kSlotCr0); break;
+      case 2: v = c.regs_.cr2; c.trace_rr(kSlotCr2); break;
+      case 3: v = c.regs_.cr3; c.trace_rr(kSlotCr3); break;
+      case 4: v = c.regs_.cr4; c.trace_rr(kSlotCr4); break;
+      default: c.raise(Cause::kInvalidOpcode);
     }
-    case Op::kBound: {
-      const u32 v = read_reg(insn.dst.reg, 4);
-      const u32 base = effective_addr(insn.src.mem);
-      const u32 lo = read_mem(base, 4);
-      const u32 hi = read_mem(base + 4, 4);
-      if (static_cast<i32>(v) < static_cast<i32>(lo) ||
-          static_cast<i32>(v) > static_cast<i32>(hi)) {
-        raise(Cause::kBoundsTrap, 0, false, v);
-      }
-      break;
+    c.write_reg(insn.dst.reg, 4, v);
+    c.regs_.eip += insn.length;
+  }
+  static void mov_to_cr(CiscaCpu& c, const Insn& insn) {
+    const u32 v = c.read_operand(insn.src, 4);
+    switch (insn.dst.reg) {
+      case 0: c.regs_.cr0 = v; c.trace_rw(kSlotCr0); break;
+      case 2: c.regs_.cr2 = v; c.trace_rw(kSlotCr2); break;
+      case 3: c.regs_.cr3 = v; c.trace_rw(kSlotCr3); break;
+      case 4: c.regs_.cr4 = v; c.trace_rw(kSlotCr4); break;
+      default: c.raise(Cause::kInvalidOpcode);
     }
-    case Op::kRol: case Op::kRor: case Op::kRcl: case Op::kRcr: {
-      const u32 bits = w * 8;
-      u32 count = read_operand(insn.src, 1) & 31;
-      u32 v = read_operand(insn.dst, w);
-      count %= bits;
-      if (count != 0) {
-        if (insn.op == Op::kRol || insn.op == Op::kRcl) {
-          v = (v << count) | (v >> (bits - count));
-        } else {
-          v = (v >> count) | (v << (bits - count));
+    c.regs_.eip += insn.length;
+  }
+  static void mov_from_seg(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(insn.src.reg == 4 ? kSlotFs : kSlotGs);
+    const u32 v = insn.src.reg == 4 ? c.regs_.fs : c.regs_.gs;
+    c.write_operand(insn.dst, 2, v);
+    c.regs_.eip += insn.length;
+  }
+  static void mov_to_seg(CiscaCpu& c, const Insn& insn) {
+    const u32 v = c.read_operand(insn.src, 2);
+    if (insn.dst.reg == 4) {
+      c.regs_.fs = v;
+      c.trace_rw(kSlotFs);
+    } else {
+      c.regs_.gs = v;
+      c.trace_rw(kSlotGs);
+    }
+    c.regs_.eip += insn.length;
+  }
+  static void string(CiscaCpu& c, const Insn& insn) {
+    // String ops honor DF and the REP prefixes; REP executes in bounded
+    // slices per step (like the interruptible hardware ops) by leaving
+    // EIP unchanged until ECX reaches zero (or the REPE/REPNE condition
+    // stops a cmps/scas).
+    const u8 w = insn.width;
+    const u32 delta = test_bit(c.regs_.eflags, kFlagDF)
+                          ? static_cast<u32>(-static_cast<i32>(w))
+                          : w;
+    const bool repeated = insn.rep || insn.repne;
+    u32 iterations = repeated ? 16 : 1;
+    bool stop = !repeated;
+    while (iterations-- > 0) {
+      if (repeated) {
+        c.trace_rr(kEcx);
+        c.trace_branch();
+        if (c.regs_.gpr[kEcx] == 0) {
+          stop = true;
+          break;
         }
-        v &= kWidthMask[w];
-        regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, v & 1);
-        trace_rm(kSlotEflags);
       }
-      write_operand(insn.dst, w, v);
-      break;
-    }
-    case Op::kShl: case Op::kShr: case Op::kSar: {
-      const u32 bits = w * 8;
-      const u32 count = read_operand(insn.src, 1) & 31;
-      u32 v = read_operand(insn.dst, w);
-      if (count != 0) {
-        u32 r;
-        bool cf;
-        if (insn.op == Op::kShl) {
-          cf = count <= bits && test_bit(v, bits - count);
-          r = count >= bits ? 0 : (v << count);
-        } else if (insn.op == Op::kShr) {
-          cf = count <= bits && test_bit(v, count - 1);
-          r = count >= bits ? 0 : (v >> count);
-        } else {
-          const i32 sv = static_cast<i32>(
-              sign_extend32(v, bits));
-          cf = test_bit(static_cast<u32>(sv >> (count - 1)), 0);
-          r = static_cast<u32>(sv >> (count >= bits ? bits - 1 : count));
+      switch (insn.op) {
+        case Op::kMovs: {
+          c.trace_rr(kEsi);
+          c.trace_rr(kEdi);
+          const u32 v = c.read_mem(c.regs_.gpr[kEsi], w);
+          c.write_mem(c.regs_.gpr[kEdi], w, v);
+          c.regs_.gpr[kEsi] += delta;
+          c.regs_.gpr[kEdi] += delta;
+          break;
         }
-        r &= kWidthMask[w];
-        set_flags_logic(r, w);
-        regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, cf);
-        write_operand(insn.dst, w, r);
-      }
-      break;
-    }
-    case Op::kNot: {
-      const u32 v = read_operand(insn.dst, w);
-      write_operand(insn.dst, w, ~v);
-      break;
-    }
-    case Op::kNeg: {
-      const u32 v = read_operand(insn.dst, w);
-      set_flags_sub(0, v, 0, w);
-      write_operand(insn.dst, w, 0u - v);
-      break;
-    }
-    case Op::kMul: {
-      const u64 a = read_reg(kEax, w);
-      const u64 b = read_operand(insn.dst, w);
-      const u64 r = a * b;
-      cycles_ += 6;
-      if (w == 1) {
-        write_reg(kEax, 2, static_cast<u32>(r));
-      } else {
-        write_reg(kEax, w, static_cast<u32>(r & kWidthMask[w]));
-        write_reg(kEdx, w, static_cast<u32>((r >> (w * 8)) & kWidthMask[w]));
-      }
-      const bool high = (r >> (w * 8)) != 0;
-      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, high);
-      regs_.eflags = set_bits32(regs_.eflags, kFlagOF, 1, high);
-      trace_rm(kSlotEflags);
-      break;
-    }
-    case Op::kImul: {
-      if (insn.src_width == 4 && insn.dst.kind == OperandKind::kReg) {
-        // 3-operand form: dst = src * imm.
-        const i64 r = static_cast<i64>(static_cast<i32>(read_operand(insn.src, 4))) *
-                      insn.rel;
-        write_reg(insn.dst.reg, 4, static_cast<u32>(r));
-        cycles_ += 6;
-        break;
-      }
-      const i64 a = static_cast<i32>(read_operand(insn.dst, 4));
-      const i64 b = static_cast<i32>(read_operand(insn.src, 4));
-      write_reg(insn.dst.reg, 4, static_cast<u32>(a * b));
-      cycles_ += 6;
-      break;
-    }
-    case Op::kDiv: case Op::kIdiv: {
-      const u32 divisor = read_operand(insn.dst, w);
-      cycles_ += 20;
-      if (divisor == 0) raise(Cause::kDivideError);
-      if (w == 4) {
-        trace_rr(kEdx);
-        trace_rr(kEax);
-        const u64 dividend =
-            (static_cast<u64>(regs_.gpr[kEdx]) << 32) | regs_.gpr[kEax];
-        if (insn.op == Op::kDiv) {
-          const u64 q = dividend / divisor;
-          if (q > 0xFFFFFFFFULL) raise(Cause::kDivideError);
-          regs_.gpr[kEax] = static_cast<u32>(q);
-          regs_.gpr[kEdx] = static_cast<u32>(dividend % divisor);
-        } else {
-          const i64 sdividend = static_cast<i64>(dividend);
-          const i64 sdiv = static_cast<i32>(divisor);
-          const i64 q = sdividend / sdiv;
-          if (q > 0x7FFFFFFFLL || q < -0x80000000LL) raise(Cause::kDivideError);
-          regs_.gpr[kEax] = static_cast<u32>(q);
-          regs_.gpr[kEdx] = static_cast<u32>(sdividend % sdiv);
+        case Op::kStos:
+          c.trace_rr(kEdi);
+          c.write_mem(c.regs_.gpr[kEdi], w, c.read_reg(kEax, w));
+          c.regs_.gpr[kEdi] += delta;
+          break;
+        case Op::kLods:
+          c.trace_rr(kEsi);
+          c.write_reg(kEax, w, c.read_mem(c.regs_.gpr[kEsi], w));
+          c.regs_.gpr[kEsi] += delta;
+          break;
+        case Op::kScas: {
+          c.trace_rr(kEdi);
+          const u32 m = c.read_mem(c.regs_.gpr[kEdi], w);
+          c.set_flags_sub(c.read_reg(kEax, w), m, 0, w);
+          c.regs_.gpr[kEdi] += delta;
+          break;
         }
-        trace_rw(kEax);
-        trace_rw(kEdx);
-      } else {
-        const u32 dividend = read_reg(kEax, 2) | (read_reg(kEdx, 2) << 16);
-        const u32 q = dividend / divisor;
-        if (q > kWidthMask[w]) raise(Cause::kDivideError);
-        write_reg(kEax, w, q);
-        write_reg(kEdx, w, dividend % divisor);
+        case Op::kCmps: {
+          c.trace_rr(kEsi);
+          c.trace_rr(kEdi);
+          const u32 a = c.read_mem(c.regs_.gpr[kEsi], w);
+          const u32 b = c.read_mem(c.regs_.gpr[kEdi], w);
+          c.set_flags_sub(a, b, 0, w);
+          c.regs_.gpr[kEsi] += delta;
+          c.regs_.gpr[kEdi] += delta;
+          break;
+        }
+        default:
+          break;
       }
-      break;
-    }
-    case Op::kCwde:
-      trace_rr(kEax);
-      trace_rw(kEax);
-      regs_.gpr[kEax] = static_cast<u32>(sign_extend32(regs_.gpr[kEax] & 0xFFFF, 16));
-      break;
-    case Op::kCdq:
-      trace_rr(kEax);
-      trace_rw(kEdx);
-      regs_.gpr[kEdx] = (regs_.gpr[kEax] & 0x80000000u) ? 0xFFFFFFFFu : 0;
-      break;
-    case Op::kJecxz:
-      trace_rr(kEcx);
-      trace_branch();
-      if (regs_.gpr[kEcx] == 0) {
-        regs_.eip = next + insn.rel;
-        cycles_ += 1;
-        return;
-      }
-      break;
-    case Op::kLoop: {
-      trace_rr(kEcx);
-      regs_.gpr[kEcx] -= 1;
-      trace_rw(kEcx);
-      bool take = regs_.gpr[kEcx] != 0;
-      if (insn.src_width == 1) {  // loope / loopne
-        const bool zf = test_bit(regs_.eflags, kFlagZF);
-        trace_rr(kSlotEflags);
-        take = take && (insn.cond == 1 ? zf : !zf);
-      }
-      trace_branch();
-      if (take) {
-        regs_.eip = next + insn.rel;
-        cycles_ += 1;
-        return;
-      }
-      break;
-    }
-    case Op::kMovFromCr: {
-      u32 v = 0;
-      switch (insn.src.reg) {
-        case 0: v = regs_.cr0; trace_rr(kSlotCr0); break;
-        case 2: v = regs_.cr2; trace_rr(kSlotCr2); break;
-        case 3: v = regs_.cr3; trace_rr(kSlotCr3); break;
-        case 4: v = regs_.cr4; trace_rr(kSlotCr4); break;
-        default: raise(Cause::kInvalidOpcode);
-      }
-      write_reg(insn.dst.reg, 4, v);
-      break;
-    }
-    case Op::kMovToCr: {
-      const u32 v = read_operand(insn.src, 4);
-      switch (insn.dst.reg) {
-        case 0: regs_.cr0 = v; trace_rw(kSlotCr0); break;
-        case 2: regs_.cr2 = v; trace_rw(kSlotCr2); break;
-        case 3: regs_.cr3 = v; trace_rw(kSlotCr3); break;
-        case 4: regs_.cr4 = v; trace_rw(kSlotCr4); break;
-        default: raise(Cause::kInvalidOpcode);
-      }
-      break;
-    }
-    case Op::kMovFromSeg: {
-      trace_rr(insn.src.reg == 4 ? kSlotFs : kSlotGs);
-      const u32 v = insn.src.reg == 4 ? regs_.fs : regs_.gs;
-      write_operand(insn.dst, 2, v);
-      break;
-    }
-    case Op::kMovToSeg: {
-      const u32 v = read_operand(insn.src, 2);
-      if (insn.dst.reg == 4) {
-        regs_.fs = v;
-        trace_rw(kSlotFs);
-      } else {
-        regs_.gs = v;
-        trace_rw(kSlotGs);
-      }
-      break;
-    }
-    case Op::kMovs: case Op::kCmps: case Op::kStos: case Op::kLods:
-    case Op::kScas: {
-      // String ops honor DF and the REP prefixes; REP executes in bounded
-      // slices per step (like the interruptible hardware ops) by leaving
-      // EIP unchanged until ECX reaches zero (or the REPE/REPNE condition
-      // stops a cmps/scas).
-      const u32 delta = test_bit(regs_.eflags, kFlagDF)
-                            ? static_cast<u32>(-static_cast<i32>(w))
-                            : w;
-      const bool repeated = insn.rep || insn.repne;
-      u32 iterations = repeated ? 16 : 1;
-      bool stop = !repeated;
-      while (iterations-- > 0) {
-        if (repeated) {
-          trace_rr(kEcx);
-          trace_branch();
-          if (regs_.gpr[kEcx] == 0) {
+      if (repeated) {
+        c.regs_.gpr[kEcx] -= 1;
+        if (insn.op == Op::kScas || insn.op == Op::kCmps) {
+          const bool zf = test_bit(c.regs_.eflags, kFlagZF);
+          if ((insn.rep && !zf) || (insn.repne && zf)) {
             stop = true;
             break;
           }
         }
-        switch (insn.op) {
-          case Op::kMovs: {
-            trace_rr(kEsi);
-            trace_rr(kEdi);
-            const u32 v = read_mem(regs_.gpr[kEsi], w);
-            write_mem(regs_.gpr[kEdi], w, v);
-            regs_.gpr[kEsi] += delta;
-            regs_.gpr[kEdi] += delta;
-            break;
-          }
-          case Op::kStos:
-            trace_rr(kEdi);
-            write_mem(regs_.gpr[kEdi], w, read_reg(kEax, w));
-            regs_.gpr[kEdi] += delta;
-            break;
-          case Op::kLods:
-            trace_rr(kEsi);
-            write_reg(kEax, w, read_mem(regs_.gpr[kEsi], w));
-            regs_.gpr[kEsi] += delta;
-            break;
-          case Op::kScas: {
-            trace_rr(kEdi);
-            const u32 m = read_mem(regs_.gpr[kEdi], w);
-            set_flags_sub(read_reg(kEax, w), m, 0, w);
-            regs_.gpr[kEdi] += delta;
-            break;
-          }
-          case Op::kCmps: {
-            trace_rr(kEsi);
-            trace_rr(kEdi);
-            const u32 a = read_mem(regs_.gpr[kEsi], w);
-            const u32 b = read_mem(regs_.gpr[kEdi], w);
-            set_flags_sub(a, b, 0, w);
-            regs_.gpr[kEsi] += delta;
-            regs_.gpr[kEdi] += delta;
-            break;
-          }
-          default:
-            break;
-        }
-        if (repeated) {
-          regs_.gpr[kEcx] -= 1;
-          if (insn.op == Op::kScas || insn.op == Op::kCmps) {
-            const bool zf = test_bit(regs_.eflags, kFlagZF);
-            if ((insn.rep && !zf) || (insn.repne && zf)) {
-              stop = true;
-              break;
-            }
-          }
-          if (regs_.gpr[kEcx] == 0) stop = true;
-        }
+        if (c.regs_.gpr[kEcx] == 0) stop = true;
       }
-      if (!stop) return;  // resume the REP at the same EIP next step
-      break;
     }
-    case Op::kPusha: {
-      const u32 saved_esp = regs_.gpr[kEsp];
-      for (const u8 r : {kEax, kEcx, kEdx, kEbx}) {
-        trace_rr(r);
-        push32(regs_.gpr[r]);
-      }
-      push32(saved_esp);
-      for (const u8 r : {kEbp, kEsi, kEdi}) {
-        trace_rr(r);
-        push32(regs_.gpr[r]);
-      }
-      break;
-    }
-    case Op::kPopa: {
-      for (const u8 r : {kEdi, kEsi, kEbp}) {
-        regs_.gpr[r] = pop32();
-        trace_rw(r);
-      }
-      pop32();  // esp image discarded
-      for (const u8 r : {kEbx, kEdx, kEcx, kEax}) {
-        regs_.gpr[r] = pop32();
-        trace_rw(r);
-      }
-      break;
-    }
-    case Op::kSalc:
-      trace_rr(kSlotEflags);
-      write_reg(kEax, 1, test_bit(regs_.eflags, kFlagCF) ? 0xFF : 0x00);
-      break;
-    case Op::kXlat:
-      trace_rr(kEbx);
-      write_reg(kEax, 1,
-                read_mem(regs_.gpr[kEbx] + read_reg(kEax, 1), 1));
-      break;
-    case Op::kClc:
-      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, 0);
-      break;
-    case Op::kStc:
-      regs_.eflags = set_bits32(regs_.eflags, kFlagCF, 1, 1);
-      break;
-    case Op::kCmc:
-      regs_.eflags ^= 1u << kFlagCF;
-      break;
-    case Op::kCld:
-      regs_.eflags = set_bits32(regs_.eflags, kFlagDF, 1, 0);
-      break;
-    case Op::kStd:
-      regs_.eflags = set_bits32(regs_.eflags, kFlagDF, 1, 1);
-      break;
-    case Op::kCli:
-      regs_.eflags = set_bits32(regs_.eflags, kFlagIF, 1, 0);
-      break;
-    case Op::kSti:
-      regs_.eflags = set_bits32(regs_.eflags, kFlagIF, 1, 1);
-      break;
-    case Op::kFpu:
-      // x87 with a memory operand touches memory (and can fault); the FP
-      // register file itself is not modeled.
-      if (insn.dst.kind == OperandKind::kMem) {
-        read_mem(effective_addr(insn.dst.mem), 4);
-      }
-      cycles_ += 3;
-      break;
-    case Op::kEnter: {
-      trace_rr(kEbp);
-      push32(regs_.gpr[kEbp]);
-      trace_rr(kEsp);
-      regs_.gpr[kEbp] = regs_.gpr[kEsp];
-      trace_rw(kEbp);
-      regs_.gpr[kEsp] -= static_cast<u32>(insn.rel);
-      break;
-    }
-    case Op::kRetf: {
-      const u32 ra = pop32();
-      pop32();  // cs selector (garbage here)
-      regs_.gpr[kEsp] += static_cast<u32>(insn.rel);
-      regs_.eip = ra;
-      trace_rw(kSlotEip);
-      cycles_ += 3;
-      return;
-    }
-    case Op::kInto:
-      trace_rr(kSlotEflags);
-      if (test_bit(regs_.eflags, kFlagOF)) raise(Cause::kBoundsTrap);
-      break;
-    case Op::kJmpFar:
-    case Op::kCallFar:
-      // Far transfers load a code selector; anything reached through a
-      // corrupted stream carries a garbage selector: #GP.
-      raise(Cause::kGeneralProtection, 0, false, 0xFA12);
-    case Op::kAam: {
-      const u32 divisor = static_cast<u32>(insn.src.imm) & 0xFF;
-      if (divisor == 0) raise(Cause::kDivideError);
-      const u32 al = read_reg(kEax, 1);
-      write_reg(kEax, 2, ((al / divisor) << 8) | (al % divisor));
-      break;
-    }
-    case Op::kAad: {
-      const u32 mult = static_cast<u32>(insn.src.imm) & 0xFF;
-      const u32 ax = read_reg(kEax, 2);
-      write_reg(kEax, 2, ((ax >> 8) * mult + (ax & 0xFF)) & 0xFF);
-      break;
-    }
-    case Op::kArpl:
-      cycles_ += 1;  // flat segments: no modeled effect
-      break;
-    case Op::kInsOuts: {
-      if (insn.src_width == 1) {
-        trace_rr(kEsi);
-        read_mem(regs_.gpr[kEsi], w);  // outs reads [esi]
-        regs_.gpr[kEsi] += w;
-      } else {
-        trace_rr(kEdi);
-        write_mem(regs_.gpr[kEdi], w, 0);  // ins writes port data to [edi]
-        regs_.gpr[kEdi] += w;
-      }
-      cycles_ += 10;
-      break;
-    }
-    case Op::kInOut:
-      cycles_ += 20;  // port I/O: no devices behind it here
-      break;
-    case Op::kFwait:
-      break;
-    case Op::kInvalid:
-      raise(Cause::kInvalidOpcode);
+    if (!stop) return;  // resume the REP at the same EIP next step
+    c.regs_.eip += insn.length;
   }
-  regs_.eip = next;
+  static void pusha(CiscaCpu& c, const Insn& insn) {
+    const u32 saved_esp = c.regs_.gpr[kEsp];
+    for (const u8 r : {kEax, kEcx, kEdx, kEbx}) {
+      c.trace_rr(r);
+      c.push32(c.regs_.gpr[r]);
+    }
+    c.push32(saved_esp);
+    for (const u8 r : {kEbp, kEsi, kEdi}) {
+      c.trace_rr(r);
+      c.push32(c.regs_.gpr[r]);
+    }
+    c.regs_.eip += insn.length;
+  }
+  static void popa(CiscaCpu& c, const Insn& insn) {
+    for (const u8 r : {kEdi, kEsi, kEbp}) {
+      c.regs_.gpr[r] = c.pop32();
+      c.trace_rw(r);
+    }
+    c.pop32();  // esp image discarded
+    for (const u8 r : {kEbx, kEdx, kEcx, kEax}) {
+      c.regs_.gpr[r] = c.pop32();
+      c.trace_rw(r);
+    }
+    c.regs_.eip += insn.length;
+  }
+  static void salc(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(kSlotEflags);
+    c.write_reg(kEax, 1, test_bit(c.regs_.eflags, kFlagCF) ? 0xFF : 0x00);
+    c.regs_.eip += insn.length;
+  }
+  static void xlat(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(kEbx);
+    c.write_reg(kEax, 1,
+                c.read_mem(c.regs_.gpr[kEbx] + c.read_reg(kEax, 1), 1));
+    c.regs_.eip += insn.length;
+  }
+  static void clc(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagCF, 1, 0);
+    c.regs_.eip += insn.length;
+  }
+  static void stc(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagCF, 1, 1);
+    c.regs_.eip += insn.length;
+  }
+  static void cmc(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eflags ^= 1u << kFlagCF;
+    c.regs_.eip += insn.length;
+  }
+  static void cld(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagDF, 1, 0);
+    c.regs_.eip += insn.length;
+  }
+  static void std(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagDF, 1, 1);
+    c.regs_.eip += insn.length;
+  }
+  static void cli(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagIF, 1, 0);
+    c.regs_.eip += insn.length;
+  }
+  static void sti(CiscaCpu& c, const Insn& insn) {
+    c.regs_.eflags = set_bits32(c.regs_.eflags, kFlagIF, 1, 1);
+    c.regs_.eip += insn.length;
+  }
+  static void fpu(CiscaCpu& c, const Insn& insn) {
+    // x87 with a memory operand touches memory (and can fault); the FP
+    // register file itself is not modeled.
+    if (insn.dst.kind == OperandKind::kMem) {
+      c.read_mem(c.effective_addr(insn.dst.mem), 4);
+    }
+    c.cycles_ += 3;
+    c.regs_.eip += insn.length;
+  }
+  static void enter(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(kEbp);
+    c.push32(c.regs_.gpr[kEbp]);
+    c.trace_rr(kEsp);
+    c.regs_.gpr[kEbp] = c.regs_.gpr[kEsp];
+    c.trace_rw(kEbp);
+    c.regs_.gpr[kEsp] -= static_cast<u32>(insn.rel);
+    c.regs_.eip += insn.length;
+  }
+  static void retf(CiscaCpu& c, const Insn& insn) {
+    const u32 ra = c.pop32();
+    c.pop32();  // cs selector (garbage here)
+    c.regs_.gpr[kEsp] += static_cast<u32>(insn.rel);
+    c.regs_.eip = ra;
+    c.trace_rw(kSlotEip);
+    c.cycles_ += 3;
+  }
+  static void into(CiscaCpu& c, const Insn& insn) {
+    c.trace_rr(kSlotEflags);
+    if (test_bit(c.regs_.eflags, kFlagOF)) c.raise(Cause::kBoundsTrap);
+    c.regs_.eip += insn.length;
+  }
+  [[noreturn]] static void far(CiscaCpu& c, const Insn& insn) {
+    (void)insn;
+    // Far transfers load a code selector; anything reached through a
+    // corrupted stream carries a garbage selector: #GP.
+    c.raise(Cause::kGeneralProtection, 0, false, 0xFA12);
+  }
+  static void aam(CiscaCpu& c, const Insn& insn) {
+    const u32 divisor = static_cast<u32>(insn.src.imm) & 0xFF;
+    if (divisor == 0) c.raise(Cause::kDivideError);
+    const u32 al = c.read_reg(kEax, 1);
+    c.write_reg(kEax, 2, ((al / divisor) << 8) | (al % divisor));
+    c.regs_.eip += insn.length;
+  }
+  static void aad(CiscaCpu& c, const Insn& insn) {
+    const u32 mult = static_cast<u32>(insn.src.imm) & 0xFF;
+    const u32 ax = c.read_reg(kEax, 2);
+    c.write_reg(kEax, 2, ((ax >> 8) * mult + (ax & 0xFF)) & 0xFF);
+    c.regs_.eip += insn.length;
+  }
+  static void arpl(CiscaCpu& c, const Insn& insn) {
+    c.cycles_ += 1;  // flat segments: no modeled effect
+    c.regs_.eip += insn.length;
+  }
+  static void insouts(CiscaCpu& c, const Insn& insn) {
+    const u8 w = insn.width;
+    if (insn.src_width == 1) {
+      c.trace_rr(kEsi);
+      c.read_mem(c.regs_.gpr[kEsi], w);  // outs reads [esi]
+      c.regs_.gpr[kEsi] += w;
+    } else {
+      c.trace_rr(kEdi);
+      c.write_mem(c.regs_.gpr[kEdi], w, 0);  // ins writes port data to [edi]
+      c.regs_.gpr[kEdi] += w;
+    }
+    c.cycles_ += 10;
+    c.regs_.eip += insn.length;
+  }
+  static void inout(CiscaCpu& c, const Insn& insn) {
+    c.cycles_ += 20;  // port I/O: no devices behind it here
+    c.regs_.eip += insn.length;
+  }
+  [[noreturn]] static void invalid(CiscaCpu& c, const Insn& insn) {
+    (void)insn;
+    c.raise(Cause::kInvalidOpcode);
+  }
+};
+
+namespace {
+
+using OpFn = void (*)(CiscaCpu&, const Insn&);
+
+const std::array<OpFn, kNumOps>& op_table() {
+  static const std::array<OpFn, kNumOps> table = [] {
+    std::array<OpFn, kNumOps> t{};
+    auto set = [&t](Op op, OpFn fn) { t[static_cast<size_t>(op)] = fn; };
+    set(Op::kInvalid, &CiscaOps::invalid);
+    set(Op::kAdd, &CiscaOps::add);
+    set(Op::kAdc, &CiscaOps::add);
+    set(Op::kSub, &CiscaOps::sub);
+    set(Op::kSbb, &CiscaOps::sub);
+    set(Op::kCmp, &CiscaOps::cmp);
+    set(Op::kAnd, &CiscaOps::logic);
+    set(Op::kOr, &CiscaOps::logic);
+    set(Op::kXor, &CiscaOps::logic);
+    set(Op::kTest, &CiscaOps::test);
+    set(Op::kMov, &CiscaOps::mov);
+    set(Op::kMovzx, &CiscaOps::movzx);
+    set(Op::kMovsx, &CiscaOps::movsx);
+    set(Op::kLea, &CiscaOps::lea);
+    set(Op::kXchg, &CiscaOps::xchg);
+    set(Op::kInc, &CiscaOps::inc);
+    set(Op::kDec, &CiscaOps::dec);
+    set(Op::kPush, &CiscaOps::push);
+    set(Op::kPop, &CiscaOps::pop);
+    set(Op::kPushf, &CiscaOps::pushf);
+    set(Op::kPopf, &CiscaOps::popf);
+    set(Op::kLeave, &CiscaOps::leave);
+    set(Op::kJcc, &CiscaOps::jcc);
+    set(Op::kJmp, &CiscaOps::jmp);
+    set(Op::kCall, &CiscaOps::call);
+    set(Op::kRet, &CiscaOps::ret);
+    set(Op::kIret, &CiscaOps::iret);
+    set(Op::kNop, &CiscaOps::nop);
+    set(Op::kHlt, &CiscaOps::hlt);
+    set(Op::kUd2, &CiscaOps::ud2);
+    set(Op::kInt, &CiscaOps::int_);
+    set(Op::kInt3, &CiscaOps::int3);
+    set(Op::kBound, &CiscaOps::bound);
+    set(Op::kRol, &CiscaOps::rotate);
+    set(Op::kRor, &CiscaOps::rotate);
+    set(Op::kRcl, &CiscaOps::rotate);
+    set(Op::kRcr, &CiscaOps::rotate);
+    set(Op::kShl, &CiscaOps::shift);
+    set(Op::kShr, &CiscaOps::shift);
+    set(Op::kSar, &CiscaOps::shift);
+    set(Op::kNot, &CiscaOps::not_);
+    set(Op::kNeg, &CiscaOps::neg);
+    set(Op::kMul, &CiscaOps::mul);
+    set(Op::kImul, &CiscaOps::imul);
+    set(Op::kDiv, &CiscaOps::div);
+    set(Op::kIdiv, &CiscaOps::div);
+    set(Op::kCwde, &CiscaOps::cwde);
+    set(Op::kCdq, &CiscaOps::cdq);
+    set(Op::kJecxz, &CiscaOps::jecxz);
+    set(Op::kLoop, &CiscaOps::loop);
+    set(Op::kMovFromCr, &CiscaOps::mov_from_cr);
+    set(Op::kMovToCr, &CiscaOps::mov_to_cr);
+    set(Op::kMovFromSeg, &CiscaOps::mov_from_seg);
+    set(Op::kMovToSeg, &CiscaOps::mov_to_seg);
+    set(Op::kMovs, &CiscaOps::string);
+    set(Op::kCmps, &CiscaOps::string);
+    set(Op::kStos, &CiscaOps::string);
+    set(Op::kLods, &CiscaOps::string);
+    set(Op::kScas, &CiscaOps::string);
+    set(Op::kPusha, &CiscaOps::pusha);
+    set(Op::kPopa, &CiscaOps::popa);
+    set(Op::kSalc, &CiscaOps::salc);
+    set(Op::kXlat, &CiscaOps::xlat);
+    set(Op::kClc, &CiscaOps::clc);
+    set(Op::kStc, &CiscaOps::stc);
+    set(Op::kCmc, &CiscaOps::cmc);
+    set(Op::kCld, &CiscaOps::cld);
+    set(Op::kStd, &CiscaOps::std);
+    set(Op::kCli, &CiscaOps::cli);
+    set(Op::kSti, &CiscaOps::sti);
+    set(Op::kFpu, &CiscaOps::fpu);
+    set(Op::kEnter, &CiscaOps::enter);
+    set(Op::kRetf, &CiscaOps::retf);
+    set(Op::kInto, &CiscaOps::into);
+    set(Op::kJmpFar, &CiscaOps::far);
+    set(Op::kCallFar, &CiscaOps::far);
+    set(Op::kAam, &CiscaOps::aam);
+    set(Op::kAad, &CiscaOps::aad);
+    set(Op::kArpl, &CiscaOps::arpl);
+    set(Op::kInsOuts, &CiscaOps::insouts);
+    set(Op::kInOut, &CiscaOps::inout);
+    set(Op::kFwait, &CiscaOps::nop);
+    for (const OpFn fn : t) {
+      KFI_CHECK(fn != nullptr, "cisca op handler table incomplete");
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void CiscaCpu::execute(const Insn& insn) {
+  op_table()[static_cast<size_t>(insn.op)](*this, insn);
+}
+
+bool CiscaCpu::block_terminator(const Insn& insn) {
+  switch (insn.op) {
+    // Control transfers (and REP string slices, which may repeat at the
+    // same EIP) end the straight-line run.
+    case Op::kJcc: case Op::kJmp: case Op::kCall: case Op::kRet:
+    case Op::kIret: case Op::kRetf: case Op::kJmpFar: case Op::kCallFar:
+    case Op::kJecxz: case Op::kLoop:
+    case Op::kMovs: case Op::kCmps: case Op::kStos: case Op::kLods:
+    case Op::kScas:
+    // Syscall/privilege transitions and halts hand control to the kernel
+    // glue between steps.
+    case Op::kInt: case Op::kInt3: case Op::kUd2: case Op::kHlt:
+    // Interrupt-flag and control-register changes alter what the machine
+    // loop (timer delivery) and the hoisted per-block CR0 check may
+    // observe; they must take effect at a block boundary.
+    case Op::kSti: case Op::kCli: case Op::kPopf: case Op::kMovToCr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool CiscaCpu::build_block(Superblock& blk, Addr vpc, u32 phys0) {
+  const mem::PhysicalMemory& pm = space_.phys();
+  blk.tag = kNoPage;
+  blk.insns.clear();
+  blk.vpc = vpc;
+  blk.page = phys0 >> mem::kPageShift;
+  blk.ver = pm.page_version(blk.page);
+  Addr pc = vpc;
+  u32 phys = phys0;
+  while (blk.insns.size() < kMaxBlockInsns) {
+    // Conservative page rule: every member instruction's full decode
+    // window must fit in the block's page, so the block depends on exactly
+    // one page version and can never hit a mid-instruction fetch fault.
+    // Instructions starting in the last (kMaxInsnBytes - 1) bytes of a
+    // page single-step instead.
+    if (mem::kPageSize - (phys & mem::kPageMask) < kMaxInsnBytes) break;
+    FetchWindow window;
+    window.pc = pc;
+    window.phys = phys;
+    pm.read_bytes(phys, window.bytes, kMaxInsnBytes);
+    window.valid = kMaxInsnBytes;
+    const DecodeResult dec = decode(window);
+    // Invalid encodings single-step: the #UD aux byte comes from the
+    // decode-cache entry there.
+    if (dec.fetch_fault || dec.insn.op == Op::kInvalid) break;
+    blk.insns.push_back(
+        {dec.insn, op_table()[static_cast<size_t>(dec.insn.op)], phys});
+    const bool term = block_terminator(dec.insn);
+    pc += dec.insn.length;
+    phys += dec.insn.length;
+    if (term) break;
+  }
+  if (blk.insns.empty()) return false;
+  blk.tag = phys0;
+  return true;
+}
+
+isa::StepResult CiscaCpu::step_block(const isa::BlockLimits& limits,
+                                     u64* consumed) {
+  *consumed = 1;
+  if (!sblocks_enabled_) return step();
+  // Same order as step(): the breakpoint check precedes everything.  The
+  // single-step fallbacks below re-check it harmlessly (a non-matching
+  // check has no effect, and a matching one already returned here).
+  if (debug_.check_insn_bp(regs_.eip)) {
+    isa::StepResult result;
+    result.status = isa::StepStatus::kInsnBp;
+    return result;
+  }
+  if (!test_bit(regs_.cr0, kCr0PE) || !test_bit(regs_.cr0, kCr0PG)) {
+    return step();  // raises #GP with the step() bookkeeping
+  }
+  const auto tr = space_.translate(regs_.eip, 1, mem::Access::kExecute);
+  if (!tr.ok()) return step();  // unfetchable pc: step() raises
+  mem::PhysicalMemory& pm = space_.phys();
+  Superblock& blk = sblocks_[tr.phys & (kSuperblockEntries - 1)];
+  bool hit = false;
+  if (blk.tag == tr.phys && blk.vpc == regs_.eip) {
+    if (blk.ver == pm.page_version(blk.page)) {
+      hit = true;
+    } else {
+      ++sb_stats_.invalidations;
+    }
+  }
+  if (hit) {
+    ++sb_stats_.hits;
+  } else {
+    ++sb_stats_.misses;
+    if (!build_block(blk, regs_.eip, tr.phys)) return step();
+  }
+  ++sb_stats_.dispatches;
+
+  isa::StepResult result;
+  current_result_ = &result;
+  const u64 cycle_bound = limits.cycle_bound == 0 ? ~0ull : limits.cycle_bound;
+  const u64 max_insns = limits.max_insns == 0 ? ~0ull : limits.max_insns;
+  const u64 ver = blk.ver;
+  const u32 page = blk.page;
+  const u32 n = static_cast<u32>(blk.insns.size());
+  // No instruction arms the breakpoint (only the harness does, between
+  // run() calls), so an unarmed unit at dispatch stays unarmed for the
+  // whole block and the per-insn check can be skipped.
+  const bool bp_armed = debug_.insn_bp_armed();
+  u64 done = 0;
+  bool bp_stop = false;
+  try {
+    for (u32 i = 0; i < n; ++i) {
+      if (i != 0) {
+        // The machine loop's per-iteration order, inlined: step budget,
+        // cycle-driven events, then the instruction breakpoint.
+        if (done >= max_insns) break;
+        if (cycles_ >= cycle_bound) break;
+        if (bp_armed && debug_.check_insn_bp(regs_.eip)) {
+          result.status = isa::StepStatus::kInsnBp;
+          bp_stop = true;
+          break;
+        }
+      }
+      const BlockInsn& bi = blk.insns[i];
+      if (sink_ != nullptr) {
+        // Block instructions never straddle pages (see build_block), so
+        // the span is always single-page — same bytes as the step() hook.
+        sink_->on_insn_fetch(kSlotEip, regs_.eip, bi.phys, bi.insn.length, 0,
+                             0);
+      }
+      bi.fn(*this, bi.insn);
+      cycles_ += 1;
+      ++done;
+      if (result.num_data_hits > 0) break;
+      if (halted_pending_) break;
+      // A store into this block's own page (self-modification, injector
+      // flip) may have rewritten the remaining cached instructions:
+      // re-dispatch so they re-decode from current bytes.
+      if (pm.page_version(page) != ver) break;
+    }
+  } catch (const TrapException& te) {
+    result.status = isa::StepStatus::kTrap;
+    result.trap = te.trap;
+    cycles_ += 1;
+  }
+  if (result.status == isa::StepStatus::kOk && halted_pending_) {
+    halted_pending_ = false;
+    result.status = isa::StepStatus::kHalted;
+  }
+  current_result_ = nullptr;
+  sb_stats_.block_insns += done;
+  // Executed instructions each stand for one machine-loop iteration; a
+  // trap or breakpoint stop consumed one more (exactly what the old
+  // per-step loop charged against harness step budgets).
+  *consumed =
+      result.status == isa::StepStatus::kTrap || bp_stop ? done + 1 : done;
+  return result;
 }
 
 isa::CpuSnapshot CiscaCpu::snapshot() const {

@@ -35,6 +35,7 @@ struct SegDescriptor {
 };
 
 class CiscaSysRegs;  // defined in sysregs.hpp
+struct CiscaOps;     // per-op execute handlers (cpu.cpp)
 
 class CiscaCpu final : public isa::CpuCore {
  public:
@@ -69,6 +70,11 @@ class CiscaCpu final : public isa::CpuCore {
   isa::DecodeCacheStats decode_cache_stats() const override {
     return dcache_stats_;
   }
+  isa::StepResult step_block(const isa::BlockLimits& limits,
+                             u64* consumed) override;
+  void set_superblocks_enabled(bool enabled) override;
+  bool superblocks_enabled() const override { return sblocks_enabled_; }
+  isa::SuperblockStats superblock_stats() const override { return sb_stats_; }
   void set_trace_sink(trace::TraceSink* sink) override { sink_ = sink; }
   trace::RegSlot sysreg_slot(u32 index) const override;
 
@@ -88,9 +94,39 @@ class CiscaCpu final : public isa::CpuCore {
 
  private:
   friend class CiscaSysRegs;
+  friend struct CiscaOps;
   struct TrapException {
     isa::Trap trap;
   };
+
+  /// Superblock cache: straight-line runs of predecoded instructions plus
+  /// their pre-resolved execute handlers, direct-mapped on the physical
+  /// address of the first byte.  A block never leaves its first physical
+  /// page (each member instruction's full decode window must fit in the
+  /// page, so re-aligned corrupted streams still decode identically), and
+  /// is valid only while that page's write version is unchanged — the
+  /// same lazy invalidation as the decode cache, so stores, injected
+  /// flips, and reboots into cached code force a rebuild.
+  struct BlockInsn {
+    Insn insn{};
+    void (*fn)(CiscaCpu&, const Insn&) = nullptr;
+    u32 phys = kNoPage;  // first-byte physical address (fetch-hook span)
+  };
+  struct Superblock {
+    u32 tag = kNoPage;  // physical address of the first byte
+    Addr vpc = 0;       // virtual pc (guards against phys aliasing)
+    u32 page = 0;
+    u64 ver = 0;
+    std::vector<BlockInsn> insns;
+  };
+  static constexpr u32 kSuperblockEntries = 2048;
+  static constexpr u32 kMaxBlockInsns = 32;
+
+  /// (Re)build the block starting at vpc/phys0 in place; false when no
+  /// block can start here (page-end decode window, invalid or faulting
+  /// first instruction) and the caller must single-step.
+  bool build_block(Superblock& blk, Addr vpc, u32 phys0);
+  static bool block_terminator(const Insn& insn);
 
   /// Predecoded-instruction cache: direct-mapped on the physical address
   /// of the first instruction byte.  An entry is valid only while the
@@ -162,6 +198,9 @@ class CiscaCpu final : public isa::CpuCore {
   std::vector<DecodeCacheEntry> dcache_;  // allocated when enabled
   DecodeCacheEntry dcache_scratch_;       // uncacheable results
   isa::DecodeCacheStats dcache_stats_;
+  bool sblocks_enabled_ = false;
+  std::vector<Superblock> sblocks_;  // allocated when enabled
+  isa::SuperblockStats sb_stats_;
   std::unique_ptr<CiscaSysRegs> sysregs_;
 };
 

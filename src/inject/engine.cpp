@@ -1,5 +1,6 @@
 #include "inject/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
@@ -26,6 +27,7 @@ struct WorkerTotals {
   u64 quarantined = 0;
   u64 stalls = 0;
   u64 harness_retries = 0;
+  u32 private_pages = 0;  // worker machine's resident pages at exit
   std::exception_ptr error;
 };
 
@@ -46,8 +48,9 @@ struct WorkerRig {
   std::unique_ptr<errnoinj::ErrnoInjector> errno_inj;
 
   WorkerRig(const CampaignPlan& plan, const kernel::MachineOptions& mopts,
-            bool trace, bool errno_probe)
-      : machine(plan.spec.arch, mopts, plan.image),
+            const kernel::MachineSnapshot& boot_snap, bool trace,
+            bool errno_probe)
+      : machine(plan.spec.arch, mopts, plan.image, boot_snap),
         wl(workload::make_suite(plan.spec.workload_scale)),
         channel(plan.spec.channel_loss, plan.spec.seed ^ 0xC0FFEE),
         collector(),
@@ -167,14 +170,29 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
 
   const kernel::MachineOptions mopts = campaign_machine_options(plan.spec);
 
+  // One donor machine runs the boot writes; every worker rig (including
+  // rebuilds after harness faults) adopts its boot snapshot instead of
+  // re-booting.  With COW on, a fresh worker holds ZERO private pages —
+  // all of memory aliases this one shared buffer — so engine residency is
+  // ~1 image + per-worker dirty pages, sublinear in the job count.
+  // Bit-identity is free: a worker booting itself would produce exactly
+  // the donor's state (same arch, options, and image).
+  std::unique_ptr<const kernel::MachineSnapshot> boot_snap;
+  if (remaining > 0) {
+    kernel::Machine donor(plan.spec.arch, mopts, plan.image);
+    boot_snap = std::make_unique<const kernel::MachineSnapshot>(
+        donor.boot_snapshot());
+  }
+
   // One worker: claims indices dynamically (determinism is per-index, so
   // the assignment is free to load-balance), executes each with retry /
   // quarantine isolation, and journals every completed record before
   // reporting progress.
   auto worker = [&](WorkerState& st) {
     try {
-      auto make_rig = [&plan, &mopts, &st, &ctl] {
-        auto rig = std::make_unique<WorkerRig>(plan, mopts, ctl.trace,
+      auto make_rig = [&plan, &mopts, &boot_snap, &st, &ctl] {
+        auto rig = std::make_unique<WorkerRig>(plan, mopts, *boot_snap,
+                                               ctl.trace,
                                                ctl.errno_hook_probe);
         rig->machine.set_harness_interrupt(&st.interrupt);
         return rig;
@@ -267,6 +285,7 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
           progress(++done_count, total);
         }
       }
+      st.totals.private_pages = rig->machine.space().phys().private_pages();
     } catch (...) {
       // Fatal for the whole campaign (rig construction, journal I/O, or a
       // throwing progress callback): stop claiming everywhere, drain, and
@@ -341,6 +360,10 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
     result.quarantined += st->totals.quarantined;
     result.stalls += st->totals.stalls;
     result.harness_retries += st->totals.harness_retries;
+    result.throughput.worker_private_pages += st->totals.private_pages;
+    result.throughput.max_worker_private_pages =
+        std::max(result.throughput.max_worker_private_pages,
+                 st->totals.private_pages);
   }
   for (const u8 d : result.done_mask) {
     if (!d) {

@@ -49,6 +49,13 @@ struct CampaignThroughput {
   double wall_seconds = 0.0;  // plan + run
   /// Simulated cycles consumed by all injection runs (summed per worker).
   u64 simulated_cycles = 0;
+  /// Private (non-shared) resident memory pages held by worker machines at
+  /// campaign end: the COW observability for bench/campaign_scaling.  With
+  /// copy-on-write boot-snapshot sharing these stay small and roughly flat
+  /// per worker (dirty pages only); without it every worker holds a full
+  /// image.  0 when no worker executed anything.
+  u64 worker_private_pages = 0;   // summed across workers
+  u32 max_worker_private_pages = 0;  // largest single worker
 
   double injections_per_second(size_t injections) const {
     return run_seconds > 0.0

@@ -39,6 +39,43 @@ struct DecodeCacheStats {
   }
 };
 
+/// Bounds one superblock dispatch so multi-instruction execution can never
+/// overshoot an event the machine loop would have delivered between single
+/// steps (stop_cycles, timer delivery, rate-mode firing cycles, harness
+/// step budgets).
+struct BlockLimits {
+  /// Stop BEFORE executing an instruction once cycles() >= cycle_bound
+  /// (0 = unbounded).  The machine loop re-checks its cycle-driven events
+  /// at exactly the same cycle count the single-step loop would have.
+  u64 cycle_bound = 0;
+  /// Execute at most this many instructions (0 = unbounded); the harness
+  /// step budget divides exactly into block dispatches.
+  u64 max_insns = 0;
+};
+
+/// Counters for the per-CPU superblock (multi-instruction trace) cache.
+struct SuperblockStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  /// Tag matched but the page write-version moved: a store / injected
+  /// flip / reboot rewrote cached code and the block was rebuilt.
+  u64 invalidations = 0;
+  /// Block dispatches (hit or freshly built) and instructions retired
+  /// through them; their ratio is the mean block length.
+  u64 dispatches = 0;
+  u64 block_insns = 0;
+
+  double hit_rate() const {
+    const u64 total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+  double mean_block_len() const {
+    return dispatches == 0 ? 0.0 : static_cast<double>(block_insns) /
+                                       static_cast<double>(dispatches);
+  }
+};
+
 class CpuCore {
  public:
   virtual ~CpuCore() = default;
@@ -88,6 +125,25 @@ class CpuCore {
   virtual void set_decode_cache_enabled(bool /*enabled*/) {}
   virtual bool decode_cache_enabled() const { return false; }
   virtual DecodeCacheStats decode_cache_stats() const { return {}; }
+
+  /// Execute a superblock: a cached straight-line run of predecoded
+  /// instructions starting at the current pc, dispatched through per-op
+  /// handler pointers so fetch→decode→dispatch is paid once per block.
+  /// Semantics are bit-identical to calling step() `*consumed` times: the
+  /// same trap, breakpoint, and trace-hook ordering, the same cycle
+  /// charges, bounded exactly by `limits`.  `*consumed` is the number of
+  /// machine-loop iterations the dispatch stands for (executed
+  /// instructions, plus one for a trap or breakpoint stop — exactly what
+  /// a step() would have charged against a harness step budget).
+  /// Default: superblocks unsupported, single step.
+  virtual StepResult step_block(const BlockLimits& /*limits*/,
+                                u64* consumed) {
+    *consumed = 1;
+    return step();
+  }
+  virtual void set_superblocks_enabled(bool /*enabled*/) {}
+  virtual bool superblocks_enabled() const { return false; }
+  virtual SuperblockStats superblock_stats() const { return {}; }
 };
 
 }  // namespace kfi::isa

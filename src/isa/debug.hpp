@@ -35,6 +35,16 @@ class DebugUnit {
   void disarm_data_bp(u32 index);
   bool data_bp_armed(u32 index) const;
 
+  /// True when any data breakpoint is armed.  Inline so the CPU models'
+  /// memory fast paths can skip the out-of-line record_access call (a
+  /// no-op with nothing armed) in ordinary execution.
+  bool data_bp_any() const {
+    for (const auto& bp : data_bps_) {
+      if (bp.has_value()) return true;
+    }
+    return false;
+  }
+
   /// Called by CPU models after every completed data access.
   void record_access(Addr addr, u32 len, bool is_write, StepResult& result);
 

@@ -74,13 +74,66 @@ Machine::Machine(isa::Arch arch, MachineOptions options, kir::ImagePtr image)
     cpu_ = std::move(cpu);
   }
   cpu_->set_decode_cache_enabled(options.decode_cache);
+  cpu_->set_superblocks_enabled(options.superblock);
+  space_.phys().set_cow_enabled(options.cow_memory);
   entry_map_ = build_entry_map(*image_);
   boot();
 }
 
+Machine::Machine(isa::Arch arch, MachineOptions options, kir::ImagePtr image,
+                 const MachineSnapshot& boot_snap)
+    : arch_(arch),
+      options_(options),
+      space_(kPhysBytes, arch == isa::Arch::kCisca ? mem::Endian::kLittle
+                                                   : mem::Endian::kBig),
+      image_(std::move(image)),
+      rng_(options.seed) {
+  KFI_CHECK(image_ != nullptr, "Machine requires a built kernel image");
+  KFI_CHECK(image_->arch == arch, "kernel image built for a different arch");
+  helper_backend_ = arch == isa::Arch::kCisca
+                        ? kir::make_cisca_backend(kTextBase, kDataBase)
+                        : kir::make_riscf_backend(kTextBase, kDataBase);
+  if (arch == isa::Arch::kCisca) {
+    cisca::CiscaCpu::Options copts;
+    copts.stack_limit_check = options.p4_stack_limit_check;
+    auto cpu = std::make_unique<cisca::CiscaCpu>(space_, copts);
+    cisca_cpu_ = cpu.get();
+    cpu_ = std::move(cpu);
+  } else {
+    auto cpu = std::make_unique<riscf::RiscfCpu>(space_);
+    riscf_cpu_ = cpu.get();
+    cpu_ = std::move(cpu);
+  }
+  cpu_->set_decode_cache_enabled(options.decode_cache);
+  cpu_->set_superblocks_enabled(options.superblock);
+  space_.phys().set_cow_enabled(options.cow_memory);
+  entry_map_ = build_entry_map(*image_);
+
+  // Boot by adoption: establish the address-space layout and cached
+  // symbols, then take ALL memory and CPU state from the donor snapshot.
+  // No image-load writes happen, so with COW on this machine starts with
+  // zero private pages.
+  map_address_space();
+  dispatch_entry_ = image_->function(KernelEntryPoints::kDispatch).addr;
+  timer_entry_ = image_->function(KernelEntryPoints::kTimerTick).addr;
+  current_addr_ = image_->object("current").addr;
+  if (cisca_cpu_ != nullptr) {
+    cisca_cpu_->set_stack_bounds(
+        kStackRegion, kStackRegion + kNumTasks * stack_slot(arch_));
+  }
+  profile_counts_.assign(image_->functions.size(), 0);
+  boot_snapshot_ = boot_snap;
+  restore(boot_snap);
+  if (riscf_cpu_ != nullptr) {
+    // The boot-time SPRG2 value the exception prologue's stack switch is
+    // checked against (the donor recorded the same value at its boot).
+    expected_sprg2_ = riscf_cpu_->regs().sprg[2];
+  }
+}
+
 Machine::~Machine() = default;
 
-void Machine::boot() {
+void Machine::map_address_space() {
   // --- address space layout ---
   // 2004-era MMUs had no per-page no-execute: any readable kernel page is
   // executable, so a corrupted jump into data or stack executes whatever
@@ -106,6 +159,10 @@ void Machine::boot() {
   space_.map_region("user_buffers", kUserBufBase, kUserBufSize,
                     {.read = true, .write = true, .execute = true});
   space_.map_region("local_bus", kBusRegion, kBusRegionSize, {.bus = true});
+}
+
+void Machine::boot() {
+  map_address_space();
 
   // --- load image ---
   space_.vwrite_bytes(kTextBase, image_->code.data(),
@@ -680,7 +737,38 @@ Event Machine::run(u64 stop_cycles) {
       if (it != entry_map_.end()) profile_counts_[it->second] += 1;
     }
 
-    const isa::StepResult sr = cpu_->step();
+    isa::StepResult sr;
+    if (options_.superblock && !profiling_) {
+      // One block dispatch stands for up to kMaxBlockInsns iterations of
+      // this loop.  The limits reproduce the per-iteration checks above
+      // exactly: the cycle bound is the nearest of stop_cycles and the
+      // next eligible timer tick (eligibility cannot change inside a
+      // block — interrupt-flag writes and glue transitions all end one),
+      // and the instruction bound is what remains of the harness step
+      // budget.  The CPU stops the block where the checks would have
+      // fired and reports how many loop iterations it stood in for.
+      isa::BlockLimits limits;
+      u64 bound = stop_cycles;
+      if (interrupts_enabled()) {
+        bool isr_live = false;
+        for (const GlueFrame& frame : glue_stack_) {
+          if (frame.kind == GlueKind::kIsr) isr_live = true;
+        }
+        if (!isr_live && (bound == 0 || next_timer_ < bound)) {
+          bound = next_timer_;
+        }
+      }
+      limits.cycle_bound = bound;
+      if (harness_interrupt_ != nullptr &&
+          harness_interrupt_->step_budget != 0) {
+        limits.max_insns = harness_interrupt_->step_budget - steps + 1;
+      }
+      u64 consumed = 1;
+      sr = cpu_->step_block(limits, &consumed);
+      steps += consumed - 1;
+    } else {
+      sr = cpu_->step();
+    }
     switch (sr.status) {
       case isa::StepStatus::kInsnBp: {
         Event event;

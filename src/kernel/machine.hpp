@@ -109,6 +109,17 @@ struct MachineOptions {
   /// Dirty-page snapshot restore.  Also bit-exact; off forces the
   /// O(memory) full-copy restore the cross-check compares against.
   bool fast_reboot = true;
+  /// Superblock execution: cache straight-line runs of predecoded
+  /// instructions and dispatch them through per-op handler pointers.
+  /// Bit-exact like the decode cache (the fingerprint cross-check
+  /// enforces it); off is only useful for that cross-check and for
+  /// measuring the speedup.
+  bool superblock = true;
+  /// Copy-on-write page sharing: restores re-point pages at the shared
+  /// snapshot instead of copying, so worker machines rebooting from one
+  /// boot snapshot hold ~1 memory image plus their dirty pages.  Also
+  /// bit-exact; off keeps every page private (the pre-COW behavior).
+  bool cow_memory = true;
 };
 
 /// Snapshot of a whole machine (memory + CPU + runtime), used to "reboot"
@@ -132,6 +143,14 @@ class Machine {
   /// worker Machine shares one immutable image and only pays for its own
   /// memory + boot.
   Machine(isa::Arch arch, MachineOptions options, kir::ImagePtr image);
+  /// Boot by adopting another machine's boot snapshot instead of writing a
+  /// fresh memory image.  With COW on, the worker starts with ZERO private
+  /// pages — every page aliases the donor's shared snapshot buffer — which
+  /// is what makes a 64-worker engine's resident memory sublinear in the
+  /// worker count.  The snapshot must come from a machine built on the
+  /// same image with the same options.
+  Machine(isa::Arch arch, MachineOptions options, kir::ImagePtr image,
+          const MachineSnapshot& boot_snap);
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -220,6 +239,7 @@ class Machine {
   };
 
   void boot();
+  void map_address_space();
   void write_glue_stubs();
   void setup_syscall_frame(const PendingSyscall& req);
   void enter_isr(bool from_user);

@@ -27,6 +27,7 @@
 namespace kfi::riscf {
 
 class RiscfSysRegs;  // defined in sysregs.hpp
+struct RiscfOps;     // per-op execute handlers (cpu.cpp)
 
 class RiscfCpu final : public isa::CpuCore {
  public:
@@ -52,6 +53,11 @@ class RiscfCpu final : public isa::CpuCore {
   isa::DecodeCacheStats decode_cache_stats() const override {
     return dcache_stats_;
   }
+  isa::StepResult step_block(const isa::BlockLimits& limits,
+                             u64* consumed) override;
+  void set_superblocks_enabled(bool enabled) override;
+  bool superblocks_enabled() const override { return sblocks_enabled_; }
+  isa::SuperblockStats superblock_stats() const override { return sb_stats_; }
   void set_trace_sink(trace::TraceSink* sink) override { sink_ = sink; }
   trace::RegSlot sysreg_slot(u32 index) const override;
 
@@ -73,9 +79,38 @@ class RiscfCpu final : public isa::CpuCore {
 
  private:
   friend class RiscfSysRegs;
+  friend struct RiscfOps;
   struct TrapException {
     isa::Trap trap;
   };
+
+  /// Superblock cache: straight-line runs of predecoded instructions plus
+  /// their pre-resolved execute handlers, direct-mapped on the physical
+  /// word address of the first instruction.  Instructions are fixed-size
+  /// and aligned, so a block covers consecutive words of exactly one
+  /// physical page and is valid only while that page's write version is
+  /// unchanged — stores, injected flips, and reboots into cached code
+  /// force a rebuild.
+  struct BlockInsn {
+    Insn insn{};
+    void (*fn)(RiscfCpu&, const Insn&) = nullptr;
+    u32 phys = 0;
+  };
+  struct Superblock {
+    u32 tag = 0xFFFFFFFFu;  // physical address (never valid: unaligned)
+    Addr vpc = 0;           // virtual pc (guards against phys aliasing)
+    u32 page = 0;
+    u64 ver = 0;
+    std::vector<BlockInsn> insns;
+  };
+  static constexpr u32 kSuperblockEntries = 2048;
+  static constexpr u32 kMaxBlockInsns = 32;
+
+  /// (Re)build the block starting at vpc/phys0 in place; false when no
+  /// block can start here (invalid first instruction) and the caller must
+  /// single-step.
+  bool build_block(Superblock& blk, Addr vpc, u32 phys0);
+  static bool block_terminator(const Insn& insn);
 
   /// Predecoded-instruction cache: direct-mapped on the physical word
   /// address (instructions are fixed 32-bit and aligned, so one entry
@@ -141,6 +176,9 @@ class RiscfCpu final : public isa::CpuCore {
   std::vector<DecodeCacheEntry> dcache_;  // allocated when enabled
   Insn dcache_scratch_{};                 // cache-off path
   isa::DecodeCacheStats dcache_stats_;
+  bool sblocks_enabled_ = false;
+  std::vector<Superblock> sblocks_;  // allocated when enabled
+  isa::SuperblockStats sb_stats_;
   std::unique_ptr<RiscfSysRegs> sysregs_;
 };
 

@@ -1,8 +1,9 @@
 // The perf fast paths' bit-exactness contract: the predecoded-instruction
-// cache and the dirty-page reboot are pure speedups.  For every arch and
-// campaign kind, a campaign run with either (or both) fast paths disabled
-// must produce a bit-identical result — same records, same merged
-// counters — as the default configuration, at any worker count.
+// cache, the dirty-page reboot, superblock execution, and copy-on-write
+// page sharing are pure speedups.  For every arch and campaign kind, a
+// campaign run with any of them disabled must produce a bit-identical
+// result — same records, same merged counters — as the default
+// configuration, at any worker count, with tracing on or off.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -27,10 +28,13 @@ CampaignSpec fastpath_spec(isa::Arch arch, CampaignKind kind) {
 /// their Machines from plan.spec.machine, so this flips the config without
 /// replanning — the injection targets stay literally identical.
 CampaignPlan with_knobs(const CampaignPlan& plan, bool decode_cache,
-                        bool fast_reboot) {
+                        bool fast_reboot, bool superblock = true,
+                        bool cow_memory = true) {
   CampaignPlan variant = plan;
   variant.spec.machine.decode_cache = decode_cache;
   variant.spec.machine.fast_reboot = fast_reboot;
+  variant.spec.machine.superblock = superblock;
+  variant.spec.machine.cow_memory = cow_memory;
   return variant;
 }
 
@@ -46,17 +50,19 @@ TEST_P(FastPathParityTest, FastPathsAreBitExact) {
 
   struct Variant {
     const char* name;
-    bool decode_cache, fast_reboot;
+    bool decode_cache, fast_reboot, superblock, cow_memory;
   };
   const Variant variants[] = {
-      {"no_decode_cache", false, true},
-      {"full_copy_reboot", true, false},
-      {"neither_fast_path", false, false},
+      {"no_decode_cache", false, true, true, true},
+      {"full_copy_reboot", true, false, true, true},
+      {"no_superblock", true, true, false, true},
+      {"no_cow", true, true, true, false},
+      {"no_fast_paths_at_all", false, false, false, false},
   };
   for (const Variant& v : variants) {
     SCOPED_TRACE(v.name);
-    const CampaignResult got =
-        CampaignEngine(2).run(with_knobs(plan, v.decode_cache, v.fast_reboot));
+    const CampaignResult got = CampaignEngine(2).run(with_knobs(
+        plan, v.decode_cache, v.fast_reboot, v.superblock, v.cow_memory));
     ASSERT_EQ(got.records.size(), baseline.records.size());
     EXPECT_EQ(result_fingerprint(got), want);
     // The fingerprint covers these, but compare a few directly so a
@@ -86,6 +92,46 @@ INSTANTIATE_TEST_SUITE_P(
                              : "riscf_") +
              campaign_kind_name(std::get<1>(info.param));
     });
+
+// The PR-8 acceptance matrix: superblock {on,off} x COW {on,off} x jobs
+// {1,4} x trace {on,off} must all merge to one fingerprint, per arch.
+// (The code campaign is the stressful one for superblocks: the injector
+// corrupts exactly the bytes the block cache holds.)
+class SuperblockCowMatrixTest : public ::testing::TestWithParam<isa::Arch> {};
+
+TEST_P(SuperblockCowMatrixTest, AllKnobCombinationsMergeIdentically) {
+  const isa::Arch arch = GetParam();
+  const CampaignPlan plan =
+      build_campaign_plan(fastpath_spec(arch, CampaignKind::kCode));
+  const u64 want = result_fingerprint(CampaignEngine(1).run(plan));
+
+  for (const bool superblock : {true, false}) {
+    for (const bool cow : {true, false}) {
+      for (const u32 jobs : {1u, 4u}) {
+        for (const bool trace : {false, true}) {
+          SCOPED_TRACE("superblock=" + std::to_string(superblock) +
+                       " cow=" + std::to_string(cow) +
+                       " jobs=" + std::to_string(jobs) +
+                       " trace=" + std::to_string(trace));
+          RunControl ctl;
+          ctl.trace = trace;
+          const CampaignResult got = CampaignEngine(jobs).run(
+              with_knobs(plan, true, true, superblock, cow), {}, ctl);
+          EXPECT_EQ(result_fingerprint(got), want);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArches, SuperblockCowMatrixTest,
+                         ::testing::Values(isa::Arch::kCisca,
+                                           isa::Arch::kRiscf),
+                         [](const auto& info) {
+                           return std::string(info.param == isa::Arch::kCisca
+                                                  ? "cisca"
+                                                  : "riscf");
+                         });
 
 TEST(ResultFingerprintTest, DistinguishesDifferentCampaigns) {
   // Guard against a degenerate hash: different seeds must (for any

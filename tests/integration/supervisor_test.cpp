@@ -114,6 +114,47 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+TEST(SupervisorTest, ResumeSurvivesPerfKnobChanges) {
+  // A journal written by a superblock-free campaign resumed under the
+  // default (superblock + COW) configuration — and vice versa — must
+  // still merge bit-identically: journaled records are data, and the
+  // remaining injections are knob-independent by the parity contract.
+  for (const bool first_run_superblock : {false, true}) {
+    SCOPED_TRACE(first_run_superblock ? "sb_then_plain" : "plain_then_sb");
+    CampaignSpec spec = small_spec(isa::Arch::kRiscf);
+    spec.machine.superblock = first_run_superblock;
+    spec.machine.cow_memory = first_run_superblock;
+    const CampaignPlan plan = build_campaign_plan(spec);
+    const u64 want = result_fingerprint(CampaignEngine(1).run(plan));
+
+    const std::string path = tmp_journal(
+        "knobchange_" + std::to_string(first_run_superblock) + ".kfij");
+    std::filesystem::remove(path);
+    {
+      InjectionJournal journal = InjectionJournal::create(path, plan);
+      std::atomic<bool> cancel{false};
+      RunControl ctl;
+      ctl.journal = &journal;
+      ctl.cancel = &cancel;
+      CampaignEngine(2).run(
+          plan,
+          [&cancel](u32 done, u32) {
+            if (done >= 4) cancel.store(true);
+          },
+          ctl);
+    }
+    CampaignPlan flipped = plan;
+    flipped.spec.machine.superblock = !first_run_superblock;
+    flipped.spec.machine.cow_memory = !first_run_superblock;
+    InjectionJournal journal = InjectionJournal::resume(path, flipped);
+    RunControl ctl;
+    ctl.journal = &journal;
+    const CampaignResult resumed = CampaignEngine(2).run(flipped, {}, ctl);
+    EXPECT_EQ(result_fingerprint(resumed), want);
+    std::filesystem::remove(path);
+  }
+}
+
 TEST(SupervisorTest, ThrowingWorkerQuarantinesIndexAndCampaignCompletes) {
   const CampaignPlan plan =
       build_campaign_plan(small_spec(isa::Arch::kRiscf, 12));

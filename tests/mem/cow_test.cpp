@@ -1,0 +1,119 @@
+// Copy-on-write page sharing contract of PhysicalMemory: snapshots are
+// shared immutable buffers that pages alias until first write, so the
+// resident footprint of a machine rebooting from a shared snapshot is its
+// dirty working set, not a full memory image.  COW is a pure memory
+// optimization — contents, page write-versions, and restore semantics are
+// bit-identical with it on or off.
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hpp"
+
+namespace kfi::mem {
+namespace {
+
+constexpr u32 kSize = 8 * kPageSize;
+
+TEST(CowTest, SharedSnapshotReleasesPrivateStorage) {
+  PhysicalMemory pm(kSize);
+  for (u32 page = 0; page < pm.num_pages(); ++page) {
+    pm.write32(page * kPageSize, 0xA0B0C0D0u + page, Endian::kLittle);
+  }
+  EXPECT_EQ(pm.private_pages(), pm.num_pages());
+  const auto snap = pm.snapshot_shared();
+  // Every page now aliases the snapshot buffer; contents are unchanged.
+  EXPECT_EQ(pm.private_pages(), 0u);
+  for (u32 page = 0; page < pm.num_pages(); ++page) {
+    EXPECT_EQ(pm.read32(page * kPageSize, Endian::kLittle),
+              0xA0B0C0D0u + page);
+  }
+}
+
+TEST(CowTest, FirstWriteMaterializesOnlyTheTouchedPage) {
+  PhysicalMemory pm(kSize);
+  pm.write32(2 * kPageSize, 0x11111111u, Endian::kLittle);
+  const auto snap = pm.snapshot_shared();
+  const u64 ver_before = pm.page_version(2);
+
+  pm.write8(2 * kPageSize, 0x7F);
+  EXPECT_EQ(pm.private_pages(), 1u);
+  EXPECT_GT(pm.page_version(2), ver_before);  // caches must re-decode
+  EXPECT_EQ(pm.read8(2 * kPageSize), 0x7F);
+
+  // The shared snapshot buffer is immutable: a second memory restored
+  // from it still sees the original bytes.
+  PhysicalMemory other(kSize);
+  other.restore(snap);
+  EXPECT_EQ(other.read32(2 * kPageSize, Endian::kLittle), 0x11111111u);
+}
+
+TEST(CowTest, BaselineRestoreRepointsDirtyPagesAndBumpsVersions) {
+  PhysicalMemory pm(kSize);
+  pm.write32(0, 0xCAFEF00Du, Endian::kLittle);
+  const auto snap = pm.snapshot_shared();
+
+  pm.write32(0, 0xDEADBEEFu, Endian::kLittle);
+  pm.write8(3 * kPageSize + 7, 0x42);
+  const u64 ver0 = pm.page_version(0);
+  const u64 ver3 = pm.page_version(3);
+
+  pm.restore(snap);
+  EXPECT_EQ(pm.last_restore_pages(), 2u);  // only the two dirty pages
+  EXPECT_EQ(pm.read32(0, Endian::kLittle), 0xCAFEF00Du);
+  EXPECT_EQ(pm.read8(3 * kPageSize + 7), 0x00);
+  // The reboot rewrote those pages, so their versions must move again.
+  EXPECT_GT(pm.page_version(0), ver0);
+  EXPECT_GT(pm.page_version(3), ver3);
+  // Private buffers are retained for re-materialization, so the resident
+  // count stays at the dirty high-water mark rather than re-allocating.
+  EXPECT_LE(pm.private_pages(), 2u);
+}
+
+TEST(CowTest, ForeignSnapshotRestoreAdoptsAndReleases) {
+  PhysicalMemory pm(kSize);
+  pm.write32(0, 1, Endian::kLittle);
+  const auto snap_a = pm.snapshot_shared();
+  pm.write32(0, 2, Endian::kLittle);
+  const auto snap_b = pm.snapshot_shared();  // baseline is now b
+
+  pm.write32(4 * kPageSize, 99, Endian::kLittle);
+  pm.restore(snap_a);  // non-baseline: full adoption
+  EXPECT_EQ(pm.read32(0, Endian::kLittle), 1u);
+  EXPECT_EQ(pm.read32(4 * kPageSize, Endian::kLittle), 0u);
+  EXPECT_EQ(pm.private_pages(), 0u);  // adoption re-points every page
+}
+
+TEST(CowTest, DisabledCowIsBitIdenticalInContentAndVersions) {
+  // The same operation sequence on a COW and a non-COW memory must yield
+  // identical bytes and identical page write-versions (the decode and
+  // superblock caches key on versions, so they must not diverge).
+  PhysicalMemory cow(kSize), flat(kSize);
+  flat.set_cow_enabled(false);
+  EXPECT_FALSE(flat.cow_enabled());
+  EXPECT_TRUE(cow.cow_enabled());
+
+  for (PhysicalMemory* pm : {&cow, &flat}) {
+    pm->write32(100, 0x01020304u, Endian::kBig);
+    pm->write_bytes(2 * kPageSize - 2, reinterpret_cast<const u8*>("abcd"),
+                    4);  // page-straddling write
+  }
+  const auto cow_snap = cow.snapshot_shared();
+  const auto flat_snap = flat.snapshot_shared();
+  for (PhysicalMemory* pm : {&cow, &flat}) {
+    pm->flip_bit(100, 3);
+    pm->write8(5 * kPageSize + 1, 0xEE);
+  }
+  cow.restore(cow_snap);
+  flat.restore(flat_snap);
+
+  EXPECT_EQ(cow.snapshot(), flat.snapshot());
+  for (u32 page = 0; page < cow.num_pages(); ++page) {
+    EXPECT_EQ(cow.page_version(page), flat.page_version(page))
+        << "page " << page;
+  }
+  // And the footprints differ exactly as advertised.
+  EXPECT_EQ(flat.private_pages(), flat.num_pages());
+  EXPECT_LT(cow.private_pages(), cow.num_pages());
+}
+
+}  // namespace
+}  // namespace kfi::mem

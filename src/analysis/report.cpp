@@ -194,7 +194,7 @@ std::string summarize_campaign(const inject::CampaignResult& result) {
   // had something to report, so plain campaign summaries are unchanged.
   if (result.interrupted || result.quarantined > 0 ||
       result.resumed_records > 0 || result.journal_flushes > 0 ||
-      result.harness_retries > 0) {
+      result.harness_retries > 0 || result.retry_backoff_waits > 0) {
     os << " | supervisor:";
     if (result.interrupted) {
       os << " INTERRUPTED (" << result.executed() << "/"
@@ -204,6 +204,43 @@ std::string summarize_campaign(const inject::CampaignResult& result) {
        << result.stalls << " retries=" << result.harness_retries
        << " resumed=" << result.resumed_records << " journal_flushes="
        << result.journal_flushes;
+    if (result.retry_backoff_waits > 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " backoff=%llu(%.2fs)",
+                    static_cast<unsigned long long>(
+                        result.retry_backoff_waits),
+                    result.retry_backoff_seconds);
+      os << buf << " [";
+      bool first = true;
+      for (size_t w = 0; w < result.worker_backoff_waits.size(); ++w) {
+        if (result.worker_backoff_waits[w] == 0) continue;
+        if (!first) os << ",";
+        os << "w" << w << ":" << result.worker_backoff_waits[w];
+        first = false;
+      }
+      os << "]";
+    }
+  }
+  // Fabric segment: multi-process campaigns report their harness churn
+  // here — worker deaths, shard re-dispatches, and restart backoff are
+  // operational events, deliberately kept out of the paper denominators
+  // above (a killed worker's injections simply re-run elsewhere).
+  if (result.fabric_workers > 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  " | fabric: workers=%u deaths=%llu redispatched=%llu "
+                  "backoff=%llu(%.2fs) spliced_dups=%llu",
+                  result.fabric_workers,
+                  static_cast<unsigned long long>(
+                      result.fabric_worker_deaths),
+                  static_cast<unsigned long long>(
+                      result.fabric_redispatches),
+                  static_cast<unsigned long long>(
+                      result.fabric_backoff_waits),
+                  result.fabric_backoff_seconds,
+                  static_cast<unsigned long long>(
+                      result.fabric_spliced_duplicates));
+    os << buf;
   }
   const inject::CampaignThroughput& tp = result.throughput;
   if (tp.jobs > 0) {

@@ -1,0 +1,476 @@
+#include "fabric/coordinator.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "fabric/shard.hpp"
+#include "fabric/wire.hpp"
+
+namespace kfi::fabric {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Indices of `slice` not yet carrying a successful record in the shard
+/// journal at `path`.  Quarantined (harness-error) entries stay in the
+/// remaining set — the engine re-executes them on resume, exactly like a
+/// single-process resume would.  A missing or torn-at-frame-zero journal
+/// means the whole slice remains; a journal for a different campaign is
+/// a hard configuration error.
+std::vector<u32> remaining_indices(const std::string& path,
+                                   const std::vector<u32>& slice,
+                                   u64 want_plan_fp) {
+  inject::JournalFileData data;
+  try {
+    data = inject::read_journal_file(path);
+  } catch (const inject::JournalError&) {
+    return slice;  // no usable journal yet: everything remains
+  }
+  if (data.plan_fingerprint != want_plan_fp) {
+    throw FabricError("stale shard journal " + path +
+                      " belongs to a different campaign; remove it or "
+                      "choose another --journal prefix");
+  }
+  std::vector<u8> done;
+  for (const inject::JournalEntry& e : data.entries) {
+    if (e.record.outcome == inject::OutcomeCategory::kHarnessError) continue;
+    if (e.index >= done.size()) done.resize(e.index + 1, 0);
+    done[e.index] = 1;
+  }
+  std::vector<u32> remaining;
+  for (const u32 i : slice) {
+    if (i >= done.size() || !done[i]) remaining.push_back(i);
+  }
+  return remaining;
+}
+
+struct Unit {
+  u32 shard = 0;
+  std::vector<u32> slice;
+  std::string journal;
+  enum class State { kPending, kRunning, kDone } state = State::kPending;
+  u32 dispatches = 0;  // launches so far (first launch gets the chaos kill)
+  Clock::time_point eligible_at = Clock::time_point::min();
+  StatusFrame done_frame{};
+  bool have_done_frame = false;
+};
+
+struct Slot {
+  u32 id = 0;
+  u32 restarts = 0;  // deaths this slot has absorbed
+  bool retired = false;
+  Rng backoff_rng{1};
+  // Running-worker state (valid while unit >= 0).
+  pid_t pid = -1;
+  int status_fd = -1;
+  int unit = -1;
+  FrameReader reader;
+  Clock::time_point last_heard = Clock::time_point::min();
+  bool got_done = false;
+  bool got_error = false;
+  std::string error_message;
+};
+
+}  // namespace
+
+FabricCoordinator::FabricCoordinator(FabricOptions options)
+    : opt_(std::move(options)) {
+  if (opt_.workers == 0) opt_.workers = 1;
+  if (opt_.min_workers == 0) opt_.min_workers = 1;
+  opt_.min_workers = std::min(opt_.min_workers, opt_.workers);
+  if (opt_.journal_prefix.empty()) {
+    throw FabricError("fabric needs a journal prefix (--journal)");
+  }
+  if (opt_.worker_binary.empty()) {
+    throw FabricError("fabric needs the kfi_worker binary path");
+  }
+}
+
+std::vector<std::string> FabricCoordinator::journal_paths(u32 total) const {
+  const auto slices = shard_indices(total, opt_.workers);
+  std::vector<std::string> paths;
+  for (u32 s = 0; s < slices.size(); ++s) {
+    if (slices[s].empty()) continue;
+    paths.push_back(shard_journal_path(opt_.journal_prefix, s,
+                                       static_cast<u32>(slices.size())));
+  }
+  return paths;
+}
+
+inject::CampaignResult FabricCoordinator::run(const inject::CampaignPlan& plan,
+                                              SpliceStats* stats) {
+  const Clock::time_point run_start = Clock::now();
+  const u32 total = static_cast<u32>(plan.targets.size());
+  const u64 plan_fp = inject::plan_fingerprint(plan);
+  const std::string spec_hex = to_hex(serialize_campaign_spec(plan.spec));
+  char plan_fp_hex[17];
+  std::snprintf(plan_fp_hex, sizeof(plan_fp_hex), "%016llx",
+                static_cast<unsigned long long>(plan_fp));
+
+  const auto slices = shard_indices(total, opt_.workers);
+  const u32 shards = static_cast<u32>(slices.size());
+
+  std::vector<Unit> units;
+  for (u32 s = 0; s < shards; ++s) {
+    Unit u;
+    u.shard = s;
+    u.slice = slices[s];
+    u.journal = shard_journal_path(opt_.journal_prefix, s, shards);
+    if (u.slice.empty()) u.state = Unit::State::kDone;
+    units.push_back(std::move(u));
+  }
+
+  std::vector<Slot> slots(opt_.workers);
+  for (u32 s = 0; s < opt_.workers; ++s) {
+    slots[s].id = s;
+    slots[s].backoff_rng =
+        Rng(plan_fp ^ 0xFABC0FFull ^ (0x9E3779B97F4A7C15ull * (s + 1)));
+  }
+
+  u64 deaths = 0, redispatches = 0, backoff_waits = 0;
+  double backoff_seconds = 0.0;
+
+  auto live_slots = [&slots]() {
+    u32 n = 0;
+    for (const Slot& s : slots) n += s.retired ? 0 : 1;
+    return n;
+  };
+
+  auto kill_all = [&slots]() {
+    for (Slot& s : slots) {
+      if (s.pid > 0) {
+        ::kill(s.pid, SIGKILL);
+        ::waitpid(s.pid, nullptr, 0);
+        s.pid = -1;
+      }
+      if (s.status_fd >= 0) {
+        ::close(s.status_fd);
+        s.status_fd = -1;
+      }
+    }
+  };
+
+  auto spawn = [&](Slot& slot, Unit& unit,
+                   const std::vector<u32>& indices) {
+    int fds[2];
+    if (::pipe2(fds, O_CLOEXEC) != 0) {
+      throw FabricError(std::string("pipe2 failed: ") + std::strerror(errno));
+    }
+    std::vector<std::string> args = {
+        opt_.worker_binary,
+        "--spec", spec_hex,
+        "--expect-plan-fp", plan_fp_hex,
+        "--indices", format_index_ranges(indices),
+        "--journal", unit.journal,
+        "--shard", std::to_string(unit.shard),
+        "--shards", std::to_string(shards),
+        "--status-fd", std::to_string(fds[1]),
+        "--jobs", std::to_string(opt_.jobs_per_worker),
+        "--heartbeat", std::to_string(opt_.heartbeat_seconds),
+        "--retries", std::to_string(opt_.retries),
+        "--journal-flush",
+        opt_.flush == inject::FlushPolicy::kFsync ? "fsync" : "flush",
+    };
+    if (opt_.stall_seconds > 0.0) {
+      args.push_back("--stall");
+      args.push_back(std::to_string(opt_.stall_seconds));
+    }
+    if (opt_.chaos_kill_after > 0 && unit.dispatches == 0) {
+      args.push_back("--chaos-kill-after");
+      args.push_back(std::to_string(opt_.chaos_kill_after));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw FabricError(std::string("fork failed: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: keep the write end across exec, drop everything else.
+      ::fcntl(fds[1], F_SETFD, 0);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "fabric: exec %s failed: %s\n", argv[0],
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    slot.pid = pid;
+    slot.status_fd = fds[0];
+    slot.unit = static_cast<int>(&unit - units.data());
+    slot.reader = FrameReader();
+    slot.last_heard = Clock::now();
+    slot.got_done = false;
+    slot.got_error = false;
+    slot.error_message.clear();
+    unit.state = Unit::State::kRunning;
+    if (unit.dispatches > 0) ++redispatches;
+    ++unit.dispatches;
+    if (opt_.verbose) {
+      std::fprintf(stderr,
+                   "fabric: slot %u -> shard %u pid %d (%zu indices%s)\n",
+                   slot.id, unit.shard, static_cast<int>(pid), indices.size(),
+                   unit.dispatches > 1 ? ", re-dispatch" : "");
+    }
+  };
+
+  // Reap a finished/dead worker and advance its unit's state machine.
+  auto reap = [&](Slot& slot) {
+    int status = 0;
+    ::waitpid(slot.pid, &status, 0);
+    ::close(slot.status_fd);
+    Unit& unit = units[static_cast<size_t>(slot.unit)];
+    slot.pid = -1;
+    slot.status_fd = -1;
+    slot.unit = -1;
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (clean && slot.got_done) {
+      unit.state = Unit::State::kDone;
+      if (opt_.verbose) {
+        std::fprintf(stderr, "fabric: shard %u done (slot %u)\n", unit.shard,
+                     slot.id);
+      }
+      return;
+    }
+    // Death: recover what the journal holds and re-dispatch the rest.
+    ++deaths;
+    ++slot.restarts;
+    const std::vector<u32> remaining =
+        remaining_indices(unit.journal, unit.slice, plan_fp);
+    if (opt_.verbose) {
+      std::fprintf(stderr,
+                   "fabric: shard %u worker died (%s%d), %zu of %zu "
+                   "indices remain%s%s\n",
+                   unit.shard, WIFSIGNALED(status) ? "signal " : "exit ",
+                   WIFSIGNALED(status) ? WTERMSIG(status)
+                                       : WEXITSTATUS(status),
+                   remaining.size(), unit.slice.size(),
+                   slot.got_error ? ": " : "",
+                   slot.got_error ? slot.error_message.c_str() : "");
+    }
+    if (remaining.empty()) {
+      // Died after its last fsync'd record: nothing left to run.
+      unit.state = Unit::State::kDone;
+    } else {
+      unit.state = Unit::State::kPending;
+      double wait = 0.0;
+      if (opt_.backoff_base > 0.0) {
+        const double exp =
+            opt_.backoff_base *
+            static_cast<double>(1ull << std::min<u32>(slot.restarts - 1, 30));
+        wait = std::min(opt_.backoff_cap, exp) *
+               (0.5 + slot.backoff_rng.next_double());
+        ++backoff_waits;
+        backoff_seconds += wait;
+      }
+      unit.eligible_at =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(wait));
+    }
+    if (slot.restarts > opt_.max_restarts_per_slot) {
+      slot.retired = true;
+      if (opt_.verbose) {
+        std::fprintf(stderr, "fabric: slot %u retired after %u deaths\n",
+                     slot.id, slot.restarts);
+      }
+      if (live_slots() < opt_.min_workers) {
+        throw FabricError(
+            "fabric degraded below --min-workers (" +
+            std::to_string(live_slots()) + " live < " +
+            std::to_string(opt_.min_workers) +
+            "); shard journals are intact — rerun to resume");
+      }
+    }
+  };
+
+  auto handle_frame = [&](Slot& slot, const StatusFrame& frame) {
+    slot.last_heard = Clock::now();
+    switch (frame.type) {
+      case FrameType::kHello:
+        if (frame.plan_fingerprint != plan_fp) {
+          throw FabricError(
+              "worker rebuilt a different plan (fingerprint mismatch): "
+              "coordinator and worker binaries disagree");
+        }
+        break;
+      case FrameType::kProgress:
+      case FrameType::kHeartbeat:
+        break;
+      case FrameType::kDone:
+        slot.got_done = true;
+        if (slot.unit >= 0) {
+          Unit& unit = units[static_cast<size_t>(slot.unit)];
+          unit.done_frame = frame;
+          unit.have_done_frame = true;
+        }
+        break;
+      case FrameType::kError:
+        slot.got_error = true;
+        slot.error_message = frame.message;
+        break;
+    }
+  };
+
+  try {
+    while (true) {
+      const Clock::time_point now = Clock::now();
+
+      // Dispatch eligible pending units to idle live slots.
+      for (Unit& unit : units) {
+        if (unit.state != Unit::State::kPending || unit.eligible_at > now) {
+          continue;
+        }
+        Slot* idle = nullptr;
+        for (Slot& s : slots) {
+          if (!s.retired && s.unit < 0) {
+            idle = &s;
+            break;
+          }
+        }
+        if (idle == nullptr) break;
+        const std::vector<u32> remaining =
+            remaining_indices(unit.journal, unit.slice, plan_fp);
+        if (remaining.empty()) {
+          unit.state = Unit::State::kDone;
+          continue;
+        }
+        spawn(*idle, unit, remaining);
+      }
+
+      u32 pending = 0, running = 0;
+      Clock::time_point next_eligible = Clock::time_point::max();
+      for (const Unit& u : units) {
+        if (u.state == Unit::State::kPending) {
+          ++pending;
+          next_eligible = std::min(next_eligible, u.eligible_at);
+        } else if (u.state == Unit::State::kRunning) {
+          ++running;
+        }
+      }
+      if (pending == 0 && running == 0) break;  // every unit done
+
+      if (running == 0) {
+        // Pending work, nobody running: either we are waiting out a
+        // backoff, or every slot is retired.
+        if (live_slots() == 0 || live_slots() < opt_.min_workers) {
+          throw FabricError(
+              "fabric degraded below --min-workers with work pending; "
+              "shard journals are intact — rerun to resume");
+        }
+        std::this_thread::sleep_until(
+            std::min(next_eligible, now + std::chrono::milliseconds(100)));
+        continue;
+      }
+
+      // Wait for worker traffic, a lease expiry, or a backoff expiry.
+      std::vector<pollfd> fds;
+      std::vector<Slot*> fd_slots;
+      Clock::time_point deadline =
+          now + std::chrono::milliseconds(500);
+      if (pending > 0) deadline = std::min(deadline, next_eligible);
+      for (Slot& s : slots) {
+        if (s.unit < 0) continue;
+        fds.push_back(pollfd{s.status_fd, POLLIN, 0});
+        fd_slots.push_back(&s);
+        deadline = std::min(
+            deadline, s.last_heard +
+                          std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  opt_.lease_seconds)));
+      }
+      int timeout_ms = static_cast<int>(std::chrono::duration_cast<
+                                            std::chrono::milliseconds>(
+                                            deadline - Clock::now())
+                                            .count());
+      timeout_ms = std::max(timeout_ms, 10);
+      const int nready = ::poll(fds.data(),
+                                static_cast<nfds_t>(fds.size()), timeout_ms);
+      if (nready < 0 && errno != EINTR) {
+        throw FabricError(std::string("poll failed: ") +
+                          std::strerror(errno));
+      }
+
+      for (size_t i = 0; i < fds.size(); ++i) {
+        Slot& slot = *fd_slots[i];
+        if (slot.unit < 0) continue;  // reaped earlier this pass
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        u8 buf[4096];
+        const ssize_t n = ::read(slot.status_fd, buf, sizeof(buf));
+        if (n > 0) {
+          slot.reader.feed(buf, static_cast<size_t>(n));
+          while (auto frame = slot.reader.next()) handle_frame(slot, *frame);
+          if (slot.reader.corrupted()) {
+            // Garbled stream: the worker is not speaking the protocol.
+            ::kill(slot.pid, SIGKILL);
+            reap(slot);
+          }
+        } else if (n == 0 || (n < 0 && errno != EINTR)) {
+          reap(slot);  // EOF: the worker exited or died
+        }
+      }
+
+      // Lease check: silent workers are presumed wedged.
+      const Clock::time_point after = Clock::now();
+      for (Slot& s : slots) {
+        if (s.unit < 0) continue;
+        if (seconds_between(s.last_heard, after) > opt_.lease_seconds) {
+          if (opt_.verbose) {
+            std::fprintf(stderr,
+                         "fabric: slot %u missed its lease (%.1fs), "
+                         "killing pid %d\n",
+                         s.id, opt_.lease_seconds, static_cast<int>(s.pid));
+          }
+          ::kill(s.pid, SIGKILL);
+          reap(s);
+        }
+      }
+    }
+  } catch (...) {
+    kill_all();
+    throw;
+  }
+  kill_all();  // no-op on the clean path; belt and braces
+
+  inject::CampaignResult result =
+      splice_journals(plan, journal_paths(total), stats);
+  result.fabric_workers = opt_.workers;
+  result.fabric_worker_deaths = deaths;
+  result.fabric_redispatches = redispatches;
+  result.fabric_backoff_waits = backoff_waits;
+  result.fabric_backoff_seconds = backoff_seconds;
+  for (const Unit& u : units) {
+    if (!u.have_done_frame) continue;
+    result.stalls += u.done_frame.stalls;
+    result.harness_retries += u.done_frame.harness_retries;
+    result.retry_backoff_waits += u.done_frame.backoff_waits;
+    result.retry_backoff_seconds += u.done_frame.backoff_seconds;
+    result.journal_flushes += u.done_frame.executed;
+  }
+  result.throughput.jobs = opt_.workers * opt_.jobs_per_worker;
+  result.throughput.plan_seconds = plan.plan_seconds;
+  result.throughput.run_seconds = seconds_between(run_start, Clock::now());
+  result.throughput.wall_seconds =
+      result.throughput.plan_seconds + result.throughput.run_seconds;
+  return result;
+}
+
+}  // namespace kfi::fabric

@@ -1,0 +1,110 @@
+// FabricCoordinator: crash-isolated multi-process campaign execution.
+//
+// The coordinator cuts a frozen CampaignPlan's index space into shards
+// (one unit of work per shard, each owning a stable journal path) and
+// runs them on up to `workers` spawned kfi_worker subprocesses.  Workers
+// are crash domains: a worker that segfaults, wedges, or is kill -9ed
+// loses nothing but wall-clock time, because every completed injection
+// was already fsync'd to its shard journal.  The coordinator notices the
+// death (pipe EOF / waitpid, or a missed heartbeat lease), recovers the
+// shard's journal, and re-dispatches the remaining indices — deduplicated
+// by index against the recovered journal, so no injection ever runs
+// twice — to the next free worker slot after a deterministic-seeded
+// exponential backoff.
+//
+// Robustness state machine per unit (shard):
+//
+//   pending --dispatch--> running --kDone/journal-complete--> done
+//      ^                     |
+//      +--- backoff(eligible_at) --- death (exit!=0, signal, lease miss)
+//
+// and per slot: a slot that keeps killing its workers (restarts >
+// max_restarts_per_slot) is retired; the fabric degrades gracefully until
+// fewer than `min_workers` live slots remain, at which point it aborts
+// with FabricError — leaving every shard journal on disk, so the whole
+// fabric is resumable (the coordinator itself may be SIGKILLed at any
+// point: shard boundaries are pure functions of (total, shards), so a
+// rerun recomputes identical slices and resumes each shard's journal).
+//
+// When every unit is done the shard journals are spliced into one
+// CampaignResult whose result_fingerprint is byte-identical to the
+// single-process run of the same plan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/splice.hpp"
+#include "inject/engine.hpp"
+#include "inject/journal.hpp"
+#include "inject/plan.hpp"
+
+namespace kfi::fabric {
+
+/// Coordinator-level failure: spawn machinery broke, a worker reported a
+/// plan fingerprint mismatch, or the fabric degraded below min_workers.
+/// Shard journals are always left on disk — the campaign is resumable.
+struct FabricError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct FabricOptions {
+  /// Worker subprocess slots (>= 1); also the shard count.
+  u32 workers = 2;
+  /// Abort (FabricError) when fewer live slots than this remain.
+  u32 min_workers = 1;
+  /// Engine threads inside each worker (kfi_worker --jobs).
+  u32 jobs_per_worker = 1;
+  /// Shard journals live at "<prefix>.shard<k>of<n>.kfij".  Required.
+  std::string journal_prefix;
+  /// Path to the kfi_worker binary.  Required.
+  std::string worker_binary;
+  /// Heartbeat lease: a running worker that stays silent this long is
+  /// presumed wedged, SIGKILLed, and its shard re-dispatched.
+  double lease_seconds = 30.0;
+  /// Heartbeat period requested of workers (kfi_worker --heartbeat).
+  double heartbeat_seconds = 1.0;
+  /// Exponential backoff before re-dispatching a dead worker's shard:
+  /// restart r of slot s waits min(cap, base * 2^r) seconds scaled by a
+  /// deterministic jitter in [0.5, 1.5) from an Rng seeded by
+  /// (plan fingerprint, slot) — reruns back off identically.  base = 0
+  /// restarts immediately.
+  double backoff_base = 0.05;
+  double backoff_cap = 2.0;
+  /// Worker deaths a single slot absorbs before it is retired.
+  u32 max_restarts_per_slot = 3;
+  /// Chaos knob: each shard's FIRST worker launch self-SIGKILLs after
+  /// completing this many injections (0 = off).  Restarted workers run
+  /// to completion, so the campaign still finishes — the chaos tests use
+  /// this for deterministic mid-campaign worker loss.
+  u32 chaos_kill_after = 0;
+  /// Journal durability policy for the shard journals.
+  inject::FlushPolicy flush = inject::FlushPolicy::kFsync;
+  /// Supervisor knobs forwarded to each worker's engine.
+  u32 retries = 1;
+  double stall_seconds = 0.0;
+  /// Narrate worker lifecycle events (spawn/death/re-dispatch) to stderr.
+  bool verbose = false;
+};
+
+class FabricCoordinator {
+ public:
+  explicit FabricCoordinator(FabricOptions options);
+
+  /// Run the plan across worker subprocesses and splice the shard
+  /// journals into one result.  Existing shard journals for the same
+  /// plan are resumed (SIGKILL-safe: rerunning after any crash — worker
+  /// or coordinator — continues where the journals stopped).  Throws
+  /// FabricError when the fabric cannot make progress; the shard
+  /// journals survive for a later resume.
+  inject::CampaignResult run(const inject::CampaignPlan& plan,
+                             SpliceStats* stats = nullptr);
+
+  /// The shard journal paths run() uses for `plan` (total = targets).
+  std::vector<std::string> journal_paths(u32 total) const;
+
+ private:
+  FabricOptions opt_;
+};
+
+}  // namespace kfi::fabric

@@ -1,0 +1,38 @@
+// Shard math: how a frozen plan's index space is cut across worker
+// processes, and how index sets travel on a worker's command line.
+//
+// Shard boundaries are pure functions of (total, shards): the coordinator
+// can be SIGKILLed and restarted and will recompute the same slices, so
+// every shard journal file it finds on disk still means what it meant.
+// Slices are contiguous and near-equal (the first `total % shards` slices
+// get one extra index), matching how the single-process engine's merge
+// is index-ordered.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kfi::fabric {
+
+/// Cut [0, total) into `shards` contiguous near-equal slices.  Trailing
+/// slices may be empty when shards > total (their workers have nothing to
+/// do and complete immediately).
+std::vector<std::vector<u32>> shard_indices(u32 total, u32 shards);
+
+/// Canonical journal path for one shard of a fabric campaign:
+/// "<prefix>.shard<k>of<n>.kfij".  Stable across coordinator restarts.
+std::string shard_journal_path(const std::string& prefix, u32 shard,
+                               u32 shards);
+
+/// Render a sorted unique index set as compact ranges: "0-5,9,12-14".
+/// Empty set renders as "" (a worker with an empty slice is legal).
+std::string format_index_ranges(const std::vector<u32>& indices);
+
+/// Inverse of format_index_ranges.  Returns nullopt on malformed text,
+/// unsorted ranges, or overlaps — the result is always sorted and unique.
+std::optional<std::vector<u32>> parse_index_ranges(const std::string& text);
+
+}  // namespace kfi::fabric

@@ -1,0 +1,56 @@
+// Journal splicing: shard journals -> one campaign result, bit-identical
+// to the single-process run.
+//
+// Every record depends only on (plan, index), so reassembling a campaign
+// from shard journals is pure bookkeeping: records land at their plan
+// index, counter deltas are order-independent per-injection sums.  The
+// splice is therefore exact, not approximate — result_fingerprint of the
+// spliced result equals the serial run's, which the fabric parity tests
+// assert.
+//
+// Dedup rules (an index may appear in several entries after worker
+// deaths and re-dispatches):
+//   * a successful record beats a quarantined (harness-error) one —
+//     mirroring the engine's own resume, which re-executes quarantined
+//     indices;
+//   * two successful entries for one index must serialize byte-identically
+//     (determinism guarantees it; a mismatch means the shard set mixes
+//     campaigns and is refused with a JournalError);
+//   * counter deltas are summed once per index, from the chosen entry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inject/engine.hpp"
+#include "inject/journal.hpp"
+
+namespace kfi::fabric {
+
+struct SpliceStats {
+  u64 files = 0;
+  u64 entries = 0;     // intact entries read across all shards
+  u64 chosen = 0;      // distinct indices carrying a record
+  u64 duplicates = 0;  // redundant entries dropped by dedup
+  u64 quarantined = 0; // chosen records that are harness errors
+  u64 missing = 0;     // plan indices with no entry (incomplete fabric)
+};
+
+/// Merge shard journal files into a CampaignResult for `plan`.  Each file
+/// is validated against the plan exactly like InjectionJournal::resume
+/// (fingerprint, model fingerprints, target count); torn tails are
+/// ignored, not truncated.  Missing indices leave default records with
+/// `interrupted` set, so a partial fabric run still reports faithfully.
+inject::CampaignResult splice_journals(const inject::CampaignPlan& plan,
+                                       const std::vector<std::string>& paths,
+                                       SpliceStats* stats = nullptr);
+
+/// Plan-free splice: merge shard journal files into one journal file at
+/// `out_path`, validating only that every shard's header agrees with the
+/// first's (version, fingerprints, total).  The merged file is a normal
+/// journal — `kfi_campaign --journal out --resume` picks it up.  Frames
+/// are written in index order at the shards' common version.
+SpliceStats splice_journal_files(const std::vector<std::string>& paths,
+                                 const std::string& out_path);
+
+}  // namespace kfi::fabric

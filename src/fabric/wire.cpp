@@ -1,0 +1,313 @@
+#include "fabric/wire.hpp"
+
+#include <cstring>
+
+namespace kfi::fabric {
+
+namespace {
+
+constexpr u8 kSpecVersion = 1;
+constexpr u32 kFrameMagic = 0x4B464652;  // "KFFR"
+
+u64 fnv1a(const u8* data, size_t size) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void put8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+
+void put32(std::vector<u8>& out, u32 v) {
+  out.push_back(static_cast<u8>(v >> 24));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+
+void put64(std::vector<u8>& out, u64 v) {
+  put32(out, static_cast<u32>(v >> 32));
+  put32(out, static_cast<u32>(v));
+}
+
+void put_double(std::vector<u8>& out, double d) {
+  u64 bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  put64(out, bits);
+}
+
+void put_string(std::vector<u8>& out, const std::string& s) {
+  put32(out, static_cast<u32>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked big-endian reader (same shape as the journal's).
+struct Cursor {
+  const std::vector<u8>& in;
+  size_t pos;
+  bool ok = true;
+
+  bool have(size_t n) {
+    if (!ok || pos > in.size() || in.size() - pos < n) ok = false;
+    return ok;
+  }
+  u8 get8() {
+    if (!have(1)) return 0;
+    return in[pos++];
+  }
+  u32 get32() {
+    if (!have(4)) return 0;
+    const u32 v = (static_cast<u32>(in[pos]) << 24) |
+                  (static_cast<u32>(in[pos + 1]) << 16) |
+                  (static_cast<u32>(in[pos + 2]) << 8) |
+                  static_cast<u32>(in[pos + 3]);
+    pos += 4;
+    return v;
+  }
+  u64 get64() {
+    const u64 hi = get32();
+    return (hi << 32) | get32();
+  }
+  double get_double() {
+    const u64 bits = get64();
+    double d = 0.0;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  std::string get_string() {
+    const u32 len = get32();
+    if (!have(len)) return {};
+    std::string s(in.begin() + static_cast<long>(pos),
+                  in.begin() + static_cast<long>(pos + len));
+    pos += len;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::vector<u8> serialize_campaign_spec(const inject::CampaignSpec& spec) {
+  std::vector<u8> out;
+  put8(out, kSpecVersion);
+  put8(out, static_cast<u8>(spec.arch));
+  put8(out, static_cast<u8>(spec.kind));
+  put32(out, spec.injections);
+  put64(out, spec.seed);
+  put32(out, spec.workload_scale);
+  put_double(out, spec.channel_loss);
+  put_double(out, spec.budget_factor);
+  const kernel::MachineOptions& m = spec.machine;
+  put64(out, m.timer_period);
+  put64(out, m.user_cycles_mean);
+  put8(out, m.g4_stack_wrapper ? 1 : 0);
+  put8(out, m.p4_stack_limit_check ? 1 : 0);
+  put8(out, m.spinlock_debug ? 1 : 0);
+  put64(out, m.seed);
+  put8(out, m.decode_cache ? 1 : 0);
+  put8(out, m.fast_reboot ? 1 : 0);
+  put8(out, m.superblock ? 1 : 0);
+  put8(out, m.cow_memory ? 1 : 0);
+  const inject::FaultModel& f = spec.model;
+  put8(out, static_cast<u8>(f.shape));
+  put8(out, static_cast<u8>(f.trigger));
+  put32(out, f.bits);
+  put32(out, f.burst_span);
+  put_double(out, f.rate);
+  put8(out, static_cast<u8>(f.opclass));
+  const errnoinj::ErrnoModel& e = spec.errno_model;
+  put32(out, e.syscalls);
+  put8(out, static_cast<u8>(e.value));
+  put8(out, static_cast<u8>(e.trigger));
+  put32(out, e.nth);
+  put_double(out, e.rate);
+  return out;
+}
+
+std::optional<inject::CampaignSpec> deserialize_campaign_spec(
+    const std::vector<u8>& in) {
+  Cursor c{in, 0};
+  if (c.get8() != kSpecVersion) return std::nullopt;
+  inject::CampaignSpec spec;
+  const u8 arch = c.get8();
+  if (arch > static_cast<u8>(isa::Arch::kRiscf)) return std::nullopt;
+  spec.arch = static_cast<isa::Arch>(arch);
+  const u8 kind = c.get8();
+  if (kind > static_cast<u8>(inject::CampaignKind::kErrno)) {
+    return std::nullopt;
+  }
+  spec.kind = static_cast<inject::CampaignKind>(kind);
+  spec.injections = c.get32();
+  spec.seed = c.get64();
+  spec.workload_scale = c.get32();
+  spec.channel_loss = c.get_double();
+  spec.budget_factor = c.get_double();
+  kernel::MachineOptions& m = spec.machine;
+  m.timer_period = c.get64();
+  m.user_cycles_mean = c.get64();
+  m.g4_stack_wrapper = c.get8() != 0;
+  m.p4_stack_limit_check = c.get8() != 0;
+  m.spinlock_debug = c.get8() != 0;
+  m.seed = c.get64();
+  m.decode_cache = c.get8() != 0;
+  m.fast_reboot = c.get8() != 0;
+  m.superblock = c.get8() != 0;
+  m.cow_memory = c.get8() != 0;
+  inject::FaultModel& f = spec.model;
+  const u8 shape = c.get8();
+  if (shape > static_cast<u8>(inject::FaultShape::kOpclass)) {
+    return std::nullopt;
+  }
+  f.shape = static_cast<inject::FaultShape>(shape);
+  const u8 trigger = c.get8();
+  if (trigger > static_cast<u8>(inject::FaultTrigger::kRate)) {
+    return std::nullopt;
+  }
+  f.trigger = static_cast<inject::FaultTrigger>(trigger);
+  f.bits = c.get32();
+  f.burst_span = c.get32();
+  f.rate = c.get_double();
+  const u8 opclass = c.get8();
+  if (opclass >= static_cast<u8>(isa::OpClass::kNumClasses)) {
+    return std::nullopt;
+  }
+  f.opclass = static_cast<isa::OpClass>(opclass);
+  errnoinj::ErrnoModel& e = spec.errno_model;
+  e.syscalls = c.get32();
+  const u8 value = c.get8();
+  if (value > static_cast<u8>(errnoinj::ErrnoValue::kDrawnNegative)) {
+    return std::nullopt;
+  }
+  e.value = static_cast<errnoinj::ErrnoValue>(value);
+  const u8 etrigger = c.get8();
+  if (etrigger > static_cast<u8>(errnoinj::ErrnoTrigger::kRate)) {
+    return std::nullopt;
+  }
+  e.trigger = static_cast<errnoinj::ErrnoTrigger>(etrigger);
+  e.nth = c.get32();
+  e.rate = c.get_double();
+  if (!c.ok || c.pos != in.size()) return std::nullopt;
+  return spec;
+}
+
+std::string to_hex(const std::vector<u8>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const u8 b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+std::optional<std::vector<u8>> from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<u8> out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<u8>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::vector<u8> encode_frame(const StatusFrame& frame) {
+  std::vector<u8> payload;
+  put8(payload, static_cast<u8>(frame.type));
+  put64(payload, frame.plan_fingerprint);
+  put32(payload, frame.shard);
+  put32(payload, frame.pid);
+  put32(payload, frame.done);
+  put32(payload, frame.total);
+  put64(payload, frame.executed);
+  put64(payload, frame.quarantined);
+  put64(payload, frame.stalls);
+  put64(payload, frame.harness_retries);
+  put64(payload, frame.backoff_waits);
+  put_double(payload, frame.backoff_seconds);
+  put_string(payload, frame.message);
+
+  std::vector<u8> out;
+  out.reserve(payload.size() + 16);
+  put32(out, kFrameMagic);
+  put32(out, static_cast<u32>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put64(out, fnv1a(payload.data(), payload.size()));
+  return out;
+}
+
+void FrameReader::feed(const u8* data, size_t size) {
+  // Compact the consumed prefix before growing, so a long-lived stream
+  // doesn't accumulate every frame it ever saw.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+std::optional<StatusFrame> FrameReader::next() {
+  if (corrupted_) return std::nullopt;
+  Cursor c{buf_, pos_};
+  if (!c.have(8)) return std::nullopt;  // need magic + length
+  if (c.get32() != kFrameMagic) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  const u32 len = c.get32();
+  if (len > (1u << 20)) {  // no legitimate frame is a megabyte
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  if (!c.have(len + 8)) return std::nullopt;  // partial frame: wait
+  const size_t payload_at = c.pos;
+  c.pos += len;
+  const u64 checksum = c.get64();
+  if (checksum != fnv1a(buf_.data() + payload_at, len)) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+
+  Cursor p{buf_, payload_at};
+  StatusFrame frame;
+  const u8 type = p.get8();
+  if (type < static_cast<u8>(FrameType::kHello) ||
+      type > static_cast<u8>(FrameType::kError)) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  frame.type = static_cast<FrameType>(type);
+  frame.plan_fingerprint = p.get64();
+  frame.shard = p.get32();
+  frame.pid = p.get32();
+  frame.done = p.get32();
+  frame.total = p.get32();
+  frame.executed = p.get64();
+  frame.quarantined = p.get64();
+  frame.stalls = p.get64();
+  frame.harness_retries = p.get64();
+  frame.backoff_waits = p.get64();
+  frame.backoff_seconds = p.get_double();
+  frame.message = p.get_string();
+  if (!p.ok || p.pos != payload_at + len) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  pos_ = c.pos;
+  return frame;
+}
+
+}  // namespace kfi::fabric

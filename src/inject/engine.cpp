@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "inject/experiment.hpp"
 #include "inject/journal.hpp"
 
@@ -27,6 +28,8 @@ struct WorkerTotals {
   u64 quarantined = 0;
   u64 stalls = 0;
   u64 harness_retries = 0;
+  u64 backoff_waits = 0;
+  double backoff_seconds = 0.0;
   u32 private_pages = 0;  // worker machine's resident pages at exit
   std::exception_ptr error;
 };
@@ -126,6 +129,22 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
   result.records.resize(total);
   result.done_mask.assign(total, 0);
 
+  // Optional index slice (the fabric's shard): claims draw from the
+  // slice, completion is judged against it, records still land at their
+  // plan index so a splice of shard results reassembles the full run.
+  const std::vector<u32>* slice = ctl.indices;
+  if (slice != nullptr) {
+    for (size_t k = 0; k < slice->size(); ++k) {
+      KFI_CHECK((*slice)[k] < total, "RunControl::indices out of range");
+      KFI_CHECK(k == 0 || (*slice)[k] > (*slice)[k - 1],
+                "RunControl::indices must be sorted and unique");
+    }
+  }
+  const u32 count = slice != nullptr ? static_cast<u32>(slice->size()) : total;
+  auto slice_at = [slice](u32 k) {
+    return slice != nullptr ? (*slice)[k] : k;
+  };
+
   // Pre-merge journaled records: their indices are skipped and their
   // counter deltas seed the merge, making the resumed result
   // bit-identical to an uninterrupted run.  Quarantined entries are
@@ -147,7 +166,13 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
   }
   result.resumed_records = resumed;
 
-  const u32 remaining = total - resumed;
+  // The work left is judged against the slice (for a full run the slice
+  // IS the plan, so this matches the old total - resumed).
+  u32 resumed_in_slice = 0;
+  for (u32 k = 0; k < count; ++k) {
+    if (result.done_mask[slice_at(k)]) ++resumed_in_slice;
+  }
+  const u32 remaining = count - resumed_in_slice;
   const u32 jobs = remaining == 0
                        ? 1
                        : std::min(resolve_jobs(jobs_), std::max(remaining, 1u));
@@ -160,7 +185,7 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
   std::atomic<u32> next_index{0};
   std::atomic<bool> abort{false};
   std::mutex progress_mutex;
-  u32 done_count = resumed;
+  u32 done_count = resumed_in_slice;
 
   auto cancelled = [&abort, &ctl] {
     return abort.load(std::memory_order_relaxed) ||
@@ -188,7 +213,7 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
   // the assignment is free to load-balance), executes each with retry /
   // quarantine isolation, and journals every completed record before
   // reporting progress.
-  auto worker = [&](WorkerState& st) {
+  auto worker = [&](WorkerState& st, u32 worker_id) {
     try {
       auto make_rig = [&plan, &mopts, &boot_snap, &st, &ctl] {
         auto rig = std::make_unique<WorkerRig>(plan, mopts, *boot_snap,
@@ -199,8 +224,25 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
       };
       auto rig = make_rig();
 
-      for (u32 i = next_index.fetch_add(1); i < total;
-           i = next_index.fetch_add(1)) {
+      // Deterministic retry backoff: the wait sequence depends only on
+      // (plan seed, worker id, failure count), never on wall-clock state.
+      Rng backoff_rng(plan.spec.seed ^ 0xBACC0FFull ^
+                      (0x9E3779B97F4A7C15ull * (worker_id + 1)));
+      auto backoff_before_retry = [&st, &ctl, &backoff_rng](u32 attempt) {
+        if (ctl.retry_backoff_base <= 0.0) return;
+        const double exp =
+            ctl.retry_backoff_base *
+            static_cast<double>(1ull << std::min<u32>(attempt, 30));
+        const double wait = std::min(ctl.retry_backoff_cap, exp) *
+                            (0.5 + backoff_rng.next_double());
+        ++st.totals.backoff_waits;
+        st.totals.backoff_seconds += wait;
+        std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      };
+
+      for (u32 k = next_index.fetch_add(1); k < count;
+           k = next_index.fetch_add(1)) {
+        const u32 i = slice_at(k);
         if (cancelled()) break;
         if (result.done_mask[i]) continue;  // journaled before this run
 
@@ -248,11 +290,17 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
           } catch (const std::exception& e) {
             err = e.what();
             rig = make_rig();  // retry on a freshly built replica
-            if (attempt + 1 < max_attempts) ++st.totals.harness_retries;
+            if (attempt + 1 < max_attempts) {
+              ++st.totals.harness_retries;
+              backoff_before_retry(attempt);
+            }
           } catch (...) {
             err = "unknown harness error";
             rig = make_rig();
-            if (attempt + 1 < max_attempts) ++st.totals.harness_retries;
+            if (attempt + 1 < max_attempts) {
+              ++st.totals.harness_retries;
+              backoff_before_retry(attempt);
+            }
           }
         }
         st.busy_since_ns.store(-1, std::memory_order_release);
@@ -282,7 +330,7 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
         if (ctl.journal != nullptr) ctl.journal->append(entry);
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
-          progress(++done_count, total);
+          progress(++done_count, count);
         }
       }
       st.totals.private_pages = rig->machine.space().phys().private_pages();
@@ -328,12 +376,12 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
   if (remaining == 0) {
     // Fully resumed: nothing to execute, no rig to boot.
   } else if (jobs <= 1) {
-    worker(*states[0]);
+    worker(*states[0], 0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(jobs);
     for (u32 w = 0; w < jobs; ++w) {
-      pool.emplace_back([&worker, &states, w] { worker(*states[w]); });
+      pool.emplace_back([&worker, &states, w] { worker(*states[w], w); });
     }
     for (auto& t : pool) t.join();
   }
@@ -360,13 +408,16 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
     result.quarantined += st->totals.quarantined;
     result.stalls += st->totals.stalls;
     result.harness_retries += st->totals.harness_retries;
+    result.retry_backoff_waits += st->totals.backoff_waits;
+    result.retry_backoff_seconds += st->totals.backoff_seconds;
+    result.worker_backoff_waits.push_back(st->totals.backoff_waits);
     result.throughput.worker_private_pages += st->totals.private_pages;
     result.throughput.max_worker_private_pages =
         std::max(result.throughput.max_worker_private_pages,
                  st->totals.private_pages);
   }
-  for (const u8 d : result.done_mask) {
-    if (!d) {
+  for (u32 k = 0; k < count; ++k) {
+    if (!result.done_mask[slice_at(k)]) {
       result.interrupted = true;
       break;
     }

@@ -92,6 +92,23 @@ struct CampaignResult {
   u64 resumed_records = 0;   // records recovered from the journal
   u64 journal_flushes = 0;   // journal appends flushed this run
   bool interrupted = false;  // cancelled before every index completed
+  /// Retry-backoff observability: waits taken before harness-error
+  /// retries, total and per engine worker (worker_backoff_waits[w] is
+  /// worker thread w's count; empty when no worker ran).
+  u64 retry_backoff_waits = 0;
+  double retry_backoff_seconds = 0.0;
+  std::vector<u64> worker_backoff_waits;
+
+  // Fabric observability, filled by the multi-process coordinator (zero
+  // for in-process runs).  Like the supervisor block these never enter
+  // the result fingerprint or the paper denominators: a worker death is
+  // a harness event, not an injection outcome.
+  u32 fabric_workers = 0;         // subprocess slots the fabric ran with
+  u64 fabric_worker_deaths = 0;   // abnormal worker exits (incl. SIGKILL)
+  u64 fabric_redispatches = 0;    // shard re-assignments after a death
+  u64 fabric_backoff_waits = 0;   // restart backoff sleeps taken
+  double fabric_backoff_seconds = 0.0;
+  u64 fabric_spliced_duplicates = 0;  // identical dup entries dropped
 
   /// Indices actually carrying a record (resumed + executed).
   u64 executed() const {
@@ -112,6 +129,20 @@ struct RunControl {
   /// Harness-error retries per index before quarantining (each retry runs
   /// on a freshly built worker rig).
   u32 retries = 1;
+  /// Exponential backoff before each harness-error retry: retry attempt a
+  /// (1-based) waits min(cap, base * 2^(a-1)) seconds, scaled by a
+  /// deterministic jitter in [0.5, 1.5) drawn from a per-worker Rng
+  /// seeded by (plan seed, worker id) — every run of the same plan waits
+  /// the same amounts.  base = 0 restores the immediate retry.  Purely
+  /// wall-clock: results are bit-identical with any backoff settings.
+  double retry_backoff_base = 0.02;
+  double retry_backoff_cap = 1.0;
+  /// Optional index slice: execute only these plan indices (sorted,
+  /// unique, all < plan.targets.size()).  The fabric gives each worker
+  /// process its shard this way.  Records land at their plan index as
+  /// usual; completion (`interrupted`) is judged against the slice.
+  /// Null = every index.
+  const std::vector<u32>* indices = nullptr;
   /// Wall-clock budget for a single injection; exceeding it interrupts
   /// the machine and quarantines the index.  0 disables the watchdog.
   double stall_seconds = 0.0;

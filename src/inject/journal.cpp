@@ -1,5 +1,9 @@
 #include "inject/journal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -350,33 +354,38 @@ std::optional<JournalEntry> deserialize_journal_entry(
   return e;
 }
 
-InjectionJournal::InjectionJournal(std::string path, u32 version,
-                                   std::vector<JournalEntry> recovered)
-    : path_(std::move(path)),
-      version_(version),
-      recovered_(std::move(recovered)),
-      mutex_(new std::mutex) {}
+namespace {
 
-InjectionJournal InjectionJournal::create(const std::string& path,
-                                          const CampaignPlan& plan) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw JournalError("cannot create journal at " + path);
-  std::vector<u8> header;
-  put32(header, kJournalMagic);
-  put32(header, kJournalVersion);
-  put64(header, plan_fingerprint(plan));
-  put64(header, fault_model_fingerprint(plan.spec.model));
-  put64(header, errnoinj::errno_model_fingerprint(plan.spec.errno_model));
-  put32(header, static_cast<u32>(plan.targets.size()));
-  out.write(reinterpret_cast<const char*>(header.data()),
-            static_cast<long>(header.size()));
-  out.flush();
-  if (!out) throw JournalError("cannot write journal header to " + path);
-  return InjectionJournal(path, kJournalVersion, {});
+/// write(2) the whole buffer, retrying short writes and EINTR.
+bool write_all(int fd, const u8* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
 }
 
-InjectionJournal InjectionJournal::resume(const std::string& path,
-                                          const CampaignPlan& plan) {
+/// fsync the directory holding `path` so a freshly created journal file
+/// survives a machine crash, not just a process crash.  Best-effort: some
+/// filesystems reject directory fsync, which is not worth failing a
+/// campaign over.
+void sync_parent_dir(const std::string& path) {
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+JournalFileData read_journal_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw JournalError("cannot open journal at " + path);
   std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
@@ -387,46 +396,26 @@ InjectionJournal InjectionJournal::resume(const std::string& path,
   if (c.get32() != kJournalMagic || !c.ok) {
     throw JournalError("not an injection journal: " + path);
   }
-  const u32 version = c.get32();
-  if (version < kJournalVersionV1 || version > kJournalVersion) {
+  JournalFileData data;
+  data.file_size = bytes.size();
+  data.version = c.get32();
+  if (data.version < kJournalVersionV1 || data.version > kJournalVersion) {
     throw JournalError("journal version mismatch in " + path + ": " +
-                       std::to_string(version) + " (this build reads " +
+                       std::to_string(data.version) + " (this build reads " +
                        std::to_string(kJournalVersionV1) + ".." +
                        std::to_string(kJournalVersion) + ")");
   }
-  const u64 fingerprint = c.get64();
-  u64 model_fingerprint = 0;
-  if (version >= kJournalVersionV3) model_fingerprint = c.get64();
-  u64 errno_fingerprint = 0;
-  if (version >= kJournalVersion) errno_fingerprint = c.get64();
-  const u32 total = c.get32();
+  data.plan_fingerprint = c.get64();
+  if (data.version >= kJournalVersionV3) {
+    data.fault_model_fingerprint = c.get64();
+  }
+  if (data.version >= kJournalVersion) {
+    data.errno_model_fingerprint = c.get64();
+  }
+  data.total = c.get32();
   if (!c.ok) throw JournalError("truncated journal header in " + path);
-  if (fingerprint != plan_fingerprint(plan)) {
-    throw JournalError("journal " + path +
-                       " was written for a different campaign plan "
-                       "(fingerprint mismatch)");
-  }
-  if (version >= kJournalVersionV3 &&
-      model_fingerprint != fault_model_fingerprint(plan.spec.model)) {
-    throw JournalError("journal " + path +
-                       " was written for a different fault model "
-                       "(fingerprint mismatch)");
-  }
-  if (version >= kJournalVersion &&
-      errno_fingerprint !=
-          errnoinj::errno_model_fingerprint(plan.spec.errno_model)) {
-    throw JournalError("journal " + path +
-                       " was written for a different errno model "
-                       "(fingerprint mismatch)");
-  }
-  if (total != plan.targets.size()) {
-    throw JournalError("journal " + path + " expects " +
-                       std::to_string(total) + " targets, plan has " +
-                       std::to_string(plan.targets.size()));
-  }
 
-  // Load intact entries; stop (and truncate) at the first torn one.
-  std::vector<JournalEntry> recovered;
+  // Load intact entries; stop at the first torn or malformed frame.
   size_t good_end = c.pos;
   for (;;) {
     Cursor frame{bytes, good_end};
@@ -440,18 +429,118 @@ InjectionJournal InjectionJournal::resume(const std::string& path,
     const u64 checksum = frame.get64();
     if (!frame.ok || checksum != fnv1a(bytes.data() + payload_at, len)) break;
     size_t pos = payload_at;
-    auto entry = deserialize_journal_entry(bytes, pos, version);
+    auto entry = deserialize_journal_entry(bytes, pos, data.version);
     if (!entry || pos != payload_at + len || entry->index != index ||
-        entry->index >= total) {
+        entry->index >= data.total) {
       break;
     }
-    recovered.push_back(std::move(*entry));
+    data.entries.push_back(std::move(*entry));
     good_end = frame.pos;
   }
-  if (good_end < bytes.size()) {
-    std::filesystem::resize_file(path, good_end);
+  data.intact_end = good_end;
+  return data;
+}
+
+InjectionJournal::InjectionJournal(std::string path, u32 version, int fd,
+                                   FlushPolicy policy,
+                                   std::vector<JournalEntry> recovered)
+    : path_(std::move(path)),
+      version_(version),
+      fd_(fd),
+      policy_(policy),
+      recovered_(std::move(recovered)),
+      mutex_(new std::mutex) {}
+
+InjectionJournal::InjectionJournal(InjectionJournal&& other) noexcept
+    : path_(std::move(other.path_)),
+      version_(other.version_),
+      fd_(other.fd_),
+      policy_(other.policy_),
+      recovered_(std::move(other.recovered_)),
+      mutex_(std::move(other.mutex_)),
+      flushes_(other.flushes_) {
+  other.fd_ = -1;
+}
+
+InjectionJournal& InjectionJournal::operator=(
+    InjectionJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    version_ = other.version_;
+    fd_ = other.fd_;
+    policy_ = other.policy_;
+    recovered_ = std::move(other.recovered_);
+    mutex_ = std::move(other.mutex_);
+    flushes_ = other.flushes_;
+    other.fd_ = -1;
   }
-  return InjectionJournal(path, version, std::move(recovered));
+  return *this;
+}
+
+InjectionJournal::~InjectionJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+InjectionJournal InjectionJournal::create(const std::string& path,
+                                          const CampaignPlan& plan,
+                                          FlushPolicy policy) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd < 0) throw JournalError("cannot create journal at " + path);
+  std::vector<u8> header;
+  put32(header, kJournalMagic);
+  put32(header, kJournalVersion);
+  put64(header, plan_fingerprint(plan));
+  put64(header, fault_model_fingerprint(plan.spec.model));
+  put64(header, errnoinj::errno_model_fingerprint(plan.spec.errno_model));
+  put32(header, static_cast<u32>(plan.targets.size()));
+  if (!write_all(fd, header.data(), header.size())) {
+    ::close(fd);
+    throw JournalError("cannot write journal header to " + path);
+  }
+  if (policy == FlushPolicy::kFsync) {
+    ::fsync(fd);
+    sync_parent_dir(path);
+  }
+  return InjectionJournal(path, kJournalVersion, fd, policy, {});
+}
+
+InjectionJournal InjectionJournal::resume(const std::string& path,
+                                          const CampaignPlan& plan,
+                                          FlushPolicy policy) {
+  JournalFileData data = read_journal_file(path);
+  if (data.plan_fingerprint != plan_fingerprint(plan)) {
+    throw JournalError("journal " + path +
+                       " was written for a different campaign plan "
+                       "(fingerprint mismatch)");
+  }
+  if (data.version >= kJournalVersionV3 &&
+      data.fault_model_fingerprint !=
+          fault_model_fingerprint(plan.spec.model)) {
+    throw JournalError("journal " + path +
+                       " was written for a different fault model "
+                       "(fingerprint mismatch)");
+  }
+  if (data.version >= kJournalVersion &&
+      data.errno_model_fingerprint !=
+          errnoinj::errno_model_fingerprint(plan.spec.errno_model)) {
+    throw JournalError("journal " + path +
+                       " was written for a different errno model "
+                       "(fingerprint mismatch)");
+  }
+  if (data.total != plan.targets.size()) {
+    throw JournalError("journal " + path + " expects " +
+                       std::to_string(data.total) + " targets, plan has " +
+                       std::to_string(plan.targets.size()));
+  }
+  if (data.intact_end < data.file_size) {
+    std::filesystem::resize_file(path, data.intact_end);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) throw JournalError("cannot reopen journal at " + path);
+  return InjectionJournal(path, data.version, fd, policy,
+                          std::move(data.entries));
 }
 
 void InjectionJournal::append(const JournalEntry& entry) {
@@ -468,18 +557,28 @@ void InjectionJournal::append(const JournalEntry& entry) {
   put64(frame, fnv1a(payload.data(), payload.size()));
 
   const std::lock_guard<std::mutex> lock(*mutex_);
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) throw JournalError("cannot append to journal " + path_);
-  out.write(reinterpret_cast<const char*>(frame.data()),
-            static_cast<long>(frame.size()));
-  out.flush();
-  if (!out) throw JournalError("journal write failed for " + path_);
+  if (fd_ < 0) throw JournalError("cannot append to journal " + path_);
+  // One O_APPEND write per frame: concurrent appends never interleave,
+  // and a crash mid-write leaves at most one torn frame at the tail,
+  // which resume() truncates.
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    throw JournalError("journal write failed for " + path_);
+  }
+  if (policy_ == FlushPolicy::kFsync && ::fdatasync(fd_) != 0) {
+    throw JournalError("journal fdatasync failed for " + path_);
+  }
   ++flushes_;
 }
 
 u64 InjectionJournal::flushes() const {
   const std::lock_guard<std::mutex> lock(*mutex_);
   return flushes_;
+}
+
+std::optional<FlushPolicy> parse_flush_policy(const std::string& name) {
+  if (name == "fsync") return FlushPolicy::kFsync;
+  if (name == "flush") return FlushPolicy::kFlush;
+  return std::nullopt;
 }
 
 }  // namespace kfi::inject

@@ -3,7 +3,8 @@
 // The paper's NFTAPE control host survived its own 18,000-injection
 // campaigns because collection was restart-safe: every finished experiment
 // was durable before the next one started.  This is our equivalent.  Each
-// completed InjectionRecord is serialized and flushed as it finishes,
+// completed InjectionRecord is serialized and made durable as it finishes
+// (fdatasync per append under the default FlushPolicy::kFsync),
 // together with the per-injection counter deltas (reboots, datagrams,
 // simulated cycles) that the campaign merge sums.  A killed campaign can
 // then be resumed: the engine skips journaled indices and seeds its merge
@@ -60,6 +61,14 @@ constexpr u32 kJournalVersionV2 = 2;  // + PropagationSummary block
 constexpr u32 kJournalVersionV3 = 3;  // + fault-model header, site lists
 constexpr u32 kJournalVersion = 4;    // + errno-model header, cascade block
 
+/// Durability of each append.  kFsync (the default) pushes every frame
+/// through fdatasync so a machine crash — not just a process crash —
+/// cannot lose an acknowledged injection; kFlush only flushes the
+/// userspace buffer to the kernel (the pre-fsync behavior), trading
+/// durability for append latency on slow disks.  Either way a torn tail
+/// frame is detected and truncated on resume.
+enum class FlushPolicy : u8 { kFsync = 0, kFlush = 1 };
+
 /// Typed failure for journal open/resume problems (missing file, foreign
 /// campaign fingerprint, malformed header).
 class JournalError : public Error {
@@ -78,12 +87,37 @@ struct JournalEntry {
   u64 simulated_cycles = 0;
 };
 
+/// Everything read_journal_file() can recover from a journal on disk
+/// without a plan in hand: the header fields and every intact entry.
+/// The fabric's splice tool consumes this directly (shards are matched
+/// by comparing header fingerprints against each other, not against a
+/// rebuilt plan); InjectionJournal::resume() layers the plan validation
+/// on top.
+struct JournalFileData {
+  u32 version = kJournalVersion;
+  u64 plan_fingerprint = 0;
+  u64 fault_model_fingerprint = 0;  // 0 before v3
+  u64 errno_model_fingerprint = 0;  // 0 before v4
+  u32 total = 0;                    // plan target count
+  std::vector<JournalEntry> entries;
+  /// Byte offset one past the last intact frame; anything after it is a
+  /// torn tail (process killed mid-write) the caller may truncate away.
+  size_t intact_end = 0;
+  size_t file_size = 0;
+};
+
+/// Parse a journal file: validated header plus every intact entry, torn
+/// tail detected but NOT truncated (read-only).  Throws JournalError if
+/// the file is missing or the header is malformed.
+JournalFileData read_journal_file(const std::string& path);
+
 class InjectionJournal {
  public:
   /// Start a fresh journal at `path` (truncates any existing file) for
   /// the given plan.
   static InjectionJournal create(const std::string& path,
-                                 const CampaignPlan& plan);
+                                 const CampaignPlan& plan,
+                                 FlushPolicy policy = FlushPolicy::kFsync);
 
   /// Open an existing journal for resume: validates the header against
   /// the plan's fingerprint, loads every intact entry, and truncates away
@@ -91,13 +125,16 @@ class InjectionJournal {
   /// Throws JournalError if the file is missing, malformed, or was
   /// written for a different plan.
   static InjectionJournal resume(const std::string& path,
-                                 const CampaignPlan& plan);
+                                 const CampaignPlan& plan,
+                                 FlushPolicy policy = FlushPolicy::kFsync);
 
-  InjectionJournal(InjectionJournal&&) = default;
-  InjectionJournal& operator=(InjectionJournal&&) = default;
+  InjectionJournal(InjectionJournal&& other) noexcept;
+  InjectionJournal& operator=(InjectionJournal&& other) noexcept;
+  ~InjectionJournal();
 
-  /// Serialize, append, and flush one entry.  Thread-safe.  Throws
-  /// JournalError if the filesystem rejects the write (disk full, etc.).
+  /// Serialize, append, and make one entry durable per the flush policy.
+  /// Thread-safe.  Throws JournalError if the filesystem rejects the
+  /// write (disk full, etc.).
   void append(const JournalEntry& entry);
 
   /// Entries recovered by resume() (empty for a created journal).
@@ -107,21 +144,28 @@ class InjectionJournal {
   /// on-disk header's version for resumed ones (appends match it).
   u32 version() const { return version_; }
 
+  FlushPolicy flush_policy() const { return policy_; }
+
   /// Appends flushed to disk by this process.  Thread-safe.
   u64 flushes() const;
 
   const std::string& path() const { return path_; }
 
  private:
-  InjectionJournal(std::string path, u32 version,
+  InjectionJournal(std::string path, u32 version, int fd, FlushPolicy policy,
                    std::vector<JournalEntry> recovered);
 
   std::string path_;
   u32 version_ = kJournalVersion;
+  int fd_ = -1;  // held open for the journal's lifetime (O_APPEND)
+  FlushPolicy policy_ = FlushPolicy::kFsync;
   std::vector<JournalEntry> recovered_;
   std::unique_ptr<std::mutex> mutex_;  // heap so the journal stays movable
   u64 flushes_ = 0;
 };
+
+/// Parse a flush-policy knob ("fsync" or "flush"); nullopt otherwise.
+std::optional<FlushPolicy> parse_flush_policy(const std::string& name);
 
 /// Record (de)serialization, exposed for round-trip tests.  deserialize
 /// advances `pos` and returns nullopt (without reading out of bounds) on

@@ -1,0 +1,79 @@
+// Shard math invariants: the fabric's crash recovery rests on shard
+// boundaries being pure functions of (total, shards), and on index sets
+// surviving the trip through a worker's command line unchanged.
+#include <gtest/gtest.h>
+
+#include "fabric/shard.hpp"
+
+namespace kfi::fabric {
+namespace {
+
+TEST(ShardIndices, PartitionsTheIndexSpaceExactly) {
+  for (const u32 total : {0u, 1u, 5u, 16u, 97u}) {
+    for (const u32 shards : {1u, 2u, 3u, 7u, 16u}) {
+      const auto slices = shard_indices(total, shards);
+      ASSERT_EQ(slices.size(), shards);
+      u32 next = 0;
+      for (const auto& slice : slices) {
+        for (const u32 i : slice) EXPECT_EQ(i, next++);
+      }
+      EXPECT_EQ(next, total) << total << " over " << shards;
+    }
+  }
+}
+
+TEST(ShardIndices, SlicesAreNearEqual) {
+  const auto slices = shard_indices(17, 5);
+  // 17 over 5: the first two slices carry the remainder.
+  EXPECT_EQ(slices[0].size(), 4u);
+  EXPECT_EQ(slices[1].size(), 4u);
+  EXPECT_EQ(slices[2].size(), 3u);
+  EXPECT_EQ(slices[3].size(), 3u);
+  EXPECT_EQ(slices[4].size(), 3u);
+}
+
+TEST(ShardIndices, MoreShardsThanIndicesLeavesEmptyTails) {
+  const auto slices = shard_indices(2, 4);
+  EXPECT_EQ(slices[0].size(), 1u);
+  EXPECT_EQ(slices[1].size(), 1u);
+  EXPECT_TRUE(slices[2].empty());
+  EXPECT_TRUE(slices[3].empty());
+}
+
+TEST(ShardIndices, ZeroShardsBehavesAsOne) {
+  const auto slices = shard_indices(5, 0);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].size(), 5u);
+}
+
+TEST(ShardJournalPath, StableCanonicalName) {
+  EXPECT_EQ(shard_journal_path("/tmp/run", 2, 8),
+            "/tmp/run.shard2of8.kfij");
+}
+
+TEST(IndexRanges, FormatCompactsRuns) {
+  EXPECT_EQ(format_index_ranges({}), "");
+  EXPECT_EQ(format_index_ranges({7}), "7");
+  EXPECT_EQ(format_index_ranges({0, 1, 2, 3}), "0-3");
+  EXPECT_EQ(format_index_ranges({0, 1, 2, 5, 9, 10}), "0-2,5,9-10");
+}
+
+TEST(IndexRanges, ParseRoundTripsFormat) {
+  const std::vector<std::vector<u32>> cases = {
+      {}, {0}, {3, 4, 5}, {0, 2, 4, 6}, {1, 2, 3, 10, 11, 40}};
+  for (const auto& indices : cases) {
+    const auto back = parse_index_ranges(format_index_ranges(indices));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, indices);
+  }
+}
+
+TEST(IndexRanges, ParseRejectsMalformedText) {
+  for (const char* bad : {"3-1", "1,1", "2,1", "a", "1,", ",1", "1--2",
+                          "1-", "-2", "1, 2", "4294967296"}) {
+    EXPECT_FALSE(parse_index_ranges(bad).has_value()) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace kfi::fabric

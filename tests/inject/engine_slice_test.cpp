@@ -1,0 +1,171 @@
+// Engine index slices and deterministic retry backoff — the two engine
+// seams the multi-process fabric stands on.
+//
+// A slice restricts one engine run to a sorted unique subset of the
+// plan's indices (a fabric worker's shard); records still land at their
+// plan index, so two complementary slice runs merge into exactly the
+// serial result.  Retry backoff replaces the old immediate retry with a
+// capped exponential wait whose jitter comes from a per-worker Rng
+// seeded by (plan seed, worker id) — wall-clock only, never part of the
+// determinism contract.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "inject/campaign.hpp"
+#include "inject/engine.hpp"
+#include "inject/plan.hpp"
+
+namespace kfi::inject {
+namespace {
+
+CampaignSpec small_spec(isa::Arch arch, u32 injections = 12) {
+  CampaignSpec spec;
+  spec.arch = arch;
+  spec.kind = CampaignKind::kData;
+  spec.injections = injections;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(EngineSlice, SliceRunsExactlyItsIndices) {
+  const CampaignPlan plan =
+      build_campaign_plan(small_spec(isa::Arch::kRiscf));
+  const std::vector<u32> slice = {1, 4, 5, 9};
+  RunControl ctl;
+  ctl.indices = &slice;
+  const CampaignResult result = CampaignEngine(1).run(plan, {}, ctl);
+  ASSERT_EQ(result.done_mask.size(), plan.targets.size());
+  for (u32 i = 0; i < result.done_mask.size(); ++i) {
+    const bool in_slice =
+        std::find(slice.begin(), slice.end(), i) != slice.end();
+    EXPECT_EQ(result.done_mask[i] != 0, in_slice) << "index " << i;
+  }
+  // The slice is the whole assignment: completing it is not an
+  // interruption.
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.executed(), slice.size());
+}
+
+TEST(EngineSlice, ComplementarySlicesReproduceTheSerialRecords) {
+  const CampaignPlan plan =
+      build_campaign_plan(small_spec(isa::Arch::kCisca));
+  const CampaignResult serial = CampaignEngine(1).run(plan);
+
+  std::vector<u32> left, right;
+  for (u32 i = 0; i < plan.targets.size(); ++i) {
+    (i < plan.targets.size() / 2 ? left : right).push_back(i);
+  }
+  RunControl ctl_l, ctl_r;
+  ctl_l.indices = &left;
+  ctl_r.indices = &right;
+  const CampaignResult a = CampaignEngine(2).run(plan, {}, ctl_l);
+  const CampaignResult b = CampaignEngine(2).run(plan, {}, ctl_r);
+
+  // Stitch the two slice results together by plan index and compare the
+  // merged campaign to the serial reference through the fingerprint.
+  CampaignResult merged = serial;  // spec/calibration blocks are plan-owned
+  merged.records.assign(plan.targets.size(), {});
+  merged.done_mask.assign(plan.targets.size(), 0);
+  merged.reboots = a.reboots + b.reboots;
+  merged.datagrams_sent = a.datagrams_sent + b.datagrams_sent;
+  merged.datagrams_dropped = a.datagrams_dropped + b.datagrams_dropped;
+  for (const u32 i : left) {
+    merged.records[i] = a.records[i];
+    merged.done_mask[i] = 1;
+  }
+  for (const u32 i : right) {
+    merged.records[i] = b.records[i];
+    merged.done_mask[i] = 1;
+  }
+  EXPECT_EQ(result_fingerprint(merged), result_fingerprint(serial));
+}
+
+TEST(EngineSlice, EmptySliceCompletesImmediately) {
+  const CampaignPlan plan =
+      build_campaign_plan(small_spec(isa::Arch::kRiscf, 6));
+  const std::vector<u32> none;
+  RunControl ctl;
+  ctl.indices = &none;
+  const CampaignResult result = CampaignEngine(1).run(plan, {}, ctl);
+  EXPECT_EQ(result.executed(), 0u);
+  EXPECT_FALSE(result.interrupted);
+}
+
+TEST(EngineSlice, RejectsUnsortedAndOutOfRangeSlices) {
+  const CampaignPlan plan =
+      build_campaign_plan(small_spec(isa::Arch::kRiscf, 6));
+  const std::vector<u32> unsorted = {3, 1};
+  const std::vector<u32> duplicate = {2, 2};
+  const std::vector<u32> oob = {0, 99};
+  for (const auto* bad : {&unsorted, &duplicate, &oob}) {
+    RunControl ctl;
+    ctl.indices = bad;
+    EXPECT_THROW(CampaignEngine(1).run(plan, {}, ctl), Error);
+  }
+}
+
+TEST(RetryBackoff, WaitsAreCountedAndReportedPerWorker) {
+  const CampaignPlan plan =
+      build_campaign_plan(small_spec(isa::Arch::kRiscf, 8));
+  RunControl ctl;
+  ctl.retries = 1;
+  ctl.retry_backoff_base = 0.001;  // keep the test fast
+  ctl.retry_backoff_cap = 0.002;
+  ctl.harness_fault_hook = [](u32 index, u32 attempt) {
+    if (index % 3 == 0 && attempt == 0) {
+      throw std::runtime_error("transient harness fault");
+    }
+  };
+  const CampaignResult result = CampaignEngine(2).run(plan, {}, ctl);
+  EXPECT_GT(result.harness_retries, 0u);
+  // Every retry was preceded by exactly one backoff wait.
+  EXPECT_EQ(result.retry_backoff_waits, result.harness_retries);
+  EXPECT_GT(result.retry_backoff_seconds, 0.0);
+  u64 per_worker = 0;
+  for (const u64 w : result.worker_backoff_waits) per_worker += w;
+  EXPECT_EQ(per_worker, result.retry_backoff_waits);
+  EXPECT_EQ(result.quarantined, 0u);  // retries succeeded
+}
+
+TEST(RetryBackoff, ZeroBaseRestoresImmediateRetry) {
+  const CampaignPlan plan =
+      build_campaign_plan(small_spec(isa::Arch::kCisca, 6));
+  RunControl ctl;
+  ctl.retries = 1;
+  ctl.retry_backoff_base = 0.0;
+  ctl.harness_fault_hook = [](u32 index, u32 attempt) {
+    if (index == 2 && attempt == 0) {
+      throw std::runtime_error("transient harness fault");
+    }
+  };
+  const CampaignResult result = CampaignEngine(1).run(plan, {}, ctl);
+  EXPECT_EQ(result.harness_retries, 1u);
+  EXPECT_EQ(result.retry_backoff_waits, 0u);
+  EXPECT_EQ(result.retry_backoff_seconds, 0.0);
+}
+
+TEST(RetryBackoff, BackoffNeverChangesTheResult) {
+  const CampaignPlan plan =
+      build_campaign_plan(small_spec(isa::Arch::kRiscf, 8));
+  auto run_with = [&plan](double base) {
+    RunControl ctl;
+    ctl.retries = 2;
+    ctl.retry_backoff_base = base;
+    ctl.retry_backoff_cap = 0.002;
+    ctl.harness_fault_hook = [](u32 index, u32 attempt) {
+      if (index % 2 == 0 && attempt < 2) {
+        throw std::runtime_error("transient harness fault");
+      }
+    };
+    return CampaignEngine(2).run(plan, {}, ctl);
+  };
+  const CampaignResult with = run_with(0.001);
+  const CampaignResult without = run_with(0.0);
+  EXPECT_EQ(result_fingerprint(with), result_fingerprint(without));
+  EXPECT_GT(with.retry_backoff_waits, 0u);
+  EXPECT_EQ(without.retry_backoff_waits, 0u);
+}
+
+}  // namespace
+}  // namespace kfi::inject

@@ -465,5 +465,112 @@ TEST_F(JournalFileTest, V3ResumeAcceptsMatchingFaultModel) {
   EXPECT_EQ(j.version(), kJournalVersion);
 }
 
+TEST(FlushPolicyParse, KnownAndUnknownValues) {
+  EXPECT_EQ(parse_flush_policy("fsync"), FlushPolicy::kFsync);
+  EXPECT_EQ(parse_flush_policy("flush"), FlushPolicy::kFlush);
+  EXPECT_FALSE(parse_flush_policy("buffered").has_value());
+  EXPECT_FALSE(parse_flush_policy("").has_value());
+}
+
+TEST_F(JournalFileTest, FlushPolicyKnobKeepsTheJournalReadable) {
+  {
+    InjectionJournal j =
+        InjectionJournal::create(path_, plan_, FlushPolicy::kFlush);
+    EXPECT_EQ(j.flush_policy(), FlushPolicy::kFlush);
+    JournalEntry e = full_entry();
+    e.index = 1;
+    j.append(e);
+  }
+  InjectionJournal j =
+      InjectionJournal::resume(path_, plan_, FlushPolicy::kFlush);
+  EXPECT_EQ(j.flush_policy(), FlushPolicy::kFlush);
+  ASSERT_EQ(j.recovered().size(), 1u);
+  expect_entries_equal([] {
+    JournalEntry e = full_entry();
+    e.index = 1;
+    return e;
+  }(), j.recovered()[0]);
+}
+
+TEST_F(JournalFileTest, ResumeRecoversFromTruncationAtEveryByte) {
+  // The crash-durability contract: a journal cut anywhere — mid-header,
+  // mid-frame, between frames — resumes with exactly the frames that
+  // were fully on disk, and the torn tail is physically truncated so the
+  // next append starts clean.  This simulates SIGKILL / power loss at
+  // every possible write boundary.
+  std::vector<size_t> boundaries;  // file size after header, after each frame
+  {
+    InjectionJournal j = InjectionJournal::create(path_, plan_);
+    boundaries.push_back(std::filesystem::file_size(path_));
+    for (u32 i = 0; i < 3; ++i) {
+      JournalEntry e = full_entry();
+      e.index = i;
+      j.append(e);
+      boundaries.push_back(std::filesystem::file_size(path_));
+    }
+  }
+  std::vector<char> bytes(boundaries.back());
+  {
+    std::ifstream f(path_, std::ios::binary);
+    f.read(bytes.data(), static_cast<long>(bytes.size()));
+    ASSERT_TRUE(f.good());
+  }
+  const std::string cut_path = path_ + ".cut";
+  for (size_t len = 0; len <= bytes.size(); ++len) {
+    {
+      std::ofstream f(cut_path, std::ios::binary | std::ios::trunc);
+      f.write(bytes.data(), static_cast<long>(len));
+    }
+    if (len < boundaries.front()) {
+      // Not even a whole header survived: the journal is unusable and
+      // must say so, not misread garbage.
+      EXPECT_THROW(InjectionJournal::resume(cut_path, plan_), JournalError)
+          << "cut at byte " << len;
+      continue;
+    }
+    size_t intact = 0;
+    while (intact + 1 < boundaries.size() && boundaries[intact + 1] <= len) {
+      ++intact;
+    }
+    InjectionJournal j = InjectionJournal::resume(cut_path, plan_);
+    ASSERT_EQ(j.recovered().size(), intact) << "cut at byte " << len;
+    for (size_t i = 0; i < intact; ++i) {
+      EXPECT_EQ(j.recovered()[i].index, i);
+    }
+    EXPECT_EQ(std::filesystem::file_size(cut_path), boundaries[intact])
+        << "torn tail not truncated at byte " << len;
+    // The truncated journal accepts new appends and stays readable.
+    JournalEntry e = full_entry();
+    e.index = 7;
+    j.append(e);
+    InjectionJournal j2 = InjectionJournal::resume(cut_path, plan_);
+    EXPECT_EQ(j2.recovered().size(), intact + 1) << "cut at byte " << len;
+  }
+  std::filesystem::remove(cut_path);
+}
+
+TEST_F(JournalFileTest, ReadJournalFileReportsIntactPrefixWithoutTruncating) {
+  {
+    InjectionJournal j = InjectionJournal::create(path_, plan_);
+    JournalEntry e = full_entry();
+    e.index = 0;
+    j.append(e);
+  }
+  const auto intact_size = std::filesystem::file_size(path_);
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::app);
+    f.write("KFIE\x00\x00\x00\x01garbage", 15);
+  }
+  const JournalFileData data = read_journal_file(path_);
+  EXPECT_EQ(data.version, kJournalVersion);
+  EXPECT_EQ(data.plan_fingerprint, plan_fingerprint(plan_));
+  EXPECT_EQ(data.total, plan_.targets.size());
+  ASSERT_EQ(data.entries.size(), 1u);
+  EXPECT_EQ(data.intact_end, intact_size);
+  EXPECT_GT(data.file_size, data.intact_end);
+  // Unlike resume, the read-only path must leave the file untouched.
+  EXPECT_GT(std::filesystem::file_size(path_), intact_size);
+}
+
 }  // namespace
 }  // namespace kfi::inject

@@ -7,7 +7,11 @@
 //                [--errno-model nth|rate|nth-drawn|rate-drawn]
 //                [--errno-syscalls LIST] [--errno-rate R] [--errno-nth N]
 //                [--journal PATH] [--resume] [--retries K] [--stall SECS]
-//                [--step-budget N] [--no-wrapper] [--p4-stackcheck]
+//                [--step-budget N] [--journal-flush fsync|flush]
+//                [--fabric N] [--min-workers K] [--lease SECS]
+//                [--fabric-backoff BASE] [--fabric-backoff-cap CAP]
+//                [--max-restarts K] [--chaos-kill-after N]
+//                [--worker-bin PATH] [--no-wrapper] [--p4-stackcheck]
 //                [--no-spinlock-debug] [--csv PREFIX]
 //                [--trace] [--trace-out CSV]
 //
@@ -20,6 +24,15 @@
 // instructions.  --resume (requires --journal) skips already-journaled
 // indices; the resumed result is bit-identical to an uninterrupted run.
 // --retries/--stall/--step-budget tune the supervisor's fault isolation.
+//
+// --fabric N runs the campaign as N crash-isolated worker PROCESSES
+// (kfi_worker), one shard each, coordinated over heartbeat leases with
+// deterministic-backoff restarts and re-dispatch of a dead worker's
+// remaining indices.  Requires --journal (shard journals live at
+// PATH.shard<k>of<n>.kfij); --jobs then means engine threads per worker.
+// kill -9 any worker — or the coordinator itself — and rerunning with
+// --resume continues from the shard journals; the spliced result's
+// fingerprint is byte-identical to the single-process run.
 //
 // --fault-model selects what each injection corrupts (default: the
 // paper's single-bit flip).  --bits K / --burst SPAN / --opclass CLASS
@@ -51,11 +64,13 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 
 #include "analysis/cascade.hpp"
+#include "fabric/coordinator.hpp"
 #include "analysis/csv.hpp"
 #include "analysis/propagation.hpp"
 #include "analysis/report.hpp"
@@ -85,6 +100,11 @@ void usage(const char* argv0) {
                "          [--errno-nth N]\n"
                "          [--scale K] [--journal PATH] [--resume]\n"
                "          [--retries K] [--stall SECS] [--step-budget N]\n"
+               "          [--journal-flush fsync|flush] [--fabric N]\n"
+               "          [--min-workers K] [--lease SECS]\n"
+               "          [--fabric-backoff BASE] [--fabric-backoff-cap C]\n"
+               "          [--max-restarts K] [--chaos-kill-after N]\n"
+               "          [--worker-bin PATH]\n"
                "          [--no-wrapper] [--p4-stackcheck]\n"
                "          [--no-spinlock-debug] [--csv PREFIX] [--quiet]\n"
                "          [--trace] [--trace-out CSV]\n"
@@ -116,6 +136,26 @@ void usage(const char* argv0) {
                "               (default: drawn per run)\n"
                "  --retries K: harness-error retries per index before\n"
                "               quarantine (default 1)\n"
+               "  --journal-flush P: journal durability policy — fsync\n"
+               "               (default, crash-durable) or flush (faster,\n"
+               "               loses the OS-buffered tail on power loss)\n"
+               "  --fabric N:  run as N crash-isolated worker processes\n"
+               "               (requires --journal; shard journals at\n"
+               "               PATH.shard<k>of<n>.kfij; kill -9 safe, the\n"
+               "               spliced result is bit-identical to --jobs)\n"
+               "  --min-workers K: abort once fewer than K worker slots\n"
+               "               survive (default 1); journals stay resumable\n"
+               "  --lease S:   heartbeat lease — a worker silent for S\n"
+               "               seconds is killed and its shard re-dispatched\n"
+               "  --fabric-backoff B: restart backoff base seconds\n"
+               "               (deterministic exponential, cap via\n"
+               "               --fabric-backoff-cap)\n"
+               "  --max-restarts K: worker deaths one slot absorbs before\n"
+               "               retirement (default 3)\n"
+               "  --chaos-kill-after N: each shard's first worker SIGKILLs\n"
+               "               itself after N injections (crash testing)\n"
+               "  --worker-bin P: kfi_worker binary (default: next to\n"
+               "               kfi_campaign)\n"
                "  --stall S:   wall-clock watchdog budget per injection in\n"
                "               seconds (default off)\n"
                "  --trace:     shadow-state error-propagation tracing; adds\n"
@@ -137,6 +177,9 @@ int main(int argc, char** argv) {
   bool resume = false;
   inject::RunControl control;
   u32 jobs = 1;
+  inject::FlushPolicy flush = inject::FlushPolicy::kFsync;
+  fabric::FabricOptions fabric_opt;
+  u32 fabric_workers = 0;  // 0 = in-process campaign (no fabric)
   bool have_arch = false, have_kind = false, quiet = false;
   bool have_shape = false;
   bool have_errno = false;          // any --errno-* flag seen
@@ -293,6 +336,34 @@ int main(int argc, char** argv) {
       control.stall_seconds = std::strtod(next(), nullptr);
     } else if (arg == "--step-budget") {
       control.step_budget = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--journal-flush") {
+      const std::string v = next();
+      const auto policy = inject::parse_flush_policy(v);
+      if (!policy) {
+        std::fprintf(stderr, "bad --journal-flush '%s' (fsync|flush)\n",
+                     v.c_str());
+        return 2;
+      }
+      flush = *policy;
+    } else if (arg == "--fabric") {
+      fabric_workers = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--min-workers") {
+      fabric_opt.min_workers =
+          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--lease") {
+      fabric_opt.lease_seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--fabric-backoff") {
+      fabric_opt.backoff_base = std::strtod(next(), nullptr);
+    } else if (arg == "--fabric-backoff-cap") {
+      fabric_opt.backoff_cap = std::strtod(next(), nullptr);
+    } else if (arg == "--max-restarts") {
+      fabric_opt.max_restarts_per_slot =
+          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--chaos-kill-after") {
+      fabric_opt.chaos_kill_after =
+          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--worker-bin") {
+      fabric_opt.worker_binary = next();
     } else if (arg == "--no-wrapper") {
       spec.machine.g4_stack_wrapper = false;
     } else if (arg == "--p4-stackcheck") {
@@ -344,6 +415,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --journal PATH\n");
     return 2;
   }
+  if (fabric_workers > 0 && journal_path.empty()) {
+    std::fprintf(stderr,
+                 "--fabric requires --journal PATH (shard journals are "
+                 "the crash-recovery substrate)\n");
+    return 2;
+  }
+  if (fabric_workers > 0 && control.trace) {
+    std::fprintf(stderr, "--trace is not supported with --fabric yet\n");
+    return 2;
+  }
   try {
     spec.errno_model.validate();
   } catch (const errnoinj::ErrnoModelError& e) {
@@ -358,29 +439,67 @@ int main(int argc, char** argv) {
   const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
 
   std::optional<inject::InjectionJournal> journal;
-  if (!journal_path.empty()) {
+  inject::CampaignResult result;
+  if (fabric_workers > 0) {
+    fabric_opt.workers = fabric_workers;
+    fabric_opt.jobs_per_worker = jobs;
+    fabric_opt.journal_prefix = journal_path;
+    fabric_opt.flush = flush;
+    fabric_opt.retries = control.retries;
+    fabric_opt.stall_seconds = control.stall_seconds;
+    fabric_opt.verbose = !quiet;
+    if (fabric_opt.worker_binary.empty()) {
+      // kfi_worker is installed next to kfi_campaign.
+      fabric_opt.worker_binary =
+          (std::filesystem::path(argv[0]).parent_path() / "kfi_worker")
+              .string();
+    }
     try {
-      journal = resume ? inject::InjectionJournal::resume(journal_path, plan)
-                       : inject::InjectionJournal::create(journal_path, plan);
+      fabric::FabricCoordinator coordinator(fabric_opt);
+      if (!resume) {
+        // A fresh fabric run must not resurrect a previous campaign's
+        // shards; --resume keeps them (the whole point after a crash).
+        for (const std::string& p : coordinator.journal_paths(
+                 static_cast<u32>(plan.targets.size()))) {
+          std::filesystem::remove(p);
+        }
+      }
+      result = coordinator.run(plan);
+    } catch (const fabric::FabricError& e) {
+      std::fprintf(stderr, "fabric error: %s\n", e.what());
+      return 1;
     } catch (const inject::JournalError& e) {
       std::fprintf(stderr, "journal error: %s\n", e.what());
       return 1;
     }
-    control.journal = &*journal;
-    // A durable campaign is interruptible: flush-and-resume on Ctrl-C.
-    std::signal(SIGINT, on_sigint);
-    control.cancel = &g_cancel;
-  }
+  } else {
+    if (!journal_path.empty()) {
+      try {
+        journal = resume
+                      ? inject::InjectionJournal::resume(journal_path, plan,
+                                                         flush)
+                      : inject::InjectionJournal::create(journal_path, plan,
+                                                         flush);
+      } catch (const inject::JournalError& e) {
+        std::fprintf(stderr, "journal error: %s\n", e.what());
+        return 1;
+      }
+      control.journal = &*journal;
+      // A durable campaign is interruptible: flush-and-resume on Ctrl-C.
+      std::signal(SIGINT, on_sigint);
+      control.cancel = &g_cancel;
+    }
 
-  const inject::CampaignResult result = inject::CampaignEngine(jobs).run(
-      plan,
-      quiet ? inject::ProgressFn{} : [](u32 done, u32 total) {
-        if (done % 100 == 0 || done == total) {
-          std::fprintf(stderr, "\r[%u/%u]", done, total);
-          if (done == total) std::fputc('\n', stderr);
-        }
-      },
-      control);
+    result = inject::CampaignEngine(jobs).run(
+        plan,
+        quiet ? inject::ProgressFn{} : [](u32 done, u32 total) {
+          if (done % 100 == 0 || done == total) {
+            std::fprintf(stderr, "\r[%u/%u]", done, total);
+            if (done == total) std::fputc('\n', stderr);
+          }
+        },
+        control);
+  }
 
   if (result.interrupted) {
     // The journal already holds every completed record; report the
@@ -400,6 +519,12 @@ int main(int argc, char** argv) {
   const bool errno_campaign = spec.kind == inject::CampaignKind::kErrno;
 
   std::puts(analysis::summarize_campaign(result).c_str());
+  // The determinism arbiter, printed so scripts (and CI) can pin it:
+  // equal fingerprints mean bit-identical campaigns, whatever the
+  // jobs / fabric / resume topology that produced them.
+  std::printf("result fingerprint: %016llx\n",
+              static_cast<unsigned long long>(
+                  inject::result_fingerprint(result)));
   std::puts("");
   if (errno_campaign) {
     // The paper has no errno rows: the cascade segment replaces the

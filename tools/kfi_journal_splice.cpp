@@ -1,0 +1,71 @@
+// kfi_journal_splice: merge fabric shard journals into one journal.
+//
+//   kfi_journal_splice --out MERGED.kfij SHARD1.kfij SHARD2.kfij ...
+//
+// Validates that every shard was written for the same campaign (version,
+// plan / fault-model / errno-model fingerprints, target count — a
+// mismatch is refused), deduplicates entries by index (a successful
+// record supersedes a quarantined one; conflicting successful records
+// mean the shard set mixes campaigns and are refused), and writes the
+// chosen frames in index order.  The output is a normal journal:
+// `kfi_campaign --journal MERGED.kfij --resume` (with the original
+// campaign flags) replays the merged campaign bit-identically — the
+// splice is exact bookkeeping, not aggregation.
+//
+// Exit 0 on success (stats on stdout), 1 on a journal/splice error,
+// 2 on usage errors.  "missing" in the stats means the shard set does
+// not yet cover the whole campaign (an interrupted fabric): the merged
+// journal is still valid and resumable.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fabric/splice.hpp"
+
+using namespace kfi;
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s --out MERGED.kfij SHARD.kfij...\n",
+                     argv[0]);
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: %s --out MERGED.kfij SHARD.kfij...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (out_path.empty() || shard_paths.empty()) {
+    std::fprintf(stderr, "usage: %s --out MERGED.kfij SHARD.kfij...\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const fabric::SpliceStats stats =
+        fabric::splice_journal_files(shard_paths, out_path);
+    std::printf(
+        "spliced %llu shard journals -> %s\n"
+        "entries=%llu chosen=%llu duplicates=%llu quarantined=%llu "
+        "missing=%llu\n",
+        static_cast<unsigned long long>(stats.files), out_path.c_str(),
+        static_cast<unsigned long long>(stats.entries),
+        static_cast<unsigned long long>(stats.chosen),
+        static_cast<unsigned long long>(stats.duplicates),
+        static_cast<unsigned long long>(stats.quarantined),
+        static_cast<unsigned long long>(stats.missing));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "splice error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -242,6 +242,26 @@ std::string summarize_campaign(const inject::CampaignResult& result) {
                       result.fabric_spliced_duplicates));
     os << buf;
   }
+  // Per-host segment: the multi-host coordinator's supervisor ledger —
+  // re-dispatches, lease revocations, reconnect backoff — one entry per
+  // daemon endpoint.  Operational like the fabric segment above: none of
+  // it enters the paper denominators.
+  if (!result.fabric_hosts.empty()) {
+    os << " | hosts:";
+    for (const inject::FabricHostStats& h : result.fabric_hosts) {
+      char buf[192];
+      std::snprintf(
+          buf, sizeof(buf),
+          " %s{dispatches=%llu deaths=%llu lease_revoked=%llu "
+          "backoff=%llu(%.2fs) records=%llu}",
+          h.host.c_str(), static_cast<unsigned long long>(h.dispatches),
+          static_cast<unsigned long long>(h.deaths),
+          static_cast<unsigned long long>(h.lease_revocations),
+          static_cast<unsigned long long>(h.backoff_waits),
+          h.backoff_seconds, static_cast<unsigned long long>(h.records));
+      os << buf;
+    }
+  }
   const inject::CampaignThroughput& tp = result.throughput;
   if (tp.jobs > 0) {
     char buf[160];

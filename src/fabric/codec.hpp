@@ -1,0 +1,109 @@
+// Shared big-endian byte codec for the fabric's wire formats.
+//
+// Every fabric byte format — the CampaignSpec blob, the KFFR status
+// frames, and the KFNM network messages — serializes big-endian with the
+// same primitive vocabulary and parses through the same bounds-checked
+// cursor (never throws, never overreads, latches `ok = false` on the
+// first short read).  Keeping the primitives in one header means a new
+// message type cannot invent a subtly different integer layout.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kfi::fabric::codec {
+
+inline u64 fnv1a(const u8* data, size_t size) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline void put8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+
+inline void put32(std::vector<u8>& out, u32 v) {
+  out.push_back(static_cast<u8>(v >> 24));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+
+inline void put64(std::vector<u8>& out, u64 v) {
+  put32(out, static_cast<u32>(v >> 32));
+  put32(out, static_cast<u32>(v));
+}
+
+inline void put_double(std::vector<u8>& out, double d) {
+  u64 bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  put64(out, bits);
+}
+
+inline void put_string(std::vector<u8>& out, const std::string& s) {
+  put32(out, static_cast<u32>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+inline void put_blob(std::vector<u8>& out, const std::vector<u8>& b) {
+  put32(out, static_cast<u32>(b.size()));
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+/// Bounds-checked big-endian reader (same shape as the journal's).
+struct Cursor {
+  const std::vector<u8>& in;
+  size_t pos;
+  bool ok = true;
+
+  bool have(size_t n) {
+    if (!ok || pos > in.size() || in.size() - pos < n) ok = false;
+    return ok;
+  }
+  u8 get8() {
+    if (!have(1)) return 0;
+    return in[pos++];
+  }
+  u32 get32() {
+    if (!have(4)) return 0;
+    const u32 v = (static_cast<u32>(in[pos]) << 24) |
+                  (static_cast<u32>(in[pos + 1]) << 16) |
+                  (static_cast<u32>(in[pos + 2]) << 8) |
+                  static_cast<u32>(in[pos + 3]);
+    pos += 4;
+    return v;
+  }
+  u64 get64() {
+    const u64 hi = get32();
+    return (hi << 32) | get32();
+  }
+  double get_double() {
+    const u64 bits = get64();
+    double d = 0.0;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  std::string get_string() {
+    const u32 len = get32();
+    if (!have(len)) return {};
+    std::string s(in.begin() + static_cast<long>(pos),
+                  in.begin() + static_cast<long>(pos + len));
+    pos += len;
+    return s;
+  }
+  std::vector<u8> get_blob() {
+    const u32 len = get32();
+    if (!have(len)) return {};
+    std::vector<u8> b(in.begin() + static_cast<long>(pos),
+                      in.begin() + static_cast<long>(pos + len));
+    pos += len;
+    return b;
+  }
+};
+
+}  // namespace kfi::fabric::codec

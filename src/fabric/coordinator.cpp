@@ -27,39 +27,6 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
-/// Indices of `slice` not yet carrying a successful record in the shard
-/// journal at `path`.  Quarantined (harness-error) entries stay in the
-/// remaining set — the engine re-executes them on resume, exactly like a
-/// single-process resume would.  A missing or torn-at-frame-zero journal
-/// means the whole slice remains; a journal for a different campaign is
-/// a hard configuration error.
-std::vector<u32> remaining_indices(const std::string& path,
-                                   const std::vector<u32>& slice,
-                                   u64 want_plan_fp) {
-  inject::JournalFileData data;
-  try {
-    data = inject::read_journal_file(path);
-  } catch (const inject::JournalError&) {
-    return slice;  // no usable journal yet: everything remains
-  }
-  if (data.plan_fingerprint != want_plan_fp) {
-    throw FabricError("stale shard journal " + path +
-                      " belongs to a different campaign; remove it or "
-                      "choose another --journal prefix");
-  }
-  std::vector<u8> done;
-  for (const inject::JournalEntry& e : data.entries) {
-    if (e.record.outcome == inject::OutcomeCategory::kHarnessError) continue;
-    if (e.index >= done.size()) done.resize(e.index + 1, 0);
-    done[e.index] = 1;
-  }
-  std::vector<u32> remaining;
-  for (const u32 i : slice) {
-    if (i >= done.size() || !done[i]) remaining.push_back(i);
-  }
-  return remaining;
-}
-
 struct Unit {
   u32 shard = 0;
   std::vector<u32> slice;
@@ -88,6 +55,33 @@ struct Slot {
 };
 
 }  // namespace
+
+std::vector<u32> remaining_indices(const std::string& path,
+                                   const std::vector<u32>& slice,
+                                   u64 want_plan_fp) {
+  inject::JournalFileData data;
+  try {
+    data = inject::read_journal_file(path);
+  } catch (const inject::JournalError&) {
+    return slice;  // no usable journal yet: everything remains
+  }
+  if (data.plan_fingerprint != want_plan_fp) {
+    throw FabricError("stale shard journal " + path +
+                      " belongs to a different campaign; remove it or "
+                      "choose another --journal prefix");
+  }
+  std::vector<u8> done;
+  for (const inject::JournalEntry& e : data.entries) {
+    if (e.record.outcome == inject::OutcomeCategory::kHarnessError) continue;
+    if (e.index >= done.size()) done.resize(e.index + 1, 0);
+    done[e.index] = 1;
+  }
+  std::vector<u32> remaining;
+  for (const u32 i : slice) {
+    if (i >= done.size() || !done[i]) remaining.push_back(i);
+  }
+  return remaining;
+}
 
 FabricCoordinator::FabricCoordinator(FabricOptions options)
     : opt_(std::move(options)) {

@@ -48,6 +48,17 @@ struct FabricError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Indices of `slice` not yet carrying a successful record in the shard
+/// journal at `path`.  Quarantined (harness-error) entries stay in the
+/// remaining set — the engine re-executes them on resume, exactly like a
+/// single-process resume would.  A missing or torn-at-frame-zero journal
+/// means the whole slice remains; a journal for a different campaign is
+/// a hard configuration error (FabricError).  Shared by the local and
+/// remote coordinators.
+std::vector<u32> remaining_indices(const std::string& path,
+                                   const std::vector<u32>& slice,
+                                   u64 want_plan_fp);
+
 struct FabricOptions {
   /// Worker subprocess slots (>= 1); also the shard count.
   u32 workers = 2;

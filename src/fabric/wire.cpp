@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "fabric/codec.hpp"
+
 namespace kfi::fabric {
 
 namespace {
@@ -9,82 +11,17 @@ namespace {
 constexpr u8 kSpecVersion = 1;
 constexpr u32 kFrameMagic = 0x4B464652;  // "KFFR"
 
-u64 fnv1a(const u8* data, size_t size) {
-  u64 h = 0xcbf29ce484222325ull;
-  for (size_t i = 0; i < size; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
+using codec::Cursor;
+using codec::fnv1a;
+using codec::put8;
+using codec::put32;
+using codec::put64;
+using codec::put_double;
+using codec::put_string;
 
-void put8(std::vector<u8>& out, u8 v) { out.push_back(v); }
-
-void put32(std::vector<u8>& out, u32 v) {
-  out.push_back(static_cast<u8>(v >> 24));
-  out.push_back(static_cast<u8>(v >> 16));
-  out.push_back(static_cast<u8>(v >> 8));
-  out.push_back(static_cast<u8>(v));
-}
-
-void put64(std::vector<u8>& out, u64 v) {
-  put32(out, static_cast<u32>(v >> 32));
-  put32(out, static_cast<u32>(v));
-}
-
-void put_double(std::vector<u8>& out, double d) {
-  u64 bits = 0;
-  std::memcpy(&bits, &d, sizeof(bits));
-  put64(out, bits);
-}
-
-void put_string(std::vector<u8>& out, const std::string& s) {
-  put32(out, static_cast<u32>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
-}
-
-/// Bounds-checked big-endian reader (same shape as the journal's).
-struct Cursor {
-  const std::vector<u8>& in;
-  size_t pos;
-  bool ok = true;
-
-  bool have(size_t n) {
-    if (!ok || pos > in.size() || in.size() - pos < n) ok = false;
-    return ok;
-  }
-  u8 get8() {
-    if (!have(1)) return 0;
-    return in[pos++];
-  }
-  u32 get32() {
-    if (!have(4)) return 0;
-    const u32 v = (static_cast<u32>(in[pos]) << 24) |
-                  (static_cast<u32>(in[pos + 1]) << 16) |
-                  (static_cast<u32>(in[pos + 2]) << 8) |
-                  static_cast<u32>(in[pos + 3]);
-    pos += 4;
-    return v;
-  }
-  u64 get64() {
-    const u64 hi = get32();
-    return (hi << 32) | get32();
-  }
-  double get_double() {
-    const u64 bits = get64();
-    double d = 0.0;
-    std::memcpy(&d, &bits, sizeof(d));
-    return d;
-  }
-  std::string get_string() {
-    const u32 len = get32();
-    if (!have(len)) return {};
-    std::string s(in.begin() + static_cast<long>(pos),
-                  in.begin() + static_cast<long>(pos + len));
-    pos += len;
-    return s;
-  }
-};
+static_assert(kFrameOutcomeSlots ==
+                  static_cast<size_t>(inject::OutcomeCategory::kNumOutcomes),
+              "StatusFrame outcome slots must cover every OutcomeCategory");
 
 }  // namespace
 
@@ -229,6 +166,7 @@ std::vector<u8> encode_frame(const StatusFrame& frame) {
   put32(payload, frame.pid);
   put32(payload, frame.done);
   put32(payload, frame.total);
+  for (const u32 n : frame.outcomes) put32(payload, n);
   put64(payload, frame.executed);
   put64(payload, frame.quarantined);
   put64(payload, frame.stalls);
@@ -295,6 +233,7 @@ std::optional<StatusFrame> FrameReader::next() {
   frame.pid = p.get32();
   frame.done = p.get32();
   frame.total = p.get32();
+  for (u32& n : frame.outcomes) n = p.get32();
   frame.executed = p.get64();
   frame.quarantined = p.get64();
   frame.stalls = p.get64();

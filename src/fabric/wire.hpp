@@ -21,6 +21,7 @@
 //     detected by waitpid, not by the stream.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,6 +52,12 @@ enum class FrameType : u8 {
   kError = 5,      // fatal worker error: message
 };
 
+/// Outcome-count slots carried by progress/heartbeat/done frames: one
+/// per inject::OutcomeCategory, in enum order (the live tally a remote
+/// coordinator renders per host).  Sized here so the wire layout is
+/// explicit; wire.cpp asserts it matches the enum.
+constexpr size_t kFrameOutcomeSlots = 6;
+
 /// One decoded control-plane message.  Fields are meaningful per type
 /// (unused ones stay zero); the wire layout is uniform so the codec has
 /// exactly one serializer.
@@ -63,6 +70,10 @@ struct StatusFrame {
   // kProgress
   u32 done = 0;   // completed indices in this worker's slice (incl. resumed)
   u32 total = 0;  // slice size
+  /// Live outcome tally over the slice so far (resumed + executed),
+  /// indexed by inject::OutcomeCategory.  Zeroes when the sender does
+  /// not track outcomes.
+  std::array<u32, kFrameOutcomeSlots> outcomes{};
   // kDone
   u64 executed = 0;
   u64 quarantined = 0;

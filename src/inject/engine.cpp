@@ -328,9 +328,10 @@ CampaignResult CampaignEngine::run(const CampaignPlan& plan,
         result.done_mask[i] = 1;
 
         if (ctl.journal != nullptr) ctl.journal->append(entry);
-        if (progress) {
+        if (progress || ctl.record_observer) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
-          progress(++done_count, count);
+          if (ctl.record_observer) ctl.record_observer(i, entry.record);
+          if (progress) progress(++done_count, count);
         }
       }
       st.totals.private_pages = rig->machine.space().phys().private_pages();

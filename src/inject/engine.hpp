@@ -69,6 +69,18 @@ struct CampaignThroughput {
   }
 };
 
+/// One remote host's supervisor ledger for a multi-host fabric run:
+/// what the coordinator had to do to keep that host's shards moving.
+struct FabricHostStats {
+  std::string host;             // "host:port" endpoint label
+  u64 dispatches = 0;           // shard submissions sent (incl. re-sends)
+  u64 deaths = 0;               // connection losses / refusals / EOFs
+  u64 lease_revocations = 0;    // heartbeat leases the coordinator revoked
+  u64 backoff_waits = 0;        // reconnect backoff sleeps charged
+  double backoff_seconds = 0.0;
+  u64 records = 0;              // journal records this host delivered
+};
+
 struct CampaignResult {
   CampaignSpec spec;
   std::vector<InjectionRecord> records;
@@ -109,6 +121,11 @@ struct CampaignResult {
   u64 fabric_backoff_waits = 0;   // restart backoff sleeps taken
   double fabric_backoff_seconds = 0.0;
   u64 fabric_spliced_duplicates = 0;  // identical dup entries dropped
+  /// Per-host supervisor ledger, filled by the multi-host coordinator
+  /// (empty for in-process and single-host fabric runs).  Operational
+  /// only — like every fabric_* field it never touches the result
+  /// fingerprint or the paper denominators.
+  std::vector<FabricHostStats> fabric_hosts;
 
   /// Indices actually carrying a record (resumed + executed).
   u64 executed() const {
@@ -156,6 +173,13 @@ struct RunControl {
   /// Test/chaos hook invoked before every injection attempt; a throw is
   /// treated exactly like a harness fault inside that attempt.
   std::function<void(u32 index, u32 attempt)> harness_fault_hook;
+  /// Observational per-record hook, invoked once per completed index
+  /// (after the record is merged and journaled), serialized with the
+  /// progress callback.  The campaign daemon uses it to stream a live
+  /// outcome tally; resumed (journal-recovered) records do NOT pass
+  /// through it — read them from the journal's recovered() instead.
+  std::function<void(u32 index, const InjectionRecord& record)>
+      record_observer;
   /// Error-propagation tracing: each worker rig gets a TaintEngine wired
   /// to its machine, and every record carries a PropagationSummary.
   /// Strictly observational — the result fingerprint is bit-identical

@@ -124,6 +124,7 @@ StatusFrame full_frame() {
   f.pid = 4242;
   f.done = 15;
   f.total = 16;
+  f.outcomes = {4, 3, 1, 5, 2, 1};  // one count per OutcomeCategory
   f.executed = 12;
   f.quarantined = 1;
   f.stalls = 2;
@@ -141,6 +142,7 @@ void expect_frames_equal(const StatusFrame& a, const StatusFrame& b) {
   EXPECT_EQ(a.pid, b.pid);
   EXPECT_EQ(a.done, b.done);
   EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.outcomes, b.outcomes);
   EXPECT_EQ(a.executed, b.executed);
   EXPECT_EQ(a.quarantined, b.quarantined);
   EXPECT_EQ(a.stalls, b.stalls);

@@ -11,7 +11,10 @@
 //                [--fabric N] [--min-workers K] [--lease SECS]
 //                [--fabric-backoff BASE] [--fabric-backoff-cap CAP]
 //                [--max-restarts K] [--chaos-kill-after N]
-//                [--worker-bin PATH] [--no-wrapper] [--p4-stackcheck]
+//                [--worker-bin PATH] [--hosts H:P[,H:P...]]
+//                [--heartbeat SECS] [--connect-timeout SECS]
+//                [--expect-plan-fp HEX16] [--dry-run]
+//                [--no-wrapper] [--p4-stackcheck]
 //                [--no-spinlock-debug] [--csv PREFIX]
 //                [--trace] [--trace-out CSV]
 //
@@ -33,6 +36,22 @@
 // kill -9 any worker — or the coordinator itself — and rerunning with
 // --resume continues from the shard journals; the spliced result's
 // fingerprint is byte-identical to the single-process run.
+//
+// --hosts runs the campaign across kfi_campaignd daemons over TCP, one
+// shard per endpoint.  Requires --journal (retrieved shard journals land
+// at PATH.shard<k>of<n>.kfij).  Daemons are crash domains with their own
+// local journals: kill -9 a daemon mid-campaign and the coordinator
+// revokes its lease, backs off deterministically, and re-dispatches;
+// re-submissions resume the daemon-side journal so completed indices
+// never re-execute.  The spliced result's fingerprint is bit-identical
+// to the serial run.  While running, the progress line shows each host's
+// live outcome tally.  --expect-plan-fp HEX16 pins the plan fingerprint
+// up front: a mismatch (here or on any daemon) is a typed refusal before
+// any injection runs.
+//
+// --dry-run prints the plan fingerprint, the fault/errno model
+// fingerprints, and the shard map (who would run what, against which
+// journals), then exits without executing anything.
 //
 // --fault-model selects what each injection corrupts (default: the
 // paper's single-bit flip).  --bits K / --burst SPAN / --opclass CLASS
@@ -71,6 +90,8 @@
 
 #include "analysis/cascade.hpp"
 #include "fabric/coordinator.hpp"
+#include "fabric/remote.hpp"
+#include "fabric/shard.hpp"
 #include "analysis/csv.hpp"
 #include "analysis/propagation.hpp"
 #include "analysis/report.hpp"
@@ -104,7 +125,9 @@ void usage(const char* argv0) {
                "          [--min-workers K] [--lease SECS]\n"
                "          [--fabric-backoff BASE] [--fabric-backoff-cap C]\n"
                "          [--max-restarts K] [--chaos-kill-after N]\n"
-               "          [--worker-bin PATH]\n"
+               "          [--worker-bin PATH] [--hosts H:P[,H:P...]]\n"
+               "          [--heartbeat SECS] [--connect-timeout SECS]\n"
+               "          [--expect-plan-fp HEX16] [--dry-run]\n"
                "          [--no-wrapper] [--p4-stackcheck]\n"
                "          [--no-spinlock-debug] [--csv PREFIX] [--quiet]\n"
                "          [--trace] [--trace-out CSV]\n"
@@ -156,6 +179,18 @@ void usage(const char* argv0) {
                "               itself after N injections (crash testing)\n"
                "  --worker-bin P: kfi_worker binary (default: next to\n"
                "               kfi_campaign)\n"
+               "  --hosts L:   run across kfi_campaignd daemons (one shard\n"
+               "               per host:port endpoint; requires --journal;\n"
+               "               --min-workers/--lease/--fabric-backoff/\n"
+               "               --max-restarts apply to hosts)\n"
+               "  --heartbeat S: heartbeat period requested of daemons\n"
+               "               (default 1.0)\n"
+               "  --connect-timeout S: TCP connect timeout per dispatch\n"
+               "               (default 5.0)\n"
+               "  --expect-plan-fp H: refuse (typed, before any injection)\n"
+               "               unless the built plan's fingerprint is H\n"
+               "  --dry-run:   print plan/model fingerprints and the shard\n"
+               "               map, then exit without executing\n"
                "  --stall S:   wall-clock watchdog budget per injection in\n"
                "               seconds (default off)\n"
                "  --trace:     shadow-state error-propagation tracing; adds\n"
@@ -180,6 +215,10 @@ int main(int argc, char** argv) {
   inject::FlushPolicy flush = inject::FlushPolicy::kFsync;
   fabric::FabricOptions fabric_opt;
   u32 fabric_workers = 0;  // 0 = in-process campaign (no fabric)
+  std::string hosts_text;  // non-empty = multi-host campaign (kfi_campaignd)
+  std::string expect_fp_hex;
+  bool dry_run = false;
+  double heartbeat_seconds = 1.0, connect_timeout = 5.0;
   bool have_arch = false, have_kind = false, quiet = false;
   bool have_shape = false;
   bool have_errno = false;          // any --errno-* flag seen
@@ -364,6 +403,16 @@ int main(int argc, char** argv) {
           static_cast<u32>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--worker-bin") {
       fabric_opt.worker_binary = next();
+    } else if (arg == "--hosts") {
+      hosts_text = next();
+    } else if (arg == "--heartbeat") {
+      heartbeat_seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--connect-timeout") {
+      connect_timeout = std::strtod(next(), nullptr);
+    } else if (arg == "--expect-plan-fp") {
+      expect_fp_hex = next();
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (arg == "--no-wrapper") {
       spec.machine.g4_stack_wrapper = false;
     } else if (arg == "--p4-stackcheck") {
@@ -425,6 +474,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--trace is not supported with --fabric yet\n");
     return 2;
   }
+  std::vector<fabric::HostSpec> hosts;
+  if (!hosts_text.empty()) {
+    const auto parsed = fabric::parse_host_list(hosts_text);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "bad --hosts '%s' (expected host:port[,host:port...])\n",
+                   hosts_text.c_str());
+      return 2;
+    }
+    hosts = *parsed;
+    if (fabric_workers > 0) {
+      std::fprintf(stderr,
+                   "--hosts and --fabric are mutually exclusive (local "
+                   "worker processes vs remote daemons)\n");
+      return 2;
+    }
+    if (journal_path.empty() && !dry_run) {
+      std::fprintf(stderr,
+                   "--hosts requires --journal PATH (retrieved shard "
+                   "journals are the crash-recovery substrate)\n");
+      return 2;
+    }
+    if (control.trace) {
+      std::fprintf(stderr, "--trace is not supported with --hosts yet\n");
+      return 2;
+    }
+  }
   try {
     spec.errno_model.validate();
   } catch (const errnoinj::ErrnoModelError& e) {
@@ -437,10 +513,123 @@ int main(int argc, char** argv) {
   }
 
   const inject::CampaignPlan plan = inject::build_campaign_plan(spec);
+  const u64 plan_fp = inject::plan_fingerprint(plan);
+
+  // The --expect-plan-fp handshake, client side: the same version-skew
+  // refusal every daemon and worker applies, typed and raised before any
+  // injection runs anywhere.
+  if (!expect_fp_hex.empty() &&
+      plan_fp != std::strtoull(expect_fp_hex.c_str(), nullptr, 16)) {
+    std::fprintf(stderr,
+                 "plan fingerprint skew: built %016llx, --expect-plan-fp "
+                 "%s (binaries or flags disagree)\n",
+                 static_cast<unsigned long long>(plan_fp),
+                 expect_fp_hex.c_str());
+    return 3;
+  }
+
+  if (dry_run) {
+    // Print what WOULD run — fingerprints and the shard map — without
+    // executing a single injection.
+    std::printf("plan fingerprint: %016llx\n",
+                static_cast<unsigned long long>(plan_fp));
+    std::printf("fault model fingerprint: %016llx\n",
+                static_cast<unsigned long long>(
+                    inject::fault_model_fingerprint(spec.model)));
+    std::printf("errno model fingerprint: %016llx\n",
+                static_cast<unsigned long long>(
+                    errnoinj::errno_model_fingerprint(spec.errno_model)));
+    std::printf("targets: %zu\n", plan.targets.size());
+    const u32 shards =
+        !hosts.empty() ? static_cast<u32>(hosts.size())
+                       : (fabric_workers > 0 ? fabric_workers : 1);
+    const auto slices = fabric::shard_indices(
+        static_cast<u32>(plan.targets.size()), shards);
+    std::printf("shard map (%u shard%s):\n", shards,
+                shards == 1 ? "" : "s");
+    for (u32 s = 0; s < slices.size(); ++s) {
+      std::string line = "  shard " + std::to_string(s) + ": " +
+                         std::to_string(slices[s].size()) + " indices";
+      if (!slices[s].empty()) {
+        line += " [" + fabric::format_index_ranges(slices[s]) + "]";
+      }
+      if (s < hosts.size()) line += " -> " + hosts[s].label();
+      if (!journal_path.empty()) {
+        line += " journal " +
+                (shards == 1 ? journal_path
+                             : fabric::shard_journal_path(journal_path, s,
+                                                          shards));
+      }
+      std::puts(line.c_str());
+    }
+    std::puts("dry run: nothing executed");
+    return 0;
+  }
 
   std::optional<inject::InjectionJournal> journal;
   inject::CampaignResult result;
-  if (fabric_workers > 0) {
+  if (!hosts.empty()) {
+    fabric::RemoteOptions remote_opt;
+    remote_opt.hosts = hosts;
+    remote_opt.min_workers = fabric_opt.min_workers;
+    remote_opt.journal_prefix = journal_path;
+    remote_opt.fresh = !resume;
+    remote_opt.jobs_per_host = jobs;
+    remote_opt.lease_seconds = fabric_opt.lease_seconds;
+    remote_opt.heartbeat_seconds = heartbeat_seconds;
+    remote_opt.connect_timeout_seconds = connect_timeout;
+    remote_opt.backoff_base = fabric_opt.backoff_base;
+    remote_opt.backoff_cap = fabric_opt.backoff_cap;
+    remote_opt.max_restarts_per_host = fabric_opt.max_restarts_per_slot;
+    remote_opt.flush = flush;
+    remote_opt.retries = control.retries;
+    remote_opt.stall_seconds = control.stall_seconds;
+    remote_opt.verbose = !quiet;
+    if (!quiet) {
+      // Live per-host tally: one line, redrawn on every progress frame.
+      static const char* kOutcomeTags[fabric::kFrameOutcomeSlots] = {
+          "NA", "NM", "FSV", "KC", "HU", "HE"};
+      remote_opt.progress =
+          [](const std::vector<fabric::RemoteHostProgress>& snap) {
+            std::string line = "\r";
+            for (const fabric::RemoteHostProgress& h : snap) {
+              if (h.total == 0 && !h.connected) continue;
+              if (line.size() > 1) line += "  ";
+              line += h.host + " s" + std::to_string(h.shard) + " " +
+                      std::to_string(h.completed) + "/" +
+                      std::to_string(h.total) + " [";
+              for (size_t i = 0; i < h.outcomes.size(); ++i) {
+                if (i > 0) line += " ";
+                line += std::string(kOutcomeTags[i]) + ":" +
+                        std::to_string(h.outcomes[i]);
+              }
+              line += "]";
+            }
+            line += "   ";
+            std::fputs(line.c_str(), stderr);
+          };
+    }
+    try {
+      fabric::RemoteCoordinator coordinator(remote_opt);
+      if (!resume) {
+        // A fresh run must not resurrect a previous campaign's retrieved
+        // shards; --resume keeps them (the whole point after a crash).
+        for (const std::string& p : coordinator.journal_paths(
+                 static_cast<u32>(plan.targets.size()))) {
+          std::filesystem::remove(p);
+        }
+      }
+      result = coordinator.run(plan);
+      if (!quiet) std::fputc('\n', stderr);
+    } catch (const fabric::FabricError& e) {
+      if (!quiet) std::fputc('\n', stderr);
+      std::fprintf(stderr, "fabric error: %s\n", e.what());
+      return 1;
+    } catch (const inject::JournalError& e) {
+      std::fprintf(stderr, "journal error: %s\n", e.what());
+      return 1;
+    }
+  } else if (fabric_workers > 0) {
     fabric_opt.workers = fabric_workers;
     fabric_opt.jobs_per_worker = jobs;
     fabric_opt.journal_prefix = journal_path;

@@ -1,0 +1,532 @@
+// kfi_campaignd: long-running campaign daemon, one host of a multi-host
+// fabric.
+//
+//   kfi_campaignd --port P [--bind ADDR] [--dir DIR] [--port-file PATH]
+//                 [--verbose]
+//
+// The daemon binds a TCP port (0 = ephemeral; --port-file publishes the
+// bound port for scripts) and serves campaign shard submissions forever:
+// each accepted connection is one session (net.hpp's KFNM protocol).
+// A session rebuilds the campaign plan deterministically from the
+// submitted spec blob and refuses — typed, before any injection — if the
+// rebuilt fingerprint disagrees with the client's --expect-plan-fp or
+// the protocol versions differ.  Accepted shards run on the existing
+// CampaignEngine in slice mode against a LOCAL journal under --dir
+// (named by plan fingerprint + shard), so a daemon that is kill -9ed
+// loses wall-clock only: the next submission with fresh=false resumes
+// the journal and already-completed indices never re-execute.
+//
+// While running, the session streams KFFR status frames (hello /
+// progress / heartbeat / done) inside kStatus messages — heartbeats
+// renew the client's lease, progress frames carry the live outcome
+// tally.  On completion the shard journal is streamed back
+// byte-for-byte (kJournal).  A client that vanishes mid-run is noticed
+// by the heartbeat thread (socket probe / failed send) and the engine
+// is cancelled at the next injection boundary with the journal flushed.
+//
+// SIGTERM/SIGINT drain: stop accepting, let in-flight sessions finish,
+// then exit 0.
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabric/net.hpp"
+#include "fabric/shard.hpp"
+#include "fabric/wire.hpp"
+#include "inject/campaign.hpp"
+#include "inject/engine.hpp"
+#include "inject/journal.hpp"
+
+using namespace kfi;
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void on_term(int) { g_shutdown.store(true); }
+
+bool g_verbose = false;
+
+void logf(const char* fmt, ...) {
+  if (!g_verbose) return;
+  va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "campaignd: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+  va_end(ap);
+}
+
+/// One (plan fingerprint, shard) may have at most one live session: a
+/// second submission for the same shard journal — e.g. after the client
+/// revoked a lease the daemon outlived — is refused kBusy until the
+/// first session notices the dead socket and cancels.
+std::mutex g_active_mutex;
+std::set<std::pair<u64, u32>> g_active;
+
+struct ActiveKey {
+  std::pair<u64, u32> key;
+  bool held = false;
+
+  bool acquire(u64 fp, u32 shard) {
+    const std::lock_guard<std::mutex> lock(g_active_mutex);
+    key = {fp, shard};
+    held = g_active.insert(key).second;
+    return held;
+  }
+  ~ActiveKey() {
+    if (!held) return;
+    const std::lock_guard<std::mutex> lock(g_active_mutex);
+    g_active.erase(key);
+  }
+};
+
+void refuse(int fd, fabric::RefuseCode code, const std::string& reason) {
+  fabric::Refusal r;
+  r.code = code;
+  r.reason = reason;
+  fabric::send_message(
+      fd, fabric::NetMessage{fabric::MsgType::kRefuse,
+                             fabric::encode_refusal(r)});
+  logf("refused: %s", reason.c_str());
+}
+
+/// Wait for the client's kSubmit on a fresh connection.  Bounded: a
+/// connection that stays silent or trickles garbage is dropped so a
+/// draining daemon never wedges on it.
+std::optional<fabric::SubmitRequest> read_submit(int fd) {
+  fabric::MsgReader reader;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 500);
+    if (rc < 0 && errno != EINTR) return std::nullopt;
+    if (g_shutdown.load()) return std::nullopt;
+    if (rc <= 0) continue;
+    u8 buf[65536];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    reader.feed(buf, static_cast<size_t>(n));
+    if (auto msg = reader.next()) {
+      if (msg->type != fabric::MsgType::kSubmit) {
+        refuse(fd, fabric::RefuseCode::kBadRequest,
+               "expected a submit message");
+        return std::nullopt;
+      }
+      auto req = fabric::decode_submit(msg->body);
+      if (!req) {
+        refuse(fd, fabric::RefuseCode::kBadRequest,
+               "submit body does not decode");
+      }
+      return req;
+    }
+    if (reader.corrupted()) {
+      refuse(fd, fabric::RefuseCode::kBadRequest, "corrupt message stream");
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Serialize all socket writes of one session (engine progress callback
+/// and heartbeat thread both send status frames).
+struct SessionSender {
+  int fd;
+  std::mutex mutex;
+  std::atomic<bool> dead{false};
+
+  bool send(fabric::MsgType type, std::vector<u8> body) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (dead.load()) return false;
+    if (!fabric::send_message(fd, fabric::NetMessage{type, std::move(body)})) {
+      dead.store(true);
+      return false;
+    }
+    return true;
+  }
+  bool send_frame(const fabric::StatusFrame& frame) {
+    return send(fabric::MsgType::kStatus, fabric::encode_frame(frame));
+  }
+};
+
+void serve_session(int fd, const std::string& dir) {
+  const auto req = read_submit(fd);
+  if (!req) {
+    ::close(fd);
+    return;
+  }
+
+  if (req->protocol != fabric::kNetProtocolVersion) {
+    refuse(fd, fabric::RefuseCode::kSkew,
+           "protocol version " + std::to_string(req->protocol) +
+               " != daemon's " +
+               std::to_string(fabric::kNetProtocolVersion));
+    ::close(fd);
+    return;
+  }
+  const auto spec = fabric::deserialize_campaign_spec(req->spec);
+  if (!spec) {
+    refuse(fd, fabric::RefuseCode::kBadRequest, "spec blob does not decode");
+    ::close(fd);
+    return;
+  }
+  const auto indices = fabric::parse_index_ranges(req->indices);
+  if (!indices || indices->empty()) {
+    refuse(fd, fabric::RefuseCode::kBadRequest,
+           "bad index ranges '" + req->indices + "'");
+    ::close(fd);
+    return;
+  }
+
+  try {
+    // Plan building is deterministic, so the fingerprint handshake
+    // catches any skew between client and daemon binaries before the
+    // first injection.
+    const inject::CampaignPlan plan = inject::build_campaign_plan(*spec);
+    const u64 plan_fp = inject::plan_fingerprint(plan);
+    if (plan_fp != req->expect_plan_fp) {
+      char want[17], got[17];
+      std::snprintf(want, sizeof(want), "%016llx",
+                    static_cast<unsigned long long>(req->expect_plan_fp));
+      std::snprintf(got, sizeof(got), "%016llx",
+                    static_cast<unsigned long long>(plan_fp));
+      refuse(fd, fabric::RefuseCode::kSkew,
+             std::string("plan fingerprint skew: client expects ") + want +
+                 ", daemon rebuilt " + got +
+                 " (client and daemon binaries disagree)");
+      ::close(fd);
+      return;
+    }
+    for (const u32 i : *indices) {
+      if (i >= plan.targets.size()) {
+        refuse(fd, fabric::RefuseCode::kBadRequest,
+               "index " + std::to_string(i) + " out of range (plan has " +
+                   std::to_string(plan.targets.size()) + " targets)");
+        ::close(fd);
+        return;
+      }
+    }
+
+    ActiveKey active;
+    if (!active.acquire(plan_fp, req->shard)) {
+      refuse(fd, fabric::RefuseCode::kBusy,
+             "shard " + std::to_string(req->shard) +
+                 " of this plan already has a live session");
+      ::close(fd);
+      return;
+    }
+
+    char fp_hex[17];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(plan_fp));
+    const std::string journal_path = fabric::shard_journal_path(
+        dir + "/" + fp_hex, req->shard, req->shards);
+    if (req->fresh) {
+      std::remove(journal_path.c_str());
+    }
+    const inject::FlushPolicy flush =
+        req->flush == static_cast<u8>(inject::FlushPolicy::kFlush)
+            ? inject::FlushPolicy::kFlush
+            : inject::FlushPolicy::kFsync;
+    inject::InjectionJournal journal = [&]() {
+      try {
+        return inject::InjectionJournal::resume(journal_path, plan, flush);
+      } catch (const inject::JournalError&) {
+        return inject::InjectionJournal::create(journal_path, plan, flush);
+      }
+    }();
+
+    fabric::AcceptInfo info;
+    info.plan_fingerprint = plan_fp;
+    info.resumed = static_cast<u32>(journal.recovered().size());
+    info.pid = static_cast<u32>(::getpid());
+    SessionSender sender{fd};
+    if (!sender.send(fabric::MsgType::kAccept, fabric::encode_accept(info))) {
+      ::close(fd);
+      return;
+    }
+    logf("accepted plan %s shard %u/%u (%zu indices, %u resumed%s)", fp_hex,
+         req->shard, req->shards, indices->size(), info.resumed,
+         req->fresh ? ", fresh" : "");
+
+    fabric::StatusFrame base;
+    base.plan_fingerprint = plan_fp;
+    base.shard = req->shard;
+    base.pid = info.pid;
+    base.total = static_cast<u32>(indices->size());
+
+    // Live outcome tally, seeded from the resumed journal.
+    std::array<std::atomic<u32>, fabric::kFrameOutcomeSlots> outcomes{};
+    auto count_outcome = [&outcomes](inject::OutcomeCategory outcome) {
+      const auto slot = static_cast<size_t>(outcome);
+      if (slot < outcomes.size()) {
+        outcomes[slot].fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    for (const inject::JournalEntry& e : journal.recovered()) {
+      count_outcome(e.record.outcome);
+    }
+    auto fill_outcomes = [&outcomes](fabric::StatusFrame& f) {
+      for (size_t i = 0; i < f.outcomes.size(); ++i) {
+        f.outcomes[i] = outcomes[i].load(std::memory_order_relaxed);
+      }
+    };
+
+    fabric::StatusFrame hello = base;
+    hello.type = fabric::FrameType::kHello;
+    sender.send_frame(hello);
+
+    // The heartbeat thread renews the client's lease through long
+    // injections AND doubles as the socket-health probe: a client that
+    // closed its end (lease revoked, Ctrl-C, crash) turns the probe or
+    // the next send into a failure, which cancels the engine at the
+    // next injection boundary — the journal stays flushed for the
+    // re-dispatch.
+    std::atomic<bool> cancel{false};
+    std::atomic<u32> done_count{static_cast<u32>(info.resumed)};
+    std::atomic<bool> stop_heartbeat{false};
+    const double heartbeat =
+        req->heartbeat_seconds > 0.0 ? req->heartbeat_seconds : 1.0;
+    std::thread heartbeat_thread([&]() {
+      while (!stop_heartbeat.load()) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(heartbeat));
+        if (stop_heartbeat.load()) break;
+        char probe;
+        const ssize_t r =
+            ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR)) {
+          cancel.store(true);
+          sender.dead.store(true);
+          return;
+        }
+        fabric::StatusFrame f = base;
+        f.type = fabric::FrameType::kHeartbeat;
+        f.done = done_count.load();
+        fill_outcomes(f);
+        if (!sender.send_frame(f)) {
+          cancel.store(true);
+          return;
+        }
+      }
+    });
+    struct HeartbeatGuard {
+      std::atomic<bool>& stop;
+      std::thread& thread;
+      ~HeartbeatGuard() {
+        stop.store(true);
+        if (thread.joinable()) thread.join();
+      }
+    } guard{stop_heartbeat, heartbeat_thread};
+
+    inject::RunControl control;
+    control.journal = &journal;
+    control.indices = &*indices;
+    control.retries = req->retries > 0 ? req->retries : 1;
+    control.stall_seconds = req->stall_seconds;
+    control.cancel = &cancel;
+    control.record_observer =
+        [&](u32, const inject::InjectionRecord& record) {
+          count_outcome(record.outcome);
+        };
+    const inject::CampaignResult result =
+        inject::CampaignEngine(req->jobs > 0 ? req->jobs : 1)
+            .run(
+                plan,
+                [&](u32 done, u32 total) {
+                  done_count.store(done);
+                  fabric::StatusFrame f = base;
+                  f.type = fabric::FrameType::kProgress;
+                  f.done = done;
+                  f.total = total;
+                  fill_outcomes(f);
+                  sender.send_frame(f);
+                },
+                control);
+
+    if (result.interrupted || cancel.load()) {
+      logf("session for shard %u cancelled (client gone); journal kept",
+           req->shard);
+      ::close(fd);
+      return;
+    }
+
+    fabric::StatusFrame done = base;
+    done.type = fabric::FrameType::kDone;
+    done.done = static_cast<u32>(indices->size());
+    fill_outcomes(done);
+    done.executed = result.journal_flushes;
+    done.quarantined = result.quarantined;
+    done.stalls = result.stalls;
+    done.harness_retries = result.harness_retries;
+    done.backoff_waits = result.retry_backoff_waits;
+    done.backoff_seconds = result.retry_backoff_seconds;
+    sender.send_frame(done);
+
+    // Stream the completed shard journal back byte-for-byte; the client
+    // splices it with the other shards.
+    std::ifstream in(journal_path, std::ios::binary);
+    std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    sender.send(fabric::MsgType::kJournal, std::move(bytes));
+    logf("shard %u complete, journal streamed (%s)", req->shard,
+         journal_path.c_str());
+  } catch (const std::exception& e) {
+    fabric::StatusFrame f;
+    f.type = fabric::FrameType::kError;
+    f.message = e.what();
+    fabric::send_message(fd, fabric::NetMessage{fabric::MsgType::kStatus,
+                                                fabric::encode_frame(f)});
+    logf("session error: %s", e.what());
+  }
+  ::close(fd);
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--bind ADDR] [--dir DIR]\n"
+               "          [--port-file PATH] [--verbose]\n"
+               "  --port P:      TCP port to listen on (0 = ephemeral)\n"
+               "  --bind ADDR:   bind address (default 127.0.0.1)\n"
+               "  --dir DIR:     shard journal directory (default .)\n"
+               "  --port-file F: write the bound port to F (for scripts\n"
+               "                 using --port 0)\n"
+               "  --verbose:     narrate sessions to stderr\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bind_addr = "127.0.0.1", dir = ".", port_file;
+  u16 port = 0;
+  bool have_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const unsigned long v = std::strtoul(next(), nullptr, 10);
+      if (v > 65535) {
+        usage(argv[0]);
+        return 2;
+      }
+      port = static_cast<u16>(v);
+      have_port = true;
+    } else if (arg == "--bind") {
+      bind_addr = next();
+    } else if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else if (arg == "--verbose") {
+      g_verbose = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (!have_port) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  // A vanished client must surface as a failed send, not a fatal signal.
+  ::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa{};
+  sa.sa_handler = on_term;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::string err;
+  const int listen_fd = fabric::tcp_listen(bind_addr, port, &err);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "campaignd: %s\n", err.c_str());
+    return 1;
+  }
+  const u16 bound = fabric::local_port(listen_fd);
+  if (!port_file.empty()) {
+    std::ofstream f(port_file, std::ios::trunc);
+    f << bound << "\n";
+  }
+  std::fprintf(stderr, "campaignd: listening on %s:%u (journals in %s)\n",
+               bind_addr.c_str(), bound, dir.c_str());
+
+  // Sessions carry a done flag so the accept loop can reap finished
+  // threads as it goes — the daemon serves many campaigns over its life.
+  struct Session {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Session> sessions;
+  auto reap_done = [&sessions]() {
+    for (size_t i = 0; i < sessions.size();) {
+      if (sessions[i].done->load()) {
+        sessions[i].thread.join();
+        sessions.erase(sessions.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  while (!g_shutdown.load()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) {
+      std::fprintf(stderr, "campaignd: poll failed: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    reap_done();
+    if (rc <= 0) continue;
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "campaignd: accept failed: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    sessions.push_back(Session{std::thread([fd, dir, done]() {
+                                 serve_session(fd, dir);
+                                 done->store(true);
+                               }),
+                               done});
+  }
+
+  // SIGTERM drain: stop accepting, let in-flight shards finish (their
+  // journals flush as they go either way).
+  ::close(listen_fd);
+  std::fprintf(stderr, "campaignd: draining %zu session(s)\n",
+               sessions.size());
+  for (Session& s : sessions) {
+    if (s.thread.joinable()) s.thread.join();
+  }
+  return 0;
+}

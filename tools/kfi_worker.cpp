@@ -35,6 +35,7 @@
 #include <string>
 #include <thread>
 
+#include "fabric/net.hpp"
 #include "fabric/shard.hpp"
 #include "fabric/wire.hpp"
 #include "inject/engine.hpp"
@@ -46,20 +47,33 @@ namespace {
 
 int g_status_fd = -1;
 
+/// Live outcome tally over this worker's slice (resumed + executed),
+/// carried on every progress/heartbeat/done frame.  Atomics because the
+/// heartbeat thread reads while the engine's record observer writes.
+std::array<std::atomic<u32>, fabric::kFrameOutcomeSlots> g_outcomes{};
+
+void fill_outcomes(fabric::StatusFrame& frame) {
+  for (size_t i = 0; i < frame.outcomes.size(); ++i) {
+    frame.outcomes[i] = g_outcomes[i].load(std::memory_order_relaxed);
+  }
+}
+
+void count_outcome(inject::OutcomeCategory outcome) {
+  const auto slot = static_cast<size_t>(outcome);
+  if (slot < g_outcomes.size()) {
+    g_outcomes[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void send_frame(fabric::StatusFrame frame) {
   if (g_status_fd < 0) return;
   const std::vector<u8> bytes = fabric::encode_frame(frame);
   // One write per frame: frames are far below PIPE_BUF, so they land
   // atomically even with the heartbeat thread writing concurrently.
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n =
-        ::write(g_status_fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      std::exit(1);  // coordinator gone and SIGPIPE was blocked somehow
-    }
-    off += static_cast<size_t>(n);
+  // write_all retries EINTR and short writes; any other failure means
+  // the coordinator is gone (and SIGPIPE was somehow not fatal).
+  if (!fabric::write_all(g_status_fd, bytes.data(), bytes.size())) {
+    std::exit(1);
   }
 }
 
@@ -179,6 +193,13 @@ int main(int argc, char** argv) {
       }
     }();
 
+    // Seed the live tally with whatever the resumed journal recovered:
+    // the coordinator's view starts where the last run's durable records
+    // left off.
+    for (const inject::JournalEntry& e : journal.recovered()) {
+      count_outcome(e.record.outcome);
+    }
+
     base.type = fabric::FrameType::kHello;
     send_frame(base);
 
@@ -196,6 +217,7 @@ int main(int argc, char** argv) {
           fabric::StatusFrame f = base;
           f.type = fabric::FrameType::kHeartbeat;
           f.done = done_count.load();
+          fill_outcomes(f);
           send_frame(f);
         }
       });
@@ -214,6 +236,9 @@ int main(int argc, char** argv) {
     control.indices = &*indices;
     control.retries = retries;
     control.stall_seconds = stall;
+    control.record_observer = [](u32, const inject::InjectionRecord& record) {
+      count_outcome(record.outcome);
+    };
     std::atomic<u32> completions{0};
     const inject::CampaignResult result = inject::CampaignEngine(jobs).run(
         plan,
@@ -230,6 +255,7 @@ int main(int argc, char** argv) {
           f.type = fabric::FrameType::kProgress;
           f.done = done;
           f.total = total;
+          fill_outcomes(f);
           send_frame(f);
         },
         control);
@@ -237,6 +263,7 @@ int main(int argc, char** argv) {
     fabric::StatusFrame f = base;
     f.type = fabric::FrameType::kDone;
     f.done = static_cast<u32>(indices->size());
+    fill_outcomes(f);
     f.executed = result.journal_flushes;
     f.quarantined = result.quarantined;
     f.stalls = result.stalls;
